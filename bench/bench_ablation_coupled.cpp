@@ -1,0 +1,87 @@
+// Ablation benches for the coupled-model design choices called out in
+// DESIGN.md and §7.2 of the paper:
+//  (a) task-domain split: how the atm/ocn node allocation moves the coupled
+//      SYPD (the paper allocates the coupler+atm+ice+land domain most of the
+//      machine because the atmosphere dominates);
+//  (b) §8 outlook, implemented: federation of two clusters over a
+//      computing-power-network WAN — throughput vs link bandwidth and the
+//      break-even bandwidth against one combined machine.
+#include <cstdio>
+
+#include "perf/federation.hpp"
+#include "perf/scaling.hpp"
+
+int main() {
+  using namespace ap3::perf;
+  ScalingModel model;
+  // Pull the Table 2 calibration so everything here is on the published
+  // absolute scale.
+  const auto curves = model.table2_strong_scaling();
+  auto coeffs = [&](const char* label) {
+    for (const auto& c : curves)
+      if (c.label == label) return std::make_pair(c.calib_compute, c.calib_comm);
+    return std::make_pair(1.0, 1.0);
+  };
+  const auto [atm_a, atm_b] = coeffs("1km ATM CPE+OPT");
+  const auto [ocn_a, ocn_b] = coeffs("2km OCN CPE+OPT");
+
+  std::printf("Ablation (a) — task-domain split at the 1v1 scale (95316 "
+              "nodes)\n");
+  std::printf("================================================================\n");
+  const AtmWorkload atm1 = AtmWorkload::paper(1.0);
+  const OcnWorkload ocn1 = OcnWorkload::paper(1.0);
+  std::printf("  atm share of nodes   coupled SYPD (calibrated)\n");
+  double best_sypd = 0.0, best_fraction = 0.0;
+  for (double fraction : {0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90}) {
+    const auto atm_nodes = static_cast<long long>(95316 * fraction);
+    const long long ocn_nodes = 95316 - atm_nodes;
+    const DayCost ac = model.atm_day_sunway(atm1, atm_nodes, CodePath::kCpeOpt);
+    const DayCost oc = model.ocn_day_sunway(ocn1, ocn_nodes, CodePath::kCpeOpt);
+    const double t_atm = atm_a * ac.compute + atm_b * ac.comm;
+    const double t_ocn = ocn_a * oc.compute + ocn_b * oc.comm;
+    const double sypd =
+        sypd_from_seconds_per_day(t_atm > t_ocn ? t_atm : t_ocn);
+    std::printf("  %16.0f%%   %10.3f\n", 100.0 * fraction, sypd);
+    if (sypd > best_sypd) {
+      best_sypd = sypd;
+      best_fraction = fraction;
+    }
+  }
+  std::printf("  best split: %.0f%% atmosphere — throughput peaks where the\n"
+              "  two task domains' wall times balance, the load-balancing\n"
+              "  principle behind §7.2's resource allocation.\n\n",
+              100.0 * best_fraction);
+
+  std::printf("Ablation (b) — §8 federation over a computing power network\n");
+  std::printf("=============================================================\n");
+  FederationModel federation(model);
+  federation.set_component_calibration(atm_a, atm_b, ocn_a, ocn_b);
+  FederationConfig config;
+  config.atm = AtmWorkload::paper(3.0);
+  config.ocn = OcnWorkload::paper(2.0);
+  config.atm_cluster_nodes = 30000;
+  config.ocn_cluster_nodes = 12000;
+  config.wan.latency_seconds = 1e-3;
+
+  const double single = federation.single_machine_sypd(config);
+  std::printf("  single combined machine (42000 nodes): %.3f SYPD\n\n", single);
+  std::printf("  WAN bandwidth [GB/s]   federated SYPD   vs single   "
+              "WAN-bound\n");
+  for (double gbs : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+    config.wan.bandwidth_gbs = gbs;
+    const FederationPrediction p = federation.predict(config);
+    std::printf("  %18.1f   %14.3f   %8.0f%%   %s\n", gbs, p.sypd,
+                100.0 * p.sypd / single, p.wan_bound ? "yes" : "no");
+  }
+  const double breakeven = federation.breakeven_bandwidth_gbs(config, 0.95);
+  if (breakeven > 0.0)
+    std::printf("\n  break-even (95%% of single machine): %.2f GB/s of WAN "
+                "bandwidth\n",
+                breakeven);
+  else
+    std::printf("\n  federation cannot reach 95%% of the single machine at "
+                "this latency\n");
+  std::printf("  — task-level component federation pays off once the link\n"
+              "  sustains the coupling-boundary traffic, the §8 claim.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Fig. 8b: weak scaling of the atmosphere (25/10/6/3 km on
+// 683/2731/10922/43691 nodes) and the ocean (10/5/3/2 km on
+// 2107/8212/18225/50035 nodes). The paper reports weak-scaling efficiencies
+// of 87.85 % (atm, 17 M cores) and 96.57 % (ocn, 19.5 M cores).
+#include <cstdio>
+#include <vector>
+
+#include "perf/scaling.hpp"
+
+int main() {
+  using namespace ap3::perf;
+  ScalingModel model;
+
+  std::printf("Fig. 8b — weak scaling (calibrated model)\n");
+  std::printf("==========================================\n\n");
+
+  {
+    const ScalingCurve curve = model.fig8b_weak_atm();
+    const std::vector<double> res = {25.0, 10.0, 6.0, 3.0};
+    std::vector<double> points;
+    for (double r : res) points.push_back(AtmWorkload::paper(r).total_points());
+    std::printf("atmosphere:\n");
+    std::printf("  res[km]    nodes       cores      points/node    model SYPD\n");
+    for (std::size_t k = 0; k < curve.points.size(); ++k) {
+      const CurvePoint& p = curve.points[k];
+      std::printf("  %6.0f   %6lld  %10lld   %12.3g   %10.4f\n", res[k],
+                  p.units, p.cores, points[k] / static_cast<double>(p.units),
+                  p.sypd_model);
+    }
+    std::printf("  weak efficiency: model %.2f%%  (paper 87.85%%)\n\n",
+                100.0 * ScalingModel::weak_efficiency(curve, points));
+  }
+
+  {
+    const ScalingCurve curve = model.fig8b_weak_ocn();
+    const std::vector<double> res = {10.0, 5.0, 3.0, 2.0};
+    std::vector<double> points;
+    for (double r : res)
+      points.push_back(OcnWorkload::paper(r).computed_points());
+    std::printf("ocean:\n");
+    std::printf("  res[km]    nodes       cores      points/node    model SYPD\n");
+    for (std::size_t k = 0; k < curve.points.size(); ++k) {
+      const CurvePoint& p = curve.points[k];
+      std::printf("  %6.0f   %6lld  %10lld   %12.3g   %10.4f\n", res[k],
+                  p.units, p.cores, points[k] / static_cast<double>(p.units),
+                  p.sypd_model);
+    }
+    std::printf("  weak efficiency: model %.2f%%  (paper 96.57%%)\n",
+                100.0 * ScalingModel::weak_efficiency(curve, points));
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// §5.2.3 benchmark: group-wise scaling FP64/FP32 mixed precision.
+//
+// Ocean: integrate the mini LICOM twice (FP64 reference vs mixed dycore) and
+// report the paper's acceptance metrics — grid-area-weighted RMSD of
+// temperature, salinity, and sea-surface height (paper values after 30 days:
+// 0.018 °C, 0.0098 psu, 0.0005 m).
+// Atmosphere: relative L2 of surface pressure and relative vorticity against
+// the FP64 baseline (paper threshold: 5 %). Also reports memory savings.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "atm/dycore.hpp"
+#include "atm/vortex.hpp"
+#include "base/stats.hpp"
+#include "ocn/model.hpp"
+#include "par/comm.hpp"
+#include "precision/group_scaled.hpp"
+
+namespace {
+
+using namespace ap3;
+
+struct OcnFields {
+  std::vector<double> temp, salt, ssh, area;
+};
+
+OcnFields run_ocean(bool mixed) {
+  static OcnFields fields;
+  fields = OcnFields{};
+  par::run(1, [&](par::Comm& comm) {
+    ocn::OcnConfig config;
+    config.grid = grid::TripolarConfig{72, 54, 12};
+    config.mixed_precision = mixed;
+    ocn::OcnModel model(comm, config);
+    mct::AttrVect x2o(ocn::OcnModel::import_fields(),
+                      model.ocean_gids().size());
+    for (auto& t : x2o.field("taux")) t = 0.12;
+    model.import_state(x2o);
+    model.run(0.0, config.baroclinic_dt_seconds() * 60);
+    for (auto gid : model.ocean_gids()) {
+      const int i = static_cast<int>(gid % config.grid.nx);
+      const int j = static_cast<int>(gid / config.grid.nx);
+      fields.temp.push_back(model.temp(i, j, 0));
+      fields.salt.push_back(model.salt(i, j, 0));
+      fields.ssh.push_back(model.eta(i, j));
+      fields.area.push_back(model.ocean_grid().cell_area(i, j));
+    }
+  });
+  return fields;
+}
+
+struct AtmFields {
+  std::vector<double> ps, vorticity;
+};
+
+AtmFields run_atm(bool mixed) {
+  static AtmFields fields;
+  fields = AtmFields{};
+  par::run(1, [&](par::Comm& comm) {
+    atm::AtmConfig config;
+    config.mesh_n = 8;
+    config.nlev = 6;
+    config.mixed_precision = mixed;
+    grid::IcosahedralGrid mesh(config.mesh_n);
+    atm::Dycore dycore(comm, config, mesh);
+    atm::seed_vortex(dycore, atm::VortexSpec{});
+    for (int s = 0; s < 80; ++s)
+      dycore.step_dynamics(config.dycore_dt_seconds());
+    fields.ps.assign(dycore.state().h.begin(),
+                     dycore.state().h.begin() +
+                         static_cast<std::ptrdiff_t>(dycore.mesh().num_owned()));
+    fields.vorticity = dycore.relative_vorticity();
+  });
+  return fields;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§5.2.3 — group-wise scaling FP64/FP32 mixed precision\n");
+  std::printf("======================================================\n\n");
+
+  std::printf("ocean (LICOM metrics — area-weighted RMSD vs FP64 run):\n");
+  const OcnFields fp64 = run_ocean(false);
+  const OcnFields mixed = run_ocean(true);
+  const double rmsd_t = stats::weighted_rmsd(mixed.temp, fp64.temp, fp64.area);
+  const double rmsd_s = stats::weighted_rmsd(mixed.salt, fp64.salt, fp64.area);
+  const double rmsd_h = stats::weighted_rmsd(mixed.ssh, fp64.ssh, fp64.area);
+  std::printf("  temperature RMSD: %.3e degC   (paper, 30 days: 1.8e-2)\n", rmsd_t);
+  std::printf("  salinity    RMSD: %.3e psu    (paper, 30 days: 9.8e-3)\n", rmsd_s);
+  std::printf("  SSH         RMSD: %.3e m      (paper, 30 days: 5.0e-4)\n", rmsd_h);
+  const bool ocn_ok = rmsd_t < 1.8e-2 && rmsd_s < 9.8e-3 && rmsd_h < 5.0e-4;
+  std::printf("  within the paper's accepted band: %s\n\n",
+              ocn_ok ? "YES" : "NO");
+
+  std::printf("atmosphere (GRIST metric — relative L2 vs FP64 run, "
+              "threshold 5%%):\n");
+  const AtmFields atm64 = run_atm(false);
+  const AtmFields atm_mixed = run_atm(true);
+  const double l2_ps = stats::relative_l2(atm_mixed.ps, atm64.ps);
+  std::printf("  surface pressure: %.3e\n", l2_ps);
+  double l2_vort = 0.0;
+  {
+    double num = 0.0, den = 0.0;
+    for (std::size_t k = 0; k < atm64.vorticity.size(); ++k) {
+      const double d = atm_mixed.vorticity[k] - atm64.vorticity[k];
+      num += d * d;
+      den += atm64.vorticity[k] * atm64.vorticity[k];
+    }
+    l2_vort = den > 0 ? std::sqrt(num / den) : 0.0;
+  }
+  std::printf("  relative vorticity: %.3e\n", l2_vort);
+  const bool atm_ok = l2_ps < 0.05 && l2_vort < 0.05;
+  std::printf("  within the 5%% threshold: %s\n\n", atm_ok ? "YES" : "NO");
+
+  // Memory savings of the representation itself.
+  std::vector<double> sample(1 << 16);
+  for (std::size_t i = 0; i < sample.size(); ++i)
+    sample[i] = std::sin(0.001 * static_cast<double>(i)) * 1e4;
+  const auto packed = precision::GroupScaledArray::compress(sample, 64);
+  std::printf("storage: %.2fx compression vs FP64 (group size 64), max "
+              "round-trip error %.1e relative\n",
+              packed.compression_ratio(),
+              precision::max_relative_roundtrip_error(sample, 64));
+  return (ocn_ok && atm_ok) ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// §5.2.5 benchmark: parallel I/O with subfile partitioning.
+//
+// Writes/reads a field decomposed over 8 ranks through (a) the single-file
+// baseline (everything funnels through rank 0) and (b) 2/4/8 subfiles with
+// rank-group aggregators, verifying round trips and reporting throughput.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/subfile.hpp"
+#include "par/comm.hpp"
+
+namespace {
+
+using namespace ap3;
+
+struct IoTiming {
+  double write_seconds = 0.0;
+  double read_seconds = 0.0;
+  bool verified = false;
+};
+
+IoTiming run_case(int num_subfiles, std::int64_t points_per_rank) {
+  static IoTiming timing;
+  timing = IoTiming{};
+  const int nranks = 8;
+  const std::string base = "/tmp/ap3_bench_io";
+  par::run(nranks, [&](par::Comm& comm) {
+    io::FieldData mine;
+    for (std::int64_t k = 0; k < points_per_rank; ++k) {
+      mine.ids.push_back(comm.rank() * points_per_rank + k);
+      mine.values.push_back(0.001 * static_cast<double>(k) + comm.rank());
+    }
+
+    comm.barrier();
+    const auto w0 = std::chrono::steady_clock::now();
+    if (num_subfiles == 0) {
+      io::write_single(comm, base + ".bin", mine);
+    } else {
+      io::write_subfiles(comm, {base, num_subfiles}, mine);
+    }
+    comm.barrier();
+    const auto w1 = std::chrono::steady_clock::now();
+
+    io::FieldData back;
+    if (num_subfiles == 0) {
+      back = io::read_single(comm, base + ".bin", mine.ids);
+    } else {
+      back = io::read_subfiles(comm, {base, num_subfiles}, mine.ids);
+    }
+    comm.barrier();
+    const auto r1 = std::chrono::steady_clock::now();
+
+    const bool ok = back.values == mine.values;
+    if (comm.rank() == 0) {
+      timing.write_seconds = std::chrono::duration<double>(w1 - w0).count();
+      timing.read_seconds = std::chrono::duration<double>(r1 - w1).count();
+      timing.verified = ok;
+    }
+  });
+  std::remove((base + ".bin").c_str());
+  for (int k = 0; k < 8; ++k)
+    std::remove((base + "." + std::to_string(k) + ".bin").c_str());
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§5.2.5 — parallel I/O: single file vs subfile partitioning\n");
+  std::printf("===========================================================\n\n");
+
+  const std::int64_t points_per_rank = 200000;
+  const double mb = 8.0 * points_per_rank * 2 * 8.0 / 1e6;  // ids + values
+  std::printf("8 ranks x %lld points (%.0f MB total)\n\n",
+              static_cast<long long>(points_per_rank), mb);
+  std::printf("  layout        write [ms]   read [ms]   write MB/s   ok\n");
+  for (int subfiles : {0, 2, 4, 8}) {
+    const IoTiming t = run_case(subfiles, points_per_rank);
+    char label[32];
+    if (subfiles == 0)
+      std::snprintf(label, sizeof label, "single file");
+    else
+      std::snprintf(label, sizeof label, "%d subfiles", subfiles);
+    std::printf("  %-12s  %10.1f  %10.1f  %11.0f   %s\n", label,
+                t.write_seconds * 1e3, t.read_seconds * 1e3,
+                mb / t.write_seconds, t.verified ? "yes" : "NO");
+    if (!t.verified) return 1;
+  }
+  std::printf("\nsubfiles split both the aggregation fan-in and the file-system\n"
+              "stream, which is what removes the paper's I/O bottleneck at\n"
+              "tens of thousands of nodes.\n");
+  return 0;
+}

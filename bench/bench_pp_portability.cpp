@@ -1,0 +1,155 @@
+// §5.3 benchmark: performance-portability machinery.
+//
+//  - hash-registry dispatch overhead vs a direct call (the Sunway
+//    TMP-workaround pathway),
+//  - execution spaces on the same kernel (Serial vs HostThreads),
+//  - MDRange tile-size sweep through the tile profiler,
+//  - simulated CPE offload (athread + LDM staging) vs host execution.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "pp/exec.hpp"
+#include "pp/view.hpp"
+#include "pp/registry.hpp"
+#include "pp/tile.hpp"
+#include "sunway/athread.hpp"
+
+namespace {
+
+using namespace ap3;
+
+constexpr std::size_t kN = 1 << 15;
+
+void stencil_kernel(const pp::LaunchArgs& args) {
+  auto* out = static_cast<double*>(args.pointers[0]);
+  const auto* in = static_cast<const double*>(args.pointers[1]);
+  const double alpha = args.scalars[0];
+  for (std::size_t i = std::max<std::size_t>(args.begin, 1);
+       i < args.end && i + 1 < kN; ++i)
+    out[i] = in[i] + alpha * (in[i - 1] - 2.0 * in[i] + in[i + 1]);
+}
+
+std::vector<double>& input() {
+  static std::vector<double> x = [] {
+    std::vector<double> v(kN);
+    for (std::size_t i = 0; i < kN; ++i) v[i] = std::sin(0.01 * i);
+    return v;
+  }();
+  return x;
+}
+
+void BM_DirectCall(benchmark::State& state) {
+  std::vector<double> out(kN);
+  pp::LaunchArgs args;
+  args.begin = 0;
+  args.end = kN;
+  args.pointers = {out.data(), input().data()};
+  args.scalars = {0.1};
+  for (auto _ : state) {
+    stencil_kernel(args);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DirectCall);
+
+void BM_RegistryDispatch(benchmark::State& state) {
+  auto& registry = pp::KernelRegistry::instance();
+  const auto hash = registry.register_kernel("bench_stencil", &stencil_kernel);
+  std::vector<double> out(kN);
+  pp::LaunchArgs args;
+  args.begin = 0;
+  args.end = kN;
+  args.pointers = {out.data(), input().data()};
+  args.scalars = {0.1};
+  for (auto _ : state) {
+    registry.launch(hash, args);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RegistryDispatch);
+
+void BM_ParallelForSerial(benchmark::State& state) {
+  std::vector<double> out(kN);
+  const auto& in = input();
+  for (auto _ : state) {
+    pp::parallel_for(pp::RangePolicy(1, kN - 1, pp::ExecSpace::kSerial),
+                     [&](std::size_t i) {
+                       out[i] = in[i] + 0.1 * (in[i - 1] - 2 * in[i] + in[i + 1]);
+                     });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForSerial);
+
+void BM_ParallelForThreads(benchmark::State& state) {
+  std::vector<double> out(kN);
+  const auto& in = input();
+  for (auto _ : state) {
+    pp::parallel_for(pp::RangePolicy(1, kN - 1, pp::ExecSpace::kHostThreads),
+                     [&](std::size_t i) {
+                       out[i] = in[i] + 0.1 * (in[i - 1] - 2 * in[i] + in[i + 1]);
+                     });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForThreads);
+
+void BM_CpeOffloadSaxpy(benchmark::State& state) {
+  std::vector<double> y(kN, 1.0);
+  const auto& x = input();
+  sunway::DmaEngine dma;
+  for (auto _ : state) {
+    sunway::athread_spawn_join(
+        [&](sunway::CpeContext& ctx) {
+          const auto range = sunway::cpe_partition(kN, ctx.cpe_id, ctx.num_cpes);
+          const std::size_t len = range.end - range.begin;
+          if (len == 0) return;
+          double* lx = ctx.ldm->alloc_array<double>(len);
+          double* ly = ctx.ldm->alloc_array<double>(len);
+          ctx.dma->get(lx, x.data() + range.begin, len * sizeof(double));
+          ctx.dma->get(ly, y.data() + range.begin, len * sizeof(double));
+          for (std::size_t i = 0; i < len; ++i) ly[i] += 0.1 * lx[i];
+          ctx.dma->put(y.data() + range.begin, ly, len * sizeof(double));
+        },
+        dma);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CpeOffloadSaxpy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Tile-size sweep via the profiler (§5.3 "finer-grained tile profiling").
+  const std::size_t n0 = 512, n1 = 512;
+  pp::View<double, 2> a("a", n0, n1), b("b", n0, n1);
+  for (std::size_t i = 0; i < a.size(); ++i) a.linear(i) = 0.001 * i;
+  pp::TileProfiler profiler;
+  std::vector<pp::TileShape> candidates = {{4, 256}, {16, 64}, {32, 32},
+                                           {64, 16}, {256, 4}};
+  const pp::TileShape best = profiler.sweep(
+      "transpose_mdrange", candidates, [&](pp::TileShape shape) {
+        pp::MDRangePolicy2 policy{n0, n1, shape.tile0, shape.tile1,
+                                  pp::ExecSpace::kHostThreads};
+        pp::parallel_for(policy,
+                         [&](std::size_t i, std::size_t j) { b(j, i) = a(i, j); });
+      });
+  std::printf("\ntile sweep on a 512x512 MDRange transpose:\n");
+  for (const pp::TileRecord& rec : profiler.records("transpose_mdrange"))
+    std::printf("  tile %3zux%-3zu : %8.2f us\n", rec.shape.tile0,
+                rec.shape.tile1, rec.seconds / rec.samples * 1e6);
+  std::printf("  profiler recommends %zux%zu\n", best.tile0, best.tile1);
+  std::printf("\nregistered kernels in the hash table: %zu (launches so far: "
+              "%llu)\n",
+              pp::KernelRegistry::instance().size(),
+              static_cast<unsigned long long>(
+                  pp::KernelRegistry::instance().launch_count()));
+  return 0;
+}

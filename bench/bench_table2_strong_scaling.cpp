@@ -1,0 +1,91 @@
+// Regenerates Table 2 / Fig. 8a: every strong-scaling curve of the paper —
+// ATM (MPE and CPE+OPT at 3 km and 1 km), OCN (MPE and CPE+OPT at 2 km on
+// Sunway; Original and OPT at 1 km on ORISE), and the coupled AP3ESM at 3v2
+// and 1v1 — from the calibrated performance model. Endpoints are anchored to
+// the paper; interior points and efficiencies are model predictions.
+#include <cstdio>
+
+#include <stdexcept>
+
+#include "perf/measure.hpp"
+#include "perf/scaling.hpp"
+
+int main() {
+  using namespace ap3::perf;
+
+  std::printf("Table 2 / Fig. 8a — strong scaling (calibrated model)\n");
+  std::printf("======================================================\n");
+  std::printf("endpoints anchored to the paper; interior points predicted\n\n");
+
+  ScalingModel model;
+  const auto curves = model.table2_strong_scaling();
+  for (const ScalingCurve& curve : curves) {
+    std::printf("%s\n", curve.label.c_str());
+    std::printf("  %14s  %12s  %12s\n", "cores/GPUs", "paper SYPD",
+                "model SYPD");
+    for (const CurvePoint& p : curve.points) {
+      if (p.sypd_paper > 0)
+        std::printf("  %14lld  %12.4f  %12.4f\n", p.cores, p.sypd_paper,
+                    p.sypd_model);
+      else
+        std::printf("  %14lld  %12s  %12.4f\n", p.cores, "-", p.sypd_model);
+    }
+    std::printf("  parallel efficiency: model %.1f%%",
+                100.0 * curve.efficiency_model());
+    if (curve.efficiency_paper() > 0)
+      std::printf("  (paper %.1f%%)", 100.0 * curve.efficiency_paper());
+    std::printf("\n\n");
+  }
+
+  // §7.2 MPE -> CPE speedup bands at matched node counts, from the
+  // calibrated curves (t = a*compute + b*comm with each curve's solved
+  // coefficients).
+  const AtmWorkload atm3 = AtmWorkload::paper(3.0);
+  const OcnWorkload ocn2 = OcnWorkload::paper(2.0);
+  auto find = [&](const char* label) -> const ScalingCurve& {
+    for (const auto& c : curves)
+      if (c.label == label) return c;
+    throw std::runtime_error(label);
+  };
+  auto calibrated_seconds = [](const ScalingCurve& curve, const DayCost& cost) {
+    return curve.calib_compute * cost.compute + curve.calib_comm * cost.comm;
+  };
+  std::printf("MPE -> CPE+OPT speedup bands (calibrated, matched nodes):\n");
+  for (long long nodes : {5462LL, 43691LL}) {
+    const double atm_speedup =
+        calibrated_seconds(find("3km ATM MPE"),
+                           model.atm_day_sunway(atm3, nodes, CodePath::kMpe)) /
+        calibrated_seconds(find("3km ATM CPE+OPT"),
+                           model.atm_day_sunway(atm3, nodes, CodePath::kCpeOpt));
+    const double ocn_speedup =
+        calibrated_seconds(find("2km OCN MPE"),
+                           model.ocn_day_sunway(ocn2, nodes, CodePath::kMpe)) /
+        calibrated_seconds(find("2km OCN CPE+OPT"),
+                           model.ocn_day_sunway(ocn2, nodes, CodePath::kCpeOpt));
+    std::printf("  %6lld nodes: atm %.0fx, ocn %.0fx\n", nodes, atm_speedup,
+                ocn_speedup);
+  }
+  std::printf("  (paper: 112x-184x atm, 84x-150x ocn)\n\n");
+
+  // Calibration provenance: the per-point costs of this repository's real
+  // kernels on this host (DESIGN.md §4 step (a)/(b)).
+  const LocalKernelCosts measured = measure_local_costs();
+  std::printf("measured local kernel costs (this host, mini kernels):\n");
+  std::printf("  atm dynamics  %8.1f ns/cell-step\n",
+              measured.atm_dynamics_ns_per_cell);
+  std::printf("  atm tracer    %8.1f ns/cell-level-step\n",
+              measured.atm_tracer_ns_per_cell_level);
+  std::printf("  atm physics   %8.1f ns/column-step\n",
+              measured.atm_physics_ns_per_column);
+  std::printf("  ocn kernels   %8.1f ns/point-op (blended)\n\n",
+              measured.ocn_barotropic_ns_per_point);
+
+  std::printf("headline numbers:\n");
+  for (const ScalingCurve& curve : curves) {
+    const CurvePoint& last = curve.points.back();
+    std::printf("  %-24s %10lld cores -> %6.3f SYPD (paper %.3g)\n",
+                curve.label.c_str(), last.cores, last.sypd_model,
+                last.sypd_paper);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Interactive-ish explorer for the calibrated performance model: predict
+// SYPD for any component/resolution/scale without a supercomputer.
+//
+//   ./scaling_explorer [atm_res_km] [ocn_res_km] [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/scaling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ap3::perf;
+  const double atm_km = argc > 1 ? std::atof(argv[1]) : 3.0;
+  const double ocn_km = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const long long nodes = argc > 3 ? std::atoll(argv[3]) : 43691;
+
+  ScalingModel model;
+  const AtmWorkload atm = AtmWorkload::paper(atm_km);
+  const OcnWorkload ocn = OcnWorkload::paper(ocn_km);
+
+  std::printf("AP3ESM scaling explorer — Sunway OceanLight model\n");
+  std::printf("==================================================\n");
+  std::printf("atm %.0f km: %lld cells x %d levels; ocn %.0f km: %lldx%lldx%d\n",
+              atm_km, static_cast<long long>(atm.cells), atm.nlev, ocn_km,
+              static_cast<long long>(ocn.nx), static_cast<long long>(ocn.ny),
+              ocn.nz);
+  std::printf("nodes %lld (%lld cores)\n\n", nodes, nodes * 390LL);
+
+  auto report = [](const char* label, const DayCost& cost) {
+    const double sypd = sypd_from_seconds_per_day(cost.total());
+    std::printf("  %-28s %8.3f SYPD   (compute %5.1f%%, comm %5.1f%%)\n",
+                label, sypd, 100.0 * cost.compute / cost.total(),
+                100.0 * cost.comm / cost.total());
+  };
+
+  std::printf("uncalibrated mechanistic predictions:\n");
+  report("ATM  MPE only", model.atm_day_sunway(atm, nodes, CodePath::kMpe));
+  report("ATM  CPE+OPT", model.atm_day_sunway(atm, nodes, CodePath::kCpeOpt));
+  report("OCN  MPE only", model.ocn_day_sunway(ocn, nodes, CodePath::kMpe));
+  report("OCN  CPE+OPT", model.ocn_day_sunway(ocn, nodes, CodePath::kCpeOpt));
+  report("Coupled (75% atm domain)",
+         model.coupled_day(atm, ocn, nodes, 0.75));
+
+  std::printf("\nMPE -> CPE speedup at this scale: %.0fx (atm), %.0fx (ocn)\n",
+              model.atm_day_sunway(atm, nodes, CodePath::kMpe).total() /
+                  model.atm_day_sunway(atm, nodes, CodePath::kCpeOpt).total(),
+              model.ocn_day_sunway(ocn, nodes, CodePath::kMpe).total() /
+                  model.ocn_day_sunway(ocn, nodes, CodePath::kCpeOpt).total());
+  std::printf("(paper bands: 112-184x atm, 84-150x ocn)\n");
+  return 0;
+}

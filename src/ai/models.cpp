@@ -1,0 +1,87 @@
+#include "ai/models.hpp"
+
+namespace ap3::ai {
+
+using tensor::Conv1D;
+using tensor::Dense;
+using tensor::ReLU;
+using tensor::ResUnit;
+
+TendencyCnn::TendencyCnn(const SuiteConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  const auto cin = static_cast<std::size_t>(config.input_channels);
+  const auto hidden = static_cast<std::size_t>(config.cnn_hidden);
+  const auto cout = static_cast<std::size_t>(config.tendency_channels);
+  const auto k = static_cast<std::size_t>(config.cnn_kernel);
+
+  // Conv layer 1: lift input channels to the hidden width.
+  model_.add(std::make_unique<Conv1D>(cin, hidden, k, rng));
+  model_.add(std::make_unique<ReLU>());
+  // Conv layers 2..11: five ResUnits of two convs each. The second conv of
+  // each unit starts at zero (Fixup-style) so the deep stack begins as an
+  // identity map and trains stably.
+  for (int unit = 0; unit < 5; ++unit) {
+    std::vector<std::unique_ptr<tensor::Layer>> inner;
+    inner.push_back(std::make_unique<Conv1D>(hidden, hidden, k, rng));
+    inner.push_back(std::make_unique<ReLU>());
+    auto out_conv = std::make_unique<Conv1D>(hidden, hidden, k, rng);
+    out_conv->kernel.zero();
+    inner.push_back(std::move(out_conv));
+    model_.add(std::make_unique<ResUnit>(std::move(inner)));
+  }
+  // 1x1 projection to tendencies (readout, not counted as a "deep" layer);
+  // zero-initialized so the untrained suite predicts the (normalized) mean.
+  auto readout = std::make_unique<Conv1D>(hidden, cout, 1, rng);
+  readout->kernel.zero();
+  model_.add(std::move(readout));
+}
+
+double TendencyCnn::flops_per_column() const {
+  // Each conv output element costs 2*Cin*K flops; L outputs per channel.
+  const double levels = config_.levels;
+  const double hidden = config_.cnn_hidden;
+  const double k = config_.cnn_kernel;
+  double flops = 2.0 * config_.input_channels * k * hidden * levels;  // lift
+  flops += 10.0 * 2.0 * hidden * k * hidden * levels;                 // ResUnits
+  flops += 2.0 * hidden * config_.tendency_channels * levels;         // readout
+  return flops;
+}
+
+RadiationMlp::RadiationMlp(const SuiteConfig& config) : config_(config) {
+  Rng rng(config.seed + 1);
+  const auto in = static_cast<std::size_t>(config.mlp_inputs());
+  const auto hidden = static_cast<std::size_t>(config.mlp_hidden);
+
+  // Layer 1: input embedding.
+  model_.add(std::make_unique<Dense>(in, hidden, rng));
+  model_.add(std::make_unique<ReLU>());
+  // Layers 2..5: two residual blocks of two dense layers each; the second
+  // dense of each block starts at zero (identity-at-init residuals).
+  for (int block = 0; block < 2; ++block) {
+    std::vector<std::unique_ptr<tensor::Layer>> inner;
+    inner.push_back(std::make_unique<Dense>(hidden, hidden, rng));
+    inner.push_back(std::make_unique<ReLU>());
+    auto out_dense = std::make_unique<Dense>(hidden, hidden, rng);
+    out_dense->weight.zero();
+    inner.push_back(std::move(out_dense));
+    model_.add(std::make_unique<ResUnit>(std::move(inner)));
+  }
+  // Layer 6: narrowing layer; layer 7: flux readout (gsw, glw).
+  model_.add(std::make_unique<Dense>(hidden, hidden / 2, rng));
+  model_.add(std::make_unique<ReLU>());
+  auto readout = std::make_unique<Dense>(hidden / 2, 2, rng);
+  readout->weight.zero();
+  model_.add(std::move(readout));
+}
+
+double RadiationMlp::flops_per_column() const {
+  const double in = config_.mlp_inputs();
+  const double hidden = config_.mlp_hidden;
+  double flops = 2.0 * in * hidden;            // embedding
+  flops += 4.0 * 2.0 * hidden * hidden;        // residual blocks
+  flops += 2.0 * hidden * (hidden / 2.0);      // narrowing
+  flops += 2.0 * (hidden / 2.0) * 2.0;         // readout
+  return flops;
+}
+
+}  // namespace ap3::ai

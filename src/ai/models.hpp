@@ -1,0 +1,88 @@
+// The two AI physics parameterization networks of §5.2.1.
+//
+// AI tendency module: inputs are vertical columns of horizontal wind (U, V),
+// temperature (T), specific humidity (Q) and pressure (P); a 1-D convolution
+// runs along the vertical column. Five ResUnits inside an 11-conv-layer CNN
+// (1 input conv + 5 ResUnits × 2 convs), ~5e5 trainable parameters at the
+// paper's width, producing tendencies (dU, dV, dT, dQ).
+//
+// AI radiation diagnosis module: a 7-layer MLP with residual connections;
+// inputs are the flattened column plus skin temperature (tskin) and cosine
+// of solar zenith angle (coszr); outputs surface downward shortwave (gsw)
+// and longwave (glw) fluxes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/layers.hpp"
+#include "tensor/optimizer.hpp"
+
+namespace ap3::ai {
+
+struct SuiteConfig {
+  int levels = 30;            ///< vertical layers (paper: 30)
+  int input_channels = 5;     ///< U, V, T, Q, P
+  int tendency_channels = 4;  ///< dU, dV, dT, dQ
+  int cnn_hidden = 32;        ///< channel width (paper-scale: 128)
+  int cnn_kernel = 3;
+  int mlp_hidden = 64;        ///< MLP width (paper-scale: 256)
+  std::uint64_t seed = 42;
+
+  /// The paper-scale configuration: ~5e5 trainable CNN parameters.
+  static SuiteConfig paper_scale() {
+    SuiteConfig config;
+    config.cnn_hidden = 128;
+    config.mlp_hidden = 256;
+    return config;
+  }
+
+  int mlp_inputs() const { return input_channels * levels + 2; }  // +tskin,coszr
+};
+
+/// 11-layer tendency CNN with 5 ResUnits.
+class TendencyCnn {
+ public:
+  explicit TendencyCnn(const SuiteConfig& config);
+
+  /// x: (batch, input_channels, levels) -> (batch, tendency_channels, levels).
+  tensor::Tensor forward(const tensor::Tensor& x) { return model_.forward(x); }
+
+  tensor::Sequential& model() { return model_; }
+  std::size_t num_params() { return model_.num_params(); }
+  int num_conv_layers() const { return 11; }
+  int num_res_units() const { return 5; }
+
+  /// FLOPs of one forward pass per column (matmul-shaped work; feeds the
+  /// Sunway/GPU tensor-throughput model).
+  double flops_per_column() const;
+
+  const SuiteConfig& config() const { return config_; }
+
+ private:
+  SuiteConfig config_;
+  tensor::Sequential model_;
+};
+
+/// 7-layer radiation MLP with residual connections.
+class RadiationMlp {
+ public:
+  explicit RadiationMlp(const SuiteConfig& config);
+
+  /// x: (batch, mlp_inputs) -> (batch, 2) = (gsw, glw).
+  tensor::Tensor forward(const tensor::Tensor& x) { return model_.forward(x); }
+
+  tensor::Sequential& model() { return model_; }
+  std::size_t num_params() { return model_.num_params(); }
+  int num_dense_layers() const { return 7; }
+
+  double flops_per_column() const;
+
+  const SuiteConfig& config() const { return config_; }
+
+ private:
+  SuiteConfig config_;
+  tensor::Sequential model_;
+};
+
+}  // namespace ap3::ai

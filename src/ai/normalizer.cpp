@@ -1,0 +1,93 @@
+#include "ai/normalizer.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace ap3::ai {
+
+ChannelNormalizer ChannelNormalizer::fit(const tensor::Tensor& data) {
+  AP3_REQUIRE(data.rank() == 3);
+  const std::size_t n = data.dim(0), c = data.dim(1), l = data.dim(2);
+  AP3_REQUIRE(n > 0);
+  ChannelNormalizer out;
+  out.flat_ = false;
+  out.means_.assign(c, 0.0f);
+  out.stds_.assign(c, 1.0f);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < l; ++k) {
+        const double v = data.at3(i, ch, k);
+        sum += v;
+        sum2 += v * v;
+      }
+    const double count = static_cast<double>(n * l);
+    const double mean = sum / count;
+    const double var = sum2 / count - mean * mean;
+    out.means_[ch] = static_cast<float>(mean);
+    // Guard relative to the channel magnitude: a (near-)constant channel of
+    // 1e5 Pa must not normalize off-sample values by std=1.
+    const double scale = std::max(std::abs(mean), 1.0);
+    const double std_dev = var > 0.0 ? std::sqrt(var) : 0.0;
+    out.stds_[ch] = static_cast<float>(std_dev > 1e-6 * scale ? std_dev : scale);
+  }
+  return out;
+}
+
+ChannelNormalizer ChannelNormalizer::fit_flat(const tensor::Tensor& data) {
+  AP3_REQUIRE(data.rank() == 2);
+  const std::size_t n = data.dim(0), f = data.dim(1);
+  AP3_REQUIRE(n > 0);
+  ChannelNormalizer out;
+  out.flat_ = true;
+  out.means_.assign(f, 0.0f);
+  out.stds_.assign(f, 1.0f);
+  for (std::size_t j = 0; j < f; ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = data.at2(i, j);
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum2 / static_cast<double>(n) - mean * mean;
+    out.means_[j] = static_cast<float>(mean);
+    const double scale = std::max(std::abs(mean), 1.0);
+    const double std_dev = var > 0.0 ? std::sqrt(var) : 0.0;
+    out.stds_[j] = static_cast<float>(std_dev > 1e-6 * scale ? std_dev : scale);
+  }
+  return out;
+}
+
+void ChannelNormalizer::apply(tensor::Tensor& data) const {
+  if (flat_) {
+    AP3_REQUIRE(data.rank() == 2 && data.dim(1) == means_.size());
+    for (std::size_t i = 0; i < data.dim(0); ++i)
+      for (std::size_t j = 0; j < means_.size(); ++j)
+        data.at2(i, j) = (data.at2(i, j) - means_[j]) / stds_[j];
+    return;
+  }
+  AP3_REQUIRE(data.rank() == 3 && data.dim(1) == means_.size());
+  for (std::size_t i = 0; i < data.dim(0); ++i)
+    for (std::size_t c = 0; c < means_.size(); ++c)
+      for (std::size_t k = 0; k < data.dim(2); ++k)
+        data.at3(i, c, k) = (data.at3(i, c, k) - means_[c]) / stds_[c];
+}
+
+void ChannelNormalizer::invert(tensor::Tensor& data) const {
+  if (flat_) {
+    AP3_REQUIRE(data.rank() == 2 && data.dim(1) == means_.size());
+    for (std::size_t i = 0; i < data.dim(0); ++i)
+      for (std::size_t j = 0; j < means_.size(); ++j)
+        data.at2(i, j) = data.at2(i, j) * stds_[j] + means_[j];
+    return;
+  }
+  AP3_REQUIRE(data.rank() == 3 && data.dim(1) == means_.size());
+  for (std::size_t i = 0; i < data.dim(0); ++i)
+    for (std::size_t c = 0; c < means_.size(); ++c)
+      for (std::size_t k = 0; k < data.dim(2); ++k)
+        data.at3(i, c, k) = data.at3(i, c, k) * stds_[c] + means_[c];
+}
+
+}  // namespace ap3::ai

@@ -1,0 +1,137 @@
+#include "ai/suite.hpp"
+
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace ap3::ai {
+
+using tensor::Tensor;
+
+AiPhysicsSuite::AiPhysicsSuite(const SuiteConfig& config)
+    : config_(config), cnn_(config), mlp_(config) {}
+
+void AiPhysicsSuite::fit_normalizers(const Tensor& columns,
+                                     const Tensor& tendencies,
+                                     const Tensor& rad_inputs,
+                                     const Tensor& fluxes) {
+  input_norm_ = ChannelNormalizer::fit(columns);
+  tendency_norm_ = ChannelNormalizer::fit(tendencies);
+  rad_input_norm_ = ChannelNormalizer::fit_flat(rad_inputs);
+  flux_norm_ = ChannelNormalizer::fit_flat(fluxes);
+  fitted_ = true;
+}
+
+Tensor AiPhysicsSuite::make_rad_inputs(const Tensor& columns,
+                                       std::span<const double> tskin,
+                                       std::span<const double> coszr) const {
+  AP3_REQUIRE(columns.rank() == 3);
+  const std::size_t batch = columns.dim(0);
+  const std::size_t c = columns.dim(1);
+  const std::size_t l = columns.dim(2);
+  AP3_REQUIRE(tskin.size() == batch && coszr.size() == batch);
+  Tensor out({batch, c * l + 2});
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::size_t pos = 0;
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t k = 0; k < l; ++k) out.at2(b, pos++) = columns.at3(b, ch, k);
+    out.at2(b, pos++) = static_cast<float>(tskin[b]);
+    out.at2(b, pos++) = static_cast<float>(coszr[b]);
+  }
+  return out;
+}
+
+SuiteOutput AiPhysicsSuite::compute(const Tensor& columns,
+                                    std::span<const double> tskin,
+                                    std::span<const double> coszr) {
+  AP3_REQUIRE_MSG(fitted_, "AiPhysicsSuite used before normalizers were fit");
+  AP3_REQUIRE(columns.rank() == 3 &&
+              columns.dim(1) == static_cast<std::size_t>(config_.input_channels) &&
+              columns.dim(2) == static_cast<std::size_t>(config_.levels));
+
+  Tensor normalized = columns;
+  input_norm_.apply(normalized);
+
+  SuiteOutput out;
+  out.tendencies = cnn_.forward(normalized);
+  tendency_norm_.invert(out.tendencies);
+
+  Tensor rad_in = make_rad_inputs(columns, tskin, coszr);
+  rad_input_norm_.apply(rad_in);
+  out.fluxes = mlp_.forward(rad_in);
+  flux_norm_.invert(out.fluxes);
+  return out;
+}
+
+}  // namespace ap3::ai
+
+namespace ap3::ai {
+namespace {
+
+void write_floats(std::ofstream& out, const std::vector<float>& data) {
+  const std::uint64_t n = data.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::ifstream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  AP3_REQUIRE_MSG(in.good(), "truncated AI suite file");
+  std::vector<float> data(n);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  AP3_REQUIRE_MSG(in.good(), "truncated AI suite file");
+  return data;
+}
+
+void write_normalizer(std::ofstream& out, const ChannelNormalizer& norm) {
+  const std::uint8_t flat = norm.is_flat() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&flat), 1);
+  write_floats(out, norm.means());
+  write_floats(out, norm.stddevs());
+}
+
+ChannelNormalizer read_normalizer(std::ifstream& in) {
+  std::uint8_t flat = 0;
+  in.read(reinterpret_cast<char*>(&flat), 1);
+  AP3_REQUIRE_MSG(in.good(), "truncated AI suite file");
+  std::vector<float> means = read_floats(in);
+  std::vector<float> stds = read_floats(in);
+  return ChannelNormalizer::from_raw(flat != 0, std::move(means),
+                                     std::move(stds));
+}
+
+}  // namespace
+
+void save_suite(AiPhysicsSuite& suite, const std::string& path) {
+  AP3_REQUIRE_MSG(suite.normalized(),
+                  "cannot save an AI suite before its normalizers are fit");
+  std::ofstream out(path, std::ios::binary);
+  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
+  write_floats(out, suite.cnn().model().save_weights());
+  write_floats(out, suite.mlp().model().save_weights());
+  write_normalizer(out, suite.input_norm());
+  write_normalizer(out, suite.tendency_norm());
+  write_normalizer(out, suite.rad_input_norm());
+  write_normalizer(out, suite.flux_norm());
+}
+
+std::shared_ptr<AiPhysicsSuite> load_suite(const SuiteConfig& config,
+                                           const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AP3_REQUIRE_MSG(in, "cannot open " << path);
+  auto suite = std::make_shared<AiPhysicsSuite>(config);
+  suite->cnn().model().load_weights(read_floats(in));
+  suite->mlp().model().load_weights(read_floats(in));
+  ChannelNormalizer input = read_normalizer(in);
+  ChannelNormalizer tendency = read_normalizer(in);
+  ChannelNormalizer rad = read_normalizer(in);
+  ChannelNormalizer flux = read_normalizer(in);
+  suite->set_normalizers(std::move(input), std::move(tendency), std::move(rad),
+                         std::move(flux));
+  return suite;
+}
+
+}  // namespace ap3::ai

@@ -1,0 +1,87 @@
+// AiPhysicsSuite — the facade of §5.2.1's AI-powered resolution-adaptive
+// physics suite: AI tendency module + AI radiation diagnosis module, with
+// normalization handled inside. The conventional physics diagnostic module
+// lives with the atmosphere component (it is the training-truth generator);
+// this class is the inference engine the physics–dynamics coupling interface
+// calls instead of the conventional suite.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ai/models.hpp"
+#include "ai/normalizer.hpp"
+
+namespace ap3::ai {
+
+struct SuiteOutput {
+  tensor::Tensor tendencies;  ///< (batch, 4, levels): dU, dV, dT, dQ
+  tensor::Tensor fluxes;      ///< (batch, 2): gsw, glw
+};
+
+class AiPhysicsSuite {
+ public:
+  explicit AiPhysicsSuite(const SuiteConfig& config);
+
+  /// Fit input/output normalizers from a training corpus. Must be called
+  /// (or normalizers loaded) before compute().
+  void fit_normalizers(const tensor::Tensor& columns,
+                       const tensor::Tensor& tendencies,
+                       const tensor::Tensor& rad_inputs,
+                       const tensor::Tensor& fluxes);
+
+  /// Inference: columns (batch, 5, levels) raw physical units; tskin/coszr
+  /// per batch row. Returns denormalized tendencies and fluxes.
+  SuiteOutput compute(const tensor::Tensor& columns,
+                      std::span<const double> tskin,
+                      std::span<const double> coszr);
+
+  /// Assemble the flat radiation-MLP input row (normalized column + tskin +
+  /// coszr), exposed for the trainer.
+  tensor::Tensor make_rad_inputs(const tensor::Tensor& columns,
+                                 std::span<const double> tskin,
+                                 std::span<const double> coszr) const;
+
+  TendencyCnn& cnn() { return cnn_; }
+  RadiationMlp& mlp() { return mlp_; }
+  const SuiteConfig& config() const { return config_; }
+  bool normalized() const { return fitted_; }
+
+  /// Install externally restored normalizers (deserialization path).
+  void set_normalizers(ChannelNormalizer input, ChannelNormalizer tendency,
+                       ChannelNormalizer rad_input, ChannelNormalizer flux) {
+    input_norm_ = std::move(input);
+    tendency_norm_ = std::move(tendency);
+    rad_input_norm_ = std::move(rad_input);
+    flux_norm_ = std::move(flux);
+    fitted_ = true;
+  }
+
+  ChannelNormalizer& input_norm() { return input_norm_; }
+  ChannelNormalizer& tendency_norm() { return tendency_norm_; }
+  ChannelNormalizer& rad_input_norm() { return rad_input_norm_; }
+  ChannelNormalizer& flux_norm() { return flux_norm_; }
+
+  /// Total tensor-kernel flops per column per physics step.
+  double flops_per_column() const {
+    return cnn_.flops_per_column() + mlp_.flops_per_column();
+  }
+
+ private:
+  SuiteConfig config_;
+  TendencyCnn cnn_;
+  RadiationMlp mlp_;
+  ChannelNormalizer input_norm_, tendency_norm_, rad_input_norm_, flux_norm_;
+  bool fitted_ = false;
+};
+
+/// Serialize a trained suite (both networks' weights + all four
+/// normalizers) to a binary file; load restores bit-identical inference.
+/// This is the §5.2.1 "flexibility for adaptation across different
+/// architectures": weights trained once deploy anywhere.
+void save_suite(AiPhysicsSuite& suite, const std::string& path);
+std::shared_ptr<AiPhysicsSuite> load_suite(const SuiteConfig& config,
+                                           const std::string& path);
+
+}  // namespace ap3::ai

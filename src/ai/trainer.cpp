@@ -1,0 +1,127 @@
+#include "ai/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace ap3::ai {
+
+using tensor::Tensor;
+
+DataSplit DataSplit::make(std::size_t days, std::size_t steps_per_day,
+                          std::uint64_t seed) {
+  AP3_REQUIRE(days >= 8 && steps_per_day >= 1);
+  DataSplit split;
+  Rng rng(seed);
+  // 7:1 over days: every 8th day is test.
+  std::vector<bool> is_test_day(days, false);
+  for (std::size_t d = 7; d < days; d += 8) is_test_day[d] = true;
+
+  for (std::size_t d = 0; d < days; ++d) {
+    if (is_test_day[d]) {
+      for (std::size_t s = 0; s < steps_per_day; ++s)
+        split.test.push_back(d * steps_per_day + s);
+      continue;
+    }
+    // Three random steps per training day become validation samples.
+    std::vector<std::size_t> val_steps;
+    const std::size_t nval = std::min<std::size_t>(3, steps_per_day);
+    while (val_steps.size() < nval) {
+      const std::size_t s = rng.uniform_int(steps_per_day);
+      if (std::find(val_steps.begin(), val_steps.end(), s) == val_steps.end())
+        val_steps.push_back(s);
+    }
+    for (std::size_t s = 0; s < steps_per_day; ++s) {
+      const bool is_val =
+          std::find(val_steps.begin(), val_steps.end(), s) != val_steps.end();
+      (is_val ? split.validation : split.train).push_back(d * steps_per_day + s);
+    }
+  }
+  return split;
+}
+
+Tensor Trainer::gather_rows(const Tensor& data,
+                            const std::vector<std::size_t>& rows) {
+  AP3_REQUIRE(data.rank() >= 2);
+  std::size_t row_size = 1;
+  std::vector<std::size_t> shape = data.shape();
+  for (std::size_t d = 1; d < shape.size(); ++d) row_size *= shape[d];
+  shape[0] = rows.size();
+  Tensor out(shape);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    AP3_REQUIRE(rows[r] < data.dim(0));
+    std::copy(data.data() + rows[r] * row_size,
+              data.data() + (rows[r] + 1) * row_size,
+              out.data() + r * row_size);
+  }
+  return out;
+}
+
+TrainReport Trainer::fit(tensor::Sequential& model, const Tensor& inputs,
+                         const Tensor& targets, const DataSplit& split,
+                         const Options& options) {
+  AP3_REQUIRE(inputs.dim(0) == targets.dim(0));
+  AP3_REQUIRE_MSG(!split.train.empty(), "empty training split");
+  tensor::Adam optimizer(model, {options.lr, 0.9f, 0.999f, 1e-8f});
+  Rng rng(options.shuffle_seed);
+
+  TrainReport report;
+  std::vector<std::size_t> order = split.train;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the deterministic stream.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t pos = 0; pos < order.size(); pos += options.batch) {
+      const std::size_t end = std::min(pos + options.batch, order.size());
+      const std::vector<std::size_t> rows(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                                          order.begin() + static_cast<std::ptrdiff_t>(end));
+      const Tensor x = gather_rows(inputs, rows);
+      const Tensor y = gather_rows(targets, rows);
+      model.zero_grads();
+      const Tensor pred = model.forward(x);
+      epoch_loss += tensor::mse(pred, y);
+      model.backward(tensor::mse_grad(pred, y));
+      optimizer.step();
+      ++batches;
+    }
+    report.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+  }
+  report.final_train_loss = report.epoch_losses.back();
+
+  if (!split.validation.empty()) {
+    const Tensor x = gather_rows(inputs, split.validation);
+    const Tensor y = gather_rows(targets, split.validation);
+    report.validation_loss = tensor::mse(model.forward(x), y);
+  }
+  if (!split.test.empty())
+    report.test_r2 = evaluate_r2(model, inputs, targets, split.test);
+  return report;
+}
+
+float Trainer::evaluate_r2(tensor::Sequential& model, const Tensor& inputs,
+                           const Tensor& targets,
+                           const std::vector<std::size_t>& rows) {
+  AP3_REQUIRE(!rows.empty());
+  const Tensor x = gather_rows(inputs, rows);
+  const Tensor y = gather_rows(targets, rows);
+  const Tensor pred = model.forward(x);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) mean += y[i];
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_res += (static_cast<double>(pred[i]) - y[i]) *
+              (static_cast<double>(pred[i]) - y[i]);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0f : 0.0f;
+  return static_cast<float>(1.0 - ss_res / ss_tot);
+}
+
+}  // namespace ap3::ai

@@ -1,0 +1,66 @@
+// Training pipeline for the AI physics suite (§5.2.1).
+//
+// The paper trains on 80 days of 5-km GRIST fields (20 per season), with a
+// 7:1 train:test partition and three random time steps per day held out as a
+// validation subset for hyper-parameter tuning. This module reproduces that
+// split logic and provides a mini-batch Adam trainer plus R² evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ai/models.hpp"
+#include "ai/normalizer.hpp"
+#include "tensor/optimizer.hpp"
+
+namespace ap3::ai {
+
+/// Index split mirroring the paper's protocol. Samples are organized as
+/// `days` days × `steps_per_day` time steps (sample id = day*steps + step).
+struct DataSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+  std::vector<std::size_t> validation;
+
+  /// 7:1 train:test over days; 3 random steps per *training* day go to the
+  /// validation subset instead of training.
+  static DataSplit make(std::size_t days, std::size_t steps_per_day,
+                        std::uint64_t seed);
+};
+
+struct TrainReport {
+  std::vector<float> epoch_losses;   ///< train MSE per epoch
+  float final_train_loss = 0.0f;
+  float validation_loss = 0.0f;
+  float test_r2 = 0.0f;              ///< on the held-out test subset
+};
+
+/// Generic supervised trainer over (inputs, targets) index-addressed rows.
+class Trainer {
+ public:
+  struct Options {
+    int epochs = 5;
+    std::size_t batch = 16;
+    float lr = 1e-3f;
+    std::uint64_t shuffle_seed = 7;
+  };
+
+  /// Trains `model` to map inputs[i] -> targets[i] over the split's train
+  /// rows; reports validation loss and test R². Gathering a row means
+  /// slicing the leading dimension.
+  static TrainReport fit(tensor::Sequential& model, const tensor::Tensor& inputs,
+                         const tensor::Tensor& targets, const DataSplit& split,
+                         const Options& options);
+
+  /// R² of model predictions over the given row subset.
+  static float evaluate_r2(tensor::Sequential& model,
+                           const tensor::Tensor& inputs,
+                           const tensor::Tensor& targets,
+                           const std::vector<std::size_t>& rows);
+
+  /// Gather rows into a batch tensor (leading dim = rows.size()).
+  static tensor::Tensor gather_rows(const tensor::Tensor& data,
+                                    const std::vector<std::size_t>& rows);
+};
+
+}  // namespace ap3::ai

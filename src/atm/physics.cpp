@@ -1,0 +1,342 @@
+#include "atm/physics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ai/trainer.hpp"
+#include "base/constants.hpp"
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace ap3::atm {
+
+using constants::kCpDry;
+using constants::kLatentVap;
+using constants::kSolarConstant;
+
+ColumnBatch::ColumnBatch(std::size_t ncols_, std::size_t nlev_)
+    : ncols(ncols_), nlev(nlev_) {
+  const std::size_t n = ncols * nlev;
+  u.assign(n, 0.0);
+  v.assign(n, 0.0);
+  temp.assign(n, 260.0);
+  q.assign(n, 1e-3);
+  pressure.assign(n, 5e4);
+  tskin.assign(ncols, 288.0);
+  coszr.assign(ncols, 0.5);
+  du.assign(n, 0.0);
+  dv.assign(n, 0.0);
+  dtemp.assign(n, 0.0);
+  dq.assign(n, 0.0);
+  gsw.assign(ncols, 0.0);
+  glw.assign(ncols, 0.0);
+  precip.assign(ncols, 0.0);
+}
+
+void ColumnBatch::zero_outputs() {
+  std::fill(du.begin(), du.end(), 0.0);
+  std::fill(dv.begin(), dv.end(), 0.0);
+  std::fill(dtemp.begin(), dtemp.end(), 0.0);
+  std::fill(dq.begin(), dq.end(), 0.0);
+  std::fill(gsw.begin(), gsw.end(), 0.0);
+  std::fill(glw.begin(), glw.end(), 0.0);
+  std::fill(precip.begin(), precip.end(), 0.0);
+}
+
+namespace {
+/// Effective relaxation rate for an explicit update: relaxing with rate k
+/// over a step dt moves a fraction (1 − e^{−k·dt}) of the gap, never more.
+double stable_rate(double k, double dt) {
+  return (1.0 - std::exp(-k * dt)) / dt;
+}
+}  // namespace
+
+ConventionalPhysics::ConventionalPhysics(ConventionalConfig config)
+    : config_(config) {}
+
+double ConventionalPhysics::qsat(double temp_k) const {
+  // Simplified Clausius–Clapeyron around T_ref.
+  return config_.qsat_ref *
+         std::exp(0.0687 * (temp_k - config_.t_ref));  // ~doubles per 10 K
+}
+
+void ConventionalPhysics::convective_adjustment(ColumnBatch& batch,
+                                                std::size_t col) const {
+  // Dry adjustment: where the temperature increases too steeply downward
+  // relative to the adiabatic reference, relax the pair toward neutrality.
+  constexpr double kCritLapse = 9.0;  // K per level-gap proxy
+  for (std::size_t k = 0; k + 1 < batch.nlev; ++k) {
+    const std::size_t upper = batch.at(col, k);
+    const std::size_t lower = batch.at(col, k + 1);
+    const double excess = (batch.temp[lower] - batch.temp[upper]) - kCritLapse;
+    if (excess > 0.0) {
+      // Relax the pair toward neutral without overshooting the excess.
+      const double rate = 0.5 * excess * stable_rate(1e-3, batch.dt);
+      batch.dtemp[lower] -= rate;
+      batch.dtemp[upper] += rate;
+      // Convection also lifts moisture.
+      const double moisture = 0.1 * rate * batch.q[lower];
+      batch.dq[lower] -= moisture;
+      batch.dq[upper] += moisture;
+    }
+  }
+}
+
+void ConventionalPhysics::condensation(ColumnBatch& batch,
+                                       std::size_t col) const {
+  for (std::size_t k = 0; k < batch.nlev; ++k) {
+    const std::size_t i = batch.at(col, k);
+    const double excess = batch.q[i] - qsat(batch.temp[i]);
+    if (excess > 0.0) {
+      // Remove at most the supersaturation over this step.
+      const double rate =
+          excess * stable_rate(config_.condensation_rate / 1e-4 * 5e-5,
+                               batch.dt);  // [kg/kg/s]
+      batch.dq[i] -= rate;
+      batch.dtemp[i] += rate * kLatentVap / kCpDry;
+      batch.precip[col] += rate;  // column-integrated proxy
+    }
+  }
+}
+
+void ConventionalPhysics::boundary_layer(ColumnBatch& batch,
+                                         std::size_t col) const {
+  const std::size_t surf = batch.at(col, batch.nlev - 1);
+  const double exchange = stable_rate(config_.bl_exchange, batch.dt);
+  // Surface fluxes: relax lowest level toward the skin state; evaporation
+  // toward saturation at tskin.
+  batch.dtemp[surf] += exchange * (batch.tskin[col] - batch.temp[surf]);
+  batch.dq[surf] +=
+      exchange * 0.7 * (qsat(batch.tskin[col]) - batch.q[surf]);
+  // Surface drag on the lowest-level winds.
+  batch.du[surf] -= exchange * batch.u[surf];
+  batch.dv[surf] -= exchange * batch.v[surf];
+  // Interior vertical diffusion of T, Q, and momentum.
+  const double diffusion = stable_rate(config_.diffusion, batch.dt);
+  for (std::size_t k = 1; k + 1 < batch.nlev; ++k) {
+    const std::size_t i = batch.at(col, k);
+    const std::size_t up = batch.at(col, k - 1);
+    const std::size_t dn = batch.at(col, k + 1);
+    batch.dtemp[i] += diffusion *
+                      (batch.temp[up] + batch.temp[dn] - 2.0 * batch.temp[i]);
+    batch.dq[i] +=
+        diffusion * (batch.q[up] + batch.q[dn] - 2.0 * batch.q[i]);
+    batch.du[i] +=
+        diffusion * (batch.u[up] + batch.u[dn] - 2.0 * batch.u[i]);
+    batch.dv[i] +=
+        diffusion * (batch.v[up] + batch.v[dn] - 2.0 * batch.v[i]);
+  }
+}
+
+void ConventionalPhysics::radiation(ColumnBatch& batch, std::size_t col) const {
+  // Column humidity proxies cloud cover, blocking shortwave.
+  double column_q = 0.0;
+  for (std::size_t k = 0; k < batch.nlev; ++k)
+    column_q += batch.q[batch.at(col, k)];
+  column_q /= static_cast<double>(batch.nlev);
+  const double cloud =
+      std::min(0.8, config_.cloud_albedo_per_q * column_q * 10.0);
+  const double coszr = std::max(0.0, batch.coszr[col]);
+
+  // Surface downward shortwave and longwave (the two AI radiation targets).
+  batch.gsw[col] = kSolarConstant * coszr * (1.0 - cloud) * 0.75;
+  const std::size_t low = batch.at(col, batch.nlev - 1);
+  const double t_low = batch.temp[low];
+  batch.glw[col] = 0.8 * constants::kStefanBoltzmann * t_low * t_low * t_low *
+                   t_low * (1.0 + 0.2 * cloud);
+
+  // Heating of the column: solar absorption decays upward from the surface;
+  // Newtonian cooling toward a reference profile.
+  const double cooling = stable_rate(config_.lw_cooling, batch.dt);
+  for (std::size_t k = 0; k < batch.nlev; ++k) {
+    const std::size_t i = batch.at(col, k);
+    const double depth =
+        static_cast<double>(k + 1) / static_cast<double>(batch.nlev);
+    const double solar_heat = 1.2e-5 * coszr * (1.0 - cloud) * depth;
+    const double t_eq = 210.0 + 80.0 * depth;  // reference profile
+    batch.dtemp[i] += solar_heat - cooling * (batch.temp[i] - t_eq);
+  }
+}
+
+void ConventionalPhysics::compute(ColumnBatch& batch) {
+  batch.zero_outputs();
+  for (std::size_t col = 0; col < batch.ncols; ++col) {
+    convective_adjustment(batch, col);
+    condensation(batch, col);
+    boundary_layer(batch, col);
+    radiation(batch, col);
+  }
+}
+
+double ConventionalPhysics::flops_per_column(std::size_t nlev) const {
+  // Counted by inspection: ~90 flops per level across the four schemes plus
+  // the transcendental qsat (~20 flop-equivalents each).
+  return static_cast<double>(nlev) * 140.0;
+}
+
+AiPhysics::AiPhysics(std::shared_ptr<ai::AiPhysicsSuite> suite)
+    : suite_(std::move(suite)) {
+  AP3_REQUIRE(suite_ != nullptr);
+}
+
+void AiPhysics::compute(ColumnBatch& batch) {
+  const auto& config = suite_->config();
+  AP3_REQUIRE_MSG(batch.nlev == static_cast<std::size_t>(config.levels),
+                  "AI suite trained for " << config.levels
+                                          << " levels, batch has "
+                                          << batch.nlev);
+  batch.zero_outputs();
+  tensor::Tensor columns({batch.ncols, 5, batch.nlev});
+  for (std::size_t c = 0; c < batch.ncols; ++c) {
+    for (std::size_t k = 0; k < batch.nlev; ++k) {
+      const std::size_t i = batch.at(c, k);
+      columns.at3(c, 0, k) = static_cast<float>(batch.u[i]);
+      columns.at3(c, 1, k) = static_cast<float>(batch.v[i]);
+      columns.at3(c, 2, k) = static_cast<float>(batch.temp[i]);
+      columns.at3(c, 3, k) = static_cast<float>(batch.q[i]);
+      columns.at3(c, 4, k) = static_cast<float>(batch.pressure[i]);
+    }
+  }
+  const ai::SuiteOutput out = suite_->compute(columns, batch.tskin, batch.coszr);
+  // Physical guardrails at the physics–dynamics interface: a network asked
+  // to extrapolate outside its training distribution can emit runaway
+  // tendencies; deployed ML parameterizations clamp to plausible process
+  // rates so one bad column cannot destabilize the dycore.
+  const double max_dtemp = 15.0 / batch.dt;   // ≤ 15 K per step
+  const double max_dq = 5e-3 / batch.dt;      // ≤ 5 g/kg per step
+  const double max_dwind = 15.0 / batch.dt;   // ≤ 15 m/s per step
+  auto clamp = [](double v, double bound) {
+    if (!std::isfinite(v)) return 0.0;
+    return std::clamp(v, -bound, bound);
+  };
+  for (std::size_t c = 0; c < batch.ncols; ++c) {
+    for (std::size_t k = 0; k < batch.nlev; ++k) {
+      const std::size_t i = batch.at(c, k);
+      batch.du[i] = clamp(out.tendencies.at3(c, 0, k), max_dwind);
+      batch.dv[i] = clamp(out.tendencies.at3(c, 1, k), max_dwind);
+      batch.dtemp[i] = clamp(out.tendencies.at3(c, 2, k), max_dtemp);
+      batch.dq[i] = clamp(out.tendencies.at3(c, 3, k), max_dq);
+    }
+    batch.gsw[c] = std::clamp(static_cast<double>(out.fluxes.at2(c, 0)), 0.0,
+                              1500.0);
+    batch.glw[c] = std::clamp(static_cast<double>(out.fluxes.at2(c, 1)), 20.0,
+                              700.0);
+    // Precipitation diagnosed from the column moisture sink, as the AI suite
+    // predicts tendencies rather than process rates.
+    double sink = 0.0;
+    for (std::size_t k = 0; k < batch.nlev; ++k) {
+      const double dq = batch.dq[batch.at(c, k)];
+      if (dq < 0.0) sink -= dq;
+    }
+    batch.precip[c] = sink;
+  }
+}
+
+double AiPhysics::flops_per_column(std::size_t nlev) const {
+  (void)nlev;
+  return suite_->flops_per_column();
+}
+
+TrainingData generate_training_data(const ConventionalPhysics& physics,
+                                    std::size_t days, std::size_t steps_per_day,
+                                    std::size_t nlev, std::uint64_t seed,
+                                    double dt) {
+  const std::size_t n = days * steps_per_day;
+  TrainingData data;
+  data.days = days;
+  data.steps_per_day = steps_per_day;
+  data.columns = tensor::Tensor({n, 5, nlev});
+  data.tendencies = tensor::Tensor({n, 4, nlev});
+  data.fluxes = tensor::Tensor({n, 2});
+  data.tskin.resize(n);
+  data.coszr.resize(n);
+
+  Rng rng(seed);
+  ColumnBatch batch(1, nlev);
+  batch.dt = dt;
+  ConventionalPhysics suite = physics;  // value copy: suite is stateless
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t day = s / steps_per_day;
+    const std::size_t step = s % steps_per_day;
+    // Seasonal cycle (20 days per season in the paper's corpus) plus a
+    // diurnal cycle and weather noise.
+    const double season = std::sin(2.0 * constants::kPi *
+                                   static_cast<double>(day) /
+                                   std::max<std::size_t>(days, 1));
+    const double hour = 2.0 * constants::kPi * static_cast<double>(step) /
+                        static_cast<double>(steps_per_day);
+    const double lat_band = rng.uniform(-1.0, 1.0);  // sampled column latitude
+    batch.tskin[0] = 288.0 + 12.0 * season - 25.0 * lat_band * lat_band +
+                     3.0 * rng.normal();
+    batch.coszr[0] = std::max(0.0, std::cos(hour) * (1.0 - 0.3 * lat_band * lat_band) +
+                                       0.1 * rng.normal());
+    for (std::size_t k = 0; k < nlev; ++k) {
+      const double depth = static_cast<double>(k + 1) / static_cast<double>(nlev);
+      const std::size_t i = batch.at(0, k);
+      batch.temp[i] = 215.0 + (batch.tskin[0] - 215.0) * depth + 2.0 * rng.normal();
+      batch.q[i] = 0.016 * std::exp(-4.0 * (1.0 - depth)) *
+                   (1.0 + 0.4 * rng.normal());
+      if (batch.q[i] < 0.0) batch.q[i] = 0.0;
+      batch.u[i] = 12.0 * std::sin(3.0 * lat_band) + 4.0 * rng.normal();
+      batch.v[i] = 3.0 * rng.normal();
+      batch.pressure[i] = 1.0e5 * std::pow(depth, 1.2) + 2000.0;
+    }
+    suite.compute(batch);
+    for (std::size_t k = 0; k < nlev; ++k) {
+      const std::size_t i = batch.at(0, k);
+      data.columns.at3(s, 0, k) = static_cast<float>(batch.u[i]);
+      data.columns.at3(s, 1, k) = static_cast<float>(batch.v[i]);
+      data.columns.at3(s, 2, k) = static_cast<float>(batch.temp[i]);
+      data.columns.at3(s, 3, k) = static_cast<float>(batch.q[i]);
+      data.columns.at3(s, 4, k) = static_cast<float>(batch.pressure[i]);
+      data.tendencies.at3(s, 0, k) = static_cast<float>(batch.du[i]);
+      data.tendencies.at3(s, 1, k) = static_cast<float>(batch.dv[i]);
+      data.tendencies.at3(s, 2, k) = static_cast<float>(batch.dtemp[i]);
+      data.tendencies.at3(s, 3, k) = static_cast<float>(batch.dq[i]);
+    }
+    data.fluxes.at2(s, 0) = static_cast<float>(batch.gsw[0]);
+    data.fluxes.at2(s, 1) = static_cast<float>(batch.glw[0]);
+    data.tskin[s] = batch.tskin[0];
+    data.coszr[s] = batch.coszr[0];
+  }
+  return data;
+}
+
+TrainedSuite train_ai_physics(const TrainingData& data,
+                              const ai::SuiteConfig& config, int epochs,
+                              float lr) {
+  AP3_REQUIRE(data.columns.dim(2) == static_cast<std::size_t>(config.levels));
+  TrainedSuite out;
+  out.suite = std::make_shared<ai::AiPhysicsSuite>(config);
+  ai::AiPhysicsSuite& suite = *out.suite;
+
+  const tensor::Tensor rad_inputs =
+      suite.make_rad_inputs(data.columns, data.tskin, data.coszr);
+  suite.fit_normalizers(data.columns, data.tendencies, rad_inputs, data.fluxes);
+
+  // Train on normalized copies.
+  tensor::Tensor x = data.columns;
+  suite.input_norm().apply(x);
+  tensor::Tensor y = data.tendencies;
+  suite.tendency_norm().apply(y);
+  tensor::Tensor rx = rad_inputs;
+  suite.rad_input_norm().apply(rx);
+  tensor::Tensor ry = data.fluxes;
+  suite.flux_norm().apply(ry);
+
+  const ai::DataSplit split =
+      ai::DataSplit::make(data.days, data.steps_per_day, config.seed);
+  ai::Trainer::Options options;
+  options.epochs = epochs;
+  options.batch = 16;
+  options.lr = lr;
+  const ai::TrainReport cnn_report =
+      ai::Trainer::fit(suite.cnn().model(), x, y, split, options);
+  const ai::TrainReport mlp_report =
+      ai::Trainer::fit(suite.mlp().model(), rx, ry, split, options);
+  out.tendency_r2 = cnn_report.test_r2;
+  out.flux_r2 = mlp_report.test_r2;
+  return out;
+}
+
+}  // namespace ap3::atm

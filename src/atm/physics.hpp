@@ -1,0 +1,133 @@
+// Column physics for the atmosphere: the conventional diagnostic suite and
+// the physics–dynamics coupling interface that lets either the conventional
+// suite or the AI suite (§5.2.1) supply tendencies.
+//
+// The conventional suite is a compact but physically structured package:
+//   - dry convective adjustment (mixes statically unstable layers),
+//   - large-scale condensation (supersaturation removal + latent heating),
+//   - surface fluxes and boundary-layer diffusion toward the skin state,
+//   - gray radiation (solar heating by coszr, Newtonian longwave cooling)
+//     which also diagnoses surface shortwave/longwave (gsw, glw).
+// It is also the training-truth generator for the AI suite, exactly as the
+// paper trains on high-resolution conventional-physics output.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ai/suite.hpp"
+
+namespace ap3::atm {
+
+/// Batch of vertical columns handed to a physics suite. All level arrays are
+/// (ncols × nlev), level 0 = model top, level nlev-1 = surface.
+struct ColumnBatch {
+  std::size_t ncols = 0;
+  std::size_t nlev = 0;
+  /// Physics step length [s]. Relaxation-type schemes convert their rate
+  /// constants to effective rates (1−exp(−k·dt))/dt so tendencies never
+  /// overshoot, whatever the model step is.
+  double dt = 1800.0;
+  // Inputs (state).
+  std::vector<double> u, v;      ///< winds [m/s]
+  std::vector<double> temp;      ///< temperature [K]
+  std::vector<double> q;         ///< specific humidity [kg/kg]
+  std::vector<double> pressure;  ///< level pressure [Pa]
+  std::vector<double> tskin;     ///< per-column skin temperature [K]
+  std::vector<double> coszr;     ///< per-column cos(solar zenith)
+  // Outputs (tendencies and surface diagnostics).
+  std::vector<double> du, dv, dtemp, dq;  ///< [unit/s]
+  std::vector<double> gsw, glw;           ///< surface fluxes [W/m²]
+  std::vector<double> precip;             ///< precipitation rate [kg/m²/s]
+
+  ColumnBatch(std::size_t ncols, std::size_t nlev);
+  std::size_t at(std::size_t col, std::size_t lev) const {
+    return col * nlev + lev;
+  }
+  void zero_outputs();
+};
+
+/// Physics–dynamics coupling interface: "this suite gets the input variables
+/// from the dynamical core and returns full physical variables back".
+class PhysicsSuite {
+ public:
+  virtual ~PhysicsSuite() = default;
+  virtual void compute(ColumnBatch& batch) = 0;
+  virtual const char* name() const = 0;
+  /// Scalar-flops per column (perf-model input; AI suite reports tensor
+  /// flops separately).
+  virtual double flops_per_column(std::size_t nlev) const = 0;
+};
+
+struct ConventionalConfig {
+  double qsat_ref = 0.015;          ///< saturation humidity at T_ref [kg/kg]
+  double t_ref = 288.0;
+  double condensation_rate = 2e-4;  ///< [1/s] relaxation of supersaturation
+  double bl_exchange = 5e-5;        ///< surface exchange coefficient [1/s]
+  double diffusion = 1e-5;          ///< vertical mixing [1/s]
+  double lw_cooling = 2.0e-6;       ///< Newtonian cooling rate [1/s]
+  double cloud_albedo_per_q = 8.0;  ///< cloud shortwave blocking per humidity
+};
+
+class ConventionalPhysics : public PhysicsSuite {
+ public:
+  explicit ConventionalPhysics(ConventionalConfig config = {});
+  void compute(ColumnBatch& batch) override;
+  const char* name() const override { return "conventional"; }
+  double flops_per_column(std::size_t nlev) const override;
+
+  /// Saturation specific humidity (simplified Clausius–Clapeyron).
+  double qsat(double temp_k) const;
+
+ private:
+  void convective_adjustment(ColumnBatch& batch, std::size_t col) const;
+  void condensation(ColumnBatch& batch, std::size_t col) const;
+  void boundary_layer(ColumnBatch& batch, std::size_t col) const;
+  void radiation(ColumnBatch& batch, std::size_t col) const;
+  ConventionalConfig config_;
+};
+
+/// Adapter running the trained AI suite behind the same interface.
+class AiPhysics : public PhysicsSuite {
+ public:
+  explicit AiPhysics(std::shared_ptr<ai::AiPhysicsSuite> suite);
+  void compute(ColumnBatch& batch) override;
+  const char* name() const override { return "ai"; }
+  double flops_per_column(std::size_t nlev) const override;
+
+  ai::AiPhysicsSuite& suite() { return *suite_; }
+
+ private:
+  std::shared_ptr<ai::AiPhysicsSuite> suite_;
+};
+
+/// Generate a training corpus by running the conventional suite over
+/// synthetic columns drawn from a seasonal climatology (the stand-in for 80
+/// days of 5-km GRIST output; see DESIGN.md substitutions).
+struct TrainingData {
+  tensor::Tensor columns;     ///< (N, 5, nlev): U,V,T,Q,P
+  tensor::Tensor tendencies;  ///< (N, 4, nlev)
+  tensor::Tensor fluxes;      ///< (N, 2): gsw, glw
+  std::vector<double> tskin, coszr;
+  std::size_t days = 0, steps_per_day = 0;
+};
+/// `dt` must match the model step the trained suite will run at: effective
+/// tendencies are dt-dependent, and the network does not see dt as an input.
+TrainingData generate_training_data(const ConventionalPhysics& physics,
+                                    std::size_t days, std::size_t steps_per_day,
+                                    std::size_t nlev, std::uint64_t seed,
+                                    double dt = 1800.0);
+
+/// Train a fresh AI suite against the conventional suite's outputs using the
+/// paper's split protocol; returns the fitted suite plus test-R² skill.
+struct TrainedSuite {
+  std::shared_ptr<ai::AiPhysicsSuite> suite;
+  float tendency_r2 = 0.0f;
+  float flux_r2 = 0.0f;
+};
+TrainedSuite train_ai_physics(const TrainingData& data,
+                              const ai::SuiteConfig& config, int epochs,
+                              float lr);
+
+}  // namespace ap3::atm

@@ -1,0 +1,111 @@
+#include "atm/vortex.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace ap3::atm {
+
+using constants::kDegToRad;
+using constants::kEarthRadiusM;
+
+double track_distance_km(double lon1_deg, double lat1_deg, double lon2_deg,
+                         double lat2_deg) {
+  const double lon1 = lon1_deg * kDegToRad, lat1 = lat1_deg * kDegToRad;
+  const double lon2 = lon2_deg * kDegToRad, lat2 = lat2_deg * kDegToRad;
+  const double cosd = std::sin(lat1) * std::sin(lat2) +
+                      std::cos(lat1) * std::cos(lat2) * std::cos(lon1 - lon2);
+  return std::acos(std::max(-1.0, std::min(1.0, cosd))) * kEarthRadiusM / 1000.0;
+}
+
+void seed_vortex(Dycore& dycore, const VortexSpec& spec) {
+  const LocalMesh& local = dycore.mesh();
+  DycoreState& state = dycore.state();
+  const double r0_m = spec.radius_km * 1000.0;
+  for (std::size_t c = 0; c < local.num_owned(); ++c) {
+    const double dist_km =
+        track_distance_km(spec.lon_deg, spec.lat_deg,
+                          local.lon_rad(c) / kDegToRad,
+                          local.lat_rad(c) / kDegToRad);
+    const double r = dist_km * 1000.0;
+    const double shape = std::exp(-(r * r) / (2.0 * r0_m * r0_m));
+    state.h[c] -= spec.depression_m * shape;
+
+    // Rankine-like tangential wind: grows to max at r0, decays outside.
+    const double v_tan = spec.max_wind_ms * (r / r0_m) *
+                         std::exp(0.5 * (1.0 - (r * r) / (r0_m * r0_m)));
+    if (v_tan < 0.01) continue;
+    // Cyclonic sense for the hemisphere of the vortex center.
+    const double sense = spec.lat_deg >= 0.0 ? 1.0 : -1.0;
+    // Unit vector from vortex center toward the cell, in the local
+    // east/north plane, rotated 90° for the tangential direction.
+    const double dlon = (local.lon_rad(c) - spec.lon_deg * kDegToRad);
+    const double dlat = (local.lat_rad(c) - spec.lat_deg * kDegToRad);
+    const double de = dlon * std::cos(spec.lat_deg * kDegToRad);
+    const double dn = dlat;
+    const double norm = std::sqrt(de * de + dn * dn);
+    if (norm < 1e-9) continue;
+    const double u_east = -sense * (dn / norm) * v_tan;
+    const double v_north = sense * (de / norm) * v_tan;
+    double u0 = 0.0, v0 = 0.0;
+    dycore.wind_at(c, u0, v0);
+    dycore.set_wind_at(c, u0 + u_east, v0 + v_north);
+  }
+}
+
+VortexFix track_vortex(const Dycore& dycore, const par::Comm& comm,
+                       double prev_lon_deg, double prev_lat_deg,
+                       double search_km) {
+  const LocalMesh& local = dycore.mesh();
+  const DycoreState& state = dycore.state();
+
+  // Local candidate: min h within the search radius.
+  double best_h = 1e300, best_lon = 0.0, best_lat = 0.0;
+  double max_wind = 0.0;
+  for (std::size_t c = 0; c < local.num_owned(); ++c) {
+    const double lon = local.lon_rad(c) / kDegToRad;
+    const double lat = local.lat_rad(c) / kDegToRad;
+    if (track_distance_km(prev_lon_deg, prev_lat_deg, lon, lat) > search_km)
+      continue;
+    if (state.h[c] < best_h) {
+      best_h = state.h[c];
+      best_lon = lon;
+      best_lat = lat;
+    }
+    double u = 0.0, v = 0.0;
+    dycore.wind_at(c, u, v);
+    max_wind = std::max(max_wind, std::sqrt(u * u + v * v));
+  }
+
+  // Global reduction: gather candidates, pick the deepest.
+  struct Candidate {
+    double h, lon, lat, wind;
+  };
+  const Candidate mine{best_h, best_lon, best_lat, max_wind};
+  const std::vector<Candidate> all =
+      comm.allgather(std::span<const Candidate>(&mine, 1));
+  VortexFix fix;
+  fix.min_h_m = 1e300;
+  for (const Candidate& cand : all) {
+    if (cand.h < fix.min_h_m) {
+      fix.min_h_m = cand.h;
+      fix.lon_deg = cand.lon;
+      fix.lat_deg = cand.lat;
+      fix.found = true;
+    }
+    fix.max_wind_ms = std::max(fix.max_wind_ms, cand.wind);
+  }
+  if (fix.min_h_m > 1e299) fix.found = false;
+  return fix;
+}
+
+int intensity_category(double max_wind_ms) {
+  if (max_wind_ms < 33.0) return 0;   // tropical storm
+  if (max_wind_ms < 43.0) return 1;
+  if (max_wind_ms < 50.0) return 2;
+  if (max_wind_ms < 58.0) return 3;
+  if (max_wind_ms < 70.0) return 4;
+  return 5;
+}
+
+}  // namespace ap3::atm

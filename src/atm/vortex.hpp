@@ -1,0 +1,49 @@
+// Synthetic tropical-cyclone seeding and tracking (the Typhoon Doksuri
+// analog of §7.1 / Figs. 6–7).
+//
+// seed_vortex() superimposes a gradient-balanced warm-core-style vortex on
+// the shallow-water state: a Gaussian thickness depression plus a Rankine-
+// like tangential wind profile. track_vortex() finds the thickness minimum
+// near the previous fix — the standard min-pressure tracker — and reports
+// position and intensity (max wind inside the search radius).
+#pragma once
+
+#include <vector>
+
+#include "atm/dycore.hpp"
+#include "par/comm.hpp"
+
+namespace ap3::atm {
+
+struct VortexSpec {
+  double lon_deg = 130.0;
+  double lat_deg = 15.0;
+  double radius_km = 300.0;     ///< radius of maximum wind scale
+  double max_wind_ms = 35.0;    ///< peak tangential wind
+  double depression_m = 60.0;   ///< central thickness deficit
+};
+
+void seed_vortex(Dycore& dycore, const VortexSpec& spec);
+
+struct VortexFix {
+  double lon_deg = 0.0;
+  double lat_deg = 0.0;
+  double min_h_m = 0.0;       ///< central thickness (lower = deeper)
+  double max_wind_ms = 0.0;   ///< within the search radius
+  bool found = false;
+};
+
+/// Collective: locate the vortex near (prev_lon, prev_lat) within
+/// `search_km`. Every rank receives the same fix.
+VortexFix track_vortex(const Dycore& dycore, const par::Comm& comm,
+                       double prev_lon_deg, double prev_lat_deg,
+                       double search_km);
+
+/// Saffir–Simpson-like category from max sustained wind [m/s] (0 = TS).
+int intensity_category(double max_wind_ms);
+
+/// Great-circle distance between two (lon, lat) fixes in km.
+double track_distance_km(double lon1_deg, double lat1_deg, double lon2_deg,
+                         double lat2_deg);
+
+}  // namespace ap3::atm

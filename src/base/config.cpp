@@ -1,0 +1,158 @@
+#include "base/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace ap3 {
+
+namespace {
+std::string trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("config line " + std::to_string(lineno) +
+                        ": expected key = value, got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw ConfigError("config line " + std::to_string(lineno) + ": empty key");
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(buffer.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+void Config::set(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  values_[key] = os.str();
+}
+void Config::set(const std::string& key, long long value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  auto v = find(key);
+  if (!v) throw ConfigError("missing config key: " + key);
+  return *v;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string v = get_string(key);
+  try {
+    size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw ConfigError("config key '" + key + "' is not a double: " + v);
+  }
+}
+
+long long Config::get_int(const std::string& key) const {
+  const std::string v = get_string(key);
+  try {
+    size_t pos = 0;
+    const long long i = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return i;
+  } catch (const std::exception&) {
+    throw ConfigError("config key '" + key + "' is not an integer: " + v);
+  }
+}
+
+bool Config::get_bool(const std::string& key) const {
+  std::string v = get_string(key);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("config key '" + key + "' is not a bool: " + v);
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  const std::string& fallback) const {
+  return has(key) ? get_string(key) : fallback;
+}
+double Config::get_double_or(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+long long Config::get_int_or(const std::string& key, long long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+Config Config::slice(const std::string& prefix) const {
+  Config out;
+  for (const auto& [key, value] : values_) {
+    if (key.rfind(prefix, 0) == 0)
+      out.values_[key.substr(prefix.size())] = value;
+  }
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [key, value] : other.values_) values_[key] = value;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : values_) os << key << " = " << value << "\n";
+  return os.str();
+}
+
+}  // namespace ap3

@@ -1,0 +1,56 @@
+// Key-value configuration with typed access and namelist-style parsing.
+//
+// Components receive a Config slice ("atm.", "ocn.", ...) mirroring the way
+// CESM components consume namelists. Values are stored as strings and parsed
+// on access; missing keys either throw (get) or fall back (get_or).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ap3 {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Config from_string(const std::string& text);
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, long long value);
+  void set(const std::string& key, int value) { set(key, (long long)value); }
+  void set(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed access; throws ConfigError if missing or unparsable.
+  std::string get_string(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  std::string get_string_or(const std::string& key, const std::string& fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  long long get_int_or(const std::string& key, long long fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// All keys beginning with `prefix`, with the prefix stripped.
+  Config slice(const std::string& prefix) const;
+
+  /// Merge: entries in `other` override entries here.
+  void merge(const Config& other);
+
+  std::vector<std::string> keys() const;
+  std::string to_string() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ap3

@@ -1,0 +1,39 @@
+// Physical and planetary constants shared by all components.
+#pragma once
+
+namespace ap3::constants {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kDegToRad = kPi / 180.0;
+inline constexpr double kRadToDeg = 180.0 / kPi;
+
+// Earth.
+inline constexpr double kEarthRadiusM = 6.371e6;     ///< mean radius [m]
+inline constexpr double kGravity = 9.80616;          ///< [m s^-2]
+inline constexpr double kOmega = 7.292115e-5;        ///< rotation rate [s^-1]
+
+// Dry air.
+inline constexpr double kRdry = 287.04;              ///< gas constant [J kg^-1 K^-1]
+inline constexpr double kCpDry = 1004.64;            ///< heat capacity [J kg^-1 K^-1]
+inline constexpr double kKappa = kRdry / kCpDry;
+
+// Water.
+inline constexpr double kLatentVap = 2.501e6;        ///< vaporization [J kg^-1]
+inline constexpr double kLatentFus = 3.337e5;        ///< fusion [J kg^-1]
+inline constexpr double kRhoWater = 1000.0;          ///< fresh water [kg m^-3]
+inline constexpr double kRhoSeawater = 1026.0;       ///< reference [kg m^-3]
+inline constexpr double kCpSeawater = 3996.0;        ///< [J kg^-1 K^-1]
+inline constexpr double kRhoIce = 917.0;             ///< sea ice [kg m^-3]
+
+// Radiation / thermodynamics.
+inline constexpr double kStefanBoltzmann = 5.670374419e-8;  ///< [W m^-2 K^-4]
+inline constexpr double kSolarConstant = 1361.0;            ///< [W m^-2]
+inline constexpr double kT0 = 273.15;                       ///< 0 °C in K
+inline constexpr double kSeawaterFreeze = -1.8;             ///< [°C] at 35 psu
+
+// Calendar (no-leap calendar, as in CESM default).
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kDaysPerYear = 365.0;
+inline constexpr double kSecondsPerYear = kSecondsPerDay * kDaysPerYear;
+
+}  // namespace ap3::constants

@@ -1,0 +1,65 @@
+// Error handling primitives for AP3ESM.
+//
+// All recoverable failures throw ap3::Error (derived from std::runtime_error)
+// so callers can catch a single type at component boundaries; programming
+// errors use AP3_REQUIRE which always evaluates its condition (it is not
+// compiled out in release builds — model integrity beats a branch).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ap3 {
+
+/// Base exception for all AP3ESM failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration value is missing or malformed.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on communication-runtime misuse (bad rank, type mismatch, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical scheme detects instability (NaN, CFL blowup).
+class NumericsError : public Error {
+ public:
+  explicit NumericsError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "AP3_REQUIRE failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ap3
+
+/// Always-on invariant check. `msg` may use stream syntax via AP3_REQUIRE_MSG.
+#define AP3_REQUIRE(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::ap3::detail::fail_require(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define AP3_REQUIRE_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os__;                                         \
+      os__ << msg;                                                     \
+      ::ap3::detail::fail_require(#cond, __FILE__, __LINE__, os__.str()); \
+    }                                                                  \
+  } while (0)

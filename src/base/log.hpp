@@ -1,0 +1,50 @@
+// Minimal thread-safe leveled logger.
+//
+// The coupled model runs many simulated ranks as threads; log lines are
+// serialized through one mutex and prefixed with level + logical timestamp.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ap3::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global verbosity threshold; messages below it are dropped cheaply.
+void set_level(Level level);
+Level level();
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace ap3::log

@@ -1,0 +1,89 @@
+// Deterministic random number generation.
+//
+// Every stochastic piece of the reproduction (synthetic bathymetry, training
+// data, track perturbations) derives from explicit seeds so reruns are
+// bit-reproducible — the paper validates coupling correctness bit-for-bit and
+// we keep the same discipline.
+#pragma once
+
+#include <cstdint>
+
+namespace ap3 {
+
+/// splitmix64: tiny, high-quality 64-bit generator used for seeding streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast deterministic PRNG with independent streams per seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = nonneg_sqrt(-2.0 * log_(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double log_(double x);
+  static double nonneg_sqrt(double x);
+
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ap3
+
+#include <cmath>
+namespace ap3 {
+inline double Rng::log_(double x) { return std::log(x); }
+inline double Rng::nonneg_sqrt(double x) { return std::sqrt(x < 0 ? 0 : x); }
+}  // namespace ap3

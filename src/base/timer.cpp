@@ -1,0 +1,86 @@
+#include "base/timer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace ap3 {
+
+void TimerRegistry::start(const std::string& name) {
+  Entry& entry = entries_[name];
+  AP3_REQUIRE_MSG(!entry.running, "timer '" << name << "' already running");
+  entry.stats.name = name;
+  entry.started = std::chrono::steady_clock::now();
+  entry.running = true;
+}
+
+void TimerRegistry::stop(const std::string& name) {
+  auto it = entries_.find(name);
+  AP3_REQUIRE_MSG(it != entries_.end() && it->second.running,
+                  "timer '" << name << "' stopped without start");
+  Entry& entry = it->second;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    entry.started)
+          .count();
+  entry.running = false;
+  entry.stats.calls += 1;
+  entry.stats.total_seconds += secs;
+  entry.stats.max_seconds = std::max(entry.stats.max_seconds, secs);
+  entry.stats.min_seconds =
+      entry.stats.calls == 1 ? secs : std::min(entry.stats.min_seconds, secs);
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.stats.total_seconds;
+}
+
+long long TimerRegistry::calls(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.stats.calls;
+}
+
+std::vector<TimerStats> TimerRegistry::snapshot() const {
+  std::vector<TimerStats> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.stats);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_seconds > b.total_seconds;
+  });
+  return out;
+}
+
+std::string TimerRegistry::report() const {
+  std::ostringstream os;
+  os << "timer                                    calls      total(s)\n";
+  for (const auto& [name, entry] : entries_) {
+    const auto depth = std::count(name.begin(), name.end(), ':');
+    std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    std::string label = indent + name;
+    if (label.size() < 40) label.resize(40, ' ');
+    os << label << ' ' << entry.stats.calls << "  " << entry.stats.total_seconds
+       << "\n";
+  }
+  return os.str();
+}
+
+void TimerRegistry::reset() { entries_.clear(); }
+
+TimerRegistry& TimerRegistry::global() {
+  static TimerRegistry registry;
+  return registry;
+}
+
+TimerStats max_across_ranks(const std::vector<TimerStats>& per_rank) {
+  AP3_REQUIRE(!per_rank.empty());
+  TimerStats out = per_rank.front();
+  for (const TimerStats& stats : per_rank) {
+    if (stats.total_seconds > out.total_seconds) out = stats;
+  }
+  return out;
+}
+
+}  // namespace ap3

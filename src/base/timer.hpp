@@ -1,0 +1,76 @@
+// GPTL-style hierarchical wall-clock timers (§6.2 of the paper: wall-clock
+// measurements come from GPTL timers in Coupler 7, max across ranks).
+//
+// Timers nest: start("cpl")/start("cpl:run")/stop/stop builds a call tree.
+// Each simulated rank owns a TimerRegistry; the coupler's getTiming analog
+// reduces the per-rank maxima, mirroring the paper's measurement mechanism.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ap3 {
+
+/// One named accumulating timer.
+struct TimerStats {
+  std::string name;
+  long long calls = 0;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+  double min_seconds = 0.0;
+};
+
+/// Registry of named timers. Not thread-safe by design: each simulated rank
+/// (thread) owns its own registry, matching per-rank GPTL instances.
+class TimerRegistry {
+ public:
+  void start(const std::string& name);
+  void stop(const std::string& name);
+
+  /// Seconds accumulated in `name`; 0 if never started.
+  double total(const std::string& name) const;
+  long long calls(const std::string& name) const;
+
+  /// All timers sorted by descending total time.
+  std::vector<TimerStats> snapshot() const;
+
+  /// Render an indented report (nesting inferred from ':' separators).
+  std::string report() const;
+
+  void reset();
+
+  /// Process-wide registry for single-threaded tools.
+  static TimerRegistry& global();
+
+ private:
+  struct Entry {
+    TimerStats stats;
+    std::chrono::steady_clock::time_point started;
+    bool running = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII scope timer.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    registry_.start(name_);
+  }
+  ~ScopedTimer() { registry_.stop(name_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& registry_;
+  std::string name_;
+};
+
+/// Reduce per-rank timer totals the way getTiming does: the maximum across
+/// ranks is what load-imbalanced components report.
+TimerStats max_across_ranks(const std::vector<TimerStats>& per_rank);
+
+}  // namespace ap3

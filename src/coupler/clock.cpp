@@ -1,0 +1,32 @@
+#include "coupler/clock.hpp"
+
+#include "base/error.hpp"
+
+namespace ap3::cpl {
+
+Clock::Clock(double start_seconds, double step_seconds)
+    : start_(start_seconds), step_(step_seconds), now_(start_seconds) {
+  AP3_REQUIRE_MSG(step_seconds > 0.0, "clock step must be positive");
+}
+
+int Clock::add_alarm(const std::string& name, int every_steps) {
+  AP3_REQUIRE_MSG(every_steps >= 1, "alarm period must be >= 1 step");
+  alarms_.push_back({name, every_steps});
+  return static_cast<int>(alarms_.size()) - 1;
+}
+
+bool Clock::ringing(int alarm_id) const {
+  const auto& alarm = alarms_.at(static_cast<std::size_t>(alarm_id));
+  return steps_ % alarm.every_steps == 0;
+}
+
+const std::string& Clock::alarm_name(int alarm_id) const {
+  return alarms_.at(static_cast<std::size_t>(alarm_id)).name;
+}
+
+void Clock::advance() {
+  ++steps_;
+  now_ = start_ + static_cast<double>(steps_) * step_;
+}
+
+}  // namespace ap3::cpl

@@ -1,0 +1,45 @@
+// Coupling clock with per-component alarms (§5.1.1: "The coupler manages the
+// main clock in the system and maintains a clock that is associated with
+// each component... the coupling period is consistent with their internal
+// timestep").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ap3::cpl {
+
+class Clock {
+ public:
+  /// `step_seconds` is the master coupling step (the finest period).
+  Clock(double start_seconds, double step_seconds);
+
+  double now() const { return now_; }
+  double start() const { return start_; }
+  double step() const { return step_; }
+  long long steps_taken() const { return steps_; }
+
+  /// Register an alarm ringing every `every_steps` master steps (at the
+  /// *start* of a step whose index is a multiple). Returns an alarm id.
+  int add_alarm(const std::string& name, int every_steps);
+
+  /// True if the alarm rings at the step about to run.
+  bool ringing(int alarm_id) const;
+  const std::string& alarm_name(int alarm_id) const;
+
+  /// Advance one master step.
+  void advance();
+
+ private:
+  struct Alarm {
+    std::string name;
+    int every_steps;
+  };
+  double start_;
+  double step_;
+  double now_;
+  long long steps_ = 0;
+  std::vector<Alarm> alarms_;
+};
+
+}  // namespace ap3::cpl

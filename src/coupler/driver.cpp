@@ -1,0 +1,367 @@
+#include "coupler/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace ap3::cpl {
+
+using constants::kDegToRad;
+using constants::kRadToDeg;
+
+namespace {
+
+/// Fields the ocean forcing computation needs from the atmosphere.
+const std::vector<std::string> kOcnForcingFields = {
+    "taux", "tauy", "tbot", "qbot", "gsw", "glw", "precip"};
+
+}  // namespace
+
+CoupledModel::CoupledModel(const par::Comm& global, const CoupledConfig& config)
+    : global_(global),
+      config_(config),
+      clock_(0.0, config.atm.model_dt_seconds()),
+      window_seconds_(config.atm.model_dt_seconds()) {
+  AP3_REQUIRE_MSG(config_.ocn_couple_ratio >= 1, "bad ocean coupling ratio");
+
+  // --- task domains (§5.1.2) -------------------------------------------------
+  if (config_.layout == Layout::kSequential) {
+    atm_comm_ = global.split(0, global.rank());
+    ocn_comm_ = global.split(0, global.rank());
+  } else {
+    int na = config_.atm_ranks > 0 ? config_.atm_ranks : global.size() / 2;
+    na = std::clamp(na, 1, global.size() - 1);
+    const int color = global.rank() < na ? 0 : 1;
+    par::Comm sub = global.split(color, global.rank());
+    if (color == 0) {
+      atm_comm_ = sub;
+    } else {
+      ocn_comm_ = sub;
+    }
+  }
+
+  // --- components --------------------------------------------------------------
+  mesh_ = std::make_unique<grid::IcosahedralGrid>(config_.atm.mesh_n);
+  if (atm_comm_) {
+    atm_ = std::make_unique<atm::AtmModel>(*atm_comm_, config_.atm, *mesh_);
+    ice::IceConfig ice_config;
+    ice_config.grid = config_.ocn.grid;
+    ice_config.dt_seconds = config_.ice_dt_seconds > 0.0
+                                ? config_.ice_dt_seconds
+                                : window_seconds_;
+    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, ice_config);
+  }
+  if (ocn_comm_) ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn);
+
+  build_coupling_infrastructure();
+
+  const std::size_t natm = atm_ ? atm_->dycore().mesh().num_owned() : 0;
+  a2x_accum_ = mct::AttrVect(atm::AtmModel::export_fields(), natm);
+  sst_on_atm_.assign(natm, 0.0);
+  const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
+  sst_on_ice_.assign(nice, 285.0);
+  us_on_ice_.assign(nice, 0.0);
+  vs_on_ice_.assign(nice, 0.0);
+
+  clock_.add_alarm("ocn", config_.ocn_couple_ratio);
+}
+
+void CoupledModel::build_coupling_infrastructure() {
+  // Global decomposition descriptors: ranks outside a domain own nothing.
+  std::vector<std::int64_t> atm_ids, ocn_ids, ice_ids;
+  if (atm_) {
+    const auto& local = atm_->dycore().mesh();
+    atm_ids.resize(local.num_owned());
+    for (std::size_t c = 0; c < atm_ids.size(); ++c)
+      atm_ids[c] = local.global_id(c);
+  }
+  if (ocn_) ocn_ids = ocn_->ocean_gids();
+  if (ice_) ice_ids = ice_->ocean_gids();
+  atm_map_ = mct::GlobalSegMap::build(global_, atm_ids);
+  ocn_map_ = mct::GlobalSegMap::build(global_, ocn_ids);
+  ice_map_ = mct::GlobalSegMap::build(global_, ice_ids);
+
+  // Interpolation weights between the two grids (every rank computes the
+  // same global matrices; production AP3ESM precomputes these offline, the
+  // same way §5.2.4 precomputes GSMaps and routers).
+  std::vector<mct::GeoPoint> atm_points(mesh_->num_cells());
+  for (std::size_t c = 0; c < mesh_->num_cells(); ++c) {
+    atm_points[c] = {mesh_->cell_center(c).lon(), mesh_->cell_center(c).lat()};
+  }
+  grid::TripolarGrid ogrid(config_.ocn.grid);
+  std::vector<mct::GeoPoint> ocn_points;
+  std::vector<std::int64_t> ocn_gids;
+  for (int j = 0; j < ogrid.ny(); ++j) {
+    for (int i = 0; i < ogrid.nx(); ++i) {
+      if (ogrid.kmt(i, j) == 0) continue;
+      ocn_points.push_back(
+          {ogrid.lon_deg(i) * kDegToRad, ogrid.lat_deg(j) * kDegToRad});
+      ocn_gids.push_back(static_cast<std::int64_t>(j) * ogrid.nx() + i);
+    }
+  }
+
+  const int k = config_.regrid_neighbors;
+  // atm -> ocn: rows are ocean gids, columns atm cell ids.
+  mct::SparseMatrix a2o_compact =
+      mct::SparseMatrix::inverse_distance(ocn_points, atm_points, k);
+  std::vector<mct::MatrixEntry> a2o_entries = a2o_compact.entries();
+  for (mct::MatrixEntry& e : a2o_entries)
+    e.dst = ocn_gids[static_cast<std::size_t>(e.dst)];
+  const mct::SparseMatrix a2o_matrix(std::move(a2o_entries));
+
+  // ocn -> atm: rows are atm cell ids, columns ocean gids.
+  mct::SparseMatrix o2a_compact =
+      mct::SparseMatrix::inverse_distance(atm_points, ocn_points, k);
+  std::vector<mct::MatrixEntry> o2a_entries = o2a_compact.entries();
+  for (mct::MatrixEntry& e : o2a_entries)
+    e.src = ocn_gids[static_cast<std::size_t>(e.src)];
+  const mct::SparseMatrix o2a_matrix(std::move(o2a_entries));
+
+  a2o_ = std::make_unique<mct::RegridOp>(global_, a2o_matrix, atm_map_, ocn_map_);
+  a2i_ = std::make_unique<mct::RegridOp>(global_, a2o_matrix, atm_map_, ice_map_);
+  o2a_ = std::make_unique<mct::RegridOp>(global_, o2a_matrix, ocn_map_, atm_map_);
+  i2a_ = std::make_unique<mct::RegridOp>(global_, o2a_matrix, ice_map_, atm_map_);
+
+  // Same-grid routers between the ocean's and the ice's decompositions.
+  o2i_ = std::make_unique<mct::Rearranger>(
+      global_, mct::Router::build(global_.rank(), ocn_map_, ice_map_));
+  i2o_ = std::make_unique<mct::Rearranger>(
+      global_, mct::Router::build(global_.rank(), ice_map_, ocn_map_));
+}
+
+void CoupledModel::run_windows(int atm_windows) {
+  ScopedTimer run_timer(timers_, "run");
+  for (int w = 0; w < atm_windows; ++w) {
+    if (clock_.ringing(0)) {
+      ScopedTimer t(timers_, "run:ocn_phase");
+      ocn_phase();
+    }
+    {
+      ScopedTimer t(timers_, "run:atm_ice_phase");
+      atm_ice_phase();
+    }
+    clock_.advance();
+  }
+}
+
+TimingSummary CoupledModel::timing_summary() {
+  return summarize_timing(global_, timers_,
+                          static_cast<double>(clock_.steps_taken()) *
+                              window_seconds_);
+}
+
+void CoupledModel::ocn_phase() {
+  // --- 1. ocean forcing from the accumulated atmosphere exports -----------------
+  if (accum_count_ == 0 && atm_) {
+    // First coupling event: use the instantaneous initial export.
+    atm_->export_state(a2x_accum_);
+    accum_count_ = 1;
+  }
+  if (atm_ && accum_count_ > 1) {
+    const double inv = 1.0 / static_cast<double>(accum_count_);
+    for (std::size_t f = 0; f < a2x_accum_.num_fields(); ++f)
+      for (double& v : a2x_accum_.field(f)) v *= inv;
+  }
+
+  // Regrid forcing fields to the ocean decomposition (collective-by-plan).
+  const std::size_t nocn = ocn_ ? ocn_->ocean_gids().size() : 0;
+  mct::AttrVect forcing_on_ocn(kOcnForcingFields, nocn);
+  for (const std::string& field : kOcnForcingFields) {
+    const std::vector<double> mapped = a2o_->apply(a2x_accum_.field(field));
+    AP3_REQUIRE(mapped.size() == nocn);
+    std::copy(mapped.begin(), mapped.end(),
+              forcing_on_ocn.field(field).begin());
+  }
+
+  // Ice fraction to the ocean decomposition.
+  const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
+  mct::AttrVect ifrac_ice({"ifrac"}, nice);
+  if (ice_) {
+    mct::AttrVect i2x(ice::IceModel::export_fields(), nice);
+    ice_->export_state(i2x);
+    std::copy(i2x.field("ifrac").begin(), i2x.field("ifrac").end(),
+              ifrac_ice.field("ifrac").begin());
+  }
+  mct::AttrVect ifrac_ocn({"ifrac"}, nocn);
+  i2o_->rearrange(ifrac_ice, ifrac_ocn);
+
+  // Bulk fluxes on the ocean side, then import.
+  if (ocn_) {
+    mct::AttrVect o2x(ocn::OcnModel::export_fields(), nocn);
+    ocn_->export_state(o2x);
+    mct::AttrVect x2o(ocn::OcnModel::import_fields(), nocn);
+    FluxInputs in;
+    in.taux = forcing_on_ocn.field("taux");
+    in.tauy = forcing_on_ocn.field("tauy");
+    in.tbot = forcing_on_ocn.field("tbot");
+    in.qbot = forcing_on_ocn.field("qbot");
+    in.gsw = forcing_on_ocn.field("gsw");
+    in.glw = forcing_on_ocn.field("glw");
+    in.precip = forcing_on_ocn.field("precip");
+    in.sst = o2x.field("sst");
+    in.ifrac = ifrac_ocn.field("ifrac");
+    FluxOutputs out{x2o.field("qnet"), x2o.field("fresh"), x2o.field("taux"),
+                    x2o.field("tauy")};
+    compute_air_sea_fluxes(flux_config_, in, out);
+    ocn_->import_state(x2o);
+  }
+  if (atm_) {
+    a2x_accum_.zero();
+    accum_count_ = 0;
+  }
+
+  // --- 2. ocean integration over its coupling window ----------------------------
+  if (ocn_) {
+    ScopedTimer t(timers_, "run:ocn_phase:ocn_run");
+    ocn_->run(clock_.now(), ocn_window_seconds());
+  }
+
+  // --- 3. ocean exports back to atmosphere and ice --------------------------------
+  mct::AttrVect o2x(ocn::OcnModel::export_fields(), nocn);
+  if (ocn_) ocn_->export_state(o2x);
+  const std::vector<double> sst_atm = o2a_->apply(o2x.field("sst"));
+  if (atm_) {
+    AP3_REQUIRE(sst_atm.size() == sst_on_atm_.size());
+    sst_on_atm_ = sst_atm;
+  }
+  mct::AttrVect o2x_for_ice(ocn::OcnModel::export_fields(), nice);
+  o2i_->rearrange(o2x, o2x_for_ice);
+  if (ice_) {
+    sst_on_ice_.assign(o2x_for_ice.field("sst").begin(),
+                       o2x_for_ice.field("sst").end());
+    us_on_ice_.assign(o2x_for_ice.field("us").begin(),
+                      o2x_for_ice.field("us").end());
+    vs_on_ice_.assign(o2x_for_ice.field("vs").begin(),
+                      o2x_for_ice.field("vs").end());
+  }
+}
+
+void CoupledModel::atm_ice_phase() {
+  const std::size_t natm = atm_ ? atm_->dycore().mesh().num_owned() : 0;
+  mct::AttrVect a2x(atm::AtmModel::export_fields(), natm);
+  if (atm_) {
+    ScopedTimer t(timers_, "run:atm_ice_phase:atm_run");
+    atm_->run(clock_.now(), window_seconds_);
+    atm_->export_state(a2x);
+    for (std::size_t f = 0; f < a2x.num_fields(); ++f) {
+      auto acc = a2x_accum_.field(f);
+      const auto cur = a2x.field(f);
+      for (std::size_t p = 0; p < acc.size(); ++p) acc[p] += cur[p];
+    }
+    ++accum_count_;
+  }
+
+  // Ice: air temperature regridded from the fresh atmosphere export.
+  const std::vector<double> tbot_ice = a2i_->apply(a2x.field("tbot"));
+  const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
+  mct::AttrVect i2x(ice::IceModel::export_fields(), nice);
+  if (ice_) {
+    mct::AttrVect x2i(ice::IceModel::import_fields(), nice);
+    std::copy(sst_on_ice_.begin(), sst_on_ice_.end(),
+              x2i.field("sst").begin());
+    std::copy(tbot_ice.begin(), tbot_ice.end(), x2i.field("tbot").begin());
+    std::copy(us_on_ice_.begin(), us_on_ice_.end(), x2i.field("us").begin());
+    std::copy(vs_on_ice_.begin(), vs_on_ice_.end(), x2i.field("vs").begin());
+    ice_->import_state(x2i);
+    ice_->run(clock_.now(), window_seconds_);
+    ice_->export_state(i2x);
+  }
+
+  // Atmosphere surface imports: cached SST + fresh ice fraction.
+  const std::vector<double> ifrac_atm = i2a_->apply(i2x.field("ifrac"));
+  if (atm_) {
+    mct::AttrVect x2a(atm::AtmModel::import_fields(), natm);
+    std::copy(sst_on_atm_.begin(), sst_on_atm_.end(),
+              x2a.field("sst").begin());
+    std::copy(ifrac_atm.begin(), ifrac_atm.end(), x2a.field("ifrac").begin());
+    atm_->import_state(x2a);
+  }
+}
+
+double CoupledModel::global_mean_sst_k() {
+  double sum = 0.0, area = 0.0;
+  if (ocn_) {
+    const auto& g = ocn_->ocean_grid();
+    for (auto gid : ocn_->ocean_gids()) {
+      const int gi = static_cast<int>(gid % g.nx());
+      const int gj = static_cast<int>(gid / g.nx());
+      const double a = g.cell_area(gi, gj);
+      sum += (ocn_->temp(gi - ocn_->x0(), gj - ocn_->y0(), 0) +
+              constants::kT0) *
+             a;
+      area += a;
+    }
+  }
+  return global_.allreduce_value(sum, par::ReduceOp::kSum) /
+         global_.allreduce_value(area, par::ReduceOp::kSum);
+}
+
+double CoupledModel::global_mean_precip() {
+  const double local = atm_ ? atm_->global_mean_precip() : 0.0;
+  // atm ranks all hold the same value after their collective; take the max.
+  return global_.allreduce_value(local, par::ReduceOp::kMax);
+}
+
+double CoupledModel::global_ice_fraction() {
+  const double local = ice_ ? ice_->ice_area_fraction() : 0.0;
+  return global_.allreduce_value(local, par::ReduceOp::kMax);
+}
+
+double CoupledModel::global_max_surface_current() {
+  const double local = ocn_ ? ocn_->max_current() : 0.0;
+  return global_.allreduce_value(local, par::ReduceOp::kMax);
+}
+
+void CoupledModel::seed_typhoon(const atm::VortexSpec& spec) {
+  if (atm_) atm::seed_vortex(atm_->dycore(), spec);
+}
+
+atm::VortexFix CoupledModel::track_typhoon(double prev_lon_deg,
+                                           double prev_lat_deg,
+                                           double search_km) {
+  double packed[5] = {0, 0, 0, 0, 0};
+  if (atm_) {
+    const atm::VortexFix fix = atm::track_vortex(
+        atm_->dycore(), *atm_comm_, prev_lon_deg, prev_lat_deg, search_km);
+    packed[0] = fix.lon_deg;
+    packed[1] = fix.lat_deg;
+    packed[2] = fix.min_h_m;
+    packed[3] = fix.max_wind_ms;
+    packed[4] = fix.found ? 1.0 : 0.0;
+  }
+  global_.bcast(std::span<double>(packed, 5), 0);  // rank 0 is in the atm domain
+  atm::VortexFix fix;
+  fix.lon_deg = packed[0];
+  fix.lat_deg = packed[1];
+  fix.min_h_m = packed[2];
+  fix.max_wind_ms = packed[3];
+  fix.found = packed[4] > 0.5;
+  return fix;
+}
+
+double CoupledModel::sst_near(double lon_deg, double lat_deg,
+                              double radius_km) {
+  double sum = 0.0, area = 0.0;
+  if (ocn_) {
+    const auto& g = ocn_->ocean_grid();
+    for (auto gid : ocn_->ocean_gids()) {
+      const int gi = static_cast<int>(gid % g.nx());
+      const int gj = static_cast<int>(gid / g.nx());
+      const double d = atm::track_distance_km(lon_deg, lat_deg, g.lon_deg(gi),
+                                              g.lat_deg(gj));
+      if (d > radius_km) continue;
+      const double a = g.cell_area(gi, gj);
+      sum += (ocn_->temp(gi - ocn_->x0(), gj - ocn_->y0(), 0) +
+              constants::kT0) *
+             a;
+      area += a;
+    }
+  }
+  const double gsum = global_.allreduce_value(sum, par::ReduceOp::kSum);
+  const double garea = global_.allreduce_value(area, par::ReduceOp::kSum);
+  return garea > 0.0 ? gsum / garea : 0.0;
+}
+
+}  // namespace ap3::cpl

@@ -1,0 +1,121 @@
+// CPL7-style coupled driver — the AP3ESM top level (§5.1).
+//
+// Integrates the four components through MCT machinery:
+//   - GlobalSegMaps over the global communicator describe every component's
+//     decomposition (ranks outside a component's task domain own nothing),
+//   - RegridOps (sparse interpolation) move fields between the icosahedral
+//     atmosphere mesh and the tripolar ocean grid,
+//   - a Rearranger-style router moves same-grid fields between the ocean's
+//     and the ice's decompositions,
+//   - the coupler computes air–sea fluxes (fluxes.hpp) and owns the clock.
+//
+// Task layouts (§5.1.2, §7.2): kSequential runs every component on all
+// ranks in turn; kConcurrent splits the communicator into an atmosphere
+// domain (coupler + atm + ice + land, ranks [0, atm_ranks)) and an ocean
+// domain (remaining ranks) that integrate concurrently with lagged coupling.
+//
+// Coupling frequencies follow §6.1: the master step is one atmosphere
+// coupling window; the ocean couples every `ocn_couple_ratio` windows
+// (180 : 36 = 5 : 1), the ice every window (180/day).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "atm/model.hpp"
+#include "atm/vortex.hpp"
+#include "base/timer.hpp"
+#include "coupler/clock.hpp"
+#include "coupler/fluxes.hpp"
+#include "coupler/timing.hpp"
+#include "ice/ice.hpp"
+#include "mct/rearranger.hpp"
+#include "mct/sparsematrix.hpp"
+#include "ocn/model.hpp"
+
+namespace ap3::cpl {
+
+enum class Layout { kSequential, kConcurrent };
+
+struct CoupledConfig {
+  atm::AtmConfig atm;
+  ocn::OcnConfig ocn;
+  Layout layout = Layout::kSequential;
+  int atm_ranks = 0;         ///< concurrent: ranks in the atm domain (0 = half)
+  int ocn_couple_ratio = 5;  ///< ocean couples every N atm windows (180:36)
+  int regrid_neighbors = 3;
+  double ice_dt_seconds = 0.0;  ///< 0: one ice step per window
+};
+
+class CoupledModel {
+ public:
+  /// Collective on the global communicator.
+  CoupledModel(const par::Comm& global, const CoupledConfig& config);
+
+  /// Advance `atm_windows` master coupling windows (collective).
+  void run_windows(int atm_windows);
+
+  double atm_window_seconds() const { return window_seconds_; }
+  double ocn_window_seconds() const {
+    return window_seconds_ * config_.ocn_couple_ratio;
+  }
+  long long windows_run() const { return clock_.steps_taken(); }
+  const Clock& clock() const { return clock_; }
+
+  bool has_atm() const { return atm_ != nullptr; }
+  bool has_ocn() const { return ocn_ != nullptr; }
+  atm::AtmModel* atm_model() { return atm_.get(); }
+  ocn::OcnModel* ocn_model() { return ocn_.get(); }
+  ice::IceModel* ice_model() { return ice_.get(); }
+
+  // --- collective diagnostics (call on every global rank) --------------------
+  /// getTiming-style report over everything run so far (§6.2; collective).
+  TimingSummary timing_summary();
+  TimerRegistry& timers() { return timers_; }
+
+  double global_mean_sst_k();
+  double global_mean_precip();
+  double global_ice_fraction();
+  double global_max_surface_current();
+
+  // --- typhoon experiment hooks (collective) ----------------------------------
+  void seed_typhoon(const atm::VortexSpec& spec);
+  atm::VortexFix track_typhoon(double prev_lon_deg, double prev_lat_deg,
+                               double search_km);
+  /// Area-mean SST [K] within `radius_km` of a point (cold-wake diagnostic).
+  double sst_near(double lon_deg, double lat_deg, double radius_km);
+
+ private:
+  void build_coupling_infrastructure();
+  void atm_ice_phase();  ///< one master window: atm.run, ice.run, exchanges
+  void ocn_phase();      ///< at ocean boundaries: fluxes, ocn.run, exports
+
+  const par::Comm& global_;
+  CoupledConfig config_;
+  // Domain communicators must outlive the components referencing them.
+  std::optional<par::Comm> atm_comm_;
+  std::optional<par::Comm> ocn_comm_;
+
+  std::unique_ptr<grid::IcosahedralGrid> mesh_;
+  std::unique_ptr<atm::AtmModel> atm_;
+  std::unique_ptr<ocn::OcnModel> ocn_;
+  std::unique_ptr<ice::IceModel> ice_;
+
+  mct::GlobalSegMap atm_map_, ocn_map_, ice_map_;
+  std::unique_ptr<mct::RegridOp> a2o_, o2a_, a2i_, i2a_;
+  std::unique_ptr<mct::Rearranger> o2i_, i2o_;
+
+  // Accumulated atmosphere exports (atm decomposition) for the ocean window.
+  mct::AttrVect a2x_accum_;
+  int accum_count_ = 0;
+  // Latest fields cached on each side between coupling events.
+  std::vector<double> sst_on_atm_;     // atm decomposition
+  std::vector<double> sst_on_ice_, us_on_ice_, vs_on_ice_;  // ice decomposition
+
+  Clock clock_;
+  TimerRegistry timers_;
+  double window_seconds_ = 0.0;
+  BulkFluxConfig flux_config_;
+};
+
+}  // namespace ap3::cpl

@@ -1,0 +1,58 @@
+#include "coupler/fluxes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace ap3::cpl {
+
+using constants::kCpDry;
+using constants::kLatentVap;
+using constants::kStefanBoltzmann;
+
+double qsat_surface(double sst_k) {
+  return 0.015 * std::exp(0.0687 * (sst_k - 288.0));
+}
+
+void compute_air_sea_fluxes(const BulkFluxConfig& config,
+                            const FluxInputs& in, FluxOutputs out) {
+  const std::size_t n = in.sst.size();
+  AP3_REQUIRE(in.taux.size() == n && in.tbot.size() == n &&
+              in.gsw.size() == n && in.ifrac.size() == n &&
+              out.qnet.size() == n);
+  for (std::size_t p = 0; p < n; ++p) {
+    // Wind speed recovered from the stress magnitude (the atm exports
+    // tau = rho Cd |V| V).
+    const double tau_mag =
+        std::sqrt(in.taux[p] * in.taux[p] + in.tauy[p] * in.tauy[p]);
+    const double wind =
+        std::sqrt(tau_mag / (config.rho_air * config.drag_cd) + 1e-12);
+
+    const double sw_absorbed = in.gsw[p] * (1.0 - config.ocean_albedo);
+    const double lw_down = config.emissivity * in.glw[p];
+    const double sst = in.sst[p];
+    const double lw_up =
+        config.emissivity * kStefanBoltzmann * sst * sst * sst * sst;
+    const double sensible = config.rho_air * kCpDry *
+                            config.exchange_sensible * wind *
+                            (sst - in.tbot[p]);
+    const double evap_deficit = std::max(0.0, qsat_surface(sst) - in.qbot[p]);
+    const double latent = config.rho_air * kLatentVap *
+                          config.exchange_latent * wind * evap_deficit;
+
+    const double open_water =
+        sw_absorbed + lw_down - lw_up - sensible - latent;
+    // Under ice only a weak conductive flux couples ocean and atmosphere.
+    const double ice_conductive = 2.0 * (in.tbot[p] - sst);
+    const double ifrac = std::clamp(in.ifrac[p], 0.0, 1.0);
+    out.qnet[p] = (1.0 - ifrac) * open_water + ifrac * ice_conductive;
+
+    out.fresh[p] = (1.0 - ifrac) * in.precip[p];
+    out.taux[p] = (1.0 - 0.5 * ifrac) * in.taux[p];
+    out.tauy[p] = (1.0 - 0.5 * ifrac) * in.tauy[p];
+  }
+}
+
+}  // namespace ap3::cpl

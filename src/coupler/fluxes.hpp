@@ -1,0 +1,50 @@
+// Air–sea flux computation — the coupler-owned physics of CPL7.
+//
+// Bulk formulas turn the atmosphere's exported surface state (regridded to
+// ocean points) plus the ocean SST and ice fraction into the net surface
+// heat flux, freshwater flux, and (ice-modulated) momentum flux the ocean
+// imports. This is the air–sea interaction pathway the paper's typhoon
+// experiment exercises (SST cold wakes under the storm).
+#pragma once
+
+#include <span>
+
+namespace ap3::cpl {
+
+struct BulkFluxConfig {
+  double ocean_albedo = 0.06;
+  double emissivity = 0.98;
+  double exchange_sensible = 1.0e-3;  ///< Ch
+  double exchange_latent = 1.2e-3;    ///< Ce
+  double drag_cd = 1.3e-3;            ///< matches the atm export convention
+  double rho_air = 1.2;
+};
+
+struct FluxInputs {
+  // Atmosphere fields on ocean points.
+  std::span<const double> taux, tauy;  ///< wind stress [N/m²]
+  std::span<const double> tbot;        ///< lowest-level air temperature [K]
+  std::span<const double> qbot;        ///< lowest-level humidity [kg/kg]
+  std::span<const double> gsw, glw;    ///< downward radiation [W/m²]
+  std::span<const double> precip;      ///< [kg/m²/s]
+  // Ocean / ice fields.
+  std::span<const double> sst;         ///< [K]
+  std::span<const double> ifrac;       ///< ice fraction [0, 1]
+};
+
+struct FluxOutputs {
+  std::span<double> qnet;   ///< net surface heat flux into the ocean [W/m²]
+  std::span<double> fresh;  ///< freshwater flux [kg/m²/s]
+  std::span<double> taux;   ///< ice-modulated momentum flux
+  std::span<double> tauy;
+};
+
+/// Computes ocean forcing point-wise; open-water fluxes are scaled by
+/// (1 − ifrac), ice-covered fractions pass only a small conductive flux.
+void compute_air_sea_fluxes(const BulkFluxConfig& config,
+                            const FluxInputs& in, FluxOutputs out);
+
+/// Saturation humidity over water, matching the atmosphere's scheme.
+double qsat_surface(double sst_k);
+
+}  // namespace ap3::cpl

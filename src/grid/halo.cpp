@@ -1,0 +1,210 @@
+#include "grid/halo.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "grid/partition.hpp"
+
+namespace ap3::grid {
+
+namespace {
+constexpr int kTagWest = 9101;
+constexpr int kTagEast = 9102;
+constexpr int kTagSouth = 9103;
+constexpr int kTagNorth = 9104;
+constexpr int kTagFold = 9105;
+constexpr int kTagGraph = 9106;
+}  // namespace
+
+BlockHalo::BlockHalo(const par::Comm& comm, int nx_global, int ny_global,
+                     int px, int py, bool north_fold)
+    : comm_(comm),
+      nx_global_(nx_global),
+      ny_global_(ny_global),
+      px_(px),
+      py_(py),
+      north_fold_(north_fold) {
+  AP3_REQUIRE_MSG(comm.size() == px * py,
+                  "BlockHalo: comm size " << comm.size() << " != " << px << "x"
+                                          << py);
+  const int rank = comm.rank();
+  bx_ = rank % px;
+  by_ = rank / px;
+  const Range1D xr = partition_1d(nx_global, px, bx_);
+  const Range1D yr = partition_1d(ny_global, py, by_);
+  x0_ = static_cast<int>(xr.begin);
+  y0_ = static_cast<int>(yr.begin);
+  nx_local_ = static_cast<int>(xr.size());
+  ny_local_ = static_cast<int>(yr.size());
+
+  west_rank_ = by_ * px + (bx_ - 1 + px) % px;
+  east_rank_ = by_ * px + (bx_ + 1) % px;
+  south_rank_ = by_ > 0 ? (by_ - 1) * px + bx_ : -1;
+  north_rank_ = by_ < py - 1 ? (by_ + 1) * px + bx_ : -1;
+}
+
+void BlockHalo::exchange(std::vector<double>& field) const {
+  const auto stride = static_cast<std::size_t>(nx_local_ + 2);
+  AP3_REQUIRE(field.size() == stride * static_cast<std::size_t>(ny_local_ + 2));
+
+  // --- east/west (periodic) ---------------------------------------------
+  std::vector<double> west_col(static_cast<std::size_t>(ny_local_));
+  std::vector<double> east_col(static_cast<std::size_t>(ny_local_));
+  for (int j = 0; j < ny_local_; ++j) {
+    west_col[static_cast<std::size_t>(j)] = field[halo_index(0, j)];
+    east_col[static_cast<std::size_t>(j)] = field[halo_index(nx_local_ - 1, j)];
+  }
+  // My west edge becomes my west-neighbor's east ghost and vice versa.
+  comm_.send(std::span<const double>(west_col), west_rank_, kTagEast);
+  comm_.send(std::span<const double>(east_col), east_rank_, kTagWest);
+  std::vector<double> from_west(static_cast<std::size_t>(ny_local_));
+  std::vector<double> from_east(static_cast<std::size_t>(ny_local_));
+  comm_.recv(std::span<double>(from_west), west_rank_, kTagWest);
+  comm_.recv(std::span<double>(from_east), east_rank_, kTagEast);
+  for (int j = 0; j < ny_local_; ++j) {
+    field[halo_index(-1, j)] = from_west[static_cast<std::size_t>(j)];
+    field[halo_index(nx_local_, j)] = from_east[static_cast<std::size_t>(j)];
+  }
+
+  // --- south/north interior ------------------------------------------------
+  std::vector<double> row(static_cast<std::size_t>(nx_local_));
+  if (south_rank_ >= 0) {
+    for (int i = 0; i < nx_local_; ++i)
+      row[static_cast<std::size_t>(i)] = field[halo_index(i, 0)];
+    comm_.send(std::span<const double>(row), south_rank_, kTagNorth);
+  }
+  if (north_rank_ >= 0) {
+    for (int i = 0; i < nx_local_; ++i)
+      row[static_cast<std::size_t>(i)] = field[halo_index(i, ny_local_ - 1)];
+    comm_.send(std::span<const double>(row), north_rank_, kTagSouth);
+  }
+  if (south_rank_ >= 0) {
+    comm_.recv(std::span<double>(row), south_rank_, kTagSouth);
+    for (int i = 0; i < nx_local_; ++i)
+      field[halo_index(i, -1)] = row[static_cast<std::size_t>(i)];
+  } else {
+    // Closed southern boundary: zero-gradient ghost.
+    for (int i = 0; i < nx_local_; ++i)
+      field[halo_index(i, -1)] = field[halo_index(i, 0)];
+  }
+  if (north_rank_ >= 0) {
+    comm_.recv(std::span<double>(row), north_rank_, kTagNorth);
+    for (int i = 0; i < nx_local_; ++i)
+      field[halo_index(i, ny_local_)] = row[static_cast<std::size_t>(i)];
+  } else if (!north_fold_) {
+    for (int i = 0; i < nx_local_; ++i)
+      field[halo_index(i, ny_local_)] = field[halo_index(i, ny_local_ - 1)];
+  }
+
+  // --- tripolar north fold -------------------------------------------------
+  // Ghost north of global top row at global column g mirrors the top-row
+  // interior at column nx-1-g. Piecewise exchange with every top-row block
+  // whose x-range intersects the mirror of ours.
+  if (north_fold_ && north_rank_ < 0) {
+    const int rank_row_base = by_ * px_;
+    // Send phase: peer p needs mirror of its range; what I own of that is
+    // my x-range intersected with mirror(p-range).
+    for (int pbx = 0; pbx < px_; ++pbx) {
+      const Range1D pr = partition_1d(nx_global_, px_, pbx);
+      // Mirror of [pr.begin, pr.end) is [nx-pr.end, nx-pr.begin).
+      const int mbegin = nx_global_ - static_cast<int>(pr.end);
+      const int mend = nx_global_ - static_cast<int>(pr.begin);
+      const int lo = std::max(x0_, mbegin);
+      const int hi = std::min(x0_ + nx_local_, mend);
+      if (lo >= hi) continue;
+      std::vector<double> chunk(static_cast<std::size_t>(hi - lo));
+      for (int g = lo; g < hi; ++g)
+        chunk[static_cast<std::size_t>(g - lo)] =
+            field[halo_index(g - x0_, ny_local_ - 1)];
+      comm_.send(std::span<const double>(chunk), rank_row_base + pbx, kTagFold);
+    }
+    // Receive phase: my ghosts [x0, x0+nxl) mirror to [nx-x0-nxl, nx-x0);
+    // collect from every owner of that interval.
+    const int need_begin = nx_global_ - (x0_ + nx_local_);
+    const int need_end = nx_global_ - x0_;
+    for (int pbx = 0; pbx < px_; ++pbx) {
+      const Range1D pr = partition_1d(nx_global_, px_, pbx);
+      const int lo = std::max(static_cast<int>(pr.begin), need_begin);
+      const int hi = std::min(static_cast<int>(pr.end), need_end);
+      if (lo >= hi) continue;
+      std::vector<double> chunk(static_cast<std::size_t>(hi - lo));
+      comm_.recv(std::span<double>(chunk), rank_row_base + pbx, kTagFold);
+      // chunk[c] holds top-row value at global mirror column m = lo + c;
+      // it fills my ghost at global column g = nx-1-m.
+      for (int c = 0; c < hi - lo; ++c) {
+        const int m = lo + c;
+        const int g = nx_global_ - 1 - m;
+        AP3_REQUIRE(g >= x0_ && g < x0_ + nx_local_);
+        field[halo_index(g - x0_, ny_local_)] =
+            chunk[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+}
+
+GraphHalo::GraphHalo(const par::Comm& comm, std::vector<std::int64_t> owned,
+                     std::vector<std::int64_t> ghosts,
+                     const std::function<int(std::int64_t)>& owner_of)
+    : comm_(comm), owned_(std::move(owned)), ghosts_(std::move(ghosts)) {
+  AP3_REQUIRE(std::is_sorted(owned_.begin(), owned_.end()));
+
+  // Group ghost requests by owning rank, preserving ghost order per rank.
+  std::map<int, std::vector<std::int64_t>> requests;
+  for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+    const int owner = owner_of(ghosts_[g]);
+    AP3_REQUIRE_MSG(owner != comm.rank(), "ghost id owned locally");
+    requests[owner].push_back(ghosts_[g]);
+    recv_plan_[owner].push_back(g);
+  }
+
+  // Handshake: alltoallv of requested ids tells each rank what to send.
+  std::vector<std::int64_t> flat;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(comm.size()), 0);
+  for (int r = 0; r < comm.size(); ++r) {
+    auto it = requests.find(r);
+    if (it == requests.end()) continue;
+    counts[static_cast<std::size_t>(r)] = it->second.size();
+    flat.insert(flat.end(), it->second.begin(), it->second.end());
+  }
+  std::vector<std::size_t> incoming_counts;
+  const std::vector<std::int64_t> incoming = comm.alltoallv(
+      std::span<const std::int64_t>(flat), std::span<const std::size_t>(counts),
+      incoming_counts);
+
+  std::size_t offset = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const std::size_t n = incoming_counts[static_cast<std::size_t>(r)];
+    if (n == 0) continue;
+    std::vector<std::size_t>& plan = send_plan_[r];
+    plan.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::int64_t id = incoming[offset + k];
+      const auto it = std::lower_bound(owned_.begin(), owned_.end(), id);
+      AP3_REQUIRE_MSG(it != owned_.end() && *it == id,
+                      "rank asked for id " << id << " we do not own");
+      plan.push_back(static_cast<std::size_t>(it - owned_.begin()));
+    }
+    offset += n;
+  }
+}
+
+void GraphHalo::exchange(std::span<const double> owned_values,
+                         std::span<double> ghost_values) const {
+  AP3_REQUIRE(owned_values.size() == owned_.size());
+  AP3_REQUIRE(ghost_values.size() == ghosts_.size());
+  for (const auto& [peer, indices] : send_plan_) {
+    std::vector<double> payload(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k)
+      payload[k] = owned_values[indices[k]];
+    comm_.send(std::span<const double>(payload), peer, kTagGraph);
+  }
+  for (const auto& [peer, positions] : recv_plan_) {
+    std::vector<double> payload(positions.size());
+    const std::size_t n = comm_.recv(std::span<double>(payload), peer, kTagGraph);
+    AP3_REQUIRE(n == payload.size());
+    for (std::size_t k = 0; k < positions.size(); ++k)
+      ghost_values[positions[k]] = payload[k];
+  }
+}
+
+}  // namespace ap3::grid

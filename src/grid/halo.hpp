@@ -1,0 +1,88 @@
+// Halo exchange machinery.
+//
+// BlockHalo: width-1 halo exchange for 2-D block decompositions of the
+// tripolar ocean grid — periodic east/west, closed southern boundary, and
+// the tripolar *north fold* (the top row exchanges with itself mirrored in
+// longitude). Built on non-blocking point-to-point sends, the communication
+// pattern §5.2.4 moves the coupler to.
+//
+// GraphHalo: generic owner-based halo for unstructured meshes (the
+// icosahedral atmosphere grid). Ghost requirements are negotiated once with
+// an alltoallv handshake; subsequent exchanges are pure p2p.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "par/comm.hpp"
+
+namespace ap3::grid {
+
+class BlockHalo {
+ public:
+  /// `x_range`/`y_range`: this rank's owned index ranges. `px`/`py`: process
+  /// grid shape; rank layout is by = rank / px. `north_fold`: apply the
+  /// tripolar fold at the global top row.
+  BlockHalo(const par::Comm& comm, int nx_global, int ny_global, int px, int py,
+            bool north_fold);
+
+  int nx_local() const { return nx_local_; }
+  int ny_local() const { return ny_local_; }
+  int x0() const { return x0_; }
+  int y0() const { return y0_; }
+
+  /// `field` is (ny_local+2) × (nx_local+2) row-major with 1-deep ghosts;
+  /// interior element (i, j) lives at field[(j+1)*(nx_local+2) + (i+1)].
+  /// Fills all four ghost edges (corners not exchanged; 5-point stencils).
+  void exchange(std::vector<double>& field) const;
+
+  std::size_t halo_index(int i, int j) const {
+    return static_cast<std::size_t>(j + 1) *
+               static_cast<std::size_t>(nx_local_ + 2) +
+           static_cast<std::size_t>(i + 1);
+  }
+
+ private:
+  const par::Comm& comm_;
+  int nx_global_, ny_global_;
+  int px_, py_;
+  bool north_fold_;
+  int bx_, by_;
+  int x0_, y0_, nx_local_, ny_local_;
+  int west_rank_, east_rank_, south_rank_, north_rank_;
+};
+
+/// Generic unstructured halo: each rank owns a set of global ids and needs
+/// the values of a set of ghost ids owned elsewhere.
+class GraphHalo {
+ public:
+  /// `owned`: globally sorted list of ids owned by this rank.
+  /// `ghosts`: ids this rank needs but does not own.
+  /// `owner_of(id)` must return the owning rank, consistently on all ranks.
+  GraphHalo(const par::Comm& comm, std::vector<std::int64_t> owned,
+            std::vector<std::int64_t> ghosts,
+            const std::function<int(std::int64_t)>& owner_of);
+
+  std::size_t num_owned() const { return owned_.size(); }
+  std::size_t num_ghosts() const { return ghosts_.size(); }
+  const std::vector<std::int64_t>& ghost_ids() const { return ghosts_; }
+
+  /// Gathers owned values (ordered like the `owned` constructor list) into
+  /// ghost values (ordered like `ghost_ids()`).
+  void exchange(std::span<const double> owned_values,
+                std::span<double> ghost_values) const;
+
+ private:
+  const par::Comm& comm_;
+  std::vector<std::int64_t> owned_;
+  std::vector<std::int64_t> ghosts_;
+  // For each peer rank: local indices (into owned_) we must send.
+  std::map<int, std::vector<std::size_t>> send_plan_;
+  // For each peer rank: positions (into ghosts_) their payload fills.
+  std::map<int, std::vector<std::size_t>> recv_plan_;
+};
+
+}  // namespace ap3::grid

@@ -1,0 +1,222 @@
+#include "grid/icosahedral.hpp"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace ap3::grid {
+
+using constants::kEarthRadiusM;
+using constants::kPi;
+
+double SpherePoint::lon() const { return std::atan2(y, x); }
+double SpherePoint::lat() const { return std::asin(std::max(-1.0, std::min(1.0, z))); }
+
+double IcosaCounts::resolution_km(std::int64_t n) {
+  AP3_REQUIRE(n >= 1);
+  // Mean cell area = 4*pi / (20 n^2) steradians; spacing = sqrt(area) * R.
+  const double area = 4.0 * kPi / (20.0 * static_cast<double>(n) *
+                                   static_cast<double>(n));
+  return std::sqrt(area) * kEarthRadiusM / 1000.0;
+}
+
+IcosaCounts IcosaCounts::for_grist_label_km(double km) {
+  AP3_REQUIRE(km > 0.0);
+  const auto n = static_cast<std::int64_t>(std::llround(4123.0 / km));
+  return for_n(n < 1 ? 1 : n);
+}
+
+IcosaCounts IcosaCounts::for_resolution_km(double km) {
+  AP3_REQUIRE(km > 0.0);
+  const double exact =
+      std::sqrt(4.0 * kPi / 20.0) * (kEarthRadiusM / 1000.0) / km;
+  const auto n = static_cast<std::int64_t>(std::ceil(exact));
+  return for_n(n < 1 ? 1 : n);
+}
+
+namespace {
+
+SpherePoint normalize(double x, double y, double z) {
+  const double r = std::sqrt(x * x + y * y + z * z);
+  return {x / r, y / r, z / r};
+}
+
+/// The 12 vertices and 20 faces of the base icosahedron.
+struct BaseIcosahedron {
+  std::vector<SpherePoint> vertices;
+  std::vector<std::array<int, 3>> faces;
+};
+
+BaseIcosahedron base_icosahedron() {
+  const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+  BaseIcosahedron base;
+  const double pairs[12][3] = {
+      {-1, phi, 0}, {1, phi, 0},  {-1, -phi, 0}, {1, -phi, 0},
+      {0, -1, phi}, {0, 1, phi},  {0, -1, -phi}, {0, 1, -phi},
+      {phi, 0, -1}, {phi, 0, 1},  {-phi, 0, -1}, {-phi, 0, 1}};
+  for (const auto& p : pairs)
+    base.vertices.push_back(normalize(p[0], p[1], p[2]));
+  base.faces = {{0, 11, 5},  {0, 5, 1},   {0, 1, 7},   {0, 7, 10},
+                {0, 10, 11}, {1, 5, 9},   {5, 11, 4},  {11, 10, 2},
+                {10, 7, 6},  {7, 1, 8},   {3, 9, 4},   {3, 4, 2},
+                {3, 2, 6},   {3, 6, 8},   {3, 8, 9},   {4, 9, 5},
+                {2, 4, 11},  {6, 2, 10},  {8, 6, 7},   {9, 8, 1}};
+  return base;
+}
+
+/// Key for vertex dedup: quantized coordinates (mesh points are well
+/// separated relative to the 1e-9 quantum up to very large n).
+std::tuple<long long, long long, long long> quantize(const SpherePoint& p) {
+  constexpr double kScale = 1e9;
+  return {static_cast<long long>(std::llround(p.x * kScale)),
+          static_cast<long long>(std::llround(p.y * kScale)),
+          static_cast<long long>(std::llround(p.z * kScale))};
+}
+
+/// Spherical triangle area (van Oosterom–Strackee).
+double spherical_area(const SpherePoint& a, const SpherePoint& b,
+                      const SpherePoint& c) {
+  const double triple = a.x * (b.y * c.z - b.z * c.y) -
+                        a.y * (b.x * c.z - b.z * c.x) +
+                        a.z * (b.x * c.y - b.y * c.x);
+  const double ab = a.x * b.x + a.y * b.y + a.z * b.z;
+  const double bc = b.x * c.x + b.y * c.y + b.z * c.z;
+  const double ca = c.x * a.x + c.y * a.y + c.z * a.z;
+  return std::abs(2.0 * std::atan2(triple, 1.0 + ab + bc + ca));
+}
+
+}  // namespace
+
+IcosahedralGrid::IcosahedralGrid(int n) : n_(n) {
+  AP3_REQUIRE_MSG(n >= 1 && n <= 2048, "icosahedral subdivision n out of range");
+  build(n);
+}
+
+void IcosahedralGrid::build(int n) {
+  const BaseIcosahedron base = base_icosahedron();
+  std::map<std::tuple<long long, long long, long long>, std::uint32_t> index;
+
+  auto add_vertex = [&](const SpherePoint& p) -> std::uint32_t {
+    const auto key = quantize(p);
+    auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(vertices_.size());
+    vertices_.push_back(p);
+    index.emplace(key, id);
+    return id;
+  };
+
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<std::uint32_t> lattice((un + 1) * (un + 2) / 2);
+  auto lattice_at = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+    // Row i has n+1-i entries; offset = sum_{k<i} (n+1-k).
+    const std::size_t offset = i * (un + 1) - i * (i - 1) / 2;
+    return lattice[offset + j];
+  };
+
+  for (const auto& face : base.faces) {
+    const SpherePoint& a = base.vertices[static_cast<std::size_t>(face[0])];
+    const SpherePoint& b = base.vertices[static_cast<std::size_t>(face[1])];
+    const SpherePoint& c = base.vertices[static_cast<std::size_t>(face[2])];
+    // Barycentric lattice points projected to the sphere.
+    for (std::size_t i = 0; i <= un; ++i) {
+      for (std::size_t j = 0; j + i <= un; ++j) {
+        const double wa = static_cast<double>(un - i - j);
+        const double wb = static_cast<double>(i);
+        const double wc = static_cast<double>(j);
+        const SpherePoint p = normalize(wa * a.x + wb * b.x + wc * c.x,
+                                        wa * a.y + wb * b.y + wc * c.y,
+                                        wa * a.z + wb * b.z + wc * c.z);
+        lattice_at(i, j) = add_vertex(p);
+      }
+    }
+    // Triangles: "up" and "down" orientations of the lattice.
+    for (std::size_t i = 0; i + 1 <= un; ++i) {
+      for (std::size_t j = 0; j + i + 1 <= un; ++j) {
+        cell_vertices_.push_back(
+            {lattice_at(i, j), lattice_at(i + 1, j), lattice_at(i, j + 1)});
+        if (j + i + 2 <= un) {
+          cell_vertices_.push_back({lattice_at(i + 1, j),
+                                    lattice_at(i + 1, j + 1),
+                                    lattice_at(i, j + 1)});
+        }
+      }
+    }
+  }
+
+  // Edges: dedupe unordered vertex pairs; build edge<->cell adjacency.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> edge_index;
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  cell_edges_.resize(cell_vertices_.size());
+  for (std::size_t c = 0; c < cell_vertices_.size(); ++c) {
+    const auto& tri = cell_vertices_[c];
+    for (int k = 0; k < 3; ++k) {
+      std::uint32_t v0 = tri[static_cast<std::size_t>(k)];
+      std::uint32_t v1 = tri[static_cast<std::size_t>((k + 1) % 3)];
+      if (v0 > v1) std::swap(v0, v1);
+      auto it = edge_index.find({v0, v1});
+      std::uint32_t e;
+      if (it == edge_index.end()) {
+        e = static_cast<std::uint32_t>(edge_vertices_.size());
+        edge_index.emplace(std::make_pair(v0, v1), e);
+        edge_vertices_.push_back({v0, v1});
+        edge_cells_.push_back({static_cast<std::uint32_t>(c), kNone});
+      } else {
+        e = it->second;
+        AP3_REQUIRE_MSG(edge_cells_[e][1] == kNone,
+                        "edge shared by more than two cells");
+        edge_cells_[e][1] = static_cast<std::uint32_t>(c);
+      }
+      cell_edges_[c][static_cast<std::size_t>(k)] = e;
+    }
+  }
+  for (const auto& ec : edge_cells_)
+    AP3_REQUIRE_MSG(ec[1] != kNone, "boundary edge on a closed sphere mesh");
+
+  // Centers and areas.
+  centers_.reserve(cell_vertices_.size());
+  areas_.reserve(cell_vertices_.size());
+  for (const auto& tri : cell_vertices_) {
+    const SpherePoint& a = vertices_[tri[0]];
+    const SpherePoint& b = vertices_[tri[1]];
+    const SpherePoint& c = vertices_[tri[2]];
+    centers_.push_back(normalize(a.x + b.x + c.x, a.y + b.y + c.y,
+                                 a.z + b.z + c.z));
+    areas_.push_back(spherical_area(a, b, c));
+  }
+
+  // Verify Euler counts — this is the Table 1 signature.
+  const auto nn = static_cast<std::size_t>(n);
+  AP3_REQUIRE(vertices_.size() == 10 * nn * nn + 2);
+  AP3_REQUIRE(edge_vertices_.size() == 30 * nn * nn);
+  AP3_REQUIRE(cell_vertices_.size() == 20 * nn * nn);
+}
+
+std::array<std::uint32_t, 3> IcosahedralGrid::cell_neighbors(
+    std::size_t c) const {
+  std::array<std::uint32_t, 3> out{};
+  for (int k = 0; k < 3; ++k) {
+    const auto e = cell_edges_[c][static_cast<std::size_t>(k)];
+    const auto& pair = edge_cells_[e];
+    out[static_cast<std::size_t>(k)] =
+        pair[0] == static_cast<std::uint32_t>(c) ? pair[1] : pair[0];
+  }
+  return out;
+}
+
+double IcosahedralGrid::arc(const SpherePoint& a, const SpherePoint& b) {
+  const double dot = a.x * b.x + a.y * b.y + a.z * b.z;
+  return std::acos(std::max(-1.0, std::min(1.0, dot)));
+}
+
+double IcosahedralGrid::mean_spacing_km() const {
+  double total = 0.0;
+  for (double a : areas_) total += a;
+  const double mean_area = total / static_cast<double>(areas_.size());
+  return std::sqrt(mean_area) * kEarthRadiusM / 1000.0;
+}
+
+}  // namespace ap3::grid

@@ -1,0 +1,117 @@
+#include "grid/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace ap3::grid {
+
+Range1D partition_1d(std::int64_t n, int parts, int rank) {
+  AP3_REQUIRE(parts > 0 && rank >= 0 && rank < parts);
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  const std::int64_t r = rank;
+  const std::int64_t begin = r * base + std::min<std::int64_t>(r, extra);
+  const std::int64_t len = base + (r < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+int owner_1d(std::int64_t n, int parts, std::int64_t index) {
+  AP3_REQUIRE(index >= 0 && index < n);
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  const std::int64_t cutoff = extra * (base + 1);
+  if (index < cutoff) return static_cast<int>(index / (base + 1));
+  return static_cast<int>(extra + (index - cutoff) / base);
+}
+
+BlockPartition2D::BlockPartition2D(int nx, int ny, int px, int py)
+    : nx_(nx), ny_(ny), px_(px), py_(py) {
+  AP3_REQUIRE_MSG(px >= 1 && py >= 1 && px <= nx && py <= ny,
+                  "block partition " << px << "x" << py
+                                     << " invalid for grid " << nx << "x" << ny);
+}
+
+BlockPartition2D BlockPartition2D::balanced(int nx, int ny, int nranks) {
+  AP3_REQUIRE(nranks >= 1);
+  // Pick the factorization closest to the grid's aspect ratio.
+  int best_px = 1;
+  double best_score = 1e300;
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int py = nranks / px;
+    if (px > nx || py > ny) continue;
+    const double block_aspect =
+        (static_cast<double>(nx) / px) / (static_cast<double>(ny) / py);
+    const double score = std::abs(std::log(block_aspect));
+    if (score < best_score) {
+      best_score = score;
+      best_px = px;
+    }
+  }
+  AP3_REQUIRE_MSG(best_px * (nranks / best_px) == nranks,
+                  "no valid block factorization");
+  return BlockPartition2D(nx, ny, best_px, nranks / best_px);
+}
+
+Range1D BlockPartition2D::x_range(int rank) const {
+  return partition_1d(nx_, px_, block_x(rank));
+}
+
+Range1D BlockPartition2D::y_range(int rank) const {
+  return partition_1d(ny_, py_, block_y(rank));
+}
+
+int BlockPartition2D::owner(int i, int j) const {
+  const int bx = owner_1d(nx_, px_, i);
+  const int by = owner_1d(ny_, py_, j);
+  return rank_of_block(bx, by);
+}
+
+ActiveCompaction::ActiveCompaction(const TripolarGrid& grid, int nranks)
+    : nranks_(nranks), per_rank_(static_cast<size_t>(nranks)) {
+  AP3_REQUIRE(nranks >= 1);
+  std::vector<CompactColumn> active;
+  for (int j = 0; j < grid.ny(); ++j) {
+    for (int i = 0; i < grid.nx(); ++i) {
+      const int kmt = grid.kmt(i, j);
+      if (kmt > 0) active.push_back({i, j, kmt});
+    }
+  }
+  total_columns_ = static_cast<std::int64_t>(active.size());
+  for (const CompactColumn& col : active) total_points_ += col.kmt;
+  removed_fraction_ = 1.0 - static_cast<double>(total_points_) /
+                                static_cast<double>(grid.total_points());
+
+  // Greedy prefix split balancing 3-D points: walk the compact column list
+  // and cut whenever the running load reaches the per-rank target. Columns
+  // stay contiguous in row-major order, preserving halo locality.
+  const double target = static_cast<double>(total_points_) / nranks;
+  int rank = 0;
+  double load = 0.0;
+  for (const CompactColumn& col : active) {
+    if (rank < nranks - 1 && load + col.kmt * 0.5 >= target * (rank + 1)) {
+      ++rank;
+    }
+    per_rank_[static_cast<size_t>(rank)].push_back(col);
+    load += col.kmt;
+  }
+}
+
+double ActiveCompaction::load_imbalance() const {
+  double max_load = 0.0, total = 0.0;
+  int nonempty = 0;
+  for (const auto& cols : per_rank_) {
+    double load = 0.0;
+    for (const CompactColumn& col : cols) load += col.kmt;
+    max_load = std::max(max_load, load);
+    total += load;
+    if (!cols.empty()) ++nonempty;
+  }
+  if (nonempty == 0) return 0.0;
+  const double mean = total / nranks_;
+  return mean == 0.0 ? 0.0 : max_load / mean;
+}
+
+}  // namespace ap3::grid

@@ -1,0 +1,138 @@
+#include "grid/tripolar.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace ap3::grid {
+
+using constants::kDegToRad;
+using constants::kEarthRadiusM;
+using constants::kPi;
+
+TripolarConfig TripolarConfig::for_resolution_km(double km) {
+  // Table 1 shapes: 1 km -> 36000 x 22018; scale inversely with resolution.
+  TripolarConfig config;
+  config.nx = static_cast<int>(std::lround(36000.0 / km));
+  config.ny = static_cast<int>(std::lround(22018.0 / km));
+  config.nz = 80;
+  return config;
+}
+
+TripolarGrid::TripolarGrid(const TripolarConfig& config) : config_(config) {
+  AP3_REQUIRE_MSG(config.nx >= 8 && config.ny >= 8 && config.nz >= 1,
+                  "tripolar grid too small");
+  depths_.resize(static_cast<size_t>(config.nz));
+  // Stretched levels: dz grows geometrically from ~5 m to the abyss,
+  // normalized to a 5500 m column (LICOM-like 80-level stack).
+  const double ratio = 1.06;
+  double dz = 5.0, z = 0.0, total = 0.0;
+  std::vector<double> raw(static_cast<size_t>(config.nz));
+  for (int k = 0; k < config.nz; ++k) {
+    total += dz;
+    raw[static_cast<size_t>(k)] = total;
+    dz *= ratio;
+  }
+  const double scale = 5500.0 / total;
+  for (int k = 0; k < config.nz; ++k) {
+    z = raw[static_cast<size_t>(k)] * scale;
+    depths_[static_cast<size_t>(k)] = z;
+  }
+  build_bathymetry();
+}
+
+double TripolarGrid::lon_deg(int i) const {
+  return (static_cast<double>(i) + 0.5) * 360.0 / config_.nx;
+}
+
+double TripolarGrid::lat_deg(int j) const {
+  const double span = config_.lat_north - config_.lat_south;
+  return config_.lat_south + (static_cast<double>(j) + 0.5) * span / config_.ny;
+}
+
+double TripolarGrid::cell_area(int i, int j) const {
+  (void)i;
+  const double dlon = 2.0 * kPi / config_.nx;
+  const double dlat =
+      (config_.lat_north - config_.lat_south) * kDegToRad / config_.ny;
+  const double coslat = std::cos(lat_deg(j) * kDegToRad);
+  return kEarthRadiusM * kEarthRadiusM * dlon * dlat *
+         (coslat < 0.01 ? 0.01 : coslat);
+}
+
+namespace {
+constexpr double kLandThreshold = 0.62;
+}  // namespace
+
+double continent_field(double lon_rad, double lat_rad, std::uint64_t seed) {
+  std::uint64_t s = seed;
+  const double p1 = ap3::splitmix64(s) * 0x1.0p-64 * 2.0 * kPi;
+  const double p2 = ap3::splitmix64(s) * 0x1.0p-64 * 2.0 * kPi;
+  const double p3 = ap3::splitmix64(s) * 0x1.0p-64 * 2.0 * kPi;
+  const double p4 = ap3::splitmix64(s) * 0x1.0p-64 * 2.0 * kPi;
+  double f = 0.0;
+  f += 1.00 * std::sin(2.0 * lon_rad + p1) * std::cos(1.7 * lat_rad + 0.3);
+  f += 0.70 * std::sin(3.0 * lon_rad + p2) * std::sin(2.3 * lat_rad + p3);
+  f += 0.55 * std::cos(5.0 * lon_rad + p4) * std::cos(3.1 * lat_rad);
+  f += 0.40 * std::sin(7.0 * lon_rad - p3) * std::sin(4.7 * lat_rad + p1);
+  // Polar caps: Antarctica-like land in the far south, an Arctic basin rim.
+  f += 2.2 * std::exp(-std::pow((lat_rad * constants::kRadToDeg + 84.0) / 7.0, 2));
+  return f;
+}
+
+bool is_land_at(double lon_rad, double lat_rad, std::uint64_t seed) {
+  return continent_field(lon_rad, lat_rad, seed) > kLandThreshold;
+}
+
+void TripolarGrid::build_bathymetry() {
+  kmt_.assign(static_cast<size_t>(horizontal_points()), 0);
+  // Threshold tuned so the ocean surface fraction lands near Earth's 0.71
+  // and the 3-D active fraction near 0.70 (the paper removes ~30 %).
+  const double threshold = kLandThreshold;
+  for (int j = 0; j < config_.ny; ++j) {
+    for (int i = 0; i < config_.nx; ++i) {
+      const double lon = lon_deg(i) * kDegToRad;
+      const double lat = lat_deg(j) * kDegToRad;
+      const double f = continent_field(lon, lat, config_.land_seed);
+      if (f > threshold) {
+        kmt_[index(i, j)] = 0;  // land
+        continue;
+      }
+      // Ocean: depth shoals near coasts (f near threshold -> shelf) and is
+      // full elsewhere; a secondary harmonic adds ridges/basins.
+      const double coast = (threshold - f) / 1.4;  // 0 at coast, ~1 offshore
+      const double ridges =
+          0.25 * std::sin(9.0 * lon + 1.3) * std::cos(6.0 * lat - 0.7);
+      double frac = coast + 0.55 + ridges;
+      if (frac < 0.02) frac = 0.02;
+      if (frac > 1.0) frac = 1.0;
+      int levels = static_cast<int>(std::lround(frac * config_.nz));
+      if (levels < 1) levels = 1;
+      if (levels > config_.nz) levels = config_.nz;
+      kmt_[index(i, j)] = levels;
+    }
+  }
+}
+
+double TripolarGrid::ocean_surface_fraction() const {
+  std::int64_t ocean = 0;
+  for (int value : kmt_)
+    if (value > 0) ++ocean;
+  return static_cast<double>(ocean) /
+         static_cast<double>(horizontal_points());
+}
+
+std::int64_t TripolarGrid::active_points() const {
+  std::int64_t active = 0;
+  for (int value : kmt_) active += value;
+  return active;
+}
+
+double TripolarGrid::active_volume_fraction() const {
+  return static_cast<double>(active_points()) /
+         static_cast<double>(total_points());
+}
+
+}  // namespace ap3::grid

@@ -1,0 +1,84 @@
+// Tripolar ocean grid — the LICOM mesh (§5.2.2, Table 1).
+//
+// LICOM uses an nx (longitudes) × ny (latitudes) × nz (80 levels) tripolar
+// grid: regular below ~65°N, with the northern singularity split into two
+// poles over land. For this reproduction the geometric consequence that
+// matters is the *north-fold* communication topology (the top row exchanges
+// with itself, reversed) plus latitude-dependent cell areas; both are
+// implemented. Land/bathymetry come from a deterministic synthetic continent
+// function tuned to the real Earth's ~71 % ocean surface fraction and ~30 %
+// 3-D non-ocean volume (the paper's exclusion optimization removes exactly
+// those points).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ap3::grid {
+
+struct TripolarConfig {
+  int nx = 360;        ///< longitudes
+  int ny = 218;        ///< latitudes
+  int nz = 80;         ///< vertical levels
+  double lat_south = -78.0;  ///< southern boundary (deg)
+  double lat_north = 90.0;
+  std::uint64_t land_seed = 20230725;  ///< continents are seed-deterministic
+
+  /// The paper's resolutions (Table 1): 1/2/3/5/10 km map to these shapes.
+  static TripolarConfig for_resolution_km(double km);
+};
+
+/// Deterministic synthetic continent field: positive values are land-ish.
+/// Shared by every component so atmosphere, ocean, ice, and land agree on
+/// where the continents are.
+double continent_field(double lon_rad, double lat_rad, std::uint64_t seed);
+/// Land test at the threshold used by the ocean bathymetry.
+bool is_land_at(double lon_rad, double lat_rad, std::uint64_t seed);
+
+class TripolarGrid {
+ public:
+  explicit TripolarGrid(const TripolarConfig& config);
+
+  int nx() const { return config_.nx; }
+  int ny() const { return config_.ny; }
+  int nz() const { return config_.nz; }
+  std::int64_t horizontal_points() const {
+    return static_cast<std::int64_t>(config_.nx) * config_.ny;
+  }
+  std::int64_t total_points() const { return horizontal_points() * config_.nz; }
+
+  double lon_deg(int i) const;   ///< cell-center longitude
+  double lat_deg(int j) const;   ///< cell-center latitude
+  /// Horizontal cell area (m²); includes cos(lat) convergence.
+  double cell_area(int i, int j) const;
+
+  /// Number of active ocean levels at column (i,j); 0 == land.
+  int kmt(int i, int j) const { return kmt_[index(i, j)]; }
+  bool is_ocean(int i, int j) const { return kmt(i, j) > 0; }
+  bool is_ocean(int i, int j, int k) const { return k < kmt(i, j); }
+
+  /// Surface ocean fraction (Earth: ~0.71).
+  double ocean_surface_fraction() const;
+  /// 3-D active fraction — the complement is what §5.2.2 removes (~30 %).
+  double active_volume_fraction() const;
+  std::int64_t active_points() const;
+
+  /// Level depths (m), stretched: fine near surface, coarse at depth.
+  double level_depth(int k) const { return depths_[static_cast<size_t>(k)]; }
+
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(j) * static_cast<std::size_t>(config_.nx) +
+           static_cast<std::size_t>(i);
+  }
+
+  const TripolarConfig& config() const { return config_; }
+
+ private:
+  void build_bathymetry();
+  TripolarConfig config_;
+  std::vector<int> kmt_;
+  std::vector<double> depths_;
+};
+
+}  // namespace ap3::grid

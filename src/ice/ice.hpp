@@ -1,0 +1,78 @@
+// IceModel — the CICE4-mini sea-ice component.
+//
+// Zero-layer Semtner thermodynamics (growth where the ocean is at/below
+// freezing under a cold atmosphere, melt where either warms) plus free-drift
+// advection by the imported surface currents. Lives on the ocean's tripolar
+// grid with its own block decomposition (in AP3ESM's concurrent layout the
+// ice runs in the atmosphere task domain, §7.2), and shares the §5.2.2 land
+// exclusion: only ocean columns carry state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/halo.hpp"
+#include "grid/partition.hpp"
+#include "grid/tripolar.hpp"
+#include "mct/attrvect.hpp"
+#include "mct/gsmap.hpp"
+#include "par/comm.hpp"
+
+namespace ap3::ice {
+
+struct IceConfig {
+  grid::TripolarConfig grid{120, 80, 20};
+  double dt_seconds = 1800.0;
+  double growth_rate = 2.0e-7;   ///< [m/s per K] of freezing deficit
+  double melt_rate = 4.0e-7;     ///< [m/s per K] above freezing
+  double max_thickness = 5.0;    ///< [m]
+  double full_cover_thickness = 1.0;  ///< hice giving aice = 1
+};
+
+class IceModel {
+ public:
+  IceModel(const par::Comm& comm, const IceConfig& config);
+
+  /// Advance over a coupling window (integer number of dt steps, rounded up).
+  void run(double start_seconds, double duration_seconds);
+
+  // --- coupler contract ----------------------------------------------------
+  static std::vector<std::string> export_fields();  // ifrac, hice
+  static std::vector<std::string> import_fields();  // sst, tbot, us, vs
+  const mct::GlobalSegMap& gsmap() const { return gsmap_; }
+  void export_state(mct::AttrVect& i2x) const;
+  void import_state(const mct::AttrVect& x2i);
+
+  // --- diagnostics ------------------------------------------------------------
+  const std::vector<std::int64_t>& ocean_gids() const { return ocean_gids_; }
+  double ice_area_fraction() const;     ///< global ice-covered ocean fraction
+  double total_ice_volume() const;      ///< Σ hice·A (collective)
+  double aice(std::size_t col) const { return aice_[col]; }
+  double hice(std::size_t col) const { return hice_[col]; }
+  long long steps() const { return steps_; }
+
+ private:
+  void thermodynamics(double dt);
+  void dynamics(double dt);
+
+  const par::Comm& comm_;
+  IceConfig config_;
+  std::unique_ptr<grid::TripolarGrid> grid_;
+  grid::BlockPartition2D partition_;
+  std::unique_ptr<grid::BlockHalo> halo_;
+  mct::GlobalSegMap gsmap_;
+
+  std::vector<std::pair<int, int>> active_columns_;
+  std::vector<std::int64_t> ocean_gids_;
+  std::vector<double> area_m2_;  ///< per local row
+
+  // State per ocean column (export order).
+  std::vector<double> aice_, hice_;
+  // Imports.
+  std::vector<double> sst_, tbot_, us_, vs_;
+  long long steps_ = 0;
+};
+
+}  // namespace ap3::ice

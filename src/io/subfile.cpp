@@ -1,0 +1,186 @@
+#include "io/subfile.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace ap3::io {
+
+std::uint64_t checksum(std::span<const double> values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  for (std::size_t i = 0; i < values.size() * sizeof(double); ++i)
+    h = (h ^ bytes[i]) * 0x100000001b3ULL;
+  return h;
+}
+
+namespace {
+
+struct GroupLayout {
+  int group = 0;       ///< which subfile this rank belongs to
+  bool aggregator = false;
+};
+
+GroupLayout layout_for(const par::Comm& comm, int num_subfiles) {
+  AP3_REQUIRE_MSG(num_subfiles >= 1 && num_subfiles <= comm.size(),
+                  "num_subfiles must be in [1, comm size]");
+  GroupLayout out;
+  out.group = static_cast<int>(
+      static_cast<long long>(comm.rank()) * num_subfiles / comm.size());
+  // Aggregator: the lowest rank mapped to this group.
+  const int first_of_group = static_cast<int>(
+      (static_cast<long long>(out.group) * comm.size() + num_subfiles - 1) /
+      num_subfiles);
+  out.aggregator = comm.rank() == first_of_group;
+  return out;
+}
+
+std::string subfile_path(const SubfileConfig& config, int group) {
+  return config.basename + "." + std::to_string(group) + ".bin";
+}
+
+/// Writes one blob: [nranks][counts...][ids...][values...][checksum].
+std::size_t write_blob(const std::string& path,
+                       const std::vector<std::size_t>& counts,
+                       const std::vector<std::int64_t>& ids,
+                       const std::vector<double>& values) {
+  std::ofstream out(path, std::ios::binary);
+  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
+  auto write_raw = [&](const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  const std::int64_t nranks = static_cast<std::int64_t>(counts.size());
+  write_raw(&nranks, sizeof(nranks));
+  for (std::size_t c : counts) {
+    const std::int64_t v = static_cast<std::int64_t>(c);
+    write_raw(&v, sizeof(v));
+  }
+  write_raw(ids.data(), ids.size() * sizeof(std::int64_t));
+  write_raw(values.data(), values.size() * sizeof(double));
+  const std::uint64_t sum = checksum(values);
+  write_raw(&sum, sizeof(sum));
+  return sizeof(nranks) + counts.size() * sizeof(std::int64_t) +
+         ids.size() * sizeof(std::int64_t) + values.size() * sizeof(double) +
+         sizeof(sum);
+}
+
+void read_blob(const std::string& path, std::vector<std::size_t>& counts,
+               std::vector<std::int64_t>& ids, std::vector<double>& values) {
+  std::ifstream in(path, std::ios::binary);
+  AP3_REQUIRE_MSG(in, "cannot open " << path);
+  auto read_raw = [&](void* p, std::size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    AP3_REQUIRE_MSG(in.good(), "truncated I/O file " << path);
+  };
+  std::int64_t nranks = 0;
+  read_raw(&nranks, sizeof(nranks));
+  counts.resize(static_cast<std::size_t>(nranks));
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    std::int64_t v = 0;
+    read_raw(&v, sizeof(v));
+    counts[r] = static_cast<std::size_t>(v);
+    total += counts[r];
+  }
+  ids.resize(total);
+  values.resize(total);
+  read_raw(ids.data(), total * sizeof(std::int64_t));
+  read_raw(values.data(), total * sizeof(double));
+  std::uint64_t stored = 0;
+  read_raw(&stored, sizeof(stored));
+  AP3_REQUIRE_MSG(stored == checksum(values),
+                  "checksum mismatch in " << path);
+}
+
+constexpr int kTagIoIds = 9401;
+constexpr int kTagIoVals = 9402;
+
+/// Gather members' data on the group comm's rank 0, write, return bytes.
+std::size_t gather_and_write(const par::Comm& group_comm,
+                             const std::string& path, const FieldData& local) {
+  std::vector<std::size_t> id_counts;
+  const std::vector<std::int64_t> all_ids =
+      group_comm.allgatherv(std::span<const std::int64_t>(local.ids), &id_counts);
+  const std::vector<double> all_values =
+      group_comm.allgatherv(std::span<const double>(local.values), nullptr);
+  if (group_comm.rank() != 0) return 0;
+  return write_blob(path, id_counts, all_ids, all_values);
+}
+
+/// Read on group rank 0, scatter back per stored counts, return this rank's
+/// slice.
+FieldData read_and_scatter(const par::Comm& group_comm,
+                           const std::string& path,
+                           const std::vector<std::int64_t>& expected_ids) {
+  FieldData mine;
+  if (group_comm.rank() == 0) {
+    std::vector<std::size_t> counts;
+    std::vector<std::int64_t> ids;
+    std::vector<double> values;
+    read_blob(path, counts, ids, values);
+    AP3_REQUIRE_MSG(static_cast<int>(counts.size()) == group_comm.size(),
+                    "subfile written with a different group size");
+    std::size_t offset = 0;
+    for (int r = 0; r < group_comm.size(); ++r) {
+      const std::size_t n = counts[static_cast<std::size_t>(r)];
+      if (r == 0) {
+        mine.ids.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(n));
+        mine.values.assign(values.begin(),
+                           values.begin() + static_cast<std::ptrdiff_t>(n));
+      } else {
+        group_comm.send(std::span<const std::int64_t>(ids.data() + offset, n), r,
+                        kTagIoIds);
+        group_comm.send(std::span<const double>(values.data() + offset, n), r,
+                        kTagIoVals);
+      }
+      offset += n;
+    }
+  } else {
+    // Size is the sender's; receive into max-size buffer then trim.
+    mine.ids.resize(expected_ids.size());
+    mine.values.resize(expected_ids.size());
+    const std::size_t n_ids =
+        group_comm.recv(std::span<std::int64_t>(mine.ids), 0, kTagIoIds);
+    const std::size_t n_vals =
+        group_comm.recv(std::span<double>(mine.values), 0, kTagIoVals);
+    mine.ids.resize(n_ids);
+    mine.values.resize(n_vals);
+  }
+  AP3_REQUIRE_MSG(mine.ids == expected_ids,
+                  "restart decomposition mismatch: ids differ");
+  return mine;
+}
+
+}  // namespace
+
+std::size_t write_subfiles(const par::Comm& comm, const SubfileConfig& config,
+                           const FieldData& local) {
+  AP3_REQUIRE(local.ids.size() == local.values.size());
+  const GroupLayout layout = layout_for(comm, config.num_subfiles);
+  par::Comm group = comm.split(layout.group, comm.rank());
+  return gather_and_write(group, subfile_path(config, layout.group), local);
+}
+
+FieldData read_subfiles(const par::Comm& comm, const SubfileConfig& config,
+                        const std::vector<std::int64_t>& expected_ids) {
+  const GroupLayout layout = layout_for(comm, config.num_subfiles);
+  par::Comm group = comm.split(layout.group, comm.rank());
+  return read_and_scatter(group, subfile_path(config, layout.group),
+                          expected_ids);
+}
+
+std::size_t write_single(const par::Comm& comm, const std::string& path,
+                         const FieldData& local) {
+  AP3_REQUIRE(local.ids.size() == local.values.size());
+  par::Comm whole = comm.split(0, comm.rank());
+  return gather_and_write(whole, path, local);
+}
+
+FieldData read_single(const par::Comm& comm, const std::string& path,
+                      const std::vector<std::int64_t>& expected_ids) {
+  par::Comm whole = comm.split(0, comm.rank());
+  return read_and_scatter(whole, path, expected_ids);
+}
+
+}  // namespace ap3::io

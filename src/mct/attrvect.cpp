@@ -1,0 +1,57 @@
+#include "mct/attrvect.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace ap3::mct {
+
+AttrVect::AttrVect(std::vector<std::string> fields, std::size_t num_points)
+    : fields_(std::move(fields)), num_points_(num_points) {
+  for (std::size_t a = 0; a < fields_.size(); ++a)
+    for (std::size_t b = a + 1; b < fields_.size(); ++b)
+      AP3_REQUIRE_MSG(fields_[a] != fields_[b],
+                      "duplicate AttrVect field '" << fields_[a] << "'");
+  data_.assign(fields_.size() * num_points_, 0.0);
+}
+
+bool AttrVect::has_field(const std::string& name) const {
+  return std::find(fields_.begin(), fields_.end(), name) != fields_.end();
+}
+
+std::size_t AttrVect::field_index(const std::string& name) const {
+  const auto it = std::find(fields_.begin(), fields_.end(), name);
+  AP3_REQUIRE_MSG(it != fields_.end(), "AttrVect has no field '" << name << "'");
+  return static_cast<std::size_t>(it - fields_.begin());
+}
+
+std::span<double> AttrVect::field(const std::string& name) {
+  return field(field_index(name));
+}
+std::span<const double> AttrVect::field(const std::string& name) const {
+  return field(field_index(name));
+}
+std::span<double> AttrVect::field(std::size_t index) {
+  AP3_REQUIRE(index < fields_.size());
+  return {data_.data() + index * num_points_, num_points_};
+}
+std::span<const double> AttrVect::field(std::size_t index) const {
+  AP3_REQUIRE(index < fields_.size());
+  return {data_.data() + index * num_points_, num_points_};
+}
+
+void AttrVect::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+AttrVect AttrVect::subset(const std::vector<std::string>& keep) const {
+  AttrVect out(keep, num_points_);
+  for (const std::string& name : keep) {
+    const auto src = field(name);
+    auto dst = out.field(name);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace ap3::mct

@@ -1,0 +1,62 @@
+// AttrVect — the MCT attribute vector.
+//
+// The fundamental data currency of the coupler: a bundle of named real
+// fields defined over a list of local points (whose global identity is
+// described by a GlobalSegMap). Components export their boundary state into
+// an AttrVect and import forcing from one (§5.1.1 import/export methods).
+//
+// Storage is field-major (each field contiguous) which is what the
+// rearranger packs from. §5.2.4's "remove unnecessary communication
+// variables" optimization is expressed here as `subset()`.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ap3::mct {
+
+class AttrVect {
+ public:
+  AttrVect() = default;
+  AttrVect(std::vector<std::string> fields, std::size_t num_points);
+
+  std::size_t num_points() const { return num_points_; }
+  std::size_t num_fields() const { return fields_.size(); }
+  const std::vector<std::string>& field_names() const { return fields_; }
+
+  bool has_field(const std::string& name) const;
+  /// Index of `name`; throws if absent.
+  std::size_t field_index(const std::string& name) const;
+
+  std::span<double> field(const std::string& name);
+  std::span<const double> field(const std::string& name) const;
+  std::span<double> field(std::size_t index);
+  std::span<const double> field(std::size_t index) const;
+
+  double& at(std::size_t field_idx, std::size_t point) {
+    return data_[field_idx * num_points_ + point];
+  }
+  double at(std::size_t field_idx, std::size_t point) const {
+    return data_[field_idx * num_points_ + point];
+  }
+
+  void fill(double value);
+  /// Zero all fields (import buffers are cleared before each coupling step).
+  void zero() { fill(0.0); }
+
+  /// New AttrVect with only `keep` fields, values copied — the coupler-side
+  /// optimization of dropping variables a component never reads.
+  AttrVect subset(const std::vector<std::string>& keep) const;
+
+  /// Raw packed storage (field-major), used by the rearranger.
+  std::span<double> raw() { return data_; }
+  std::span<const double> raw() const { return data_; }
+
+ private:
+  std::vector<std::string> fields_;
+  std::size_t num_points_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ap3::mct

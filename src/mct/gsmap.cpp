@@ -1,0 +1,182 @@
+#include "mct/gsmap.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace ap3::mct {
+
+namespace {
+/// Compress a sorted id list into (start, length) runs.
+std::vector<Segment> runs_of(const std::vector<std::int64_t>& ids, int pe) {
+  std::vector<Segment> out;
+  for (std::size_t k = 0; k < ids.size();) {
+    std::int64_t start = ids[k];
+    std::int64_t len = 1;
+    while (k + static_cast<std::size_t>(len) < ids.size() &&
+           ids[k + static_cast<std::size_t>(len)] == start + len)
+      ++len;
+    out.push_back({start, len, pe});
+    k += static_cast<std::size_t>(len);
+  }
+  return out;
+}
+}  // namespace
+
+GlobalSegMap GlobalSegMap::build(const par::Comm& comm,
+                                 const std::vector<std::int64_t>& owned_ids) {
+  AP3_REQUIRE(std::is_sorted(owned_ids.begin(), owned_ids.end()));
+  // Compress locally, then allgather the segments (MCT gathers raw index
+  // lists; run-compressing first is already a standard optimization).
+  const std::vector<Segment> mine = runs_of(owned_ids, comm.rank());
+  std::vector<std::int64_t> flat;
+  flat.reserve(mine.size() * 2);
+  for (const Segment& s : mine) {
+    flat.push_back(s.gstart);
+    flat.push_back(s.length);
+  }
+  std::vector<std::size_t> counts;
+  const std::vector<std::int64_t> all =
+      comm.allgatherv(std::span<const std::int64_t>(flat), &counts);
+
+  GlobalSegMap map;
+  map.num_pes_ = comm.size();
+  std::size_t offset = 0;
+  for (int pe = 0; pe < comm.size(); ++pe) {
+    const std::size_t n = counts[static_cast<std::size_t>(pe)];
+    for (std::size_t k = 0; k < n; k += 2)
+      map.segments_.push_back({all[offset + k], all[offset + k + 1], pe});
+    offset += n;
+  }
+  map.finalize();
+  return map;
+}
+
+GlobalSegMap GlobalSegMap::from_all(
+    const std::vector<std::vector<std::int64_t>>& ids_by_rank) {
+  GlobalSegMap map;
+  map.num_pes_ = static_cast<int>(ids_by_rank.size());
+  for (int pe = 0; pe < map.num_pes_; ++pe) {
+    const auto& ids = ids_by_rank[static_cast<std::size_t>(pe)];
+    AP3_REQUIRE(std::is_sorted(ids.begin(), ids.end()));
+    const auto runs = runs_of(ids, pe);
+    map.segments_.insert(map.segments_.end(), runs.begin(), runs.end());
+  }
+  map.finalize();
+  return map;
+}
+
+void GlobalSegMap::finalize() {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.pe != b.pe ? a.pe < b.pe : a.gstart < b.gstart;
+            });
+  gsize_ = 0;
+  for (const Segment& s : segments_) {
+    AP3_REQUIRE_MSG(s.length > 0, "empty GSMap segment");
+    gsize_ = std::max(gsize_, s.gstart + s.length);
+  }
+}
+
+int GlobalSegMap::owner(std::int64_t gid) const {
+  for (const Segment& s : segments_) {
+    if (gid >= s.gstart && gid < s.gstart + s.length) return s.pe;
+  }
+  throw ap3::Error("GSMap: global id " + std::to_string(gid) + " unmapped");
+}
+
+bool GlobalSegMap::contains(std::int64_t gid) const {
+  for (const Segment& s : segments_)
+    if (gid >= s.gstart && gid < s.gstart + s.length) return true;
+  return false;
+}
+
+std::int64_t GlobalSegMap::local_index(int pe, std::int64_t gid) const {
+  std::int64_t offset = 0;
+  for (const Segment& s : segments_) {
+    if (s.pe != pe) continue;
+    if (gid >= s.gstart && gid < s.gstart + s.length)
+      return offset + (gid - s.gstart);
+    offset += s.length;
+  }
+  throw ap3::Error("GSMap: gid " + std::to_string(gid) + " not on pe " +
+                   std::to_string(pe));
+}
+
+std::int64_t GlobalSegMap::local_size(int pe) const {
+  std::int64_t total = 0;
+  for (const Segment& s : segments_)
+    if (s.pe == pe) total += s.length;
+  return total;
+}
+
+std::vector<std::int64_t> GlobalSegMap::local_ids(int pe) const {
+  std::vector<std::int64_t> out;
+  for (const Segment& s : segments_) {
+    if (s.pe != pe) continue;
+    for (std::int64_t g = s.gstart; g < s.gstart + s.length; ++g)
+      out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> GlobalSegMap::serialize() const {
+  // Layout: [num_pes:i64][nsegs:i64] then (gstart,length,pe) per segment.
+  std::vector<std::uint8_t> blob;
+  auto push_i64 = [&](std::int64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    blob.insert(blob.end(), p, p + sizeof(v));
+  };
+  push_i64(num_pes_);
+  push_i64(static_cast<std::int64_t>(segments_.size()));
+  for (const Segment& s : segments_) {
+    push_i64(s.gstart);
+    push_i64(s.length);
+    push_i64(s.pe);
+  }
+  return blob;
+}
+
+GlobalSegMap GlobalSegMap::deserialize(const std::vector<std::uint8_t>& blob) {
+  std::size_t pos = 0;
+  auto read_i64 = [&]() {
+    AP3_REQUIRE_MSG(pos + sizeof(std::int64_t) <= blob.size(),
+                    "truncated GSMap blob");
+    std::int64_t v;
+    std::memcpy(&v, blob.data() + pos, sizeof(v));
+    pos += sizeof(v);
+    return v;
+  };
+  GlobalSegMap map;
+  map.num_pes_ = static_cast<int>(read_i64());
+  const std::int64_t nsegs = read_i64();
+  for (std::int64_t k = 0; k < nsegs; ++k) {
+    Segment s;
+    s.gstart = read_i64();
+    s.length = read_i64();
+    s.pe = static_cast<int>(read_i64());
+    map.segments_.push_back(s);
+  }
+  map.finalize();
+  return map;
+}
+
+void GlobalSegMap::save(const std::string& path) const {
+  const auto blob = serialize();
+  std::ofstream out(path, std::ios::binary);
+  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+}
+
+GlobalSegMap GlobalSegMap::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AP3_REQUIRE_MSG(in, "cannot open " << path);
+  std::vector<std::uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return deserialize(blob);
+}
+
+}  // namespace ap3::mct

@@ -1,0 +1,103 @@
+#include "mct/rearranger.hpp"
+
+#include "base/error.hpp"
+
+namespace ap3::mct {
+
+namespace {
+constexpr int kTagRearrange = 9300;
+
+void check_fields(const AttrVect& src, const AttrVect& dst) {
+  AP3_REQUIRE_MSG(src.field_names() == dst.field_names(),
+                  "rearrange: AttrVect field sets differ");
+}
+}  // namespace
+
+std::vector<double> Rearranger::pack_for_peer(
+    const AttrVect& src, const std::vector<std::int64_t>& plan) const {
+  // Payload layout: field-major — all field-0 values in wire order, then
+  // field-1, ... Deterministic and identical for both strategies.
+  std::vector<double> payload(plan.size() * src.num_fields());
+  std::size_t pos = 0;
+  for (std::size_t f = 0; f < src.num_fields(); ++f) {
+    const auto field = src.field(f);
+    for (std::int64_t idx : plan)
+      payload[pos++] = field[static_cast<std::size_t>(idx)];
+  }
+  return payload;
+}
+
+void Rearranger::unpack_from_peer(AttrVect& dst,
+                                  const std::vector<std::int64_t>& plan,
+                                  std::span<const double> payload) const {
+  AP3_REQUIRE(payload.size() == plan.size() * dst.num_fields());
+  std::size_t pos = 0;
+  for (std::size_t f = 0; f < dst.num_fields(); ++f) {
+    auto field = dst.field(f);
+    for (std::int64_t idx : plan)
+      field[static_cast<std::size_t>(idx)] = payload[pos++];
+  }
+}
+
+void Rearranger::rearrange(const AttrVect& src, AttrVect& dst,
+                           RearrangeMethod method) const {
+  check_fields(src, dst);
+  if (method == RearrangeMethod::kAlltoallv) {
+    rearrange_alltoallv(src, dst);
+  } else {
+    rearrange_p2p(src, dst);
+  }
+}
+
+void Rearranger::rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
+  // The original strategy: every rank participates in one big collective
+  // even if it exchanges data with only a handful of peers.
+  std::vector<double> send_data;
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(comm_.size()),
+                                       0);
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    const auto it = router_.send_plan().find(peer);
+    if (it == router_.send_plan().end()) continue;
+    const std::vector<double> payload = pack_for_peer(src, it->second);
+    send_counts[static_cast<std::size_t>(peer)] = payload.size();
+    send_data.insert(send_data.end(), payload.begin(), payload.end());
+  }
+  std::vector<std::size_t> recv_counts;
+  const std::vector<double> recv_data =
+      comm_.alltoallv(std::span<const double>(send_data),
+                      std::span<const std::size_t>(send_counts), recv_counts);
+  std::size_t offset = 0;
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    const std::size_t n = recv_counts[static_cast<std::size_t>(peer)];
+    if (n == 0) continue;
+    const auto it = router_.recv_plan().find(peer);
+    AP3_REQUIRE_MSG(it != router_.recv_plan().end(),
+                    "unexpected rearrange payload from rank " << peer);
+    unpack_from_peer(dst, it->second,
+                     {recv_data.data() + offset, n});
+    offset += n;
+  }
+}
+
+void Rearranger::rearrange_p2p(const AttrVect& src, AttrVect& dst) const {
+  // Optimized strategy: only actual peers communicate; sends are posted
+  // non-blocking up front and unpacking overlaps with draining receives.
+  std::vector<std::vector<double>> payloads;
+  std::vector<par::Request> sends;
+  payloads.reserve(router_.send_plan().size());
+  for (const auto& [peer, plan] : router_.send_plan()) {
+    payloads.push_back(pack_for_peer(src, plan));
+    sends.push_back(comm_.isend(std::span<const double>(payloads.back()), peer,
+                                kTagRearrange));
+  }
+  for (const auto& [peer, plan] : router_.recv_plan()) {
+    std::vector<double> payload(plan.size() * dst.num_fields());
+    const std::size_t n =
+        comm_.recv(std::span<double>(payload), peer, kTagRearrange);
+    AP3_REQUIRE(n == payload.size());
+    unpack_from_peer(dst, plan, payload);
+  }
+  par::wait_all(sends);
+}
+
+}  // namespace ap3::mct

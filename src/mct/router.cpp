@@ -1,0 +1,132 @@
+#include "mct/router.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace ap3::mct {
+
+Router Router::build(int rank, const GlobalSegMap& src,
+                     const GlobalSegMap& dst) {
+  Router router;
+  router.rank_ = rank;
+
+  // Sender side: walk my source points in local order; any point present in
+  // the destination map is shipped to its destination owner. Wire order per
+  // peer therefore follows my local source index order.
+  const std::vector<std::int64_t> my_src = src.local_ids(rank);
+  for (std::size_t k = 0; k < my_src.size(); ++k) {
+    const std::int64_t gid = my_src[k];
+    if (!dst.contains(gid)) continue;
+    const int peer = dst.owner(gid);
+    router.send_plan_[peer].push_back(static_cast<std::int64_t>(k));
+  }
+
+  // Receiver side: for each of my destination points find the source owner;
+  // within a peer, order by that peer's local source index to match the wire
+  // order the sender uses.
+  const std::vector<std::int64_t> my_dst = dst.local_ids(rank);
+  std::map<int, std::vector<std::pair<std::int64_t, std::int64_t>>> pending;
+  for (std::size_t k = 0; k < my_dst.size(); ++k) {
+    const std::int64_t gid = my_dst[k];
+    if (!src.contains(gid)) continue;
+    const int peer = src.owner(gid);
+    pending[peer].push_back(
+        {src.local_index(peer, gid), static_cast<std::int64_t>(k)});
+  }
+  for (auto& [peer, pairs] : pending) {
+    std::sort(pairs.begin(), pairs.end());
+    std::vector<std::int64_t>& plan = router.recv_plan_[peer];
+    plan.reserve(pairs.size());
+    for (const auto& [src_idx, dst_idx] : pairs) plan.push_back(dst_idx);
+  }
+  return router;
+}
+
+std::int64_t Router::points_sent() const {
+  std::int64_t total = 0;
+  for (const auto& [peer, plan] : send_plan_)
+    total += static_cast<std::int64_t>(plan.size());
+  return total;
+}
+
+std::int64_t Router::points_received() const {
+  std::int64_t total = 0;
+  for (const auto& [peer, plan] : recv_plan_)
+    total += static_cast<std::int64_t>(plan.size());
+  return total;
+}
+
+namespace {
+void push_i64(std::vector<std::uint8_t>& blob, std::int64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  blob.insert(blob.end(), p, p + sizeof(v));
+}
+std::int64_t read_i64(const std::vector<std::uint8_t>& blob, std::size_t& pos) {
+  AP3_REQUIRE_MSG(pos + sizeof(std::int64_t) <= blob.size(),
+                  "truncated Router blob");
+  std::int64_t v;
+  std::memcpy(&v, blob.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+void write_plan(std::vector<std::uint8_t>& blob,
+                const std::map<int, std::vector<std::int64_t>>& plan) {
+  push_i64(blob, static_cast<std::int64_t>(plan.size()));
+  for (const auto& [peer, indices] : plan) {
+    push_i64(blob, peer);
+    push_i64(blob, static_cast<std::int64_t>(indices.size()));
+    for (std::int64_t v : indices) push_i64(blob, v);
+  }
+}
+std::map<int, std::vector<std::int64_t>> read_plan(
+    const std::vector<std::uint8_t>& blob, std::size_t& pos) {
+  std::map<int, std::vector<std::int64_t>> plan;
+  const std::int64_t npeers = read_i64(blob, pos);
+  for (std::int64_t p = 0; p < npeers; ++p) {
+    const int peer = static_cast<int>(read_i64(blob, pos));
+    const std::int64_t n = read_i64(blob, pos);
+    std::vector<std::int64_t>& indices = plan[peer];
+    indices.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t k = 0; k < n; ++k) indices.push_back(read_i64(blob, pos));
+  }
+  return plan;
+}
+}  // namespace
+
+std::vector<std::uint8_t> Router::serialize() const {
+  std::vector<std::uint8_t> blob;
+  push_i64(blob, rank_);
+  write_plan(blob, send_plan_);
+  write_plan(blob, recv_plan_);
+  return blob;
+}
+
+Router Router::deserialize(const std::vector<std::uint8_t>& blob) {
+  Router router;
+  std::size_t pos = 0;
+  router.rank_ = static_cast<int>(read_i64(blob, pos));
+  router.send_plan_ = read_plan(blob, pos);
+  router.recv_plan_ = read_plan(blob, pos);
+  return router;
+}
+
+void Router::save(const std::string& path) const {
+  const auto blob = serialize();
+  std::ofstream out(path, std::ios::binary);
+  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+}
+
+Router Router::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AP3_REQUIRE_MSG(in, "cannot open " << path);
+  std::vector<std::uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return deserialize(blob);
+}
+
+}  // namespace ap3::mct

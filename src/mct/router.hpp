@@ -1,0 +1,62 @@
+// Router — MCT's M×N communication table (§5.2.4).
+//
+// Given a source decomposition (GSMap over M processes) and a destination
+// decomposition (GSMap over N processes), the Router records, for one rank,
+// which local source points go to which destination pe and which local
+// destination slots are filled from which source pe. The paper found that
+// building these tables at init exceeds a Sunway core group's memory, so the
+// build is also available as an offline preprocessing step producing a
+// per-rank binary file loaded at init.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mct/gsmap.hpp"
+
+namespace ap3::mct {
+
+class Router {
+ public:
+  Router() = default;
+
+  /// Builds the router for `rank` from globally replicated GSMaps. Pure
+  /// computation — callable online (at init) or offline (preprocessing).
+  static Router build(int rank, const GlobalSegMap& src,
+                      const GlobalSegMap& dst);
+
+  /// Peers this rank sends to, with the local source indices per peer
+  /// (ordered by local source index — the wire order).
+  const std::map<int, std::vector<std::int64_t>>& send_plan() const {
+    return send_plan_;
+  }
+  /// Peers this rank receives from, with the local destination indices in
+  /// the sender's wire order.
+  const std::map<int, std::vector<std::int64_t>>& recv_plan() const {
+    return recv_plan_;
+  }
+
+  int rank() const { return rank_; }
+  std::int64_t points_sent() const;
+  std::int64_t points_received() const;
+
+  // --- offline precompute -----------------------------------------------
+  std::vector<std::uint8_t> serialize() const;
+  static Router deserialize(const std::vector<std::uint8_t>& blob);
+  void save(const std::string& path) const;
+  static Router load(const std::string& path);
+
+  bool operator==(const Router& other) const {
+    return rank_ == other.rank_ && send_plan_ == other.send_plan_ &&
+           recv_plan_ == other.recv_plan_;
+  }
+
+ private:
+  int rank_ = 0;
+  std::map<int, std::vector<std::int64_t>> send_plan_;
+  std::map<int, std::vector<std::int64_t>> recv_plan_;
+};
+
+}  // namespace ap3::mct

@@ -1,0 +1,149 @@
+#include "mct/sparsematrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/error.hpp"
+
+namespace ap3::mct {
+
+SparseMatrix::SparseMatrix(std::vector<MatrixEntry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const MatrixEntry& a, const MatrixEntry& b) {
+              return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+            });
+}
+
+double SparseMatrix::max_row_sum_deviation() const {
+  double max_dev = 0.0;
+  std::size_t k = 0;
+  while (k < entries_.size()) {
+    const std::int64_t dst = entries_[k].dst;
+    double sum = 0.0;
+    while (k < entries_.size() && entries_[k].dst == dst) sum += entries_[k++].weight;
+    max_dev = std::max(max_dev, std::abs(sum - 1.0));
+  }
+  return max_dev;
+}
+
+namespace {
+double chord2(const GeoPoint& a, const GeoPoint& b) {
+  const double ax = std::cos(a.lat) * std::cos(a.lon);
+  const double ay = std::cos(a.lat) * std::sin(a.lon);
+  const double az = std::sin(a.lat);
+  const double bx = std::cos(b.lat) * std::cos(b.lon);
+  const double by = std::cos(b.lat) * std::sin(b.lon);
+  const double bz = std::sin(b.lat);
+  const double dx = ax - bx, dy = ay - by, dz = az - bz;
+  return dx * dx + dy * dy + dz * dz;
+}
+}  // namespace
+
+SparseMatrix SparseMatrix::inverse_distance(const std::vector<GeoPoint>& dst,
+                                            const std::vector<GeoPoint>& src,
+                                            int k) {
+  AP3_REQUIRE(k >= 1 && static_cast<std::size_t>(k) <= src.size());
+  std::vector<MatrixEntry> entries;
+  entries.reserve(dst.size() * static_cast<std::size_t>(k));
+  std::vector<std::pair<double, std::int64_t>> nearest;
+  for (std::size_t d = 0; d < dst.size(); ++d) {
+    nearest.clear();
+    for (std::size_t s = 0; s < src.size(); ++s)
+      nearest.push_back({chord2(dst[d], src[s]), static_cast<std::int64_t>(s)});
+    std::partial_sort(nearest.begin(), nearest.begin() + k, nearest.end());
+    // Exact hit: delta weight.
+    if (nearest.front().first < 1e-24) {
+      entries.push_back({static_cast<std::int64_t>(d), nearest.front().second, 1.0});
+      continue;
+    }
+    double total = 0.0;
+    for (int j = 0; j < k; ++j) total += 1.0 / nearest[static_cast<std::size_t>(j)].first;
+    for (int j = 0; j < k; ++j) {
+      const auto& [dist2, sid] = nearest[static_cast<std::size_t>(j)];
+      entries.push_back(
+          {static_cast<std::int64_t>(d), sid, (1.0 / dist2) / total});
+    }
+  }
+  return SparseMatrix(std::move(entries));
+}
+
+std::vector<double> SparseMatrix::apply_serial(std::span<const double> src,
+                                               std::size_t dst_size) const {
+  std::vector<double> out(dst_size, 0.0);
+  for (const MatrixEntry& e : entries_) {
+    AP3_REQUIRE(static_cast<std::size_t>(e.dst) < dst_size);
+    AP3_REQUIRE(static_cast<std::size_t>(e.src) < src.size());
+    out[static_cast<std::size_t>(e.dst)] +=
+        e.weight * src[static_cast<std::size_t>(e.src)];
+  }
+  return out;
+}
+
+RegridOp::RegridOp(const par::Comm& comm, const SparseMatrix& matrix,
+                   const GlobalSegMap& src_map, const GlobalSegMap& dst_map)
+    : comm_(comm) {
+  const int rank = comm.rank();
+  const std::vector<std::int64_t> my_src = src_map.local_ids(rank);
+  const std::vector<std::int64_t> my_dst = dst_map.local_ids(rank);
+  num_src_local_ = my_src.size();
+  num_dst_local_ = my_dst.size();
+
+  std::map<std::int64_t, std::size_t> dst_pos, src_pos;
+  for (std::size_t k = 0; k < my_dst.size(); ++k) dst_pos[my_dst[k]] = k;
+  for (std::size_t k = 0; k < my_src.size(); ++k) src_pos[my_src[k]] = k;
+
+  // Collect my rows; note remote source ids.
+  std::map<std::int64_t, std::size_t> ghost_pos;
+  std::vector<std::int64_t> ghosts;
+  for (const MatrixEntry& e : matrix.entries()) {
+    const auto dit = dst_pos.find(e.dst);
+    if (dit == dst_pos.end()) continue;
+    const auto sit = src_pos.find(e.src);
+    std::size_t slot;
+    if (sit != src_pos.end()) {
+      slot = sit->second;  // owned region: [0, num_src_local)
+    } else {
+      auto git = ghost_pos.find(e.src);
+      if (git == ghost_pos.end()) {
+        git = ghost_pos.emplace(e.src, ghosts.size()).first;
+        ghosts.push_back(e.src);
+      }
+      slot = num_src_local_ + git->second;  // ghost region
+    }
+    terms_.push_back({dit->second, slot, e.weight});
+  }
+
+  halo_ = std::make_unique<grid::GraphHalo>(
+      comm, my_src, ghosts,
+      [&src_map](std::int64_t gid) { return src_map.owner(gid); });
+}
+
+std::vector<double> RegridOp::apply(std::span<const double> src_local) const {
+  AP3_REQUIRE(src_local.size() == num_src_local_);
+  std::vector<double> ghosts(halo_->num_ghosts());
+  halo_->exchange(src_local, ghosts);
+  std::vector<double> out(num_dst_local_, 0.0);
+  for (const LocalTerm& term : terms_) {
+    const double value = term.src_slot < num_src_local_
+                             ? src_local[term.src_slot]
+                             : ghosts[term.src_slot - num_src_local_];
+    out[term.dst_local] += term.weight * value;
+  }
+  return out;
+}
+
+void RegridOp::apply(const AttrVect& src, AttrVect& dst) const {
+  AP3_REQUIRE_MSG(src.field_names() == dst.field_names(),
+                  "regrid: AttrVect field sets differ");
+  AP3_REQUIRE(src.num_points() == num_src_local_);
+  AP3_REQUIRE(dst.num_points() == num_dst_local_);
+  for (std::size_t f = 0; f < src.num_fields(); ++f) {
+    const std::vector<double> mapped = apply(src.field(f));
+    auto out = dst.field(f);
+    std::copy(mapped.begin(), mapped.end(), out.begin());
+  }
+}
+
+}  // namespace ap3::mct

@@ -1,0 +1,50 @@
+#include "ocn/canuto.hpp"
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace ap3::ocn {
+
+CanutoMixing::CanutoMixing(CanutoConfig config, LinearEos eos)
+    : config_(config), eos_(eos) {}
+
+double CanutoMixing::richardson(double drho_dz, double du_dz,
+                                double dv_dz) const {
+  // N² = -(g/rho0) dρ/dz with z positive upward; our arrays index downward,
+  // so drho_dz here is (ρ_below − ρ_above)/dz — positive when stable.
+  const double n2 = constants::kGravity / eos_.rho0 * drho_dz;
+  const double s2 = du_dz * du_dz + dv_dz * dv_dz + config_.shear_eps;
+  return n2 / s2;
+}
+
+void CanutoMixing::diffusivities(const MixingColumn& column,
+                                 std::span<double> kv) const {
+  const std::size_t nz = column.temp.size();
+  AP3_REQUIRE(column.salt.size() == nz && column.u.size() == nz &&
+              column.v.size() == nz);
+  AP3_REQUIRE(column.dz.size() + 1 == nz);
+  AP3_REQUIRE(kv.size() + 1 == nz);
+  const auto active = static_cast<std::size_t>(
+      column.active_levels < 0 ? 0 : column.active_levels);
+  for (std::size_t k = 0; k + 1 < nz; ++k) {
+    if (k + 1 >= active) {  // interface below the sea floor
+      kv[k] = 0.0;
+      continue;
+    }
+    const double dz = column.dz[k];
+    const double rho_upper = eos_.density(column.temp[k], column.salt[k]);
+    const double rho_lower = eos_.density(column.temp[k + 1], column.salt[k + 1]);
+    const double drho_dz = (rho_lower - rho_upper) / dz;
+    const double du_dz = (column.u[k + 1] - column.u[k]) / dz;
+    const double dv_dz = (column.v[k + 1] - column.v[k]) / dz;
+    const double ri = richardson(drho_dz, du_dz, dv_dz);
+    if (ri < 0.0) {
+      kv[k] = config_.kv_convective;  // statically unstable: convect
+    } else {
+      const double denom = 1.0 + 5.0 * ri;
+      kv[k] = config_.kv_background + config_.kv0 / (denom * denom);
+    }
+  }
+}
+
+}  // namespace ap3::ocn

@@ -1,0 +1,59 @@
+// Canuto-style vertical mixing parameterization.
+//
+// The real Canuto scheme computes turbulence closure diffusivities from the
+// Richardson number; it was the first LICOM kernel to receive the 3-D
+// non-ocean-point exclusion optimization (§5.2.2), which this module also
+// supports: compute over a compact active-column list or over the full grid,
+// with bitwise-identical results on ocean points.
+//
+// Diffusivity model: kv = kv_background + kv0 / (1 + 5·Ri)²  for Ri ≥ 0,
+// and the convective value kv_conv where the column is statically unstable
+// (Ri < 0). Ri = N² / (S² + eps).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ocn/eos.hpp"
+
+namespace ap3::ocn {
+
+struct CanutoConfig {
+  double kv_background = 1e-5;  ///< [m²/s]
+  double kv0 = 5e-3;
+  double kv_convective = 0.1;
+  double shear_eps = 1e-10;     ///< [1/s²] shear floor
+};
+
+/// One column's inputs: temperature/salinity/velocities on `nz` levels plus
+/// the level interface spacings dz (size nz-1, distance between level
+/// centers).
+struct MixingColumn {
+  std::span<const double> temp;   ///< [°C]
+  std::span<const double> salt;   ///< [psu]
+  std::span<const double> u, v;   ///< [m/s]
+  std::span<const double> dz;     ///< [m], size nz-1
+  int active_levels = 0;          ///< kmt of this column
+};
+
+class CanutoMixing {
+ public:
+  explicit CanutoMixing(CanutoConfig config = {}, LinearEos eos = {});
+
+  /// Interface diffusivities kv[k] between levels k and k+1 (size nz-1);
+  /// interfaces below the column's kmt get zero.
+  void diffusivities(const MixingColumn& column, std::span<double> kv) const;
+
+  /// Richardson number at one interface (exposed for tests).
+  double richardson(double drho_dz, double du_dz, double dv_dz) const;
+
+  /// Scalar flops per interface (perf-model input).
+  static double flops_per_interface() { return 30.0; }
+
+ private:
+  CanutoConfig config_;
+  LinearEos eos_;
+};
+
+}  // namespace ap3::ocn

@@ -1,0 +1,20 @@
+// Simplified equation of state for seawater: a linearized density anomaly
+// around a (T0, S0) reference — adequate for the stratification/mixing
+// pathways this reproduction exercises.
+#pragma once
+
+namespace ap3::ocn {
+
+struct LinearEos {
+  double rho0 = 1026.0;     ///< reference density [kg/m³]
+  double t0 = 10.0;         ///< reference temperature [°C]
+  double s0 = 35.0;         ///< reference salinity [psu]
+  double alpha = 1.7e-4;    ///< thermal expansion [1/K]
+  double beta = 7.6e-4;     ///< haline contraction [1/psu]
+
+  double density(double temp_c, double salt_psu) const {
+    return rho0 * (1.0 - alpha * (temp_c - t0) + beta * (salt_psu - s0));
+  }
+};
+
+}  // namespace ap3::ocn

@@ -1,0 +1,203 @@
+#include "par/comm.hpp"
+
+#include <set>
+#include <thread>
+
+namespace ap3::par {
+
+namespace detail {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(int comm_id, int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, comm_id, src, tag)) {
+        Message out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_take(int comm_id, int src, int tag, Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, comm_id, src, tag)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+}  // namespace detail
+
+World::World(int nranks) : nranks_(nranks) {
+  AP3_REQUIRE_MSG(nranks > 0, "World needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+}
+
+TrafficStats World::traffic() const {
+  return {messages_.load(std::memory_order_relaxed),
+          bytes_.load(std::memory_order_relaxed)};
+}
+
+detail::Barrier& World::barrier_for(int comm_id, int parties) {
+  std::lock_guard<std::mutex> lock(barrier_mutex_);
+  auto it = barriers_.find(comm_id);
+  if (it == barriers_.end()) {
+    it = barriers_
+             .emplace(comm_id, std::make_unique<detail::Barrier>(parties))
+             .first;
+  }
+  return *it->second;
+}
+
+void World::account(std::size_t bytes) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Request::wait() {
+  if (action_) {
+    action_();
+    action_ = nullptr;
+  }
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& request : requests) request.wait();
+}
+
+void Comm::post(int dest, int tag, std::size_t type_hash,
+                std::span<const std::byte> bytes) const {
+  AP3_REQUIRE_MSG(dest >= 0 && dest < size(),
+                  "send to invalid rank " << dest << " (comm size " << size()
+                                          << ")");
+  detail::Message m;
+  m.comm_id = comm_id_;
+  m.src = rank_;
+  m.tag = tag;
+  m.type_hash = type_hash;
+  m.data.assign(bytes.begin(), bytes.end());
+  world_->account(bytes.size());
+  world_->mailbox(world_rank_of(dest)).deliver(std::move(m));
+}
+
+detail::Message Comm::take(int src, int tag) const {
+  AP3_REQUIRE_MSG(src == kAnySource || (src >= 0 && src < size()),
+                  "recv from invalid rank " << src);
+  return world_->mailbox(world_rank_of(rank_)).take(comm_id_, src, tag);
+}
+
+int Comm::world_rank_of(int comm_rank) const {
+  return group_[static_cast<std::size_t>(comm_rank)];
+}
+
+void Comm::barrier() const {
+  world_->barrier_for(comm_id_, size()).arrive_and_wait();
+}
+
+Comm Comm::split(int color, int key) const {
+  AP3_REQUIRE_MSG(color >= 0, "split color must be non-negative");
+  detail::SplitTable& table = world_->split_table();
+  const std::uint64_t epoch = split_epoch_++;
+  const auto table_key = std::make_pair(comm_id_, epoch);
+  {
+    std::unique_lock<std::mutex> lock(table.mutex);
+    table.entries[table_key][rank_] = {color, key};
+    if (static_cast<int>(table.entries[table_key].size()) == size()) {
+      table.cv.notify_all();
+    } else {
+      table.cv.wait(lock, [&] {
+        return static_cast<int>(table.entries[table_key].size()) == size();
+      });
+    }
+  }
+
+  // Every rank now computes the identical split deterministically.
+  std::map<int, std::pair<int, int>> entries;
+  {
+    std::lock_guard<std::mutex> lock(table.mutex);
+    entries = table.entries[table_key];
+  }
+
+  // Order the ranks of my color by (key, old rank).
+  std::vector<std::pair<std::pair<int, int>, int>> mine;  // ((key, old), old)
+  for (const auto& [old_rank, ck] : entries) {
+    if (ck.first == color) mine.push_back({{ck.second, old_rank}, old_rank});
+  }
+  std::sort(mine.begin(), mine.end());
+
+  std::vector<int> new_group;
+  int new_rank = -1;
+  for (const auto& [sort_key, old_rank] : mine) {
+    if (old_rank == rank_) new_rank = static_cast<int>(new_group.size());
+    new_group.push_back(world_rank_of(old_rank));
+  }
+  AP3_REQUIRE(new_rank >= 0);
+
+  // Deterministic distinct id per (parent, epoch, color-index).
+  std::set<int> colors;
+  for (const auto& [old_rank, ck] : entries) colors.insert(ck.first);
+  int color_index = 0;
+  for (int c : colors) {
+    if (c == color) break;
+    ++color_index;
+  }
+  const int new_id =
+      comm_id_ * 4096 + static_cast<int>(epoch % 64) * 64 + color_index + 1;
+
+  return Comm(world_, std::move(new_group), new_rank, new_id, 0);
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  World world(nranks);
+  std::vector<int> group(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) group[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(&world, group, r, /*comm_id=*/0, /*split_epoch=*/0);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace ap3::par

@@ -1,0 +1,483 @@
+// In-process message-passing runtime (the repository's MPI substitute).
+//
+// The paper runs components over MPI across up to 37.2 M Sunway cores; this
+// machine has one CPU, so ranks are threads and the transport is a mailbox
+// hub. Everything above this layer — halo exchanges, MCT routers, coupler
+// rearrangement — is written against the same rank/tag/communicator semantics
+// an MPI program would use, so the communication *patterns* of the paper are
+// reproduced even though the wire is shared memory.
+//
+// Semantics implemented:
+//  - typed, tagged, eager point-to-point send/recv (FIFO per source),
+//  - non-blocking isend/irecv with Request/wait/wait_all,
+//  - wildcard source/tag receives,
+//  - collectives: barrier, bcast, reduce, allreduce, gather, allgather,
+//    alltoall, alltoallv (built over p2p; deterministic),
+//  - communicator split (task domains of §5.1.2),
+//  - per-world traffic accounting (messages/bytes) feeding the perf model.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace ap3::par {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Aggregate message-traffic counters for one World.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+namespace detail {
+
+struct Message {
+  int comm_id = 0;  ///< messages are scoped to one communicator
+  int src = 0;      ///< sender's rank within that communicator
+  int tag = 0;
+  std::size_t type_hash = 0;
+  std::vector<std::byte> data;
+};
+
+class Mailbox {
+ public:
+  void deliver(Message message);
+  /// Blocks until a message matching (comm, src, tag) is available.
+  Message take(int comm_id, int src, int tag);
+  bool try_take(int comm_id, int src, int tag, Message& out);
+
+ private:
+  static bool matches(const Message& m, int comm_id, int src, int tag) {
+    return m.comm_id == comm_id && (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// Reusable sense-reversing barrier.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+  void arrive_and_wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+struct SplitTable {
+  std::mutex mutex;
+  std::condition_variable cv;
+  // comm-id -> epoch -> (rank -> (color,key))
+  std::map<std::pair<int, std::uint64_t>, std::map<int, std::pair<int, int>>>
+      entries;
+};
+
+}  // namespace detail
+
+class Comm;
+
+/// Shared state for one parallel job: mailboxes, barriers, counters.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return nranks_; }
+  TrafficStats traffic() const;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+ private:
+  friend class Comm;
+  detail::Mailbox& mailbox(int world_rank) {
+    return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+  detail::Barrier& barrier_for(int comm_id, int parties);
+  void account(std::size_t bytes);
+  detail::SplitTable& split_table() { return split_table_; }
+
+  int nranks_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::mutex barrier_mutex_;
+  std::map<int, std::unique_ptr<detail::Barrier>> barriers_;
+  detail::SplitTable split_table_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Handle for a pending non-blocking operation.
+class Request {
+ public:
+  Request() = default;
+  void wait();
+  bool valid() const { return static_cast<bool>(action_); }
+
+ private:
+  friend class Comm;
+  explicit Request(std::function<void()> action) : action_(std::move(action)) {}
+  std::function<void()> action_;
+};
+
+void wait_all(std::span<Request> requests);
+
+/// A communicator: a group of world ranks plus this thread's position in it.
+///
+/// Copies are cheap views; split() creates sub-communicators (task domains).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  World& world() const { return *world_; }
+
+  // --- point-to-point -----------------------------------------------------
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) const {
+    post(dest, tag, typeid(T).hash_code(),
+         {reinterpret_cast<const std::byte*>(data.data()),
+          data.size() * sizeof(T)});
+  }
+
+  template <typename T>
+  void send_value(const T& value, int dest, int tag) const {
+    send(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  /// Receives into `data`; returns the element count actually received
+  /// (must be <= data.size()). Throws CommError on type mismatch.
+  template <typename T>
+  std::size_t recv(std::span<T> data, int src, int tag) const {
+    detail::Message m = take(src, tag);
+    check_type<T>(m);
+    const std::size_t count = m.data.size() / sizeof(T);
+    AP3_REQUIRE_MSG(count <= data.size(),
+                    "recv buffer too small: need " << count << " elements, have "
+                                                   << data.size());
+    std::memcpy(data.data(), m.data.data(), m.data.size());
+    return count;
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) const {
+    T value{};
+    const std::size_t n = recv(std::span<T>(&value, 1), src, tag);
+    AP3_REQUIRE(n == 1);
+    return value;
+  }
+
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, int tag) const {
+    // Eager buffered transport: the send completes immediately; the Request
+    // exists so call sites keep MPI-shaped structure.
+    send(data, dest, tag);
+    return Request([] {});
+  }
+
+  template <typename T>
+  Request irecv(std::span<T> data, int src, int tag) const {
+    const Comm* self = this;
+    return Request([self, data, src, tag] {
+      const std::size_t n = self->recv(data, src, tag);
+      AP3_REQUIRE_MSG(n == data.size(),
+                      "irecv expected exactly " << data.size()
+                                                << " elements, got " << n);
+    });
+  }
+
+  // --- collectives ----------------------------------------------------------
+  void barrier() const;
+
+  template <typename T>
+  void bcast(std::span<T> data, int root) const;
+
+  template <typename T>
+  std::vector<T> gather(std::span<const T> local, int root) const;
+
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> local) const;
+
+  /// Variable-size allgather; returns concatenation in rank order plus
+  /// per-rank counts.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> local,
+                            std::vector<std::size_t>* counts = nullptr) const;
+
+  template <typename T>
+  void reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
+              int root) const;
+
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) const;
+
+  template <typename T>
+  T allreduce_value(T value, ReduceOp op) const {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// Fixed-block all-to-all: send_data has size()*block elements.
+  template <typename T>
+  std::vector<T> alltoall(std::span<const T> send_data, std::size_t block) const;
+
+  /// Variable all-to-all: send_counts[r] elements go to rank r; returns the
+  /// received concatenation and fills recv_counts.
+  template <typename T>
+  std::vector<T> alltoallv(std::span<const T> send_data,
+                           std::span<const std::size_t> send_counts,
+                           std::vector<std::size_t>& recv_counts) const;
+
+  /// Split into sub-communicators by color; rank order within a color follows
+  /// (key, rank). This is how AP3ESM partitions ranks into task domains.
+  Comm split(int color, int key) const;
+
+ private:
+  friend void run(int, const std::function<void(Comm&)>&);
+  Comm(World* world, std::vector<int> group, int rank, int comm_id,
+       std::uint64_t split_epoch)
+      : world_(world),
+        group_(std::move(group)),
+        rank_(rank),
+        comm_id_(comm_id),
+        split_epoch_(split_epoch) {}
+
+  template <typename T>
+  static void check_type(const detail::Message& m) {
+    AP3_REQUIRE_MSG(m.type_hash == typeid(T).hash_code(),
+                    "message type mismatch (tag " << m.tag << " from rank "
+                                                  << m.src << ")");
+  }
+
+  void post(int dest, int tag, std::size_t type_hash,
+            std::span<const std::byte> bytes) const;
+  detail::Message take(int src, int tag) const;
+  int world_rank_of(int comm_rank) const;
+
+  template <typename T>
+  static void apply_op(std::span<T> acc, std::span<const T> in, ReduceOp op) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum: acc[i] = acc[i] + in[i]; break;
+        case ReduceOp::kMin: acc[i] = in[i] < acc[i] ? in[i] : acc[i]; break;
+        case ReduceOp::kMax: acc[i] = acc[i] < in[i] ? in[i] : acc[i]; break;
+      }
+    }
+  }
+
+  World* world_ = nullptr;
+  std::vector<int> group_;  // comm rank -> world rank
+  int rank_ = 0;
+  int comm_id_ = 0;
+  mutable std::uint64_t split_epoch_ = 0;
+};
+
+/// Launch `fn` on `nranks` ranks (threads) sharing one World. Exceptions in
+/// any rank are captured and rethrown (first by rank order) after join.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+// ---- template implementations ---------------------------------------------
+
+template <typename T>
+void Comm::bcast(std::span<T> data, int root) const {
+  AP3_REQUIRE(root >= 0 && root < size());
+  constexpr int kTag = -1000;  // reserved internal tag space (tags < -999)
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(std::span<const T>(data.data(), data.size()), r, kTag);
+    }
+  } else {
+    const std::size_t n = recv(data, root, kTag);
+    AP3_REQUIRE(n == data.size());
+  }
+}
+
+template <typename T>
+std::vector<T> Comm::gather(std::span<const T> local, int root) const {
+  constexpr int kTag = -1001;
+  if (rank_ == root) {
+    std::vector<T> out(local.size() * static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        std::copy(local.begin(), local.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(r * local.size()));
+      } else {
+        std::span<T> slot(out.data() + r * local.size(), local.size());
+        const std::size_t n = recv(slot, r, kTag);
+        AP3_REQUIRE(n == local.size());
+      }
+    }
+    return out;
+  }
+  send(local, root, kTag);
+  return {};
+}
+
+template <typename T>
+std::vector<T> Comm::allgather(std::span<const T> local) const {
+  std::vector<T> out = gather(local, 0);
+  if (rank_ != 0) out.resize(local.size() * static_cast<std::size_t>(size()));
+  bcast(std::span<T>(out), 0);
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::allgatherv(std::span<const T> local,
+                                std::vector<std::size_t>* counts) const {
+  const std::uint64_t mine = local.size();
+  std::vector<std::uint64_t> sizes =
+      allgather(std::span<const std::uint64_t>(&mine, 1));
+  constexpr int kTag = -1002;
+  std::size_t total = 0;
+  for (std::uint64_t s : sizes) total += s;
+  std::vector<T> out(total);
+  if (rank_ == 0) {
+    std::size_t offset = 0;
+    for (int r = 0; r < size(); ++r) {
+      std::span<T> slot(out.data() + offset, sizes[static_cast<size_t>(r)]);
+      if (r == 0) {
+        std::copy(local.begin(), local.end(), slot.begin());
+      } else if (!slot.empty()) {
+        const std::size_t n = recv(slot, r, kTag);
+        AP3_REQUIRE(n == slot.size());
+      }
+      offset += sizes[static_cast<size_t>(r)];
+    }
+  } else if (!local.empty()) {
+    send(local, 0, kTag);
+  }
+  bcast(std::span<T>(out), 0);
+  if (counts) counts->assign(sizes.begin(), sizes.end());
+  return out;
+}
+
+template <typename T>
+void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
+                  int root) const {
+  AP3_REQUIRE(in.size() == out.size());
+  constexpr int kTag = -1003;
+  if (rank_ == root) {
+    std::copy(in.begin(), in.end(), out.begin());
+    std::vector<T> buffer(in.size());
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      const std::size_t n = recv(std::span<T>(buffer), r, kTag);
+      AP3_REQUIRE(n == buffer.size());
+      apply_op(out, std::span<const T>(buffer), op);
+    }
+  } else {
+    send(in, root, kTag);
+  }
+}
+
+template <typename T>
+void Comm::allreduce(std::span<const T> in, std::span<T> out,
+                     ReduceOp op) const {
+  reduce(in, out, op, 0);
+  bcast(out, 0);
+}
+
+template <typename T>
+std::vector<T> Comm::alltoall(std::span<const T> send_data,
+                              std::size_t block) const {
+  AP3_REQUIRE(send_data.size() == block * static_cast<std::size_t>(size()));
+  constexpr int kTag = -1004;
+  std::vector<T> out(send_data.size());
+  // Post all sends (eager), then receive in rank order.
+  for (int r = 0; r < size(); ++r) {
+    std::span<const T> chunk(send_data.data() + r * block, block);
+    if (r == rank_) {
+      std::copy(chunk.begin(), chunk.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(r * block));
+    } else {
+      send(chunk, r, kTag);
+    }
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    std::span<T> slot(out.data() + r * block, block);
+    const std::size_t n = recv(slot, r, kTag);
+    AP3_REQUIRE(n == block);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::alltoallv(std::span<const T> send_data,
+                               std::span<const std::size_t> send_counts,
+                               std::vector<std::size_t>& recv_counts) const {
+  AP3_REQUIRE(send_counts.size() == static_cast<std::size_t>(size()));
+  std::size_t check = 0;
+  for (std::size_t c : send_counts) check += c;
+  AP3_REQUIRE(check == send_data.size());
+
+  // Exchange counts with a fixed-block alltoall, then the payloads.
+  std::vector<std::uint64_t> counts64(send_counts.begin(), send_counts.end());
+  std::vector<std::uint64_t> got =
+      alltoall(std::span<const std::uint64_t>(counts64), 1);
+  recv_counts.assign(got.begin(), got.end());
+
+  constexpr int kTag = -1005;
+  std::size_t total = 0;
+  for (std::size_t c : recv_counts) total += c;
+  std::vector<T> out(total);
+
+  std::size_t send_offset = 0;
+  std::vector<std::size_t> send_offsets(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    send_offsets[static_cast<size_t>(r)] = send_offset;
+    send_offset += send_counts[static_cast<size_t>(r)];
+  }
+  std::size_t recv_offset = 0;
+  std::vector<std::size_t> recv_offsets(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    recv_offsets[static_cast<size_t>(r)] = recv_offset;
+    recv_offset += recv_counts[static_cast<size_t>(r)];
+  }
+
+  for (int r = 0; r < size(); ++r) {
+    std::span<const T> chunk(send_data.data() + send_offsets[static_cast<size_t>(r)],
+                             send_counts[static_cast<size_t>(r)]);
+    if (r == rank_) {
+      std::copy(chunk.begin(), chunk.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(
+                                  recv_offsets[static_cast<size_t>(r)]));
+    } else if (!chunk.empty()) {
+      send(chunk, r, kTag);
+    }
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_ || recv_counts[static_cast<size_t>(r)] == 0) continue;
+    std::span<T> slot(out.data() + recv_offsets[static_cast<size_t>(r)],
+                      recv_counts[static_cast<size_t>(r)]);
+    const std::size_t n = recv(slot, r, kTag);
+    AP3_REQUIRE(n == slot.size());
+  }
+  return out;
+}
+
+}  // namespace ap3::par

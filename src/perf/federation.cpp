@@ -1,0 +1,100 @@
+#include "perf/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace ap3::perf {
+
+double FederationModel::atm_seconds(const FederationConfig& config,
+                                    long long nodes) const {
+  const DayCost cost = base_.atm_day_sunway(config.atm, nodes, CodePath::kCpeOpt);
+  return atm_a_ * cost.compute + atm_b_ * cost.comm;
+}
+
+double FederationModel::ocn_seconds(const FederationConfig& config,
+                                    long long nodes) const {
+  const DayCost cost = base_.ocn_day_sunway(config.ocn, nodes, CodePath::kCpeOpt);
+  return ocn_a_ * cost.compute + ocn_b_ * cost.comm;
+}
+
+FederationPrediction FederationModel::predict(
+    const FederationConfig& config) const {
+  AP3_REQUIRE(config.atm_cluster_nodes > 0 && config.ocn_cluster_nodes > 0);
+  FederationPrediction out;
+
+  out.atm_seconds_per_day = atm_seconds(config, config.atm_cluster_nodes);
+  out.ocn_seconds_per_day = ocn_seconds(config, config.ocn_cluster_nodes);
+
+  // WAN traffic: per coupling event the boundary state crosses the link in
+  // both directions. The surface exchange set is the smaller of the two
+  // grids' ocean-covered surfaces.
+  const double surface_points =
+      std::min(static_cast<double>(config.atm.cells),
+               config.ocn.horizontal_points() * 0.71);
+  const double bytes_per_event =
+      2.0 * config.coupling_fields * surface_points * 8.0;
+  const double events =
+      config.atm_couplings_per_day + config.ocn_couplings_per_day;
+  out.wan_seconds_per_day =
+      events * (bytes_per_event / (config.wan.bandwidth_gbs * 1e9) +
+                2.0 * config.wan.latency_seconds);
+
+  // Task-level concurrency hides the slower component behind the faster one;
+  // the WAN transfers serialize with the coupling points (lagged coupling
+  // hides compute, not the wire time of the exchange itself).
+  const double component = std::max(out.atm_seconds_per_day,
+                                    out.ocn_seconds_per_day);
+  out.seconds_per_day = component + out.wan_seconds_per_day;
+  out.sypd = sypd_from_seconds_per_day(out.seconds_per_day);
+  out.wan_bound = out.wan_seconds_per_day > component;
+  return out;
+}
+
+double FederationModel::single_machine_sypd(
+    const FederationConfig& config) const {
+  // Same node allocations, one machine: the slower component paces the
+  // model; the on-machine coupler rearrangement is charged like the
+  // fabric-local share of a federation event (no WAN term).
+  const double component =
+      std::max(atm_seconds(config, config.atm_cluster_nodes),
+               ocn_seconds(config, config.ocn_cluster_nodes));
+  const long long nodes = config.atm_cluster_nodes + config.ocn_cluster_nodes;
+  const double surface_points =
+      std::min(static_cast<double>(config.atm.cells),
+               config.ocn.horizontal_points() * 0.71);
+  const double bytes_per_event =
+      2.0 * config.coupling_fields * surface_points * 8.0;
+  const double bisection =
+      base_.sunway_network().inter_bandwidth_gbs() * 1e9 *
+      std::max(1.0, static_cast<double>(nodes) / 8.0);
+  const double events =
+      config.atm_couplings_per_day + config.ocn_couplings_per_day;
+  const double cpl = events * (bytes_per_event / bisection + 200e-6);
+  return sypd_from_seconds_per_day(component + cpl);
+}
+
+double FederationModel::breakeven_bandwidth_gbs(const FederationConfig& config,
+                                                double fraction) const {
+  const double target = fraction * single_machine_sypd(config);
+  // An infinite link still pays latency; check feasibility first.
+  FederationConfig infinite = config;
+  infinite.wan.bandwidth_gbs = 1e9;
+  if (predict(infinite).sypd < target) return 0.0;
+
+  double lo = 1e-3, hi = 1e9;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // bisect in log space
+    FederationConfig probe = config;
+    probe.wan.bandwidth_gbs = mid;
+    if (predict(probe).sypd >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace ap3::perf

@@ -1,0 +1,79 @@
+// Computing-power-network federation model — the paper's §8 outlook,
+// implemented: "To further scale, we will explore federating geographically
+// distributed HPC clusters through a computing power network, enabling
+// task-level parallel execution of distinct ESM components."
+//
+// The model places the atmosphere task domain on one cluster and the ocean
+// on another, connected by a wide-area link. Component compute/comm costs
+// come from the same mechanistic machinery as the single-machine model; the
+// WAN adds per-coupling-event transfer and latency. The interesting outputs
+// are the break-even WAN bandwidth (where federation stops losing to a
+// single machine of the combined size) and the sensitivity to coupling
+// frequency — the knobs §8 says decide whether federation pays off.
+#pragma once
+
+#include "perf/scaling.hpp"
+
+namespace ap3::perf {
+
+struct WanLink {
+  double bandwidth_gbs = 10.0;     ///< usable wide-area bandwidth
+  double latency_seconds = 20e-3;  ///< one-way latency (geographic distance)
+};
+
+struct FederationConfig {
+  AtmWorkload atm;
+  OcnWorkload ocn;
+  long long atm_cluster_nodes = 0;  ///< Sunway-class nodes at site A
+  long long ocn_cluster_nodes = 0;  ///< Sunway-class nodes at site B
+  WanLink wan;
+  double atm_couplings_per_day = 180.0;  ///< §6.1 frequencies
+  double ocn_couplings_per_day = 36.0;
+  int coupling_fields = 8;               ///< fields exchanged per event
+};
+
+struct FederationPrediction {
+  double seconds_per_day = 0.0;  ///< wall seconds per simulated day
+  double sypd = 0.0;
+  double wan_seconds_per_day = 0.0;  ///< WAN share of the total
+  double atm_seconds_per_day = 0.0;
+  double ocn_seconds_per_day = 0.0;
+  bool wan_bound = false;  ///< the WAN (not a component) paces the model
+};
+
+class FederationModel {
+ public:
+  explicit FederationModel(const ScalingModel& base) : base_(base) {}
+
+  /// Apply per-component software-efficiency coefficients (solved by the
+  /// Table 2 calibration) so federated predictions live on the same absolute
+  /// scale as the published numbers. Defaults of 1.0 keep the raw
+  /// mechanistic costs.
+  void set_component_calibration(double atm_compute, double atm_comm,
+                                 double ocn_compute, double ocn_comm) {
+    atm_a_ = atm_compute;
+    atm_b_ = atm_comm;
+    ocn_a_ = ocn_compute;
+    ocn_b_ = ocn_comm;
+  }
+
+  FederationPrediction predict(const FederationConfig& config) const;
+
+  /// Single-machine reference: both domains on one cluster of
+  /// (atm_nodes + ocn_nodes) with the §7.2 concurrent layout.
+  double single_machine_sypd(const FederationConfig& config) const;
+
+  /// Smallest WAN bandwidth [GB/s] at which the federation reaches
+  /// `fraction` of the single-machine throughput (bisection; 0 if even an
+  /// infinite link cannot reach it).
+  double breakeven_bandwidth_gbs(const FederationConfig& config,
+                                 double fraction = 0.95) const;
+
+ private:
+  double atm_seconds(const FederationConfig& config, long long nodes) const;
+  double ocn_seconds(const FederationConfig& config, long long nodes) const;
+  const ScalingModel& base_;
+  double atm_a_ = 1.0, atm_b_ = 1.0, ocn_a_ = 1.0, ocn_b_ = 1.0;
+};
+
+}  // namespace ap3::perf

@@ -1,0 +1,26 @@
+// Local kernel-cost measurement — the calibration provenance of DESIGN.md
+// §4: "(a) execute every kernel for real at miniature resolution, (b)
+// measure per-gridpoint-per-step cost". The measured ns/point values are
+// printed alongside the model's flop densities so a reader can check that
+// the workload descriptors are grounded in the real kernels, not invented.
+#pragma once
+
+namespace ap3::perf {
+
+struct LocalKernelCosts {
+  // Atmosphere (per cell, single level where applicable).
+  double atm_dynamics_ns_per_cell = 0.0;
+  double atm_tracer_ns_per_cell_level = 0.0;
+  double atm_physics_ns_per_column = 0.0;
+  // Ocean.
+  double ocn_barotropic_ns_per_point = 0.0;
+  double ocn_tracer_ns_per_point_level = 0.0;
+  double ocn_mixing_ns_per_point_level = 0.0;
+};
+
+/// Runs the mini atmosphere and ocean kernels at a small fixed resolution on
+/// one rank and times them. Deterministic workloads; wall times depend on
+/// the host, which is the point — they are this machine's measurements.
+LocalKernelCosts measure_local_costs();
+
+}  // namespace ap3::perf

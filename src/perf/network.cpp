@@ -1,0 +1,51 @@
+#include "perf/network.hpp"
+
+#include <cmath>
+
+#include "sunway/arch.hpp"
+
+namespace ap3::perf {
+
+NetworkModel::NetworkModel(MachineKind kind) : kind_(kind) {
+  if (kind == MachineKind::kSunwayOceanLight) {
+    latency_ = sunway::kNetworkLatencySeconds;
+    intra_gbs_ = sunway::kIntraSupernodeBandwidthGBs;
+    inter_gbs_ = sunway::kInterSupernodeBandwidthGBs;
+  } else {
+    latency_ = sunway::kOriseNetworkLatencySeconds;
+    intra_gbs_ = sunway::kOriseNetworkBandwidthGBs;
+    inter_gbs_ = sunway::kOriseNetworkBandwidthGBs;  // flat fabric
+  }
+}
+
+double NetworkModel::p2p_seconds(double bytes, bool same_supernode) const {
+  const double gbs = same_supernode ? intra_gbs_ : inter_gbs_;
+  return latency_ + bytes / (gbs * 1e9);
+}
+
+double NetworkModel::halo_seconds(double bytes, int neighbors,
+                                  long long nodes) const {
+  // Fraction of neighbors inside the supernode shrinks as the job spans
+  // more supernodes; beyond a few supernodes most block-neighbors in a 2-D
+  // decomposition land outside.
+  double inside_fraction = 1.0;
+  if (kind_ == MachineKind::kSunwayOceanLight &&
+      nodes > sunway::kNodesPerSupernode) {
+    const double supernodes =
+        static_cast<double>(nodes) / sunway::kNodesPerSupernode;
+    inside_fraction = std::max(0.25, 1.0 / std::sqrt(supernodes));
+  }
+  const double inside = p2p_seconds(bytes, true);
+  const double outside = p2p_seconds(bytes, false);
+  // Messages to distinct neighbors serialize on the injection port.
+  return neighbors *
+         (inside_fraction * inside + (1.0 - inside_fraction) * outside);
+}
+
+double NetworkModel::allreduce_seconds(double bytes, long long nodes) const {
+  if (nodes <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nodes)));
+  return 2.0 * rounds * p2p_seconds(bytes, false);
+}
+
+}  // namespace ap3::perf

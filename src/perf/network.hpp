@@ -1,0 +1,44 @@
+// Interconnect timing models for the two machines of §6.3.
+//
+// Sunway OceanLight: 256-node supernodes on leaf switches with a 16:3
+// oversubscribed fat tree above them. ORISE: GPU nodes with PCIe-attached
+// accelerators and a 25 GB/s network. These models supply the communication
+// terms of the strong/weak-scaling predictions: halo exchanges (bandwidth +
+// latency per neighbor message) and allreduces (log-tree latency), with
+// inter-supernode traffic charged the oversubscribed bandwidth.
+#pragma once
+
+#include <cstddef>
+
+namespace ap3::perf {
+
+enum class MachineKind { kSunwayOceanLight, kOrise };
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(MachineKind kind);
+
+  MachineKind kind() const { return kind_; }
+
+  /// Point-to-point message time.
+  double p2p_seconds(double bytes, bool same_supernode) const;
+
+  /// One halo exchange: `neighbors` simultaneous messages of `bytes` each
+  /// from one node. With many nodes most neighbors leave the supernode.
+  double halo_seconds(double bytes, int neighbors, long long nodes) const;
+
+  /// Allreduce of `bytes` across `nodes` (binary-tree model).
+  double allreduce_seconds(double bytes, long long nodes) const;
+
+  double latency_seconds() const { return latency_; }
+  double intra_bandwidth_gbs() const { return intra_gbs_; }
+  double inter_bandwidth_gbs() const { return inter_gbs_; }
+
+ private:
+  MachineKind kind_;
+  double latency_;
+  double intra_gbs_;
+  double inter_gbs_;
+};
+
+}  // namespace ap3::perf

@@ -1,0 +1,98 @@
+// The calibrated strong/weak-scaling model that regenerates Table 2 and
+// Fig. 8 of the paper.
+//
+// Methodology (DESIGN.md §4): each configuration's wall time per simulated
+// day decomposes into a mechanistic compute term (flops/bytes per core
+// group or GPU through the sunway/orise hardware models) and a mechanistic
+// communication term (halo + allreduce through the fat-tree network model).
+// Two software-efficiency coefficients per published curve — one on compute,
+// one on communication — are solved from the smallest- and largest-scale
+// published anchor points; every intermediate point and every efficiency
+// number is then *predicted* and compared against the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/network.hpp"
+#include "perf/workload.hpp"
+
+namespace ap3::perf {
+
+enum class CodePath { kMpe, kCpeOpt };
+
+/// Wall-clock cost of one simulated day, split by origin.
+struct DayCost {
+  double compute = 0.0;
+  double comm = 0.0;
+  double total() const { return compute + comm; }
+};
+
+inline double sypd_from_seconds_per_day(double seconds) {
+  return 86400.0 / (365.0 * seconds);
+}
+inline double seconds_per_day_from_sypd(double sypd) {
+  return 86400.0 / (365.0 * sypd);
+}
+
+struct CurvePoint {
+  long long cores = 0;   ///< as the paper reports (MPE cores, CPE cores, GPUs)
+  long long units = 0;   ///< model units: nodes (Sunway) or GPUs (ORISE)
+  double sypd_paper = 0.0;  ///< 0 when the paper gives no value at this point
+  double sypd_model = 0.0;
+};
+
+struct ScalingCurve {
+  std::string label;
+  std::vector<CurvePoint> points;
+  double calib_compute = 1.0;  ///< solved coefficient a
+  double calib_comm = 1.0;     ///< solved coefficient b
+
+  /// Strong-scaling parallel efficiency between first and last points.
+  double efficiency_model() const;
+  double efficiency_paper() const;
+};
+
+class ScalingModel {
+ public:
+  ScalingModel();
+
+  // --- mechanistic per-day costs ---------------------------------------------
+  DayCost atm_day_sunway(const AtmWorkload& w, long long nodes,
+                         CodePath path) const;
+  DayCost ocn_day_sunway(const OcnWorkload& w, long long nodes,
+                         CodePath path) const;
+  DayCost ocn_day_orise(const OcnWorkload& w, long long gpus,
+                        bool optimized) const;
+  /// Fully coupled AP3ESM: concurrent task domains + coupler rearrangement.
+  DayCost coupled_day(const AtmWorkload& aw, const OcnWorkload& ow,
+                      long long nodes, double atm_fraction) const;
+
+  /// Calibrate a curve against its anchors (first/last with sypd_paper > 0)
+  /// and fill sypd_model at every point.
+  ScalingCurve calibrate(const std::string& label,
+                         std::vector<CurvePoint> points,
+                         const std::function<DayCost(long long)>& cost) const;
+
+  // --- the published experiments ------------------------------------------------
+  /// All Fig. 8a / Table 2 strong-scaling curves with the paper's anchors.
+  std::vector<ScalingCurve> table2_strong_scaling() const;
+  /// Fig. 8b weak scaling (atm 25/10/6/3 km; ocn 10/5/3/2 km); returns the
+  /// curves plus the weak-scaling efficiencies via `weak_efficiency`.
+  ScalingCurve fig8b_weak_atm() const;
+  ScalingCurve fig8b_weak_ocn() const;
+  /// Weak-scaling efficiency: throughput-per-unit at the largest point over
+  /// the smallest, with per-unit work held ~constant.
+  static double weak_efficiency(const ScalingCurve& curve,
+                                const std::vector<double>& points_per_config);
+
+  const NetworkModel& sunway_network() const { return sunway_net_; }
+  const NetworkModel& orise_network() const { return orise_net_; }
+
+ private:
+  NetworkModel sunway_net_;
+  NetworkModel orise_net_;
+};
+
+}  // namespace ap3::perf

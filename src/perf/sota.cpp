@@ -1,0 +1,53 @@
+#include "perf/sota.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace ap3::perf {
+
+std::vector<SotaPoint> sota_survey() {
+  // Literature points of Fig. 2 (grid totals estimated from the cited
+  // configurations; SYPD as reported in §4).
+  std::vector<SotaPoint> points = {
+      {"HadGEM3-GC3.1-HH", 2018, 1.2e9, 0.49, false},
+      {"CNRM-CM6-1-HR", 2019, 1.1e8, 2.0, false},   // favorable 1e8 case
+      {"E3SM v1 HR", 2019, 8.6e8, 0.8, false},
+      {"EC-Earth3P-VHR", 2024, 1.1e9, 2.8, false},
+      {"ICON (MSA, 5km)", 2023, 2.4e9, 0.47, false},
+      {"nextGEMS 9v5km", 2025, 1.6e9, 1.64, false},  // 600 SDPD
+      {"CESM 2.2 (Sunway, 5v3km)", 2024, 6.0e9, 0.61, false},  // favorable 1e9 case
+      // This paper:
+      {"AP3ESM 3v2", 2025, 1.5e10, 1.01, true},
+      {"AP3ESM 1v1", 2025, 7.2e10, 0.54, true},
+  };
+  return points;
+}
+
+LogLinearFit fit_sota_line() {
+  const auto survey = sota_survey();
+  const SotaPoint* cnrm = nullptr;
+  const SotaPoint* cesm = nullptr;
+  for (const SotaPoint& p : survey) {
+    if (p.model.rfind("CNRM", 0) == 0) cnrm = &p;
+    if (p.model.rfind("CESM", 0) == 0) cesm = &p;
+  }
+  AP3_REQUIRE(cnrm && cesm);
+  LogLinearFit fit;
+  fit.slope = (std::log10(cesm->sypd) - std::log10(cnrm->sypd)) /
+              (std::log10(cesm->total_grid_points) -
+               std::log10(cnrm->total_grid_points));
+  fit.intercept =
+      std::log10(cnrm->sypd) - fit.slope * std::log10(cnrm->total_grid_points);
+  return fit;
+}
+
+double LogLinearFit::sypd_at(double total_grid_points) const {
+  return std::pow(10.0, intercept + slope * std::log10(total_grid_points));
+}
+
+bool beats_sota(const SotaPoint& point) {
+  return point.sypd > fit_sota_line().sypd_at(point.total_grid_points);
+}
+
+}  // namespace ap3::perf

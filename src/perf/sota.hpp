@@ -1,0 +1,40 @@
+// Fig. 2 — the state-of-the-art survey of high-resolution coupled models and
+// the log-linear "SOTA dividing line" fit between CNRM (2019) and CESM
+// (2024), the most favorable cases in the 1e8 and 1e9 grid-point ranges.
+//
+// Grid-point totals are estimates assembled from the cited configurations
+// (atmosphere columns × levels + ocean points × levels); they reproduce the
+// figure's placement, not archival metadata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ap3::perf {
+
+struct SotaPoint {
+  std::string model;
+  int year = 0;
+  double total_grid_points = 0.0;
+  double sypd = 0.0;
+  bool is_ap3esm = false;
+};
+
+/// The survey points of Fig. 2 plus the AP3ESM configurations of this paper.
+std::vector<SotaPoint> sota_survey();
+
+/// log10(SYPD) = intercept + slope * log10(points).
+struct LogLinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double sypd_at(double total_grid_points) const;
+};
+
+/// The dividing line: fit through CNRM (2019) and CESM (2024).
+LogLinearFit fit_sota_line();
+
+/// True if the point sits above the SOTA line (better than the state of the
+/// art at its problem size).
+bool beats_sota(const SotaPoint& point);
+
+}  // namespace ap3::perf

@@ -1,0 +1,36 @@
+#include "perf/workload.hpp"
+
+#include "ai/models.hpp"
+#include "grid/icosahedral.hpp"
+#include "grid/tripolar.hpp"
+
+namespace ap3::perf {
+
+AtmWorkload AtmWorkload::paper(double resolution_km, bool ai_physics) {
+  AtmWorkload w;
+  w.resolution_km = resolution_km;
+  w.cells = grid::IcosaCounts::for_grist_label_km(resolution_km).cells;
+  w.ai_physics = ai_physics;
+  // Tensor flops of the actual paper-scale suite (≈5e5-parameter CNN + MLP).
+  static const double ai_flops = [] {
+    const ai::SuiteConfig config = ai::SuiteConfig::paper_scale();
+    return ai::TendencyCnn(config).flops_per_column() +
+           ai::RadiationMlp(config).flops_per_column();
+  }();
+  w.ai_physics_flops = ai_flops;
+  return w;
+}
+
+OcnWorkload OcnWorkload::paper(double resolution_km, bool exclude) {
+  OcnWorkload w;
+  w.resolution_km = resolution_km;
+  const grid::TripolarConfig config =
+      grid::TripolarConfig::for_resolution_km(resolution_km);
+  w.nx = config.nx;
+  w.ny = config.ny;
+  w.nz = config.nz;
+  w.exclude_non_ocean = exclude;
+  return w;
+}
+
+}  // namespace ap3::perf

@@ -1,0 +1,72 @@
+// Component workload descriptors at the paper's resolutions (§6.1/Table 1).
+//
+// A workload captures, per simulated day, how much arithmetic and memory
+// traffic each grid point generates in each sub-cycle (dycore / tracer /
+// physics for the atmosphere; barotropic / baroclinic / tracer for the
+// ocean) and how much halo data a subdomain boundary moves. Flop densities
+// are anchored to per-point costs of this repository's own kernels, scaled
+// to the paper's full physics (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ap3::perf {
+
+struct AtmWorkload {
+  double resolution_km = 1.0;
+  std::int64_t cells = 0;       ///< horizontal cells (Table 1)
+  int nlev = 30;
+  // §6.1: fixed 8 s / 30 s / 120 s steps at every resolution.
+  double dycore_steps_per_day = 86400.0 / 8.0;
+  double tracer_steps_per_day = 86400.0 / 30.0;
+  double physics_steps_per_day = 86400.0 / 120.0;
+  // Flops per cell-level per step (calibrated: full nonhydrostatic dycore).
+  double dycore_flops = 950.0;
+  double tracer_flops = 260.0;
+  // Conventional suite: scalar flops per column per physics step (full
+  // radiation + microphysics + PBL, dominated by radiative transfer).
+  double conventional_physics_flops = 9.0e6;
+  // AI suite: tensor flops per column (from the actual network shapes).
+  double ai_physics_flops = 0.0;
+  bool ai_physics = true;
+  // Bytes touched per cell-level per dycore step (state + fluxes).
+  double bytes_per_cell_level = 160.0;
+  // Halo width in cells and bytes per boundary cell-level per exchange.
+  double halo_bytes_per_cell_level = 48.0;
+
+  static AtmWorkload paper(double resolution_km, bool ai_physics = true);
+  double total_points() const {
+    return static_cast<double>(cells) * nlev;
+  }
+};
+
+struct OcnWorkload {
+  double resolution_km = 1.0;
+  std::int64_t nx = 0, ny = 0;
+  int nz = 80;
+  // §6.1: 2 s / 20 s / 20 s at every resolution.
+  double barotropic_steps_per_day = 86400.0 / 2.0;
+  double baroclinic_steps_per_day = 86400.0 / 20.0;
+  double tracer_steps_per_day = 86400.0 / 20.0;
+  double barotropic_flops = 140.0;   ///< per surface point per step
+  double baroclinic_flops = 420.0;   ///< per 3-D point per step
+  double tracer_flops = 380.0;       ///< per 3-D point per step
+  double bytes_per_point = 70.0;   // after LDM double-buffered tile reuse
+  double halo_bytes_per_point = 56.0;
+  /// Fraction of 3-D points that are ocean (§5.2.2 exclusion keeps ~0.70;
+  /// the unoptimized code computes all of them).
+  double active_fraction = 0.70;
+  bool exclude_non_ocean = true;
+
+  static OcnWorkload paper(double resolution_km, bool exclude = true);
+  double horizontal_points() const {
+    return static_cast<double>(nx) * static_cast<double>(ny);
+  }
+  double total_points() const { return horizontal_points() * nz; }
+  double computed_points() const {
+    return total_points() * (exclude_non_ocean ? active_fraction : 1.0);
+  }
+};
+
+}  // namespace ap3::perf

@@ -1,0 +1,187 @@
+// Execution spaces and parallel dispatch (the Kokkos-like core of §5.3).
+//
+// Kernels are written once as functors over indices; the execution space
+// selects how they run:
+//   kSerial      — plain loop (reference / bitwise baseline),
+//   kHostThreads — chunked across the process thread pool,
+//   kSunwayCPE   — chunked across the simulated CPE cluster of a core group
+//                  (functionally identical, but the Sunway cost model charges
+//                  simulated cycles; see src/sunway).
+//
+// parallel_reduce uses deterministic chunk partials combined in chunk order,
+// so results are identical across spaces — matching the paper's bit-for-bit
+// validation discipline for the coupled model.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "pp/pool.hpp"
+
+namespace ap3::pp {
+
+enum class ExecSpace { kSerial, kHostThreads, kSunwayCPE };
+
+inline const char* to_string(ExecSpace space) {
+  switch (space) {
+    case ExecSpace::kSerial: return "Serial";
+    case ExecSpace::kHostThreads: return "HostThreads";
+    case ExecSpace::kSunwayCPE: return "SunwayCPE";
+  }
+  return "?";
+}
+
+/// 1-D iteration range [begin, end).
+struct RangePolicy {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  ExecSpace space = ExecSpace::kSerial;
+  std::size_t chunk = 0;  ///< 0: pick automatically
+
+  RangePolicy(std::size_t begin_, std::size_t end_,
+              ExecSpace space_ = ExecSpace::kSerial, std::size_t chunk_ = 0)
+      : begin(begin_), end(end_), space(space_), chunk(chunk_) {
+    AP3_REQUIRE(end_ >= begin_);
+  }
+};
+
+/// 2-D tiled iteration over [0,n0) x [0,n1); tiles are the parallel unit.
+struct MDRangePolicy2 {
+  std::size_t n0 = 0, n1 = 0;
+  std::size_t tile0 = 0, tile1 = 0;  ///< 0: pick automatically
+  ExecSpace space = ExecSpace::kSerial;
+};
+
+namespace detail {
+inline std::size_t auto_chunk(std::size_t n, int nworkers) {
+  const std::size_t per = (n + static_cast<std::size_t>(4 * nworkers) - 1) /
+                          static_cast<std::size_t>(4 * nworkers);
+  return per == 0 ? 1 : per;
+}
+}  // namespace detail
+
+/// parallel_for over a 1-D range.
+template <typename Functor>
+void parallel_for(const RangePolicy& policy, const Functor& fn) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) return;
+  if (policy.space == ExecSpace::kSerial) {
+    for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunk =
+      policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  pool.run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = policy.begin + c * chunk;
+    const std::size_t hi = std::min(policy.end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// parallel_reduce (sum-like): fn(i, acc) accumulates into acc; partials are
+/// combined deterministically in chunk order.
+template <typename Scalar, typename Functor>
+Scalar parallel_reduce(const RangePolicy& policy, const Functor& fn,
+                       Scalar init = Scalar{}) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) return init;
+  if (policy.space == ExecSpace::kSerial) {
+    Scalar acc = init;
+    for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i, acc);
+    return acc;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunk =
+      policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<Scalar> partials(nchunks, Scalar{});
+  pool.run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = policy.begin + c * chunk;
+    const std::size_t hi = std::min(policy.end, lo + chunk);
+    Scalar acc{};
+    for (std::size_t i = lo; i < hi; ++i) fn(i, acc);
+    partials[c] = acc;
+  });
+  Scalar acc = init;
+  for (const Scalar& p : partials) acc += p;
+  return acc;
+}
+
+/// Inclusive parallel scan returning the total; out[i] = sum of fn-values in
+/// [begin, i]. Two-pass chunked algorithm, deterministic.
+template <typename Scalar, typename ValueFn>
+Scalar parallel_scan(const RangePolicy& policy, const ValueFn& value_of,
+                     std::vector<Scalar>& out) {
+  const std::size_t n = policy.end - policy.begin;
+  out.assign(n, Scalar{});
+  if (n == 0) return Scalar{};
+  if (policy.space == ExecSpace::kSerial) {
+    Scalar acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += value_of(policy.begin + i);
+      out[i] = acc;
+    }
+    return acc;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunk =
+      policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<Scalar> sums(nchunks, Scalar{});
+  pool.run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    Scalar acc{};
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += value_of(policy.begin + i);
+      out[i] = acc;
+    }
+    sums[c] = acc;
+  });
+  // Exclusive prefix of chunk sums, then offset each chunk.
+  std::vector<Scalar> offsets(nchunks, Scalar{});
+  Scalar total{};
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    offsets[c] = total;
+    total += sums[c];
+  }
+  pool.run_chunks(nchunks, [&](std::size_t c) {
+    if (offsets[c] == Scalar{}) return;
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) out[i] += offsets[c];
+  });
+  return total;
+}
+
+/// parallel_for over a 2-D tiled range; fn(i0, i1).
+template <typename Functor>
+void parallel_for(const MDRangePolicy2& policy, const Functor& fn) {
+  if (policy.n0 == 0 || policy.n1 == 0) return;
+  const std::size_t t0 = policy.tile0 ? policy.tile0 : 16;
+  const std::size_t t1 = policy.tile1 ? policy.tile1 : 64;
+  const std::size_t tiles0 = (policy.n0 + t0 - 1) / t0;
+  const std::size_t tiles1 = (policy.n1 + t1 - 1) / t1;
+  const std::size_t ntiles = tiles0 * tiles1;
+  auto run_tile = [&](std::size_t tile) {
+    const std::size_t ti = tile / tiles1;
+    const std::size_t tj = tile % tiles1;
+    const std::size_t i_end = std::min(policy.n0, (ti + 1) * t0);
+    const std::size_t j_end = std::min(policy.n1, (tj + 1) * t1);
+    for (std::size_t i = ti * t0; i < i_end; ++i)
+      for (std::size_t j = tj * t1; j < j_end; ++j) fn(i, j);
+  };
+  if (policy.space == ExecSpace::kSerial) {
+    for (std::size_t tile = 0; tile < ntiles; ++tile) run_tile(tile);
+  } else {
+    ThreadPool::global().run_chunks(ntiles, run_tile);
+  }
+}
+
+}  // namespace ap3::pp

@@ -1,0 +1,78 @@
+#include "pp/pool.hpp"
+
+#include <algorithm>
+
+namespace ap3::pp {
+
+ThreadPool::ThreadPool(int nthreads) {
+  workers_.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(std::size_t nchunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (nchunks == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  next_chunk_ = 0;
+  total_chunks_ = nchunks;
+  done_chunks_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+
+  // The caller participates too, so small pools still make progress when a
+  // worker is descheduled (this machine has a single CPU).
+  for (;;) {
+    if (next_chunk_ >= total_chunks_) break;
+    const std::size_t mine = next_chunk_++;
+    lock.unlock();
+    fn(mine);
+    lock.lock();
+    ++done_chunks_;
+    if (done_chunks_ == total_chunks_) cv_done_.notify_all();
+  }
+  cv_done_.wait(lock, [&] { return done_chunks_ == total_chunks_; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    cv_work_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                       next_chunk_ < total_chunks_);
+    });
+    if (stop_) return;
+    const auto* job = job_;
+    const std::uint64_t generation = generation_;
+    while (job_ == job && generation_ == generation &&
+           next_chunk_ < total_chunks_) {
+      const std::size_t mine = next_chunk_++;
+      lock.unlock();
+      (*job)(mine);
+      lock.lock();
+      ++done_chunks_;
+      if (done_chunks_ == total_chunks_) cv_done_.notify_all();
+    }
+    seen_generation = generation;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace ap3::pp

@@ -1,0 +1,52 @@
+// A small persistent worker pool backing the HostThreads execution space.
+//
+// parallel_for/reduce dispatch chunked index ranges to these workers; the
+// pool is created once per process so repeated kernel launches (the model
+// takes millions of timesteps) do not pay thread-spawn costs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ap3::pp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(chunk_index) for chunk_index in [0, nchunks) across the pool and
+  /// blocks until all chunks finished. Re-entrant calls are not supported.
+  void run_chunks(std::size_t nchunks,
+                  const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool; sized from hardware_concurrency (at least 2 so the
+  /// parallel pathway is genuinely exercised even on 1-CPU machines).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t next_chunk_ = 0;
+  std::size_t total_chunks_ = 0;
+  std::size_t done_chunks_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ap3::pp

@@ -1,0 +1,60 @@
+#include "pp/registry.hpp"
+
+namespace ap3::pp {
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+std::uint64_t KernelRegistry::register_kernel(const std::string& name,
+                                              KernelFn fn) {
+  AP3_REQUIRE_MSG(fn != nullptr, "null kernel function for '" << name << "'");
+  const std::uint64_t hash = fnv1a(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = table_.find(hash);
+  if (it != table_.end()) {
+    AP3_REQUIRE_MSG(it->second.name == name,
+                    "kernel hash collision: '" << name << "' vs '"
+                                               << it->second.name << "'");
+    AP3_REQUIRE_MSG(it->second.fn == fn,
+                    "kernel '" << name << "' registered twice with different "
+                                          "functions");
+    return hash;
+  }
+  table_.emplace(hash, Entry{name, fn});
+  return hash;
+}
+
+bool KernelRegistry::has(std::uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.count(hash) != 0;
+}
+
+void KernelRegistry::launch(std::uint64_t hash, const LaunchArgs& args) const {
+  KernelFn fn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = table_.find(hash);
+    AP3_REQUIRE_MSG(it != table_.end(),
+                    "launch of unregistered kernel hash " << hash);
+    fn = it->second.fn;
+    ++launches_;
+  }
+  fn(args);
+}
+
+std::size_t KernelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.size();
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(table_.size());
+  for (const auto& [hash, entry] : table_) out.push_back(entry.name);
+  return out;
+}
+
+}  // namespace ap3::pp

@@ -1,0 +1,88 @@
+// Hash-based kernel registration and callback dispatch.
+//
+// §5.3: "For the Sunway architecture, we propose a hash-based function
+// registration and callback mechanism to enable Kokkos execution on
+// TMP-constrained Sunway processors." The device compiler on Sunway cannot
+// instantiate arbitrary host templates, so each kernel is registered under a
+// stable name hash at startup and the device side launches it through a
+// callback table. This module implements exactly that mechanism: FNV-1a name
+// hashing, a process-wide registry, and launch-by-hash with an opaque
+// argument block.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace ap3::pp {
+
+/// FNV-1a 64-bit — stable across processes, so hashes can be precomputed
+/// offline (the same trick the coupler uses for its offline router tables).
+constexpr std::uint64_t fnv1a(const char* s, std::uint64_t h = 0xcbf29ce484222325ULL) {
+  return *s == '\0' ? h : fnv1a(s + 1, (h ^ static_cast<std::uint64_t>(
+                                                static_cast<unsigned char>(*s))) *
+                                           0x100000001b3ULL);
+}
+inline std::uint64_t fnv1a(const std::string& s) { return fnv1a(s.c_str()); }
+
+/// Opaque argument block handed to a registered kernel: a tuple of raw
+/// pointers plus the iteration range, mirroring the flattened argument
+/// marshalling a real accelerator launch uses.
+struct LaunchArgs {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<void*> pointers;
+  std::vector<double> scalars;
+};
+
+using KernelFn = void (*)(const LaunchArgs&);
+
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  /// Registers `fn` under fnv1a(name). Re-registering the same name with a
+  /// different function throws (a real Sunway build would be a link error).
+  std::uint64_t register_kernel(const std::string& name, KernelFn fn);
+
+  bool has(std::uint64_t hash) const;
+  std::uint64_t hash_of(const std::string& name) const { return fnv1a(name); }
+
+  /// Launch by hash — the device-side dispatch path.
+  void launch(std::uint64_t hash, const LaunchArgs& args) const;
+  void launch(const std::string& name, const LaunchArgs& args) const {
+    launch(fnv1a(name), args);
+  }
+
+  std::size_t size() const;
+  std::vector<std::string> names() const;
+
+  /// Number of launches performed (profiling hook).
+  std::uint64_t launch_count() const { return launches_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    KernelFn fn;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> table_;
+  mutable std::uint64_t launches_ = 0;
+};
+
+/// Helper for static registration at namespace scope:
+///   AP3_REGISTER_KERNEL("ocn_tracer_advect", &tracer_advect_cb);
+struct KernelRegistrar {
+  KernelRegistrar(const char* name, KernelFn fn) {
+    KernelRegistry::instance().register_kernel(name, fn);
+  }
+};
+
+#define AP3_REGISTER_KERNEL(name, fn) \
+  static ::ap3::pp::KernelRegistrar ap3_registrar_##__LINE__{name, fn}
+
+}  // namespace ap3::pp

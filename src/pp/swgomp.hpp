@@ -1,0 +1,73 @@
+// SWGOMP emulation: directive-style loop offload for the atmosphere path.
+//
+// §5.1.1/§5.3: GRIST is accelerated by SWGOMP, a compiler plug-in that maps
+// `!$omp target` loops onto Sunway CPEs. A C++ reproduction cannot use a
+// Fortran compiler plug-in, so this header provides the same programming
+// surface as a library: a target region wraps a conflict-free loop body and
+// the runtime maps the loop space onto the worker cluster, counting offloaded
+// regions so tests can assert the offload actually happened.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "pp/exec.hpp"
+
+namespace ap3::pp::swgomp {
+
+/// Schedule kinds supported by the emulated directive.
+enum class Schedule { kStatic, kDynamic };
+
+struct OffloadStats {
+  std::uint64_t regions = 0;
+  std::uint64_t iterations = 0;
+};
+
+namespace detail {
+inline std::atomic<std::uint64_t>& region_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+inline std::atomic<std::uint64_t>& iteration_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+}  // namespace detail
+
+inline OffloadStats stats() {
+  return {detail::region_counter().load(), detail::iteration_counter().load()};
+}
+
+inline void reset_stats() {
+  detail::region_counter().store(0);
+  detail::iteration_counter().store(0);
+}
+
+/// The `!$omp target teams distribute parallel do` analog: a conflict-free
+/// loop over [0, n) offloaded to the worker cluster. `schedule` only affects
+/// chunking; results are identical either way.
+template <typename Body>
+void target_parallel_for(const std::string& region_name, std::size_t n,
+                         const Body& body,
+                         Schedule schedule = Schedule::kStatic) {
+  (void)region_name;  // kept for profiling hooks / debug symmetry with SWGOMP
+  detail::region_counter().fetch_add(1, std::memory_order_relaxed);
+  detail::iteration_counter().fetch_add(n, std::memory_order_relaxed);
+  RangePolicy policy(0, n, ExecSpace::kHostThreads,
+                     schedule == Schedule::kStatic ? 0 : 1);
+  parallel_for(policy, body);
+}
+
+/// Collapsed 2-D variant (`collapse(2)`).
+template <typename Body>
+void target_parallel_for2(const std::string& region_name, std::size_t n0,
+                          std::size_t n1, const Body& body) {
+  (void)region_name;
+  detail::region_counter().fetch_add(1, std::memory_order_relaxed);
+  detail::iteration_counter().fetch_add(n0 * n1, std::memory_order_relaxed);
+  MDRangePolicy2 policy{n0, n1, 0, 0, ExecSpace::kHostThreads};
+  parallel_for(policy, body);
+}
+
+}  // namespace ap3::pp::swgomp

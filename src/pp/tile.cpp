@@ -1,0 +1,49 @@
+#include "pp/tile.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace ap3::pp {
+
+void TileProfiler::record(const std::string& kernel, TileShape shape,
+                          double seconds) {
+  TileRecord& rec = data_[kernel][shape];
+  rec.shape = shape;
+  rec.seconds += seconds;
+  rec.samples += 1;
+}
+
+TileShape TileProfiler::best(const std::string& kernel) const {
+  auto it = data_.find(kernel);
+  AP3_REQUIRE_MSG(it != data_.end() && !it->second.empty(),
+                  "no tile records for kernel '" << kernel << "'");
+  const TileRecord* best = nullptr;
+  double best_mean = 0.0;
+  for (const auto& [shape, rec] : it->second) {
+    const double mean = rec.seconds / rec.samples;
+    if (!best || mean < best_mean) {
+      best = &rec;
+      best_mean = mean;
+    }
+  }
+  return best->shape;
+}
+
+std::vector<TileRecord> TileProfiler::records(const std::string& kernel) const {
+  std::vector<TileRecord> out;
+  auto it = data_.find(kernel);
+  if (it == data_.end()) return out;
+  for (const auto& [shape, rec] : it->second) out.push_back(rec);
+  std::sort(out.begin(), out.end(), [](const TileRecord& a, const TileRecord& b) {
+    return a.seconds / a.samples < b.seconds / b.samples;
+  });
+  return out;
+}
+
+TileProfiler& TileProfiler::global() {
+  static TileProfiler profiler;
+  return profiler;
+}
+
+}  // namespace ap3::pp

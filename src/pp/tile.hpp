@@ -1,0 +1,77 @@
+// Tile profiling for multi-dimensional parallel iterations.
+//
+// §5.3: "Kokkos offers finer-grained tile profiling for multi-dimensional
+// parallel iterations, enhancing algorithmic flexibility." The profiler
+// records per-(kernel, tile-shape) timings during a sweep and reports the
+// fastest shape, which the ocean kernels then adopt.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ap3::pp {
+
+struct TileShape {
+  std::size_t tile0 = 0;
+  std::size_t tile1 = 0;
+  bool operator<(const TileShape& o) const {
+    return tile0 != o.tile0 ? tile0 < o.tile0 : tile1 < o.tile1;
+  }
+  bool operator==(const TileShape& o) const {
+    return tile0 == o.tile0 && tile1 == o.tile1;
+  }
+};
+
+struct TileRecord {
+  TileShape shape;
+  double seconds = 0.0;
+  int samples = 0;
+};
+
+class TileProfiler {
+ public:
+  void record(const std::string& kernel, TileShape shape, double seconds);
+
+  /// Best (lowest mean time) recorded shape for `kernel`; throws if none.
+  TileShape best(const std::string& kernel) const;
+
+  /// All records for a kernel, sorted by mean time ascending.
+  std::vector<TileRecord> records(const std::string& kernel) const;
+
+  /// Times fn(shape) for each candidate, records, and returns the best shape.
+  template <typename RunFn>
+  TileShape sweep(const std::string& kernel,
+                  const std::vector<TileShape>& candidates, RunFn&& run);
+
+  void clear() { data_.clear(); }
+
+  static TileProfiler& global();
+
+ private:
+  std::map<std::string, std::map<TileShape, TileRecord>> data_;
+};
+
+}  // namespace ap3::pp
+
+#include <chrono>
+
+namespace ap3::pp {
+
+template <typename RunFn>
+TileShape TileProfiler::sweep(const std::string& kernel,
+                              const std::vector<TileShape>& candidates,
+                              RunFn&& run) {
+  for (const TileShape& shape : candidates) {
+    const auto start = std::chrono::steady_clock::now();
+    run(shape);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    record(kernel, shape, secs);
+  }
+  return best(kernel);
+}
+
+}  // namespace ap3::pp

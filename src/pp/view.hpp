@@ -1,0 +1,140 @@
+// Multi-dimensional array views in the spirit of Kokkos::View.
+//
+// LICOMK++ expresses every ocean kernel over Views so one source compiles to
+// CUDA/HIP/Athread backends; this reproduction keeps the same abstraction so
+// kernels are written once and dispatched to any execution space (§5.3).
+//
+// Views are reference-counted (copies alias), support layout left/right,
+// host mirrors, and bounds-checked element access via AP3_REQUIRE in
+// debug-style checked mode (AP3_VIEW_CHECKED).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace ap3::pp {
+
+enum class Layout { kRight, kLeft };  // Right: C order; Left: Fortran order
+
+template <typename T, int Rank>
+class View {
+  static_assert(Rank >= 1 && Rank <= 4, "View supports rank 1..4");
+
+ public:
+  View() = default;
+
+  template <typename... Extents>
+  explicit View(std::string label, Extents... extents)
+      : View(std::move(label), Layout::kRight, extents...) {}
+
+  template <typename... Extents>
+  View(std::string label, Layout layout, Extents... extents)
+      : label_(std::move(label)), layout_(layout) {
+    static_assert(sizeof...(Extents) == Rank, "extent count must equal Rank");
+    extents_ = {static_cast<std::size_t>(extents)...};
+    size_ = 1;
+    for (std::size_t e : extents_) size_ *= e;
+    data_ = std::shared_ptr<T[]>(new T[size_ == 0 ? 1 : size_]());
+    compute_strides();
+  }
+
+  const std::string& label() const { return label_; }
+  Layout layout() const { return layout_; }
+  std::size_t size() const { return size_; }
+  std::size_t extent(int dim) const {
+    return extents_[static_cast<std::size_t>(dim)];
+  }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  bool allocated() const { return static_cast<bool>(data_); }
+
+  template <typename... Idx>
+  T& operator()(Idx... idx) {
+    return data_[offset(idx...)];
+  }
+  template <typename... Idx>
+  const T& operator()(Idx... idx) const {
+    return data_[offset(idx...)];
+  }
+
+  T& linear(std::size_t i) { return data_[i]; }
+  const T& linear(std::size_t i) const { return data_[i]; }
+
+  /// A deep, independent copy with the same shape and contents.
+  View clone() const {
+    View out;
+    out.label_ = label_ + "_copy";
+    out.layout_ = layout_;
+    out.extents_ = extents_;
+    out.strides_ = strides_;
+    out.size_ = size_;
+    out.data_ = std::shared_ptr<T[]>(new T[size_ == 0 ? 1 : size_]);
+    std::copy(data_.get(), data_.get() + size_, out.data_.get());
+    return out;
+  }
+
+  void fill(const T& value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+ private:
+  template <typename... Idx>
+  std::size_t offset(Idx... idx) const {
+    static_assert(sizeof...(Idx) == Rank, "index count must equal Rank");
+    const std::array<std::size_t, Rank> indices = {
+        static_cast<std::size_t>(idx)...};
+#ifdef AP3_VIEW_CHECKED
+    for (int d = 0; d < Rank; ++d)
+      AP3_REQUIRE_MSG(indices[static_cast<std::size_t>(d)] <
+                          extents_[static_cast<std::size_t>(d)],
+                      "view '" << label_ << "' index out of bounds in dim "
+                               << d);
+#endif
+    std::size_t off = 0;
+    for (int d = 0; d < Rank; ++d)
+      off += indices[static_cast<std::size_t>(d)] *
+             strides_[static_cast<std::size_t>(d)];
+    return off;
+  }
+
+  void compute_strides() {
+    if (layout_ == Layout::kRight) {
+      std::size_t stride = 1;
+      for (int d = Rank - 1; d >= 0; --d) {
+        strides_[static_cast<std::size_t>(d)] = stride;
+        stride *= extents_[static_cast<std::size_t>(d)];
+      }
+    } else {
+      std::size_t stride = 1;
+      for (int d = 0; d < Rank; ++d) {
+        strides_[static_cast<std::size_t>(d)] = stride;
+        stride *= extents_[static_cast<std::size_t>(d)];
+      }
+    }
+  }
+
+  std::string label_;
+  Layout layout_ = Layout::kRight;
+  std::array<std::size_t, Rank> extents_{};
+  std::array<std::size_t, Rank> strides_{};
+  std::size_t size_ = 0;
+  std::shared_ptr<T[]> data_;
+};
+
+/// deep_copy between same-shape views (mirrors Kokkos::deep_copy).
+template <typename T, int Rank>
+void deep_copy(View<T, Rank>& dst, const View<T, Rank>& src) {
+  AP3_REQUIRE_MSG(dst.size() == src.size(),
+                  "deep_copy: shape mismatch between '" << dst.label()
+                                                        << "' and '"
+                                                        << src.label() << "'");
+  for (int d = 0; d < Rank; ++d) AP3_REQUIRE(dst.extent(d) == src.extent(d));
+  std::copy(src.data(), src.data() + src.size(), dst.data());
+}
+
+}  // namespace ap3::pp

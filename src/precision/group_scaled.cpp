@@ -1,0 +1,62 @@
+#include "precision/group_scaled.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace ap3::precision {
+
+GroupScaledArray GroupScaledArray::compress(std::span<const double> values,
+                                            std::size_t group_size) {
+  AP3_REQUIRE_MSG(group_size >= 1, "group size must be positive");
+  GroupScaledArray out;
+  out.size_ = values.size();
+  out.group_size_ = group_size;
+  const std::size_t ngroups = (values.size() + group_size - 1) / group_size;
+  out.payload_.resize(values.size());
+  out.scales_.resize(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const std::size_t lo = g * group_size;
+    const std::size_t hi = std::min(values.size(), lo + group_size);
+    double max_abs = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      max_abs = std::max(max_abs, std::abs(values[i]));
+    // Power-of-two scale keeps the scaling itself exact.
+    const double scale = max_abs > 0.0 ? std::exp2(std::ceil(std::log2(max_abs)))
+                                       : 1.0;
+    out.scales_[g] = scale;
+    for (std::size_t i = lo; i < hi; ++i)
+      out.payload_[i] = static_cast<float>(values[i] / scale);
+  }
+  return out;
+}
+
+void GroupScaledArray::decompress(std::span<double> out) const {
+  AP3_REQUIRE(out.size() == size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = at(i);
+}
+
+double GroupScaledArray::at(std::size_t i) const {
+  AP3_REQUIRE(i < size_);
+  return static_cast<double>(payload_[i]) * scales_[i / group_size_];
+}
+
+void round_through_mixed(std::span<double> values, std::size_t group_size) {
+  const GroupScaledArray packed =
+      GroupScaledArray::compress({values.data(), values.size()}, group_size);
+  packed.decompress(values);
+}
+
+double max_relative_roundtrip_error(std::span<const double> values,
+                                    std::size_t group_size) {
+  const GroupScaledArray packed = GroupScaledArray::compress(values, group_size);
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == 0.0) continue;
+    const double rel = std::abs(packed.at(i) - values[i]) / std::abs(values[i]);
+    max_rel = std::max(max_rel, rel);
+  }
+  return max_rel;
+}
+
+}  // namespace ap3::precision

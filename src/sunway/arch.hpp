@@ -1,0 +1,50 @@
+// Architectural parameters of the simulated Sunway OceanLight node and the
+// ORISE GPU node, as described in §6.3 of the paper.
+//
+// These constants drive both the functional simulator (LDM capacity, CPE
+// count) and the timing model (throughputs, bandwidths). Where the paper
+// gives a number we use it; the per-core throughputs are calibrated in
+// src/perf against the paper's measured MPE-vs-CPE speedups (84x-184x).
+#pragma once
+
+#include <cstddef>
+
+namespace ap3::sunway {
+
+// --- SW26010P processor ------------------------------------------------------
+inline constexpr int kCoreGroupsPerCpu = 6;    ///< 6 CGs per SW26010P
+inline constexpr int kCpesPerCoreGroup = 64;   ///< 8x8 CPE mesh
+inline constexpr int kMpesPerCoreGroup = 1;
+inline constexpr int kCoresPerCpu =
+    kCoreGroupsPerCpu * (kCpesPerCoreGroup + kMpesPerCoreGroup);  // 390
+inline constexpr std::size_t kLdmBytesPerCpe = 256 * 1024;        ///< 256 KiB
+
+// --- Sunway OceanLight system -------------------------------------------------
+inline constexpr int kOceanLightNodes = 107520;     ///< "more than 107520 nodes"
+inline constexpr long long kOceanLightCores =
+    static_cast<long long>(kOceanLightNodes) * kCoresPerCpu;  // 41932800
+
+// Fat-tree: 304-port leaf switches, 256 down / 48 up, 16:3 oversubscribed.
+inline constexpr int kLeafPortsDown = 256;
+inline constexpr int kLeafPortsUp = 48;
+inline constexpr int kNodesPerSupernode = 256;
+
+// Timing-model parameters (simulated hardware; calibrated in src/perf).
+inline constexpr double kMpeGflops = 3.3;      ///< one management core
+inline constexpr double kCpeClusterGflops = 440.0;  ///< 64 CPEs, one CG
+inline constexpr double kDmaBandwidthGBs = 40.0;    ///< CG aggregate LDM DMA
+inline constexpr double kDmaLatencySeconds = 1.2e-6;
+inline constexpr double kIntraSupernodeBandwidthGBs = 18.0;
+inline constexpr double kInterSupernodeBandwidthGBs =
+    kIntraSupernodeBandwidthGBs * 3.0 / 16.0;  ///< 16:3 oversubscription
+inline constexpr double kNetworkLatencySeconds = 2.5e-6;
+
+// --- ORISE node (§6.3) --------------------------------------------------------
+inline constexpr int kOriseGpusPerNode = 4;
+inline constexpr double kOriseGpuGflops = 6600.0;   ///< ~AMD MI60 FP64 class
+inline constexpr double kOriseCpuGflops = 120.0;    ///< 4-way 8-core x86 host
+inline constexpr double kOrisePcieBandwidthGBs = 16.0;
+inline constexpr double kOriseNetworkBandwidthGBs = 25.0;
+inline constexpr double kOriseNetworkLatencySeconds = 1.8e-6;
+
+}  // namespace ap3::sunway

@@ -1,0 +1,20 @@
+#include "sunway/athread.hpp"
+
+#include "pp/pool.hpp"
+
+namespace ap3::sunway {
+
+void athread_spawn_join(const CpeKernel& kernel, DmaEngine& dma) {
+  pp::ThreadPool::global().run_chunks(
+      static_cast<std::size_t>(kCpesPerCoreGroup), [&](std::size_t cpe) {
+        LdmAllocator ldm(kLdmBytesPerCpe);
+        CpeContext ctx;
+        ctx.cpe_id = static_cast<int>(cpe);
+        ctx.num_cpes = kCpesPerCoreGroup;
+        ctx.ldm = &ldm;
+        ctx.dma = &dma;
+        kernel(ctx);
+      });
+}
+
+}  // namespace ap3::sunway

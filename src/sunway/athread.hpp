@@ -1,0 +1,49 @@
+// Athread-style offload API for one simulated core group.
+//
+// swLICOM drives the CPE mesh through athread_spawn/athread_join; kernels
+// query their CPE id and stride over the iteration space. The simulator runs
+// the 64 logical CPEs on the host thread pool (functionally identical
+// results) while the core-group cost model (coregroup.hpp) charges simulated
+// time for the same work, so MPE-vs-CPE comparisons reproduce the paper's
+// speedup band without the hardware.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sunway/arch.hpp"
+#include "sunway/dma.hpp"
+#include "sunway/ldm.hpp"
+
+namespace ap3::sunway {
+
+/// Per-CPE execution context handed to spawned kernels.
+struct CpeContext {
+  int cpe_id = 0;                 ///< 0..63 within the core group
+  int num_cpes = kCpesPerCoreGroup;
+  LdmAllocator* ldm = nullptr;    ///< this CPE's scratchpad
+  DmaEngine* dma = nullptr;       ///< shared DMA accounting for the CG
+};
+
+using CpeKernel = std::function<void(CpeContext&)>;
+
+/// Runs `kernel` once per CPE (64 instances) and blocks until all complete.
+/// Each instance gets a fresh LDM allocator; LDM contents do not persist
+/// across spawns (as on hardware after a kernel unload).
+void athread_spawn_join(const CpeKernel& kernel, DmaEngine& dma);
+
+/// Convenience: block-cyclic partition of [0, n) for CPE `id` of `num`.
+struct CpeRange {
+  std::size_t begin;
+  std::size_t end;
+};
+inline CpeRange cpe_partition(std::size_t n, int id, int num) {
+  const std::size_t base = n / static_cast<std::size_t>(num);
+  const std::size_t extra = n % static_cast<std::size_t>(num);
+  const std::size_t uid = static_cast<std::size_t>(id);
+  const std::size_t begin = uid * base + (uid < extra ? uid : extra);
+  const std::size_t len = base + (uid < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace ap3::sunway

@@ -1,0 +1,43 @@
+#include "sunway/coregroup.hpp"
+
+#include <algorithm>
+
+namespace ap3::sunway {
+
+double CoreGroup::predict(const KernelWork& work, ExecTarget target) {
+  if (target == ExecTarget::kMpe) {
+    // One management core: flops-bound, memory traffic hidden behind the low
+    // compute rate. Tensor (AI) flops see no special units on the MPE.
+    return (work.flops + work.ai_flops) / (kMpeGflops * 1e9);
+  }
+  // CPE cluster: compute on 64 CPEs; data must be staged through DMA. The
+  // slower of compute and DMA dominates (they overlap via double buffering,
+  // the standard swLICOM/LICOMK++ optimization), plus a fixed spawn cost.
+  // AI (tensor) flops run ~2.5x the scalar rate, reflecting the paper's point
+  // that matmul-shaped work reaches much higher fractions of peak.
+  const double compute = work.flops / (kCpeClusterGflops * 1e9) +
+                         work.ai_flops / (2.5 * kCpeClusterGflops * 1e9);
+  const double dma = work.bytes / (kDmaBandwidthGBs * 1e9);
+  const double spawn = 6.0e-6;  // athread_spawn/join round trip
+  return std::max(compute, dma) + spawn;
+}
+
+double CoreGroup::charge(const KernelWork& work, ExecTarget target) {
+  const double secs = predict(work, target);
+  seconds_ += secs;
+  ++kernels_;
+  return secs;
+}
+
+double orise_gpu_seconds(const KernelWork& work) {
+  // HIP kernel: tensor units help AI flops; PCIe staging only for the halo
+  // fraction of bytes (fields resident on device), folded into `bytes` by the
+  // caller. Launch overhead per kernel.
+  const double compute = work.flops / (kOriseGpuGflops * 1e9) +
+                         work.ai_flops / (4.0 * kOriseGpuGflops * 1e9);
+  const double hbm = work.bytes / (900.0 * 1e9);  // device memory bandwidth
+  const double launch = 8.0e-6;
+  return std::max(compute, hbm) + launch;
+}
+
+}  // namespace ap3::sunway

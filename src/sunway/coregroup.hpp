@@ -1,0 +1,54 @@
+// Core-group execution model: run a kernel on the MPE or offload to CPEs,
+// always producing identical numerical results, while a simulated clock
+// charges architecture-dependent time.
+//
+// This is the mechanism behind the paper's "MPE" vs "CPE+OPT" comparison
+// (Fig. 8a / Table 2): the MPE path charges one slow management core, the
+// CPE path charges the 64-core cluster plus DMA staging. Work is described
+// by (flops, bytes_touched) which component kernels report per step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sunway/arch.hpp"
+#include "sunway/dma.hpp"
+
+namespace ap3::sunway {
+
+enum class ExecTarget { kMpe, kCpeCluster };
+
+/// Work descriptor for one kernel invocation on one core group.
+struct KernelWork {
+  double flops = 0.0;        ///< floating-point operations
+  double bytes = 0.0;        ///< main-memory traffic (moved through DMA on CPE)
+  double ai_flops = 0.0;     ///< tensor-kernel fraction (matmul-like; §5.2.1)
+};
+
+/// Accumulates simulated seconds for one core group (one MPI process in the
+/// paper's decomposition: one process per CG).
+class CoreGroup {
+ public:
+  /// Charge `work` executed on `target`; returns the simulated seconds added.
+  double charge(const KernelWork& work, ExecTarget target);
+
+  double simulated_seconds() const { return seconds_; }
+  std::uint64_t kernels_run() const { return kernels_; }
+  void reset() {
+    seconds_ = 0.0;
+    kernels_ = 0;
+  }
+
+  /// Predicted time for `work` on `target`, without charging.
+  static double predict(const KernelWork& work, ExecTarget target);
+
+ private:
+  double seconds_ = 0.0;
+  std::uint64_t kernels_ = 0;
+};
+
+/// Time model for a GPU device on the ORISE system (used by the 1-km ocean
+/// experiments): kernel time plus PCIe staging.
+double orise_gpu_seconds(const KernelWork& work);
+
+}  // namespace ap3::sunway

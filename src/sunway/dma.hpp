@@ -1,0 +1,59 @@
+// DMA engine: host-memory <-> LDM transfers with traffic accounting.
+//
+// On SW26010P every CPE stages data through explicit DMA; the volume moved
+// (not just flops) determines kernel speed. The simulator performs the copy
+// for real and accumulates bytes + simulated transfer time from the
+// architecture's bandwidth/latency parameters.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+
+#include "sunway/arch.hpp"
+
+namespace ap3::sunway {
+
+class DmaEngine {
+ public:
+  /// Copy main-memory -> LDM.
+  void get(void* ldm_dst, const void* host_src, std::size_t bytes) {
+    std::memcpy(ldm_dst, host_src, bytes);
+    account(bytes);
+  }
+
+  /// Copy LDM -> main-memory.
+  void put(void* host_dst, const void* ldm_src, std::size_t bytes) {
+    std::memcpy(host_dst, ldm_src, bytes);
+    account(bytes);
+  }
+
+  std::size_t total_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t transfers() const {
+    return transfers_.load(std::memory_order_relaxed);
+  }
+
+  /// Simulated wall time spent in DMA so far (latency + bytes/bandwidth).
+  double simulated_seconds() const {
+    return static_cast<double>(transfers()) * kDmaLatencySeconds +
+           static_cast<double>(total_bytes()) /
+               (kDmaBandwidthGBs * 1e9);
+  }
+
+  void reset() {
+    bytes_.store(0);
+    transfers_.store(0);
+  }
+
+ private:
+  void account(std::size_t bytes) {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    transfers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> transfers_{0};
+};
+
+}  // namespace ap3::sunway

@@ -1,0 +1,40 @@
+#include "sunway/ldm.hpp"
+
+namespace ap3::sunway {
+
+namespace {
+constexpr std::size_t kAlign = 8;
+std::size_t round_up(std::size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
+}  // namespace
+
+LdmAllocator::LdmAllocator(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes), storage_(capacity_bytes) {}
+
+void* LdmAllocator::alloc(std::size_t bytes) {
+  const std::size_t need = round_up(bytes);
+  if (used_ + need > capacity_) {
+    throw LdmOverflow("LDM overflow: requested " + std::to_string(bytes) +
+                      " bytes with " + std::to_string(capacity_ - used_) +
+                      " free of " + std::to_string(capacity_));
+  }
+  void* ptr = storage_.data() + used_;
+  used_ += need;
+  if (used_ > peak_) peak_ = used_;
+  stack_.emplace_back(ptr, need);
+  return ptr;
+}
+
+void LdmAllocator::free_last(void* ptr) {
+  AP3_REQUIRE_MSG(!stack_.empty(), "LDM free with empty allocation stack");
+  AP3_REQUIRE_MSG(stack_.back().first == ptr,
+                  "LDM frees must be LIFO (stack discipline)");
+  used_ -= stack_.back().second;
+  stack_.pop_back();
+}
+
+void LdmAllocator::reset() {
+  used_ = 0;
+  stack_.clear();
+}
+
+}  // namespace ap3::sunway

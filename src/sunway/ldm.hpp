@@ -1,0 +1,54 @@
+// Local Data Memory (LDM) allocator for one simulated CPE.
+//
+// Each SW26010P CPE owns a 256 KiB scratchpad; kernels stage tiles in and
+// out with DMA. The simulator enforces the capacity so a kernel whose working
+// set would not fit on real hardware fails loudly here too — this is what
+// forced the tiled formulations in LICOMK++.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace ap3::sunway {
+
+class LdmOverflow : public ap3::Error {
+ public:
+  explicit LdmOverflow(const std::string& what) : Error(what) {}
+};
+
+/// Bump allocator over a fixed-size scratchpad. Frees are LIFO (stack
+/// discipline), matching how athread kernels actually use LDM.
+class LdmAllocator {
+ public:
+  explicit LdmAllocator(std::size_t capacity_bytes);
+
+  /// Allocate `bytes` (8-byte aligned); throws LdmOverflow if it won't fit.
+  void* alloc(std::size_t bytes);
+
+  /// Typed convenience allocation.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    return static_cast<T*>(alloc(count * sizeof(T)));
+  }
+
+  /// Pop the most recent allocation (stack discipline enforced).
+  void free_last(void* ptr);
+
+  void reset();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t available() const { return capacity_ - used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::vector<std::byte> storage_;
+  std::vector<std::pair<void*, std::size_t>> stack_;
+};
+
+}  // namespace ap3::sunway

@@ -1,0 +1,153 @@
+#include "tensor/layers.hpp"
+
+#include <cmath>
+
+namespace ap3::tensor {
+
+namespace {
+void he_init(Tensor& t, std::size_t fan_in, Rng& rng) {
+  const double std_dev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal() * std_dev);
+}
+}  // namespace
+
+Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
+    : weight({out, in}),
+      bias({out}),
+      grad_weight({out, in}),
+      grad_bias({out}) {
+  he_init(weight, in, rng);
+}
+
+Tensor Dense::forward(const Tensor& x) {
+  input_ = x;
+  Tensor out = matmul_nt(x, weight);
+  const std::size_t batch = out.dim(0), n = out.dim(1);
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t j = 0; j < n; ++j) out.at2(i, j) += bias[j];
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::size_t batch = grad_out.dim(0), n = grad_out.dim(1);
+  const std::size_t in = weight.dim(1);
+  // grad_bias += sum over batch.
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t j = 0; j < n; ++j) grad_bias[j] += grad_out.at2(i, j);
+  // grad_weight += grad_out^T * input.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float g = grad_out.at2(i, j);
+      if (g == 0.0f) continue;
+      for (std::size_t p = 0; p < in; ++p)
+        grad_weight.at2(j, p) += g * input_.at2(i, p);
+    }
+  // grad_in = grad_out * weight.
+  return matmul(grad_out, weight);
+}
+
+void Dense::collect_params(std::vector<Param>& out) {
+  out.push_back({&weight, &grad_weight});
+  out.push_back({&bias, &grad_bias});
+}
+
+Conv1D::Conv1D(std::size_t cin, std::size_t cout, std::size_t k, Rng& rng)
+    : kernel({cout, cin, k}),
+      bias({cout}),
+      grad_kernel({cout, cin, k}),
+      grad_bias({cout}) {
+  he_init(kernel, cin * k, rng);
+}
+
+Tensor Conv1D::forward(const Tensor& x) {
+  input_ = x;
+  return conv1d(x, kernel, bias);
+}
+
+Tensor Conv1D::backward(const Tensor& grad_out) {
+  return conv1d_backward(input_, kernel, grad_out, grad_kernel, grad_bias);
+}
+
+void Conv1D::collect_params(std::vector<Param>& out) {
+  out.push_back({&kernel, &grad_kernel});
+  out.push_back({&bias, &grad_bias});
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  input_ = x;
+  return relu(x);
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  return relu_backward(input_, grad_out);
+}
+
+ResUnit::ResUnit(std::vector<std::unique_ptr<Layer>> inner)
+    : inner_(std::move(inner)) {
+  AP3_REQUIRE_MSG(!inner_.empty(), "ResUnit needs at least one inner layer");
+}
+
+Tensor ResUnit::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : inner_) h = layer->forward(h);
+  AP3_REQUIRE_MSG(h.same_shape(x), "ResUnit inner layers must preserve shape");
+  add_inplace(h, x);
+  pre_act_ = h;
+  return relu(h);
+}
+
+Tensor ResUnit::backward(const Tensor& grad_out) {
+  Tensor g = relu_backward(pre_act_, grad_out);
+  Tensor g_inner = g;  // branch into the inner stack
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it)
+    g_inner = (*it)->backward(g_inner);
+  add_inplace(g_inner, g);  // skip connection gradient
+  return g_inner;
+}
+
+void ResUnit::collect_params(std::vector<Param>& out) {
+  for (auto& layer : inner_) layer->collect_params(out);
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param>& out) {
+  for (auto& layer : layers_) layer->collect_params(out);
+}
+
+std::vector<float> Sequential::save_weights() {
+  std::vector<Param> params;
+  collect_params(params);
+  std::vector<float> flat;
+  for (const Param& p : params)
+    flat.insert(flat.end(), p.value->data(), p.value->data() + p.value->size());
+  return flat;
+}
+
+void Sequential::load_weights(const std::vector<float>& flat) {
+  std::vector<Param> params;
+  collect_params(params);
+  std::size_t pos = 0;
+  for (Param& p : params) {
+    AP3_REQUIRE_MSG(pos + p.value->size() <= flat.size(),
+                    "weight blob too short");
+    for (std::size_t i = 0; i < p.value->size(); ++i)
+      (*p.value)[i] = flat[pos + i];
+    pos += p.value->size();
+  }
+  AP3_REQUIRE_MSG(pos == flat.size(), "weight blob has trailing data");
+}
+
+}  // namespace ap3::tensor

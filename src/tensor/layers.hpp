@@ -1,0 +1,120 @@
+// Neural-network layers with backprop, enough to build the paper's two AI
+// physics modules: the 11-layer/5-ResUnit tendency CNN and the 7-layer
+// residual radiation MLP.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ap3::tensor {
+
+/// A trainable parameter: value and accumulated gradient.
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  /// Forward pass; implementations cache what backward needs.
+  virtual Tensor forward(const Tensor& x) = 0;
+  /// Backward pass: dL/d(output) in, dL/d(input) out; accumulates parameter
+  /// gradients.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual void collect_params(std::vector<Param>& out) = 0;
+  virtual std::string name() const = 0;
+
+  std::size_t num_params() {
+    std::vector<Param> params;
+    collect_params(params);
+    std::size_t n = 0;
+    for (const Param& p : params) n += p.value->size();
+    return n;
+  }
+  void zero_grads() {
+    std::vector<Param> params;
+    collect_params(params);
+    for (Param& p : params) p.grad->zero();
+  }
+};
+
+/// Fully connected: x (B, in) -> (B, out); weight (out, in), He init.
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  std::string name() const override { return "Dense"; }
+
+  Tensor weight, bias, grad_weight, grad_bias;
+
+ private:
+  Tensor input_;
+};
+
+/// Same-padding conv: x (B, Cin, L) -> (B, Cout, L); He init.
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t cin, std::size_t cout, std::size_t k, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  std::string name() const override { return "Conv1D"; }
+
+  Tensor kernel, bias, grad_kernel, grad_bias;
+
+ private:
+  Tensor input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>&) override {}
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;
+};
+
+/// Residual unit: y = relu(inner(x) + x). `inner` must preserve shape.
+class ResUnit : public Layer {
+ public:
+  explicit ResUnit(std::vector<std::unique_ptr<Layer>> inner);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  std::string name() const override { return "ResUnit"; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> inner_;
+  Tensor pre_act_;  // inner(x) + x, pre-ReLU
+};
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  std::string name() const override { return "Sequential"; }
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Weight (de)serialization: flat list of all parameter tensors in order.
+  std::vector<float> save_weights();
+  void load_weights(const std::vector<float>& flat);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ap3::tensor

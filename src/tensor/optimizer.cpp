@@ -1,0 +1,35 @@
+#include "tensor/optimizer.hpp"
+
+#include <cmath>
+
+namespace ap3::tensor {
+
+Adam::Adam(Layer& model, AdamConfig config) : config_(config) {
+  model.collect_params(params_);
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    m_[p].assign(params_[p].value->size(), 0.0f);
+    v_[p].assign(params_[p].value->size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    Tensor& value = *params_[p].value;
+    const Tensor& grad = *params_[p].grad;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      m_[p][i] = config_.beta1 * m_[p][i] + (1.0f - config_.beta1) * grad[i];
+      v_[p][i] =
+          config_.beta2 * v_[p][i] + (1.0f - config_.beta2) * grad[i] * grad[i];
+      const float mhat = m_[p][i] / bc1;
+      const float vhat = v_[p][i] / bc2;
+      value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace ap3::tensor

@@ -1,0 +1,32 @@
+// Adam optimizer for the AI physics suite trainer.
+#pragma once
+
+#include <vector>
+
+#include "tensor/layers.hpp"
+
+namespace ap3::tensor {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+class Adam {
+ public:
+  Adam(Layer& model, AdamConfig config = {});
+
+  /// One update from accumulated gradients; caller zeroes grads afterwards.
+  void step();
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Param> params_;
+  std::vector<std::vector<float>> m_, v_;
+  AdamConfig config_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace ap3::tensor

@@ -1,0 +1,174 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ap3::tensor {
+
+namespace {
+std::size_t product(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(product(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  AP3_REQUIRE_MSG(data_.size() == product(shape_),
+                  "tensor data size does not match shape");
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  AP3_REQUIRE(product(shape) == data_.size());
+  return Tensor(std::move(shape), data_);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& weight) {
+  AP3_REQUIRE(a.rank() == 2 && weight.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1);
+  const std::size_t n = weight.dim(0);
+  AP3_REQUIRE_MSG(weight.dim(1) == k, "matmul_nt inner dimension mismatch");
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* wrow = weight.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * wrow[p];
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  AP3_REQUIRE(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  AP3_REQUIRE_MSG(b.dim(0) == k, "matmul inner dimension mismatch");
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aval = a.at2(i, p);
+      if (aval == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      float* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor conv1d(const Tensor& x, const Tensor& kernel, const Tensor& bias) {
+  AP3_REQUIRE(x.rank() == 3 && kernel.rank() == 3 && bias.rank() == 1);
+  const std::size_t batch = x.dim(0), cin = x.dim(1), len = x.dim(2);
+  const std::size_t cout = kernel.dim(0), kk = kernel.dim(2);
+  AP3_REQUIRE_MSG(kernel.dim(1) == cin, "conv1d channel mismatch");
+  AP3_REQUIRE_MSG(kk % 2 == 1, "conv1d kernel size must be odd (same padding)");
+  AP3_REQUIRE(bias.dim(0) == cout);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kk / 2);
+  Tensor out({batch, cout, len});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      for (std::size_t l = 0; l < len; ++l) {
+        float acc = bias[co];
+        for (std::size_t ci = 0; ci < cin; ++ci) {
+          for (std::size_t t = 0; t < kk; ++t) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(l) + static_cast<std::ptrdiff_t>(t) - half;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(len)) continue;
+            acc += kernel.at3(co, ci, t) *
+                   x.at3(b, ci, static_cast<std::size_t>(src));
+          }
+        }
+        out.at3(b, co, l) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv1d_backward(const Tensor& x, const Tensor& kernel,
+                       const Tensor& grad_out, Tensor& grad_kernel,
+                       Tensor& grad_bias) {
+  const std::size_t batch = x.dim(0), cin = x.dim(1), len = x.dim(2);
+  const std::size_t cout = kernel.dim(0), kk = kernel.dim(2);
+  AP3_REQUIRE(grad_out.dim(0) == batch && grad_out.dim(1) == cout &&
+              grad_out.dim(2) == len);
+  AP3_REQUIRE(grad_kernel.same_shape(kernel));
+  AP3_REQUIRE(grad_bias.dim(0) == cout);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kk / 2);
+  Tensor grad_in({batch, cin, len});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      for (std::size_t l = 0; l < len; ++l) {
+        const float g = grad_out.at3(b, co, l);
+        grad_bias[co] += g;
+        for (std::size_t ci = 0; ci < cin; ++ci) {
+          for (std::size_t t = 0; t < kk; ++t) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(l) + static_cast<std::ptrdiff_t>(t) - half;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(len)) continue;
+            grad_kernel.at3(co, ci, t) +=
+                g * x.at3(b, ci, static_cast<std::size_t>(src));
+            grad_in.at3(b, ci, static_cast<std::size_t>(src)) +=
+                g * kernel.at3(co, ci, t);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  AP3_REQUIRE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= s;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
+  AP3_REQUIRE(x.same_shape(grad_out));
+  Tensor out = grad_out;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (x[i] <= 0.0f) out[i] = 0.0f;
+  return out;
+}
+
+float mse(const Tensor& pred, const Tensor& target) {
+  AP3_REQUIRE(pred.same_shape(target));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.size()));
+}
+
+Tensor mse_grad(const Tensor& pred, const Tensor& target) {
+  AP3_REQUIRE(pred.same_shape(target));
+  Tensor grad(pred.shape());
+  const float scale = 2.0f / static_cast<float>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    grad[i] = scale * (pred[i] - target[i]);
+  return grad;
+}
+
+}  // namespace ap3::tensor

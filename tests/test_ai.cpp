@@ -1,0 +1,307 @@
+// Tests for the AI physics suite: architecture conformance to §5.2.1
+// (layer/ResUnit counts, ~5e5 parameters at paper scale), the 7:1 + per-day
+// validation split, normalization round trips, training skill on a synthetic
+// physics surrogate, and the inference facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "ai/models.hpp"
+#include "ai/normalizer.hpp"
+#include "ai/suite.hpp"
+#include "ai/trainer.hpp"
+#include "base/rng.hpp"
+
+namespace {
+
+using namespace ap3;
+using namespace ap3::ai;
+using tensor::Tensor;
+
+TEST(Models, PaperScaleCnnHasAboutHalfMillionParams) {
+  TendencyCnn cnn(SuiteConfig::paper_scale());
+  // §5.2.1: "approximately 5 × 10^5 trainable parameters".
+  EXPECT_GT(cnn.num_params(), 4.0e5);
+  EXPECT_LT(cnn.num_params(), 6.5e5);
+  EXPECT_EQ(cnn.num_conv_layers(), 11);
+  EXPECT_EQ(cnn.num_res_units(), 5);
+}
+
+TEST(Models, CnnOutputShape) {
+  SuiteConfig config;
+  config.cnn_hidden = 8;
+  TendencyCnn cnn(config);
+  Tensor x({3, 5, 30});
+  const Tensor y = cnn.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{3, 4, 30}));
+}
+
+TEST(Models, MlpOutputShape) {
+  SuiteConfig config;
+  config.mlp_hidden = 16;
+  RadiationMlp mlp(config);
+  Tensor x({4, static_cast<size_t>(config.mlp_inputs())});
+  const Tensor y = mlp.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{4, 2}));
+  EXPECT_EQ(mlp.num_dense_layers(), 7);
+}
+
+TEST(Models, DeterministicInitFromSeed) {
+  SuiteConfig config;
+  config.cnn_hidden = 8;
+  TendencyCnn a(config), b(config);
+  Tensor x({1, 5, 30});
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.01f * static_cast<float>(i);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Models, FlopsScaleWithWidth) {
+  SuiteConfig narrow;
+  narrow.cnn_hidden = 16;
+  SuiteConfig wide = narrow;
+  wide.cnn_hidden = 32;
+  EXPECT_GT(TendencyCnn(wide).flops_per_column(),
+            3.0 * TendencyCnn(narrow).flops_per_column());
+}
+
+// --- split protocol --------------------------------------------------------
+
+TEST(Split, SevenToOneOverDays) {
+  const auto split = DataSplit::make(80, 24, 1);
+  // 10 of 80 days are test days.
+  EXPECT_EQ(split.test.size(), 10u * 24u);
+  // 3 validation steps per training day.
+  EXPECT_EQ(split.validation.size(), 70u * 3u);
+  EXPECT_EQ(split.train.size(), 70u * 21u);
+}
+
+TEST(Split, PartitionIsDisjointAndComplete) {
+  const auto split = DataSplit::make(16, 8, 2);
+  std::vector<int> seen(16 * 8, 0);
+  for (auto i : split.train) seen[i]++;
+  for (auto i : split.test) seen[i]++;
+  for (auto i : split.validation) seen[i]++;
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Split, DeterministicInSeed) {
+  const auto a = DataSplit::make(16, 8, 5);
+  const auto b = DataSplit::make(16, 8, 5);
+  EXPECT_EQ(a.validation, b.validation);
+  const auto c = DataSplit::make(16, 8, 6);
+  EXPECT_NE(a.validation, c.validation);
+}
+
+// --- normalization -------------------------------------------------------------
+
+TEST(Normalizer, ChannelZScoreRoundTrip) {
+  Rng rng(2);
+  Tensor data({20, 3, 10});
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<float>(rng.normal() * 5.0 + 100.0);
+  const Tensor original = data;
+  const auto norm = ChannelNormalizer::fit(data);
+  norm.apply(data);
+  // Normalized data: near-zero mean per channel.
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) sum += data[i];
+  EXPECT_NEAR(sum / static_cast<double>(data.size()), 0.0, 1e-3);
+  norm.invert(data);
+  for (size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(data[i], original[i], 1e-3f);
+}
+
+TEST(Normalizer, HandlesConstantChannel) {
+  Tensor data({4, 1, 3});
+  data.fill(7.0f);
+  const auto norm = ChannelNormalizer::fit(data);
+  norm.apply(data);
+  for (size_t i = 0; i < data.size(); ++i) EXPECT_NEAR(data[i], 0.0f, 1e-6f);
+}
+
+TEST(Normalizer, FlatVariantPerFeature) {
+  Tensor data({10, 2});
+  for (size_t i = 0; i < 10; ++i) {
+    data.at2(i, 0) = static_cast<float>(i);         // mean 4.5
+    data.at2(i, 1) = 100.0f + static_cast<float>(i);
+  }
+  const auto norm = ChannelNormalizer::fit_flat(data);
+  EXPECT_NEAR(norm.mean(0), 4.5f, 1e-5f);
+  EXPECT_NEAR(norm.mean(1), 104.5f, 1e-5f);
+}
+
+// --- training --------------------------------------------------------------------
+
+TEST(Trainer, LearnsSyntheticColumnPhysics) {
+  // Synthetic "physics": tendency channel = smoothed vertical gradient of a
+  // made-up input combination. Small CNN must reduce loss substantially and
+  // reach positive test R².
+  SuiteConfig config;
+  config.cnn_hidden = 8;
+  config.levels = 12;
+  TendencyCnn cnn(config);
+
+  const size_t days = 16, steps = 4;
+  const size_t n = days * steps;
+  Rng rng(21);
+  Tensor inputs({n, 5, 12}), targets({n, 4, 12});
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t k = 0; k < 12; ++k) {
+      const double z = k / 12.0;
+      const double t = 1.0 - z + 0.1 * rng.normal();
+      const double q = std::exp(-3.0 * z) + 0.05 * rng.normal();
+      inputs.at3(s, 0, k) = static_cast<float>(0.3 * rng.normal());
+      inputs.at3(s, 1, k) = static_cast<float>(0.3 * rng.normal());
+      inputs.at3(s, 2, k) = static_cast<float>(t);
+      inputs.at3(s, 3, k) = static_cast<float>(q);
+      inputs.at3(s, 4, k) = static_cast<float>(1.0 - 0.9 * z);
+    }
+    for (size_t k = 0; k < 12; ++k) {
+      const size_t up = k + 1 < 12 ? k + 1 : k;
+      const size_t dn = k > 0 ? k - 1 : k;
+      for (size_t c = 0; c < 4; ++c) {
+        const size_t src = c == 3 ? 3 : 2;  // moisture drives dQ, temp the rest
+        targets.at3(s, c, k) =
+            0.5f * (inputs.at3(s, src, up) - inputs.at3(s, src, dn));
+      }
+    }
+  }
+
+  // Normalize as the suite does before training.
+  const auto in_norm = ChannelNormalizer::fit(inputs);
+  in_norm.apply(inputs);
+  const auto t_norm = ChannelNormalizer::fit(targets);
+  t_norm.apply(targets);
+
+  const auto split = DataSplit::make(days, steps, 3);
+  Trainer::Options options;
+  options.epochs = 30;
+  options.batch = 8;
+  options.lr = 3e-3f;
+  const TrainReport report =
+      Trainer::fit(cnn.model(), inputs, targets, split, options);
+
+  EXPECT_LT(report.final_train_loss, report.epoch_losses.front() * 0.5f);
+  EXPECT_GT(report.test_r2, 0.3f);
+  EXPECT_GT(report.validation_loss, 0.0f);
+}
+
+TEST(Trainer, GatherRowsSlicesLeadingDim) {
+  Tensor data({4, 2}, {0, 1, 10, 11, 20, 21, 30, 31});
+  const Tensor rows = Trainer::gather_rows(data, {3, 1});
+  EXPECT_EQ(rows.at2(0, 0), 30.0f);
+  EXPECT_EQ(rows.at2(1, 1), 11.0f);
+}
+
+// --- suite facade --------------------------------------------------------------------
+
+TEST(Suite, ComputeBeforeFitThrows) {
+  SuiteConfig config;
+  config.cnn_hidden = 4;
+  config.mlp_hidden = 8;
+  config.levels = 6;
+  AiPhysicsSuite suite(config);
+  Tensor columns({1, 5, 6});
+  std::vector<double> scalar = {290.0};
+  EXPECT_THROW(suite.compute(columns, scalar, scalar), ap3::Error);
+}
+
+TEST(Suite, ComputeShapesAndDenormalization) {
+  SuiteConfig config;
+  config.cnn_hidden = 4;
+  config.mlp_hidden = 8;
+  config.levels = 6;
+  AiPhysicsSuite suite(config);
+
+  Rng rng(17);
+  const size_t n = 32;
+  Tensor columns({n, 5, 6}), tendencies({n, 4, 6}), fluxes({n, 2});
+  std::vector<double> tskin(n), coszr(n);
+  for (size_t s = 0; s < n; ++s) {
+    tskin[s] = 285.0 + 10.0 * rng.normal();
+    coszr[s] = rng.uniform();
+    for (size_t c = 0; c < 5; ++c)
+      for (size_t k = 0; k < 6; ++k)
+        columns.at3(s, c, k) = static_cast<float>(rng.normal() * 10.0 + 200.0);
+    for (size_t c = 0; c < 4; ++c)
+      for (size_t k = 0; k < 6; ++k)
+        tendencies.at3(s, c, k) = static_cast<float>(rng.normal() * 1e-4);
+    fluxes.at2(s, 0) = static_cast<float>(400.0 + 50.0 * rng.normal());
+    fluxes.at2(s, 1) = static_cast<float>(350.0 + 30.0 * rng.normal());
+  }
+  const Tensor rad_inputs = suite.make_rad_inputs(columns, tskin, coszr);
+  EXPECT_EQ(rad_inputs.shape(),
+            (std::vector<size_t>{n, static_cast<size_t>(config.mlp_inputs())}));
+  suite.fit_normalizers(columns, tendencies, rad_inputs, fluxes);
+
+  const SuiteOutput out = suite.compute(columns, tskin, coszr);
+  EXPECT_EQ(out.tendencies.shape(), (std::vector<size_t>{n, 4, 6}));
+  EXPECT_EQ(out.fluxes.shape(), (std::vector<size_t>{n, 2}));
+  // Denormalized fluxes must land in physical magnitude (hundreds of W/m²),
+  // not normalized units.
+  double mean_gsw = 0.0;
+  for (size_t s = 0; s < n; ++s) mean_gsw += out.fluxes.at2(s, 0);
+  mean_gsw /= n;
+  EXPECT_GT(std::abs(mean_gsw), 50.0);
+}
+
+TEST(Suite, SaveLoadRestoresBitIdenticalInference) {
+  SuiteConfig config;
+  config.cnn_hidden = 4;
+  config.mlp_hidden = 8;
+  config.levels = 6;
+  AiPhysicsSuite suite(config);
+  Rng rng(23);
+  const size_t n = 16;
+  Tensor columns({n, 5, 6}), tendencies({n, 4, 6}), fluxes({n, 2});
+  std::vector<double> tskin(n, 288.0), coszr(n, 0.4);
+  for (size_t i = 0; i < columns.size(); ++i)
+    columns[i] = static_cast<float>(rng.normal() * 10 + 250);
+  for (size_t i = 0; i < tendencies.size(); ++i)
+    tendencies[i] = static_cast<float>(rng.normal() * 1e-4);
+  for (size_t i = 0; i < fluxes.size(); ++i)
+    fluxes[i] = static_cast<float>(300 + rng.normal() * 40);
+  const Tensor rad_inputs = suite.make_rad_inputs(columns, tskin, coszr);
+  suite.fit_normalizers(columns, tendencies, rad_inputs, fluxes);
+
+  const std::string path = "/tmp/ap3_test_suite.bin";
+  save_suite(suite, path);
+  auto restored = load_suite(config, path);
+  std::remove(path.c_str());
+
+  const SuiteOutput a = suite.compute(columns, tskin, coszr);
+  const SuiteOutput b = restored->compute(columns, tskin, coszr);
+  for (size_t i = 0; i < a.tendencies.size(); ++i)
+    EXPECT_EQ(a.tendencies[i], b.tendencies[i]);
+  for (size_t i = 0; i < a.fluxes.size(); ++i)
+    EXPECT_EQ(a.fluxes[i], b.fluxes[i]);
+}
+
+TEST(Suite, SaveBeforeFitThrows) {
+  SuiteConfig config;
+  config.cnn_hidden = 4;
+  config.mlp_hidden = 8;
+  config.levels = 6;
+  AiPhysicsSuite suite(config);
+  EXPECT_THROW(save_suite(suite, "/tmp/ap3_never.bin"), ap3::Error);
+}
+
+TEST(Suite, LoadMissingFileThrows) {
+  SuiteConfig config;
+  config.cnn_hidden = 4;
+  config.mlp_hidden = 8;
+  config.levels = 6;
+  EXPECT_THROW(load_suite(config, "/tmp/ap3_does_not_exist.bin"), ap3::Error);
+}
+
+TEST(Suite, FlopsPerColumnPositiveAndDominatedByCnn) {
+  SuiteConfig config = SuiteConfig::paper_scale();
+  AiPhysicsSuite suite(config);
+  EXPECT_GT(suite.flops_per_column(), 0.0);
+  EXPECT_GT(suite.cnn().flops_per_column(), suite.mlp().flops_per_column());
+}
+
+}  // namespace

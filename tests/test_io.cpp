@@ -1,0 +1,139 @@
+// Tests for the parallel I/O subsystem (§5.2.5): subfile write/read round
+// trips, checksum verification, and the single-file baseline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/subfile.hpp"
+#include "par/comm.hpp"
+
+namespace {
+
+using namespace ap3;
+using io::FieldData;
+using io::SubfileConfig;
+
+FieldData make_local(int rank, int npoints) {
+  FieldData data;
+  for (int k = 0; k < npoints; ++k) {
+    data.ids.push_back(1000 * rank + k);
+    data.values.push_back(rank + 0.001 * k);
+  }
+  return data;
+}
+
+void cleanup(const std::string& basename, int num_subfiles) {
+  for (int k = 0; k < num_subfiles; ++k)
+    std::remove((basename + "." + std::to_string(k) + ".bin").c_str());
+}
+
+TEST(Io, ChecksumDetectsChange) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 2.0, 3.0000001};
+  EXPECT_NE(io::checksum(a), io::checksum(b));
+  EXPECT_EQ(io::checksum(a), io::checksum(a));
+}
+
+TEST(Io, SubfileRoundTripMultipleGroups) {
+  const std::string base = "/tmp/ap3_io_test_a";
+  par::run(6, [&](par::Comm& comm) {
+    SubfileConfig config{base, 3};
+    const FieldData mine = make_local(comm.rank(), 5 + comm.rank());
+    io::write_subfiles(comm, config, mine);
+    comm.barrier();
+    const FieldData back = io::read_subfiles(comm, config, mine.ids);
+    EXPECT_EQ(back.ids, mine.ids);
+    EXPECT_EQ(back.values, mine.values);
+    comm.barrier();
+  });
+  cleanup(base, 3);
+}
+
+TEST(Io, SubfileCountEqualsConfiguredGroups) {
+  const std::string base = "/tmp/ap3_io_test_b";
+  par::run(8, [&](par::Comm& comm) {
+    SubfileConfig config{base, 4};
+    io::write_subfiles(comm, config, make_local(comm.rank(), 3));
+    comm.barrier();
+  });
+  int found = 0;
+  for (int k = 0; k < 8; ++k)
+    if (std::filesystem::exists(base + "." + std::to_string(k) + ".bin"))
+      ++found;
+  EXPECT_EQ(found, 4);
+  cleanup(base, 8);
+}
+
+TEST(Io, OneSubfilePerRankDegenerateCase) {
+  const std::string base = "/tmp/ap3_io_test_c";
+  par::run(4, [&](par::Comm& comm) {
+    SubfileConfig config{base, 4};
+    const FieldData mine = make_local(comm.rank(), 7);
+    io::write_subfiles(comm, config, mine);
+    comm.barrier();
+    const FieldData back = io::read_subfiles(comm, config, mine.ids);
+    EXPECT_EQ(back.values, mine.values);
+    comm.barrier();
+  });
+  cleanup(base, 4);
+}
+
+TEST(Io, SingleFileBaselineRoundTrip) {
+  const std::string path = "/tmp/ap3_io_test_single.bin";
+  par::run(4, [&](par::Comm& comm) {
+    const FieldData mine = make_local(comm.rank(), 4);
+    io::write_single(comm, path, mine);
+    comm.barrier();
+    const FieldData back = io::read_single(comm, path, mine.ids);
+    EXPECT_EQ(back.ids, mine.ids);
+    EXPECT_EQ(back.values, mine.values);
+    comm.barrier();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Io, CorruptedFileFailsChecksum) {
+  const std::string path = "/tmp/ap3_io_test_corrupt.bin";
+  par::run(1, [&](par::Comm& comm) {
+    const FieldData mine = make_local(0, 10);
+    io::write_single(comm, path, mine);
+  });
+  // Flip one payload byte in the middle of the values section.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8 + 8 + 10 * 8 + 3 * 8);  // header + counts + ids + offset
+    char byte = 0x5a;
+    f.write(&byte, 1);
+  }
+  par::run(1, [&](par::Comm& comm) {
+    const FieldData mine = make_local(0, 10);
+    EXPECT_THROW(io::read_single(comm, path, mine.ids), ap3::Error);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Io, MismatchedDecompositionThrows) {
+  const std::string path = "/tmp/ap3_io_test_mismatch.bin";
+  par::run(2, [&](par::Comm& comm) {
+    const FieldData mine = make_local(comm.rank(), 3);
+    io::write_single(comm, path, mine);
+    comm.barrier();
+    // Ask for different ids than were written.
+    std::vector<std::int64_t> wrong = {999, 998, 997};
+    EXPECT_THROW(io::read_single(comm, path, wrong), ap3::Error);
+    comm.barrier();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Io, InvalidSubfileCountThrows) {
+  par::run(2, [&](par::Comm& comm) {
+    SubfileConfig config{"/tmp/ap3_io_test_bad", 5};  // more files than ranks
+    EXPECT_THROW(io::write_subfiles(comm, config, make_local(comm.rank(), 2)),
+                 ap3::Error);
+  });
+}
+
+}  // namespace

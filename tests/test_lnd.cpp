@@ -1,0 +1,98 @@
+// Tests for the bucket-hydrology land surface model.
+#include <gtest/gtest.h>
+
+#include "lnd/land.hpp"
+
+namespace {
+
+using namespace ap3::lnd;
+
+TEST(Land, WarmsUnderStrongSun) {
+  LandModel land(1);
+  LandForcing forcing;
+  forcing.gsw = 800.0;
+  forcing.glw = 350.0;
+  forcing.t_air = 288.0;
+  const double before = land.tskin(0);
+  for (int i = 0; i < 50; ++i) land.step_cell(0, 600.0, forcing);
+  EXPECT_GT(land.tskin(0), before);
+}
+
+TEST(Land, CoolsAtNight) {
+  LandModel land(1);
+  LandForcing forcing;
+  forcing.gsw = 0.0;
+  forcing.glw = 250.0;  // weak downwelling
+  forcing.t_air = 270.0;
+  const double before = land.tskin(0);
+  for (int i = 0; i < 50; ++i) land.step_cell(0, 600.0, forcing);
+  EXPECT_LT(land.tskin(0), before);
+}
+
+TEST(Land, ReachesRadiativeEquilibrium) {
+  LandModel land(1);
+  LandForcing forcing;
+  forcing.gsw = 400.0;
+  forcing.glw = 330.0;
+  forcing.t_air = 290.0;
+  double prev = 0.0;
+  for (int i = 0; i < 4000; ++i) prev = land.step_cell(0, 900.0, forcing).tskin;
+  const double next = land.step_cell(0, 900.0, forcing).tskin;
+  EXPECT_NEAR(next, prev, 1e-3);        // converged
+  EXPECT_GT(next, 270.0);
+  EXPECT_LT(next, 330.0);               // physically plausible
+}
+
+TEST(Land, PrecipitationFillsBucketAndRunsOff) {
+  LandModel land(1);
+  LandForcing rain;
+  rain.gsw = 0.0;
+  rain.glw = 300.0;
+  rain.t_air = 285.0;
+  rain.precip = 1e-3;  // heavy rain [kg/m²/s]
+  for (int i = 0; i < 500; ++i) land.step_cell(0, 600.0, rain);
+  // Bucket saturates near its depth; runoff caps it.
+  EXPECT_GT(land.soil_water(0), 0.14);
+  EXPECT_LT(land.soil_water(0), 0.25);
+}
+
+TEST(Land, EvaporationNeedsWaterAndEnergy) {
+  LandModel land(2);
+  LandForcing sunny_wet;
+  sunny_wet.gsw = 600.0;
+  sunny_wet.glw = 320.0;
+  sunny_wet.t_air = 295.0;
+  // Cell 1: dry it out first.
+  LandForcing dry = sunny_wet;
+  for (int i = 0; i < 20000; ++i) land.step_cell(1, 3600.0, dry);
+  const LandResponse wet_response = land.step_cell(0, 600.0, sunny_wet);
+  const LandResponse dry_response = land.step_cell(1, 600.0, sunny_wet);
+  EXPECT_GT(wet_response.evaporation, 0.0);
+  EXPECT_LT(dry_response.evaporation, wet_response.evaporation);
+  // No energy, no evaporation.
+  LandForcing night = sunny_wet;
+  night.gsw = 0.0;
+  EXPECT_EQ(land.step_cell(0, 600.0, night).evaporation, 0.0);
+}
+
+TEST(Land, SkinTemperatureBounded) {
+  LandModel land(1);
+  LandForcing extreme;
+  extreme.gsw = 1400.0;
+  extreme.glw = 500.0;
+  extreme.t_air = 330.0;
+  for (int i = 0; i < 5000; ++i) land.step_cell(0, 3600.0, extreme);
+  EXPECT_LE(land.tskin(0), 340.0);
+}
+
+TEST(Land, WaterNeverNegative) {
+  LandModel land(1);
+  LandForcing scorching;
+  scorching.gsw = 1000.0;
+  scorching.glw = 400.0;
+  scorching.t_air = 310.0;
+  for (int i = 0; i < 10000; ++i) land.step_cell(0, 3600.0, scorching);
+  EXPECT_GE(land.soil_water(0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,323 @@
+// Tests for the coupling toolkit: AttrVect semantics, GlobalSegMap
+// construction/serialization, Router correctness and offline precompute
+// (§5.2.4), both rearranger strategies (bitwise agreement), and distributed
+// regridding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "base/rng.hpp"
+
+#include "base/constants.hpp"
+#include "mct/attrvect.hpp"
+#include "mct/gsmap.hpp"
+#include "mct/rearranger.hpp"
+#include "mct/router.hpp"
+#include "mct/sparsematrix.hpp"
+#include "par/comm.hpp"
+
+namespace {
+
+using namespace ap3;
+using namespace ap3::mct;
+
+// --- AttrVect ------------------------------------------------------------
+
+TEST(AttrVect, FieldsZeroInitialized) {
+  AttrVect av({"t", "u", "v"}, 10);
+  EXPECT_EQ(av.num_fields(), 3u);
+  EXPECT_EQ(av.num_points(), 10u);
+  for (double v : av.field("u")) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AttrVect, FieldAccessByNameAndIndex) {
+  AttrVect av({"t", "q"}, 4);
+  av.field("q")[2] = 5.0;
+  EXPECT_EQ(av.field(1)[2], 5.0);
+  EXPECT_EQ(av.at(1, 2), 5.0);
+}
+
+TEST(AttrVect, UnknownFieldThrows) {
+  AttrVect av({"t"}, 4);
+  EXPECT_THROW(av.field("nope"), ap3::Error);
+}
+
+TEST(AttrVect, DuplicateFieldThrows) {
+  EXPECT_THROW(AttrVect({"t", "t"}, 4), ap3::Error);
+}
+
+TEST(AttrVect, SubsetKeepsValues) {
+  AttrVect av({"t", "u", "unused"}, 3);
+  av.field("t")[1] = 7.0;
+  const AttrVect trimmed = av.subset({"t", "u"});
+  EXPECT_EQ(trimmed.num_fields(), 2u);
+  EXPECT_EQ(trimmed.field("t")[1], 7.0);
+  EXPECT_FALSE(trimmed.has_field("unused"));
+}
+
+// --- GlobalSegMap -------------------------------------------------------------
+
+TEST(GsMap, BuildFromContiguousBlocks) {
+  par::run(4, [](par::Comm& comm) {
+    // Rank r owns [100r, 100r+100).
+    std::vector<std::int64_t> mine(100);
+    std::iota(mine.begin(), mine.end(), 100 * comm.rank());
+    const GlobalSegMap map = GlobalSegMap::build(comm, mine);
+    EXPECT_EQ(map.gsize(), 400);
+    EXPECT_EQ(map.segments().size(), 4u);  // run-compressed
+    EXPECT_EQ(map.owner(250), 2);
+    EXPECT_EQ(map.local_size(comm.rank()), 100);
+    EXPECT_EQ(map.local_index(1, 142), 42);
+  });
+}
+
+TEST(GsMap, StridedOwnershipCompressesToManySegments) {
+  par::run(2, [](par::Comm& comm) {
+    // Interleaved by blocks of 10.
+    std::vector<std::int64_t> mine;
+    for (std::int64_t block = comm.rank(); block < 10; block += 2)
+      for (std::int64_t k = 0; k < 10; ++k) mine.push_back(block * 10 + k);
+    const GlobalSegMap map = GlobalSegMap::build(comm, mine);
+    EXPECT_EQ(map.gsize(), 100);
+    EXPECT_EQ(map.segments().size(), 10u);
+    EXPECT_EQ(map.owner(0), 0);
+    EXPECT_EQ(map.owner(10), 1);
+    EXPECT_EQ(map.owner(95), 1);
+  });
+}
+
+TEST(GsMap, LocalIdsRoundTrip) {
+  const GlobalSegMap map = GlobalSegMap::from_all({{0, 1, 2, 7, 8}, {3, 4, 5, 6}});
+  const auto ids0 = map.local_ids(0);
+  EXPECT_EQ(ids0, (std::vector<std::int64_t>{0, 1, 2, 7, 8}));
+  EXPECT_EQ(map.local_index(0, 7), 3);
+  EXPECT_EQ(map.local_index(1, 6), 3);
+  EXPECT_FALSE(map.contains(9));
+  EXPECT_THROW(map.owner(9), ap3::Error);
+}
+
+TEST(GsMap, SerializeDeserializeRoundTrip) {
+  const GlobalSegMap map = GlobalSegMap::from_all({{0, 1, 5, 6}, {2, 3, 4}});
+  const GlobalSegMap copy = GlobalSegMap::deserialize(map.serialize());
+  EXPECT_TRUE(map == copy);
+}
+
+TEST(GsMap, SaveLoadRoundTrip) {
+  const GlobalSegMap map = GlobalSegMap::from_all({{0, 1}, {2, 3}});
+  const std::string path = "/tmp/ap3_test_gsmap.bin";
+  map.save(path);
+  const GlobalSegMap loaded = GlobalSegMap::load(path);
+  EXPECT_TRUE(map == loaded);
+  std::remove(path.c_str());
+}
+
+// --- Router ---------------------------------------------------------------------
+
+TEST(Router, IdentityDecompositionIsSelfOnly) {
+  const GlobalSegMap map = GlobalSegMap::from_all({{0, 1, 2}, {3, 4, 5}});
+  const Router router = Router::build(0, map, map);
+  ASSERT_EQ(router.send_plan().size(), 1u);
+  EXPECT_EQ(router.send_plan().begin()->first, 0);  // sends to itself
+  EXPECT_EQ(router.points_sent(), 3);
+  EXPECT_EQ(router.points_received(), 3);
+}
+
+TEST(Router, TransposeDecomposition) {
+  // Source: rank0 owns 0..5, rank1 owns 6..11.
+  // Dest:   rank0 owns evens, rank1 owns odds.
+  const GlobalSegMap src = GlobalSegMap::from_all({{0, 1, 2, 3, 4, 5},
+                                                   {6, 7, 8, 9, 10, 11}});
+  const GlobalSegMap dst = GlobalSegMap::from_all(
+      {{0, 2, 4, 6, 8, 10}, {1, 3, 5, 7, 9, 11}});
+  const Router r0 = Router::build(0, src, dst);
+  // Rank 0 as source holds 0..5: evens (0,2,4) to pe0, odds (1,3,5) to pe1.
+  EXPECT_EQ(r0.send_plan().at(0), (std::vector<std::int64_t>{0, 2, 4}));
+  EXPECT_EQ(r0.send_plan().at(1), (std::vector<std::int64_t>{1, 3, 5}));
+  // Rank 0 as dest receives evens: 0,2,4 from pe0; 6,8,10 from pe1.
+  EXPECT_EQ(r0.recv_plan().at(0).size(), 3u);
+  EXPECT_EQ(r0.recv_plan().at(1).size(), 3u);
+  EXPECT_EQ(r0.points_sent(), 6);
+  EXPECT_EQ(r0.points_received(), 6);
+}
+
+TEST(Router, PartialOverlapOnlyRoutesIntersection) {
+  // Destination map covers only ids 2..3 of a 6-point source.
+  const GlobalSegMap src = GlobalSegMap::from_all({{0, 1, 2}, {3, 4, 5}});
+  const GlobalSegMap dst = GlobalSegMap::from_all({{2, 3}, {}});
+  const Router r0 = Router::build(0, src, dst);
+  EXPECT_EQ(r0.points_sent(), 1);      // only id 2
+  EXPECT_EQ(r0.points_received(), 2);  // ids 2 and 3
+  const Router r1 = Router::build(1, src, dst);
+  EXPECT_EQ(r1.points_sent(), 1);  // only id 3
+  EXPECT_EQ(r1.points_received(), 0);
+}
+
+TEST(Router, OfflinePrecomputeMatchesOnlineBuild) {
+  // §5.2.4: routers generated offline must match the online construction.
+  const GlobalSegMap src = GlobalSegMap::from_all({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  const GlobalSegMap dst = GlobalSegMap::from_all({{0, 2, 4, 6}, {1, 3, 5, 7}});
+  for (int rank = 0; rank < 2; ++rank) {
+    const Router online = Router::build(rank, src, dst);
+    const std::string path = "/tmp/ap3_test_router_" + std::to_string(rank);
+    online.save(path);
+    const Router offline = Router::load(path);
+    EXPECT_TRUE(online == offline);
+    std::remove(path.c_str());
+  }
+}
+
+// --- Rearranger -------------------------------------------------------------------
+
+void run_rearrange_test(RearrangeMethod method) {
+  par::run(4, [method](par::Comm& comm) {
+    const std::int64_t n = 64;
+    // Source: contiguous blocks; destination: round-robin by 4.
+    std::vector<std::vector<std::int64_t>> src_ids(4), dst_ids(4);
+    for (std::int64_t g = 0; g < n; ++g) {
+      src_ids[static_cast<size_t>(g / 16)].push_back(g);
+      dst_ids[static_cast<size_t>(g % 4)].push_back(g);
+    }
+    const GlobalSegMap src_map = GlobalSegMap::from_all(src_ids);
+    const GlobalSegMap dst_map = GlobalSegMap::from_all(dst_ids);
+    const Router router = Router::build(comm.rank(), src_map, dst_map);
+    Rearranger rearranger(comm, router);
+
+    AttrVect src({"t", "u"}, 16);
+    const auto my_src = src_map.local_ids(comm.rank());
+    for (size_t k = 0; k < my_src.size(); ++k) {
+      src.field("t")[k] = static_cast<double>(my_src[k]);
+      src.field("u")[k] = 1000.0 + static_cast<double>(my_src[k]);
+    }
+    AttrVect dst({"t", "u"}, 16);
+    rearranger.rearrange(src, dst, method);
+
+    const auto my_dst = dst_map.local_ids(comm.rank());
+    for (size_t k = 0; k < my_dst.size(); ++k) {
+      EXPECT_EQ(dst.field("t")[k], static_cast<double>(my_dst[k]));
+      EXPECT_EQ(dst.field("u")[k], 1000.0 + static_cast<double>(my_dst[k]));
+    }
+  });
+}
+
+TEST(Rearranger, AlltoallvMovesEveryPoint) {
+  run_rearrange_test(RearrangeMethod::kAlltoallv);
+}
+
+TEST(Rearranger, PointToPointMovesEveryPoint) {
+  run_rearrange_test(RearrangeMethod::kPointToPoint);
+}
+
+TEST(Rearranger, StrategiesBitwiseIdentical) {
+  par::run(3, [](par::Comm& comm) {
+    const std::int64_t n = 30;
+    std::vector<std::vector<std::int64_t>> src_ids(3), dst_ids(3);
+    for (std::int64_t g = 0; g < n; ++g) {
+      src_ids[static_cast<size_t>(g / 10)].push_back(g);
+      dst_ids[static_cast<size_t>((g * 7) % 3)].push_back(g);
+    }
+    const GlobalSegMap src_map = GlobalSegMap::from_all(src_ids);
+    const GlobalSegMap dst_map = GlobalSegMap::from_all(dst_ids);
+    Rearranger rearranger(comm, Router::build(comm.rank(), src_map, dst_map));
+
+    AttrVect src({"x"}, static_cast<size_t>(src_map.local_size(comm.rank())));
+    const auto my_src = src_map.local_ids(comm.rank());
+    for (size_t k = 0; k < my_src.size(); ++k)
+      src.field("x")[k] = std::sin(static_cast<double>(my_src[k]) * 0.731);
+
+    AttrVect dst_a({"x"}, static_cast<size_t>(dst_map.local_size(comm.rank())));
+    AttrVect dst_b({"x"}, static_cast<size_t>(dst_map.local_size(comm.rank())));
+    rearranger.rearrange(src, dst_a, RearrangeMethod::kAlltoallv);
+    rearranger.rearrange(src, dst_b, RearrangeMethod::kPointToPoint);
+    for (size_t k = 0; k < dst_a.num_points(); ++k)
+      EXPECT_EQ(dst_a.field("x")[k], dst_b.field("x")[k]);  // bitwise
+  });
+}
+
+TEST(Rearranger, FieldMismatchThrows) {
+  par::run(1, [](par::Comm& comm) {
+    const GlobalSegMap map = GlobalSegMap::from_all({{0, 1}});
+    Rearranger rearranger(comm, Router::build(0, map, map));
+    AttrVect src({"a"}, 2);
+    AttrVect dst({"b"}, 2);
+    EXPECT_THROW(rearranger.rearrange(src, dst), ap3::Error);
+  });
+}
+
+// --- SparseMatrix / RegridOp --------------------------------------------------------
+
+TEST(SparseMatrix, InverseDistanceRowsNormalized) {
+  std::vector<GeoPoint> src, dst;
+  for (int i = 0; i < 20; ++i)
+    src.push_back({0.3 * i, 0.1 * i - 1.0});
+  for (int i = 0; i < 7; ++i)
+    dst.push_back({0.3 * i + 0.05, 0.1 * i - 0.95});
+  const SparseMatrix m = SparseMatrix::inverse_distance(dst, src, 3);
+  EXPECT_LT(m.max_row_sum_deviation(), 1e-12);
+  EXPECT_EQ(m.num_entries(), 7u * 3u);
+}
+
+TEST(SparseMatrix, ExactHitGetsDeltaWeight) {
+  std::vector<GeoPoint> src = {{0.0, 0.0}, {1.0, 0.5}};
+  std::vector<GeoPoint> dst = {{1.0, 0.5}};
+  const SparseMatrix m = SparseMatrix::inverse_distance(dst, src, 2);
+  ASSERT_EQ(m.num_entries(), 1u);
+  EXPECT_EQ(m.entries()[0].src, 1);
+  EXPECT_DOUBLE_EQ(m.entries()[0].weight, 1.0);
+}
+
+TEST(SparseMatrix, ConstantFieldPreserved) {
+  // Interpolation with normalized rows must reproduce constants exactly —
+  // the basic conservation sanity check for coupler remapping.
+  std::vector<GeoPoint> src, dst;
+  ap3::Rng rng(3);
+  for (int i = 0; i < 50; ++i)
+    src.push_back({rng.uniform(0, 2 * constants::kPi),
+                   rng.uniform(-1.2, 1.2)});
+  for (int i = 0; i < 20; ++i)
+    dst.push_back({rng.uniform(0, 2 * constants::kPi),
+                   rng.uniform(-1.2, 1.2)});
+  const SparseMatrix m = SparseMatrix::inverse_distance(dst, src, 4);
+  const std::vector<double> ones(50, 3.7);
+  const auto out = m.apply_serial(ones, 20);
+  for (double v : out) EXPECT_NEAR(v, 3.7, 1e-12);
+}
+
+TEST(RegridOp, DistributedMatchesSerial) {
+  par::run(4, [](par::Comm& comm) {
+    // Source grid: 40 points on a circle; dest: 24 points offset.
+    std::vector<GeoPoint> src_pts, dst_pts;
+    for (int i = 0; i < 40; ++i)
+      src_pts.push_back({2 * constants::kPi * i / 40.0, 0.6 * std::sin(i * 0.5)});
+    for (int i = 0; i < 24; ++i)
+      dst_pts.push_back({2 * constants::kPi * i / 24.0 + 0.01, 0.55 * std::sin(i * 0.7)});
+    const SparseMatrix matrix = SparseMatrix::inverse_distance(dst_pts, src_pts, 3);
+
+    std::vector<std::vector<std::int64_t>> src_ids(4), dst_ids(4);
+    for (std::int64_t g = 0; g < 40; ++g)
+      src_ids[static_cast<size_t>(g / 10)].push_back(g);
+    for (std::int64_t g = 0; g < 24; ++g)
+      dst_ids[static_cast<size_t>(g % 4)].push_back(g);
+    const GlobalSegMap src_map = GlobalSegMap::from_all(src_ids);
+    const GlobalSegMap dst_map = GlobalSegMap::from_all(dst_ids);
+
+    std::vector<double> global_src(40);
+    for (int i = 0; i < 40; ++i) global_src[static_cast<size_t>(i)] = std::cos(0.3 * i);
+    const auto serial = matrix.apply_serial(global_src, 24);
+
+    RegridOp op(comm, matrix, src_map, dst_map);
+    const auto my_src_ids = src_map.local_ids(comm.rank());
+    std::vector<double> local_src(my_src_ids.size());
+    for (size_t k = 0; k < my_src_ids.size(); ++k)
+      local_src[k] = global_src[static_cast<size_t>(my_src_ids[k])];
+    const auto local_out = op.apply(local_src);
+
+    const auto my_dst_ids = dst_map.local_ids(comm.rank());
+    ASSERT_EQ(local_out.size(), my_dst_ids.size());
+    for (size_t k = 0; k < my_dst_ids.size(); ++k)
+      EXPECT_NEAR(local_out[k], serial[static_cast<size_t>(my_dst_ids[k])], 1e-12);
+  });
+}
+
+}  // namespace

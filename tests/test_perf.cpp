@@ -1,0 +1,329 @@
+// Tests for the performance model: network timing sanity, workload
+// construction from Table 1, calibration exactness at anchors, predicted
+// shapes (who wins, efficiency bands, MPE-vs-CPE speedups), and the Fig. 2
+// SOTA fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/network.hpp"
+#include "perf/scaling.hpp"
+#include "perf/sota.hpp"
+#include "perf/workload.hpp"
+
+namespace {
+
+using namespace ap3::perf;
+
+TEST(Network, LatencyAndBandwidthOrdering) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  // Bigger messages take longer; inter-supernode slower than intra.
+  EXPECT_GT(net.p2p_seconds(1e6, false), net.p2p_seconds(1e6, true));
+  EXPECT_GT(net.p2p_seconds(1e6, true), net.p2p_seconds(1e3, true));
+  // Tiny messages are latency-bound.
+  EXPECT_NEAR(net.p2p_seconds(8, true), net.latency_seconds(), 1e-7);
+}
+
+TEST(Network, OversubscriptionRatio) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  EXPECT_NEAR(net.inter_bandwidth_gbs() / net.intra_bandwidth_gbs(),
+              3.0 / 16.0, 1e-12);
+}
+
+TEST(Network, AllreduceGrowsLogarithmically) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  const double t1k = net.allreduce_seconds(8, 1024);
+  const double t1m = net.allreduce_seconds(8, 1048576);
+  EXPECT_NEAR(t1m / t1k, 2.0, 0.01);  // 20 rounds vs 10
+}
+
+TEST(Network, HaloLeavesSupernodeAtScale) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  // Same message, more nodes: more traffic crosses the oversubscribed level.
+  EXPECT_GT(net.halo_seconds(1e5, 4, 100000), net.halo_seconds(1e5, 4, 100));
+}
+
+TEST(Workload, Table1Counts) {
+  const AtmWorkload atm1 = AtmWorkload::paper(1.0);
+  EXPECT_NEAR(static_cast<double>(atm1.cells), 3.4e8, 0.4e8);
+  const OcnWorkload ocn1 = OcnWorkload::paper(1.0);
+  EXPECT_EQ(ocn1.nx, 36000);
+  EXPECT_EQ(ocn1.ny, 22018);
+  EXPECT_NEAR(ocn1.total_points(), 6.3e10, 0.1e10);
+}
+
+TEST(Workload, SubcycleRatesMatchSection61) {
+  const AtmWorkload atm = AtmWorkload::paper(3.0);
+  EXPECT_DOUBLE_EQ(atm.dycore_steps_per_day, 10800.0);   // 8 s
+  EXPECT_DOUBLE_EQ(atm.tracer_steps_per_day, 2880.0);    // 30 s
+  EXPECT_DOUBLE_EQ(atm.physics_steps_per_day, 720.0);    // 120 s
+  const OcnWorkload ocn = OcnWorkload::paper(2.0);
+  EXPECT_DOUBLE_EQ(ocn.barotropic_steps_per_day, 43200.0);  // 2 s
+  EXPECT_DOUBLE_EQ(ocn.baroclinic_steps_per_day, 4320.0);   // 20 s
+}
+
+TEST(Workload, ExclusionRemovesThirtyPercent) {
+  const OcnWorkload with = OcnWorkload::paper(2.0, true);
+  const OcnWorkload without = OcnWorkload::paper(2.0, false);
+  EXPECT_NEAR(with.computed_points() / without.computed_points(), 0.70, 1e-9);
+}
+
+TEST(Scaling, MechanisticCpeBeatsMpeInPaperBand) {
+  ScalingModel model;
+  const AtmWorkload atm = AtmWorkload::paper(3.0, false);
+  const long long nodes = 5462;
+  const double mpe =
+      model.atm_day_sunway(atm, nodes, CodePath::kMpe).total();
+  const double cpe =
+      model.atm_day_sunway(atm, nodes, CodePath::kCpeOpt).total();
+  const double speedup = mpe / cpe;
+  // §7.2: 112x–184x for the atmosphere (uncalibrated mechanistic band is
+  // looser but must bracket the right order of magnitude).
+  EXPECT_GT(speedup, 50.0);
+  EXPECT_LT(speedup, 400.0);
+}
+
+TEST(Scaling, CalibrationHitsAnchorsExactly) {
+  ScalingModel model;
+  for (const ScalingCurve& curve : model.table2_strong_scaling()) {
+    const CurvePoint& first = curve.points.front();
+    const CurvePoint& last = curve.points.back();
+    if (first.sypd_paper > 0) {
+      EXPECT_NEAR(first.sypd_model / first.sypd_paper, 1.0, 1e-6)
+          << curve.label;
+    }
+    if (last.sypd_paper > 0) {
+      EXPECT_NEAR(last.sypd_model / last.sypd_paper, 1.0, 1e-6) << curve.label;
+    }
+  }
+}
+
+TEST(Scaling, ModelSypdMonotoneInNodes) {
+  ScalingModel model;
+  for (const ScalingCurve& curve : model.table2_strong_scaling()) {
+    for (std::size_t k = 1; k < curve.points.size(); ++k)
+      EXPECT_GT(curve.points[k].sypd_model, curve.points[k - 1].sypd_model)
+          << curve.label << " point " << k;
+  }
+}
+
+TEST(Scaling, InteriorPointsTrackPaperWhereReported) {
+  // Interior anchors are NOT used in calibration; the model should land
+  // within ~35 % of them (the shape claim of DESIGN.md §4).
+  ScalingModel model;
+  for (const ScalingCurve& curve : model.table2_strong_scaling()) {
+    for (std::size_t k = 1; k + 1 < curve.points.size(); ++k) {
+      const CurvePoint& p = curve.points[k];
+      if (p.sypd_paper <= 0) continue;
+      EXPECT_NEAR(p.sypd_model / p.sypd_paper, 1.0, 0.35)
+          << curve.label << " @ " << p.cores << " cores";
+    }
+  }
+}
+
+TEST(Scaling, EfficienciesReproducePaperOrdering) {
+  ScalingModel model;
+  const auto curves = model.table2_strong_scaling();
+  auto find = [&](const std::string& label) -> const ScalingCurve& {
+    for (const auto& c : curves)
+      if (c.label == label) return c;
+    throw std::runtime_error("missing curve " + label);
+  };
+  // Calibrated endpoints mean efficiency matches the paper by construction;
+  // assert the published values are reproduced.
+  EXPECT_NEAR(find("3km ATM MPE").efficiency_model(), 0.246, 0.02);
+  EXPECT_NEAR(find("3km ATM CPE+OPT").efficiency_model(), 0.403, 0.02);
+  EXPECT_NEAR(find("1km ATM CPE+OPT").efficiency_model(), 0.515, 0.02);
+  EXPECT_NEAR(find("2km OCN CPE+OPT").efficiency_model(), 0.494, 0.02);
+  EXPECT_NEAR(find("1km OCN ORISE OPT").efficiency_model(), 0.543, 0.02);
+  EXPECT_NEAR(find("AP3ESM 1v1").efficiency_model(), 0.907, 0.02);
+  // MPE ocean scales almost ideally (it is compute-starved): PE ~ 0.886.
+  EXPECT_GT(find("2km OCN MPE").efficiency_model(), 0.8);
+}
+
+TEST(Scaling, OriseOptBeatsOriginalRecord) {
+  ScalingModel model;
+  const auto curves = model.table2_strong_scaling();
+  const ScalingCurve* original = nullptr;
+  const ScalingCurve* opt = nullptr;
+  for (const auto& c : curves) {
+    if (c.label == "1km OCN ORISE Original") original = &c;
+    if (c.label == "1km OCN ORISE OPT") opt = &c;
+  }
+  ASSERT_TRUE(original && opt);
+  // §7.2: 1.2x over the 2024 Gordon Bell finalist record at full scale.
+  EXPECT_GT(opt->points.back().sypd_model, 1.9);
+  EXPECT_GT(opt->points.back().sypd_model /
+                (original->points.back().sypd_model + 0.21),
+            1.1);
+}
+
+TEST(Scaling, WeakScalingEfficienciesNearPaper) {
+  ScalingModel model;
+  const ScalingCurve atm = model.fig8b_weak_atm();
+  std::vector<double> atm_points;
+  for (double r : {25.0, 10.0, 6.0, 3.0})
+    atm_points.push_back(AtmWorkload::paper(r).total_points());
+  const double atm_eff = ScalingModel::weak_efficiency(atm, atm_points);
+  EXPECT_GT(atm_eff, 0.6);   // paper: 87.85 %
+  EXPECT_LT(atm_eff, 1.15);
+
+  const ScalingCurve ocn = model.fig8b_weak_ocn();
+  std::vector<double> ocn_points;
+  for (double r : {10.0, 5.0, 3.0, 2.0})
+    ocn_points.push_back(OcnWorkload::paper(r).computed_points());
+  const double ocn_eff = ScalingModel::weak_efficiency(ocn, ocn_points);
+  EXPECT_GT(ocn_eff, 0.7);   // paper: 96.57 %
+  EXPECT_LT(ocn_eff, 1.15);
+}
+
+TEST(Scaling, CoupledDominatedByComponentsNotCoupler) {
+  ScalingModel model;
+  const AtmWorkload atm = AtmWorkload::paper(3.0);
+  const OcnWorkload ocn = OcnWorkload::paper(2.0);
+  const DayCost coupled = model.coupled_day(atm, ocn, 40000, 0.75);
+  const DayCost atm_only =
+      model.atm_day_sunway(atm, 30000, CodePath::kCpeOpt);
+  // Coupler overhead exists but does not dominate.
+  EXPECT_LT(coupled.total(), 2.0 * atm_only.total());
+  EXPECT_GE(coupled.total(), atm_only.total() * 0.9);
+}
+
+// --- Fig. 2 -----------------------------------------------------------------------
+
+TEST(Sota, SurveyHasPaperPoints) {
+  const auto survey = sota_survey();
+  int ap3 = 0;
+  for (const auto& p : survey)
+    if (p.is_ap3esm) ++ap3;
+  EXPECT_EQ(ap3, 2);
+  EXPECT_GE(survey.size(), 8u);
+}
+
+TEST(Sota, LinePassesThroughItsAnchors) {
+  const LogLinearFit fit = fit_sota_line();
+  const auto survey = sota_survey();
+  for (const auto& p : survey) {
+    if (p.model.rfind("CNRM", 0) == 0 || p.model.rfind("CESM", 0) == 0) {
+      EXPECT_NEAR(fit.sypd_at(p.total_grid_points) / p.sypd, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Sota, LineSlopesDownward) {
+  const LogLinearFit fit = fit_sota_line();
+  EXPECT_LT(fit.slope, 0.0);
+  EXPECT_GT(fit.sypd_at(1e8), fit.sypd_at(1e10));
+}
+
+TEST(Sota, Ap3esmBeatsTheLine) {
+  // The paper's headline: both AP3ESM configurations sit above the SOTA
+  // dividing line despite the largest grid totals reported to date.
+  for (const auto& p : sota_survey()) {
+    if (p.is_ap3esm) {
+      EXPECT_TRUE(beats_sota(p)) << p.model;
+    }
+  }
+}
+
+TEST(Sota, Ap3esmHasLargestGridTotals) {
+  double max_other = 0.0, min_ap3 = 1e300;
+  for (const auto& p : sota_survey()) {
+    if (p.is_ap3esm)
+      min_ap3 = std::min(min_ap3, p.total_grid_points);
+    else
+      max_other = std::max(max_other, p.total_grid_points);
+  }
+  EXPECT_GT(min_ap3, max_other);
+}
+
+}  // namespace
+
+// --- §8 future work: computing-power-network federation ----------------------
+
+#include "perf/federation.hpp"
+#include "perf/measure.hpp"
+
+namespace {
+
+using namespace ap3::perf;
+
+FederationConfig federation_case() {
+  FederationConfig config;
+  config.atm = AtmWorkload::paper(3.0);
+  config.ocn = OcnWorkload::paper(2.0);
+  config.atm_cluster_nodes = 30000;
+  config.ocn_cluster_nodes = 12000;
+  return config;
+}
+
+TEST(Federation, FastLinkApproachesSingleMachine) {
+  ScalingModel base;
+  FederationModel federation(base);
+  FederationConfig config = federation_case();
+  config.wan.bandwidth_gbs = 1e6;  // effectively infinite
+  config.wan.latency_seconds = 1e-6;
+  const FederationPrediction fast = federation.predict(config);
+  const double single = federation.single_machine_sypd(config);
+  EXPECT_GT(fast.sypd, 0.8 * single);
+  EXPECT_FALSE(fast.wan_bound);
+}
+
+TEST(Federation, SlowLinkIsWanBound) {
+  ScalingModel base;
+  FederationModel federation(base);
+  FederationConfig config = federation_case();
+  config.wan.bandwidth_gbs = 0.01;  // 10 MB/s transcontinental trickle
+  const FederationPrediction slow = federation.predict(config);
+  EXPECT_TRUE(slow.wan_bound);
+  EXPECT_LT(slow.sypd, 0.5 * federation.single_machine_sypd(config));
+}
+
+TEST(Federation, ThroughputMonotoneInBandwidth) {
+  ScalingModel base;
+  FederationModel federation(base);
+  FederationConfig config = federation_case();
+  double prev = 0.0;
+  for (double gbs : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    config.wan.bandwidth_gbs = gbs;
+    const double sypd = federation.predict(config).sypd;
+    EXPECT_GE(sypd, prev);
+    prev = sypd;
+  }
+}
+
+TEST(Federation, BreakevenBandwidthIsFiniteAndConsistent) {
+  ScalingModel base;
+  FederationModel federation(base);
+  FederationConfig config = federation_case();
+  config.wan.latency_seconds = 5e-4;  // dedicated fiber, ~100 km
+  const double breakeven = federation.breakeven_bandwidth_gbs(config, 0.9);
+  ASSERT_GT(breakeven, 0.0);
+  // At the break-even bandwidth the prediction indeed reaches the target.
+  config.wan.bandwidth_gbs = breakeven;
+  EXPECT_GE(federation.predict(config).sypd,
+            0.9 * federation.single_machine_sypd(config) * 0.999);
+  // Just below it, it does not.
+  config.wan.bandwidth_gbs = breakeven * 0.5;
+  EXPECT_LT(federation.predict(config).sypd,
+            0.9 * federation.single_machine_sypd(config));
+}
+
+TEST(Federation, HighLatencyAloneCanPreventBreakeven) {
+  ScalingModel base;
+  FederationModel federation(base);
+  FederationConfig config = federation_case();
+  config.wan.latency_seconds = 10.0;  // absurd: 396 events/day x 20 s RTT
+  EXPECT_EQ(federation.breakeven_bandwidth_gbs(config, 0.95), 0.0);
+}
+
+TEST(Measure, LocalCostsPositiveAndSane) {
+  const LocalKernelCosts costs = measure_local_costs();
+  EXPECT_GT(costs.atm_dynamics_ns_per_cell, 1.0);
+  EXPECT_LT(costs.atm_dynamics_ns_per_cell, 1e6);
+  EXPECT_GT(costs.atm_tracer_ns_per_cell_level, 0.1);
+  EXPECT_GT(costs.atm_physics_ns_per_column, 1.0);
+  EXPECT_GT(costs.ocn_barotropic_ns_per_point, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,256 @@
+// Tests for the performance-portability layer: Views, parallel dispatch
+// across execution spaces (including determinism), the hash-based kernel
+// registry of §5.3, tile profiling, and the SWGOMP emulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "pp/exec.hpp"
+#include "pp/registry.hpp"
+#include "pp/swgomp.hpp"
+#include "pp/tile.hpp"
+#include "pp/view.hpp"
+
+namespace {
+
+using namespace ap3;
+using pp::ExecSpace;
+using pp::Layout;
+using pp::RangePolicy;
+using pp::View;
+
+TEST(View, ExtentsAndSize) {
+  View<double, 3> v("field", 4, 5, 6);
+  EXPECT_EQ(v.size(), 120u);
+  EXPECT_EQ(v.extent(0), 4u);
+  EXPECT_EQ(v.extent(2), 6u);
+  EXPECT_EQ(v.label(), "field");
+}
+
+TEST(View, ZeroInitialized) {
+  View<double, 2> v("z", 3, 3);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.linear(i), 0.0);
+}
+
+TEST(View, LayoutRightIsRowMajor) {
+  View<int, 2> v("r", 2, 3);
+  v(1, 2) = 42;
+  EXPECT_EQ(v.linear(1 * 3 + 2), 42);
+}
+
+TEST(View, LayoutLeftIsColumnMajor) {
+  View<int, 2> v("l", Layout::kLeft, 2, 3);
+  v(1, 2) = 42;
+  EXPECT_EQ(v.linear(1 + 2 * 2), 42);
+}
+
+TEST(View, CopiesAlias) {
+  View<double, 1> a("a", 10);
+  View<double, 1> b = a;
+  b(3) = 7.0;
+  EXPECT_EQ(a(3), 7.0);
+}
+
+TEST(View, CloneIsDeep) {
+  View<double, 1> a("a", 10);
+  View<double, 1> b = a.clone();
+  b(3) = 7.0;
+  EXPECT_EQ(a(3), 0.0);
+}
+
+TEST(View, DeepCopyCopiesValues) {
+  View<double, 2> src("s", 3, 3);
+  src.fill(2.5);
+  View<double, 2> dst("d", 3, 3);
+  pp::deep_copy(dst, src);
+  EXPECT_EQ(dst(2, 2), 2.5);
+}
+
+TEST(View, DeepCopyShapeMismatchThrows) {
+  View<double, 1> a("a", 3), b("b", 4);
+  EXPECT_THROW(pp::deep_copy(a, b), ap3::Error);
+}
+
+TEST(ParallelFor, SerialAndThreadedAgree) {
+  const size_t n = 10007;
+  std::vector<double> serial(n), threaded(n);
+  pp::parallel_for(RangePolicy(0, n, ExecSpace::kSerial),
+                   [&](size_t i) { serial[i] = std::sin(double(i)); });
+  pp::parallel_for(RangePolicy(0, n, ExecSpace::kHostThreads),
+                   [&](size_t i) { threaded[i] = std::sin(double(i)); });
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int count = 0;
+  pp::parallel_for(RangePolicy(5, 5, ExecSpace::kHostThreads),
+                   [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ParallelReduce, DeterministicAcrossSpaces) {
+  const size_t n = 5001;
+  auto body = [](size_t i, double& acc) { acc += 1.0 / (1.0 + double(i)); };
+  const double serial = pp::parallel_reduce<double>(
+      RangePolicy(0, n, ExecSpace::kSerial), body);
+  // Chunked partials must combine deterministically: two threaded runs with
+  // identical chunking produce bitwise-identical results.
+  const double t1 = pp::parallel_reduce<double>(
+      RangePolicy(0, n, ExecSpace::kHostThreads, 128), body);
+  const double t2 = pp::parallel_reduce<double>(
+      RangePolicy(0, n, ExecSpace::kHostThreads, 128), body);
+  EXPECT_EQ(t1, t2);
+  EXPECT_NEAR(serial, t1, 1e-9);
+}
+
+TEST(ParallelReduce, InitValueIncluded) {
+  const double out = pp::parallel_reduce<double>(
+      RangePolicy(0, 10, ExecSpace::kSerial),
+      [](size_t, double& acc) { acc += 1.0; }, 100.0);
+  EXPECT_DOUBLE_EQ(out, 110.0);
+}
+
+TEST(ParallelScan, MatchesSerialPrefixSum) {
+  const size_t n = 1234;
+  std::vector<long long> serial_out, par_out;
+  auto value = [](size_t i) { return static_cast<long long>(i % 7); };
+  const long long serial_total = pp::parallel_scan<long long>(
+      RangePolicy(0, n, ExecSpace::kSerial), value, serial_out);
+  const long long par_total = pp::parallel_scan<long long>(
+      RangePolicy(0, n, ExecSpace::kHostThreads, 100), value, par_out);
+  EXPECT_EQ(serial_total, par_total);
+  EXPECT_EQ(serial_out, par_out);
+}
+
+TEST(MDRange, CoversAllPairsOnce) {
+  pp::MDRangePolicy2 policy{37, 53, 8, 16, ExecSpace::kHostThreads};
+  View<int, 2> hits("hits", 37, 53);
+  std::mutex m;
+  pp::parallel_for(policy, [&](size_t i, size_t j) {
+    std::lock_guard<std::mutex> lock(m);
+    hits(i, j) += 1;
+  });
+  for (size_t i = 0; i < 37; ++i)
+    for (size_t j = 0; j < 53; ++j) EXPECT_EQ(hits(i, j), 1);
+}
+
+// --- hash-based kernel registry (§5.3) --------------------------------------
+
+void saxpy_kernel(const pp::LaunchArgs& args) {
+  auto* y = static_cast<double*>(args.pointers.at(0));
+  const auto* x = static_cast<const double*>(args.pointers.at(1));
+  const double a = args.scalars.at(0);
+  for (size_t i = args.begin; i < args.end; ++i) y[i] += a * x[i];
+}
+
+TEST(Registry, RegisterAndLaunchByHash) {
+  auto& reg = pp::KernelRegistry::instance();
+  const auto hash = reg.register_kernel("test_saxpy", &saxpy_kernel);
+  EXPECT_TRUE(reg.has(hash));
+  EXPECT_EQ(hash, pp::fnv1a("test_saxpy"));
+
+  std::vector<double> y(8, 1.0), x(8, 2.0);
+  pp::LaunchArgs args;
+  args.begin = 0;
+  args.end = 8;
+  args.pointers = {y.data(), x.data()};
+  args.scalars = {3.0};
+  reg.launch(hash, args);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Registry, LaunchByNameMatchesHashLaunch) {
+  auto& reg = pp::KernelRegistry::instance();
+  reg.register_kernel("test_saxpy2", &saxpy_kernel);
+  std::vector<double> y(4, 0.0), x(4, 1.0);
+  pp::LaunchArgs args;
+  args.begin = 0;
+  args.end = 4;
+  args.pointers = {y.data(), x.data()};
+  args.scalars = {5.0};
+  reg.launch("test_saxpy2", args);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Registry, UnregisteredHashThrows) {
+  pp::LaunchArgs args;
+  EXPECT_THROW(pp::KernelRegistry::instance().launch(0xdeadbeefULL, args),
+               ap3::Error);
+}
+
+TEST(Registry, ReRegisterSameFunctionIsIdempotent) {
+  auto& reg = pp::KernelRegistry::instance();
+  const auto h1 = reg.register_kernel("test_idem", &saxpy_kernel);
+  const auto h2 = reg.register_kernel("test_idem", &saxpy_kernel);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(Registry, FnvHashIsStable) {
+  // Known-answer test: hashes must be stable across builds because offline
+  // tables embed them.
+  EXPECT_EQ(pp::fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(pp::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+// --- tile profiler ------------------------------------------------------------
+
+TEST(TileProfiler, BestPicksLowestMeanTime) {
+  pp::TileProfiler profiler;
+  profiler.record("k", {8, 8}, 2.0);
+  profiler.record("k", {16, 16}, 0.5);
+  profiler.record("k", {32, 4}, 1.0);
+  EXPECT_EQ(profiler.best("k"), (pp::TileShape{16, 16}));
+}
+
+TEST(TileProfiler, MeansAcrossSamples) {
+  pp::TileProfiler profiler;
+  profiler.record("k", {8, 8}, 1.0);
+  profiler.record("k", {8, 8}, 3.0);   // mean 2.0
+  profiler.record("k", {4, 4}, 2.5);   // mean 2.5
+  EXPECT_EQ(profiler.best("k"), (pp::TileShape{8, 8}));
+}
+
+TEST(TileProfiler, UnknownKernelThrows) {
+  pp::TileProfiler profiler;
+  EXPECT_THROW(profiler.best("nope"), ap3::Error);
+}
+
+TEST(TileProfiler, SweepRunsEveryCandidate) {
+  pp::TileProfiler profiler;
+  std::vector<pp::TileShape> tried;
+  profiler.sweep("sweep_kernel", {{4, 4}, {8, 8}, {16, 16}},
+                 [&](pp::TileShape shape) { tried.push_back(shape); });
+  EXPECT_EQ(tried.size(), 3u);
+  EXPECT_EQ(profiler.records("sweep_kernel").size(), 3u);
+}
+
+// --- SWGOMP emulation -----------------------------------------------------------
+
+TEST(Swgomp, OffloadRunsAllIterations) {
+  pp::swgomp::reset_stats();
+  std::vector<double> out(1000, 0.0);
+  pp::swgomp::target_parallel_for("grist_loop", out.size(),
+                                  [&](size_t i) { out[i] = double(i); });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], double(i));
+  const auto stats = pp::swgomp::stats();
+  EXPECT_EQ(stats.regions, 1u);
+  EXPECT_EQ(stats.iterations, 1000u);
+}
+
+TEST(Swgomp, Collapse2CoversPlane) {
+  pp::swgomp::reset_stats();
+  View<int, 2> hits("h", 13, 17);
+  std::mutex m;
+  pp::swgomp::target_parallel_for2("grist_2d", 13, 17, [&](size_t i, size_t j) {
+    std::lock_guard<std::mutex> lock(m);
+    hits(i, j)++;
+  });
+  for (size_t i = 0; i < 13; ++i)
+    for (size_t j = 0; j < 17; ++j) EXPECT_EQ(hits(i, j), 1);
+  EXPECT_EQ(pp::swgomp::stats().iterations, 13u * 17u);
+}
+
+}  // namespace

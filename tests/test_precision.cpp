@@ -1,0 +1,98 @@
+// Tests for the group-wise scaling FP64/FP32 mixed precision of §5.2.3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/stats.hpp"
+#include "precision/group_scaled.hpp"
+
+namespace {
+
+using namespace ap3;
+using precision::GroupScaledArray;
+
+TEST(GroupScaled, RoundTripWithinFp32RelativeError) {
+  Rng rng(1);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.normal() * 1e5;
+  const double max_rel = precision::max_relative_roundtrip_error(values, 32);
+  // FP32 has ~1.2e-7 relative epsilon; group scaling must stay within a few
+  // ULP of that.
+  EXPECT_LT(max_rel, 5e-7);
+}
+
+TEST(GroupScaled, HandlesWildMagnitudeVariationAcrossGroups) {
+  // Alternating groups of tiny (SSH ~ 1e-1) and huge (pressure ~ 1e7)
+  // magnitudes: per-group scales keep *relative* accuracy in both, which a
+  // single global scale could not.
+  std::vector<double> values;
+  Rng rng(2);
+  for (int g = 0; g < 20; ++g) {
+    const double magnitude = g % 2 == 0 ? 1e-1 : 1e7;
+    for (int i = 0; i < 16; ++i) values.push_back(magnitude * (1.0 + 0.5 * rng.normal()));
+  }
+  EXPECT_LT(precision::max_relative_roundtrip_error(values, 16), 5e-7);
+}
+
+TEST(GroupScaled, ZerosPreservedExactly) {
+  std::vector<double> values(64, 0.0);
+  values[10] = 5.0;
+  const auto packed = GroupScaledArray::compress(values, 8);
+  EXPECT_EQ(packed.at(0), 0.0);
+  EXPECT_EQ(packed.at(63), 0.0);
+  EXPECT_NEAR(packed.at(10), 5.0, 1e-6);
+}
+
+TEST(GroupScaled, PowerOfTwoValuesExact) {
+  // Power-of-two scaling means powers of two round-trip exactly.
+  std::vector<double> values = {1.0, 2.0, 4.0, 0.5, 0.25, 1024.0, -8.0, -0.125};
+  const auto packed = GroupScaledArray::compress(values, 4);
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(packed.at(i), values[i]);
+}
+
+TEST(GroupScaled, CompressionRatioNearTwo) {
+  std::vector<double> values(1024, 3.14);
+  const auto packed = GroupScaledArray::compress(values, 64);
+  EXPECT_GT(packed.compression_ratio(), 1.9);
+  EXPECT_LE(packed.compression_ratio(), 2.0);
+}
+
+TEST(GroupScaled, SmallGroupsCostMoreMetadata) {
+  std::vector<double> values(1024, 1.0);
+  const auto fine = GroupScaledArray::compress(values, 2);
+  const auto coarse = GroupScaledArray::compress(values, 128);
+  EXPECT_LT(fine.compression_ratio(), coarse.compression_ratio());
+}
+
+TEST(GroupScaled, RoundThroughMixedMatchesCompress) {
+  Rng rng(3);
+  std::vector<double> values(257);  // non-multiple of group size
+  for (double& v : values) v = rng.normal();
+  std::vector<double> copy = values;
+  precision::round_through_mixed(copy, 32);
+  const auto packed = GroupScaledArray::compress(values, 32);
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(copy[i], packed.at(i));
+}
+
+TEST(GroupScaled, GristAcceptanceMetricUnderThreshold) {
+  // A mixed-precision state must pass the paper's 5 % relative-L2 gate by a
+  // wide margin for a single round trip.
+  Rng rng(4);
+  std::vector<double> ps(500);
+  for (double& v : ps) v = 1e5 + 2e3 * rng.normal();  // surface pressure field
+  std::vector<double> mixed = ps;
+  precision::round_through_mixed(mixed, 32);
+  EXPECT_LT(stats::relative_l2(mixed, ps), 0.05);
+  EXPECT_LT(stats::relative_l2(mixed, ps), 1e-6);  // actually far below
+}
+
+TEST(GroupScaled, DegenerateGroupSizeOne) {
+  std::vector<double> values = {1.5, -2.5, 3.5};
+  const auto packed = GroupScaledArray::compress(values, 1);
+  for (size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(packed.at(i), values[i], 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,344 @@
+// Property-based test sweeps (parameterized gtest): invariants that must
+// hold across resolutions, rank counts, seeds, and magnitudes — the
+// repository's equivalent of the paper's bit-for-bit and non-bit-for-bit
+// validation discipline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <set>
+
+#include "atm/dycore.hpp"
+#include "base/constants.hpp"
+#include "atm/vortex.hpp"
+#include "base/rng.hpp"
+#include "grid/halo.hpp"
+#include "grid/icosahedral.hpp"
+#include "grid/partition.hpp"
+#include "mct/rearranger.hpp"
+#include "mct/router.hpp"
+#include "ocn/model.hpp"
+#include "par/comm.hpp"
+#include "precision/group_scaled.hpp"
+
+namespace {
+
+using namespace ap3;
+
+// --- property: atmosphere mass conservation across (mesh, ranks) -------------
+
+struct AtmCase {
+  int mesh_n;
+  int ranks;
+};
+class AtmMassProperty : public ::testing::TestWithParam<AtmCase> {};
+
+TEST_P(AtmMassProperty, MassInvariantUnderDecomposition) {
+  const AtmCase param = GetParam();
+  par::run(param.ranks, [&](par::Comm& comm) {
+    atm::AtmConfig config;
+    config.mesh_n = param.mesh_n;
+    config.nlev = 4;
+    grid::IcosahedralGrid mesh(config.mesh_n);
+    atm::Dycore dycore(comm, config, mesh);
+    atm::seed_vortex(dycore, atm::VortexSpec{});
+    const double mass0 = dycore.total_mass();
+    for (int s = 0; s < 12; ++s)
+      dycore.step_dynamics(config.dycore_dt_seconds());
+    EXPECT_NEAR(dycore.total_mass() / mass0, 1.0, 1e-12);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AtmMassProperty,
+                         ::testing::Values(AtmCase{4, 1}, AtmCase{4, 3},
+                                           AtmCase{6, 1}, AtmCase{6, 4},
+                                           AtmCase{8, 2}, AtmCase{8, 5}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.mesh_n) +
+                                  "_r" + std::to_string(info.param.ranks);
+                         });
+
+// --- property: partition completeness for arbitrary sizes ------------------------
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::pair<int64_t, int>> {};
+
+TEST_P(PartitionProperty, CoversWithoutGapsOrOverlap) {
+  const auto [n, parts] = GetParam();
+  std::int64_t covered = 0;
+  for (int r = 0; r < parts; ++r) {
+    const grid::Range1D range = grid::partition_1d(n, parts, r);
+    covered += range.size();
+    for (std::int64_t i = range.begin; i < range.end; ++i)
+      EXPECT_EQ(grid::owner_1d(n, parts, i), r);
+  }
+  EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(std::make_pair<int64_t, int>(1, 1),
+                      std::make_pair<int64_t, int>(7, 7),
+                      std::make_pair<int64_t, int>(100, 7),
+                      std::make_pair<int64_t, int>(1009, 13),
+                      std::make_pair<int64_t, int>(65536, 31),
+                      std::make_pair<int64_t, int>(999983, 64)));
+
+// --- property: router moves every shared point exactly once ---------------------
+
+class RouterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterProperty, RandomDecompositionsRouteCompletely) {
+  // Two random decompositions of the same id space: the union of all ranks'
+  // recv plans must cover every id exactly once, and per-rank send/recv
+  // volumes must be consistent.
+  Rng rng(GetParam());
+  const int nranks = 5;
+  const std::int64_t n = 400;
+  std::vector<std::vector<std::int64_t>> src_ids(nranks), dst_ids(nranks);
+  for (std::int64_t g = 0; g < n; ++g) {
+    src_ids[rng.uniform_int(nranks)].push_back(g);
+    dst_ids[rng.uniform_int(nranks)].push_back(g);
+  }
+  const mct::GlobalSegMap src = mct::GlobalSegMap::from_all(src_ids);
+  const mct::GlobalSegMap dst = mct::GlobalSegMap::from_all(dst_ids);
+
+  std::int64_t total_sent = 0, total_received = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const mct::Router router = mct::Router::build(r, src, dst);
+    total_sent += router.points_sent();
+    total_received += router.points_received();
+    // Receive positions are unique within the rank.
+    std::set<std::int64_t> positions;
+    for (const auto& [peer, plan] : router.recv_plan())
+      for (auto pos : plan) EXPECT_TRUE(positions.insert(pos).second);
+    EXPECT_EQ(static_cast<std::int64_t>(positions.size()),
+              router.points_received());
+  }
+  EXPECT_EQ(total_sent, n);
+  EXPECT_EQ(total_received, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+// --- property: rearranged data equals a gather/scatter oracle --------------------
+
+class RearrangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RearrangeProperty, MatchesOracleForRandomDecompositions) {
+  const int seed = GetParam();
+  par::run(4, [&](par::Comm& comm) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const std::int64_t n = 120;
+    std::vector<std::vector<std::int64_t>> src_ids(4), dst_ids(4);
+    for (std::int64_t g = 0; g < n; ++g) {
+      src_ids[rng.uniform_int(4)].push_back(g);
+      dst_ids[rng.uniform_int(4)].push_back(g);
+    }
+    const mct::GlobalSegMap src_map = mct::GlobalSegMap::from_all(src_ids);
+    const mct::GlobalSegMap dst_map = mct::GlobalSegMap::from_all(dst_ids);
+    mct::Rearranger rearranger(
+        comm, mct::Router::build(comm.rank(), src_map, dst_map));
+
+    // Field value = deterministic function of gid.
+    const auto my_src = src_map.local_ids(comm.rank());
+    mct::AttrVect src({"x"}, my_src.size());
+    for (std::size_t k = 0; k < my_src.size(); ++k)
+      src.field("x")[k] = 7.5 * static_cast<double>(my_src[k]) + 0.25;
+    const auto my_dst = dst_map.local_ids(comm.rank());
+    mct::AttrVect dst({"x"}, my_dst.size());
+    rearranger.rearrange(src, dst);
+    for (std::size_t k = 0; k < my_dst.size(); ++k)
+      EXPECT_EQ(dst.field("x")[k], 7.5 * static_cast<double>(my_dst[k]) + 0.25);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RearrangeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- property: mixed precision relative error bounded across magnitudes ----------
+
+class PrecisionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrecisionProperty, RelativeErrorBoundedAtAnyMagnitude) {
+  const double magnitude = GetParam();
+  Rng rng(42);
+  std::vector<double> values(512);
+  for (double& v : values) v = magnitude * (1.0 + 0.8 * rng.normal());
+  EXPECT_LT(precision::max_relative_roundtrip_error(values, 32), 5e-7)
+      << "magnitude " << magnitude;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, PrecisionProperty,
+                         ::testing::Values(1e-12, 1e-6, 1e-3, 1.0, 1e3, 1e7,
+                                           1e12));
+
+// --- property: icosahedral mesh invariants over subdivision -----------------------
+
+class MeshProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshProperty, AreasPositiveAndBounded) {
+  grid::IcosahedralGrid mesh(GetParam());
+  const double mean =
+      4.0 * constants::kPi / static_cast<double>(mesh.num_cells());
+  for (std::size_t c = 0; c < mesh.num_cells(); ++c) {
+    EXPECT_GT(mesh.cell_area(c), 0.2 * mean);
+    EXPECT_LT(mesh.cell_area(c), 3.0 * mean);
+  }
+}
+
+TEST_P(MeshProperty, EveryCellReachableFromCellZero) {
+  // Flood fill over neighbor links must reach the whole sphere (mesh is
+  // connected) — a structural property the halo construction relies on.
+  grid::IcosahedralGrid mesh(GetParam());
+  std::vector<bool> seen(mesh.num_cells(), false);
+  std::vector<std::uint32_t> queue = {0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const auto c = queue.back();
+    queue.pop_back();
+    for (auto nb : mesh.cell_neighbors(c)) {
+      if (!seen[nb]) {
+        seen[nb] = true;
+        ++visited;
+        queue.push_back(nb);
+      }
+    }
+  }
+  EXPECT_EQ(visited, mesh.num_cells());
+}
+
+INSTANTIATE_TEST_SUITE_P(Subdivision, MeshProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// --- property: ocean stability across grids, forcing, rank counts -----------------
+
+struct OcnCase {
+  int nx, ny, nz, ranks;
+  double taux;
+};
+class OcnStabilityProperty : public ::testing::TestWithParam<OcnCase> {};
+
+TEST_P(OcnStabilityProperty, BoundedAndVolumeConserving) {
+  const OcnCase param = GetParam();
+  par::run(param.ranks, [&](par::Comm& comm) {
+    ocn::OcnConfig config;
+    config.grid = grid::TripolarConfig{param.nx, param.ny, param.nz};
+    ocn::OcnModel model(comm, config);
+    mct::AttrVect x2o(ocn::OcnModel::import_fields(), model.ocean_gids().size());
+    for (auto& t : x2o.field("taux")) t = param.taux;
+    model.import_state(x2o);
+    model.run(0.0, config.baroclinic_dt_seconds() * 15);
+    EXPECT_TRUE(std::isfinite(model.max_current()));
+    EXPECT_LT(model.max_current(), 10.0);
+    EXPECT_LT(std::abs(model.total_volume()), 1e4);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OcnStabilityProperty,
+    ::testing::Values(OcnCase{32, 24, 5, 1, 0.1}, OcnCase{32, 24, 5, 4, 0.1},
+                      OcnCase{48, 36, 8, 2, 0.4}, OcnCase{64, 48, 6, 3, 0.2},
+                      OcnCase{40, 30, 10, 2, -0.3}),
+    [](const auto& info) {
+      return "g" + std::to_string(info.param.nx) + "x" +
+             std::to_string(info.param.ny) + "_r" +
+             std::to_string(info.param.ranks) +
+             (info.param.taux < 0 ? "_west" : "_east");
+    });
+
+// --- property: block halo matches a global-array oracle ---------------------------
+
+struct HaloCase {
+  int nx, ny, px, py;
+};
+class HaloProperty : public ::testing::TestWithParam<HaloCase> {};
+
+TEST_P(HaloProperty, GhostsMatchGlobalOracle) {
+  const HaloCase param = GetParam();
+  par::run(param.px * param.py, [&](par::Comm& comm) {
+    grid::BlockHalo halo(comm, param.nx, param.ny, param.px, param.py, true);
+    std::vector<double> field(
+        static_cast<size_t>((halo.nx_local() + 2) * (halo.ny_local() + 2)),
+        0.0);
+    auto value_of = [&](int gi, int gj) {
+      return 1000.0 * gj + gi;
+    };
+    for (int j = 0; j < halo.ny_local(); ++j)
+      for (int i = 0; i < halo.nx_local(); ++i)
+        field[halo.halo_index(i, j)] = value_of(halo.x0() + i, halo.y0() + j);
+    halo.exchange(field);
+
+    // Oracle: periodic x; closed south (zero-gradient); north fold.
+    auto oracle = [&](int gi, int gj) {
+      gi = (gi % param.nx + param.nx) % param.nx;
+      if (gj < 0) gj = 0;
+      if (gj >= param.ny) {
+        gi = param.nx - 1 - gi;
+        gj = param.ny - 1;
+      }
+      return value_of(gi, gj);
+    };
+    for (int j = 0; j < halo.ny_local(); ++j) {
+      EXPECT_EQ(field[halo.halo_index(-1, j)],
+                oracle(halo.x0() - 1, halo.y0() + j));
+      EXPECT_EQ(field[halo.halo_index(halo.nx_local(), j)],
+                oracle(halo.x0() + halo.nx_local(), halo.y0() + j));
+    }
+    for (int i = 0; i < halo.nx_local(); ++i) {
+      EXPECT_EQ(field[halo.halo_index(i, -1)],
+                oracle(halo.x0() + i, halo.y0() - 1));
+      EXPECT_EQ(field[halo.halo_index(i, halo.ny_local())],
+                oracle(halo.x0() + i, halo.y0() + halo.ny_local()));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HaloProperty,
+    ::testing::Values(HaloCase{16, 8, 1, 1}, HaloCase{16, 8, 2, 1},
+                      HaloCase{16, 8, 1, 2}, HaloCase{16, 8, 2, 2},
+                      HaloCase{16, 8, 4, 2}, HaloCase{24, 12, 3, 2},
+                      HaloCase{18, 10, 2, 3}),
+    [](const auto& info) {
+      return std::to_string(info.param.nx) + "x" + std::to_string(info.param.ny) +
+             "_p" + std::to_string(info.param.px) + "x" +
+             std::to_string(info.param.py);
+    });
+
+// --- property: vortex tracker finds seeds anywhere --------------------------------
+
+class VortexProperty
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(VortexProperty, TrackerLocatesSeedWithinOneCell) {
+  const auto [lon, lat] = GetParam();
+  par::run(2, [&, lon = lon, lat = lat](par::Comm& comm) {
+    atm::AtmConfig config;
+    config.mesh_n = 8;
+    config.nlev = 4;
+    grid::IcosahedralGrid mesh(config.mesh_n);
+    atm::Dycore dycore(comm, config, mesh);
+    atm::VortexSpec spec;
+    spec.lon_deg = lon;
+    spec.lat_deg = lat;
+    atm::seed_vortex(dycore, spec);
+    const atm::VortexFix fix = atm::track_vortex(dycore, comm, lon, lat, 1500.0);
+    ASSERT_TRUE(fix.found);
+    // The minimum must sit within about one cell spacing of the seed.
+    const double spacing_km = grid::IcosaCounts::resolution_km(config.mesh_n);
+    EXPECT_LT(atm::track_distance_km(lon, lat, fix.lon_deg, fix.lat_deg),
+              1.6 * spacing_km);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Locations, VortexProperty,
+    ::testing::Values(std::make_pair(130.0, 15.0), std::make_pair(290.0, 25.0),
+                      std::make_pair(60.0, -18.0), std::make_pair(0.0, 40.0),
+                      std::make_pair(200.0, -35.0)));
+
+}  // namespace

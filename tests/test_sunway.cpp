@@ -1,0 +1,189 @@
+// Tests for the Sunway core-group simulator: LDM discipline, DMA accounting,
+// athread offload correctness, and the MPE-vs-CPE timing model that underlies
+// the paper's 84x-184x speedup band.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sunway/arch.hpp"
+#include "sunway/athread.hpp"
+#include "sunway/coregroup.hpp"
+#include "sunway/dma.hpp"
+#include "sunway/ldm.hpp"
+
+namespace {
+
+using namespace ap3::sunway;
+
+TEST(Ldm, AllocWithinCapacity) {
+  LdmAllocator ldm(1024);
+  double* a = ldm.alloc_array<double>(64);  // 512 bytes
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(ldm.used(), 512u);
+  EXPECT_EQ(ldm.available(), 512u);
+}
+
+TEST(Ldm, OverflowThrows) {
+  LdmAllocator ldm(256);
+  ldm.alloc(200);
+  EXPECT_THROW(ldm.alloc(100), LdmOverflow);
+}
+
+TEST(Ldm, RealCpeCapacityIs256K) {
+  LdmAllocator ldm(kLdmBytesPerCpe);
+  // A 182x182 double tile (~259 KiB) must NOT fit — this is exactly the
+  // constraint that forces tiling in LICOMK++ kernels.
+  EXPECT_THROW(ldm.alloc(182 * 182 * sizeof(double)), LdmOverflow);
+  // A 128x128 double tile (128 KB) fits fine.
+  EXPECT_NO_THROW(ldm.alloc(128 * 128 * sizeof(double)));
+}
+
+TEST(Ldm, LifoFreeDiscipline) {
+  LdmAllocator ldm(1024);
+  void* a = ldm.alloc(100);
+  void* b = ldm.alloc(100);
+  EXPECT_THROW(ldm.free_last(a), ap3::Error);  // not the last allocation
+  ldm.free_last(b);
+  ldm.free_last(a);
+  EXPECT_EQ(ldm.used(), 0u);
+}
+
+TEST(Ldm, PeakTracksHighWater) {
+  LdmAllocator ldm(1024);
+  void* a = ldm.alloc(512);
+  ldm.free_last(a);
+  ldm.alloc(128);
+  EXPECT_EQ(ldm.peak(), 512u);
+}
+
+TEST(Dma, CopiesAndAccounts) {
+  DmaEngine dma;
+  std::vector<double> host = {1, 2, 3, 4};
+  std::vector<double> ldm(4, 0.0);
+  dma.get(ldm.data(), host.data(), 4 * sizeof(double));
+  EXPECT_EQ(ldm[3], 4.0);
+  ldm[0] = 99.0;
+  dma.put(host.data(), ldm.data(), 4 * sizeof(double));
+  EXPECT_EQ(host[0], 99.0);
+  EXPECT_EQ(dma.total_bytes(), 2u * 4u * sizeof(double));
+  EXPECT_EQ(dma.transfers(), 2u);
+  EXPECT_GT(dma.simulated_seconds(), 0.0);
+}
+
+TEST(Athread, AllCpesRun) {
+  DmaEngine dma;
+  std::vector<int> ran(kCpesPerCoreGroup, 0);
+  athread_spawn_join(
+      [&](CpeContext& ctx) { ran[static_cast<size_t>(ctx.cpe_id)] = 1; }, dma);
+  EXPECT_EQ(std::accumulate(ran.begin(), ran.end(), 0), kCpesPerCoreGroup);
+}
+
+TEST(Athread, PartitionCoversRangeExactly) {
+  const size_t n = 1003;
+  std::vector<int> hits(n, 0);
+  for (int id = 0; id < 64; ++id) {
+    const CpeRange r = cpe_partition(n, id, 64);
+    for (size_t i = r.begin; i < r.end; ++i) hits[i]++;
+  }
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(Athread, OffloadedSaxpyMatchesSerial) {
+  // Stage tiles through LDM with DMA, compute on CPEs, write back: the
+  // canonical swLICOM kernel structure. The result must be bitwise equal to
+  // the serial MPE computation.
+  const size_t n = 4096;
+  std::vector<double> x(n), y_mpe(n, 1.0), y_cpe(n, 1.0);
+  for (size_t i = 0; i < n; ++i) x[i] = std::sin(double(i));
+  const double a = 2.5;
+
+  for (size_t i = 0; i < n; ++i) y_mpe[i] += a * x[i];  // MPE reference
+
+  DmaEngine dma;
+  athread_spawn_join(
+      [&](CpeContext& ctx) {
+        const CpeRange range = cpe_partition(n, ctx.cpe_id, ctx.num_cpes);
+        const size_t len = range.end - range.begin;
+        if (len == 0) return;
+        double* lx = ctx.ldm->alloc_array<double>(len);
+        double* ly = ctx.ldm->alloc_array<double>(len);
+        ctx.dma->get(lx, x.data() + range.begin, len * sizeof(double));
+        ctx.dma->get(ly, y_cpe.data() + range.begin, len * sizeof(double));
+        for (size_t i = 0; i < len; ++i) ly[i] += a * lx[i];
+        ctx.dma->put(y_cpe.data() + range.begin, ly, len * sizeof(double));
+      },
+      dma);
+
+  EXPECT_EQ(y_mpe, y_cpe);
+  EXPECT_GT(dma.total_bytes(), 0u);
+}
+
+TEST(Athread, LdmIsFreshPerSpawn) {
+  DmaEngine dma;
+  athread_spawn_join([&](CpeContext& ctx) { ctx.ldm->alloc(1024); }, dma);
+  // Second spawn gets clean allocators — allocating full capacity must work.
+  athread_spawn_join(
+      [&](CpeContext& ctx) {
+        EXPECT_NO_THROW(ctx.ldm->alloc(kLdmBytesPerCpe - 64));
+      },
+      dma);
+}
+
+TEST(CoreGroup, CpeClusterBeatsmpeByPaperBand) {
+  // A compute-bound kernel should land in the paper's observed acceleration
+  // band (84x–184x for real kernels; pure compute gives the architectural
+  // ratio).
+  KernelWork work;
+  work.flops = 1e9;
+  work.bytes = 1e6;  // light memory traffic
+  const double mpe = CoreGroup::predict(work, ExecTarget::kMpe);
+  const double cpe = CoreGroup::predict(work, ExecTarget::kCpeCluster);
+  const double speedup = mpe / cpe;
+  EXPECT_GT(speedup, 80.0);
+  EXPECT_LT(speedup, 200.0);
+}
+
+TEST(CoreGroup, DmaBoundKernelLimitedByBandwidth) {
+  KernelWork work;
+  work.flops = 1e6;   // trivial compute
+  work.bytes = 4e9;   // heavy traffic
+  const double cpe = CoreGroup::predict(work, ExecTarget::kCpeCluster);
+  // 4 GB over 40 GB/s -> at least 0.1 s regardless of compute speed.
+  EXPECT_GE(cpe, 0.1);
+}
+
+TEST(CoreGroup, AiFlopsRunFasterThanScalarFlopsOnCpe) {
+  KernelWork scalar{1e9, 0.0, 0.0};
+  KernelWork tensor{0.0, 0.0, 1e9};
+  EXPECT_LT(CoreGroup::predict(tensor, ExecTarget::kCpeCluster),
+            CoreGroup::predict(scalar, ExecTarget::kCpeCluster));
+}
+
+TEST(CoreGroup, ChargeAccumulates) {
+  CoreGroup cg;
+  KernelWork work{1e7, 1e5, 0.0};
+  const double t1 = cg.charge(work, ExecTarget::kCpeCluster);
+  const double t2 = cg.charge(work, ExecTarget::kCpeCluster);
+  EXPECT_DOUBLE_EQ(cg.simulated_seconds(), t1 + t2);
+  EXPECT_EQ(cg.kernels_run(), 2u);
+}
+
+TEST(Arch, CoreCountsMatchOceanLight) {
+  EXPECT_EQ(kCoresPerCpu, 390);
+  EXPECT_EQ(kOceanLightCores, 41932800LL);
+}
+
+TEST(Arch, OversubscriptionRatioIs16to3) {
+  EXPECT_NEAR(kInterSupernodeBandwidthGBs / kIntraSupernodeBandwidthGBs,
+              3.0 / 16.0, 1e-12);
+}
+
+TEST(OriseGpu, FasterThanCoreGroupForSameWork) {
+  KernelWork work{1e9, 1e7, 0.0};
+  EXPECT_LT(orise_gpu_seconds(work),
+            CoreGroup::predict(work, ExecTarget::kCpeCluster));
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// Tests for the tensor/NN substrate: kernel correctness (including
+// finite-difference gradient checks), layer semantics, and optimizer
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hpp"
+#include "tensor/layers.hpp"
+#include "tensor/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace ap3;
+using tensor::Tensor;
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 5.0f;
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[1 * 3 + 2], 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r[7], 3.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), ap3::Error);
+}
+
+TEST(Tensor, MatmulNtKnownAnswer) {
+  // a = [[1,2],[3,4]], w = [[1,0],[0,1],[1,1]] (3x2) -> a*w^T is 2x3.
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor w({3, 2}, {1, 0, 0, 1, 1, 1});
+  const Tensor out = tensor::matmul_nt(a, w);
+  EXPECT_EQ(out.at2(0, 0), 1.0f);
+  EXPECT_EQ(out.at2(0, 1), 2.0f);
+  EXPECT_EQ(out.at2(0, 2), 3.0f);
+  EXPECT_EQ(out.at2(1, 2), 7.0f);
+}
+
+TEST(Tensor, MatmulMatchesNtComposition) {
+  Rng rng(5);
+  Tensor a({4, 3}), b({3, 5});
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.normal());
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.normal());
+  const Tensor ab = tensor::matmul(a, b);
+  // Compare against transpose-based path.
+  Tensor bt({5, 3});
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 5; ++j) bt.at2(j, i) = b.at2(i, j);
+  const Tensor ref = tensor::matmul_nt(a, bt);
+  for (size_t i = 0; i < ab.size(); ++i) EXPECT_NEAR(ab[i], ref[i], 1e-5f);
+}
+
+TEST(Tensor, Conv1dIdentityKernel) {
+  // K=1 kernel with weight 1 reproduces the input channel.
+  Tensor x({1, 1, 5}, {1, 2, 3, 4, 5});
+  Tensor k({1, 1, 1}, {1.0f});
+  Tensor b({1});
+  const Tensor y = tensor::conv1d(x, k, b);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Tensor, Conv1dBoxFilterWithPadding) {
+  Tensor x({1, 1, 4}, {1, 1, 1, 1});
+  Tensor k({1, 1, 3}, {1, 1, 1});
+  Tensor b({1});
+  const Tensor y = tensor::conv1d(x, k, b);
+  // Interior points see 3 ones; edges see 2 (zero padding).
+  EXPECT_EQ(y[0], 2.0f);
+  EXPECT_EQ(y[1], 3.0f);
+  EXPECT_EQ(y[2], 3.0f);
+  EXPECT_EQ(y[3], 2.0f);
+}
+
+TEST(Tensor, Conv1dMultiChannelShapes) {
+  Tensor x({2, 3, 7});
+  Tensor k({4, 3, 3});
+  Tensor b({4});
+  const Tensor y = tensor::conv1d(x, k, b);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 4, 7}));
+}
+
+TEST(Tensor, Conv1dEvenKernelThrows) {
+  Tensor x({1, 1, 4});
+  Tensor k({1, 1, 2});
+  Tensor b({1});
+  EXPECT_THROW(tensor::conv1d(x, k, b), ap3::Error);
+}
+
+// Finite-difference check of conv1d gradients — the core of backprop
+// correctness for the tendency CNN.
+TEST(Tensor, Conv1dGradientsMatchFiniteDifference) {
+  Rng rng(11);
+  Tensor x({2, 2, 5}), k({3, 2, 3}), b({3});
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal());
+  for (size_t i = 0; i < k.size(); ++i) k[i] = static_cast<float>(rng.normal() * 0.3);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.normal() * 0.1);
+
+  // Loss = sum(y^2)/2 so dL/dy = y.
+  auto loss = [&](const Tensor& xx, const Tensor& kk, const Tensor& bb) {
+    const Tensor y = tensor::conv1d(xx, kk, bb);
+    double acc = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) acc += 0.5 * y[i] * y[i];
+    return acc;
+  };
+
+  const Tensor y = tensor::conv1d(x, k, b);
+  Tensor gk({3, 2, 3}), gb({3});
+  const Tensor gx = tensor::conv1d_backward(x, k, y, gk, gb);
+
+  const float eps = 1e-3f;
+  // Check a sample of input gradients.
+  for (size_t idx : {0u, 7u, 13u, 19u}) {
+    Tensor xp = x, xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    const double fd = (loss(xp, k, b) - loss(xm, k, b)) / (2.0 * eps);
+    EXPECT_NEAR(gx[idx], fd, 2e-2) << "input grad " << idx;
+  }
+  // Check a sample of kernel gradients.
+  for (size_t idx : {0u, 5u, 11u, 17u}) {
+    Tensor kp = k, km = k;
+    kp[idx] += eps;
+    km[idx] -= eps;
+    const double fd = (loss(x, kp, b) - loss(x, km, b)) / (2.0 * eps);
+    EXPECT_NEAR(gk[idx], fd, 2e-2) << "kernel grad " << idx;
+  }
+  // Bias gradients.
+  for (size_t idx : {0u, 2u}) {
+    Tensor bp = b, bm = b;
+    bp[idx] += eps;
+    bm[idx] -= eps;
+    const double fd = (loss(x, k, bp) - loss(x, k, bm)) / (2.0 * eps);
+    EXPECT_NEAR(gb[idx], fd, 2e-2) << "bias grad " << idx;
+  }
+}
+
+TEST(Tensor, ReluAndBackward) {
+  Tensor x({1, 4}, {-1, 0, 2, -3});
+  const Tensor y = tensor::relu(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Tensor g({1, 4}, {1, 1, 1, 1});
+  const Tensor gx = tensor::relu_backward(x, g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[2], 1.0f);
+}
+
+TEST(Tensor, MseAndGrad) {
+  Tensor pred({1, 2}, {1.0f, 3.0f});
+  Tensor target({1, 2}, {0.0f, 0.0f});
+  EXPECT_NEAR(tensor::mse(pred, target), (1.0 + 9.0) / 2.0, 1e-6);
+  const Tensor g = tensor::mse_grad(pred, target);
+  EXPECT_NEAR(g[0], 1.0f, 1e-6);
+  EXPECT_NEAR(g[1], 3.0f, 1e-6);
+}
+
+TEST(Layers, DenseForwardShape) {
+  Rng rng(3);
+  tensor::Dense dense(4, 3, rng);
+  Tensor x({5, 4});
+  const Tensor y = dense.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{5, 3}));
+}
+
+TEST(Layers, DenseGradientFiniteDifference) {
+  Rng rng(9);
+  tensor::Dense dense(3, 2, rng);
+  Tensor x({2, 3});
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal());
+
+  auto loss_for_weight = [&](size_t widx, float delta) {
+    tensor::Dense d2(3, 2, rng);
+    d2.weight = dense.weight;
+    d2.bias = dense.bias;
+    d2.weight[widx] += delta;
+    const Tensor y = d2.forward(x);
+    double acc = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) acc += 0.5 * y[i] * y[i];
+    return acc;
+  };
+
+  const Tensor y = dense.forward(x);
+  dense.zero_grads();
+  dense.backward(y);  // dL/dy = y for L = sum y^2/2
+  const float eps = 1e-3f;
+  for (size_t idx : {0u, 3u, 5u}) {
+    const double fd =
+        (loss_for_weight(idx, eps) - loss_for_weight(idx, -eps)) / (2.0 * eps);
+    EXPECT_NEAR(dense.grad_weight[idx], fd, 2e-2);
+  }
+}
+
+TEST(Layers, ResUnitPreservesShapeAndSkips) {
+  Rng rng(4);
+  std::vector<std::unique_ptr<tensor::Layer>> inner;
+  auto conv = std::make_unique<tensor::Conv1D>(2, 2, 3, rng);
+  conv->kernel.zero();  // inner branch contributes nothing
+  conv->bias.zero();
+  inner.push_back(std::move(conv));
+  tensor::ResUnit unit(std::move(inner));
+  Tensor x({1, 2, 4});
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i) + 1.0f;
+  const Tensor y = unit.forward(x);
+  // relu(0 + x) = x for positive x: pure skip.
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Layers, SequentialSaveLoadRoundTrip) {
+  Rng rng(6);
+  tensor::Sequential model;
+  model.add(std::make_unique<tensor::Dense>(4, 8, rng));
+  model.add(std::make_unique<tensor::ReLU>());
+  model.add(std::make_unique<tensor::Dense>(8, 2, rng));
+  const std::vector<float> weights = model.save_weights();
+
+  tensor::Sequential other;
+  Rng rng2(999);
+  other.add(std::make_unique<tensor::Dense>(4, 8, rng2));
+  other.add(std::make_unique<tensor::ReLU>());
+  other.add(std::make_unique<tensor::Dense>(8, 2, rng2));
+  other.load_weights(weights);
+
+  Tensor x({3, 4});
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.1f * static_cast<float>(i);
+  const Tensor a = model.forward(x);
+  const Tensor b = other.forward(x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Optimizer, AdamReducesLossOnRegression) {
+  // Fit y = 2x1 - x2 + 0.5 with a linear layer.
+  Rng rng(8);
+  tensor::Sequential model;
+  model.add(std::make_unique<tensor::Dense>(2, 1, rng));
+  tensor::Adam adam(model, {5e-2f, 0.9f, 0.999f, 1e-8f});
+
+  Tensor x({64, 2}), y({64, 1});
+  for (size_t i = 0; i < 64; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    x.at2(i, 0) = static_cast<float>(a);
+    x.at2(i, 1) = static_cast<float>(b);
+    y.at2(i, 0) = static_cast<float>(2 * a - b + 0.5);
+  }
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    model.zero_grads();
+    const Tensor pred = model.forward(x);
+    const float loss = tensor::mse(pred, y);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    model.backward(tensor::mse_grad(pred, y));
+    adam.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01f);
+  EXPECT_LT(last_loss, 1e-3f);
+}
+
+}  // namespace
