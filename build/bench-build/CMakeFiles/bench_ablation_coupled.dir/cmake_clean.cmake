@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_coupled"
+  "../bench/bench_ablation_coupled.pdb"
+  "CMakeFiles/bench_ablation_coupled.dir/bench_ablation_coupled.cpp.o"
+  "CMakeFiles/bench_ablation_coupled.dir/bench_ablation_coupled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

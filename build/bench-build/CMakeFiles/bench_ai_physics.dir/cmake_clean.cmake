@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ai_physics"
+  "../bench/bench_ai_physics.pdb"
+  "CMakeFiles/bench_ai_physics.dir/bench_ai_physics.cpp.o"
+  "CMakeFiles/bench_ai_physics.dir/bench_ai_physics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ai_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

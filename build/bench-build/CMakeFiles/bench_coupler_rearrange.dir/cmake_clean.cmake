@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_coupler_rearrange"
+  "../bench/bench_coupler_rearrange.pdb"
+  "CMakeFiles/bench_coupler_rearrange.dir/bench_coupler_rearrange.cpp.o"
+  "CMakeFiles/bench_coupler_rearrange.dir/bench_coupler_rearrange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coupler_rearrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_fields"
+  "../bench/bench_fig1_fields.pdb"
+  "CMakeFiles/bench_fig1_fields.dir/bench_fig1_fields.cpp.o"
+  "CMakeFiles/bench_fig1_fields.dir/bench_fig1_fields.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

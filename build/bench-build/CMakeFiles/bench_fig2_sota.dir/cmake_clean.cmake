@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_sota"
+  "../bench/bench_fig2_sota.pdb"
+  "CMakeFiles/bench_fig2_sota.dir/bench_fig2_sota.cpp.o"
+  "CMakeFiles/bench_fig2_sota.dir/bench_fig2_sota.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_typhoon_structure"
+  "../bench/bench_fig6_typhoon_structure.pdb"
+  "CMakeFiles/bench_fig6_typhoon_structure.dir/bench_fig6_typhoon_structure.cpp.o"
+  "CMakeFiles/bench_fig6_typhoon_structure.dir/bench_fig6_typhoon_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_typhoon_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

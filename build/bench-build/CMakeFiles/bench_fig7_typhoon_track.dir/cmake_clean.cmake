@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_typhoon_track"
+  "../bench/bench_fig7_typhoon_track.pdb"
+  "CMakeFiles/bench_fig7_typhoon_track.dir/bench_fig7_typhoon_track.cpp.o"
+  "CMakeFiles/bench_fig7_typhoon_track.dir/bench_fig7_typhoon_track.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_typhoon_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

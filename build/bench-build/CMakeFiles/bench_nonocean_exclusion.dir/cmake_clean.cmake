@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nonocean_exclusion"
+  "../bench/bench_nonocean_exclusion.pdb"
+  "CMakeFiles/bench_nonocean_exclusion.dir/bench_nonocean_exclusion.cpp.o"
+  "CMakeFiles/bench_nonocean_exclusion.dir/bench_nonocean_exclusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonocean_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

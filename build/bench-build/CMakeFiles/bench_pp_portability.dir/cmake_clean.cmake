@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pp_portability"
+  "../bench/bench_pp_portability.pdb"
+  "CMakeFiles/bench_pp_portability.dir/bench_pp_portability.cpp.o"
+  "CMakeFiles/bench_pp_portability.dir/bench_pp_portability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pp_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_configs"
+  "../bench/bench_table1_configs.pdb"
+  "CMakeFiles/bench_table1_configs.dir/bench_table1_configs.cpp.o"
+  "CMakeFiles/bench_table1_configs.dir/bench_table1_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

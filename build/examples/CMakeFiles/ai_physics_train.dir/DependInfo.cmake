@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ai_physics_train.cpp" "examples/CMakeFiles/ai_physics_train.dir/ai_physics_train.cpp.o" "gcc" "examples/CMakeFiles/ai_physics_train.dir/ai_physics_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atm/CMakeFiles/ap3_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/ap3_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/ai/CMakeFiles/ap3_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ap3_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/ap3_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnd/CMakeFiles/ap3_lnd.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ap3_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/ap3_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/ap3_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ap3_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

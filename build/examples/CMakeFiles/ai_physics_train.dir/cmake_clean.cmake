@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_physics_train.dir/ai_physics_train.cpp.o"
+  "CMakeFiles/ai_physics_train.dir/ai_physics_train.cpp.o.d"
+  "ai_physics_train"
+  "ai_physics_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_physics_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

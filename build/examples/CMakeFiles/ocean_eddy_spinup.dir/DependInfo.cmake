@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ocean_eddy_spinup.cpp" "examples/CMakeFiles/ocean_eddy_spinup.dir/ocean_eddy_spinup.cpp.o" "gcc" "examples/CMakeFiles/ocean_eddy_spinup.dir/ocean_eddy_spinup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocn/CMakeFiles/ap3_ocn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/ap3_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/ap3_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ap3_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/ap3_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/ap3_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ap3_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_eddy_spinup.dir/ocean_eddy_spinup.cpp.o"
+  "CMakeFiles/ocean_eddy_spinup.dir/ocean_eddy_spinup.cpp.o.d"
+  "ocean_eddy_spinup"
+  "ocean_eddy_spinup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_eddy_spinup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ocean_eddy_spinup.
+# This may be replaced when dependencies are built.

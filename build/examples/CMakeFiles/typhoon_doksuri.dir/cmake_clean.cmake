@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_doksuri.dir/typhoon_doksuri.cpp.o"
+  "CMakeFiles/typhoon_doksuri.dir/typhoon_doksuri.cpp.o.d"
+  "typhoon_doksuri"
+  "typhoon_doksuri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_doksuri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

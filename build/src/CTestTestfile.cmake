@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("par")
+subdirs("pp")
+subdirs("sunway")
+subdirs("grid")
+subdirs("mct")
+subdirs("tensor")
+subdirs("ai")
+subdirs("precision")
+subdirs("io")
+subdirs("lnd")
+subdirs("atm")
+subdirs("ocn")
+subdirs("ice")
+subdirs("coupler")
+subdirs("perf")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ai/models.cpp" "src/ai/CMakeFiles/ap3_ai.dir/models.cpp.o" "gcc" "src/ai/CMakeFiles/ap3_ai.dir/models.cpp.o.d"
+  "/root/repo/src/ai/normalizer.cpp" "src/ai/CMakeFiles/ap3_ai.dir/normalizer.cpp.o" "gcc" "src/ai/CMakeFiles/ap3_ai.dir/normalizer.cpp.o.d"
+  "/root/repo/src/ai/suite.cpp" "src/ai/CMakeFiles/ap3_ai.dir/suite.cpp.o" "gcc" "src/ai/CMakeFiles/ap3_ai.dir/suite.cpp.o.d"
+  "/root/repo/src/ai/trainer.cpp" "src/ai/CMakeFiles/ap3_ai.dir/trainer.cpp.o" "gcc" "src/ai/CMakeFiles/ap3_ai.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap3_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ap3_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/ap3_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

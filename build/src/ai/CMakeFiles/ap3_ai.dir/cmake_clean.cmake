@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_ai.dir/models.cpp.o"
+  "CMakeFiles/ap3_ai.dir/models.cpp.o.d"
+  "CMakeFiles/ap3_ai.dir/normalizer.cpp.o"
+  "CMakeFiles/ap3_ai.dir/normalizer.cpp.o.d"
+  "CMakeFiles/ap3_ai.dir/suite.cpp.o"
+  "CMakeFiles/ap3_ai.dir/suite.cpp.o.d"
+  "CMakeFiles/ap3_ai.dir/trainer.cpp.o"
+  "CMakeFiles/ap3_ai.dir/trainer.cpp.o.d"
+  "libap3_ai.a"
+  "libap3_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_atm.dir/dycore.cpp.o"
+  "CMakeFiles/ap3_atm.dir/dycore.cpp.o.d"
+  "CMakeFiles/ap3_atm.dir/model.cpp.o"
+  "CMakeFiles/ap3_atm.dir/model.cpp.o.d"
+  "CMakeFiles/ap3_atm.dir/physics.cpp.o"
+  "CMakeFiles/ap3_atm.dir/physics.cpp.o.d"
+  "CMakeFiles/ap3_atm.dir/vortex.cpp.o"
+  "CMakeFiles/ap3_atm.dir/vortex.cpp.o.d"
+  "libap3_atm.a"
+  "libap3_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

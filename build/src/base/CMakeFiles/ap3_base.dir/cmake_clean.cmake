@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_base.dir/config.cpp.o"
+  "CMakeFiles/ap3_base.dir/config.cpp.o.d"
+  "CMakeFiles/ap3_base.dir/log.cpp.o"
+  "CMakeFiles/ap3_base.dir/log.cpp.o.d"
+  "CMakeFiles/ap3_base.dir/timer.cpp.o"
+  "CMakeFiles/ap3_base.dir/timer.cpp.o.d"
+  "libap3_base.a"
+  "libap3_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

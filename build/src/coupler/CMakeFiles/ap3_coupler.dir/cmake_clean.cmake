@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_coupler.dir/clock.cpp.o"
+  "CMakeFiles/ap3_coupler.dir/clock.cpp.o.d"
+  "CMakeFiles/ap3_coupler.dir/driver.cpp.o"
+  "CMakeFiles/ap3_coupler.dir/driver.cpp.o.d"
+  "CMakeFiles/ap3_coupler.dir/fluxes.cpp.o"
+  "CMakeFiles/ap3_coupler.dir/fluxes.cpp.o.d"
+  "CMakeFiles/ap3_coupler.dir/timing.cpp.o"
+  "CMakeFiles/ap3_coupler.dir/timing.cpp.o.d"
+  "libap3_coupler.a"
+  "libap3_coupler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_coupler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

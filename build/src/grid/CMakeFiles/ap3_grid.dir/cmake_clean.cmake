@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_grid.dir/halo.cpp.o"
+  "CMakeFiles/ap3_grid.dir/halo.cpp.o.d"
+  "CMakeFiles/ap3_grid.dir/icosahedral.cpp.o"
+  "CMakeFiles/ap3_grid.dir/icosahedral.cpp.o.d"
+  "CMakeFiles/ap3_grid.dir/partition.cpp.o"
+  "CMakeFiles/ap3_grid.dir/partition.cpp.o.d"
+  "CMakeFiles/ap3_grid.dir/tripolar.cpp.o"
+  "CMakeFiles/ap3_grid.dir/tripolar.cpp.o.d"
+  "libap3_grid.a"
+  "libap3_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_ice.dir/ice.cpp.o"
+  "CMakeFiles/ap3_ice.dir/ice.cpp.o.d"
+  "libap3_ice.a"
+  "libap3_ice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_ice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libap3_ice.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_io.dir/subfile.cpp.o"
+  "CMakeFiles/ap3_io.dir/subfile.cpp.o.d"
+  "libap3_io.a"
+  "libap3_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_lnd.dir/land.cpp.o"
+  "CMakeFiles/ap3_lnd.dir/land.cpp.o.d"
+  "libap3_lnd.a"
+  "libap3_lnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_lnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mct/attrvect.cpp" "src/mct/CMakeFiles/ap3_mct.dir/attrvect.cpp.o" "gcc" "src/mct/CMakeFiles/ap3_mct.dir/attrvect.cpp.o.d"
+  "/root/repo/src/mct/gsmap.cpp" "src/mct/CMakeFiles/ap3_mct.dir/gsmap.cpp.o" "gcc" "src/mct/CMakeFiles/ap3_mct.dir/gsmap.cpp.o.d"
+  "/root/repo/src/mct/rearranger.cpp" "src/mct/CMakeFiles/ap3_mct.dir/rearranger.cpp.o" "gcc" "src/mct/CMakeFiles/ap3_mct.dir/rearranger.cpp.o.d"
+  "/root/repo/src/mct/router.cpp" "src/mct/CMakeFiles/ap3_mct.dir/router.cpp.o" "gcc" "src/mct/CMakeFiles/ap3_mct.dir/router.cpp.o.d"
+  "/root/repo/src/mct/sparsematrix.cpp" "src/mct/CMakeFiles/ap3_mct.dir/sparsematrix.cpp.o" "gcc" "src/mct/CMakeFiles/ap3_mct.dir/sparsematrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap3_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/ap3_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ap3_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_mct.dir/attrvect.cpp.o"
+  "CMakeFiles/ap3_mct.dir/attrvect.cpp.o.d"
+  "CMakeFiles/ap3_mct.dir/gsmap.cpp.o"
+  "CMakeFiles/ap3_mct.dir/gsmap.cpp.o.d"
+  "CMakeFiles/ap3_mct.dir/rearranger.cpp.o"
+  "CMakeFiles/ap3_mct.dir/rearranger.cpp.o.d"
+  "CMakeFiles/ap3_mct.dir/router.cpp.o"
+  "CMakeFiles/ap3_mct.dir/router.cpp.o.d"
+  "CMakeFiles/ap3_mct.dir/sparsematrix.cpp.o"
+  "CMakeFiles/ap3_mct.dir/sparsematrix.cpp.o.d"
+  "libap3_mct.a"
+  "libap3_mct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_ocn.dir/canuto.cpp.o"
+  "CMakeFiles/ap3_ocn.dir/canuto.cpp.o.d"
+  "CMakeFiles/ap3_ocn.dir/model.cpp.o"
+  "CMakeFiles/ap3_ocn.dir/model.cpp.o.d"
+  "libap3_ocn.a"
+  "libap3_ocn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_ocn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_par.dir/comm.cpp.o"
+  "CMakeFiles/ap3_par.dir/comm.cpp.o.d"
+  "libap3_par.a"
+  "libap3_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_perf.dir/federation.cpp.o"
+  "CMakeFiles/ap3_perf.dir/federation.cpp.o.d"
+  "CMakeFiles/ap3_perf.dir/measure.cpp.o"
+  "CMakeFiles/ap3_perf.dir/measure.cpp.o.d"
+  "CMakeFiles/ap3_perf.dir/network.cpp.o"
+  "CMakeFiles/ap3_perf.dir/network.cpp.o.d"
+  "CMakeFiles/ap3_perf.dir/scaling.cpp.o"
+  "CMakeFiles/ap3_perf.dir/scaling.cpp.o.d"
+  "CMakeFiles/ap3_perf.dir/sota.cpp.o"
+  "CMakeFiles/ap3_perf.dir/sota.cpp.o.d"
+  "CMakeFiles/ap3_perf.dir/workload.cpp.o"
+  "CMakeFiles/ap3_perf.dir/workload.cpp.o.d"
+  "libap3_perf.a"
+  "libap3_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pp/pool.cpp" "src/pp/CMakeFiles/ap3_pp.dir/pool.cpp.o" "gcc" "src/pp/CMakeFiles/ap3_pp.dir/pool.cpp.o.d"
+  "/root/repo/src/pp/registry.cpp" "src/pp/CMakeFiles/ap3_pp.dir/registry.cpp.o" "gcc" "src/pp/CMakeFiles/ap3_pp.dir/registry.cpp.o.d"
+  "/root/repo/src/pp/tile.cpp" "src/pp/CMakeFiles/ap3_pp.dir/tile.cpp.o" "gcc" "src/pp/CMakeFiles/ap3_pp.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap3_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

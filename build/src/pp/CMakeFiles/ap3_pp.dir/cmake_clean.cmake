@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_pp.dir/pool.cpp.o"
+  "CMakeFiles/ap3_pp.dir/pool.cpp.o.d"
+  "CMakeFiles/ap3_pp.dir/registry.cpp.o"
+  "CMakeFiles/ap3_pp.dir/registry.cpp.o.d"
+  "CMakeFiles/ap3_pp.dir/tile.cpp.o"
+  "CMakeFiles/ap3_pp.dir/tile.cpp.o.d"
+  "libap3_pp.a"
+  "libap3_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_precision.dir/group_scaled.cpp.o"
+  "CMakeFiles/ap3_precision.dir/group_scaled.cpp.o.d"
+  "libap3_precision.a"
+  "libap3_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sunway/athread.cpp" "src/sunway/CMakeFiles/ap3_sunway.dir/athread.cpp.o" "gcc" "src/sunway/CMakeFiles/ap3_sunway.dir/athread.cpp.o.d"
+  "/root/repo/src/sunway/coregroup.cpp" "src/sunway/CMakeFiles/ap3_sunway.dir/coregroup.cpp.o" "gcc" "src/sunway/CMakeFiles/ap3_sunway.dir/coregroup.cpp.o.d"
+  "/root/repo/src/sunway/ldm.cpp" "src/sunway/CMakeFiles/ap3_sunway.dir/ldm.cpp.o" "gcc" "src/sunway/CMakeFiles/ap3_sunway.dir/ldm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap3_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/ap3_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

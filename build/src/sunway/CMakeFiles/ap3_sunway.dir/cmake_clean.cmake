@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_sunway.dir/athread.cpp.o"
+  "CMakeFiles/ap3_sunway.dir/athread.cpp.o.d"
+  "CMakeFiles/ap3_sunway.dir/coregroup.cpp.o"
+  "CMakeFiles/ap3_sunway.dir/coregroup.cpp.o.d"
+  "CMakeFiles/ap3_sunway.dir/ldm.cpp.o"
+  "CMakeFiles/ap3_sunway.dir/ldm.cpp.o.d"
+  "libap3_sunway.a"
+  "libap3_sunway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap3_tensor.dir/layers.cpp.o"
+  "CMakeFiles/ap3_tensor.dir/layers.cpp.o.d"
+  "CMakeFiles/ap3_tensor.dir/optimizer.cpp.o"
+  "CMakeFiles/ap3_tensor.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ap3_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ap3_tensor.dir/tensor.cpp.o.d"
+  "libap3_tensor.a"
+  "libap3_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap3_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ai.dir/test_ai.cpp.o"
+  "CMakeFiles/test_ai.dir/test_ai.cpp.o.d"
+  "test_ai"
+  "test_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

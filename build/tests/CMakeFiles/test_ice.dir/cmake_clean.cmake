@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ice.dir/test_ice.cpp.o"
+  "CMakeFiles/test_ice.dir/test_ice.cpp.o.d"
+  "test_ice"
+  "test_ice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

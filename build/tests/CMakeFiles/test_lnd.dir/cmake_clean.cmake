@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lnd.dir/test_lnd.cpp.o"
+  "CMakeFiles/test_lnd.dir/test_lnd.cpp.o.d"
+  "test_lnd"
+  "test_lnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

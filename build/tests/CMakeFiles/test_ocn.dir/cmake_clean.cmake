@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocn.dir/test_ocn.cpp.o"
+  "CMakeFiles/test_ocn.dir/test_ocn.cpp.o.d"
+  "test_ocn"
+  "test_ocn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

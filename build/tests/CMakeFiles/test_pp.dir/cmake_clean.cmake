@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pp.dir/test_pp.cpp.o"
+  "CMakeFiles/test_pp.dir/test_pp.cpp.o.d"
+  "test_pp"
+  "test_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
