@@ -33,6 +33,18 @@ void TimerRegistry::stop(const std::string& name) {
       entry.stats.calls == 1 ? secs : std::min(entry.stats.min_seconds, secs);
 }
 
+void TimerRegistry::absorb(const TimerStats& stats) {
+  Entry& entry = entries_[stats.name];
+  const bool fresh = entry.stats.calls == 0;
+  entry.stats.name = stats.name;
+  entry.stats.calls += stats.calls;
+  entry.stats.total_seconds += stats.total_seconds;
+  entry.stats.max_seconds = std::max(entry.stats.max_seconds, stats.max_seconds);
+  entry.stats.min_seconds =
+      fresh ? stats.min_seconds
+            : std::min(entry.stats.min_seconds, stats.min_seconds);
+}
+
 double TimerRegistry::total(const std::string& name) const {
   auto it = entries_.find(name);
   return it == entries_.end() ? 0.0 : it->second.stats.total_seconds;

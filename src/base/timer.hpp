@@ -1,6 +1,13 @@
 // GPTL-style hierarchical wall-clock timers (§6.2 of the paper: wall-clock
 // measurements come from GPTL timers in Coupler 7, max across ranks).
 //
+// COMPATIBILITY SHIM: instrumentation has moved to the unified observability
+// layer (src/obs — RAII obs::Span / AP3_SPAN, counters, Chrome-trace export).
+// This registry remains because cpl::summarize_timing consumes TimerStats;
+// it is fed from span aggregates via obs::fill_registry -> absorb(). The raw
+// string-paired start()/stop() pair is DEPRECATED — do not add new call
+// sites; use AP3_SPAN("component:phase:subphase") instead.
+//
 // Timers nest: start("cpl")/start("cpl:run")/stop/stop builds a call tree.
 // Each simulated rank owns a TimerRegistry; the coupler's getTiming analog
 // reduces the per-rank maxima, mirroring the paper's measurement mechanism.
@@ -26,8 +33,15 @@ struct TimerStats {
 /// (thread) owns its own registry, matching per-rank GPTL instances.
 class TimerRegistry {
  public:
+  /// DEPRECATED: error-prone string-paired protocol kept only for the shim
+  /// and its tests; new code records obs::Span and feeds via absorb().
   void start(const std::string& name);
+  /// DEPRECATED: see start().
   void stop(const std::string& name);
+
+  /// Merge externally aggregated stats into this registry (the span-fed
+  /// compatibility path; see obs::fill_registry).
+  void absorb(const TimerStats& stats);
 
   /// Seconds accumulated in `name`; 0 if never started.
   double total(const std::string& name) const;
@@ -53,7 +67,9 @@ class TimerRegistry {
   std::map<std::string, Entry> entries_;
 };
 
-/// RAII scope timer.
+/// RAII scope timer. DEPRECATED for instrumentation: prefer AP3_SPAN, which
+/// records into the observability layer (and reaches this registry through
+/// obs::fill_registry); kept for the shim's own tests.
 class ScopedTimer {
  public:
   ScopedTimer(TimerRegistry& registry, std::string name)

@@ -70,8 +70,11 @@ class CoupledModel {
 
   // --- collective diagnostics (call on every global rank) --------------------
   /// getTiming-style report over everything run so far (§6.2; collective).
+  /// Phase totals come from obs spans (AP3_SPAN call sites in the driver);
+  /// the registry below is the compatibility shim they are reduced through.
   TimingSummary timing_summary();
-  TimerRegistry& timers() { return timers_; }
+  /// The span-fed shim registry, refreshed on access (not collective).
+  TimerRegistry& timers();
 
   double global_mean_sst_k();
   double global_mean_precip();
@@ -87,6 +90,7 @@ class CoupledModel {
 
  private:
   void build_coupling_infrastructure();
+  void refresh_timers();  ///< rebuild the shim registry from span aggregates
   void atm_ice_phase();  ///< one master window: atm.run, ice.run, exchanges
   void ocn_phase();      ///< at ocean boundaries: fluxes, ocn.run, exports
 
@@ -113,7 +117,8 @@ class CoupledModel {
   std::vector<double> sst_on_ice_, us_on_ice_, vs_on_ice_;  // ice decomposition
 
   Clock clock_;
-  TimerRegistry timers_;
+  TimerRegistry timers_;  ///< compatibility shim, fed from obs spans
+  std::size_t obs_first_event_ = 0;  ///< span-buffer mark at end of init
   double window_seconds_ = 0.0;
   BulkFluxConfig flux_config_;
 };

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ap3::io {
 
@@ -156,14 +157,19 @@ FieldData read_and_scatter(const par::Comm& group_comm,
 
 std::size_t write_subfiles(const par::Comm& comm, const SubfileConfig& config,
                            const FieldData& local) {
+  AP3_SPAN("io:subfile:write");
   AP3_REQUIRE(local.ids.size() == local.values.size());
   const GroupLayout layout = layout_for(comm, config.num_subfiles);
   par::Comm group = comm.split(layout.group, comm.rank());
-  return gather_and_write(group, subfile_path(config, layout.group), local);
+  const std::size_t bytes =
+      gather_and_write(group, subfile_path(config, layout.group), local);
+  obs::counter_add("io:subfile:bytes_written", static_cast<double>(bytes));
+  return bytes;
 }
 
 FieldData read_subfiles(const par::Comm& comm, const SubfileConfig& config,
                         const std::vector<std::int64_t>& expected_ids) {
+  AP3_SPAN("io:subfile:read");
   const GroupLayout layout = layout_for(comm, config.num_subfiles);
   par::Comm group = comm.split(layout.group, comm.rank());
   return read_and_scatter(group, subfile_path(config, layout.group),
@@ -172,13 +178,17 @@ FieldData read_subfiles(const par::Comm& comm, const SubfileConfig& config,
 
 std::size_t write_single(const par::Comm& comm, const std::string& path,
                          const FieldData& local) {
+  AP3_SPAN("io:single:write");
   AP3_REQUIRE(local.ids.size() == local.values.size());
   par::Comm whole = comm.split(0, comm.rank());
-  return gather_and_write(whole, path, local);
+  const std::size_t bytes = gather_and_write(whole, path, local);
+  obs::counter_add("io:single:bytes_written", static_cast<double>(bytes));
+  return bytes;
 }
 
 FieldData read_single(const par::Comm& comm, const std::string& path,
                       const std::vector<std::int64_t>& expected_ids) {
+  AP3_SPAN("io:single:read");
   par::Comm whole = comm.split(0, comm.rank());
   return read_and_scatter(whole, path, expected_ids);
 }

@@ -1,0 +1,156 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "obs/obs.hpp"
+
+namespace ap3::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// tid for a buffer: simulated rank when labeled, high offset otherwise.
+int tid_for(int rank, std::size_t buffer_index) {
+  return rank >= 0 ? rank : 100000 + static_cast<int>(buffer_index);
+}
+
+}  // namespace
+
+std::string tree_report() {
+  std::ostringstream os;
+  const auto all = buffers();
+  for (std::size_t b = 0; b < all.size(); ++b) {
+    const RankBuffer& buffer = *all[b];
+    const auto spans = buffer.aggregate_spans();
+    const auto counters = buffer.counters();
+    if (spans.empty() && counters.empty()) continue;
+
+    const int rank = buffer.rank();
+    if (rank >= 0)
+      os << "rank " << rank << "\n";
+    else
+      os << "thread " << b << "\n";
+
+    if (!spans.empty()) {
+      // Sorted by name so parents precede children ("a" < "a:b").
+      auto by_name = spans;
+      std::sort(by_name.begin(), by_name.end(),
+                [](const auto& a, const auto& c) { return a.name < c.name; });
+      os << "  span                                       calls      total(s)\n";
+      for (const SpanStats& s : by_name) {
+        const auto depth = std::count(s.name.begin(), s.name.end(), ':');
+        std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+        label += s.name;
+        if (label.size() < 42) label.resize(42, ' ');
+        os << "  " << label << ' ' << s.calls << "  "
+           << format_double(s.total_seconds) << "\n";
+      }
+    }
+    if (!counters.empty()) {
+      os << "  counter                                    value\n";
+      for (const auto& [name, c] : counters) {
+        std::string label = name;
+        if (label.size() < 42) label.resize(42, ' ');
+        os << "  " << label << ' ' << format_double(c.value)
+           << (c.is_gauge ? "  (gauge)" : "") << "\n";
+      }
+    }
+    if (buffer.dropped_events() > 0)
+      os << "  (" << buffer.dropped_events() << " events dropped at cap)\n";
+  }
+  if (os.str().empty()) return "observability: no data recorded\n";
+  return os.str();
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto all = buffers();
+  for (std::size_t b = 0; b < all.size(); ++b) {
+    const RankBuffer& buffer = *all[b];
+    const auto events = buffer.events();
+    if (events.empty()) continue;
+    const auto names = buffer.names();
+    const int rank = buffer.rank();
+    const int tid = tid_for(rank, b);
+
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\""
+       << (rank >= 0 ? "rank " + std::to_string(rank)
+                     : "thread " + std::to_string(b))
+       << "\"}}";
+
+    for (const SpanEvent& event : events) {
+      os << ",{\"name\":\"" << json_escape(names[event.name_id])
+         << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
+         << ",\"ts\":" << format_double(event.start_seconds * 1e6)
+         << ",\"dur\":"
+         << format_double((event.end_seconds - event.start_seconds) * 1e6)
+         << ",\"args\":{\"depth\":" << event.depth << "}}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"counters\":{";
+
+  // Merged counter totals across buffers: counters sum, gauges max.
+  std::map<std::string, CounterValue> merged;
+  for (const auto& buffer : all) {
+    for (const auto& [name, c] : buffer->counters()) {
+      CounterValue& m = merged[name];
+      m.is_gauge = m.is_gauge || c.is_gauge;
+      m.value = m.is_gauge ? std::max(m.value, c.value) : m.value + c.value;
+      m.updates += c.updates;
+    }
+  }
+  bool first_counter = true;
+  for (const auto& [name, c] : merged) {
+    if (!first_counter) os << ",";
+    first_counter = false;
+    os << "\"" << json_escape(name) << "\":" << format_double(c.value);
+  }
+  os << "}}";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
+  out << chrome_trace_json();
+  AP3_REQUIRE_MSG(out.good(), "failed writing chrome trace to " << path);
+}
+
+}  // namespace ap3::obs

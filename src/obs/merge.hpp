@@ -1,0 +1,141 @@
+// Cross-rank merge collective for the observability layer.
+//
+// Each rank serializes its local RankBuffer (span aggregates + counters),
+// the ranks allgather the blobs over ap3::par, and every rank deterministically
+// combines them: span totals reduce with max (the getTiming convention for
+// load-imbalanced components) and mean, counters sum, gauges max.
+//
+// Header-only on purpose: obs's core (obs.hpp) must not depend on par —
+// par's hot paths record into obs — so the one obs facility that *does* need
+// a communicator lives here, instantiated only by call sites that already
+// link both libraries.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "par/comm.hpp"
+
+namespace ap3::obs {
+
+struct MergedSpan {
+  std::string name;
+  long long calls = 0;        ///< max across ranks
+  double total_max = 0.0;     ///< max across ranks of per-rank total
+  double total_mean = 0.0;    ///< mean across ranks of per-rank total
+};
+
+struct MergedCounter {
+  std::string name;
+  double value = 0.0;  ///< sum across ranks (counters) or max (gauges)
+  bool is_gauge = false;
+};
+
+struct MergedReport {
+  int ranks = 0;
+  std::vector<MergedSpan> spans;        ///< sorted by name
+  std::vector<MergedCounter> counters;  ///< sorted by name
+
+  double counter(std::string_view name) const {
+    for (const MergedCounter& c : counters)
+      if (c.name == name) return c.value;
+    return 0.0;
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "obs merged report (" << ranks << " ranks)\n";
+    for (const MergedSpan& s : spans) {
+      std::string label = "  " + s.name;
+      if (label.size() < 44) label.resize(44, ' ');
+      os << label << " max " << s.total_max << " s  (mean " << s.total_mean
+         << " s, " << s.calls << " calls)\n";
+    }
+    for (const MergedCounter& c : counters) {
+      std::string label = "  " + c.name;
+      if (label.size() < 44) label.resize(44, ' ');
+      os << label << " " << c.value << (c.is_gauge ? "  (gauge)" : "") << "\n";
+    }
+    return os.str();
+  }
+};
+
+/// Collective over `comm`: merge every rank's thread-local buffer. All ranks
+/// return the identical report. Only this thread's buffer contributes for
+/// each rank; counters recorded on helper threads (pool workers) are
+/// process-global and reduced by total_counter() / the exporters instead.
+inline MergedReport merge(const par::Comm& comm, std::size_t first_event = 0) {
+  constexpr char kSep = '\x1f';
+  std::ostringstream os;
+  os.precision(17);
+  for (const SpanStats& s : local().aggregate_spans(first_event))
+    os << 'S' << kSep << s.name << kSep << s.calls << kSep << s.total_seconds
+       << '\n';
+  for (const auto& [name, c] : local().counters())
+    os << 'C' << kSep << name << kSep << (c.is_gauge ? 1 : 0) << kSep
+       << c.value << '\n';
+  const std::string mine = os.str();
+  const std::vector<char> flat(mine.begin(), mine.end());
+  const std::vector<char> all =
+      comm.allgatherv(std::span<const char>(flat), nullptr);
+
+  struct SpanAccum {
+    long long calls = 0;
+    double total_max = 0.0;
+    double total_sum = 0.0;
+  };
+  std::map<std::string, SpanAccum> spans;
+  std::map<std::string, MergedCounter> counters;
+
+  std::string line;
+  std::istringstream in(std::string(all.begin(), all.end()));
+  while (std::getline(in, line)) {
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+      const std::size_t next = line.find(kSep, pos);
+      if (next == std::string::npos) {
+        fields.push_back(line.substr(pos));
+        break;
+      }
+      fields.push_back(line.substr(pos, next - pos));
+      pos = next + 1;
+    }
+    if (fields.size() != 4) continue;
+    if (fields[0] == "S") {
+      SpanAccum& acc = spans[fields[1]];
+      acc.calls = std::max(acc.calls, std::atoll(fields[2].c_str()));
+      const double total = std::atof(fields[3].c_str());
+      acc.total_max = std::max(acc.total_max, total);
+      acc.total_sum += total;
+    } else if (fields[0] == "C") {
+      MergedCounter& c = counters[fields[1]];
+      c.name = fields[1];
+      c.is_gauge = c.is_gauge || fields[2] == "1";
+      const double value = std::atof(fields[3].c_str());
+      c.value = c.is_gauge ? std::max(c.value, value) : c.value + value;
+    }
+  }
+
+  MergedReport report;
+  report.ranks = comm.size();
+  for (const auto& [name, acc] : spans) {
+    MergedSpan s;
+    s.name = name;
+    s.calls = acc.calls;
+    s.total_max = acc.total_max;
+    s.total_mean = acc.total_sum / comm.size();
+    report.spans.push_back(std::move(s));
+  }
+  for (const auto& [name, c] : counters) report.counters.push_back(c);
+  return report;
+}
+
+}  // namespace ap3::obs

@@ -401,7 +401,9 @@ void OcnModel::tracer_step(double dt) {
     auto advect_diffuse = [&](std::vector<double>& field) {
       std::vector<double> next(static_cast<std::size_t>(nxl * nyl));
       pp::parallel_for(
-          pp::RangePolicy(0, static_cast<std::size_t>(nyl), config_.exec_space),
+          pp::RangePolicy(0, static_cast<std::size_t>(nyl))
+              .on(config_.exec_space)
+              .named("ocn:advect_diffuse"),
           [&](std::size_t uj) {
             const int j = static_cast<int>(uj);
             const double dx = dx_m_[uj];

@@ -3,7 +3,45 @@
 #include <set>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace ap3::par {
+
+namespace {
+
+/// Collectives reserve tags <= -1000 (see comm.hpp); map them to a name so
+/// traffic shows up as obs counter families per collective, not a bare tag.
+const char* collective_of(int tag) {
+  switch (tag) {
+    case -1000: return "bcast";
+    case -1001: return "gather";
+    case -1002: return "allgatherv";
+    case -1003: return "reduce";
+    case -1004: return "alltoall";
+    case -1005: return "alltoallv";
+  }
+  return nullptr;
+}
+
+/// One obs counter family per message: collectives aggregate under
+/// "par:coll:<name>:bytes", user point-to-point traffic keeps a per-tag
+/// breakdown ("par:p2p:bytes:tag[<tag>]"), and "par:bytes:total" is the
+/// grand total that must match World::traffic().bytes.
+void account_obs(int tag, std::size_t bytes) {
+  if (!obs::enabled()) return;
+  const auto delta = static_cast<double>(bytes);
+  if (const char* coll = collective_of(tag)) {
+    obs::counter_add(std::string("par:coll:") + coll + ":bytes", delta);
+    obs::counter_add(std::string("par:coll:") + coll + ":messages", 1.0);
+  } else {
+    obs::counter_add_keyed("par:p2p:bytes:tag", tag, delta);
+    obs::counter_add("par:p2p:messages", 1.0);
+  }
+  obs::counter_add("par:bytes:total", delta);
+  obs::counter_add("par:messages:total", 1.0);
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -106,6 +144,7 @@ void Comm::post(int dest, int tag, std::size_t type_hash,
   m.type_hash = type_hash;
   m.data.assign(bytes.begin(), bytes.end());
   world_->account(bytes.size());
+  account_obs(tag, bytes.size());
   world_->mailbox(world_rank_of(dest)).deliver(std::move(m));
 }
 
@@ -187,6 +226,9 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       try {
+        // Label this thread's observability buffer so exporters render one
+        // timeline row per simulated rank.
+        obs::set_rank(r);
         Comm comm(&world, group, r, /*comm_id=*/0, /*split_epoch=*/0);
         fn(comm);
       } catch (...) {

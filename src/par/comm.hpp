@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ap3::par {
 
@@ -43,6 +44,10 @@ inline constexpr int kAnyTag = -1;
 enum class ReduceOp { kSum, kMin, kMax };
 
 /// Aggregate message-traffic counters for one World.
+///
+/// Kept for the perf model's coarse totals; the observability layer carries
+/// the richer breakdown as counter families ("par:coll:<name>:bytes",
+/// "par:p2p:bytes:tag[<tag>]", "par:bytes:total") — see src/obs.
 struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
@@ -304,6 +309,7 @@ void run(int nranks, const std::function<void(Comm&)>& fn);
 template <typename T>
 void Comm::bcast(std::span<T> data, int root) const {
   AP3_REQUIRE(root >= 0 && root < size());
+  obs::counter_add("par:coll:bcast:calls", 1.0);
   constexpr int kTag = -1000;  // reserved internal tag space (tags < -999)
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
@@ -379,6 +385,7 @@ template <typename T>
 void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
                   int root) const {
   AP3_REQUIRE(in.size() == out.size());
+  obs::counter_add("par:coll:reduce:calls", 1.0);
   constexpr int kTag = -1003;
   if (rank_ == root) {
     std::copy(in.begin(), in.end(), out.begin());
@@ -397,6 +404,9 @@ void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
 template <typename T>
 void Comm::allreduce(std::span<const T> in, std::span<T> out,
                      ReduceOp op) const {
+  // Built over reduce+bcast, whose own byte/call counters also fire — the
+  // traffic really is a reduce followed by a bcast on this transport.
+  obs::counter_add("par:coll:allreduce:calls", 1.0);
   reduce(in, out, op, 0);
   bcast(out, 0);
 }

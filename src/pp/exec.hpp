@@ -11,6 +11,10 @@
 // parallel_reduce uses deterministic chunk partials combined in chunk order,
 // so results are identical across spaces — matching the paper's bit-for-bit
 // validation discipline for the coupled model.
+//
+// Every launch funnels through detail::dispatch, which emits one obs span
+// plus per-ExecSpace launch/items counters (see src/obs); policies carry an
+// optional .named() label that becomes the span name.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 #include "pp/pool.hpp"
 
 namespace ap3::pp {
@@ -35,17 +40,33 @@ inline const char* to_string(ExecSpace space) {
   return "?";
 }
 
-/// 1-D iteration range [begin, end).
+/// 1-D iteration range [begin, end) with a fluent builder:
+///   parallel_for(RangePolicy(0, n).on(space).chunked(c).named("ocn:adv"), f)
 struct RangePolicy {
   std::size_t begin = 0;
   std::size_t end = 0;
   ExecSpace space = ExecSpace::kSerial;
-  std::size_t chunk = 0;  ///< 0: pick automatically
+  std::size_t chunk = 0;            ///< 0: pick automatically
+  const char* label = nullptr;      ///< span name for this launch (optional)
 
   RangePolicy(std::size_t begin_, std::size_t end_,
               ExecSpace space_ = ExecSpace::kSerial, std::size_t chunk_ = 0)
       : begin(begin_), end(end_), space(space_), chunk(chunk_) {
     AP3_REQUIRE(end_ >= begin_);
+  }
+
+  RangePolicy& on(ExecSpace space_) {
+    space = space_;
+    return *this;
+  }
+  RangePolicy& chunked(std::size_t chunk_) {
+    chunk = chunk_;
+    return *this;
+  }
+  /// `label_` must outlive the launch (string literals / owned buffers).
+  RangePolicy& named(const char* label_) {
+    label = label_;
+    return *this;
   }
 };
 
@@ -54,6 +75,16 @@ struct MDRangePolicy2 {
   std::size_t n0 = 0, n1 = 0;
   std::size_t tile0 = 0, tile1 = 0;  ///< 0: pick automatically
   ExecSpace space = ExecSpace::kSerial;
+  const char* label = nullptr;       ///< span name for this launch (optional)
+
+  MDRangePolicy2& on(ExecSpace space_) {
+    space = space_;
+    return *this;
+  }
+  MDRangePolicy2& named(const char* label_) {
+    label = label_;
+    return *this;
+  }
 };
 
 namespace detail {
@@ -62,25 +93,62 @@ inline std::size_t auto_chunk(std::size_t n, int nworkers) {
                           static_cast<std::size_t>(4 * nworkers);
   return per == 0 ? 1 : per;
 }
+
+inline const char* launch_counter(ExecSpace space) {
+  switch (space) {
+    case ExecSpace::kSerial: return "pp:launches:Serial";
+    case ExecSpace::kHostThreads: return "pp:launches:HostThreads";
+    case ExecSpace::kSunwayCPE: return "pp:launches:SunwayCPE";
+  }
+  return "pp:launches:?";
+}
+
+inline const char* items_counter(ExecSpace space) {
+  switch (space) {
+    case ExecSpace::kSerial: return "pp:items:Serial";
+    case ExecSpace::kHostThreads: return "pp:items:HostThreads";
+    case ExecSpace::kSunwayCPE: return "pp:items:SunwayCPE";
+  }
+  return "pp:items:?";
+}
+
+/// The single instrumented dispatch gate: every parallel_for /
+/// parallel_reduce / parallel_scan launch — 1-D or tiled, any ExecSpace —
+/// funnels through here and emits exactly one span plus one launch/items
+/// counter pair. When the layer is disabled this is one relaxed atomic load.
+template <typename Body>
+inline void dispatch(const char* kind, const char* label, ExecSpace space,
+                     std::size_t items, const Body& body) {
+  if (!obs::enabled()) {
+    body();
+    return;
+  }
+  obs::Span span(label != nullptr && *label != '\0' ? label : kind);
+  obs::counter_add(launch_counter(space), 1.0);
+  obs::counter_add(items_counter(space), static_cast<double>(items));
+  body();
+}
 }  // namespace detail
 
 /// parallel_for over a 1-D range.
 template <typename Functor>
 void parallel_for(const RangePolicy& policy, const Functor& fn) {
   const std::size_t n = policy.end - policy.begin;
-  if (n == 0) return;
-  if (policy.space == ExecSpace::kSerial) {
-    for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i);
-    return;
-  }
-  ThreadPool& pool = ThreadPool::global();
-  const std::size_t chunk =
-      policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
-  const std::size_t nchunks = (n + chunk - 1) / chunk;
-  pool.run_chunks(nchunks, [&](std::size_t c) {
-    const std::size_t lo = policy.begin + c * chunk;
-    const std::size_t hi = std::min(policy.end, lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  detail::dispatch("pp:parallel_for", policy.label, policy.space, n, [&] {
+    if (n == 0) return;
+    if (policy.space == ExecSpace::kSerial) {
+      for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i);
+      return;
+    }
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t chunk =
+        policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
+    const std::size_t nchunks = (n + chunk - 1) / chunk;
+    pool.run_chunks(nchunks, [&](std::size_t c) {
+      const std::size_t lo = policy.begin + c * chunk;
+      const std::size_t hi = std::min(policy.end, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
   });
 }
 
@@ -90,27 +158,32 @@ template <typename Scalar, typename Functor>
 Scalar parallel_reduce(const RangePolicy& policy, const Functor& fn,
                        Scalar init = Scalar{}) {
   const std::size_t n = policy.end - policy.begin;
-  if (n == 0) return init;
-  if (policy.space == ExecSpace::kSerial) {
+  Scalar result = init;
+  detail::dispatch("pp:parallel_reduce", policy.label, policy.space, n, [&] {
+    if (n == 0) return;
+    if (policy.space == ExecSpace::kSerial) {
+      Scalar acc = init;
+      for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i, acc);
+      result = acc;
+      return;
+    }
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t chunk =
+        policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
+    const std::size_t nchunks = (n + chunk - 1) / chunk;
+    std::vector<Scalar> partials(nchunks, Scalar{});
+    pool.run_chunks(nchunks, [&](std::size_t c) {
+      const std::size_t lo = policy.begin + c * chunk;
+      const std::size_t hi = std::min(policy.end, lo + chunk);
+      Scalar acc{};
+      for (std::size_t i = lo; i < hi; ++i) fn(i, acc);
+      partials[c] = acc;
+    });
     Scalar acc = init;
-    for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i, acc);
-    return acc;
-  }
-  ThreadPool& pool = ThreadPool::global();
-  const std::size_t chunk =
-      policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
-  const std::size_t nchunks = (n + chunk - 1) / chunk;
-  std::vector<Scalar> partials(nchunks, Scalar{});
-  pool.run_chunks(nchunks, [&](std::size_t c) {
-    const std::size_t lo = policy.begin + c * chunk;
-    const std::size_t hi = std::min(policy.end, lo + chunk);
-    Scalar acc{};
-    for (std::size_t i = lo; i < hi; ++i) fn(i, acc);
-    partials[c] = acc;
+    for (const Scalar& p : partials) acc += p;
+    result = acc;
   });
-  Scalar acc = init;
-  for (const Scalar& p : partials) acc += p;
-  return acc;
+  return result;
 }
 
 /// Inclusive parallel scan returning the total; out[i] = sum of fn-values in
@@ -119,69 +192,77 @@ template <typename Scalar, typename ValueFn>
 Scalar parallel_scan(const RangePolicy& policy, const ValueFn& value_of,
                      std::vector<Scalar>& out) {
   const std::size_t n = policy.end - policy.begin;
-  out.assign(n, Scalar{});
-  if (n == 0) return Scalar{};
-  if (policy.space == ExecSpace::kSerial) {
-    Scalar acc{};
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += value_of(policy.begin + i);
-      out[i] = acc;
+  Scalar result{};
+  detail::dispatch("pp:parallel_scan", policy.label, policy.space, n, [&] {
+    out.assign(n, Scalar{});
+    if (n == 0) return;
+    if (policy.space == ExecSpace::kSerial) {
+      Scalar acc{};
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += value_of(policy.begin + i);
+        out[i] = acc;
+      }
+      result = acc;
+      return;
     }
-    return acc;
-  }
-  ThreadPool& pool = ThreadPool::global();
-  const std::size_t chunk =
-      policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
-  const std::size_t nchunks = (n + chunk - 1) / chunk;
-  std::vector<Scalar> sums(nchunks, Scalar{});
-  pool.run_chunks(nchunks, [&](std::size_t c) {
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    Scalar acc{};
-    for (std::size_t i = lo; i < hi; ++i) {
-      acc += value_of(policy.begin + i);
-      out[i] = acc;
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t chunk =
+        policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
+    const std::size_t nchunks = (n + chunk - 1) / chunk;
+    std::vector<Scalar> sums(nchunks, Scalar{});
+    pool.run_chunks(nchunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      Scalar acc{};
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc += value_of(policy.begin + i);
+        out[i] = acc;
+      }
+      sums[c] = acc;
+    });
+    // Exclusive prefix of chunk sums, then offset each chunk.
+    std::vector<Scalar> offsets(nchunks, Scalar{});
+    Scalar total{};
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      offsets[c] = total;
+      total += sums[c];
     }
-    sums[c] = acc;
+    pool.run_chunks(nchunks, [&](std::size_t c) {
+      if (offsets[c] == Scalar{}) return;
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) out[i] += offsets[c];
+    });
+    result = total;
   });
-  // Exclusive prefix of chunk sums, then offset each chunk.
-  std::vector<Scalar> offsets(nchunks, Scalar{});
-  Scalar total{};
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    offsets[c] = total;
-    total += sums[c];
-  }
-  pool.run_chunks(nchunks, [&](std::size_t c) {
-    if (offsets[c] == Scalar{}) return;
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i) out[i] += offsets[c];
-  });
-  return total;
+  return result;
 }
 
 /// parallel_for over a 2-D tiled range; fn(i0, i1).
 template <typename Functor>
 void parallel_for(const MDRangePolicy2& policy, const Functor& fn) {
-  if (policy.n0 == 0 || policy.n1 == 0) return;
-  const std::size_t t0 = policy.tile0 ? policy.tile0 : 16;
-  const std::size_t t1 = policy.tile1 ? policy.tile1 : 64;
-  const std::size_t tiles0 = (policy.n0 + t0 - 1) / t0;
-  const std::size_t tiles1 = (policy.n1 + t1 - 1) / t1;
-  const std::size_t ntiles = tiles0 * tiles1;
-  auto run_tile = [&](std::size_t tile) {
-    const std::size_t ti = tile / tiles1;
-    const std::size_t tj = tile % tiles1;
-    const std::size_t i_end = std::min(policy.n0, (ti + 1) * t0);
-    const std::size_t j_end = std::min(policy.n1, (tj + 1) * t1);
-    for (std::size_t i = ti * t0; i < i_end; ++i)
-      for (std::size_t j = tj * t1; j < j_end; ++j) fn(i, j);
-  };
-  if (policy.space == ExecSpace::kSerial) {
-    for (std::size_t tile = 0; tile < ntiles; ++tile) run_tile(tile);
-  } else {
-    ThreadPool::global().run_chunks(ntiles, run_tile);
-  }
+  detail::dispatch("pp:parallel_for2", policy.label, policy.space,
+                   policy.n0 * policy.n1, [&] {
+    if (policy.n0 == 0 || policy.n1 == 0) return;
+    const std::size_t t0 = policy.tile0 ? policy.tile0 : 16;
+    const std::size_t t1 = policy.tile1 ? policy.tile1 : 64;
+    const std::size_t tiles0 = (policy.n0 + t0 - 1) / t0;
+    const std::size_t tiles1 = (policy.n1 + t1 - 1) / t1;
+    const std::size_t ntiles = tiles0 * tiles1;
+    auto run_tile = [&](std::size_t tile) {
+      const std::size_t ti = tile / tiles1;
+      const std::size_t tj = tile % tiles1;
+      const std::size_t i_end = std::min(policy.n0, (ti + 1) * t0);
+      const std::size_t j_end = std::min(policy.n1, (tj + 1) * t1);
+      for (std::size_t i = ti * t0; i < i_end; ++i)
+        for (std::size_t j = tj * t1; j < j_end; ++j) fn(i, j);
+    };
+    if (policy.space == ExecSpace::kSerial) {
+      for (std::size_t tile = 0; tile < ntiles; ++tile) run_tile(tile);
+    } else {
+      ThreadPool::global().run_chunks(ntiles, run_tile);
+    }
+  });
 }
 
 }  // namespace ap3::pp

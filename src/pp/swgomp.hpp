@@ -51,23 +51,25 @@ template <typename Body>
 void target_parallel_for(const std::string& region_name, std::size_t n,
                          const Body& body,
                          Schedule schedule = Schedule::kStatic) {
-  (void)region_name;  // kept for profiling hooks / debug symmetry with SWGOMP
   detail::region_counter().fetch_add(1, std::memory_order_relaxed);
   detail::iteration_counter().fetch_add(n, std::memory_order_relaxed);
-  RangePolicy policy(0, n, ExecSpace::kHostThreads,
-                     schedule == Schedule::kStatic ? 0 : 1);
-  parallel_for(policy, body);
+  // The region name labels the launch span, so offloaded regions show up by
+  // name in tree reports and Chrome traces (the GPTL-per-region discipline).
+  parallel_for(RangePolicy(0, n)
+                   .on(ExecSpace::kHostThreads)
+                   .chunked(schedule == Schedule::kStatic ? 0 : 1)
+                   .named(region_name.c_str()),
+               body);
 }
 
 /// Collapsed 2-D variant (`collapse(2)`).
 template <typename Body>
 void target_parallel_for2(const std::string& region_name, std::size_t n0,
                           std::size_t n1, const Body& body) {
-  (void)region_name;
   detail::region_counter().fetch_add(1, std::memory_order_relaxed);
   detail::iteration_counter().fetch_add(n0 * n1, std::memory_order_relaxed);
   MDRangePolicy2 policy{n0, n1, 0, 0, ExecSpace::kHostThreads};
-  parallel_for(policy, body);
+  parallel_for(policy.named(region_name.c_str()), body);
 }
 
 }  // namespace ap3::pp::swgomp

@@ -1,10 +1,18 @@
 #include "sunway/athread.hpp"
 
+#include <atomic>
+
+#include "obs/obs.hpp"
 #include "pp/pool.hpp"
 
 namespace ap3::sunway {
 
 void athread_spawn_join(const CpeKernel& kernel, DmaEngine& dma) {
+  AP3_SPAN("sunway:athread:spawn");
+  obs::counter_add("sunway:athread:spawns", 1.0);
+  // LDM high-water across the spawn's 64 CPE instances, gauged once from the
+  // spawning thread so it lands on the caller's (simulated rank's) buffer.
+  std::atomic<std::size_t> ldm_peak{0};
   pp::ThreadPool::global().run_chunks(
       static_cast<std::size_t>(kCpesPerCoreGroup), [&](std::size_t cpe) {
         LdmAllocator ldm(kLdmBytesPerCpe);
@@ -14,7 +22,14 @@ void athread_spawn_join(const CpeKernel& kernel, DmaEngine& dma) {
         ctx.ldm = &ldm;
         ctx.dma = &dma;
         kernel(ctx);
+        std::size_t seen = ldm_peak.load(std::memory_order_relaxed);
+        while (seen < ldm.peak() &&
+               !ldm_peak.compare_exchange_weak(seen, ldm.peak(),
+                                               std::memory_order_relaxed)) {
+        }
       });
+  obs::gauge_max("sunway:ldm:peak_bytes",
+                 static_cast<double>(ldm_peak.load(std::memory_order_relaxed)));
 }
 
 }  // namespace ap3::sunway

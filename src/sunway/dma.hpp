@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "sunway/arch.hpp"
 
 namespace ap3::sunway {
@@ -51,6 +52,12 @@ class DmaEngine {
   void account(std::size_t bytes) {
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
     transfers_.fetch_add(1, std::memory_order_relaxed);
+    // Mirror into the observability counter family so DMA volume is visible
+    // outside src/sunway (merged across CPE worker threads on export).
+    if (obs::enabled()) {
+      obs::counter_add("sunway:dma:bytes", static_cast<double>(bytes));
+      obs::counter_add("sunway:dma:transfers", 1.0);
+    }
   }
   std::atomic<std::size_t> bytes_{0};
   std::atomic<std::size_t> transfers_{0};

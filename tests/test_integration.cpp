@@ -7,8 +7,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "base/timer.hpp"
 #include "coupler/driver.hpp"
+#include "obs/obs.hpp"
 #include "io/subfile.hpp"
 #include "par/comm.hpp"
 #include "perf/scaling.hpp"
@@ -178,14 +178,20 @@ TEST(Integration, PerfModelUsesRealComponentConstants) {
 
 TEST(Integration, CoupledTimersObserveComponentRatio) {
   // The atmosphere does far more work per window than the ice; wall-clock
-  // observation through the whole stack should reflect it.
+  // observation through the whole stack should reflect it. Measured with the
+  // observability layer's RAII span (the TimerRegistry start/stop migration).
   par::run(1, [](par::Comm& comm) {
     cpl::CoupledModel model(comm, tiny_config());
-    TimerRegistry timers;
-    timers.start("cpl:total");
-    model.run_windows(5);
-    timers.stop("cpl:total");
-    EXPECT_GT(timers.total("cpl:total"), 0.0);
+    const std::size_t mark = obs::local().event_count();
+    {
+      AP3_SPAN("cpl:total");
+      model.run_windows(5);
+    }
+    double total = 0.0;
+    for (const auto& agg : obs::local().aggregate_spans(mark)) {
+      if (agg.name == "cpl:total") total = agg.total_seconds;
+    }
+    EXPECT_GT(total, 0.0);
     EXPECT_EQ(model.windows_run(), 5);
   });
 }
