@@ -1,13 +1,19 @@
-// Quickstart: build the fully coupled AP3ESM at toy resolution, run one
-// simulated day of coupling windows, and print global diagnostics.
+// Quickstart: build the fully coupled AP3ESM at toy resolution, run coupling
+// windows, and print global diagnostics.
 //
-//   ./quickstart [nranks] [--trace out.json]
+//   ./quickstart [nranks] [--windows N] [--trace out.json]
+//               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
 //
 // Demonstrates the public API end to end: configuration, the coupled driver
-// with its CPL7-style clock, and collective diagnostics. With --trace, the
-// observability layer's Chrome-trace export (one timeline row per simulated
-// rank; open in chrome://tracing or Perfetto) is written after the run,
-// along with the getTiming-style SYPD report derived from the same spans.
+// with its CPL7-style clock, collective diagnostics, and checkpoint/restart.
+// With --checkpoint-every N a versioned snapshot is written to DIR (default
+// ./ap3_checkpoint) every N windows; --restore DIR resumes from a snapshot,
+// bit-identical to the uninterrupted run (the final state hash printed at
+// the end is the witness). With --trace, the observability layer's
+// Chrome-trace export (one timeline row per simulated rank; open in
+// chrome://tracing or Perfetto) is written after the run, along with the
+// getTiming-style SYPD report derived from the same spans.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,24 +24,55 @@
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: quickstart [nranks] [--windows N] [--trace out.json]\n"
+    "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
+    "                  [--restore DIR]\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ap3;
   int nranks = 2;
+  int windows = 0;  // 0: one simulated day
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "ap3_checkpoint";
+  std::string restore_dir;
   std::string trace_path;
   for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--trace") == 0) {
+    auto option_value = [&](const char* flag) -> const char* {
       if (a + 1 >= argc) {
-        std::fprintf(stderr, "error: --trace requires an output path\n"
-                             "usage: quickstart [nranks] [--trace out.json]\n");
+        std::fprintf(stderr, "error: %s requires a value\n%s", flag, kUsage);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (std::strcmp(argv[a], "--trace") == 0) {
+      trace_path = option_value("--trace");
+    } else if (std::strcmp(argv[a], "--windows") == 0) {
+      windows = std::atoi(option_value("--windows"));
+      if (windows <= 0) {
+        std::fprintf(stderr, "error: --windows must be positive\n%s", kUsage);
         return 2;
       }
-      trace_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--checkpoint-every") == 0) {
+      checkpoint_every = std::atoi(option_value("--checkpoint-every"));
+      if (checkpoint_every <= 0) {
+        std::fprintf(stderr, "error: --checkpoint-every must be positive\n%s",
+                     kUsage);
+        return 2;
+      }
+    } else if (std::strcmp(argv[a], "--checkpoint-dir") == 0) {
+      checkpoint_dir = option_value("--checkpoint-dir");
+    } else if (std::strcmp(argv[a], "--restore") == 0) {
+      restore_dir = option_value("--restore");
     } else {
       nranks = std::atoi(argv[a]);
       if (nranks <= 0) {
-        std::fprintf(stderr, "error: invalid rank count '%s'\n"
-                             "usage: quickstart [nranks] [--trace out.json]\n",
-                     argv[a]);
+        std::fprintf(stderr, "error: invalid rank count '%s'\n%s", argv[a],
+                     kUsage);
         return 2;
       }
     }
@@ -53,38 +90,71 @@ int main(int argc, char** argv) {
               config.atm.nlev, config.ocn.grid.nx, config.ocn.grid.ny,
               config.ocn.grid.nz);
 
+  std::atomic<int> exit_code{0};
   par::run(nranks, [&](par::Comm& comm) {
     cpl::CoupledModel model(comm, config);
     const double window = model.atm_window_seconds();
-    const int windows_per_day =
-        static_cast<int>(86400.0 / window) + 1;
+    const int total_windows =
+        windows > 0 ? windows : static_cast<int>(86400.0 / window) + 1;
+
+    if (!restore_dir.empty()) {
+      try {
+        model.restore(restore_dir);
+      } catch (const Error& e) {
+        if (comm.rank() == 0)
+          std::fprintf(stderr, "error: cannot restore from '%s': %s\n",
+                       restore_dir.c_str(), e.what());
+        exit_code = 1;
+        return;
+      }
+      if (comm.rank() == 0)
+        std::printf("restored from %s at window %lld\n", restore_dir.c_str(),
+                    model.windows_run());
+    }
 
     if (comm.rank() == 0)
-      std::printf("coupling window %.0f s (%d windows ~= 1 day; ocean couples "
-                  "every %d)\n\n  window   mean SST [K]   max current [m/s]   "
-                  "ice frac   mean precip [kg/m2/s]\n",
-                  window, windows_per_day, config.ocn_couple_ratio);
+      std::printf("coupling window %.0f s (running to window %d; ocean "
+                  "couples every %d)\n\n  window   mean SST [K]   "
+                  "max current [m/s]   ice frac   mean precip [kg/m2/s]\n",
+                  window, total_windows, config.ocn_couple_ratio);
 
-    for (int chunk = 0; chunk < 4; ++chunk) {
-      model.run_windows(windows_per_day / 4);
-      const double sst = model.global_mean_sst_k();
-      const double current = model.global_max_surface_current();
-      const double ice = model.global_ice_fraction();
-      const double precip = model.global_mean_precip();
-      if (comm.rank() == 0)
-        std::printf("  %6lld   %10.3f   %17.4f   %8.4f   %.3e\n",
-                    model.windows_run(), sst, current, ice, precip);
+    // Window-by-window so checkpoints can land on any boundary; diagnostics
+    // print four times over the run as before.
+    const int report_every = total_windows >= 4 ? total_windows / 4 : 1;
+    while (model.windows_run() < total_windows) {
+      model.run_windows(1);
+      const auto w = model.windows_run();
+      if (checkpoint_every > 0 && w % checkpoint_every == 0 &&
+          w < total_windows) {
+        model.checkpoint(checkpoint_dir);
+        if (comm.rank() == 0)
+          std::printf("  checkpoint at window %lld -> %s\n", w,
+                      checkpoint_dir.c_str());
+      }
+      if (w % report_every == 0 || w == total_windows) {
+        const double sst = model.global_mean_sst_k();
+        const double current = model.global_max_surface_current();
+        const double ice = model.global_ice_fraction();
+        const double precip = model.global_mean_precip();
+        if (comm.rank() == 0)
+          std::printf("  %6lld   %10.3f   %17.4f   %8.4f   %.3e\n", w, sst,
+                      current, ice, precip);
+      }
     }
+    const std::uint64_t hash = model.state_hash();  // collective
     if (comm.rank() == 0)
       std::printf("\nquickstart finished: %lld atmosphere windows, %lld "
-                  "atmosphere steps, %lld ocean baroclinic steps\n",
+                  "atmosphere steps, %lld ocean baroclinic steps\n"
+                  "final state hash: %016llx\n",
                   model.windows_run(),
                   model.has_atm() ? model.atm_model()->model_steps() : 0,
-                  model.has_ocn() ? model.ocn_model()->baroclinic_steps() : 0);
+                  model.has_ocn() ? model.ocn_model()->baroclinic_steps() : 0,
+                  static_cast<unsigned long long>(hash));
 
     const cpl::TimingSummary timing = model.timing_summary();
     if (comm.rank() == 0) std::printf("\n%s", timing.to_string().c_str());
   });
+  if (exit_code != 0) return exit_code.load();
 
   if (!trace_path.empty()) {
     try {

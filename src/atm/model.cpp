@@ -210,6 +210,56 @@ void AtmModel::import_state(const mct::AttrVect& x2a) {
   }
 }
 
+std::vector<std::string> AtmModel::checkpoint_section_names() {
+  // Keep in checkpoint_sections() order.
+  return {"atm.h",      "atm.vx",     "atm.vy",        "atm.vz",
+          "atm.temp",   "atm.q",      "atm.tskin",     "atm.sst",
+          "atm.ifrac",  "atm.gsw",    "atm.glw",       "atm.precip",
+          "atm.lnd_tskin", "atm.lnd_water", "atm.steps"};
+}
+
+std::vector<io::Section> AtmModel::checkpoint_sections() const {
+  const DycoreState& state = dycore_->state();
+  std::vector<io::Section> out;
+  out.push_back({"atm.h", io::local_field(state.h)});
+  out.push_back({"atm.vx", io::local_field(state.vx)});
+  out.push_back({"atm.vy", io::local_field(state.vy)});
+  out.push_back({"atm.vz", io::local_field(state.vz)});
+  out.push_back({"atm.temp", io::local_field(state.temp)});
+  out.push_back({"atm.q", io::local_field(state.q)});
+  out.push_back({"atm.tskin", io::local_field(tskin_)});
+  out.push_back({"atm.sst", io::local_field(sst_)});
+  out.push_back({"atm.ifrac", io::local_field(ifrac_)});
+  out.push_back({"atm.gsw", io::local_field(gsw_)});
+  out.push_back({"atm.glw", io::local_field(glw_)});
+  out.push_back({"atm.precip", io::local_field(precip_)});
+  out.push_back({"atm.lnd_tskin", io::local_field(land_->tskin_state())});
+  out.push_back({"atm.lnd_water", io::local_field(land_->water_state())});
+  out.push_back({"atm.steps", io::rank_scalar(comm_.rank(),
+                                              static_cast<double>(steps_))});
+  return out;
+}
+
+void AtmModel::restore_sections(const std::vector<io::Section>& sections) {
+  DycoreState& state = dycore_->state();
+  state.h = io::section_values(sections, "atm.h", state.h.size());
+  state.vx = io::section_values(sections, "atm.vx", state.vx.size());
+  state.vy = io::section_values(sections, "atm.vy", state.vy.size());
+  state.vz = io::section_values(sections, "atm.vz", state.vz.size());
+  state.temp = io::section_values(sections, "atm.temp", state.temp.size());
+  state.q = io::section_values(sections, "atm.q", state.q.size());
+  tskin_ = io::section_values(sections, "atm.tskin", tskin_.size());
+  sst_ = io::section_values(sections, "atm.sst", sst_.size());
+  ifrac_ = io::section_values(sections, "atm.ifrac", ifrac_.size());
+  gsw_ = io::section_values(sections, "atm.gsw", gsw_.size());
+  glw_ = io::section_values(sections, "atm.glw", glw_.size());
+  precip_ = io::section_values(sections, "atm.precip", precip_.size());
+  land_->set_state(
+      io::section_values(sections, "atm.lnd_tskin", land_->ncells()),
+      io::section_values(sections, "atm.lnd_water", land_->ncells()));
+  steps_ = static_cast<long long>(io::section_values(sections, "atm.steps", 1)[0]);
+}
+
 double AtmModel::global_mean_precip() const {
   const LocalMesh& local = dycore_->mesh();
   double sum = 0.0, area = 0.0;

@@ -13,6 +13,7 @@
 
 #include "atm/dycore.hpp"
 #include "atm/physics.hpp"
+#include "io/checkpoint.hpp"
 #include "lnd/land.hpp"
 #include "mct/attrvect.hpp"
 #include "mct/gsmap.hpp"
@@ -51,6 +52,18 @@ class AtmModel {
   double global_mean_precip() const;
   /// Steps taken so far.
   long long model_steps() const { return steps_; }
+
+  // --- checkpoint/restart ---------------------------------------------------
+  /// This rank's full prognostic snapshot: dycore slot arrays (owned +
+  /// ghosts, so no halo exchange is needed on restore), surface/import
+  /// state, the directly-coupled land bucket, and the step counter.
+  std::vector<io::Section> checkpoint_sections() const;
+  /// Inverse of checkpoint_sections(); `sections` must carry this rank's
+  /// layout (same names and sizes) with restored values.
+  void restore_sections(const std::vector<io::Section>& sections);
+  /// Section names in checkpoint_sections() order — the driver's canonical
+  /// inventory (needed on ranks where the component does not live).
+  static std::vector<std::string> checkpoint_section_names();
 
   /// Surface pressure diagnostic [Pa].
   double surface_pressure(std::size_t owned) const;

@@ -19,12 +19,35 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Complete serializable state of one Rng stream: the four xoshiro words
+/// plus the Marsaglia spare. Restoring this resumes the stream exactly where
+/// it stopped — required for bit-exact checkpoint/restart.
+struct RngState {
+  std::uint64_t words[4] = {0, 0, 0, 0};
+  bool have_spare = false;
+  double spare = 0.0;
+};
+
 /// xoshiro256** — fast deterministic PRNG with independent streams per seed.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x1234abcdULL) {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  RngState raw_state() const {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.have_spare = have_spare_;
+    s.spare = spare_;
+    return s;
+  }
+
+  void set_raw_state(const RngState& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    have_spare_ = s.have_spare;
+    spare_ = s.spare;
   }
 
   std::uint64_t next_u64() {

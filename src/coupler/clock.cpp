@@ -29,4 +29,10 @@ void Clock::advance() {
   now_ = start_ + static_cast<double>(steps_) * step_;
 }
 
+void Clock::restore(long long steps_taken) {
+  AP3_REQUIRE_MSG(steps_taken >= 0, "cannot restore clock to negative step");
+  steps_ = steps_taken;
+  now_ = start_ + static_cast<double>(steps_) * step_;
+}
+
 }  // namespace ap3::cpl

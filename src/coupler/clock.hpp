@@ -30,6 +30,10 @@ class Clock {
   /// Advance one master step.
   void advance();
 
+  /// Jump to an absolute step count (checkpoint restore). Alarms are a pure
+  /// function of the step index, so they resume consistently.
+  void restore(long long steps_taken);
+
  private:
   struct Alarm {
     std::string name;

@@ -1,7 +1,9 @@
 #include "coupler/driver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
@@ -297,6 +299,278 @@ void CoupledModel::atm_ice_phase() {
     std::copy(ifrac_atm.begin(), ifrac_atm.end(), x2a.field("ifrac").begin());
     atm_->import_state(x2a);
   }
+}
+
+// ---- checkpoint/restart -----------------------------------------------------
+
+namespace {
+
+const std::vector<std::string> kCouplerSectionNames = {
+    "cpl.a2x_accum", "cpl.sst_on_atm", "cpl.sst_on_ice",
+    "cpl.us_on_ice", "cpl.vs_on_ice",  "cpl.rng"};
+const std::vector<std::string> kAiSectionNames = {
+    "cpl.ai.input", "cpl.ai.tendency", "cpl.ai.rad_input", "cpl.ai.flux"};
+
+/// RNG stream as a 6-double row: the four xoshiro words (bit-preserved
+/// through the binary subfile path), the spare flag, and the spare value.
+io::FieldData pack_rng(const RngState& s) {
+  std::vector<double> v(6);
+  for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] =
+      std::bit_cast<double>(s.words[i]);
+  v[4] = s.have_spare ? 1.0 : 0.0;
+  v[5] = s.spare;
+  return io::local_field(v);
+}
+
+RngState unpack_rng(const std::vector<double>& v) {
+  AP3_REQUIRE_MSG(v.size() == 6, "malformed cpl.rng section");
+  RngState s;
+  for (int i = 0; i < 4; ++i)
+    s.words[i] = std::bit_cast<std::uint64_t>(v[static_cast<std::size_t>(i)]);
+  s.have_spare = v[4] != 0.0;
+  s.spare = v[5];
+  return s;
+}
+
+/// Normalizer as [flat, nch, means..., stds...] (per-rank replicated).
+io::FieldData pack_normalizer(const ai::ChannelNormalizer& n) {
+  std::vector<double> v;
+  v.reserve(2 + 2 * n.num_channels());
+  v.push_back(n.is_flat() ? 1.0 : 0.0);
+  v.push_back(static_cast<double>(n.num_channels()));
+  for (float m : n.means()) v.push_back(static_cast<double>(m));
+  for (float s : n.stddevs()) v.push_back(static_cast<double>(s));
+  return io::local_field(v);
+}
+
+ai::ChannelNormalizer unpack_normalizer(const std::vector<double>& v) {
+  AP3_REQUIRE_MSG(v.size() >= 2, "malformed AI normalizer section");
+  const bool flat = v[0] != 0.0;
+  const auto nch = static_cast<std::size_t>(v[1]);
+  AP3_REQUIRE_MSG(v.size() == 2 + 2 * nch, "malformed AI normalizer section");
+  std::vector<float> means(nch), stds(nch);
+  for (std::size_t c = 0; c < nch; ++c) {
+    means[c] = static_cast<float>(v[2 + c]);
+    stds[c] = static_cast<float>(v[2 + nch + c]);
+  }
+  return ai::ChannelNormalizer::from_raw(flat, std::move(means),
+                                         std::move(stds));
+}
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool CoupledModel::ai_physics_active() {
+  const bool local = atm_ && dynamic_cast<atm::AiPhysics*>(&atm_->physics());
+  const double any =
+      global_.allreduce_value(local ? 1.0 : 0.0, par::ReduceOp::kMax);
+  if (atm_) {
+    AP3_REQUIRE_MSG(local == (any > 0.5),
+                    "AI physics must be installed on every atmosphere rank "
+                    "before checkpoint/restore");
+  }
+  return any > 0.5;
+}
+
+std::vector<io::Section> CoupledModel::coupler_sections(bool ai_on) const {
+  std::vector<io::Section> out;
+  std::vector<double> accum_flat;
+  accum_flat.reserve(a2x_accum_.num_fields() * a2x_accum_.num_points());
+  for (std::size_t f = 0; f < a2x_accum_.num_fields(); ++f) {
+    const auto field = a2x_accum_.field(f);
+    accum_flat.insert(accum_flat.end(), field.begin(), field.end());
+  }
+  out.push_back({"cpl.a2x_accum", io::local_field(accum_flat)});
+  out.push_back({"cpl.sst_on_atm", io::local_field(sst_on_atm_)});
+  out.push_back({"cpl.sst_on_ice", io::local_field(sst_on_ice_)});
+  out.push_back({"cpl.us_on_ice", io::local_field(us_on_ice_)});
+  out.push_back({"cpl.vs_on_ice", io::local_field(vs_on_ice_)});
+  out.push_back({"cpl.rng", pack_rng(rng_.raw_state())});
+  if (ai_on) {
+    auto* ai = atm_ ? dynamic_cast<atm::AiPhysics*>(&atm_->physics()) : nullptr;
+    if (ai) {
+      ai::AiPhysicsSuite& suite = ai->suite();
+      out.push_back({"cpl.ai.input", pack_normalizer(suite.input_norm())});
+      out.push_back({"cpl.ai.tendency",
+                     pack_normalizer(suite.tendency_norm())});
+      out.push_back({"cpl.ai.rad_input",
+                     pack_normalizer(suite.rad_input_norm())});
+      out.push_back({"cpl.ai.flux", pack_normalizer(suite.flux_norm())});
+    } else {
+      for (const std::string& name : kAiSectionNames)
+        out.push_back({name, io::FieldData{}});
+    }
+  }
+  return out;
+}
+
+void CoupledModel::restore_coupler_sections(
+    const std::vector<io::Section>& sections, bool ai_on) {
+  const std::size_t natm = a2x_accum_.num_points();
+  const std::vector<double>& accum_flat = io::section_values(
+      sections, "cpl.a2x_accum", a2x_accum_.num_fields() * natm);
+  for (std::size_t f = 0; f < a2x_accum_.num_fields(); ++f) {
+    auto field = a2x_accum_.field(f);
+    std::copy(accum_flat.begin() + static_cast<std::ptrdiff_t>(f * natm),
+              accum_flat.begin() + static_cast<std::ptrdiff_t>((f + 1) * natm),
+              field.begin());
+  }
+  sst_on_atm_ =
+      io::section_values(sections, "cpl.sst_on_atm", sst_on_atm_.size());
+  sst_on_ice_ =
+      io::section_values(sections, "cpl.sst_on_ice", sst_on_ice_.size());
+  us_on_ice_ = io::section_values(sections, "cpl.us_on_ice", us_on_ice_.size());
+  vs_on_ice_ = io::section_values(sections, "cpl.vs_on_ice", vs_on_ice_.size());
+  rng_.set_raw_state(
+      unpack_rng(io::section_values(sections, "cpl.rng", 6)));
+  if (ai_on) {
+    if (auto* ai = atm_ ? dynamic_cast<atm::AiPhysics*>(&atm_->physics())
+                        : nullptr) {
+      auto find = [&](const std::string& name) -> const std::vector<double>& {
+        for (const io::Section& s : sections)
+          if (s.name == name) return s.data.values;
+        throw Error("restore is missing section '" + name + "'");
+      };
+      ai->suite().set_normalizers(unpack_normalizer(find("cpl.ai.input")),
+                                  unpack_normalizer(find("cpl.ai.tendency")),
+                                  unpack_normalizer(find("cpl.ai.rad_input")),
+                                  unpack_normalizer(find("cpl.ai.flux")));
+    }
+  }
+}
+
+std::vector<std::string> CoupledModel::section_inventory(bool ai_on) {
+  std::vector<std::string> names;
+  for (auto& n : atm::AtmModel::checkpoint_section_names()) names.push_back(n);
+  for (auto& n : ocn::OcnModel::checkpoint_section_names()) names.push_back(n);
+  for (auto& n : ice::IceModel::checkpoint_section_names()) names.push_back(n);
+  for (auto& n : kCouplerSectionNames) names.push_back(n);
+  if (ai_on)
+    for (auto& n : kAiSectionNames) names.push_back(n);
+  return names;
+}
+
+std::map<std::string, io::FieldData> CoupledModel::local_sections(bool ai_on) {
+  std::map<std::string, io::FieldData> out;
+  auto absorb = [&out](std::vector<io::Section> sections) {
+    for (io::Section& s : sections) out.emplace(s.name, std::move(s.data));
+  };
+  if (atm_) absorb(atm_->checkpoint_sections());
+  if (ocn_) absorb(ocn_->checkpoint_sections());
+  if (ice_) absorb(ice_->checkpoint_sections());
+  absorb(coupler_sections(ai_on));
+  return out;
+}
+
+void CoupledModel::checkpoint(const std::string& dir) {
+  AP3_SPAN("checkpoint");
+  const bool ai_on = ai_physics_active();
+  std::map<std::string, io::FieldData> local = local_sections(ai_on);
+  io::CheckpointWriter writer(global_, dir);
+  for (const std::string& name : section_inventory(ai_on)) {
+    auto it = local.find(name);
+    writer.add_section(name,
+                       it != local.end() ? it->second : io::FieldData{});
+  }
+  writer.set_scalar("clock.steps",
+                    static_cast<double>(clock_.steps_taken()));
+  writer.set_scalar("accum_count", static_cast<double>(accum_count_));
+  writer.set_scalar("ai_physics", ai_on ? 1.0 : 0.0);
+  writer.set_scalar("cfg.mesh_n", static_cast<double>(config_.atm.mesh_n));
+  writer.set_scalar("cfg.nlev", static_cast<double>(config_.atm.nlev));
+  writer.set_scalar("cfg.ocn_nx", static_cast<double>(config_.ocn.grid.nx));
+  writer.set_scalar("cfg.ocn_ny", static_cast<double>(config_.ocn.grid.ny));
+  writer.set_scalar("cfg.ocn_nz", static_cast<double>(config_.ocn.grid.nz));
+  writer.set_scalar("cfg.layout",
+                    config_.layout == Layout::kSequential ? 0.0 : 1.0);
+  writer.set_scalar("cfg.ocn_couple_ratio",
+                    static_cast<double>(config_.ocn_couple_ratio));
+  writer.finalize();
+  obs::counter_add("ckpt:writes", 1.0);
+  obs::counter_add("ckpt:bytes", static_cast<double>(writer.bytes_written()));
+}
+
+void CoupledModel::restore(const std::string& dir) {
+  AP3_SPAN("restore");
+  io::CheckpointReader reader(global_, dir);
+  auto check = [&reader](const char* name, double want) {
+    const double got = reader.scalar(name);
+    AP3_REQUIRE_MSG(got == want, "checkpoint config mismatch: "
+                                     << name << " is " << got << ", this run "
+                                     << "has " << want);
+  };
+  check("cfg.mesh_n", static_cast<double>(config_.atm.mesh_n));
+  check("cfg.nlev", static_cast<double>(config_.atm.nlev));
+  check("cfg.ocn_nx", static_cast<double>(config_.ocn.grid.nx));
+  check("cfg.ocn_ny", static_cast<double>(config_.ocn.grid.ny));
+  check("cfg.ocn_nz", static_cast<double>(config_.ocn.grid.nz));
+  check("cfg.layout", config_.layout == Layout::kSequential ? 0.0 : 1.0);
+  check("cfg.ocn_couple_ratio",
+        static_cast<double>(config_.ocn_couple_ratio));
+  const bool ai_on = reader.scalar("ai_physics") > 0.5;
+  AP3_REQUIRE_MSG(ai_on == ai_physics_active(),
+                  "checkpoint config mismatch: AI physics was "
+                      << (ai_on ? "on" : "off") << " when written");
+
+  // The template sections carry this rank's layout (names + ids); the reads
+  // are collective in canonical inventory order on every rank.
+  std::map<std::string, io::FieldData> tmpl = local_sections(ai_on);
+  std::map<std::string, io::FieldData> got;
+  const std::vector<std::int64_t> no_ids;
+  for (const std::string& name : section_inventory(ai_on)) {
+    auto it = tmpl.find(name);
+    got[name] = reader.read_section(
+        name, it != tmpl.end() ? it->second.ids : no_ids);
+  }
+  auto collect = [&got](const std::vector<std::string>& names) {
+    std::vector<io::Section> out;
+    for (const std::string& n : names) out.push_back({n, got[n]});
+    return out;
+  };
+  if (atm_)
+    atm_->restore_sections(collect(atm::AtmModel::checkpoint_section_names()));
+  if (ocn_)
+    ocn_->restore_sections(collect(ocn::OcnModel::checkpoint_section_names()));
+  if (ice_)
+    ice_->restore_sections(collect(ice::IceModel::checkpoint_section_names()));
+  std::vector<std::string> cpl_names = kCouplerSectionNames;
+  if (ai_on)
+    cpl_names.insert(cpl_names.end(), kAiSectionNames.begin(),
+                     kAiSectionNames.end());
+  restore_coupler_sections(collect(cpl_names), ai_on);
+
+  clock_.restore(static_cast<long long>(reader.scalar("clock.steps")));
+  accum_count_ = static_cast<int>(reader.scalar("accum_count"));
+  obs::counter_add("ckpt:restores", 1.0);
+}
+
+std::uint64_t CoupledModel::state_hash() {
+  const bool ai_on = ai_physics_active();
+  std::map<std::string, io::FieldData> local = local_sections(ai_on);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::string& name : section_inventory(ai_on)) {
+    auto it = local.find(name);
+    if (it == local.end()) continue;
+    h = fnv_bytes(h, name.data(), name.size());
+    h = fnv_bytes(h, it->second.values.data(),
+                  it->second.values.size() * sizeof(double));
+  }
+  // Combine per-rank digests in rank order so the result is decomposition-
+  // deterministic and identical on every rank.
+  const std::vector<std::uint64_t> all =
+      global_.allgather(std::span<const std::uint64_t>(&h, 1));
+  std::uint64_t combined = 1469598103934665603ULL;
+  for (std::uint64_t r : all)
+    combined = fnv_bytes(combined, &r, sizeof(r));
+  return combined;
 }
 
 double CoupledModel::global_mean_sst_k() {

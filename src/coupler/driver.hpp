@@ -24,11 +24,13 @@
 
 #include "atm/model.hpp"
 #include "atm/vortex.hpp"
+#include "base/rng.hpp"
 #include "base/timer.hpp"
 #include "coupler/clock.hpp"
 #include "coupler/fluxes.hpp"
 #include "coupler/timing.hpp"
 #include "ice/ice.hpp"
+#include "io/checkpoint.hpp"
 #include "mct/rearranger.hpp"
 #include "mct/sparsematrix.hpp"
 #include "ocn/model.hpp"
@@ -68,6 +70,23 @@ class CoupledModel {
   ocn::OcnModel* ocn_model() { return ocn_.get(); }
   ice::IceModel* ice_model() { return ice_.get(); }
 
+  // --- checkpoint/restart (collective on the global communicator) ------------
+  /// Write a versioned snapshot of the full coupled state (every component's
+  /// prognostic fields, the coupler's accumulators and caches, the clock,
+  /// the AI-normalizer state when the AI suite is installed, and the driver
+  /// RNG stream) to `dir` through the subfile I/O layer.
+  void checkpoint(const std::string& dir);
+  /// Restore from a snapshot written with the same configuration and rank
+  /// count; resumed runs are bit-identical to uninterrupted ones. Throws
+  /// ap3::Error on a corrupt, truncated, or mismatched snapshot.
+  void restore(const std::string& dir);
+  /// Combined FNV-1a hash of every checkpointed section across all ranks
+  /// (collective): equal hashes ⇔ bit-identical coupled state.
+  std::uint64_t state_hash();
+  /// Driver-owned deterministic stream (stochastic perturbation hook);
+  /// checkpointed so resumed runs draw the same tail of the sequence.
+  Rng& rng() { return rng_; }
+
   // --- collective diagnostics (call on every global rank) --------------------
   /// getTiming-style report over everything run so far (§6.2; collective).
   /// Phase totals come from obs spans (AP3_SPAN call sites in the driver);
@@ -94,6 +113,19 @@ class CoupledModel {
   void atm_ice_phase();  ///< one master window: atm.run, ice.run, exchanges
   void ocn_phase();      ///< at ocean boundaries: fluxes, ocn.run, exports
 
+  /// True when the atmosphere runs the AI suite anywhere in the job
+  /// (collective — concurrent-layout ocean ranks have no atmosphere).
+  bool ai_physics_active();
+  /// Coupler-owned sections (accumulators, caches, RNG, AI normalizers).
+  std::vector<io::Section> coupler_sections(bool ai_on) const;
+  void restore_coupler_sections(const std::vector<io::Section>& sections,
+                                bool ai_on);
+  /// The full canonical section inventory, identical on every rank — the
+  /// collective order add_section/read_section calls must follow.
+  static std::vector<std::string> section_inventory(bool ai_on);
+  /// This rank's sections keyed by name (absent components contribute none).
+  std::map<std::string, io::FieldData> local_sections(bool ai_on);
+
   const par::Comm& global_;
   CoupledConfig config_;
   // Domain communicators must outlive the components referencing them.
@@ -117,6 +149,7 @@ class CoupledModel {
   std::vector<double> sst_on_ice_, us_on_ice_, vs_on_ice_;  // ice decomposition
 
   Clock clock_;
+  Rng rng_{0xA93E5Cull};  ///< driver stream; part of the checkpoint
   TimerRegistry timers_;  ///< compatibility shim, fed from obs spans
   std::size_t obs_first_event_ = 0;  ///< span-buffer mark at end of init
   double window_seconds_ = 0.0;

@@ -1,0 +1,125 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace ap3::fault {
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kDeliver: return "deliver";
+    case Action::kDrop: return "drop";
+    case Action::kDuplicate: return "duplicate";
+    case Action::kDelay: return "delay";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mix the fault point into one 64-bit word; every field shifts the stream
+/// so adjacent (tag, src, dst, seq) coordinates decorrelate.
+std::uint64_t point_hash(std::uint64_t seed, const FaultPoint& p,
+                         std::uint64_t salt) {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(p.comm_id);
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(p.tag) * 0x9e3779b9ULL;
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(p.src) * 0x85ebca6bULL;
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(p.dst) * 0xc2b2ae35ULL;
+  state ^= splitmix64(state) + p.seq;
+  return splitmix64(state);
+}
+
+double unit_uniform(std::uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+auto sort_key(const InjectionRecord& r) {
+  return std::make_tuple(r.point.comm_id, r.point.src, r.point.dst,
+                         r.point.tag, r.point.seq);
+}
+
+}  // namespace
+
+Decision decide(const FaultConfig& config, const FaultPoint& point) {
+  AP3_REQUIRE_MSG(
+      config.drop_rate + config.duplicate_rate + config.delay_rate <= 1.0 + 1e-12,
+      "fault rates sum to more than 1");
+  Decision out;
+  const double u = unit_uniform(point_hash(config.seed, point, /*salt=*/1));
+  if (u < config.drop_rate) {
+    out.action = Action::kDrop;
+  } else if (u < config.drop_rate + config.duplicate_rate) {
+    out.action = Action::kDuplicate;
+  } else if (u < config.drop_rate + config.duplicate_rate + config.delay_rate) {
+    out.action = Action::kDelay;
+    out.delay_deliveries = config.delay_deliveries;
+  }
+  if (config.stall_rate > 0.0) {
+    const double s = unit_uniform(point_hash(config.seed, point, /*salt=*/2));
+    if (s < config.stall_rate) out.stall_microseconds = config.stall_microseconds;
+  }
+  return out;
+}
+
+bool operator==(const FaultPoint& a, const FaultPoint& b) {
+  return a.comm_id == b.comm_id && a.tag == b.tag && a.src == b.src &&
+         a.dst == b.dst && a.seq == b.seq;
+}
+
+bool operator==(const InjectionRecord& a, const InjectionRecord& b) {
+  return a.point == b.point && a.action == b.action &&
+         a.stall_microseconds == b.stall_microseconds;
+}
+
+void InjectionLog::record(const InjectionRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+}
+
+std::size_t InjectionLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<InjectionRecord> InjectionLog::sorted() const {
+  std::vector<InjectionRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return sort_key(a) < sort_key(b);
+  });
+  return out;
+}
+
+std::size_t InjectionLog::count_stalls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const auto& r) { return r.stall_microseconds > 0; }));
+}
+
+std::size_t InjectionLog::count(Action action) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const auto& r) { return r.action == action; }));
+}
+
+std::string to_string(const InjectionRecord& record) {
+  std::ostringstream out;
+  out << action_name(record.action) << " comm=" << record.point.comm_id
+      << " tag=" << record.point.tag << " " << record.point.src << "->"
+      << record.point.dst << " seq=" << record.point.seq;
+  if (record.stall_microseconds > 0)
+    out << " stall=" << record.stall_microseconds << "us";
+  return out.str();
+}
+
+}  // namespace ap3::fault

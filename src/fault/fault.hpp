@@ -1,0 +1,146 @@
+// Deterministic fault injection for the ap3::par transport (resilience leg
+// of the year-scale-run story).
+//
+// The paper's multi-year simulations on 41.9M cores only complete because
+// the runtime survives transient faults; this subsystem lets the repository
+// *test* that survival. A FaultConfig describes per-message fault rates
+// (drop, duplication, delay/reorder, sender stall); every decision is a pure
+// function of (seed, comm, tag, src, dst, sequence), so a run with a given
+// seed injects exactly the same faults every time and failure scenarios are
+// replayable bit-for-bit.
+//
+// The subsystem owns *policy* only. The mechanism — message sequencing,
+// receiver-side reassembly, timeout/backoff retransmission — lives at the
+// mailbox boundary in src/par/comm.cpp, which consults this layer on every
+// post. Injections and recoveries are surfaced through obs counters
+// ("fault:injected:*", "fault:retried", "fault:recovered:*") and an
+// InjectionLog whose sorted view is identical across replays.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ap3::fault {
+
+/// What the injector decided to do with one message.
+enum class Action : std::uint8_t {
+  kDeliver = 0,   ///< pass through untouched
+  kDrop,          ///< suppress first transmission (recovered by retransmit)
+  kDuplicate,     ///< deliver twice (receiver discards the copy)
+  kDelay,         ///< hold back `delay_deliveries` deliveries (reorders)
+};
+
+const char* action_name(Action action);
+
+/// Per-message fault schedule. Rates are probabilities in [0, 1] and are
+/// consumed in order drop → duplicate → delay from one uniform draw, so
+/// `drop_rate + duplicate_rate + delay_rate` must be <= 1.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedULL;
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  /// A delayed message is held until this many later messages have been
+  /// delivered to the same destination (or a receiver timeout flushes it).
+  int delay_deliveries = 2;
+  /// Independent draw: probability that the sending rank stalls before the
+  /// message leaves (models a slow rank, not a lost message).
+  double stall_rate = 0.0;
+  int stall_microseconds = 200;
+  /// Receiver-side first retry timeout; doubles on every empty wakeup
+  /// (exponential backoff) up to `max_timeout_microseconds`.
+  int retry_timeout_microseconds = 500;
+  int max_timeout_microseconds = 20000;
+
+  bool any_faults() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
+           stall_rate > 0.0;
+  }
+};
+
+/// Identity of one message at the injection point. `seq` is the message's
+/// index in its (comm, src, dst, tag) stream, counted at the sender — the
+/// coordinate that makes decisions replayable.
+struct FaultPoint {
+  int comm_id = 0;
+  int tag = 0;
+  int src = 0;  ///< sender's world rank
+  int dst = 0;  ///< destination's world rank
+  std::uint64_t seq = 0;
+};
+
+struct Decision {
+  Action action = Action::kDeliver;
+  int delay_deliveries = 0;   ///< only for kDelay
+  int stall_microseconds = 0; ///< independent of `action`
+  bool faulted() const {
+    return action != Action::kDeliver || stall_microseconds > 0;
+  }
+};
+
+/// Pure decision function: same (config.seed, point) ⇒ same Decision, on any
+/// rank, in any run. This is the determinism contract tests rely on.
+Decision decide(const FaultConfig& config, const FaultPoint& point);
+
+/// One injected fault, as recorded by the transport.
+struct InjectionRecord {
+  FaultPoint point;
+  Action action = Action::kDeliver;
+  int stall_microseconds = 0;
+};
+
+bool operator==(const FaultPoint& a, const FaultPoint& b);
+bool operator==(const InjectionRecord& a, const InjectionRecord& b);
+
+/// Injection/recovery totals for one World. "Recovered" means the transport
+/// absorbed the fault transparently: a dropped message was retransmitted and
+/// consumed, a duplicate was suppressed, a delayed message was released.
+/// Stalls need no recovery (the message still arrives, just late).
+struct FaultStats {
+  std::uint64_t injected_drop = 0;
+  std::uint64_t injected_duplicate = 0;
+  std::uint64_t injected_delay = 0;
+  std::uint64_t injected_stall = 0;
+  std::uint64_t retried = 0;   ///< dropped messages retransmitted
+  std::uint64_t timeouts = 0;  ///< receiver timeout wakeups (timing-dependent)
+  std::uint64_t recovered_drop = 0;
+  std::uint64_t recovered_duplicate = 0;
+  std::uint64_t recovered_delay = 0;
+
+  std::uint64_t injected() const {
+    return injected_drop + injected_duplicate + injected_delay + injected_stall;
+  }
+  /// Faults that require recovery (everything but stalls).
+  std::uint64_t recoverable() const {
+    return injected_drop + injected_duplicate + injected_delay;
+  }
+  std::uint64_t recovered() const {
+    return recovered_drop + recovered_duplicate + recovered_delay;
+  }
+};
+
+/// Thread-safe record of every injected fault in one World. Senders append
+/// concurrently; `sorted()` orders by (comm, src, dst, tag, seq) so two runs
+/// with the same seed produce byte-identical views regardless of thread
+/// interleaving.
+class InjectionLog {
+ public:
+  void record(const InjectionRecord& record);
+  std::size_t size() const;
+  std::vector<InjectionRecord> sorted() const;
+  /// Count of records with the given action.
+  std::size_t count(Action action) const;
+  /// Count of records that carried a sender stall (orthogonal to action).
+  std::size_t count_stalls() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<InjectionRecord> records_;
+};
+
+/// Human-readable one-liner for debugging/test failure messages.
+std::string to_string(const InjectionRecord& record);
+
+}  // namespace ap3::fault

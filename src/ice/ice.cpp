@@ -205,6 +205,36 @@ void IceModel::import_state(const mct::AttrVect& x2i) {
   std::copy(vs.begin(), vs.end(), vs_.begin());
 }
 
+std::vector<std::string> IceModel::checkpoint_section_names() {
+  // Keep in checkpoint_sections() order.
+  return {"ice.aice", "ice.hice", "ice.sst", "ice.tbot",
+          "ice.us",   "ice.vs",   "ice.steps"};
+}
+
+std::vector<io::Section> IceModel::checkpoint_sections() const {
+  std::vector<io::Section> out;
+  out.push_back({"ice.aice", io::local_field(aice_)});
+  out.push_back({"ice.hice", io::local_field(hice_)});
+  out.push_back({"ice.sst", io::local_field(sst_)});
+  out.push_back({"ice.tbot", io::local_field(tbot_)});
+  out.push_back({"ice.us", io::local_field(us_)});
+  out.push_back({"ice.vs", io::local_field(vs_)});
+  out.push_back({"ice.steps", io::rank_scalar(comm_.rank(),
+                                              static_cast<double>(steps_))});
+  return out;
+}
+
+void IceModel::restore_sections(const std::vector<io::Section>& sections) {
+  aice_ = io::section_values(sections, "ice.aice", aice_.size());
+  hice_ = io::section_values(sections, "ice.hice", hice_.size());
+  sst_ = io::section_values(sections, "ice.sst", sst_.size());
+  tbot_ = io::section_values(sections, "ice.tbot", tbot_.size());
+  us_ = io::section_values(sections, "ice.us", us_.size());
+  vs_ = io::section_values(sections, "ice.vs", vs_.size());
+  steps_ =
+      static_cast<long long>(io::section_values(sections, "ice.steps", 1)[0]);
+}
+
 double IceModel::ice_area_fraction() const {
   double ice = 0.0, ocean = 0.0;
   std::size_t col = 0;

@@ -16,6 +16,7 @@
 #include "grid/halo.hpp"
 #include "grid/partition.hpp"
 #include "grid/tripolar.hpp"
+#include "io/checkpoint.hpp"
 #include "mct/attrvect.hpp"
 #include "mct/gsmap.hpp"
 #include "par/comm.hpp"
@@ -52,6 +53,17 @@ class IceModel {
   double aice(std::size_t col) const { return aice_[col]; }
   double hice(std::size_t col) const { return hice_[col]; }
   long long steps() const { return steps_; }
+
+  // --- checkpoint/restart ---------------------------------------------------
+  /// This rank's full prognostic snapshot: per-column ice state, the
+  /// imported forcing, and the step counter.
+  std::vector<io::Section> checkpoint_sections() const;
+  /// Inverse of checkpoint_sections(); `sections` must carry this rank's
+  /// layout (same names and sizes) with restored values.
+  void restore_sections(const std::vector<io::Section>& sections);
+  /// Section names in checkpoint_sections() order — the driver's canonical
+  /// inventory (needed on ranks where the component does not live).
+  static std::vector<std::string> checkpoint_section_names();
 
  private:
   void thermodynamics(double dt);

@@ -1,0 +1,220 @@
+#include "io/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace ap3::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'P', '3', 'C', 'K', 'P', 'T', '\0'};
+
+std::uint64_t fnv1a(const std::vector<char>& bytes, std::size_t count) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void put(std::vector<char>& out, const T& value) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+void put_string(std::vector<char>& out, const std::string& s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked cursor over the manifest blob; short reads (a truncated
+/// file) surface as ap3::Error, never as out-of-bounds access.
+struct Cursor {
+  const std::vector<char>& bytes;
+  std::size_t at = 0;
+
+  template <typename T>
+  T get() {
+    AP3_REQUIRE_MSG(at + sizeof(T) <= bytes.size(),
+                    "checkpoint manifest truncated");
+    T value;
+    std::memcpy(&value, bytes.data() + at, sizeof(T));
+    at += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    AP3_REQUIRE_MSG(at + n <= bytes.size(), "checkpoint manifest truncated");
+    std::string s(bytes.data() + at, n);
+    at += n;
+    return s;
+  }
+};
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST.bin";
+}
+
+}  // namespace
+
+FieldData local_field(const std::vector<double>& values) {
+  FieldData out;
+  out.values = values;
+  out.ids.resize(values.size());
+  for (std::size_t i = 0; i < out.ids.size(); ++i)
+    out.ids[i] = static_cast<std::int64_t>(i);
+  return out;
+}
+
+FieldData rank_scalar(int rank, double value) {
+  return {{rank}, {value}};
+}
+
+const std::vector<double>& section_values(const std::vector<Section>& sections,
+                                          const std::string& name,
+                                          std::size_t expected_size) {
+  for (const Section& s : sections) {
+    if (s.name != name) continue;
+    AP3_REQUIRE_MSG(s.data.values.size() == expected_size,
+                    "restore section '" << name << "' has "
+                                        << s.data.values.size()
+                                        << " values, expected "
+                                        << expected_size);
+    return s.data.values;
+  }
+  throw Error("restore is missing section '" + name + "'");
+}
+
+CheckpointWriter::CheckpointWriter(const par::Comm& comm, std::string dir,
+                                   int num_subfiles)
+    : comm_(comm), dir_(std::move(dir)), num_subfiles_(num_subfiles) {
+  AP3_REQUIRE(num_subfiles_ >= 1);
+  if (comm_.rank() == 0) std::filesystem::create_directories(dir_);
+  comm_.barrier();  // no rank writes a section before the directory exists
+}
+
+void CheckpointWriter::add_section(const std::string& name,
+                                   const FieldData& local) {
+  AP3_REQUIRE_MSG(!finalized_, "add_section after finalize");
+  AP3_REQUIRE_MSG(!name.empty() && name.find('/') == std::string::npos,
+                  "bad section name '" << name << "'");
+  AP3_REQUIRE_MSG(std::find(section_names_.begin(), section_names_.end(),
+                            name) == section_names_.end(),
+                  "duplicate checkpoint section '" << name << "'");
+  bytes_written_ +=
+      write_subfiles(comm_, {dir_ + "/" + name, num_subfiles_}, local);
+  section_names_.push_back(name);
+}
+
+void CheckpointWriter::set_scalar(const std::string& name, double value) {
+  AP3_REQUIRE_MSG(!finalized_, "set_scalar after finalize");
+  scalars_[name] = value;
+}
+
+void CheckpointWriter::finalize() {
+  AP3_REQUIRE_MSG(!finalized_, "finalize called twice");
+  finalized_ = true;
+  comm_.barrier();  // every section fully on disk before the manifest appears
+  if (comm_.rank() == 0) {
+    std::vector<char> blob;
+    blob.insert(blob.end(), kMagic, kMagic + sizeof(kMagic));
+    put(blob, kCheckpointVersion);
+    put(blob, static_cast<std::int32_t>(comm_.size()));
+    put(blob, static_cast<std::int32_t>(num_subfiles_));
+    put(blob, static_cast<std::uint32_t>(section_names_.size()));
+    for (const std::string& name : section_names_) put_string(blob, name);
+    put(blob, static_cast<std::uint32_t>(scalars_.size()));
+    for (const auto& [name, value] : scalars_) {
+      put_string(blob, name);
+      put(blob, value);
+    }
+    put(blob, fnv1a(blob, blob.size()));
+
+    std::ofstream out(manifest_path(dir_), std::ios::binary | std::ios::trunc);
+    AP3_REQUIRE_MSG(out, "cannot write " << manifest_path(dir_));
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    AP3_REQUIRE_MSG(out.good(), "short write to " << manifest_path(dir_));
+    bytes_written_ += blob.size();
+  }
+  comm_.barrier();  // the manifest is the commit point: visible ⇒ complete
+}
+
+CheckpointReader::CheckpointReader(const par::Comm& comm,
+                                   const std::string& dir)
+    : comm_(comm), dir_(dir) {
+  // Every rank reads and validates the manifest itself (shared filesystem in
+  // this in-process runtime). Symmetric validation means a bad snapshot
+  // throws the same ap3::Error on all ranks instead of deadlocking the ones
+  // waiting on a broadcast that never comes.
+  std::ifstream in(manifest_path(dir_), std::ios::binary);
+  AP3_REQUIRE_MSG(in, "no checkpoint manifest at " << manifest_path(dir_));
+  std::vector<char> blob((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  AP3_REQUIRE_MSG(blob.size() > sizeof(kMagic) + sizeof(std::uint64_t),
+                  "checkpoint manifest truncated");
+  AP3_REQUIRE_MSG(std::memcmp(blob.data(), kMagic, sizeof(kMagic)) == 0,
+                  "not a checkpoint manifest: bad magic");
+  Cursor cursor{blob, sizeof(kMagic)};
+
+  const auto version = cursor.get<std::uint32_t>();
+  AP3_REQUIRE_MSG(version == kCheckpointVersion,
+                  "checkpoint version " << version << " unsupported (want "
+                                        << kCheckpointVersion << ")");
+  const auto nranks = cursor.get<std::int32_t>();
+  AP3_REQUIRE_MSG(nranks == comm_.size(),
+                  "checkpoint written by " << nranks << " ranks, restoring on "
+                                           << comm_.size());
+  num_subfiles_ = cursor.get<std::int32_t>();
+  AP3_REQUIRE(num_subfiles_ >= 1);
+
+  const auto nsections = cursor.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nsections; ++i)
+    section_names_.push_back(cursor.get_string());
+  const auto nscalars = cursor.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nscalars; ++i) {
+    std::string name = cursor.get_string();
+    scalars_[std::move(name)] = cursor.get<double>();
+  }
+
+  const auto stored = cursor.get<std::uint64_t>();
+  AP3_REQUIRE_MSG(stored == fnv1a(blob, cursor.at - sizeof(std::uint64_t)),
+                  "checkpoint manifest checksum mismatch (corrupt snapshot)");
+  AP3_REQUIRE_MSG(cursor.at == blob.size(),
+                  "trailing bytes after checkpoint manifest");
+}
+
+bool CheckpointReader::has_section(const std::string& name) const {
+  return std::find(section_names_.begin(), section_names_.end(), name) !=
+         section_names_.end();
+}
+
+bool CheckpointReader::has_scalar(const std::string& name) const {
+  return scalars_.count(name) != 0;
+}
+
+double CheckpointReader::scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  AP3_REQUIRE_MSG(it != scalars_.end(),
+                  "checkpoint has no scalar '" << name << "'");
+  return it->second;
+}
+
+FieldData CheckpointReader::read_section(
+    const std::string& name,
+    const std::vector<std::int64_t>& expected_ids) const {
+  AP3_REQUIRE_MSG(has_section(name),
+                  "checkpoint has no section '" << name << "'");
+  return read_subfiles(comm_, {dir_ + "/" + name, num_subfiles_},
+                       expected_ids);
+}
+
+}  // namespace ap3::io

@@ -1,0 +1,110 @@
+// Versioned checkpoint container over the §5.2.5 subfile I/O layer.
+//
+// A checkpoint is a directory holding one subfile set per named state
+// section (written through io::write_subfiles, so the same aggregation
+// groups and checksum footers apply) plus a MANIFEST.bin written by global
+// rank 0:
+//
+//   magic "AP3CKPT\0" | version u32 | nranks i32 | num_subfiles i32 |
+//   sections [name...] | scalars [(name, f64)...] | FNV-1a checksum u64
+//
+// The manifest pins the format version, the rank count (restarts must use
+// the decomposition they were written with — the same contract production
+// restart files carry), the section inventory, and scalar state such as the
+// coupler clock. Readers validate magic/version/checksum before touching
+// any section, so a corrupted or truncated snapshot fails with a clear
+// ap3::Error instead of undefined behavior; per-section payloads are
+// additionally covered by the subfile checksum footers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/subfile.hpp"
+#include "par/comm.hpp"
+
+namespace ap3::io {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One named piece of model state on this rank. `data.ids` are
+/// rank-relative labels (local indices, or `rank` for replicated values) —
+/// they are verified on restore, which makes decomposition mismatches a
+/// hard error rather than silent corruption.
+struct Section {
+  std::string name;
+  FieldData data;
+};
+
+/// FieldData labelling `values` with local indices 0..n-1.
+FieldData local_field(const std::vector<double>& values);
+/// FieldData holding one per-rank value, labelled by the rank itself.
+FieldData rank_scalar(int rank, double value);
+/// Locate `name` in a restored section list and demand this rank's size;
+/// throws ap3::Error when the section is absent or sized for a different
+/// decomposition.
+const std::vector<double>& section_values(const std::vector<Section>& sections,
+                                          const std::string& name,
+                                          std::size_t expected_size);
+
+/// Collective writer: construct, add sections (same order on every rank),
+/// set scalars (rank 0's values are authoritative), then finalize().
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const par::Comm& comm, std::string dir,
+                   int num_subfiles = 1);
+
+  /// Collective: writes the section's subfile set immediately.
+  void add_section(const std::string& name, const FieldData& local);
+  void add_section(const Section& section) {
+    add_section(section.name, section.data);
+  }
+  /// Scalar state recorded in the manifest (clock steps, config echo, ...).
+  void set_scalar(const std::string& name, double value);
+  /// Collective: writes the manifest on rank 0. Must be called exactly once.
+  void finalize();
+
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  const par::Comm& comm_;
+  std::string dir_;
+  int num_subfiles_;
+  bool finalized_ = false;
+  std::vector<std::string> section_names_;
+  std::map<std::string, double> scalars_;
+  std::size_t bytes_written_ = 0;
+};
+
+/// Collective reader: construction validates the manifest (magic, version,
+/// checksum, rank count) and broadcasts it, so every rank can query scalars
+/// locally and read sections collectively.
+class CheckpointReader {
+ public:
+  CheckpointReader(const par::Comm& comm, const std::string& dir);
+
+  bool has_section(const std::string& name) const;
+  bool has_scalar(const std::string& name) const;
+  double scalar(const std::string& name) const;  ///< throws if missing
+
+  /// Collective: reads one section; `expected_ids` is this rank's label
+  /// vector from the matching Section layout (empty on non-owning ranks).
+  FieldData read_section(const std::string& name,
+                         const std::vector<std::int64_t>& expected_ids) const;
+
+  const std::vector<std::string>& section_names() const {
+    return section_names_;
+  }
+  int num_subfiles() const { return num_subfiles_; }
+
+ private:
+  const par::Comm& comm_;
+  std::string dir_;
+  int num_subfiles_ = 1;
+  std::vector<std::string> section_names_;
+  std::map<std::string, double> scalars_;
+};
+
+}  // namespace ap3::io

@@ -51,6 +51,14 @@ class LandModel {
   /// Advance cell `cell` by `dt` seconds under `forcing`.
   LandResponse step_cell(std::size_t cell, double dt, const LandForcing& forcing);
 
+  // Checkpoint access: the full prognostic state is (tskin, water).
+  const std::vector<double>& tskin_state() const { return tskin_; }
+  const std::vector<double>& water_state() const { return water_; }
+  void set_state(std::vector<double> tskin, std::vector<double> water) {
+    tskin_ = std::move(tskin);
+    water_ = std::move(water);
+  }
+
  private:
   LandConfig config_;
   std::vector<double> tskin_;

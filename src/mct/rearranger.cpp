@@ -1,6 +1,7 @@
 #include "mct/rearranger.hpp"
 
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ap3::mct {
 
@@ -50,6 +51,7 @@ void Rearranger::rearrange(const AttrVect& src, AttrVect& dst,
 }
 
 void Rearranger::rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
+  AP3_SPAN("mct:rearrange:alltoallv");
   // The original strategy: every rank participates in one big collective
   // even if it exchanges data with only a handful of peers.
   std::vector<double> send_data;
@@ -80,8 +82,12 @@ void Rearranger::rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
 }
 
 void Rearranger::rearrange_p2p(const AttrVect& src, AttrVect& dst) const {
+  AP3_SPAN("mct:rearrange:p2p");
   // Optimized strategy: only actual peers communicate; sends are posted
   // non-blocking up front and unpacking overlaps with draining receives.
+  // Under fault injection the transport's sequenced take/timeout/backoff
+  // recovers dropped or reordered payloads transparently, so the rearranged
+  // result is identical to a fault-free run (tests/test_properties.cpp).
   std::vector<std::vector<double>> payloads;
   std::vector<par::Request> sends;
   payloads.reserve(router_.send_plan().size());

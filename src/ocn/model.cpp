@@ -518,6 +518,76 @@ void OcnModel::import_state(const mct::AttrVect& x2o) {
   std::copy(fresh.begin(), fresh.end(), fresh_.begin());
 }
 
+namespace {
+
+/// Flatten per-level halo slices level-major for one checkpoint section.
+std::vector<double> flatten_levels(const std::vector<std::vector<double>>& f) {
+  std::vector<double> out;
+  if (!f.empty()) out.reserve(f.size() * f[0].size());
+  for (const auto& level : f) out.insert(out.end(), level.begin(), level.end());
+  return out;
+}
+
+void unflatten_levels(const std::vector<double>& flat,
+                      std::vector<std::vector<double>>& f) {
+  std::size_t at = 0;
+  for (auto& level : f) {
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(at),
+              flat.begin() + static_cast<std::ptrdiff_t>(at + level.size()),
+              level.begin());
+    at += level.size();
+  }
+}
+
+std::size_t stack_size(const std::vector<std::vector<double>>& f) {
+  return f.empty() ? 0 : f.size() * f[0].size();
+}
+
+}  // namespace
+
+std::vector<std::string> OcnModel::checkpoint_section_names() {
+  // Keep in checkpoint_sections() order.
+  return {"ocn.eta",  "ocn.ubar", "ocn.vbar", "ocn.u",
+          "ocn.v",    "ocn.temp", "ocn.salt", "ocn.taux",
+          "ocn.tauy", "ocn.qnet", "ocn.fresh", "ocn.steps"};
+}
+
+std::vector<io::Section> OcnModel::checkpoint_sections() const {
+  std::vector<io::Section> out;
+  out.push_back({"ocn.eta", io::local_field(eta_)});
+  out.push_back({"ocn.ubar", io::local_field(ubar_)});
+  out.push_back({"ocn.vbar", io::local_field(vbar_)});
+  out.push_back({"ocn.u", io::local_field(flatten_levels(u_))});
+  out.push_back({"ocn.v", io::local_field(flatten_levels(v_))});
+  out.push_back({"ocn.temp", io::local_field(flatten_levels(temp_))});
+  out.push_back({"ocn.salt", io::local_field(flatten_levels(salt_))});
+  out.push_back({"ocn.taux", io::local_field(taux_)});
+  out.push_back({"ocn.tauy", io::local_field(tauy_)});
+  out.push_back({"ocn.qnet", io::local_field(qnet_)});
+  out.push_back({"ocn.fresh", io::local_field(fresh_)});
+  out.push_back({"ocn.steps", io::rank_scalar(comm_.rank(),
+                                              static_cast<double>(steps_))});
+  return out;
+}
+
+void OcnModel::restore_sections(const std::vector<io::Section>& sections) {
+  eta_ = io::section_values(sections, "ocn.eta", eta_.size());
+  ubar_ = io::section_values(sections, "ocn.ubar", ubar_.size());
+  vbar_ = io::section_values(sections, "ocn.vbar", vbar_.size());
+  unflatten_levels(io::section_values(sections, "ocn.u", stack_size(u_)), u_);
+  unflatten_levels(io::section_values(sections, "ocn.v", stack_size(v_)), v_);
+  unflatten_levels(io::section_values(sections, "ocn.temp", stack_size(temp_)),
+                   temp_);
+  unflatten_levels(io::section_values(sections, "ocn.salt", stack_size(salt_)),
+                   salt_);
+  taux_ = io::section_values(sections, "ocn.taux", taux_.size());
+  tauy_ = io::section_values(sections, "ocn.tauy", tauy_.size());
+  qnet_ = io::section_values(sections, "ocn.qnet", qnet_.size());
+  fresh_ = io::section_values(sections, "ocn.fresh", fresh_.size());
+  steps_ =
+      static_cast<long long>(io::section_values(sections, "ocn.steps", 1)[0]);
+}
+
 double OcnModel::total_volume() const {
   double local = 0.0;
   for (const auto& [i, j] : active_columns_)

@@ -16,6 +16,7 @@
 #include "grid/halo.hpp"
 #include "grid/partition.hpp"
 #include "grid/tripolar.hpp"
+#include "io/checkpoint.hpp"
 #include "mct/attrvect.hpp"
 #include "mct/gsmap.hpp"
 #include "ocn/canuto.hpp"
@@ -86,6 +87,18 @@ class OcnModel {
   std::vector<double> surface_rossby_number() const;
 
   long long baroclinic_steps() const { return steps_; }
+
+  // --- checkpoint/restart -----------------------------------------------------
+  /// This rank's full prognostic snapshot: 2-D halo slices, the 3-D stacks
+  /// flattened level-major (level k occupies [k·slots, (k+1)·slots)), the
+  /// imported forcing, and the step counter.
+  std::vector<io::Section> checkpoint_sections() const;
+  /// Inverse of checkpoint_sections(); `sections` must carry this rank's
+  /// layout (same names and sizes) with restored values.
+  void restore_sections(const std::vector<io::Section>& sections);
+  /// Section names in checkpoint_sections() order — the driver's canonical
+  /// inventory (needed on ranks where the component does not live).
+  static std::vector<std::string> checkpoint_section_names();
 
   /// Iterations executed by column-wise kernels since construction —
   /// demonstrates the §5.2.2 exclusion (~30 % fewer with it on).

@@ -1,5 +1,6 @@
 #include "par/comm.hpp"
 
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -45,38 +46,173 @@ void account_obs(int tag, std::size_t bytes) {
 
 namespace detail {
 
+std::uint64_t FaultState::next_seq(int comm_id, int src, int dst_world,
+                                   int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++stream_seq_[{comm_id, src, dst_world, tag}];
+}
+
+void FaultState::stash_dropped(int dst_world, Message message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dropped_[dst_world].push_back(std::move(message));
+}
+
+std::size_t FaultState::retransmit_for(int dst_world, Mailbox& box) {
+  std::vector<Message> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = dropped_.find(dst_world);
+    if (it == dropped_.end() || it->second.empty()) return 0;
+    pending = std::move(it->second);
+    it->second.clear();
+  }
+  const std::size_t n = pending.size();
+  for (Message& m : pending) box.deliver(std::move(m));
+  retried.fetch_add(n, std::memory_order_relaxed);
+  recovered_drop.fetch_add(n, std::memory_order_relaxed);
+  obs::counter_add("fault:retried", static_cast<double>(n));
+  obs::counter_add("fault:recovered:drop", static_cast<double>(n));
+  obs::counter_add("fault:recovered", static_cast<double>(n));
+  return n;
+}
+
+void Mailbox::enable_fault_mode(FaultState* state, int world_rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_ = state;
+  world_rank_ = world_rank;
+}
+
+bool Mailbox::in_sequence_locked(const Message& m) const {
+  const auto it = next_expected_.find({m.comm_id, m.src, m.tag});
+  const std::uint64_t expected = it == next_expected_.end() ? 1 : it->second;
+  return m.seq == expected;
+}
+
+void Mailbox::admit_locked(Message&& m) {
+  // Duplicate suppression: discard if the stream already consumed this
+  // sequence number or an identical copy is still queued.
+  const auto it = next_expected_.find({m.comm_id, m.src, m.tag});
+  const std::uint64_t expected = it == next_expected_.end() ? 1 : it->second;
+  bool duplicate = m.seq < expected;
+  if (!duplicate) {
+    for (const Message& q : queue_) {
+      if (q.comm_id == m.comm_id && q.src == m.src && q.tag == m.tag &&
+          q.seq == m.seq) {
+        duplicate = true;
+        break;
+      }
+    }
+  }
+  if (duplicate) {
+    fault_->recovered_duplicate.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add("fault:recovered:duplicate", 1.0);
+    obs::counter_add("fault:recovered", 1.0);
+    return;
+  }
+  queue_.push_back(std::move(m));
+}
+
+void Mailbox::release_delayed_locked(bool force) {
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (!force) --it->countdown;
+    if (force || it->countdown <= 0) {
+      fault_->recovered_delay.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add("fault:recovered:delay", 1.0);
+      obs::counter_add("fault:recovered", 1.0);
+      admit_locked(std::move(it->message));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Mailbox::deliver(Message message) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(message));
+    if (fault_ == nullptr) {
+      queue_.push_back(std::move(message));
+    } else {
+      // Every delivery ages the held-back messages first, so a delayed
+      // message overtaken by `countdown` successors is released (reordered)
+      // exactly when its schedule says.
+      release_delayed_locked(/*force=*/false);
+      admit_locked(std::move(message));
+    }
   }
   cv_.notify_all();
 }
 
+void Mailbox::deliver_delayed(Message message, int countdown) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AP3_REQUIRE(fault_ != nullptr);
+    if (countdown <= 0) {
+      admit_locked(std::move(message));
+    } else {
+      delayed_.push_back({std::move(message), countdown});
+    }
+  }
+  cv_.notify_all();
+}
+
+std::deque<Message>::iterator Mailbox::find_locked(int comm_id, int src,
+                                                   int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (!matches(*it, comm_id, src, tag)) continue;
+    if (fault_ != nullptr && !in_sequence_locked(*it)) continue;
+    return it;
+  }
+  return queue_.end();
+}
+
+Message Mailbox::take_at_locked(std::deque<Message>::iterator it) {
+  Message out = std::move(*it);
+  queue_.erase(it);
+  if (fault_ != nullptr)
+    next_expected_[{out.comm_id, out.src, out.tag}] = out.seq + 1;
+  return out;
+}
+
 Message Mailbox::take(int comm_id, int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (matches(*it, comm_id, src, tag)) {
-        Message out = std::move(*it);
-        queue_.erase(it);
-        return out;
-      }
+  if (fault_ == nullptr) {
+    for (;;) {
+      auto it = find_locked(comm_id, src, tag);
+      if (it != queue_.end()) return take_at_locked(it);
+      cv_.wait(lock);
     }
-    cv_.wait(lock);
+  }
+  // Fault mode: wait for the next in-sequence match; on timeout run the
+  // recovery protocol — flush held-back (delayed) messages, then ask the
+  // fault layer to retransmit anything dropped on the way to this rank —
+  // with exponential backoff between polls so a stalled peer is not spammed.
+  auto timeout = std::chrono::microseconds(
+      std::max(1, fault_->config.retry_timeout_microseconds));
+  const auto max_timeout = std::chrono::microseconds(
+      std::max(1, fault_->config.max_timeout_microseconds));
+  for (;;) {
+    auto it = find_locked(comm_id, src, tag);
+    if (it != queue_.end()) return take_at_locked(it);
+    if (cv_.wait_for(lock, timeout) == std::cv_status::timeout) {
+      fault_->timeouts.fetch_add(1, std::memory_order_relaxed);
+      release_delayed_locked(/*force=*/true);
+      FaultState* fault = fault_;
+      const int me = world_rank_;
+      lock.unlock();
+      fault->retransmit_for(me, *this);
+      lock.lock();
+      timeout = std::min(timeout * 2, max_timeout);
+    }
   }
 }
 
 bool Mailbox::try_take(int comm_id, int src, int tag, Message& out) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*it, comm_id, src, tag)) {
-      out = std::move(*it);
-      queue_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  auto it = find_locked(comm_id, src, tag);
+  if (it == queue_.end()) return false;
+  out = take_at_locked(it);
+  return true;
 }
 
 void Barrier::arrive_and_wait() {
@@ -93,11 +229,40 @@ void Barrier::arrive_and_wait() {
 
 }  // namespace detail
 
-World::World(int nranks) : nranks_(nranks) {
+World::World(int nranks) : World(nranks, WorldOptions{}) {}
+
+World::World(int nranks, const WorldOptions& options) : nranks_(nranks) {
   AP3_REQUIRE_MSG(nranks > 0, "World needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  if (options.fault.any_faults()) {
+    fault_state_ = std::make_unique<detail::FaultState>(options.fault);
+    for (int r = 0; r < nranks; ++r)
+      mailboxes_[static_cast<std::size_t>(r)]->enable_fault_mode(
+          fault_state_.get(), r);
+  }
+}
+
+const fault::InjectionLog* World::fault_log() const {
+  return fault_state_ ? &fault_state_->log : nullptr;
+}
+
+fault::FaultStats World::fault_stats() const {
+  fault::FaultStats out;
+  if (!fault_state_) return out;
+  const detail::FaultState& fs = *fault_state_;
+  out.injected_drop = fs.injected_drop.load(std::memory_order_relaxed);
+  out.injected_duplicate = fs.injected_duplicate.load(std::memory_order_relaxed);
+  out.injected_delay = fs.injected_delay.load(std::memory_order_relaxed);
+  out.injected_stall = fs.injected_stall.load(std::memory_order_relaxed);
+  out.retried = fs.retried.load(std::memory_order_relaxed);
+  out.timeouts = fs.timeouts.load(std::memory_order_relaxed);
+  out.recovered_drop = fs.recovered_drop.load(std::memory_order_relaxed);
+  out.recovered_duplicate =
+      fs.recovered_duplicate.load(std::memory_order_relaxed);
+  out.recovered_delay = fs.recovered_delay.load(std::memory_order_relaxed);
+  return out;
 }
 
 TrafficStats World::traffic() const {
@@ -145,7 +310,54 @@ void Comm::post(int dest, int tag, std::size_t type_hash,
   m.data.assign(bytes.begin(), bytes.end());
   world_->account(bytes.size());
   account_obs(tag, bytes.size());
-  world_->mailbox(world_rank_of(dest)).deliver(std::move(m));
+  const int dst_world = world_rank_of(dest);
+  detail::Mailbox& box = world_->mailbox(dst_world);
+
+  detail::FaultState* fs = world_->fault_state();
+  if (fs == nullptr) {
+    box.deliver(std::move(m));
+    return;
+  }
+
+  // Fault mode: every message gets a stream sequence number; the injector's
+  // pure decision function then says what (if anything) goes wrong with it.
+  m.seq = fs->next_seq(comm_id_, rank_, dst_world, tag);
+  const fault::FaultPoint point{comm_id_, tag, world_rank_of(rank_), dst_world,
+                                m.seq};
+  const fault::Decision decision = fault::decide(fs->config, point);
+  if (decision.faulted()) {
+    fs->log.record({point, decision.action, decision.stall_microseconds});
+    obs::counter_add("fault:injected", 1.0);
+  }
+  if (decision.stall_microseconds > 0) {
+    fs->injected_stall.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add("fault:injected:stall", 1.0);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(decision.stall_microseconds));
+  }
+  switch (decision.action) {
+    case fault::Action::kDeliver:
+      box.deliver(std::move(m));
+      break;
+    case fault::Action::kDrop:
+      fs->injected_drop.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add("fault:injected:drop", 1.0);
+      fs->stash_dropped(dst_world, std::move(m));
+      break;
+    case fault::Action::kDuplicate: {
+      fs->injected_duplicate.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add("fault:injected:duplicate", 1.0);
+      detail::Message copy = m;
+      box.deliver(std::move(m));
+      box.deliver(std::move(copy));
+      break;
+    }
+    case fault::Action::kDelay:
+      fs->injected_delay.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add("fault:injected:delay", 1.0);
+      box.deliver_delayed(std::move(m), decision.delay_deliveries);
+      break;
+  }
 }
 
 detail::Message Comm::take(int src, int tag) const {
@@ -216,7 +428,12 @@ Comm Comm::split(int color, int key) const {
 }
 
 void run(int nranks, const std::function<void(Comm&)>& fn) {
-  World world(nranks);
+  run(nranks, WorldOptions{}, fn);
+}
+
+void run(int nranks, const WorldOptions& options,
+         const std::function<void(Comm&)>& fn) {
+  World world(nranks, options);
   std::vector<int> group(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) group[static_cast<std::size_t>(r)] = r;
 

@@ -14,10 +14,16 @@
 //  - collectives: barrier, bcast, reduce, allreduce, gather, allgather,
 //    alltoall, alltoallv (built over p2p; deterministic),
 //  - communicator split (task domains of §5.1.2),
-//  - per-world traffic accounting (messages/bytes) feeding the perf model.
+//  - per-world traffic accounting (messages/bytes) feeding the perf model,
+//  - deterministic fault injection at the mailbox boundary (src/fault):
+//    seed-driven drop/duplicate/delay/stall schedules with transparent
+//    receiver-side recovery (sequenced reassembly, timeout + exponential
+//    backoff, retransmission of dropped messages), surfaced through
+//    WorldOptions and the "fault:*" obs counters.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace ap3::par {
@@ -59,25 +66,89 @@ struct Message {
   int comm_id = 0;  ///< messages are scoped to one communicator
   int src = 0;      ///< sender's rank within that communicator
   int tag = 0;
+  /// Position in the (comm_id, src, tag) stream to this destination; only
+  /// assigned (starting at 1) when fault injection is active, where it
+  /// drives receiver-side reassembly and duplicate suppression.
+  std::uint64_t seq = 0;
   std::size_t type_hash = 0;
   std::vector<std::byte> data;
+};
+
+class Mailbox;
+
+/// Shared fault-injection state for one World: the immutable config, the
+/// replayable injection log, per-stream sequence counters (sender side),
+/// the store of dropped messages awaiting retransmission, and recovery
+/// statistics. Null on a World without faults — the transport fast path is
+/// then a single pointer check.
+struct FaultState {
+  explicit FaultState(const fault::FaultConfig& config) : config(config) {}
+
+  fault::FaultConfig config;
+  fault::InjectionLog log;
+
+  /// Next sequence number for a (comm_id, src_rank, dst_world, tag) stream.
+  std::uint64_t next_seq(int comm_id, int src, int dst_world, int tag);
+  /// Park a dropped message until a receiver timeout asks for it again.
+  void stash_dropped(int dst_world, Message message);
+  /// Re-deliver every dropped message parked for `dst_world`; returns count.
+  std::size_t retransmit_for(int dst_world, Mailbox& box);
+
+  // Recovery accounting (see fault::FaultStats).
+  std::atomic<std::uint64_t> injected_drop{0}, injected_duplicate{0},
+      injected_delay{0}, injected_stall{0};
+  std::atomic<std::uint64_t> retried{0}, timeouts{0};
+  std::atomic<std::uint64_t> recovered_drop{0}, recovered_duplicate{0},
+      recovered_delay{0};
+
+ private:
+  std::mutex mutex_;
+  std::map<std::array<int, 4>, std::uint64_t> stream_seq_;
+  std::map<int, std::vector<Message>> dropped_;
 };
 
 class Mailbox {
  public:
   void deliver(Message message);
-  /// Blocks until a message matching (comm, src, tag) is available.
+  /// Hold `message` back until `countdown` further deliveries reach this
+  /// mailbox (or a receiver timeout flushes it) — the delay/reorder fault.
+  void deliver_delayed(Message message, int countdown);
+  /// Blocks until a message matching (comm, src, tag) is available. In fault
+  /// mode, waits for the *next in-sequence* message of the matching stream
+  /// and runs timeout/backoff recovery (flush delayed, retransmit dropped).
   Message take(int comm_id, int src, int tag);
   bool try_take(int comm_id, int src, int tag, Message& out);
+  /// Switch this mailbox to sequenced (fault-tolerant) matching.
+  void enable_fault_mode(FaultState* state, int world_rank);
 
  private:
   static bool matches(const Message& m, int comm_id, int src, int tag) {
     return m.comm_id == comm_id && (src == kAnySource || m.src == src) &&
            (tag == kAnyTag || m.tag == tag);
   }
+  /// Fault mode: message is the next expected of its own stream.
+  bool in_sequence_locked(const Message& m) const;
+  /// Fault mode: admit to the queue with duplicate suppression.
+  void admit_locked(Message&& m);
+  /// Decrement delay countdowns (unless `force`), admit matured messages.
+  void release_delayed_locked(bool force);
+  std::deque<Message>::iterator find_locked(int comm_id, int src, int tag);
+  Message take_at_locked(std::deque<Message>::iterator it);
+
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+
+  // Fault mode only.
+  FaultState* fault_ = nullptr;
+  int world_rank_ = -1;
+  struct Delayed {
+    Message message;
+    int countdown = 0;
+  };
+  std::vector<Delayed> delayed_;
+  /// (comm_id, src, tag) -> next sequence number the receiver will accept.
+  std::map<std::array<int, 3>, std::uint64_t> next_expected_;
 };
 
 /// Reusable sense-reversing barrier.
@@ -106,13 +177,28 @@ struct SplitTable {
 
 class Comm;
 
-/// Shared state for one parallel job: mailboxes, barriers, counters.
+/// Per-World knobs. `fault` with any non-zero rate arms deterministic fault
+/// injection on every message crossing the mailbox boundary.
+struct WorldOptions {
+  fault::FaultConfig fault;
+};
+
+/// Shared state for one parallel job: mailboxes, barriers, counters, and the
+/// optional fault-injection layer.
 class World {
  public:
   explicit World(int nranks);
+  World(int nranks, const WorldOptions& options);
 
   int size() const { return nranks_; }
   TrafficStats traffic() const;
+
+  /// True when this World injects faults into its transport.
+  bool fault_active() const { return fault_state_ != nullptr; }
+  /// Replayable record of injected faults (null when inactive).
+  const fault::InjectionLog* fault_log() const;
+  /// Injection/recovery totals so far (all zeros when inactive).
+  fault::FaultStats fault_stats() const;
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -125,9 +211,11 @@ class World {
   detail::Barrier& barrier_for(int comm_id, int parties);
   void account(std::size_t bytes);
   detail::SplitTable& split_table() { return split_table_; }
+  detail::FaultState* fault_state() { return fault_state_.get(); }
 
   int nranks_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::unique_ptr<detail::FaultState> fault_state_;
   std::mutex barrier_mutex_;
   std::map<int, std::unique_ptr<detail::Barrier>> barriers_;
   detail::SplitTable split_table_;
@@ -262,6 +350,7 @@ class Comm {
 
  private:
   friend void run(int, const std::function<void(Comm&)>&);
+  friend void run(int, const WorldOptions&, const std::function<void(Comm&)>&);
   Comm(World* world, std::vector<int> group, int rank, int comm_id,
        std::uint64_t split_epoch)
       : world_(world),
@@ -303,6 +392,12 @@ class Comm {
 /// Launch `fn` on `nranks` ranks (threads) sharing one World. Exceptions in
 /// any rank are captured and rethrown (first by rank order) after join.
 void run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// Same, with World options (e.g. a deterministic fault schedule). Ranks can
+/// inspect injection state during the run via `comm.world().fault_log()` /
+/// `fault_stats()`.
+void run(int nranks, const WorldOptions& options,
+         const std::function<void(Comm&)>& fn);
 
 // ---- template implementations ---------------------------------------------
 

@@ -1,0 +1,202 @@
+// Shared scaffolding for AP3ESM tests.
+//
+// Every multi-rank test in this repository follows the same shape: launch N
+// rank-threads with par::run, decompose a global id space, exchange data, and
+// compare fields — often under a deterministic fault schedule and often with
+// snapshot files that must be cleaned up on any exit path. This header keeps
+// that boilerplate in one place:
+//
+//   - run_ranks(n, fn) / run_ranks(n, fault_plan, fn): rank launchers, the
+//     second arming seed-driven fault injection (src/fault) on the World;
+//   - fault-plan builders: named presets (drop_plan, reorder_plan,
+//     heavy_fault_plan) plus random_no_drop_plan(seed) for fuzzing — every
+//     plan is a pure function of its seed, so failures replay exactly;
+//   - TempDir: RAII mkdtemp directory removed (recursively) on destruction;
+//   - ulp_distance / expect_fields_equal: units-in-the-last-place field
+//     comparison, with max_ulp = 0 meaning bit-exact;
+//   - block_ids / cyclic_ids: the two decompositions the MCT tests use.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "fault/fault.hpp"
+#include "par/comm.hpp"
+
+namespace ap3::testing {
+
+// ---- rank launchers --------------------------------------------------------
+
+/// Launch `fn` on `nranks` rank-threads sharing one fault-free World.
+inline void run_ranks(int nranks, const std::function<void(par::Comm&)>& fn) {
+  par::run(nranks, fn);
+}
+
+/// Same, with a deterministic fault schedule armed on the World's transport.
+inline void run_ranks(int nranks, const fault::FaultConfig& fault_plan,
+                      const std::function<void(par::Comm&)>& fn) {
+  par::WorldOptions options;
+  options.fault = fault_plan;
+  par::run(nranks, options, fn);
+}
+
+// ---- fault-plan builders ---------------------------------------------------
+
+/// Drop-only plan: every loss must be recovered by timeout + retransmission.
+inline fault::FaultConfig drop_plan(std::uint64_t seed, double rate = 0.2) {
+  fault::FaultConfig plan;
+  plan.seed = seed;
+  plan.drop_rate = rate;
+  plan.retry_timeout_microseconds = 200;
+  return plan;
+}
+
+/// Reordering plan (delay + duplicate, no drops): exercises the sequenced
+/// receive path without depending on retransmission timeouts.
+inline fault::FaultConfig reorder_plan(std::uint64_t seed) {
+  fault::FaultConfig plan;
+  plan.seed = seed;
+  plan.duplicate_rate = 0.15;
+  plan.delay_rate = 0.25;
+  plan.delay_deliveries = 3;
+  return plan;
+}
+
+/// Everything at once, at rates high enough that a run of a few hundred
+/// messages is guaranteed to hit every fault class.
+inline fault::FaultConfig heavy_fault_plan(std::uint64_t seed) {
+  fault::FaultConfig plan;
+  plan.seed = seed;
+  plan.drop_rate = 0.15;
+  plan.duplicate_rate = 0.15;
+  plan.delay_rate = 0.2;
+  plan.delay_deliveries = 2;
+  plan.stall_rate = 0.1;
+  plan.stall_microseconds = 50;
+  plan.retry_timeout_microseconds = 200;
+  return plan;
+}
+
+/// Fuzzing plan: random duplicate/delay/stall rates derived from `seed`, no
+/// drops. Used by the property tests to assert that results are identical to
+/// a fault-free run under arbitrary reorderings.
+inline fault::FaultConfig random_no_drop_plan(std::uint64_t seed) {
+  Rng rng(seed ^ 0xfa017ULL);
+  fault::FaultConfig plan;
+  plan.seed = rng.next_u64();
+  plan.duplicate_rate = rng.uniform(0.0, 0.2);
+  plan.delay_rate = rng.uniform(0.05, 0.35);
+  plan.delay_deliveries = 1 + static_cast<int>(rng.uniform_int(4));
+  plan.stall_rate = rng.uniform(0.0, 0.1);
+  plan.stall_microseconds = 20;
+  return plan;
+}
+
+// ---- filesystem ------------------------------------------------------------
+
+/// RAII temporary directory: created unique under $TMPDIR (or /tmp) via
+/// mkdtemp, removed recursively — contents included — on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "ap3_test") {
+    std::string pattern =
+        (std::filesystem::temp_directory_path() / (prefix + ".XXXXXX"))
+            .string();
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    if (::mkdtemp(buffer.data()) == nullptr)
+      throw std::runtime_error("TempDir: mkdtemp failed for " + pattern);
+    path_ = buffer.data();
+  }
+  ~TempDir() {
+    std::error_code ec;  // best effort; never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// Path of `name` inside the directory (the file itself is not created).
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+// ---- field comparison ------------------------------------------------------
+
+/// Units-in-the-last-place distance between two doubles. 0 iff bit-identical
+/// up to +0/-0; max() for NaNs or infinities of opposite sign.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;  // also +0 vs -0
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::uint64_t>::max();
+  // Map the IEEE-754 bit patterns onto a monotonically ordered unsigned line.
+  const auto ordered = [](double x) {
+    const auto u = std::bit_cast<std::uint64_t>(x);
+    constexpr std::uint64_t kSign = 0x8000000000000000ULL;
+    return (u & kSign) ? kSign - (u & ~kSign) : u + kSign;
+  };
+  const std::uint64_t ua = ordered(a), ub = ordered(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+/// Element-wise ULP comparison of two fields; `max_ulp` = 0 demands
+/// bit-exactness. Reports the first few offending indices with values.
+inline void expect_fields_equal(std::span<const double> actual,
+                                std::span<const double> expected,
+                                std::uint64_t max_ulp = 0,
+                                const std::string& label = "field") {
+  ASSERT_EQ(actual.size(), expected.size()) << label << ": size mismatch";
+  int reported = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const std::uint64_t ulp = ulp_distance(actual[i], expected[i]);
+    if (ulp <= max_ulp) continue;
+    ADD_FAILURE() << label << "[" << i << "]: " << actual[i]
+                  << " != " << expected[i] << " (" << ulp << " ulp > "
+                  << max_ulp << ")";
+    if (++reported >= 5) {
+      ADD_FAILURE() << label << ": further mismatches suppressed";
+      return;
+    }
+  }
+}
+
+// ---- id decompositions -----------------------------------------------------
+
+/// Contiguous block of `n` global ids owned by `rank` out of `nranks`
+/// (remainder cells go to the low ranks), as used for source decompositions.
+inline std::vector<std::int64_t> block_ids(std::int64_t n, int rank,
+                                           int nranks) {
+  const std::int64_t base = n / nranks, extra = n % nranks;
+  const std::int64_t lo =
+      rank * base + std::min<std::int64_t>(rank, extra);
+  const std::int64_t count = base + (rank < extra ? 1 : 0);
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) ids[static_cast<std::size_t>(i)] = lo + i;
+  return ids;
+}
+
+/// Round-robin (cyclic) ownership: global id g lives on rank g % nranks.
+inline std::vector<std::int64_t> cyclic_ids(std::int64_t n, int rank,
+                                            int nranks) {
+  std::vector<std::int64_t> ids;
+  for (std::int64_t g = rank; g < n; g += nranks) ids.push_back(g);
+  return ids;
+}
+
+}  // namespace ap3::testing

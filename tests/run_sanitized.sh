@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Sanitizer matrix for the concurrency-heavy tests.
+#
+# Builds the repository once per sanitizer (-DAP3_SANITIZE=thread / address,
+# see the top-level CMakeLists) into build-tsan/ and build-asan/ next to the
+# source tree, then runs the race-prone test set under ctest. The transport
+# (ranks are threads sharing mailboxes) and the fault-injection layer are the
+# reason this exists: TSan must stay clean on test_par/test_fault or the
+# "transparent recovery" story is a data race wearing a trench coat.
+#
+# Usage:
+#   tests/run_sanitized.sh                  # thread + address, default set
+#   tests/run_sanitized.sh 'test_fault'     # ctest -R filter override
+#   SANITIZERS=thread tests/run_sanitized.sh
+#   JOBS=4 tests/run_sanitized.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SANITIZERS="${SANITIZERS:-thread address}"
+# Default set: everything that exercises the threaded transport, the fault
+# machinery, checkpoint collectives, and the obs layer's cross-thread buffers.
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs}"
+JOBS="${JOBS:-$(nproc)}"
+
+for sanitizer in ${SANITIZERS}; do
+  case "${sanitizer}" in
+    thread)  build_dir="${ROOT}/build-tsan" ;;
+    address) build_dir="${ROOT}/build-asan" ;;
+    *) echo "error: unknown sanitizer '${sanitizer}'" >&2; exit 2 ;;
+  esac
+
+  echo "==> [${sanitizer}] configuring ${build_dir}"
+  cmake -B "${build_dir}" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DAP3_SANITIZE="${sanitizer}" > /dev/null
+
+  echo "==> [${sanitizer}] building"
+  cmake --build "${build_dir}" -j "${JOBS}" -- --quiet
+
+  echo "==> [${sanitizer}] ctest -R '${FILTER}'"
+  # halt_on_error makes sanitizer findings hard test failures; second-guess
+  # nothing. TSan slows the transport ~10x, so give timeouts headroom.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  ctest --test-dir "${build_dir}" -R "${FILTER}" \
+        --output-on-failure --timeout 900
+  echo "==> [${sanitizer}] clean"
+done
+
+echo "sanitizer matrix passed: ${SANITIZERS} over '${FILTER}'"

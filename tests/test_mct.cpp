@@ -11,6 +11,7 @@
 #include "base/rng.hpp"
 
 #include "base/constants.hpp"
+#include "harness.hpp"
 #include "mct/attrvect.hpp"
 #include "mct/gsmap.hpp"
 #include "mct/rearranger.hpp"
@@ -22,6 +23,10 @@ namespace {
 
 using namespace ap3;
 using namespace ap3::mct;
+using ap3::testing::block_ids;
+using ap3::testing::cyclic_ids;
+using ap3::testing::run_ranks;
+using ap3::testing::TempDir;
 
 // --- AttrVect ------------------------------------------------------------
 
@@ -60,7 +65,7 @@ TEST(AttrVect, SubsetKeepsValues) {
 // --- GlobalSegMap -------------------------------------------------------------
 
 TEST(GsMap, BuildFromContiguousBlocks) {
-  par::run(4, [](par::Comm& comm) {
+  run_ranks(4, [](par::Comm& comm) {
     // Rank r owns [100r, 100r+100).
     std::vector<std::int64_t> mine(100);
     std::iota(mine.begin(), mine.end(), 100 * comm.rank());
@@ -74,7 +79,7 @@ TEST(GsMap, BuildFromContiguousBlocks) {
 }
 
 TEST(GsMap, StridedOwnershipCompressesToManySegments) {
-  par::run(2, [](par::Comm& comm) {
+  run_ranks(2, [](par::Comm& comm) {
     // Interleaved by blocks of 10.
     std::vector<std::int64_t> mine;
     for (std::int64_t block = comm.rank(); block < 10; block += 2)
@@ -106,11 +111,11 @@ TEST(GsMap, SerializeDeserializeRoundTrip) {
 
 TEST(GsMap, SaveLoadRoundTrip) {
   const GlobalSegMap map = GlobalSegMap::from_all({{0, 1}, {2, 3}});
-  const std::string path = "/tmp/ap3_test_gsmap.bin";
+  const TempDir tmp;
+  const std::string path = tmp.file("gsmap.bin");
   map.save(path);
   const GlobalSegMap loaded = GlobalSegMap::load(path);
   EXPECT_TRUE(map == loaded);
-  std::remove(path.c_str());
 }
 
 // --- Router ---------------------------------------------------------------------
@@ -158,26 +163,26 @@ TEST(Router, OfflinePrecomputeMatchesOnlineBuild) {
   // §5.2.4: routers generated offline must match the online construction.
   const GlobalSegMap src = GlobalSegMap::from_all({{0, 1, 2, 3}, {4, 5, 6, 7}});
   const GlobalSegMap dst = GlobalSegMap::from_all({{0, 2, 4, 6}, {1, 3, 5, 7}});
+  const TempDir tmp;
   for (int rank = 0; rank < 2; ++rank) {
     const Router online = Router::build(rank, src, dst);
-    const std::string path = "/tmp/ap3_test_router_" + std::to_string(rank);
+    const std::string path = tmp.file("router_" + std::to_string(rank));
     online.save(path);
     const Router offline = Router::load(path);
     EXPECT_TRUE(online == offline);
-    std::remove(path.c_str());
   }
 }
 
 // --- Rearranger -------------------------------------------------------------------
 
 void run_rearrange_test(RearrangeMethod method) {
-  par::run(4, [method](par::Comm& comm) {
+  run_ranks(4, [method](par::Comm& comm) {
     const std::int64_t n = 64;
     // Source: contiguous blocks; destination: round-robin by 4.
     std::vector<std::vector<std::int64_t>> src_ids(4), dst_ids(4);
-    for (std::int64_t g = 0; g < n; ++g) {
-      src_ids[static_cast<size_t>(g / 16)].push_back(g);
-      dst_ids[static_cast<size_t>(g % 4)].push_back(g);
+    for (int r = 0; r < 4; ++r) {
+      src_ids[static_cast<size_t>(r)] = block_ids(n, r, 4);
+      dst_ids[static_cast<size_t>(r)] = cyclic_ids(n, r, 4);
     }
     const GlobalSegMap src_map = GlobalSegMap::from_all(src_ids);
     const GlobalSegMap dst_map = GlobalSegMap::from_all(dst_ids);
@@ -210,7 +215,7 @@ TEST(Rearranger, PointToPointMovesEveryPoint) {
 }
 
 TEST(Rearranger, StrategiesBitwiseIdentical) {
-  par::run(3, [](par::Comm& comm) {
+  run_ranks(3, [](par::Comm& comm) {
     const std::int64_t n = 30;
     std::vector<std::vector<std::int64_t>> src_ids(3), dst_ids(3);
     for (std::int64_t g = 0; g < n; ++g) {
@@ -236,7 +241,7 @@ TEST(Rearranger, StrategiesBitwiseIdentical) {
 }
 
 TEST(Rearranger, FieldMismatchThrows) {
-  par::run(1, [](par::Comm& comm) {
+  run_ranks(1, [](par::Comm& comm) {
     const GlobalSegMap map = GlobalSegMap::from_all({{0, 1}});
     Rearranger rearranger(comm, Router::build(0, map, map));
     AttrVect src({"a"}, 2);
@@ -285,7 +290,7 @@ TEST(SparseMatrix, ConstantFieldPreserved) {
 }
 
 TEST(RegridOp, DistributedMatchesSerial) {
-  par::run(4, [](par::Comm& comm) {
+  run_ranks(4, [](par::Comm& comm) {
     // Source grid: 40 points on a circle; dest: 24 points offset.
     std::vector<GeoPoint> src_pts, dst_pts;
     for (int i = 0; i < 40; ++i)
@@ -295,10 +300,10 @@ TEST(RegridOp, DistributedMatchesSerial) {
     const SparseMatrix matrix = SparseMatrix::inverse_distance(dst_pts, src_pts, 3);
 
     std::vector<std::vector<std::int64_t>> src_ids(4), dst_ids(4);
-    for (std::int64_t g = 0; g < 40; ++g)
-      src_ids[static_cast<size_t>(g / 10)].push_back(g);
-    for (std::int64_t g = 0; g < 24; ++g)
-      dst_ids[static_cast<size_t>(g % 4)].push_back(g);
+    for (int r = 0; r < 4; ++r) {
+      src_ids[static_cast<size_t>(r)] = block_ids(40, r, 4);
+      dst_ids[static_cast<size_t>(r)] = cyclic_ids(24, r, 4);
+    }
     const GlobalSegMap src_map = GlobalSegMap::from_all(src_ids);
     const GlobalSegMap dst_map = GlobalSegMap::from_all(dst_ids);
 

@@ -6,16 +6,18 @@
 #include <numeric>
 #include <vector>
 
+#include "harness.hpp"
 #include "par/comm.hpp"
 
 namespace {
 
 using namespace ap3;
+using ap3::testing::run_ranks;
 using par::Comm;
 using par::ReduceOp;
 
 TEST(Par, SendRecvRoundTrip) {
-  par::run(2, [](Comm& comm) {
+  run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       const std::vector<double> data = {1.0, 2.0, 3.0};
       comm.send(std::span<const double>(data), 1, 42);
@@ -29,7 +31,7 @@ TEST(Par, SendRecvRoundTrip) {
 }
 
 TEST(Par, MessagesFromSameSourceArriveInOrder) {
-  par::run(2, [](Comm& comm) {
+  run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       for (int i = 0; i < 50; ++i) comm.send_value(i, 1, 7);
     } else {
@@ -40,7 +42,7 @@ TEST(Par, MessagesFromSameSourceArriveInOrder) {
 }
 
 TEST(Par, TagSelectsMessage) {
-  par::run(2, [](Comm& comm) {
+  run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       comm.send_value(1.0, 1, 10);
       comm.send_value(2.0, 1, 20);
@@ -53,7 +55,7 @@ TEST(Par, TagSelectsMessage) {
 }
 
 TEST(Par, WildcardSourceReceivesFromAnyRank) {
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     if (comm.rank() != 0) {
       comm.send_value(comm.rank(), 0, 5);
     } else {
@@ -65,7 +67,7 @@ TEST(Par, WildcardSourceReceivesFromAnyRank) {
 }
 
 TEST(Par, TypeMismatchThrows) {
-  par::run(2, [](Comm& comm) {
+  run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       comm.send_value(1.5, 1, 3);
       // Also absorb the exception side: rank 1 will throw; nothing to do.
@@ -76,7 +78,7 @@ TEST(Par, TypeMismatchThrows) {
 }
 
 TEST(Par, IsendIrecvWaitAll) {
-  par::run(2, [](Comm& comm) {
+  run_ranks(2, [](Comm& comm) {
     std::vector<double> recv_buffer(4);
     const std::vector<double> send_buffer = {10, 20, 30, 40};
     std::vector<par::Request> requests;
@@ -94,7 +96,7 @@ TEST(Par, BarrierSynchronizes) {
   // full count.
   static std::atomic<int> counter;
   counter = 0;
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     counter.fetch_add(1);
     comm.barrier();
     EXPECT_EQ(counter.load(), 4);
@@ -102,7 +104,7 @@ TEST(Par, BarrierSynchronizes) {
 }
 
 TEST(Par, BcastDistributesRootData) {
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     std::vector<int> data(3);
     if (comm.rank() == 2) data = {7, 8, 9};
     comm.bcast(std::span<int>(data), 2);
@@ -112,7 +114,7 @@ TEST(Par, BcastDistributesRootData) {
 }
 
 TEST(Par, GatherCollectsInRankOrder) {
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     const int mine = comm.rank() * 10;
     const auto all = comm.gather(std::span<const int>(&mine, 1), 0);
     if (comm.rank() == 0) {
@@ -125,7 +127,7 @@ TEST(Par, GatherCollectsInRankOrder) {
 }
 
 TEST(Par, AllgatherEveryoneSeesAll) {
-  par::run(3, [](Comm& comm) {
+  run_ranks(3, [](Comm& comm) {
     const double mine = comm.rank() + 0.5;
     const auto all = comm.allgather(std::span<const double>(&mine, 1));
     ASSERT_EQ(all.size(), 3u);
@@ -135,7 +137,7 @@ TEST(Par, AllgatherEveryoneSeesAll) {
 }
 
 TEST(Par, AllgathervVariableSizes) {
-  par::run(3, [](Comm& comm) {
+  run_ranks(3, [](Comm& comm) {
     std::vector<int> mine(static_cast<size_t>(comm.rank()), comm.rank());
     std::vector<size_t> counts;
     const auto all = comm.allgatherv(std::span<const int>(mine), &counts);
@@ -150,7 +152,7 @@ TEST(Par, AllgathervVariableSizes) {
 }
 
 TEST(Par, AllreduceSumMinMax) {
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     const double v = comm.rank() + 1.0;  // 1..4
     EXPECT_DOUBLE_EQ(comm.allreduce_value(v, ReduceOp::kSum), 10.0);
     EXPECT_DOUBLE_EQ(comm.allreduce_value(v, ReduceOp::kMin), 1.0);
@@ -159,7 +161,7 @@ TEST(Par, AllreduceSumMinMax) {
 }
 
 TEST(Par, AlltoallTransposesBlocks) {
-  par::run(3, [](Comm& comm) {
+  run_ranks(3, [](Comm& comm) {
     // Rank r sends value 100*r + c to rank c.
     std::vector<int> send(3);
     for (int c = 0; c < 3; ++c) send[static_cast<size_t>(c)] = 100 * comm.rank() + c;
@@ -171,7 +173,7 @@ TEST(Par, AlltoallTransposesBlocks) {
 }
 
 TEST(Par, AlltoallvVariableBlocks) {
-  par::run(3, [](Comm& comm) {
+  run_ranks(3, [](Comm& comm) {
     // Rank r sends r+1 copies of its rank to every peer.
     std::vector<int> send;
     std::vector<size_t> send_counts(3, static_cast<size_t>(comm.rank() + 1));
@@ -194,7 +196,7 @@ TEST(Par, AlltoallvVariableBlocks) {
 TEST(Par, SplitFormsTaskDomains) {
   // 6 ranks -> atmosphere domain (4 ranks) + ocean domain (2 ranks), the
   // AP3ESM task-level decomposition of §5.1.2.
-  par::run(6, [](Comm& comm) {
+  run_ranks(6, [](Comm& comm) {
     const int color = comm.rank() < 4 ? 0 : 1;
     Comm domain = comm.split(color, comm.rank());
     if (color == 0) {
@@ -211,7 +213,7 @@ TEST(Par, SplitFormsTaskDomains) {
 }
 
 TEST(Par, SplitKeyReordersRanks) {
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     // Reverse order by key.
     Comm flipped = comm.split(0, -comm.rank());
     EXPECT_EQ(flipped.rank(), comm.size() - 1 - comm.rank());
@@ -219,7 +221,7 @@ TEST(Par, SplitKeyReordersRanks) {
 }
 
 TEST(Par, MessagesInDifferentCommsDoNotMix) {
-  par::run(4, [](Comm& comm) {
+  run_ranks(4, [](Comm& comm) {
     Comm sub = comm.split(comm.rank() % 2, comm.rank());
     // Global rank 0 <-> 2 are sub ranks 0 <-> 1 of color 0; likewise 1 <-> 3.
     if (sub.rank() == 0) {
@@ -232,7 +234,7 @@ TEST(Par, MessagesInDifferentCommsDoNotMix) {
 }
 
 TEST(Par, TrafficAccountingCounts) {
-  par::run(2, [](Comm& comm) {
+  run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       const std::vector<double> data(100, 1.0);
       comm.send(std::span<const double>(data), 1, 1);
@@ -248,14 +250,14 @@ TEST(Par, TrafficAccountingCounts) {
 }
 
 TEST(Par, ExceptionInRankPropagates) {
-  EXPECT_THROW(par::run(1, [](Comm&) { throw ap3::Error("boom"); }),
+  EXPECT_THROW(run_ranks(1, [](Comm&) { throw ap3::Error("boom"); }),
                ap3::Error);
 }
 
 TEST(Par, ManyRanksStress) {
   // Ring pass-through with 16 ranks exercises the mailbox matching under
   // contention.
-  par::run(16, [](Comm& comm) {
+  run_ranks(16, [](Comm& comm) {
     const int next = (comm.rank() + 1) % comm.size();
     const int prev = (comm.rank() + comm.size() - 1) % comm.size();
     comm.send_value(comm.rank(), next, 0);
