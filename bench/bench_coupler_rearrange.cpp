@@ -22,7 +22,7 @@ using namespace ap3;
 using namespace ap3::mct;
 
 double time_rearrange(int nranks, std::int64_t npoints, int nfields,
-                      RearrangeMethod method, int repeats) {
+                      Strategy method, int repeats) {
   static double seconds;
   seconds = 0.0;
   par::run(nranks, [&](par::Comm& comm) {
@@ -73,9 +73,9 @@ int main() {
   for (int nranks : {4, 8, 16}) {
     const std::int64_t npoints = 20000;
     const double t_a2a = time_rearrange(nranks, npoints, 8,
-                                        RearrangeMethod::kAlltoallv, 10);
+                                        Strategy::kAlltoallv, 10);
     const double t_p2p = time_rearrange(nranks, npoints, 8,
-                                        RearrangeMethod::kPointToPoint, 10);
+                                        Strategy::kSplitPhase, 10);
     std::printf("    %5d  %8lld    %12.1f   %8.1f   %5.2f\n", nranks,
                 static_cast<long long>(npoints), t_a2a * 1e6, t_p2p * 1e6,
                 t_a2a / t_p2p);

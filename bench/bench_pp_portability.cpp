@@ -75,7 +75,7 @@ void BM_ParallelForSerial(benchmark::State& state) {
   std::vector<double> out(kN);
   const auto& in = input();
   for (auto _ : state) {
-    pp::parallel_for(pp::RangePolicy(1, kN - 1, pp::ExecSpace::kSerial),
+    pp::parallel_for(pp::RangePolicy(1, kN - 1).on(pp::ExecSpace::kSerial),
                      [&](std::size_t i) {
                        out[i] = in[i] + 0.1 * (in[i - 1] - 2 * in[i] + in[i + 1]);
                      });
@@ -88,7 +88,7 @@ void BM_ParallelForThreads(benchmark::State& state) {
   std::vector<double> out(kN);
   const auto& in = input();
   for (auto _ : state) {
-    pp::parallel_for(pp::RangePolicy(1, kN - 1, pp::ExecSpace::kHostThreads),
+    pp::parallel_for(pp::RangePolicy(1, kN - 1).on(pp::ExecSpace::kHostThreads),
                      [&](std::size_t i) {
                        out[i] = in[i] + 0.1 * (in[i - 1] - 2 * in[i] + in[i + 1]);
                      });
@@ -136,8 +136,9 @@ int main(int argc, char** argv) {
                                            {64, 16}, {256, 4}};
   const pp::TileShape best = profiler.sweep(
       "transpose_mdrange", candidates, [&](pp::TileShape shape) {
-        pp::MDRangePolicy2 policy{n0, n1, shape.tile0, shape.tile1,
-                                  pp::ExecSpace::kHostThreads};
+        pp::MDRangePolicy2 policy =
+            pp::MDRangePolicy2{n0, n1, shape.tile0, shape.tile1}.on(
+                pp::ExecSpace::kHostThreads);
         pp::parallel_for(policy,
                          [&](std::size_t i, std::size_t j) { b(j, i) = a(i, j); });
       });

@@ -1,7 +1,7 @@
 // Quickstart: build the fully coupled AP3ESM at toy resolution, run coupling
 // windows, and print global diagnostics.
 //
-//   ./quickstart [nranks] [--windows N] [--trace out.json]
+//   ./quickstart [nranks] [--windows N] [--overlap] [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
 //
 // Demonstrates the public API end to end: configuration, the coupled driver
@@ -27,7 +27,8 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: quickstart [nranks] [--windows N] [--trace out.json]\n"
+    "usage: quickstart [nranks] [--windows N] [--overlap]\n"
+    "                  [--trace out.json]\n"
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
     "                  [--restore DIR]\n";
 
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir = "ap3_checkpoint";
   std::string restore_dir;
   std::string trace_path;
+  bool overlap = false;
   for (int a = 1; a < argc; ++a) {
     auto option_value = [&](const char* flag) -> const char* {
       if (a + 1 >= argc) {
@@ -51,6 +53,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[a], "--trace") == 0) {
       trace_path = option_value("--trace");
+    } else if (std::strcmp(argv[a], "--overlap") == 0) {
+      overlap = true;
     } else if (std::strcmp(argv[a], "--windows") == 0) {
       windows = std::atoi(option_value("--windows"));
       if (windows <= 0) {
@@ -83,6 +87,7 @@ int main(int argc, char** argv) {
   config.atm.nlev = 10;
   config.ocn.grid = grid::TripolarConfig{48, 36, 10};   // toy tripolar grid
   config.layout = cpl::Layout::kSequential;
+  config.overlap = overlap;  // bit-exact either way; see CoupledConfig::overlap
 
   std::printf("AP3ESM quickstart: %d ranks, atm %zu cells x %d levels, "
               "ocn %dx%dx%d\n",

@@ -1,37 +1,11 @@
 #include "base/timer.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <sstream>
 
 #include "base/error.hpp"
 
 namespace ap3 {
-
-void TimerRegistry::start(const std::string& name) {
-  Entry& entry = entries_[name];
-  AP3_REQUIRE_MSG(!entry.running, "timer '" << name << "' already running");
-  entry.stats.name = name;
-  entry.started = std::chrono::steady_clock::now();
-  entry.running = true;
-}
-
-void TimerRegistry::stop(const std::string& name) {
-  auto it = entries_.find(name);
-  AP3_REQUIRE_MSG(it != entries_.end() && it->second.running,
-                  "timer '" << name << "' stopped without start");
-  Entry& entry = it->second;
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    entry.started)
-          .count();
-  entry.running = false;
-  entry.stats.calls += 1;
-  entry.stats.total_seconds += secs;
-  entry.stats.max_seconds = std::max(entry.stats.max_seconds, secs);
-  entry.stats.min_seconds =
-      entry.stats.calls == 1 ? secs : std::min(entry.stats.min_seconds, secs);
-}
 
 void TimerRegistry::absorb(const TimerStats& stats) {
   Entry& entry = entries_[stats.name];

@@ -1,19 +1,19 @@
 // GPTL-style hierarchical wall-clock timers (§6.2 of the paper: wall-clock
 // measurements come from GPTL timers in Coupler 7, max across ranks).
 //
-// COMPATIBILITY SHIM: instrumentation has moved to the unified observability
-// layer (src/obs — RAII obs::Span / AP3_SPAN, counters, Chrome-trace export).
-// This registry remains because cpl::summarize_timing consumes TimerStats;
-// it is fed from span aggregates via obs::fill_registry -> absorb(). The raw
-// string-paired start()/stop() pair is DEPRECATED — do not add new call
-// sites; use AP3_SPAN("component:phase:subphase") instead.
+// Instrumentation itself lives in the unified observability layer (src/obs —
+// RAII obs::Span / AP3_SPAN, counters, Chrome-trace export). This registry
+// remains as the aggregation sink cpl::summarize_timing consumes: it is fed
+// from span aggregates via obs::fill_registry -> absorb(). The old
+// string-paired start()/stop() recording protocol (and its ScopedTimer) was
+// deprecated in favor of AP3_SPAN and has been removed.
 //
-// Timers nest: start("cpl")/start("cpl:run")/stop/stop builds a call tree.
-// Each simulated rank owns a TimerRegistry; the coupler's getTiming analog
-// reduces the per-rank maxima, mirroring the paper's measurement mechanism.
+// Timer names nest through ':' separators ("cpl:run:atm"), which drives the
+// report() indentation. Each simulated rank owns a TimerRegistry; the
+// coupler's getTiming analog reduces the per-rank maxima, mirroring the
+// paper's measurement mechanism.
 #pragma once
 
-#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,14 +33,8 @@ struct TimerStats {
 /// (thread) owns its own registry, matching per-rank GPTL instances.
 class TimerRegistry {
  public:
-  /// DEPRECATED: error-prone string-paired protocol kept only for the shim
-  /// and its tests; new code records obs::Span and feeds via absorb().
-  void start(const std::string& name);
-  /// DEPRECATED: see start().
-  void stop(const std::string& name);
-
   /// Merge externally aggregated stats into this registry (the span-fed
-  /// compatibility path; see obs::fill_registry).
+  /// path; see obs::fill_registry).
   void absorb(const TimerStats& stats);
 
   /// Seconds accumulated in `name`; 0 if never started.
@@ -61,28 +55,8 @@ class TimerRegistry {
  private:
   struct Entry {
     TimerStats stats;
-    std::chrono::steady_clock::time_point started;
-    bool running = false;
   };
   std::map<std::string, Entry> entries_;
-};
-
-/// RAII scope timer. DEPRECATED for instrumentation: prefer AP3_SPAN, which
-/// records into the observability layer (and reaches this registry through
-/// obs::fill_registry); kept for the shim's own tests.
-class ScopedTimer {
- public:
-  ScopedTimer(TimerRegistry& registry, std::string name)
-      : registry_(registry), name_(std::move(name)) {
-    registry_.start(name_);
-  }
-  ~ScopedTimer() { registry_.stop(name_); }
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-
- private:
-  TimerRegistry& registry_;
-  std::string name_;
 };
 
 /// Reduce per-rank timer totals the way getTiming does: the maximum across

@@ -186,18 +186,11 @@ void CoupledModel::ocn_phase() {
       for (double& v : a2x_accum_.field(f)) v *= inv;
   }
 
-  // Regrid forcing fields to the ocean decomposition (collective-by-plan).
   const std::size_t nocn = ocn_ ? ocn_->ocean_gids().size() : 0;
-  mct::AttrVect forcing_on_ocn(kOcnForcingFields, nocn);
-  for (const std::string& field : kOcnForcingFields) {
-    const std::vector<double> mapped = a2o_->apply(a2x_accum_.field(field));
-    AP3_REQUIRE(mapped.size() == nocn);
-    std::copy(mapped.begin(), mapped.end(),
-              forcing_on_ocn.field(field).begin());
-  }
-
-  // Ice fraction to the ocean decomposition.
   const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
+
+  // Ice fraction export (pure local) — computed up front so the i2o exchange
+  // can be posted before the forcing regrids when overlapping.
   mct::AttrVect ifrac_ice({"ifrac"}, nice);
   if (ice_) {
     mct::AttrVect i2x(ice::IceModel::export_fields(), nice);
@@ -206,12 +199,45 @@ void CoupledModel::ocn_phase() {
               ifrac_ice.field("ifrac").begin());
   }
   mct::AttrVect ifrac_ocn({"ifrac"}, nocn);
-  i2o_->rearrange(ifrac_ice, ifrac_ocn);
+
+  // Regrid forcing fields to the ocean decomposition (collective-by-plan).
+  mct::AttrVect forcing_on_ocn(kOcnForcingFields, nocn);
+  auto regrid_forcing = [&] {
+    for (const std::string& field : kOcnForcingFields) {
+      const std::vector<double> mapped = a2o_->apply(a2x_accum_.field(field));
+      AP3_REQUIRE(mapped.size() == nocn);
+      std::copy(mapped.begin(), mapped.end(),
+                forcing_on_ocn.field(field).begin());
+    }
+  };
+
+  // Pre-run ocean export feeding the flux computation (pure local).
+  mct::AttrVect o2x_pre(ocn::OcnModel::export_fields(), nocn);
+
+  if (config_.overlap) {
+    // Post the ice-fraction exchange, then fill its wire window with the
+    // forcing regrids (rank thread) and the ocean export (async). The
+    // rearranged data is bitwise independent of this reordering: rearrange
+    // and halo traffic use disjoint tags, so every (comm,src,dst,tag)
+    // sequence stream keeps its internal order and fault decisions replay.
+    obs::counter_add("overlap:ocn_phase", 1.0);
+    mct::Rearranger::Pending ifrac_exchange =
+        i2o_->rearrange_begin(ifrac_ice, ifrac_ocn);
+    pp::Event export_done;
+    if (ocn_)
+      export_done = stream_.enqueue("overlap:ocn_export",
+                                    [&] { ocn_->export_state(o2x_pre); });
+    regrid_forcing();
+    i2o_->rearrange_end(ifrac_exchange);
+    export_done.wait();
+  } else {
+    regrid_forcing();
+    i2o_->rearrange(ifrac_ice, ifrac_ocn);
+    if (ocn_) ocn_->export_state(o2x_pre);
+  }
 
   // Bulk fluxes on the ocean side, then import.
   if (ocn_) {
-    mct::AttrVect o2x(ocn::OcnModel::export_fields(), nocn);
-    ocn_->export_state(o2x);
     mct::AttrVect x2o(ocn::OcnModel::import_fields(), nocn);
     FluxInputs in;
     in.taux = forcing_on_ocn.field("taux");
@@ -221,7 +247,7 @@ void CoupledModel::ocn_phase() {
     in.gsw = forcing_on_ocn.field("gsw");
     in.glw = forcing_on_ocn.field("glw");
     in.precip = forcing_on_ocn.field("precip");
-    in.sst = o2x.field("sst");
+    in.sst = o2x_pre.field("sst");
     in.ifrac = ifrac_ocn.field("ifrac");
     FluxOutputs out{x2o.field("qnet"), x2o.field("fresh"), x2o.field("taux"),
                     x2o.field("tauy")};
@@ -242,13 +268,22 @@ void CoupledModel::ocn_phase() {
   // --- 3. ocean exports back to atmosphere and ice --------------------------------
   mct::AttrVect o2x(ocn::OcnModel::export_fields(), nocn);
   if (ocn_) ocn_->export_state(o2x);
-  const std::vector<double> sst_atm = o2a_->apply(o2x.field("sst"));
+  mct::AttrVect o2x_for_ice(ocn::OcnModel::export_fields(), nice);
+  std::vector<double> sst_atm;
+  if (config_.overlap) {
+    // The sst regrid to the atmosphere runs inside the o2i wire window.
+    mct::Rearranger::Pending ice_exchange =
+        o2i_->rearrange_begin(o2x, o2x_for_ice);
+    sst_atm = o2a_->apply(o2x.field("sst"));
+    o2i_->rearrange_end(ice_exchange);
+  } else {
+    sst_atm = o2a_->apply(o2x.field("sst"));
+    o2i_->rearrange(o2x, o2x_for_ice);
+  }
   if (atm_) {
     AP3_REQUIRE(sst_atm.size() == sst_on_atm_.size());
     sst_on_atm_ = sst_atm;
   }
-  mct::AttrVect o2x_for_ice(ocn::OcnModel::export_fields(), nice);
-  o2i_->rearrange(o2x, o2x_for_ice);
   if (ice_) {
     sst_on_ice_.assign(o2x_for_ice.field("sst").begin(),
                        o2x_for_ice.field("sst").end());
@@ -262,20 +297,40 @@ void CoupledModel::ocn_phase() {
 void CoupledModel::atm_ice_phase() {
   const std::size_t natm = atm_ ? atm_->dycore().mesh().num_owned() : 0;
   mct::AttrVect a2x(atm::AtmModel::export_fields(), natm);
+  pp::Event accum_done;
   if (atm_) {
     AP3_SPAN("run:atm_ice_phase:atm_run");
     atm_->run(clock_.now(), window_seconds_);
     atm_->export_state(a2x);
-    for (std::size_t f = 0; f < a2x.num_fields(); ++f) {
-      auto acc = a2x_accum_.field(f);
-      const auto cur = a2x.field(f);
-      for (std::size_t p = 0; p < acc.size(); ++p) acc[p] += cur[p];
+    if (config_.overlap) {
+      // Accumulate into a2x_accum_ inside the a2i regrid window. Every
+      // flattened element is written exactly once, so concurrent execution
+      // is order-insensitive and the sums are bitwise identical.
+      obs::counter_add("overlap:atm_ice_phase", 1.0);
+      accum_done = pp::parallel_for_async(
+          stream_,
+          pp::RangePolicy(0, a2x.num_fields() * natm)
+              .named("overlap:a2x_accum"),
+          [this, &a2x, natm](std::size_t i) {
+            const std::size_t f = i / natm;
+            const std::size_t p = i % natm;
+            a2x_accum_.field(f)[p] += a2x.field(f)[p];
+          });
+    } else {
+      for (std::size_t f = 0; f < a2x.num_fields(); ++f) {
+        auto acc = a2x_accum_.field(f);
+        const auto cur = a2x.field(f);
+        for (std::size_t p = 0; p < acc.size(); ++p) acc[p] += cur[p];
+      }
     }
     ++accum_count_;
   }
 
-  // Ice: air temperature regridded from the fresh atmosphere export.
+  // Ice: air temperature regridded from the fresh atmosphere export (the
+  // async accumulation, when overlapping, runs inside this regrid's wire
+  // time; it only touches a2x_accum_, which the regrid does not read).
   const std::vector<double> tbot_ice = a2i_->apply(a2x.field("tbot"));
+  accum_done.wait();
   const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
   mct::AttrVect i2x(ice::IceModel::export_fields(), nice);
   if (ice_) {
@@ -290,12 +345,24 @@ void CoupledModel::atm_ice_phase() {
     ice_->export_state(i2x);
   }
 
-  // Atmosphere surface imports: cached SST + fresh ice fraction.
+  // Atmosphere surface imports: cached SST + fresh ice fraction. When
+  // overlapping, the cached-SST copy runs inside the i2a regrid window.
+  mct::AttrVect x2a(atm::AtmModel::import_fields(), natm);
+  pp::Event sst_copy_done;
+  if (config_.overlap && atm_) {
+    auto sst_dst = x2a.field("sst");
+    sst_copy_done = pp::parallel_for_async(
+        stream_, pp::RangePolicy(0, natm).named("overlap:x2a_sst"),
+        [this, sst_dst](std::size_t p) { sst_dst[p] = sst_on_atm_[p]; });
+  }
   const std::vector<double> ifrac_atm = i2a_->apply(i2x.field("ifrac"));
   if (atm_) {
-    mct::AttrVect x2a(atm::AtmModel::import_fields(), natm);
-    std::copy(sst_on_atm_.begin(), sst_on_atm_.end(),
-              x2a.field("sst").begin());
+    if (config_.overlap) {
+      sst_copy_done.wait();
+    } else {
+      std::copy(sst_on_atm_.begin(), sst_on_atm_.end(),
+                x2a.field("sst").begin());
+    }
     std::copy(ifrac_atm.begin(), ifrac_atm.end(), x2a.field("ifrac").begin());
     atm_->import_state(x2a);
   }

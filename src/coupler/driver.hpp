@@ -34,6 +34,7 @@
 #include "mct/rearranger.hpp"
 #include "mct/sparsematrix.hpp"
 #include "ocn/model.hpp"
+#include "pp/stream.hpp"
 
 namespace ap3::cpl {
 
@@ -47,6 +48,11 @@ struct CoupledConfig {
   int ocn_couple_ratio = 5;  ///< ocean couples every N atm windows (180:36)
   int regrid_neighbors = 3;
   double ice_dt_seconds = 0.0;  ///< 0: one ice step per window
+  /// Pipeline the phase loop: post each rearrange split-phase, run the
+  /// independent local work (async launches on the driver's stream) inside
+  /// the wire window, then complete the exchange. Bit-exact with overlap off
+  /// (state_hash() identical), including under fault-plan retransmission.
+  bool overlap = false;
 };
 
 class CoupledModel {
@@ -149,6 +155,7 @@ class CoupledModel {
   std::vector<double> sst_on_ice_, us_on_ice_, vs_on_ice_;  // ice decomposition
 
   Clock clock_;
+  pp::Stream stream_;     ///< async launch queue for the --overlap pipeline
   Rng rng_{0xA93E5Cull};  ///< driver stream; part of the checkpoint
   TimerRegistry timers_;  ///< compatibility shim, fed from obs spans
   std::size_t obs_first_event_ = 0;  ///< span-buffer mark at end of init

@@ -50,6 +50,7 @@ Decision decide(const FaultConfig& config, const FaultPoint& point) {
       config.drop_rate + config.duplicate_rate + config.delay_rate <= 1.0 + 1e-12,
       "fault rates sum to more than 1");
   Decision out;
+  if (point.tag < config.tag_min || point.tag > config.tag_max) return out;
   const double u = unit_uniform(point_hash(config.seed, point, /*salt=*/1));
   if (u < config.drop_rate) {
     out.action = Action::kDrop;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -53,6 +54,14 @@ struct FaultConfig {
   /// (exponential backoff) up to `max_timeout_microseconds`.
   int retry_timeout_microseconds = 500;
   int max_timeout_microseconds = 20000;
+  /// Optional tag window for targeted injection: messages whose tag falls
+  /// outside [tag_min, tag_max] pass through unperturbed (no drop, duplicate,
+  /// delay, or stall draw). The default window covers every tag — collectives
+  /// use negative tags, so narrowing to non-negative values targets
+  /// point-to-point traffic classes (e.g. the coupler's rearrange tags) while
+  /// the rest of the transport runs clean.
+  int tag_min = std::numeric_limits<int>::min();
+  int tag_max = std::numeric_limits<int>::max();
 
   bool any_faults() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||

@@ -41,17 +41,65 @@ void Rearranger::unpack_from_peer(AttrVect& dst,
 }
 
 void Rearranger::rearrange(const AttrVect& src, AttrVect& dst,
-                           RearrangeMethod method) const {
-  check_fields(src, dst);
-  if (method == RearrangeMethod::kAlltoallv) {
-    rearrange_alltoallv(src, dst);
-  } else {
-    rearrange_p2p(src, dst);
+                           Strategy strategy) const {
+  if (strategy == Strategy::kAlltoallv) {
+    do_alltoallv(src, dst);
+    return;
   }
+  Pending pending = rearrange_begin(src, dst);
+  rearrange_end(pending);
 }
 
-void Rearranger::rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
+Rearranger::Pending Rearranger::rearrange_begin(const AttrVect& src,
+                                                AttrVect& dst) const {
+  AP3_SPAN("mct:rearrange:begin");
+  check_fields(src, dst);
+  Pending pending;
+  pending.dst_ = &dst;
+  // Sends: pack per peer and post non-blocking (the transport is eager, so
+  // the payload is on the wire when isend returns; the buffers stay owned by
+  // the Pending so a lazier transport would also be correct).
+  pending.send_payloads_.reserve(router_.send_plan().size());
+  for (const auto& [peer, plan] : router_.send_plan()) {
+    pending.send_payloads_.push_back(pack_for_peer(src, plan));
+    pending.sends_.push_back(comm_.isend(
+        std::span<const double>(pending.send_payloads_.back()), peer,
+        kTagRearrange));
+  }
+  // Receives: post one per peer into a stable landing buffer. The Request
+  // defers the (sequenced, fault-recovering) take until rearrange_end — the
+  // time in between is the overlappable wire window.
+  pending.recv_payloads_.reserve(router_.recv_plan().size());
+  for (const auto& [peer, plan] : router_.recv_plan()) {
+    pending.recv_payloads_.emplace_back(plan.size() * dst.num_fields());
+    pending.recvs_.push_back(comm_.irecv(
+        std::span<double>(pending.recv_payloads_.back()), peer,
+        kTagRearrange));
+  }
+  return pending;
+}
+
+void Rearranger::rearrange_end(Pending& pending) const {
+  AP3_SPAN("mct:rearrange:end");
+  AP3_REQUIRE_MSG(pending.active(),
+                  "rearrange_end: no exchange in flight (Pending already "
+                  "consumed or default-constructed)");
+  AttrVect& dst = *pending.dst_;
+  // Drain receives in recv-plan order (deterministic: std::map by peer); the
+  // unpack order therefore never depends on arrival order.
+  std::size_t r = 0;
+  for (const auto& [peer, plan] : router_.recv_plan()) {
+    pending.recvs_[r].wait();
+    unpack_from_peer(dst, plan, pending.recv_payloads_[r]);
+    ++r;
+  }
+  par::wait_all(pending.sends_);
+  pending = Pending{};
+}
+
+void Rearranger::do_alltoallv(const AttrVect& src, AttrVect& dst) const {
   AP3_SPAN("mct:rearrange:alltoallv");
+  check_fields(src, dst);
   // The original strategy: every rank participates in one big collective
   // even if it exchanges data with only a handful of peers.
   std::vector<double> send_data;
@@ -79,31 +127,6 @@ void Rearranger::rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
                      {recv_data.data() + offset, n});
     offset += n;
   }
-}
-
-void Rearranger::rearrange_p2p(const AttrVect& src, AttrVect& dst) const {
-  AP3_SPAN("mct:rearrange:p2p");
-  // Optimized strategy: only actual peers communicate; sends are posted
-  // non-blocking up front and unpacking overlaps with draining receives.
-  // Under fault injection the transport's sequenced take/timeout/backoff
-  // recovers dropped or reordered payloads transparently, so the rearranged
-  // result is identical to a fault-free run (tests/test_properties.cpp).
-  std::vector<std::vector<double>> payloads;
-  std::vector<par::Request> sends;
-  payloads.reserve(router_.send_plan().size());
-  for (const auto& [peer, plan] : router_.send_plan()) {
-    payloads.push_back(pack_for_peer(src, plan));
-    sends.push_back(comm_.isend(std::span<const double>(payloads.back()), peer,
-                                kTagRearrange));
-  }
-  for (const auto& [peer, plan] : router_.recv_plan()) {
-    std::vector<double> payload(plan.size() * dst.num_fields());
-    const std::size_t n =
-        comm_.recv(std::span<double>(payload), peer, kTagRearrange);
-    AP3_REQUIRE(n == payload.size());
-    unpack_from_peer(dst, plan, payload);
-  }
-  par::wait_all(sends);
 }
 
 }  // namespace ap3::mct

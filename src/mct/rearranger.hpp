@@ -3,10 +3,19 @@
 // §5.2.4: "Rearrangement in the coupler generalizes the matrix transpose.
 // The original all-to-all MPI was inefficient; we implemented non-blocking
 // point-to-point MPI, which overlaps communication and computation."
-// Both strategies are implemented so the coupler benchmark can compare them:
-//  - kAlltoallv: one collective carrying all peers' payloads (the original),
-//  - kPointToPoint: per-peer non-blocking sends with receives interleaved
-//    into unpacking (the optimized path). Results are bitwise identical.
+//
+// The primitive is the split-phase pair: rearrange_begin posts all per-peer
+// non-blocking sends and receives and returns a Pending handle; everything a
+// rank does between begin and rearrange_end executes inside the wire window
+// — this is the overlap hook the coupler's --overlap pipeline builds on.
+// The strategies offered by the one-call rearrange() entry point are
+//  - Strategy::kSplitPhase (default): begin + end back to back — the
+//    optimized point-to-point exchange of the paper,
+//  - Strategy::kAlltoallv: one collective carrying all peers' payloads (the
+//    original, kept for comparison benchmarks).
+// Results are bitwise identical across strategies, and — because the
+// transport's sequenced take/timeout/retransmission recovers faults
+// independent of arrival order — identical under fault injection too.
 #pragma once
 
 #include "mct/attrvect.hpp"
@@ -15,23 +24,66 @@
 
 namespace ap3::mct {
 
-enum class RearrangeMethod { kAlltoallv, kPointToPoint };
+/// How rearrange() moves the payloads. The split-phase pair is the primitive;
+/// kAlltoallv exists for benchmarks reproducing the paper's comparison.
+enum class Strategy { kAlltoallv, kSplitPhase };
 
 class Rearranger {
  public:
   Rearranger(const par::Comm& comm, Router router)
       : comm_(comm), router_(std::move(router)) {}
 
+  /// In-flight split-phase exchange returned by rearrange_begin. Owns the
+  /// packed send payloads and the landing buffers the posted receives write
+  /// into; consumed (exactly once) by rearrange_end. Movable, not copyable.
+  class Pending {
+   public:
+    Pending() = default;
+    Pending(Pending&&) = default;
+    Pending& operator=(Pending&&) = default;
+    Pending(const Pending&) = delete;
+    Pending& operator=(const Pending&) = delete;
+
+    /// True between rearrange_begin and rearrange_end.
+    bool active() const { return dst_ != nullptr; }
+
+   private:
+    friend class Rearranger;
+    AttrVect* dst_ = nullptr;
+    std::vector<std::vector<double>> send_payloads_;
+    std::vector<par::Request> sends_;
+    std::vector<std::vector<double>> recv_payloads_;  ///< recv_plan order
+    std::vector<par::Request> recvs_;                 ///< recv_plan order
+  };
+
   /// Moves every field of `src` into `dst` (field sets must match; point
-  /// counts must match the router's plans).
+  /// counts must match the router's plans). One call, both phases.
   void rearrange(const AttrVect& src, AttrVect& dst,
-                 RearrangeMethod method = RearrangeMethod::kPointToPoint) const;
+                 Strategy strategy = Strategy::kSplitPhase) const;
+
+  /// Posts the exchange: packs per-peer payloads, starts non-blocking sends
+  /// and receives, and returns without waiting. `src` may be reused or
+  /// overwritten immediately (payloads are packed into the Pending); `dst`
+  /// must stay alive and untouched until rearrange_end.
+  Pending rearrange_begin(const AttrVect& src, AttrVect& dst) const;
+
+  /// Completes a posted exchange: drains the receives (in deterministic
+  /// recv-plan order), unpacks into the destination, and retires the sends.
+  void rearrange_end(Pending& pending) const;
+
+  [[deprecated("use rearrange(src, dst, Strategy::kAlltoallv)")]]
+  void rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
+    rearrange(src, dst, Strategy::kAlltoallv);
+  }
+  [[deprecated("use rearrange(src, dst) or rearrange_begin/rearrange_end")]]
+  void rearrange_p2p(const AttrVect& src, AttrVect& dst) const {
+    rearrange(src, dst, Strategy::kSplitPhase);
+  }
 
   const Router& router() const { return router_; }
 
  private:
-  void rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const;
-  void rearrange_p2p(const AttrVect& src, AttrVect& dst) const;
+  void do_alltoallv(const AttrVect& src, AttrVect& dst) const;
   std::vector<double> pack_for_peer(const AttrVect& src,
                                     const std::vector<std::int64_t>& plan) const;
   void unpack_from_peer(AttrVect& dst, const std::vector<std::int64_t>& plan,

@@ -59,6 +59,22 @@ void RankBuffer::span_exit(std::uint32_t name_id, double start_seconds,
   events_.push_back({name_id, depth_, start_seconds, end_seconds});
 }
 
+void RankBuffer::record_span(std::string_view name, std::uint32_t depth,
+                             double start_seconds, double end_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t name_id = intern_locked(name);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name_id, depth, start_seconds, end_seconds});
+}
+
+std::uint32_t RankBuffer::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
 void RankBuffer::counter_add(std::string_view name, double delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -163,7 +179,15 @@ BufferRegistry& registry() {
 
 }  // namespace
 
+namespace {
+// Active BufferScope adoption for this thread (nullptr: use the thread's own
+// buffer). Plain thread_local pointer — the adopted buffer is kept alive by
+// the process registry, and the adopting scope is strictly nested.
+thread_local RankBuffer* t_adopted_buffer = nullptr;
+}  // namespace
+
 RankBuffer& local() {
+  if (t_adopted_buffer != nullptr) return *t_adopted_buffer;
   thread_local std::shared_ptr<RankBuffer> buffer = [] {
     auto b = std::make_shared<RankBuffer>();
     BufferRegistry& r = registry();
@@ -173,6 +197,12 @@ RankBuffer& local() {
   }();
   return *buffer;
 }
+
+BufferScope::BufferScope(RankBuffer& buffer) : previous_(t_adopted_buffer) {
+  t_adopted_buffer = &buffer;
+}
+
+BufferScope::~BufferScope() { t_adopted_buffer = previous_; }
 
 std::vector<std::shared_ptr<RankBuffer>> buffers() {
   BufferRegistry& r = registry();

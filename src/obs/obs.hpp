@@ -90,6 +90,13 @@ class RankBuffer {
   std::uint32_t span_enter(std::string_view name);
   void span_exit(std::uint32_t name_id, double start_seconds,
                  double end_seconds);
+  /// Records one completed span at an explicit nesting depth without touching
+  /// the live depth counter. Used by async launches, which capture the
+  /// enqueue-site depth and complete on a worker thread later.
+  void record_span(std::string_view name, std::uint32_t depth,
+                   double start_seconds, double end_seconds);
+  /// Current live nesting depth (open spans on the owning thread).
+  std::uint32_t depth() const;
   void counter_add(std::string_view name, double delta);
   void gauge_max(std::string_view name, double value);
 
@@ -121,8 +128,28 @@ class RankBuffer {
   std::map<std::string, CounterValue, std::less<>> counters_;
 };
 
-/// This thread's buffer (created and registered on first use).
+/// This thread's buffer (created and registered on first use) — unless a
+/// BufferScope is active, in which case the adopted buffer is returned.
 RankBuffer& local();
+
+/// Adopts another thread's RankBuffer for the current scope: while alive,
+/// local() (and therefore Span / counter_add) on this thread records into the
+/// adopted buffer instead of the thread's own. This is how async launches
+/// executed on pool workers attribute their spans and counters to the
+/// simulated rank that enqueued them. RankBuffer operations are internally
+/// locked, so concurrent recording from the owner and an adopter is safe
+/// (events land in completion order either way). Scopes nest; each restores
+/// the previous adoption on destruction.
+class BufferScope {
+ public:
+  explicit BufferScope(RankBuffer& buffer);
+  ~BufferScope();
+  BufferScope(const BufferScope&) = delete;
+  BufferScope& operator=(const BufferScope&) = delete;
+
+ private:
+  RankBuffer* previous_ = nullptr;
+};
 
 /// Shared snapshot of every buffer ever registered, in registration order.
 std::vector<std::shared_ptr<RankBuffer>> buffers();

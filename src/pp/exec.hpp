@@ -14,18 +14,24 @@
 //
 // Every launch funnels through detail::dispatch, which emits one obs span
 // plus per-ExecSpace launch/items counters (see src/obs); policies carry an
-// optional .named() label that becomes the span name.
+// optional .named() label that becomes the span name. Policies are built
+// fluently — RangePolicy(0, n).on(space).chunked(c).named("ocn:adv") — and
+// the async entry points in pp/stream.hpp reuse the same policy types and the
+// same chunk partitioning, which is what makes async results bitwise
+// identical to synchronous ones.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/error.hpp"
 #include "obs/obs.hpp"
 #include "pp/pool.hpp"
+#include "sunway/arch.hpp"
 
 namespace ap3::pp {
 
@@ -40,18 +46,18 @@ inline const char* to_string(ExecSpace space) {
   return "?";
 }
 
-/// 1-D iteration range [begin, end) with a fluent builder:
+/// 1-D iteration range [begin, end). Execution space, chunk size, and label
+/// are set exclusively through the fluent builders:
 ///   parallel_for(RangePolicy(0, n).on(space).chunked(c).named("ocn:adv"), f)
 struct RangePolicy {
   std::size_t begin = 0;
   std::size_t end = 0;
   ExecSpace space = ExecSpace::kSerial;
-  std::size_t chunk = 0;            ///< 0: pick automatically
-  const char* label = nullptr;      ///< span name for this launch (optional)
+  std::size_t chunk = 0;     ///< 0: pick automatically
+  std::string_view label{};  ///< span name for this launch (optional)
 
-  RangePolicy(std::size_t begin_, std::size_t end_,
-              ExecSpace space_ = ExecSpace::kSerial, std::size_t chunk_ = 0)
-      : begin(begin_), end(end_), space(space_), chunk(chunk_) {
+  RangePolicy(std::size_t begin_, std::size_t end_)
+      : begin(begin_), end(end_) {
     AP3_REQUIRE(end_ >= begin_);
   }
 
@@ -63,8 +69,9 @@ struct RangePolicy {
     chunk = chunk_;
     return *this;
   }
-  /// `label_` must outlive the launch (string literals / owned buffers).
-  RangePolicy& named(const char* label_) {
+  /// The viewed characters must outlive the launch (string literals / owned
+  /// buffers); async launches copy the label at enqueue time.
+  RangePolicy& named(std::string_view label_) {
     label = label_;
     return *this;
   }
@@ -75,13 +82,13 @@ struct MDRangePolicy2 {
   std::size_t n0 = 0, n1 = 0;
   std::size_t tile0 = 0, tile1 = 0;  ///< 0: pick automatically
   ExecSpace space = ExecSpace::kSerial;
-  const char* label = nullptr;       ///< span name for this launch (optional)
+  std::string_view label{};          ///< span name for this launch (optional)
 
   MDRangePolicy2& on(ExecSpace space_) {
     space = space_;
     return *this;
   }
-  MDRangePolicy2& named(const char* label_) {
+  MDRangePolicy2& named(std::string_view label_) {
     label = label_;
     return *this;
   }
@@ -112,21 +119,102 @@ inline const char* items_counter(ExecSpace space) {
   return "pp:items:?";
 }
 
+/// Launch/items accounting shared by the sync gate below and the async tasks
+/// in pp/stream.hpp. On kSunwayCPE the simulated cost model additionally
+/// charges cycles: the 8x8 CPE mesh of one core group retires one item per
+/// CPE per cycle, so a launch of `items` costs ceil(items / 64) cycles
+/// ("pp:cpe:sim_cycles" — the knob src/perf calibrates against).
+inline void charge_launch(ExecSpace space, std::size_t items) {
+  obs::counter_add(launch_counter(space), 1.0);
+  obs::counter_add(items_counter(space), static_cast<double>(items));
+  if (space == ExecSpace::kSunwayCPE) {
+    const auto cpes = static_cast<std::size_t>(sunway::kCpesPerCoreGroup);
+    const std::size_t cycles = (items + cpes - 1) / cpes;
+    obs::counter_add("pp:cpe:sim_cycles", static_cast<double>(cycles));
+  }
+}
+
 /// The single instrumented dispatch gate: every parallel_for /
 /// parallel_reduce / parallel_scan launch — 1-D or tiled, any ExecSpace —
 /// funnels through here and emits exactly one span plus one launch/items
 /// counter pair. When the layer is disabled this is one relaxed atomic load.
 template <typename Body>
-inline void dispatch(const char* kind, const char* label, ExecSpace space,
+inline void dispatch(const char* kind, std::string_view label, ExecSpace space,
                      std::size_t items, const Body& body) {
   if (!obs::enabled()) {
     body();
     return;
   }
-  obs::Span span(label != nullptr && *label != '\0' ? label : kind);
-  obs::counter_add(launch_counter(space), 1.0);
-  obs::counter_add(items_counter(space), static_cast<double>(items));
+  obs::Span span(!label.empty() ? label : std::string_view(kind));
+  charge_launch(space, items);
   body();
+}
+
+/// Runs `body(c)` for chunks [0, nchunks), on the process pool when the
+/// calling thread is free, or chunk-serial inline when the caller is already
+/// inside pool work (an async stream task, or a nested launch from a chunk
+/// body). The partitioning is identical either way, so results — including
+/// reduce partials — are bitwise identical.
+template <typename ChunkBody>
+inline void run_gang(std::size_t nchunks, const ChunkBody& body) {
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.on_pool_thread()) {
+    for (std::size_t c = 0; c < nchunks; ++c) body(c);
+    return;
+  }
+  pool.run_chunks(nchunks, body);
+}
+
+/// Execution core of parallel_for, shared with the async launch path in
+/// pp/stream.hpp (which runs it on a pool thread, where run_gang inlines the
+/// identical chunk sequence).
+template <typename Functor>
+void run_for(const RangePolicy& policy, const Functor& fn) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) return;
+  if (policy.space == ExecSpace::kSerial) {
+    for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunk =
+      policy.chunk ? policy.chunk
+                   : auto_chunk(n, ThreadPool::global().size() + 1);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  run_gang(nchunks, [&](std::size_t c) {
+    const std::size_t lo = policy.begin + c * chunk;
+    const std::size_t hi = std::min(policy.end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Execution core of parallel_reduce: partials per chunk, combined in chunk
+/// order starting from `init`. The chunk geometry depends only on the policy
+/// and the (fixed) pool size, never on which thread executes — the bitwise
+/// determinism contract the async path relies on.
+template <typename Scalar, typename Functor>
+Scalar run_reduce(const RangePolicy& policy, const Functor& fn, Scalar init) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) return init;
+  if (policy.space == ExecSpace::kSerial) {
+    Scalar acc = init;
+    for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i, acc);
+    return acc;
+  }
+  const std::size_t chunk =
+      policy.chunk ? policy.chunk
+                   : auto_chunk(n, ThreadPool::global().size() + 1);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<Scalar> partials(nchunks, Scalar{});
+  run_gang(nchunks, [&](std::size_t c) {
+    const std::size_t lo = policy.begin + c * chunk;
+    const std::size_t hi = std::min(policy.end, lo + chunk);
+    Scalar acc{};
+    for (std::size_t i = lo; i < hi; ++i) fn(i, acc);
+    partials[c] = acc;
+  });
+  Scalar acc = init;
+  for (const Scalar& p : partials) acc += p;
+  return acc;
 }
 }  // namespace detail
 
@@ -134,22 +222,8 @@ inline void dispatch(const char* kind, const char* label, ExecSpace space,
 template <typename Functor>
 void parallel_for(const RangePolicy& policy, const Functor& fn) {
   const std::size_t n = policy.end - policy.begin;
-  detail::dispatch("pp:parallel_for", policy.label, policy.space, n, [&] {
-    if (n == 0) return;
-    if (policy.space == ExecSpace::kSerial) {
-      for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i);
-      return;
-    }
-    ThreadPool& pool = ThreadPool::global();
-    const std::size_t chunk =
-        policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
-    const std::size_t nchunks = (n + chunk - 1) / chunk;
-    pool.run_chunks(nchunks, [&](std::size_t c) {
-      const std::size_t lo = policy.begin + c * chunk;
-      const std::size_t hi = std::min(policy.end, lo + chunk);
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
-  });
+  detail::dispatch("pp:parallel_for", policy.label, policy.space, n,
+                   [&] { detail::run_for(policy, fn); });
 }
 
 /// parallel_reduce (sum-like): fn(i, acc) accumulates into acc; partials are
@@ -159,30 +233,8 @@ Scalar parallel_reduce(const RangePolicy& policy, const Functor& fn,
                        Scalar init = Scalar{}) {
   const std::size_t n = policy.end - policy.begin;
   Scalar result = init;
-  detail::dispatch("pp:parallel_reduce", policy.label, policy.space, n, [&] {
-    if (n == 0) return;
-    if (policy.space == ExecSpace::kSerial) {
-      Scalar acc = init;
-      for (std::size_t i = policy.begin; i < policy.end; ++i) fn(i, acc);
-      result = acc;
-      return;
-    }
-    ThreadPool& pool = ThreadPool::global();
-    const std::size_t chunk =
-        policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
-    const std::size_t nchunks = (n + chunk - 1) / chunk;
-    std::vector<Scalar> partials(nchunks, Scalar{});
-    pool.run_chunks(nchunks, [&](std::size_t c) {
-      const std::size_t lo = policy.begin + c * chunk;
-      const std::size_t hi = std::min(policy.end, lo + chunk);
-      Scalar acc{};
-      for (std::size_t i = lo; i < hi; ++i) fn(i, acc);
-      partials[c] = acc;
-    });
-    Scalar acc = init;
-    for (const Scalar& p : partials) acc += p;
-    result = acc;
-  });
+  detail::dispatch("pp:parallel_reduce", policy.label, policy.space, n,
+                   [&] { result = detail::run_reduce(policy, fn, init); });
   return result;
 }
 
@@ -210,7 +262,7 @@ Scalar parallel_scan(const RangePolicy& policy, const ValueFn& value_of,
         policy.chunk ? policy.chunk : detail::auto_chunk(n, pool.size() + 1);
     const std::size_t nchunks = (n + chunk - 1) / chunk;
     std::vector<Scalar> sums(nchunks, Scalar{});
-    pool.run_chunks(nchunks, [&](std::size_t c) {
+    detail::run_gang(nchunks, [&](std::size_t c) {
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(n, lo + chunk);
       Scalar acc{};
@@ -227,7 +279,7 @@ Scalar parallel_scan(const RangePolicy& policy, const ValueFn& value_of,
       offsets[c] = total;
       total += sums[c];
     }
-    pool.run_chunks(nchunks, [&](std::size_t c) {
+    detail::run_gang(nchunks, [&](std::size_t c) {
       if (offsets[c] == Scalar{}) return;
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(n, lo + chunk);
@@ -260,7 +312,7 @@ void parallel_for(const MDRangePolicy2& policy, const Functor& fn) {
     if (policy.space == ExecSpace::kSerial) {
       for (std::size_t tile = 0; tile < ntiles; ++tile) run_tile(tile);
     } else {
-      ThreadPool::global().run_chunks(ntiles, run_tile);
+      detail::run_gang(ntiles, run_tile);
     }
   });
 }

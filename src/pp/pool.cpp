@@ -1,8 +1,27 @@
 #include "pp/pool.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "base/error.hpp"
 
 namespace ap3::pp {
+
+namespace {
+// Which pool (if any) owns the calling thread. Set for the whole lifetime of
+// a worker thread and, scoped, for a caller participating in its own gang —
+// so nested dispatches can detect "I am already inside pool work" and inline.
+thread_local const ThreadPool* t_pool_affinity = nullptr;
+
+struct AffinityScope {
+  explicit AffinityScope(const ThreadPool* pool)
+      : previous(t_pool_affinity) {
+    t_pool_affinity = pool;
+  }
+  ~AffinityScope() { t_pool_affinity = previous; }
+  const ThreadPool* previous;
+};
+}  // namespace
 
 ThreadPool::ThreadPool(int nthreads) {
   workers_.reserve(static_cast<std::size_t>(nthreads));
@@ -19,14 +38,34 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+bool ThreadPool::on_pool_thread() const { return t_pool_affinity == this; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AP3_REQUIRE_MSG(!stop_, "ThreadPool::submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
 void ThreadPool::run_chunks(std::size_t nchunks,
                             const std::function<void(std::size_t)>& fn) {
+  AP3_REQUIRE_MSG(!on_pool_thread(),
+                  "ThreadPool::run_chunks re-entered from a pool thread; "
+                  "nested launches must check on_pool_thread() and inline");
   if (nchunks == 0) return;
+  // One gang at a time: rank threads (par::run peers share the process-wide
+  // pool) queue here instead of corrupting each other's chunk counters.
+  std::lock_guard<std::mutex> gang(gang_mutex_);
+  AffinityScope affinity(this);
+
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   next_chunk_ = 0;
   total_chunks_ = nchunks;
   done_chunks_ = 0;
+  gang_error_ = nullptr;
   ++generation_;
   cv_work_.notify_all();
 
@@ -36,36 +75,74 @@ void ThreadPool::run_chunks(std::size_t nchunks,
     if (next_chunk_ >= total_chunks_) break;
     const std::size_t mine = next_chunk_++;
     lock.unlock();
-    fn(mine);
+    std::exception_ptr err;
+    try {
+      fn(mine);
+    } catch (...) {
+      err = std::current_exception();
+    }
     lock.lock();
+    if (err) {
+      if (!gang_error_) gang_error_ = err;
+      // Abandon unclaimed chunks so the gang drains promptly; each abandoned
+      // chunk counts as done (claimed chunks report themselves).
+      done_chunks_ += total_chunks_ - next_chunk_;
+      next_chunk_ = total_chunks_;
+    }
     ++done_chunks_;
     if (done_chunks_ == total_chunks_) cv_done_.notify_all();
   }
   cv_done_.wait(lock, [&] { return done_chunks_ == total_chunks_; });
   job_ = nullptr;
+  std::exception_ptr err = std::exchange(gang_error_, nullptr);
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
+  t_pool_affinity = this;
   std::unique_lock<std::mutex> lock(mutex_);
   std::uint64_t seen_generation = 0;
   for (;;) {
     cv_work_.wait(lock, [&] {
-      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
-                       next_chunk_ < total_chunks_);
+      return (stop_ && tasks_.empty()) || !tasks_.empty() ||
+             (job_ != nullptr && generation_ != seen_generation &&
+              next_chunk_ < total_chunks_);
     });
-    if (stop_) return;
-    const auto* job = job_;
-    const std::uint64_t generation = generation_;
-    while (job_ == job && generation_ == generation &&
-           next_chunk_ < total_chunks_) {
-      const std::size_t mine = next_chunk_++;
-      lock.unlock();
-      (*job)(mine);
-      lock.lock();
-      ++done_chunks_;
-      if (done_chunks_ == total_chunks_) cv_done_.notify_all();
+    if (stop_ && tasks_.empty()) return;
+    if (job_ != nullptr && generation_ != seen_generation &&
+        next_chunk_ < total_chunks_) {
+      const auto* job = job_;
+      const std::uint64_t generation = generation_;
+      while (job_ == job && generation_ == generation &&
+             next_chunk_ < total_chunks_) {
+        const std::size_t mine = next_chunk_++;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+          (*job)(mine);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        lock.lock();
+        if (err) {
+          if (!gang_error_) gang_error_ = err;
+          done_chunks_ += total_chunks_ - next_chunk_;
+          next_chunk_ = total_chunks_;
+        }
+        ++done_chunks_;
+        if (done_chunks_ == total_chunks_) cv_done_.notify_all();
+      }
+      seen_generation = generation;
+      continue;
     }
-    seen_generation = generation;
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();  // stream tasks capture their own exceptions into the Event
+      lock.lock();
+    }
   }
 }
 

@@ -3,11 +3,18 @@
 // parallel_for/reduce dispatch chunked index ranges to these workers; the
 // pool is created once per process so repeated kernel launches (the model
 // takes millions of timesteps) do not pay thread-spawn costs.
+//
+// Besides gang-style chunk execution the pool also serves a FIFO queue of
+// detached tasks (`submit`), which is what pp::Stream builds its ordered
+// async launches on. Gangs take priority over queued tasks: a worker always
+// prefers claiming a chunk of the active gang to popping a task.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,9 +33,25 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(chunk_index) for chunk_index in [0, nchunks) across the pool and
-  /// blocks until all chunks finished. Re-entrant calls are not supported.
+  /// blocks until all chunks finished. Concurrent calls from different
+  /// threads are serialized; re-entry from a thread already executing pool
+  /// work (a worker, or a caller inside its own gang) is a hard error —
+  /// callers that may be on a pool thread must check on_pool_thread() first
+  /// and fall back to inline execution. If any chunk throws, the remaining
+  /// unclaimed chunks are abandoned and the first exception is rethrown here.
   void run_chunks(std::size_t nchunks,
                   const std::function<void(std::size_t)>& fn);
+
+  /// Enqueues a detached task on the FIFO queue. Tasks run on worker threads
+  /// whenever no gang chunk is claimable and must not throw (pp::Stream wraps
+  /// every stream task in its own exception capture). The destructor drains
+  /// the queue before joining workers.
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is currently owned by *this* pool: a worker
+  /// thread, or a caller thread inside its own run_chunks gang. Used by the
+  /// dispatch layer to inline nested launches instead of deadlocking.
+  bool on_pool_thread() const;
 
   /// Process-wide pool; sized from hardware_concurrency (at least 2 so the
   /// parallel pathway is genuinely exercised even on 1-CPU machines).
@@ -38,6 +61,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::mutex gang_mutex_;  ///< serializes whole run_chunks calls
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
@@ -46,6 +70,8 @@ class ThreadPool {
   std::size_t total_chunks_ = 0;
   std::size_t done_chunks_ = 0;
   std::uint64_t generation_ = 0;
+  std::exception_ptr gang_error_;
+  std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
 };
 

@@ -1,0 +1,97 @@
+#include "pp/stream.hpp"
+
+namespace ap3::pp {
+
+// --- Event -------------------------------------------------------------------
+
+bool Event::ready() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void Event::wait() const {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+// --- Stream ------------------------------------------------------------------
+
+Stream::Stream(ThreadPool& pool) : pool_(pool) {}
+
+Stream::~Stream() { sync(); }
+
+Event Stream::enqueue(std::string label, std::function<void()> body,
+                      std::vector<Event> deps) {
+  Task task;
+  task.label = std::move(label);
+  task.body = std::move(body);
+  task.deps = std::move(deps);
+  task.state = std::make_shared<detail::EventState>();
+  // Attribution: spans/counters of this task land on the enqueuing thread's
+  // buffer, one level below the spans open here right now.
+  task.home = &obs::local();
+  task.depth = obs::enabled() ? task.home->depth() + 1 : 0;
+  Event event(task.state);
+
+  bool schedule_pump = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    if (!draining_) {
+      draining_ = true;
+      schedule_pump = true;
+    }
+  }
+  if (schedule_pump) pool_.submit([this] { pump(); });
+  return event;
+}
+
+void Stream::sync() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !draining_; });
+}
+
+void Stream::pump() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (queue_.empty()) {
+      draining_ = false;
+      cv_idle_.notify_all();
+      return;
+    }
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    run_task(task);
+    lock.lock();
+  }
+}
+
+void Stream::run_task(Task& task) {
+  std::exception_ptr error;
+  try {
+    for (const Event& dep : task.deps) dep.wait();
+    obs::BufferScope adopt(*task.home);
+    if (obs::enabled()) {
+      const double start = obs::now_seconds();
+      task.body();
+      task.home->record_span(task.label, task.depth, start,
+                             obs::now_seconds());
+    } else {
+      task.body();
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(task.state->mutex);
+    task.state->error = error;
+    task.state->done = true;
+  }
+  task.state->cv.notify_all();
+}
+
+}  // namespace ap3::pp

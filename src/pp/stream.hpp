@@ -1,0 +1,166 @@
+// Asynchronous execution: streams and events over the process thread pool.
+//
+// A Stream is an ordered queue of tasks (CUDA-stream-like): launches enqueued
+// on the same stream run one at a time in FIFO order on pool worker threads,
+// while the enqueuing rank thread keeps going — typically into a
+// communication window it wants to overlap (see mct::Rearranger::
+// rearrange_begin/_end and the coupler's --overlap pipeline). Each launch
+// returns an Event that can be waited on, polled, or passed as a dependency
+// of a later launch on any stream.
+//
+// Determinism contract: parallel_for_async / parallel_reduce_async use the
+// exact chunk partitioning of their synchronous counterparts (pp/exec.hpp's
+// detail::run_for / run_reduce executed on a pool thread, where nested gangs
+// inline chunk-serial in chunk order). Reduce partials therefore combine in
+// the same order as a synchronous launch, and results are bitwise identical
+// across sync/async and across execution spaces.
+//
+// Observability: the enqueue site's RankBuffer and nesting depth are captured
+// with the task; the worker adopts that buffer (obs::BufferScope) while the
+// task runs, so spans and counters — including kSunwayCPE simulated-cycle
+// charges — attribute to the simulated rank that launched the work, not to
+// the anonymous worker thread.
+//
+// Caveat: a task's dependency wait occupies its worker. Dependency chains
+// across more streams than the pool has workers can therefore starve; keep
+// cross-stream graphs shallow (the coupled driver uses a single stream).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "pp/exec.hpp"
+#include "pp/pool.hpp"
+
+namespace ap3::pp {
+
+namespace detail {
+struct EventState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+}  // namespace detail
+
+/// Completion handle for one async launch. Default-constructed events are
+/// "null" and always ready — convenient as an empty dependency slot.
+class Event {
+ public:
+  Event() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the task finished (successfully or not). Non-blocking.
+  bool ready() const;
+  /// Blocks until the task finished; rethrows the task's exception, if any
+  /// (a failed dependency fails its dependents the same way).
+  void wait() const;
+
+ private:
+  friend class Stream;
+  explicit Event(std::shared_ptr<detail::EventState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// FIFO in-order task queue executed by pool workers.
+class Stream {
+ public:
+  explicit Stream(ThreadPool& pool = ThreadPool::global());
+  /// Quiesces the stream (sync) before destruction.
+  ~Stream();
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues an arbitrary task. `deps` are waited before `body` runs; the
+  /// label becomes the task's span name on the enqueuing rank's timeline.
+  Event enqueue(std::string label, std::function<void()> body,
+                std::vector<Event> deps = {});
+
+  /// Blocks until every task enqueued so far has finished. Does not rethrow
+  /// task exceptions (those surface through Event::wait).
+  void sync();
+
+ private:
+  struct Task {
+    std::string label;
+    std::function<void()> body;
+    std::vector<Event> deps;
+    std::shared_ptr<detail::EventState> state;
+    obs::RankBuffer* home = nullptr;  ///< enqueue-site buffer for attribution
+    std::uint32_t depth = 0;          ///< enqueue-site span nesting depth
+  };
+
+  void pump();
+  static void run_task(Task& task);
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_idle_;
+  std::deque<Task> queue_;
+  bool draining_ = false;  ///< a pump task is scheduled or running
+};
+
+/// Result handle of parallel_reduce_async: `get()` waits and returns the
+/// reduction value (bitwise identical to the synchronous launch).
+template <typename Scalar>
+struct AsyncResult {
+  Event event;
+  std::shared_ptr<Scalar> slot;
+  Scalar get() const {
+    event.wait();
+    return *slot;
+  }
+};
+
+/// Async parallel_for: enqueues the launch on `stream`, returns immediately.
+template <typename Functor>
+Event parallel_for_async(Stream& stream, const RangePolicy& policy, Functor fn,
+                         std::vector<Event> deps = {}) {
+  std::string label(policy.label.empty()
+                        ? std::string_view("pp:parallel_for_async")
+                        : policy.label);
+  RangePolicy p = policy;
+  p.label = {};  // the caller's view may dangle; the copied string is the name
+  return stream.enqueue(
+      std::move(label),
+      [p, fn = std::move(fn)] {
+        detail::charge_launch(p.space, p.end - p.begin);
+        detail::run_for(p, fn);
+      },
+      std::move(deps));
+}
+
+/// Async parallel_reduce: returns a waitable AsyncResult. Partials combine in
+/// chunk order from `init`, exactly as the synchronous entry point.
+template <typename Scalar, typename Functor>
+AsyncResult<Scalar> parallel_reduce_async(Stream& stream,
+                                          const RangePolicy& policy, Functor fn,
+                                          Scalar init = Scalar{},
+                                          std::vector<Event> deps = {}) {
+  std::string label(policy.label.empty()
+                        ? std::string_view("pp:parallel_reduce_async")
+                        : policy.label);
+  RangePolicy p = policy;
+  p.label = {};
+  auto slot = std::make_shared<Scalar>(init);
+  Event event = stream.enqueue(
+      std::move(label),
+      [p, fn = std::move(fn), init, slot] {
+        detail::charge_launch(p.space, p.end - p.begin);
+        *slot = detail::run_reduce(p, fn, init);
+      },
+      std::move(deps));
+  return {event, slot};
+}
+
+}  // namespace ap3::pp

@@ -58,7 +58,7 @@ void target_parallel_for(const std::string& region_name, std::size_t n,
   parallel_for(RangePolicy(0, n)
                    .on(ExecSpace::kHostThreads)
                    .chunked(schedule == Schedule::kStatic ? 0 : 1)
-                   .named(region_name.c_str()),
+                   .named(region_name),
                body);
 }
 
@@ -68,8 +68,8 @@ void target_parallel_for2(const std::string& region_name, std::size_t n0,
                           std::size_t n1, const Body& body) {
   detail::region_counter().fetch_add(1, std::memory_order_relaxed);
   detail::iteration_counter().fetch_add(n0 * n1, std::memory_order_relaxed);
-  MDRangePolicy2 policy{n0, n1, 0, 0, ExecSpace::kHostThreads};
-  parallel_for(policy.named(region_name.c_str()), body);
+  MDRangePolicy2 policy{n0, n1};
+  parallel_for(policy.on(ExecSpace::kHostThreads).named(region_name), body);
 }
 
 }  // namespace ap3::pp::swgomp

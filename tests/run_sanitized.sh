@@ -18,8 +18,9 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZERS="${SANITIZERS:-thread address}"
 # Default set: everything that exercises the threaded transport, the fault
-# machinery, checkpoint collectives, and the obs layer's cross-thread buffers.
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs}"
+# machinery, checkpoint collectives, the obs layer's cross-thread buffers, and
+# the stream/event async engine (pool tasks adopting rank buffers).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do

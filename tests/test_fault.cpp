@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <tuple>
 #include <vector>
@@ -81,6 +82,33 @@ TEST(FaultDecide, ZeroRatesNeverFault) {
     const fault::Decision d = fault::decide(config, {0, 0, 0, 1, seq});
     EXPECT_FALSE(d.faulted());
   }
+}
+
+TEST(FaultDecide, TagWindowTargetsOneTrafficClass) {
+  fault::FaultConfig config;
+  config.seed = 11;
+  config.drop_rate = 0.3;
+  config.delay_rate = 0.3;
+  config.stall_rate = 0.2;
+  config.tag_min = 9300;
+  config.tag_max = 9399;
+  int in_window_faults = 0;
+  for (std::uint64_t seq = 1; seq <= 500; ++seq) {
+    // Outside the window (halo-style and collective tags): never perturbed.
+    EXPECT_FALSE(fault::decide(config, {0, 9101, 0, 1, seq}).faulted());
+    EXPECT_FALSE(fault::decide(config, {0, -1000, 0, 1, seq}).faulted());
+    // Inside the window: decisions match the unwindowed config exactly.
+    fault::FaultConfig open = config;
+    open.tag_min = std::numeric_limits<int>::min();
+    open.tag_max = std::numeric_limits<int>::max();
+    const fault::FaultPoint point{0, 9300, 0, 1, seq};
+    const fault::Decision windowed = fault::decide(config, point);
+    const fault::Decision unwindowed = fault::decide(open, point);
+    EXPECT_EQ(windowed.action, unwindowed.action);
+    EXPECT_EQ(windowed.stall_microseconds, unwindowed.stall_microseconds);
+    if (windowed.faulted()) ++in_window_faults;
+  }
+  EXPECT_GT(in_window_faults, 0);
 }
 
 // ---- schedule determinism end to end ---------------------------------------

@@ -175,7 +175,7 @@ TEST(Router, OfflinePrecomputeMatchesOnlineBuild) {
 
 // --- Rearranger -------------------------------------------------------------------
 
-void run_rearrange_test(RearrangeMethod method) {
+void run_rearrange_test(Strategy method) {
   run_ranks(4, [method](par::Comm& comm) {
     const std::int64_t n = 64;
     // Source: contiguous blocks; destination: round-robin by 4.
@@ -207,11 +207,11 @@ void run_rearrange_test(RearrangeMethod method) {
 }
 
 TEST(Rearranger, AlltoallvMovesEveryPoint) {
-  run_rearrange_test(RearrangeMethod::kAlltoallv);
+  run_rearrange_test(Strategy::kAlltoallv);
 }
 
 TEST(Rearranger, PointToPointMovesEveryPoint) {
-  run_rearrange_test(RearrangeMethod::kPointToPoint);
+  run_rearrange_test(Strategy::kSplitPhase);
 }
 
 TEST(Rearranger, StrategiesBitwiseIdentical) {
@@ -233,8 +233,8 @@ TEST(Rearranger, StrategiesBitwiseIdentical) {
 
     AttrVect dst_a({"x"}, static_cast<size_t>(dst_map.local_size(comm.rank())));
     AttrVect dst_b({"x"}, static_cast<size_t>(dst_map.local_size(comm.rank())));
-    rearranger.rearrange(src, dst_a, RearrangeMethod::kAlltoallv);
-    rearranger.rearrange(src, dst_b, RearrangeMethod::kPointToPoint);
+    rearranger.rearrange(src, dst_a, Strategy::kAlltoallv);
+    rearranger.rearrange(src, dst_b, Strategy::kSplitPhase);
     for (size_t k = 0; k < dst_a.num_points(); ++k)
       EXPECT_EQ(dst_a.field("x")[k], dst_b.field("x")[k]);  // bitwise
   });

@@ -77,16 +77,16 @@ TEST(View, DeepCopyShapeMismatchThrows) {
 TEST(ParallelFor, SerialAndThreadedAgree) {
   const size_t n = 10007;
   std::vector<double> serial(n), threaded(n);
-  pp::parallel_for(RangePolicy(0, n, ExecSpace::kSerial),
+  pp::parallel_for(RangePolicy(0, n).on(ExecSpace::kSerial),
                    [&](size_t i) { serial[i] = std::sin(double(i)); });
-  pp::parallel_for(RangePolicy(0, n, ExecSpace::kHostThreads),
+  pp::parallel_for(RangePolicy(0, n).on(ExecSpace::kHostThreads),
                    [&](size_t i) { threaded[i] = std::sin(double(i)); });
   EXPECT_EQ(serial, threaded);
 }
 
 TEST(ParallelFor, EmptyRangeIsNoop) {
   int count = 0;
-  pp::parallel_for(RangePolicy(5, 5, ExecSpace::kHostThreads),
+  pp::parallel_for(RangePolicy(5, 5).on(ExecSpace::kHostThreads),
                    [&](size_t) { ++count; });
   EXPECT_EQ(count, 0);
 }
@@ -95,20 +95,20 @@ TEST(ParallelReduce, DeterministicAcrossSpaces) {
   const size_t n = 5001;
   auto body = [](size_t i, double& acc) { acc += 1.0 / (1.0 + double(i)); };
   const double serial = pp::parallel_reduce<double>(
-      RangePolicy(0, n, ExecSpace::kSerial), body);
+      RangePolicy(0, n).on(ExecSpace::kSerial), body);
   // Chunked partials must combine deterministically: two threaded runs with
   // identical chunking produce bitwise-identical results.
   const double t1 = pp::parallel_reduce<double>(
-      RangePolicy(0, n, ExecSpace::kHostThreads, 128), body);
+      RangePolicy(0, n).on(ExecSpace::kHostThreads).chunked(128), body);
   const double t2 = pp::parallel_reduce<double>(
-      RangePolicy(0, n, ExecSpace::kHostThreads, 128), body);
+      RangePolicy(0, n).on(ExecSpace::kHostThreads).chunked(128), body);
   EXPECT_EQ(t1, t2);
   EXPECT_NEAR(serial, t1, 1e-9);
 }
 
 TEST(ParallelReduce, InitValueIncluded) {
   const double out = pp::parallel_reduce<double>(
-      RangePolicy(0, 10, ExecSpace::kSerial),
+      RangePolicy(0, 10).on(ExecSpace::kSerial),
       [](size_t, double& acc) { acc += 1.0; }, 100.0);
   EXPECT_DOUBLE_EQ(out, 110.0);
 }
@@ -118,15 +118,15 @@ TEST(ParallelScan, MatchesSerialPrefixSum) {
   std::vector<long long> serial_out, par_out;
   auto value = [](size_t i) { return static_cast<long long>(i % 7); };
   const long long serial_total = pp::parallel_scan<long long>(
-      RangePolicy(0, n, ExecSpace::kSerial), value, serial_out);
+      RangePolicy(0, n).on(ExecSpace::kSerial), value, serial_out);
   const long long par_total = pp::parallel_scan<long long>(
-      RangePolicy(0, n, ExecSpace::kHostThreads, 100), value, par_out);
+      RangePolicy(0, n).on(ExecSpace::kHostThreads).chunked(100), value, par_out);
   EXPECT_EQ(serial_total, par_total);
   EXPECT_EQ(serial_out, par_out);
 }
 
 TEST(MDRange, CoversAllPairsOnce) {
-  pp::MDRangePolicy2 policy{37, 53, 8, 16, ExecSpace::kHostThreads};
+  pp::MDRangePolicy2 policy = pp::MDRangePolicy2{37, 53, 8, 16}.on(ExecSpace::kHostThreads);
   View<int, 2> hits("hits", 37, 53);
   std::mutex m;
   pp::parallel_for(policy, [&](size_t i, size_t j) {

@@ -358,7 +358,7 @@ TEST_P(FaultPlanProperty, RearrangeIdenticalUnderRandomFaultPlan) {
   const fault::FaultConfig plan =
       ap3::testing::random_no_drop_plan(static_cast<std::uint64_t>(GetParam()));
   for (const auto method :
-       {mct::RearrangeMethod::kAlltoallv, mct::RearrangeMethod::kPointToPoint}) {
+       {mct::Strategy::kAlltoallv, mct::Strategy::kSplitPhase}) {
     ap3::testing::run_ranks(4, plan, [method](par::Comm& comm) {
       const std::int64_t n = 64;
       std::vector<std::vector<std::int64_t>> src_ids(4), dst_ids(4);
