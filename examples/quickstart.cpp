@@ -3,13 +3,19 @@
 //
 //   ./quickstart [nranks] [--windows N] [--overlap] [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
+//               [--ai-backend=serial|threads|cpe] [--ai-precision=fp64|fp32|gs]
 //
 // Demonstrates the public API end to end: configuration, the coupled driver
 // with its CPL7-style clock, collective diagnostics, and checkpoint/restart.
 // With --checkpoint-every N a versioned snapshot is written to DIR (default
 // ./ap3_checkpoint) every N windows; --restore DIR resumes from a snapshot,
 // bit-identical to the uninterrupted run (the final state hash printed at
-// the end is the witness). With --trace, the observability layer's
+// the end is the witness). Passing --ai-backend and/or --ai-precision swaps
+// the conventional physics for a freshly trained AI suite routed through the
+// batched inference engine on the chosen execution space and precision policy
+// (any combination produces the same physics answer: backends are bit-exact
+// at a given policy, and group-scaled storage round-trips fp32 losslessly).
+// With --trace, the observability layer's
 // Chrome-trace export (one timeline row per simulated rank; open in
 // chrome://tracing or Perfetto) is written after the run, along with the
 // getTiming-style SYPD report derived from the same spans.
@@ -19,6 +25,8 @@
 #include <cstring>
 #include <string>
 
+#include "ai/engine.hpp"
+#include "atm/physics.hpp"
 #include "coupler/driver.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -30,7 +38,40 @@ constexpr const char* kUsage =
     "usage: quickstart [nranks] [--windows N] [--overlap]\n"
     "                  [--trace out.json]\n"
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
-    "                  [--restore DIR]\n";
+    "                  [--restore DIR]\n"
+    "                  [--ai-backend=serial|threads|cpe]\n"
+    "                  [--ai-precision=fp64|fp32|gs]\n";
+
+/// Accepts both `--flag value` and `--flag=value`; returns nullptr when argv[a]
+/// is not `flag` at all, otherwise the value (advancing `a` for the two-token
+/// form).
+const char* flag_value(int argc, char** argv, int& a, const char* flag) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(argv[a], flag, n) != 0) return nullptr;
+  if (argv[a][n] == '=') return argv[a] + n + 1;
+  if (argv[a][n] != '\0') return nullptr;  // e.g. --ai-backendish
+  if (a + 1 >= argc) {
+    std::fprintf(stderr, "error: %s requires a value\n%s", flag, kUsage);
+    std::exit(2);
+  }
+  return argv[++a];
+}
+
+bool parse_backend(const char* v, ap3::pp::ExecSpace& out) {
+  if (std::strcmp(v, "serial") == 0) out = ap3::pp::ExecSpace::kSerial;
+  else if (std::strcmp(v, "threads") == 0) out = ap3::pp::ExecSpace::kHostThreads;
+  else if (std::strcmp(v, "cpe") == 0) out = ap3::pp::ExecSpace::kSunwayCPE;
+  else return false;
+  return true;
+}
+
+bool parse_precision(const char* v, ap3::ai::PrecisionPolicy& out) {
+  if (std::strcmp(v, "fp64") == 0) out = ap3::ai::PrecisionPolicy::kFp64;
+  else if (std::strcmp(v, "fp32") == 0) out = ap3::ai::PrecisionPolicy::kFp32;
+  else if (std::strcmp(v, "gs") == 0) out = ap3::ai::PrecisionPolicy::kGroupScaled;
+  else return false;
+  return true;
+}
 
 }  // namespace
 
@@ -43,6 +84,8 @@ int main(int argc, char** argv) {
   std::string restore_dir;
   std::string trace_path;
   bool overlap = false;
+  bool use_ai = false;
+  ai::EngineConfig ai_engine;  // kSerial / fp32 unless flags say otherwise
   for (int a = 1; a < argc; ++a) {
     auto option_value = [&](const char* flag) -> const char* {
       if (a + 1 >= argc) {
@@ -51,7 +94,20 @@ int main(int argc, char** argv) {
       }
       return argv[++a];
     };
-    if (std::strcmp(argv[a], "--trace") == 0) {
+    if (const char* v = flag_value(argc, argv, a, "--ai-backend")) {
+      if (!parse_backend(v, ai_engine.space)) {
+        std::fprintf(stderr, "error: unknown --ai-backend '%s'\n%s", v, kUsage);
+        return 2;
+      }
+      use_ai = true;
+    } else if (const char* v = flag_value(argc, argv, a, "--ai-precision")) {
+      if (!parse_precision(v, ai_engine.precision)) {
+        std::fprintf(stderr, "error: unknown --ai-precision '%s'\n%s", v,
+                     kUsage);
+        return 2;
+      }
+      use_ai = true;
+    } else if (std::strcmp(argv[a], "--trace") == 0) {
       trace_path = option_value("--trace");
     } else if (std::strcmp(argv[a], "--overlap") == 0) {
       overlap = true;
@@ -95,9 +151,34 @@ int main(int argc, char** argv) {
               config.atm.nlev, config.ocn.grid.nx, config.ocn.grid.ny,
               config.ocn.grid.nz);
 
+  if (use_ai)
+    std::printf("AI physics: backend=%s precision=%s (batched inference "
+                "engine, micro-batch %zu)\n",
+                pp::to_string(ai_engine.space), ai::to_string(ai_engine.precision),
+                ai_engine.micro_batch);
+
   std::atomic<int> exit_code{0};
   par::run(nranks, [&](par::Comm& comm) {
     cpl::CoupledModel model(comm, config);
+    if (use_ai) {
+      // Each rank trains the same tiny suite deterministically (no RNG state
+      // is shared across rank threads), then routes it through the engine on
+      // the requested backend/precision.
+      atm::ConventionalPhysics conventional;
+      const atm::TrainingData data = atm::generate_training_data(
+          conventional, 16, 4, static_cast<std::size_t>(config.atm.nlev), 11,
+          config.atm.model_dt_seconds());
+      ai::SuiteConfig suite_config;
+      suite_config.levels = config.atm.nlev;
+      suite_config.cnn_hidden = 8;
+      suite_config.mlp_hidden = 16;
+      const atm::TrainedSuite trained =
+          atm::train_ai_physics(data, suite_config, 6, 3e-3f);
+      model.install_ai_physics(trained.suite, ai_engine);
+      if (comm.rank() == 0)
+        std::printf("  trained toy suite: tendency R2 %.3f, flux R2 %.3f\n",
+                    trained.tendency_r2, trained.flux_r2);
+    }
     const double window = model.atm_window_seconds();
     const int total_windows =
         windows > 0 ? windows : static_cast<int>(86400.0 / window) + 1;

@@ -1,0 +1,274 @@
+#include "ai/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "ai/suite.hpp"
+#include "obs/obs.hpp"
+#include "pp/stream.hpp"
+#include "tensor/dispatch.hpp"
+#include "tensor/layers.hpp"
+
+namespace ap3::ai {
+
+using tensor::Tensor;
+
+namespace {
+
+pp::RangePolicy pol(pp::ExecSpace space, std::size_t n,
+                    std::string_view label) {
+  pp::RangePolicy p(0, n);
+  p.on(space).named(label);
+  return p;
+}
+
+tensor::Accum accum_of(PrecisionPolicy policy) {
+  return policy == PrecisionPolicy::kFp64 ? tensor::Accum::kFloat64
+                                          : tensor::Accum::kFloat32;
+}
+
+const char* columns_counter(pp::ExecSpace space) {
+  switch (space) {
+    case pp::ExecSpace::kSerial: return "ai:engine:columns:Serial";
+    case pp::ExecSpace::kHostThreads: return "ai:engine:columns:HostThreads";
+    case pp::ExecSpace::kSunwayCPE: return "ai:engine:columns:SunwayCPE";
+  }
+  return "ai:engine:columns:?";
+}
+
+/// Round a tensor's payload through the group-scaled representation in
+/// place — bitwise a no-op for in-range data (see engine.hpp), but it keeps
+/// the storage model honest and is what the gs byte counters meter.
+void round_activations(Tensor& t, std::size_t group_size) {
+  const auto packed = precision::GroupScaledArray::compress_floats(
+      {t.data(), t.size()}, group_size);
+  packed.decompress_floats({t.data(), t.size()});
+  if (obs::enabled())
+    obs::counter_add("ai:engine:gs_activation_bytes",
+                     static_cast<double>(packed.bytes()));
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b))
+    return a == a && b == b ? 0 : ~std::uint64_t{0};
+  const auto key = [](float x) {
+    const auto u = std::bit_cast<std::uint32_t>(x);
+    return (u & 0x80000000u)
+               ? -static_cast<std::int64_t>(u & 0x7fffffffu)
+               : static_cast<std::int64_t>(u);
+  };
+  const std::int64_t d = key(a) - key(b);
+  return static_cast<std::uint64_t>(d < 0 ? -d : d);
+}
+
+struct InferenceEngine::Slot {
+  std::size_t lo = 0, rows = 0;
+  Tensor norm_cols;  ///< (rows, 5, levels), normalized
+  Tensor rad_in;     ///< (rows, 5*levels + 2), normalized
+  pp::Event cnn_done, mlp_done;
+};
+
+InferenceEngine::InferenceEngine(AiPhysicsSuite& suite, EngineConfig config)
+    : suite_(suite), config_(config) {}
+
+InferenceEngine::~InferenceEngine() = default;
+
+void InferenceEngine::set_config(const EngineConfig& config) {
+  config_ = config;
+  gs_params_.clear();
+  cnn_stream_.reset();
+  mlp_stream_.reset();
+}
+
+void InferenceEngine::refresh_gs_weights() {
+  gs_params_.clear();
+  std::vector<tensor::Param> params;
+  suite_.cnn().model().collect_params(params);
+  suite_.mlp().model().collect_params(params);
+  double gs_bytes = 0.0, fp32_bytes = 0.0;
+  for (const tensor::Param& p : params) {
+    auto packed = precision::GroupScaledArray::compress_floats(
+        {p.value->data(), p.value->size()}, config_.group_size);
+    // Inference reads the weights *through* the group-scaled image; the
+    // power-of-two round trip writes back the identical bits.
+    packed.decompress_floats({p.value->data(), p.value->size()});
+    gs_bytes += static_cast<double>(packed.bytes());
+    fp32_bytes += static_cast<double>(p.value->size() * sizeof(float));
+    gs_params_.push_back(std::move(packed));
+  }
+  stats_.gs_weight_bytes = gs_bytes;
+  stats_.fp32_weight_bytes = fp32_bytes;
+  if (obs::enabled())
+    obs::counter_add("ai:engine:gs_weight_bytes", gs_bytes);
+}
+
+void InferenceEngine::forward_slot(Slot& slot, const Tensor& /*columns*/,
+                                   std::span<const double> /*tskin*/,
+                                   std::span<const double> /*coszr*/,
+                                   SuiteOutput& out) {
+  const bool gs = config_.precision == PrecisionPolicy::kGroupScaled;
+  const std::size_t levels = slot.norm_cols.dim(2);
+  const tensor::Dispatch d{config_.space, 0, accum_of(config_.precision)};
+
+  auto cnn_body = [this, &slot, &out, d, gs, levels] {
+    AP3_SPAN("ai:engine:cnn");
+    tensor::DispatchScope scope(d);
+    Tensor t = suite_.cnn().forward(slot.norm_cols);
+    if (gs) round_activations(t, config_.group_size);
+    suite_.tendency_norm().invert(t);
+    const std::size_t base = slot.lo * 4 * levels;
+    const float* src = t.data();
+    float* dst = out.tendencies.data();
+    pp::parallel_for(pol(d.space, t.size(), "ai:engine:scatter_tend"),
+                     [=](std::size_t i) { dst[base + i] = src[i]; });
+  };
+  auto mlp_body = [this, &slot, &out, d, gs] {
+    AP3_SPAN("ai:engine:mlp");
+    tensor::DispatchScope scope(d);
+    Tensor f = suite_.mlp().forward(slot.rad_in);
+    if (gs) round_activations(f, config_.group_size);
+    suite_.flux_norm().invert(f);
+    const std::size_t base = slot.lo * 2;
+    const float* src = f.data();
+    float* dst = out.fluxes.data();
+    pp::parallel_for(pol(d.space, f.size(), "ai:engine:scatter_flux"),
+                     [=](std::size_t i) { dst[base + i] = src[i]; });
+  };
+
+  if (config_.overlap) {
+    if (!cnn_stream_) cnn_stream_ = std::make_unique<pp::Stream>();
+    if (!mlp_stream_) mlp_stream_ = std::make_unique<pp::Stream>();
+    slot.cnn_done = cnn_stream_->enqueue("ai:engine:cnn", cnn_body);
+    slot.mlp_done = mlp_stream_->enqueue("ai:engine:mlp", mlp_body);
+  } else {
+    cnn_body();
+    mlp_body();
+  }
+}
+
+void InferenceEngine::verify_slot(const Slot& slot, const Tensor& /*columns*/,
+                                  std::span<const double> /*tskin*/,
+                                  std::span<const double> /*coszr*/,
+                                  const SuiteOutput& out) {
+  AP3_SPAN("ai:engine:verify");
+  // Reference: FP64 accumulation on the serial space, same normalized
+  // inputs. The slot tensors already passed through any group-scaled
+  // rounding, so the reference sees exactly what the policy path saw.
+  const tensor::Dispatch ref{pp::ExecSpace::kSerial, 0,
+                             tensor::Accum::kFloat64};
+  tensor::DispatchScope scope(ref);
+  Tensor t = suite_.cnn().forward(slot.norm_cols);
+  suite_.tendency_norm().invert(t);
+  Tensor f = suite_.mlp().forward(slot.rad_in);
+  suite_.flux_norm().invert(f);
+  const std::size_t levels = slot.norm_cols.dim(2);
+  std::uint64_t max_ulp = 0;
+  const float* td = out.tendencies.data() + slot.lo * 4 * levels;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    max_ulp = std::max(max_ulp, ulp_distance(td[i], t[i]));
+  const float* fd = out.fluxes.data() + slot.lo * 2;
+  for (std::size_t i = 0; i < f.size(); ++i)
+    max_ulp = std::max(max_ulp, ulp_distance(fd[i], f[i]));
+  stats_.max_verify_ulp = std::max(stats_.max_verify_ulp, max_ulp);
+  if (obs::enabled())
+    obs::counter_add("ai:verify:max_ulp", static_cast<double>(max_ulp));
+  AP3_REQUIRE_MSG(max_ulp <= config_.ulp_bound,
+                  "AI inference drifted " << max_ulp
+                                          << " ULP from the FP64 reference "
+                                             "(bound "
+                                          << config_.ulp_bound << ")");
+}
+
+SuiteOutput InferenceEngine::run(const Tensor& columns,
+                                 std::span<const double> tskin,
+                                 std::span<const double> coszr) {
+  AP3_SPAN("ai:engine:run");
+  AP3_REQUIRE_MSG(suite_.normalized(),
+                  "InferenceEngine used before normalizers were fit");
+  const auto& sc = suite_.config();
+  AP3_REQUIRE(columns.rank() == 3 &&
+              columns.dim(1) == static_cast<std::size_t>(sc.input_channels) &&
+              columns.dim(2) == static_cast<std::size_t>(sc.levels));
+  const std::size_t batch = columns.dim(0);
+  const std::size_t levels = columns.dim(2);
+  const std::size_t channels = columns.dim(1);
+  AP3_REQUIRE(tskin.size() == batch && coszr.size() == batch);
+
+  SuiteOutput out;
+  out.tendencies = Tensor({batch, 4, levels});
+  out.fluxes = Tensor({batch, 2});
+  if (batch == 0) return out;
+
+  const bool gs = config_.precision == PrecisionPolicy::kGroupScaled;
+  if (gs) refresh_gs_weights();  // weights may have moved (online training)
+
+  const std::size_t micro =
+      config_.micro_batch == 0 ? batch : std::min(config_.micro_batch, batch);
+  const std::size_t nslots = (batch + micro - 1) / micro;
+  const std::size_t feat = channels * levels;
+  const std::size_t rad_feat = feat + 2;
+
+  std::vector<Slot> slots(nslots);
+  const float* cols = columns.data();
+  const double* skin = tskin.data();
+  const double* cosz = coszr.data();
+  for (std::size_t s = 0; s < nslots; ++s) {
+    Slot& slot = slots[s];
+    slot.lo = s * micro;
+    slot.rows = std::min(micro, batch - slot.lo);
+    {
+      AP3_SPAN("ai:engine:pack");
+      slot.norm_cols = Tensor({slot.rows, channels, levels});
+      float* nc = slot.norm_cols.data();
+      const std::size_t base = slot.lo * feat;
+      pp::parallel_for(pol(config_.space, slot.rows * feat, "ai:engine:pack"),
+                       [=](std::size_t i) { nc[i] = cols[base + i]; });
+      suite_.input_norm().apply(slot.norm_cols);
+      slot.rad_in = Tensor({slot.rows, rad_feat});
+      float* ri = slot.rad_in.data();
+      const std::size_t lo = slot.lo;
+      pp::parallel_for(
+          pol(config_.space, slot.rows * rad_feat, "ai:engine:pack_rad"),
+          [=](std::size_t e) {
+            const std::size_t r = e / rad_feat, f = e % rad_feat;
+            if (f < feat)
+              ri[e] = cols[(lo + r) * feat + f];
+            else if (f == feat)
+              ri[e] = static_cast<float>(skin[lo + r]);
+            else
+              ri[e] = static_cast<float>(cosz[lo + r]);
+          });
+      suite_.rad_input_norm().apply(slot.rad_in);
+      if (gs) {
+        round_activations(slot.norm_cols, config_.group_size);
+        round_activations(slot.rad_in, config_.group_size);
+      }
+    }
+    // The forwards of this slot trail the packer: with overlap on they run
+    // on the CNN/MLP streams while the rank thread packs the next slot.
+    forward_slot(slot, columns, tskin, coszr, out);
+  }
+  for (Slot& slot : slots) {
+    slot.cnn_done.wait();
+    slot.mlp_done.wait();
+  }
+  if (config_.verify)
+    for (const Slot& slot : slots) verify_slot(slot, columns, tskin, coszr, out);
+
+  ++stats_.runs;
+  stats_.columns += batch;
+  stats_.batches += nslots;
+  if (obs::enabled()) {
+    obs::counter_add("ai:engine:columns", static_cast<double>(batch));
+    obs::counter_add(columns_counter(config_.space),
+                     static_cast<double>(batch));
+    obs::counter_add("ai:engine:batches", static_cast<double>(nslots));
+  }
+  return out;
+}
+
+}  // namespace ap3::ai

@@ -1,0 +1,131 @@
+// Batched, precision-policied, backend-dispatched inference engine (§5.2).
+//
+// The engine is the single entry point the physics–dynamics interface uses
+// to run the AI suite: it micro-batches atmosphere columns, drives every
+// tensor kernel through the pp portability layer on the configured
+// ExecSpace, and applies one of three precision policies:
+//
+//   kFp64        — FP32 storage, FP64 dot-product accumulation. The
+//                  verification reference.
+//   kFp32        — FP32 throughout (the deployment mode; bitwise the
+//                  pre-engine serial path).
+//   kGroupScaled — FP32 accumulation with weights and batch activations
+//                  threaded through precision::GroupScaledArray (§5.2.3).
+//                  Power-of-two group scales make the FP32 round trip exact
+//                  for data whose per-group dynamic range fits the FP32
+//                  exponent (always true for trained weights/activations
+//                  here), so outputs stay bit-identical to kFp32 while the
+//                  staged payload models the half-width storage/bandwidth.
+//
+// Backend contract: all forward kernels are per-output-element with
+// fixed-order accumulation (src/tensor), so for a fixed policy the outputs
+// are bit-identical across kSerial / kHostThreads / kSunwayCPE — including
+// the LDM-tiled GEMM panels on the CPE simulator.
+//
+// With `overlap` set the engine double-buffers micro-batches on pp::Streams:
+// the rank thread packs/normalizes batch i+1 while pool workers run the CNN
+// and MLP forwards of batch i (each network on its own stream, so the two
+// models also overlap each other). The chunk plan of an async launch equals
+// the sync plan, so overlap never moves a bit.
+//
+// Verification mode (`verify`): every micro-batch is recomputed under the
+// kFp64 reference on kSerial and the maximum ULP distance between the active
+// policy's outputs and the reference is recorded (stats().max_verify_ulp)
+// and required to stay within `ulp_bound`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pp/exec.hpp"
+#include "precision/group_scaled.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ap3::pp {
+class Stream;
+}
+
+namespace ap3::ai {
+
+class AiPhysicsSuite;
+struct SuiteOutput;
+
+enum class PrecisionPolicy { kFp64, kFp32, kGroupScaled };
+
+inline const char* to_string(PrecisionPolicy policy) {
+  switch (policy) {
+    case PrecisionPolicy::kFp64: return "fp64";
+    case PrecisionPolicy::kFp32: return "fp32";
+    case PrecisionPolicy::kGroupScaled: return "group_scaled";
+  }
+  return "?";
+}
+
+struct EngineConfig {
+  pp::ExecSpace space = pp::ExecSpace::kSerial;
+  PrecisionPolicy precision = PrecisionPolicy::kFp32;
+  std::size_t micro_batch = 64;  ///< columns per micro-batch (0: one batch)
+  bool overlap = false;          ///< double-buffer micro-batches on streams
+  bool verify = false;           ///< audit against the kFp64 reference
+  /// Max ULP distance tolerated by verify mode. 0 for kFp64 (it *is* the
+  /// reference); conservative documented bound for the FP32-accumulation
+  /// policies (measured maxima for these network depths are O(100)).
+  std::uint64_t ulp_bound = 1u << 16;
+  std::size_t group_size = 64;   ///< GroupScaledArray group length
+};
+
+struct EngineStats {
+  std::uint64_t runs = 0;
+  std::uint64_t columns = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_verify_ulp = 0;  ///< across all verified batches
+  /// Storage model of the group-scaled weight path (bytes).
+  double gs_weight_bytes = 0.0;
+  double fp32_weight_bytes = 0.0;
+};
+
+/// ULP distance between two floats (0 for bitwise-equal, including ±0);
+/// max-uint64 if either is NaN or they differ in sign of infinity.
+std::uint64_t ulp_distance(float a, float b);
+
+class InferenceEngine {
+ public:
+  /// The engine borrows the suite (weights + normalizers); the suite owns
+  /// its default engine, so lifetime is naturally shared.
+  InferenceEngine(AiPhysicsSuite& suite, EngineConfig config = {});
+  ~InferenceEngine();
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Batched inference: columns (B, 5, levels) in raw physical units,
+  /// tskin/coszr per row; returns denormalized tendencies and fluxes.
+  SuiteOutput run(const tensor::Tensor& columns, std::span<const double> tskin,
+                  std::span<const double> coszr);
+
+  const EngineConfig& config() const { return config_; }
+  /// Reconfigure; re-derives the group-scaled weight images when needed.
+  void set_config(const EngineConfig& config);
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct Slot;
+  void refresh_gs_weights();
+  void forward_slot(Slot& slot, const tensor::Tensor& columns,
+                    std::span<const double> tskin,
+                    std::span<const double> coszr, SuiteOutput& out);
+  void verify_slot(const Slot& slot, const tensor::Tensor& columns,
+                   std::span<const double> tskin,
+                   std::span<const double> coszr, const SuiteOutput& out);
+
+  AiPhysicsSuite& suite_;
+  EngineConfig config_;
+  EngineStats stats_;
+  /// Group-scaled images of every parameter tensor (CNN params first, then
+  /// MLP), refreshed whenever the policy or the weights change.
+  std::vector<precision::GroupScaledArray> gs_params_;
+  std::unique_ptr<pp::Stream> cnn_stream_, mlp_stream_;
+};
+
+}  // namespace ap3::ai

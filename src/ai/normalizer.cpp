@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/error.hpp"
+#include "tensor/dispatch.hpp"
 
 namespace ap3::ai {
 
@@ -60,34 +61,57 @@ ChannelNormalizer ChannelNormalizer::fit_flat(const tensor::Tensor& data) {
   return out;
 }
 
+namespace {
+pp::RangePolicy pol(std::size_t n, std::string_view label) {
+  pp::RangePolicy p(0, n);
+  p.on(tensor::dispatch().space).named(label);
+  if (tensor::dispatch().chunk != 0) p.chunked(tensor::dispatch().chunk);
+  return p;
+}
+}  // namespace
+
 void ChannelNormalizer::apply(tensor::Tensor& data) const {
+  const float* mean = means_.data();
+  const float* std_dev = stds_.data();
+  float* d = data.data();
   if (flat_) {
     AP3_REQUIRE(data.rank() == 2 && data.dim(1) == means_.size());
-    for (std::size_t i = 0; i < data.dim(0); ++i)
-      for (std::size_t j = 0; j < means_.size(); ++j)
-        data.at2(i, j) = (data.at2(i, j) - means_[j]) / stds_[j];
+    const std::size_t f = means_.size();
+    pp::parallel_for(pol(data.size(), "ai:normalize:apply"),
+                     [=](std::size_t e) {
+                       const std::size_t j = e % f;
+                       d[e] = (d[e] - mean[j]) / std_dev[j];
+                     });
     return;
   }
   AP3_REQUIRE(data.rank() == 3 && data.dim(1) == means_.size());
-  for (std::size_t i = 0; i < data.dim(0); ++i)
-    for (std::size_t c = 0; c < means_.size(); ++c)
-      for (std::size_t k = 0; k < data.dim(2); ++k)
-        data.at3(i, c, k) = (data.at3(i, c, k) - means_[c]) / stds_[c];
+  const std::size_t c = means_.size(), l = data.dim(2);
+  pp::parallel_for(pol(data.size(), "ai:normalize:apply"), [=](std::size_t e) {
+    const std::size_t ch = (e / l) % c;
+    d[e] = (d[e] - mean[ch]) / std_dev[ch];
+  });
 }
 
 void ChannelNormalizer::invert(tensor::Tensor& data) const {
+  const float* mean = means_.data();
+  const float* std_dev = stds_.data();
+  float* d = data.data();
   if (flat_) {
     AP3_REQUIRE(data.rank() == 2 && data.dim(1) == means_.size());
-    for (std::size_t i = 0; i < data.dim(0); ++i)
-      for (std::size_t j = 0; j < means_.size(); ++j)
-        data.at2(i, j) = data.at2(i, j) * stds_[j] + means_[j];
+    const std::size_t f = means_.size();
+    pp::parallel_for(pol(data.size(), "ai:normalize:invert"),
+                     [=](std::size_t e) {
+                       const std::size_t j = e % f;
+                       d[e] = d[e] * std_dev[j] + mean[j];
+                     });
     return;
   }
   AP3_REQUIRE(data.rank() == 3 && data.dim(1) == means_.size());
-  for (std::size_t i = 0; i < data.dim(0); ++i)
-    for (std::size_t c = 0; c < means_.size(); ++c)
-      for (std::size_t k = 0; k < data.dim(2); ++k)
-        data.at3(i, c, k) = data.at3(i, c, k) * stds_[c] + means_[c];
+  const std::size_t c = means_.size(), l = data.dim(2);
+  pp::parallel_for(pol(data.size(), "ai:normalize:invert"), [=](std::size_t e) {
+    const std::size_t ch = (e / l) % c;
+    d[e] = d[e] * std_dev[ch] + mean[ch];
+  });
 }
 
 }  // namespace ap3::ai

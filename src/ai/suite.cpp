@@ -41,26 +41,15 @@ Tensor AiPhysicsSuite::make_rad_inputs(const Tensor& columns,
   return out;
 }
 
+InferenceEngine& AiPhysicsSuite::engine() {
+  if (!engine_) engine_ = std::make_unique<InferenceEngine>(*this);
+  return *engine_;
+}
+
 SuiteOutput AiPhysicsSuite::compute(const Tensor& columns,
                                     std::span<const double> tskin,
                                     std::span<const double> coszr) {
-  AP3_REQUIRE_MSG(fitted_, "AiPhysicsSuite used before normalizers were fit");
-  AP3_REQUIRE(columns.rank() == 3 &&
-              columns.dim(1) == static_cast<std::size_t>(config_.input_channels) &&
-              columns.dim(2) == static_cast<std::size_t>(config_.levels));
-
-  Tensor normalized = columns;
-  input_norm_.apply(normalized);
-
-  SuiteOutput out;
-  out.tendencies = cnn_.forward(normalized);
-  tendency_norm_.invert(out.tendencies);
-
-  Tensor rad_in = make_rad_inputs(columns, tskin, coszr);
-  rad_input_norm_.apply(rad_in);
-  out.fluxes = mlp_.forward(rad_in);
-  flux_norm_.invert(out.fluxes);
-  return out;
+  return engine().run(columns, tskin, coszr);
 }
 
 }  // namespace ap3::ai

@@ -10,6 +10,7 @@
 #include <span>
 #include <string>
 
+#include "ai/engine.hpp"
 #include "ai/models.hpp"
 #include "ai/normalizer.hpp"
 
@@ -32,10 +33,21 @@ class AiPhysicsSuite {
                        const tensor::Tensor& fluxes);
 
   /// Inference: columns (batch, 5, levels) raw physical units; tskin/coszr
-  /// per batch row. Returns denormalized tendencies and fluxes.
+  /// per batch row. Returns denormalized tendencies and fluxes. Routed
+  /// through the batched InferenceEngine (engine()) — micro-batching,
+  /// execution space and precision policy come from the engine config.
   SuiteOutput compute(const tensor::Tensor& columns,
                       std::span<const double> tskin,
                       std::span<const double> coszr);
+
+  /// The suite's inference engine (created on first use with the default
+  /// config: kSerial, fp32 — bitwise the pre-engine serial path).
+  InferenceEngine& engine();
+  /// Reconfigure the engine (backend, precision policy, micro-batching,
+  /// overlap, verification).
+  void set_engine_config(const EngineConfig& config) {
+    engine().set_config(config);
+  }
 
   /// Assemble the flat radiation-MLP input row (normalized column + tskin +
   /// coszr), exposed for the trainer.
@@ -74,6 +86,7 @@ class AiPhysicsSuite {
   RadiationMlp mlp_;
   ChannelNormalizer input_norm_, tendency_norm_, rad_input_norm_, flux_norm_;
   bool fitted_ = false;
+  std::unique_ptr<InferenceEngine> engine_;
 };
 
 /// Serialize a trained suite (both networks' weights + all four

@@ -7,6 +7,8 @@
 #include "base/constants.hpp"
 #include "base/error.hpp"
 #include "base/rng.hpp"
+#include "obs/obs.hpp"
+#include "tensor/dispatch.hpp"
 
 namespace ap3::atm {
 
@@ -179,6 +181,126 @@ AiPhysics::AiPhysics(std::shared_ptr<ai::AiPhysicsSuite> suite)
   AP3_REQUIRE(suite_ != nullptr);
 }
 
+AiPhysics::AiPhysics(std::shared_ptr<ai::AiPhysicsSuite> suite,
+                     const ai::EngineConfig& engine)
+    : AiPhysics(std::move(suite)) {
+  suite_->set_engine_config(engine);
+}
+
+void AiPhysics::enable_online_training(const OnlineTrainingConfig& config) {
+  AP3_REQUIRE(config.every_steps >= 1 && config.sample_cols >= 1);
+  online_ = config;
+  const tensor::AdamConfig adam{config.lr, 0.9f, 0.999f, 1e-8f};
+  cnn_opt_ = std::make_unique<tensor::Adam>(suite_->cnn().model(), adam);
+  mlp_opt_ = std::make_unique<tensor::Adam>(suite_->mlp().model(), adam);
+  calls_ = 0;
+}
+
+std::vector<double> AiPhysics::pack_training_state() const {
+  if (!cnn_opt_) return {};
+  // Layout: [calls, then per optimizer (CNN, MLP): t, nparams, m..., v...].
+  // float -> double is exact, so the round trip is bitwise.
+  std::vector<double> out;
+  out.push_back(static_cast<double>(calls_));
+  for (const tensor::Adam* opt : {cnn_opt_.get(), mlp_opt_.get()}) {
+    const tensor::Adam::State s = opt->state();
+    out.push_back(static_cast<double>(s.t));
+    out.push_back(static_cast<double>(s.m.size()));
+    for (float x : s.m) out.push_back(static_cast<double>(x));
+    for (float x : s.v) out.push_back(static_cast<double>(x));
+  }
+  return out;
+}
+
+void AiPhysics::restore_training_state(std::span<const double> state) {
+  AP3_REQUIRE_MSG(cnn_opt_ != nullptr,
+                  "restore_training_state requires online training enabled");
+  std::size_t pos = 0;
+  auto take = [&] {
+    AP3_REQUIRE_MSG(pos < state.size(), "truncated AI training state");
+    return state[pos++];
+  };
+  calls_ = static_cast<long long>(take());
+  for (tensor::Adam* opt : {cnn_opt_.get(), mlp_opt_.get()}) {
+    tensor::Adam::State s;
+    s.t = static_cast<std::size_t>(take());
+    const std::size_t n = static_cast<std::size_t>(take());
+    s.m.resize(n);
+    s.v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) s.m[i] = static_cast<float>(take());
+    for (std::size_t i = 0; i < n; ++i) s.v[i] = static_cast<float>(take());
+    opt->restore_state(s);
+  }
+  AP3_REQUIRE_MSG(pos == state.size(), "trailing bytes in AI training state");
+}
+
+void AiPhysics::online_step(const ColumnBatch& batch) {
+  AP3_SPAN("atm:ai:online_step");
+  const std::size_t n = std::min(online_.sample_cols, batch.ncols);
+  const std::size_t nlev = batch.nlev;
+  if (n == 0) return;
+
+  // Truth on the leading columns of the live batch (a deterministic sample:
+  // no RNG, so a restored run replays identical updates).
+  ColumnBatch truth(n, nlev);
+  truth.dt = batch.dt;
+  for (std::size_t c = 0; c < n; ++c) {
+    truth.tskin[c] = batch.tskin[c];
+    truth.coszr[c] = batch.coszr[c];
+    for (std::size_t k = 0; k < nlev; ++k) {
+      const std::size_t i = batch.at(c, k);
+      truth.u[i] = batch.u[i];
+      truth.v[i] = batch.v[i];
+      truth.temp[i] = batch.temp[i];
+      truth.q[i] = batch.q[i];
+      truth.pressure[i] = batch.pressure[i];
+    }
+  }
+  truth_.compute(truth);
+
+  tensor::Tensor raw({n, 5, nlev});
+  tensor::Tensor y({n, 4, nlev});
+  tensor::Tensor ry({n, 2});
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t k = 0; k < nlev; ++k) {
+      const std::size_t i = truth.at(c, k);
+      raw.at3(c, 0, k) = static_cast<float>(truth.u[i]);
+      raw.at3(c, 1, k) = static_cast<float>(truth.v[i]);
+      raw.at3(c, 2, k) = static_cast<float>(truth.temp[i]);
+      raw.at3(c, 3, k) = static_cast<float>(truth.q[i]);
+      raw.at3(c, 4, k) = static_cast<float>(truth.pressure[i]);
+      y.at3(c, 0, k) = static_cast<float>(truth.du[i]);
+      y.at3(c, 1, k) = static_cast<float>(truth.dv[i]);
+      y.at3(c, 2, k) = static_cast<float>(truth.dtemp[i]);
+      y.at3(c, 3, k) = static_cast<float>(truth.dq[i]);
+    }
+    ry.at2(c, 0) = static_cast<float>(truth.gsw[c]);
+    ry.at2(c, 1) = static_cast<float>(truth.glw[c]);
+  }
+  tensor::Tensor rx = suite_->make_rad_inputs(raw, truth.tskin, truth.coszr);
+  tensor::Tensor x = raw;
+  suite_->input_norm().apply(x);
+  suite_->tendency_norm().apply(y);
+  suite_->rad_input_norm().apply(rx);
+  suite_->flux_norm().apply(ry);
+
+  // Training always runs serial/fp32 whatever the inference engine's
+  // backend: updates must be bit-reproducible across engine configs.
+  tensor::DispatchScope scope(
+      {pp::ExecSpace::kSerial, 0, tensor::Accum::kFloat32});
+  tensor::Sequential& cnn = suite_->cnn().model();
+  cnn.zero_grads();
+  const tensor::Tensor pred = cnn.forward(x);
+  cnn.backward(tensor::mse_grad(pred, y));
+  cnn_opt_->step();
+  tensor::Sequential& mlp = suite_->mlp().model();
+  mlp.zero_grads();
+  const tensor::Tensor fpred = mlp.forward(rx);
+  mlp.backward(tensor::mse_grad(fpred, ry));
+  mlp_opt_->step();
+  if (obs::enabled()) obs::counter_add("atm:ai:online_steps", 1.0);
+}
+
 void AiPhysics::compute(ColumnBatch& batch) {
   const auto& config = suite_->config();
   AP3_REQUIRE_MSG(batch.nlev == static_cast<std::size_t>(config.levels),
@@ -229,6 +351,11 @@ void AiPhysics::compute(ColumnBatch& batch) {
       if (dq < 0.0) sink -= dq;
     }
     batch.precip[c] = sink;
+  }
+
+  if (cnn_opt_) {
+    ++calls_;
+    if (calls_ % online_.every_steps == 0) online_step(batch);
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ai/suite.hpp"
+#include "tensor/optimizer.hpp"
 
 namespace ap3::atm {
 
@@ -88,18 +89,48 @@ class ConventionalPhysics : public PhysicsSuite {
   ConventionalConfig config_;
 };
 
-/// Adapter running the trained AI suite behind the same interface.
+/// Online fine-tuning of a deployed AI suite: every `every_steps` physics
+/// calls, one Adam step fits both networks against the conventional suite's
+/// tendencies/fluxes on a sample of the live batch. Deterministic (no RNG,
+/// fixed sample = leading columns), so restart stays bit-exact as long as
+/// the weights and the optimizer moments are checkpointed (they are — see
+/// the coupler's cpl.ai.* sections).
+struct OnlineTrainingConfig {
+  int every_steps = 1;          ///< fine-tune every K compute() calls
+  std::size_t sample_cols = 8;  ///< leading columns of the batch to fit on
+  float lr = 1e-4f;
+};
+
+/// Adapter running the trained AI suite behind the same interface. All
+/// inference goes through the suite's batched InferenceEngine; pass an
+/// EngineConfig to pick the execution space / precision policy / overlap.
 class AiPhysics : public PhysicsSuite {
  public:
   explicit AiPhysics(std::shared_ptr<ai::AiPhysicsSuite> suite);
+  AiPhysics(std::shared_ptr<ai::AiPhysicsSuite> suite,
+            const ai::EngineConfig& engine);
   void compute(ColumnBatch& batch) override;
   const char* name() const override { return "ai"; }
   double flops_per_column(std::size_t nlev) const override;
 
   ai::AiPhysicsSuite& suite() { return *suite_; }
 
+  void enable_online_training(const OnlineTrainingConfig& config = {});
+  bool online_training_active() const { return cnn_opt_ != nullptr; }
+  /// Serialized fine-tuning state (call counter + both Adam optimizers),
+  /// packed as doubles (float -> double is exact) for the checkpoint
+  /// container. Empty when online training is off.
+  std::vector<double> pack_training_state() const;
+  void restore_training_state(std::span<const double> state);
+
  private:
+  void online_step(const ColumnBatch& batch);
+
   std::shared_ptr<ai::AiPhysicsSuite> suite_;
+  OnlineTrainingConfig online_;
+  ConventionalPhysics truth_;  ///< training-truth generator
+  std::unique_ptr<tensor::Adam> cnn_opt_, mlp_opt_;
+  long long calls_ = 0;
 };
 
 /// Generate a training corpus by running the conventional suite over

@@ -138,6 +138,19 @@ void CoupledModel::build_coupling_infrastructure() {
       global_, mct::Router::build(global_.rank(), ice_map_, ocn_map_));
 }
 
+void CoupledModel::install_ai_physics(
+    std::shared_ptr<ai::AiPhysicsSuite> suite, ai::EngineConfig engine,
+    const std::optional<atm::OnlineTrainingConfig>& online) {
+  if (!atm_) return;
+  AP3_REQUIRE(suite != nullptr);
+  // The driver's overlap mode extends into the engine: micro-batch forwards
+  // run on the engine's streams while the rank thread packs the next slot.
+  if (config_.overlap) engine.overlap = true;
+  auto physics = std::make_unique<atm::AiPhysics>(std::move(suite), engine);
+  if (online) physics->enable_online_training(*online);
+  atm_->set_physics(std::move(physics));
+}
+
 void CoupledModel::run_windows(int atm_windows) {
   AP3_SPAN("run");
   for (int w = 0; w < atm_windows; ++w) {
@@ -376,7 +389,8 @@ const std::vector<std::string> kCouplerSectionNames = {
     "cpl.a2x_accum", "cpl.sst_on_atm", "cpl.sst_on_ice",
     "cpl.us_on_ice", "cpl.vs_on_ice",  "cpl.rng"};
 const std::vector<std::string> kAiSectionNames = {
-    "cpl.ai.input", "cpl.ai.tendency", "cpl.ai.rad_input", "cpl.ai.flux"};
+    "cpl.ai.input",  "cpl.ai.tendency", "cpl.ai.rad_input", "cpl.ai.flux",
+    "cpl.ai.cnn_w",  "cpl.ai.mlp_w",    "cpl.ai.train"};
 
 /// RNG stream as a 6-double row: the four xoshiro words (bit-preserved
 /// through the binary subfile path), the spare flag, and the spare value.
@@ -422,6 +436,20 @@ ai::ChannelNormalizer unpack_normalizer(const std::vector<double>& v) {
   }
   return ai::ChannelNormalizer::from_raw(flat, std::move(means),
                                          std::move(stds));
+}
+
+/// Network weights widened to doubles (float -> double is exact, so the
+/// round trip restores bit-identical weights).
+io::FieldData pack_weights(const std::vector<float>& w) {
+  std::vector<double> v(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) v[i] = static_cast<double>(w[i]);
+  return io::local_field(v);
+}
+
+std::vector<float> unpack_weights(const std::vector<double>& v) {
+  std::vector<float> w(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) w[i] = static_cast<float>(v[i]);
+  return w;
 }
 
 std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
@@ -471,6 +499,17 @@ std::vector<io::Section> CoupledModel::coupler_sections(bool ai_on) const {
       out.push_back({"cpl.ai.rad_input",
                      pack_normalizer(suite.rad_input_norm())});
       out.push_back({"cpl.ai.flux", pack_normalizer(suite.flux_norm())});
+      // With online training active the weights evolve with the run: they
+      // (and the Adam moments) are prognostic state, not static config.
+      out.push_back({"cpl.ai.cnn_w",
+                     pack_weights(suite.cnn().model().save_weights())});
+      out.push_back({"cpl.ai.mlp_w",
+                     pack_weights(suite.mlp().model().save_weights())});
+      std::vector<double> train;
+      train.push_back(ai->online_training_active() ? 1.0 : 0.0);
+      const std::vector<double> opt = ai->pack_training_state();
+      train.insert(train.end(), opt.begin(), opt.end());
+      out.push_back({"cpl.ai.train", io::local_field(train)});
     } else {
       for (const std::string& name : kAiSectionNames)
         out.push_back({name, io::FieldData{}});
@@ -510,6 +549,21 @@ void CoupledModel::restore_coupler_sections(
                                   unpack_normalizer(find("cpl.ai.tendency")),
                                   unpack_normalizer(find("cpl.ai.rad_input")),
                                   unpack_normalizer(find("cpl.ai.flux")));
+      ai->suite().cnn().model().load_weights(
+          unpack_weights(find("cpl.ai.cnn_w")));
+      ai->suite().mlp().model().load_weights(
+          unpack_weights(find("cpl.ai.mlp_w")));
+      const std::vector<double>& train = find("cpl.ai.train");
+      AP3_REQUIRE_MSG(!train.empty(), "malformed cpl.ai.train section");
+      const bool was_training = train[0] != 0.0;
+      AP3_REQUIRE_MSG(
+          was_training == ai->online_training_active(),
+          "checkpoint config mismatch: AI online training was "
+              << (was_training ? "on" : "off")
+              << " when written; enable/disable it to match before restore");
+      if (was_training)
+        ai->restore_training_state(
+            std::span<const double>(train).subspan(1));
     }
   }
 }

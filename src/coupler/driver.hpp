@@ -70,6 +70,17 @@ class CoupledModel {
   long long windows_run() const { return clock_.steps_taken(); }
   const Clock& clock() const { return clock_; }
 
+  /// Install a trained AI suite as the atmosphere's physics (no-op on ranks
+  /// without an atmosphere). The engine config picks the execution space and
+  /// precision policy; when the driver runs with `CoupledConfig::overlap` the
+  /// engine's micro-batch overlap is switched on too. Pass an
+  /// OnlineTrainingConfig to keep fine-tuning against the conventional suite
+  /// during the run (the weights and optimizer state then become checkpoint
+  /// sections, so restart stays bit-exact).
+  void install_ai_physics(
+      std::shared_ptr<ai::AiPhysicsSuite> suite, ai::EngineConfig engine = {},
+      const std::optional<atm::OnlineTrainingConfig>& online = std::nullopt);
+
   bool has_atm() const { return atm_ != nullptr; }
   bool has_ocn() const { return ocn_ != nullptr; }
   atm::AtmModel* atm_model() { return atm_.get(); }

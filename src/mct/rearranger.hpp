@@ -71,15 +71,6 @@ class Rearranger {
   /// recv-plan order), unpacks into the destination, and retires the sends.
   void rearrange_end(Pending& pending) const;
 
-  [[deprecated("use rearrange(src, dst, Strategy::kAlltoallv)")]]
-  void rearrange_alltoallv(const AttrVect& src, AttrVect& dst) const {
-    rearrange(src, dst, Strategy::kAlltoallv);
-  }
-  [[deprecated("use rearrange(src, dst) or rearrange_begin/rearrange_end")]]
-  void rearrange_p2p(const AttrVect& src, AttrVect& dst) const {
-    rearrange(src, dst, Strategy::kSplitPhase);
-  }
-
   const Router& router() const { return router_; }
 
  private:

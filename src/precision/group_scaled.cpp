@@ -31,6 +31,39 @@ GroupScaledArray GroupScaledArray::compress(std::span<const double> values,
   return out;
 }
 
+GroupScaledArray GroupScaledArray::compress_floats(
+    std::span<const float> values, std::size_t group_size) {
+  AP3_REQUIRE_MSG(group_size >= 1, "group size must be positive");
+  GroupScaledArray out;
+  out.size_ = values.size();
+  out.group_size_ = group_size;
+  const std::size_t ngroups = (values.size() + group_size - 1) / group_size;
+  out.payload_.resize(values.size());
+  out.scales_.resize(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const std::size_t lo = g * group_size;
+    const std::size_t hi = std::min(values.size(), lo + group_size);
+    double max_abs = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      max_abs = std::max(max_abs, std::abs(static_cast<double>(values[i])));
+    const double scale =
+        max_abs > 0.0 ? std::exp2(std::ceil(std::log2(max_abs))) : 1.0;
+    out.scales_[g] = scale;
+    // Dividing a float by a power of two is exact (exponent shift), so the
+    // FP32 payload carries the full input mantissa.
+    for (std::size_t i = lo; i < hi; ++i)
+      out.payload_[i] = static_cast<float>(static_cast<double>(values[i]) / scale);
+  }
+  return out;
+}
+
+void GroupScaledArray::decompress_floats(std::span<float> out) const {
+  AP3_REQUIRE(out.size() == size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out[i] = static_cast<float>(static_cast<double>(payload_[i]) *
+                                scales_[i / group_size_]);
+}
+
 void GroupScaledArray::decompress(std::span<double> out) const {
   AP3_REQUIRE(out.size() == size_);
   for (std::size_t i = 0; i < size_; ++i) out[i] = at(i);

@@ -25,8 +25,14 @@ class GroupScaledArray {
   /// Compress `values` with groups of `group_size` consecutive elements.
   static GroupScaledArray compress(std::span<const double> values,
                                    std::size_t group_size);
+  /// FP32 entry point (the inference engine's weight/activation path).
+  /// Because scales are powers of two, compressing finite FP32 data is
+  /// lossless: decompress_floats returns the input bit for bit.
+  static GroupScaledArray compress_floats(std::span<const float> values,
+                                          std::size_t group_size);
 
   void decompress(std::span<double> out) const;
+  void decompress_floats(std::span<float> out) const;
   double at(std::size_t i) const;
   std::size_t size() const { return size_; }
   std::size_t group_size() const { return group_size_; }

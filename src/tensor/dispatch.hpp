@@ -1,0 +1,58 @@
+// Kernel dispatch configuration for the tensor library.
+//
+// Every tensor kernel (src/tensor/tensor.cpp) launches through the pp layer;
+// this header carries the knobs that select *how*: the execution space, an
+// optional chunk override, and the accumulation precision of dot-product
+// kernels. The configuration is thread-local so an inference engine running
+// on a pool worker (pp::Stream task) can pin its own space/precision without
+// racing the rank thread — see ai::InferenceEngine, which scopes every
+// forward pass with DispatchScope.
+//
+// Determinism contract: all kernels are formulated per output element with a
+// fixed-order inner accumulation, so for a given Accum the results are
+// bitwise identical across kSerial / kHostThreads / kSunwayCPE (including
+// the LDM-tiled GEMM path, which stages identical values through simulated
+// scratchpads). The defaults (kSerial, kFloat32) reproduce the pre-refactor
+// serial kernels bit for bit.
+#pragma once
+
+#include <cstddef>
+
+#include "pp/exec.hpp"
+#include "sunway/dma.hpp"
+
+namespace ap3::tensor {
+
+/// Accumulation precision of dot-product kernels (matmul / conv). FP32 is
+/// the seed behavior and the deployment mode; FP64 is the verification
+/// reference the engine's ULP audit compares against (§5.2.3).
+enum class Accum { kFloat32, kFloat64 };
+
+struct Dispatch {
+  pp::ExecSpace space = pp::ExecSpace::kSerial;
+  std::size_t chunk = 0;  ///< 0: let the pp layer pick
+  Accum accum = Accum::kFloat32;
+};
+
+/// The calling thread's active dispatch configuration.
+Dispatch& dispatch();
+
+/// RAII override of the thread's dispatch configuration.
+class DispatchScope {
+ public:
+  explicit DispatchScope(const Dispatch& d) : saved_(dispatch()) {
+    dispatch() = d;
+  }
+  ~DispatchScope() { dispatch() = saved_; }
+  DispatchScope(const DispatchScope&) = delete;
+  DispatchScope& operator=(const DispatchScope&) = delete;
+
+ private:
+  Dispatch saved_;
+};
+
+/// The DMA engine tensor kernels stage LDM panels through on kSunwayCPE
+/// (process-wide; bytes/transfers also mirror into "sunway:dma:*" counters).
+sunway::DmaEngine& staging_dma();
+
+}  // namespace ap3::tensor

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+#include "tensor/dispatch.hpp"
+
 namespace ap3::tensor {
 
 namespace {
@@ -9,6 +12,13 @@ void he_init(Tensor& t, std::size_t fan_in, Rng& rng) {
   const double std_dev = std::sqrt(2.0 / static_cast<double>(fan_in));
   for (std::size_t i = 0; i < t.size(); ++i)
     t[i] = static_cast<float>(rng.normal() * std_dev);
+}
+
+pp::RangePolicy pol(std::size_t n, std::string_view label) {
+  pp::RangePolicy p(0, n);
+  p.on(dispatch().space).named(label);
+  if (dispatch().chunk != 0) p.chunked(dispatch().chunk);
+  return p;
 }
 }  // namespace
 
@@ -21,28 +31,35 @@ Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
 }
 
 Tensor Dense::forward(const Tensor& x) {
+  AP3_SPAN("tensor:dense:fwd");
   input_ = x;
   Tensor out = matmul_nt(x, weight);
-  const std::size_t batch = out.dim(0), n = out.dim(1);
-  for (std::size_t i = 0; i < batch; ++i)
-    for (std::size_t j = 0; j < n; ++j) out.at2(i, j) += bias[j];
+  bias_add_rows(out, bias);
   return out;
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {
+  AP3_SPAN("tensor:dense:bwd");
   const std::size_t batch = grad_out.dim(0), n = grad_out.dim(1);
   const std::size_t in = weight.dim(1);
-  // grad_bias += sum over batch.
-  for (std::size_t i = 0; i < batch; ++i)
-    for (std::size_t j = 0; j < n; ++j) grad_bias[j] += grad_out.at2(i, j);
-  // grad_weight += grad_out^T * input.
-  for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t i = 0; i < batch; ++i) {
-      const float g = grad_out.at2(i, j);
-      if (g == 0.0f) continue;
-      for (std::size_t p = 0; p < in; ++p)
-        grad_weight.at2(j, p) += g * input_.at2(i, p);
-    }
+  const float* gd = grad_out.data();
+  const float* xd = input_.data();
+  // grad_bias += sum over batch, one output unit per element.
+  float* gbd = grad_bias.data();
+  pp::parallel_for(pol(n, "tensor:dense:bwd_bias"), [=](std::size_t j) {
+    float acc = gbd[j];
+    for (std::size_t i = 0; i < batch; ++i) acc += gd[i * n + j];
+    gbd[j] = acc;
+  });
+  // grad_weight += grad_out^T * input, one weight per element.
+  float* gwd = grad_weight.data();
+  pp::parallel_for(pol(n * in, "tensor:dense:bwd_weight"), [=](std::size_t e) {
+    const std::size_t j = e / in, p = e % in;
+    float acc = gwd[e];
+    for (std::size_t i = 0; i < batch; ++i)
+      acc += gd[i * n + j] * xd[i * in + p];
+    gwd[e] = acc;
+  });
   // grad_in = grad_out * weight.
   return matmul(grad_out, weight);
 }
@@ -61,11 +78,13 @@ Conv1D::Conv1D(std::size_t cin, std::size_t cout, std::size_t k, Rng& rng)
 }
 
 Tensor Conv1D::forward(const Tensor& x) {
+  AP3_SPAN("tensor:conv1d:fwd");
   input_ = x;
   return conv1d(x, kernel, bias);
 }
 
 Tensor Conv1D::backward(const Tensor& grad_out) {
+  AP3_SPAN("tensor:conv1d:bwd");
   return conv1d_backward(input_, kernel, grad_out, grad_kernel, grad_bias);
 }
 
@@ -75,6 +94,7 @@ void Conv1D::collect_params(std::vector<Param>& out) {
 }
 
 Tensor ReLU::forward(const Tensor& x) {
+  AP3_SPAN("tensor:relu:fwd");
   input_ = x;
   return relu(x);
 }
@@ -89,6 +109,7 @@ ResUnit::ResUnit(std::vector<std::unique_ptr<Layer>> inner)
 }
 
 Tensor ResUnit::forward(const Tensor& x) {
+  AP3_SPAN("tensor:resunit:fwd");
   Tensor h = x;
   for (auto& layer : inner_) h = layer->forward(h);
   AP3_REQUIRE_MSG(h.same_shape(x), "ResUnit inner layers must preserve shape");

@@ -1,5 +1,6 @@
 #include "tensor/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ap3::tensor {
@@ -30,6 +31,38 @@ void Adam::step() {
       value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
     }
   }
+}
+
+Adam::State Adam::state() const {
+  State out;
+  out.t = t_;
+  for (const auto& m : m_) out.m.insert(out.m.end(), m.begin(), m.end());
+  for (const auto& v : v_) out.v.insert(out.v.end(), v.begin(), v.end());
+  return out;
+}
+
+void Adam::restore_state(const State& state) {
+  t_ = state.t;
+  std::size_t pos = 0;
+  for (auto& m : m_) {
+    AP3_REQUIRE_MSG(pos + m.size() <= state.m.size(),
+                    "Adam state blob too short");
+    std::copy(state.m.begin() + static_cast<std::ptrdiff_t>(pos),
+              state.m.begin() + static_cast<std::ptrdiff_t>(pos + m.size()),
+              m.begin());
+    pos += m.size();
+  }
+  AP3_REQUIRE_MSG(pos == state.m.size(), "Adam first-moment size mismatch");
+  pos = 0;
+  for (auto& v : v_) {
+    AP3_REQUIRE_MSG(pos + v.size() <= state.v.size(),
+                    "Adam state blob too short");
+    std::copy(state.v.begin() + static_cast<std::ptrdiff_t>(pos),
+              state.v.begin() + static_cast<std::ptrdiff_t>(pos + v.size()),
+              v.begin());
+    pos += v.size();
+  }
+  AP3_REQUIRE_MSG(pos == state.v.size(), "Adam second-moment size mismatch");
 }
 
 }  // namespace ap3::tensor

@@ -22,6 +22,16 @@ class Adam {
   void step();
   std::size_t steps_taken() const { return t_; }
 
+  /// Flattened optimizer state (first moments, then second moments, in
+  /// parameter order) plus the step counter — everything a checkpoint needs
+  /// so a restored online-training run resumes bit-exactly.
+  struct State {
+    std::vector<float> m, v;
+    std::size_t t = 0;
+  };
+  State state() const;
+  void restore_state(const State& state);
+
  private:
   std::vector<Param> params_;
   std::vector<std::vector<float>> m_, v_;

@@ -1,16 +1,122 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+
+#include "obs/obs.hpp"
+#include "sunway/arch.hpp"
+#include "sunway/ldm.hpp"
+#include "tensor/dispatch.hpp"
 
 namespace ap3::tensor {
 
+Dispatch& dispatch() {
+  thread_local Dispatch d;
+  return d;
+}
+
+sunway::DmaEngine& staging_dma() {
+  static sunway::DmaEngine engine;
+  return engine;
+}
+
 namespace {
+
 std::size_t product(const std::vector<std::size_t>& shape) {
   std::size_t n = 1;
   for (std::size_t d : shape) n *= d;
   return n;
 }
+
+/// Range policy for one kernel launch under the thread's dispatch config.
+pp::RangePolicy pol(std::size_t n, std::string_view label) {
+  pp::RangePolicy p(0, n);
+  p.on(dispatch().space).named(label);
+  if (dispatch().chunk != 0) p.chunked(dispatch().chunk);
+  return p;
+}
+
+/// Fixed-order dot product; Acc selects the accumulation precision. With
+/// Acc=float this is bitwise the pre-refactor serial kernel.
+template <typename Acc>
+inline float dot_k(const float* a, const float* w, std::size_t k) {
+  Acc acc{};
+  for (std::size_t p = 0; p < k; ++p)
+    acc += static_cast<Acc>(a[p]) * static_cast<Acc>(w[p]);
+  return static_cast<float>(acc);
+}
+
+template <typename Acc>
+Tensor matmul_nt_flat(const Tensor& a, const Tensor& weight, std::size_t m,
+                      std::size_t k, std::size_t n) {
+  Tensor out({m, n});
+  const float* ad = a.data();
+  const float* wd = weight.data();
+  float* od = out.data();
+  pp::parallel_for(pol(m * n, "tensor:matmul_nt"), [=](std::size_t e) {
+    const std::size_t i = e / n, j = e % n;
+    od[e] = dot_k<Acc>(ad + i * k, wd + j * k, k);
+  });
+  return out;
+}
+
+/// Square LDM tile edge such that an A panel, a W panel and the output block
+/// fit one CPE's scratchpad with headroom; 0 if even a 1x1 tile cannot fit.
+std::size_t ldm_tile_edge(std::size_t k) {
+  constexpr std::size_t kBudget = sunway::kLdmBytesPerCpe * 3 / 4;
+  for (std::size_t t : {std::size_t{64}, std::size_t{48}, std::size_t{32},
+                        std::size_t{24}, std::size_t{16}, std::size_t{8},
+                        std::size_t{4}, std::size_t{2}, std::size_t{1}}) {
+    if (sizeof(float) * (2 * t * k + t * t) <= kBudget) return t;
+  }
+  return 0;
+}
+
+/// kSunwayCPE GEMM: each parallel unit is one output panel. The panel's A
+/// rows and W rows are DMA-staged into the CPE's 256 KiB LDM, the full-k
+/// dots run from the scratchpad, and the finished block is DMA'd back row by
+/// row. Staging is value-preserving and the accumulation order matches the
+/// flat kernel, so the result is bit-identical to kSerial.
+template <typename Acc>
+Tensor matmul_nt_cpe(const Tensor& a, const Tensor& weight, std::size_t m,
+                     std::size_t k, std::size_t n, std::size_t edge) {
+  Tensor out({m, n});
+  const std::size_t tiles_m = (m + edge - 1) / edge;
+  const std::size_t tiles_n = (n + edge - 1) / edge;
+  const float* ad = a.data();
+  const float* wd = weight.data();
+  float* od = out.data();
+  pp::parallel_for(
+      pol(tiles_m * tiles_n, "tensor:matmul_nt:cpe_panel"),
+      [=](std::size_t tile) {
+        thread_local sunway::LdmAllocator ldm(sunway::kLdmBytesPerCpe);
+        ldm.reset();
+        const std::size_t i0 = (tile / tiles_n) * edge;
+        const std::size_t j0 = (tile % tiles_n) * edge;
+        const std::size_t rows = std::min(edge, m - i0);
+        const std::size_t cols = std::min(edge, n - j0);
+        float* a_tile = ldm.alloc_array<float>(rows * k);
+        float* w_tile = ldm.alloc_array<float>(cols * k);
+        float* o_tile = ldm.alloc_array<float>(rows * cols);
+        staging_dma().get(a_tile, ad + i0 * k, rows * k * sizeof(float));
+        staging_dma().get(w_tile, wd + j0 * k, cols * k * sizeof(float));
+        for (std::size_t ii = 0; ii < rows; ++ii)
+          for (std::size_t jj = 0; jj < cols; ++jj)
+            o_tile[ii * cols + jj] =
+                dot_k<Acc>(a_tile + ii * k, w_tile + jj * k, k);
+        for (std::size_t ii = 0; ii < rows; ++ii)
+          staging_dma().put(od + (i0 + ii) * n + j0, o_tile + ii * cols,
+                            cols * sizeof(float));
+        if (obs::enabled())
+          obs::counter_add("tensor:cpe:ldm_bytes",
+                           static_cast<double>(sizeof(float) *
+                                               (rows * k + cols * k +
+                                                rows * cols)));
+      });
+  return out;
+}
+
 }  // namespace
 
 Tensor::Tensor(std::vector<std::size_t> shape)
@@ -36,17 +142,19 @@ Tensor matmul_nt(const Tensor& a, const Tensor& weight) {
   const std::size_t m = a.dim(0), k = a.dim(1);
   const std::size_t n = weight.dim(0);
   AP3_REQUIRE_MSG(weight.dim(1) == k, "matmul_nt inner dimension mismatch");
-  Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* wrow = weight.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * wrow[p];
-      out.at2(i, j) = acc;
+  const Dispatch& d = dispatch();
+  if (d.space == pp::ExecSpace::kSunwayCPE) {
+    const std::size_t edge = ldm_tile_edge(k);
+    if (edge != 0) {
+      return d.accum == Accum::kFloat64
+                 ? matmul_nt_cpe<double>(a, weight, m, k, n, edge)
+                 : matmul_nt_cpe<float>(a, weight, m, k, n, edge);
     }
+    // k too large for any LDM panel: fall through to the flat kernel (same
+    // bits, no staging) rather than refuse the launch.
   }
-  return out;
+  return d.accum == Accum::kFloat64 ? matmul_nt_flat<double>(a, weight, m, k, n)
+                                    : matmul_nt_flat<float>(a, weight, m, k, n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -54,15 +162,23 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   AP3_REQUIRE_MSG(b.dim(0) == k, "matmul inner dimension mismatch");
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aval = a.at2(i, p);
-      if (aval == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      float* orow = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const bool f64 = dispatch().accum == Accum::kFloat64;
+  pp::parallel_for(pol(m * n, "tensor:matmul"), [=](std::size_t e) {
+    const std::size_t i = e / n, j = e % n;
+    if (f64) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(ad[i * k + p]) * bd[p * n + j];
+      od[e] = static_cast<float>(acc);
+    } else {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ad[i * k + p] * bd[p * n + j];
+      od[e] = acc;
     }
-  }
+  });
   return out;
 }
 
@@ -75,23 +191,35 @@ Tensor conv1d(const Tensor& x, const Tensor& kernel, const Tensor& bias) {
   AP3_REQUIRE(bias.dim(0) == cout);
   const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kk / 2);
   Tensor out({batch, cout, len});
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t co = 0; co < cout; ++co) {
-      for (std::size_t l = 0; l < len; ++l) {
-        float acc = bias[co];
-        for (std::size_t ci = 0; ci < cin; ++ci) {
-          for (std::size_t t = 0; t < kk; ++t) {
-            const std::ptrdiff_t src =
-                static_cast<std::ptrdiff_t>(l) + static_cast<std::ptrdiff_t>(t) - half;
-            if (src < 0 || src >= static_cast<std::ptrdiff_t>(len)) continue;
-            acc += kernel.at3(co, ci, t) *
-                   x.at3(b, ci, static_cast<std::size_t>(src));
-          }
-        }
-        out.at3(b, co, l) = acc;
+  const float* xd = x.data();
+  const float* kd = kernel.data();
+  const float* bd = bias.data();
+  float* od = out.data();
+  const bool f64 = dispatch().accum == Accum::kFloat64;
+  // One output element per index: acc starts at the bias and sweeps (ci, t)
+  // in ascending order — the pre-refactor accumulation order.
+  pp::parallel_for(pol(batch * cout * len, "tensor:conv1d"), [=](std::size_t e) {
+    const std::size_t l = e % len;
+    const std::size_t co = (e / len) % cout;
+    const std::size_t b = e / (len * cout);
+    double acc64 = static_cast<double>(bd[co]);
+    float acc32 = bd[co];
+    for (std::size_t ci = 0; ci < cin; ++ci) {
+      for (std::size_t t = 0; t < kk; ++t) {
+        const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(l) +
+                                   static_cast<std::ptrdiff_t>(t) - half;
+        if (src < 0 || src >= static_cast<std::ptrdiff_t>(len)) continue;
+        const float kv = kd[(co * cin + ci) * kk + t];
+        const float xv =
+            xd[(b * cin + ci) * len + static_cast<std::size_t>(src)];
+        if (f64)
+          acc64 += static_cast<double>(kv) * xv;
+        else
+          acc32 += kv * xv;
       }
     }
-  }
+    od[e] = f64 ? static_cast<float>(acc64) : acc32;
+  });
   return out;
 }
 
@@ -105,60 +233,116 @@ Tensor conv1d_backward(const Tensor& x, const Tensor& kernel,
   AP3_REQUIRE(grad_kernel.same_shape(kernel));
   AP3_REQUIRE(grad_bias.dim(0) == cout);
   const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kk / 2);
-  Tensor grad_in({batch, cin, len});
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t co = 0; co < cout; ++co) {
-      for (std::size_t l = 0; l < len; ++l) {
-        const float g = grad_out.at3(b, co, l);
-        grad_bias[co] += g;
-        for (std::size_t ci = 0; ci < cin; ++ci) {
-          for (std::size_t t = 0; t < kk; ++t) {
-            const std::ptrdiff_t src =
-                static_cast<std::ptrdiff_t>(l) + static_cast<std::ptrdiff_t>(t) - half;
+  const float* xd = x.data();
+  const float* kd = kernel.data();
+  const float* gd = grad_out.data();
+  // Three race-free passes, one gradient tensor each; every output element
+  // owns its full accumulation, visiting contributions in the order of the
+  // old single serial sweep so the bits do not move.
+  float* gbd = grad_bias.data();
+  pp::parallel_for(pol(cout, "tensor:conv1d:bwd_bias"), [=](std::size_t co) {
+    float acc = gbd[co];
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t l = 0; l < len; ++l) acc += gd[(b * cout + co) * len + l];
+    gbd[co] = acc;
+  });
+  float* gkd = grad_kernel.data();
+  pp::parallel_for(
+      pol(cout * cin * kk, "tensor:conv1d:bwd_kernel"), [=](std::size_t e) {
+        const std::size_t t = e % kk;
+        const std::size_t ci = (e / kk) % cin;
+        const std::size_t co = e / (kk * cin);
+        float acc = gkd[e];
+        for (std::size_t b = 0; b < batch; ++b) {
+          for (std::size_t l = 0; l < len; ++l) {
+            const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(l) +
+                                       static_cast<std::ptrdiff_t>(t) - half;
             if (src < 0 || src >= static_cast<std::ptrdiff_t>(len)) continue;
-            grad_kernel.at3(co, ci, t) +=
-                g * x.at3(b, ci, static_cast<std::size_t>(src));
-            grad_in.at3(b, ci, static_cast<std::size_t>(src)) +=
-                g * kernel.at3(co, ci, t);
+            acc += gd[(b * cout + co) * len + l] *
+                   xd[(b * cin + ci) * len + static_cast<std::size_t>(src)];
           }
         }
-      }
-    }
-  }
+        gkd[e] = acc;
+      });
+  Tensor grad_in({batch, cin, len});
+  float* gid = grad_in.data();
+  pp::parallel_for(
+      pol(batch * cin * len, "tensor:conv1d:bwd_in"), [=](std::size_t e) {
+        const std::size_t src = e % len;
+        const std::size_t ci = (e / len) % cin;
+        const std::size_t b = e / (len * cin);
+        float acc = 0.0f;
+        // t descending makes l = src - t + half ascend, matching the old
+        // sweep's per-(co) visit order.
+        for (std::size_t co = 0; co < cout; ++co) {
+          for (std::size_t ti = kk; ti-- > 0;) {
+            const std::ptrdiff_t l = static_cast<std::ptrdiff_t>(src) -
+                                     static_cast<std::ptrdiff_t>(ti) + half;
+            if (l < 0 || l >= static_cast<std::ptrdiff_t>(len)) continue;
+            acc += gd[(b * cout + co) * len + static_cast<std::size_t>(l)] *
+                   kd[(co * cin + ci) * kk + ti];
+          }
+        }
+        gid[e] = acc;
+      });
   return grad_in;
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   AP3_REQUIRE(a.same_shape(b));
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  float* ad = a.data();
+  const float* bd = b.data();
+  pp::parallel_for(pol(a.size(), "tensor:add"),
+                   [=](std::size_t i) { ad[i] += bd[i]; });
 }
 
 void scale_inplace(Tensor& a, float s) {
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= s;
+  float* ad = a.data();
+  pp::parallel_for(pol(a.size(), "tensor:scale"),
+                   [=](std::size_t i) { ad[i] *= s; });
+}
+
+void bias_add_rows(Tensor& out, const Tensor& bias) {
+  AP3_REQUIRE(out.rank() == 2 && bias.rank() == 1 &&
+              out.dim(1) == bias.dim(0));
+  const std::size_t n = out.dim(1);
+  float* od = out.data();
+  const float* bd = bias.data();
+  pp::parallel_for(pol(out.size(), "tensor:bias_add"),
+                   [=](std::size_t e) { od[e] += bd[e % n]; });
 }
 
 Tensor relu(const Tensor& x) {
   Tensor out = x;
-  for (std::size_t i = 0; i < out.size(); ++i)
-    if (out[i] < 0.0f) out[i] = 0.0f;
+  float* od = out.data();
+  pp::parallel_for(pol(out.size(), "tensor:relu"), [=](std::size_t i) {
+    if (od[i] < 0.0f) od[i] = 0.0f;
+  });
   return out;
 }
 
 Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
   AP3_REQUIRE(x.same_shape(grad_out));
   Tensor out = grad_out;
-  for (std::size_t i = 0; i < out.size(); ++i)
-    if (x[i] <= 0.0f) out[i] = 0.0f;
+  const float* xd = x.data();
+  float* od = out.data();
+  pp::parallel_for(pol(out.size(), "tensor:relu:bwd"), [=](std::size_t i) {
+    if (xd[i] <= 0.0f) od[i] = 0.0f;
+  });
   return out;
 }
 
 float mse(const Tensor& pred, const Tensor& target) {
   AP3_REQUIRE(pred.same_shape(target));
-  double acc = 0.0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double d = static_cast<double>(pred[i]) - target[i];
-    acc += d * d;
-  }
+  const float* pd = pred.data();
+  const float* td = target.data();
+  const double acc = pp::parallel_reduce(
+      pol(pred.size(), "tensor:mse"),
+      [=](std::size_t i, double& a) {
+        const double d = static_cast<double>(pd[i]) - td[i];
+        a += d * d;
+      },
+      0.0);
   return static_cast<float>(acc / static_cast<double>(pred.size()));
 }
 
@@ -166,8 +350,12 @@ Tensor mse_grad(const Tensor& pred, const Tensor& target) {
   AP3_REQUIRE(pred.same_shape(target));
   Tensor grad(pred.shape());
   const float scale = 2.0f / static_cast<float>(pred.size());
-  for (std::size_t i = 0; i < pred.size(); ++i)
-    grad[i] = scale * (pred[i] - target[i]);
+  const float* pd = pred.data();
+  const float* td = target.data();
+  float* gd = grad.data();
+  pp::parallel_for(pol(pred.size(), "tensor:mse:grad"), [=](std::size_t i) {
+    gd[i] = scale * (pd[i] - td[i]);
+  });
   return grad;
 }
 

@@ -4,7 +4,14 @@
 // efficient tensor kernels (principally matrix multiplication)"; this module
 // provides exactly those kernels — matmul, conv1d, elementwise — written
 // once and dispatched through the pp layer so they run on any execution
-// space. FP32 throughout, matching the suite's operator-level precision.
+// space (see tensor/dispatch.hpp for the space/precision knobs). Every
+// kernel is formulated per output element with a fixed-order inner
+// accumulation, so results are bitwise identical across kSerial /
+// kHostThreads / kSunwayCPE; on the CPE simulator matmul_nt stages LDM
+// panels through the DMA engine without moving a bit. FP32 storage
+// throughout, matching the suite's operator-level precision; dot products
+// optionally accumulate in FP64 (Accum::kFloat64, the verification
+// reference).
 #pragma once
 
 #include <cstddef>
@@ -78,6 +85,8 @@ Tensor conv1d_backward(const Tensor& x, const Tensor& kernel,
 
 void add_inplace(Tensor& a, const Tensor& b);
 void scale_inplace(Tensor& a, float s);
+/// out (M,N) += bias (N), broadcast over rows (the Dense bias add).
+void bias_add_rows(Tensor& out, const Tensor& bias);
 Tensor relu(const Tensor& x);
 /// dL/dx for relu given x and dL/dy.
 Tensor relu_backward(const Tensor& x, const Tensor& grad_out);

@@ -18,9 +18,10 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZERS="${SANITIZERS:-thread address}"
 # Default set: everything that exercises the threaded transport, the fault
-# machinery, checkpoint collectives, the obs layer's cross-thread buffers, and
-# the stream/event async engine (pool tasks adopting rank buffers).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async}"
+# machinery, checkpoint collectives, the obs layer's cross-thread buffers, the
+# stream/event async engine (pool tasks adopting rank buffers), and the AI
+# inference engine (overlapped micro-batches on pool workers).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do

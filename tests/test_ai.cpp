@@ -7,11 +7,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "ai/engine.hpp"
 #include "ai/models.hpp"
 #include "ai/normalizer.hpp"
 #include "ai/suite.hpp"
 #include "ai/trainer.hpp"
 #include "base/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -302,6 +304,170 @@ TEST(Suite, FlopsPerColumnPositiveAndDominatedByCnn) {
   AiPhysicsSuite suite(config);
   EXPECT_GT(suite.flops_per_column(), 0.0);
   EXPECT_GT(suite.cnn().flops_per_column(), suite.mlp().flops_per_column());
+}
+
+// --- inference engine ---------------------------------------------------------
+// Backend-equivalence properties: the engine contract (ai/engine.hpp) is that
+// micro-batching, overlap, execution space, and the group-scaled storage
+// policy are all bitwise-invisible; only kFp64 changes arithmetic.
+
+struct EngineFixture {
+  SuiteConfig config;
+  std::shared_ptr<AiPhysicsSuite> suite;
+  Tensor columns;
+  std::vector<double> tskin, coszr;
+
+  explicit EngineFixture(size_t n = 37) : columns({n, 5, 6}) {
+    config.cnn_hidden = 4;
+    config.mlp_hidden = 8;
+    config.levels = 6;
+    suite = std::make_shared<AiPhysicsSuite>(config);
+    Rng rng(41);
+    Tensor tendencies({n, 4, 6}), fluxes({n, 2});
+    tskin.assign(n, 0.0);
+    coszr.assign(n, 0.0);
+    for (size_t s = 0; s < n; ++s) {
+      tskin[s] = 285.0 + 10.0 * rng.normal();
+      coszr[s] = rng.uniform();
+    }
+    for (size_t i = 0; i < columns.size(); ++i)
+      columns[i] = static_cast<float>(rng.normal() * 10.0 + 230.0);
+    for (size_t i = 0; i < tendencies.size(); ++i)
+      tendencies[i] = static_cast<float>(rng.normal() * 1e-4);
+    for (size_t i = 0; i < fluxes.size(); ++i)
+      fluxes[i] = static_cast<float>(350.0 + 40.0 * rng.normal());
+    const Tensor rad = suite->make_rad_inputs(columns, tskin, coszr);
+    suite->fit_normalizers(columns, tendencies, rad, fluxes);
+    // Fresh networks have zero-initialized readout layers (identity-at-init
+    // residuals), which makes every precision path output exact zeros.
+    // Randomize all weights so the engine comparisons exercise real
+    // arithmetic, as a trained suite would.
+    Rng wr(77);
+    for (auto* model : {&suite->cnn().model(), &suite->mlp().model()}) {
+      std::vector<float> w = model->save_weights();
+      for (float& v : w) v = static_cast<float>(wr.normal() * 0.2);
+      model->load_weights(w);
+    }
+  }
+
+  SuiteOutput run(const EngineConfig& ec) {
+    suite->set_engine_config(ec);
+    return suite->compute(columns, tskin, coszr);
+  }
+};
+
+void expect_same_output(const SuiteOutput& a, const SuiteOutput& b,
+                        const char* what) {
+  ASSERT_EQ(a.tendencies.size(), b.tendencies.size());
+  ASSERT_EQ(a.fluxes.size(), b.fluxes.size());
+  for (size_t i = 0; i < a.tendencies.size(); ++i)
+    ASSERT_EQ(a.tendencies[i], b.tendencies[i]) << what << " tendency " << i;
+  for (size_t i = 0; i < a.fluxes.size(); ++i)
+    ASSERT_EQ(a.fluxes[i], b.fluxes[i]) << what << " flux " << i;
+}
+
+TEST(Engine, BitIdenticalAcrossSpacesAndStoragePolicies) {
+  EngineFixture fx;
+  EngineConfig ref_cfg;  // kSerial, fp32, micro_batch 64
+  const SuiteOutput ref = fx.run(ref_cfg);
+  constexpr pp::ExecSpace spaces[] = {pp::ExecSpace::kSerial,
+                                      pp::ExecSpace::kHostThreads,
+                                      pp::ExecSpace::kSunwayCPE};
+  for (pp::ExecSpace space : spaces) {
+    for (PrecisionPolicy precision :
+         {PrecisionPolicy::kFp32, PrecisionPolicy::kGroupScaled}) {
+      EngineConfig ec;
+      ec.space = space;
+      ec.precision = precision;
+      ec.micro_batch = 16;
+      const SuiteOutput out = fx.run(ec);
+      expect_same_output(out, ref, to_string(precision));
+    }
+  }
+}
+
+TEST(Engine, MicroBatchSizeIsBitwiseInvisible) {
+  EngineFixture fx;
+  EngineConfig whole;
+  whole.micro_batch = 0;  // one slot for the whole batch
+  const SuiteOutput ref = fx.run(whole);
+  for (size_t micro : {size_t{1}, size_t{5}, size_t{7}, size_t{64}}) {
+    EngineConfig ec;
+    ec.micro_batch = micro;
+    const SuiteOutput out = fx.run(ec);
+    expect_same_output(out, ref, "micro-batch");
+  }
+}
+
+TEST(Engine, OverlapIsBitwiseInvisible) {
+  EngineFixture fx;
+  EngineConfig sync;
+  sync.micro_batch = 8;
+  const SuiteOutput ref = fx.run(sync);
+  EngineConfig async = sync;
+  async.overlap = true;
+  async.space = pp::ExecSpace::kHostThreads;
+  const SuiteOutput out = fx.run(async);
+  // Host-threads was proven bitwise = serial above; overlap must not change
+  // that: the async chunk plan is identical to the sync one.
+  expect_same_output(out, ref, "overlap");
+}
+
+TEST(Engine, VerifyModeBoundsUlpDriftFromFp64Reference) {
+  EngineFixture fx;
+  EngineConfig ec;
+  ec.verify = true;
+  ec.micro_batch = 16;
+  (void)fx.run(ec);
+  const EngineStats& stats = fx.suite->engine().stats();
+  EXPECT_LE(stats.max_verify_ulp, ec.ulp_bound);
+  // An absurdly tight bound must trip the check.
+  EngineConfig tight = ec;
+  tight.ulp_bound = 0;
+  EXPECT_THROW(fx.run(tight), ap3::Error);
+}
+
+TEST(Engine, Fp64PolicyStaysCloseToFp32) {
+  EngineFixture fx;
+  EngineConfig f32;
+  const SuiteOutput a = fx.run(f32);
+  EngineConfig f64;
+  f64.precision = PrecisionPolicy::kFp64;
+  const SuiteOutput b = fx.run(f64);
+  for (size_t i = 0; i < a.fluxes.size(); ++i)
+    EXPECT_NEAR(a.fluxes[i], b.fluxes[i], 1e-2f) << i;
+}
+
+TEST(Engine, GroupScaledPolicyModelsHalfWidthWeights) {
+  EngineFixture fx;
+  EngineConfig gs;
+  gs.precision = PrecisionPolicy::kGroupScaled;
+  (void)fx.run(gs);
+  const EngineStats& stats = fx.suite->engine().stats();
+  ASSERT_GT(stats.fp32_weight_bytes, 0.0);
+  ASSERT_GT(stats.gs_weight_bytes, 0.0);
+  // FP32 payload + one FP64 scale per 64-float group: ~17/16 of half the
+  // FP64 footprint — i.e. strictly below 0.6x of a double-precision copy,
+  // and barely above the raw FP32 size.
+  EXPECT_LT(stats.gs_weight_bytes, 1.2 * stats.fp32_weight_bytes);
+}
+
+TEST(Engine, CountsColumnsPerBackend) {
+  obs::set_enabled(true);
+  EngineFixture fx;
+  const double before = obs::total_counter("ai:engine:columns:HostThreads");
+  EngineConfig ec;
+  ec.space = pp::ExecSpace::kHostThreads;
+  (void)fx.run(ec);
+  EXPECT_NEAR(obs::total_counter("ai:engine:columns:HostThreads"),
+              before + static_cast<double>(fx.columns.dim(0)), 0.5);
+}
+
+TEST(Engine, UlpDistanceBasics) {
+  EXPECT_EQ(ulp_distance(1.0f, 1.0f), 0u);
+  EXPECT_EQ(ulp_distance(0.0f, -0.0f), 0u);
+  EXPECT_EQ(ulp_distance(1.0f, std::nextafter(1.0f, 2.0f)), 1u);
+  EXPECT_GT(ulp_distance(1.0f, -1.0f), 1u << 20);
 }
 
 }  // namespace

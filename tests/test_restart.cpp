@@ -421,6 +421,121 @@ TEST(CoupledRestart, SequentialLayoutBitExact) {
   expect_bit_exact_restart(2, restart_config());
 }
 
+// ---- AI physics with online training ---------------------------------------
+
+// A small deployable AI suite without the cost of training: handcrafted
+// normalizers plus deterministic random weights (fresh networks have
+// zero-initialized readouts, which would make inference trivially zero).
+std::shared_ptr<ai::AiPhysicsSuite> make_test_suite(std::size_t nlev) {
+  ai::SuiteConfig sc;
+  sc.cnn_hidden = 4;
+  sc.mlp_hidden = 8;
+  sc.levels = static_cast<int>(nlev);
+  auto suite = std::make_shared<ai::AiPhysicsSuite>(sc);
+
+  const std::vector<float> ch_mean = {0.0f, 0.0f, 260.0f, 1e-3f, 5e4f};
+  const std::vector<float> ch_std = {10.0f, 10.0f, 30.0f, 2e-3f, 3e4f};
+  const std::size_t rad_feat = 5 * nlev + 2;
+  std::vector<float> rad_mean(rad_feat), rad_std(rad_feat);
+  for (std::size_t f = 0; f < 5 * nlev; ++f) {
+    rad_mean[f] = ch_mean[f / nlev];
+    rad_std[f] = ch_std[f / nlev];
+  }
+  rad_mean[5 * nlev] = 288.0f;  // tskin
+  rad_std[5 * nlev] = 15.0f;
+  rad_mean[5 * nlev + 1] = 0.5f;  // coszr
+  rad_std[5 * nlev + 1] = 0.3f;
+  suite->set_normalizers(
+      ai::ChannelNormalizer::from_raw(false, ch_mean, ch_std),
+      ai::ChannelNormalizer::from_raw(
+          false, {0.0f, 0.0f, 0.0f, 0.0f}, {1e-5f, 1e-5f, 1e-5f, 1e-7f}),
+      ai::ChannelNormalizer::from_raw(true, std::move(rad_mean),
+                                      std::move(rad_std)),
+      ai::ChannelNormalizer::from_raw(true, {400.0f, 350.0f},
+                                      {100.0f, 50.0f}));
+
+  Rng wr(91);
+  for (auto* model : {&suite->cnn().model(), &suite->mlp().model()}) {
+    std::vector<float> w = model->save_weights();
+    for (float& v : w) v = static_cast<float>(wr.normal() * 0.05);
+    model->load_weights(w);
+  }
+  return suite;
+}
+
+// The satellite contract of this PR: with the AI suite deployed AND
+// fine-tuning itself online every step (so the network weights and Adam
+// moments are evolving prognostic state), N + restore + N must still equal
+// 2N bit for bit — which requires the cpl.ai.cnn_w / cpl.ai.mlp_w /
+// cpl.ai.train checkpoint sections to round-trip exactly.
+TEST(CoupledRestart, OnlineTrainingBitExact) {
+  const cpl::CoupledConfig config = restart_config();
+  TempDir tmp;
+  const std::string dir = tmp.file("cpl_snap_ai");
+  constexpr int kWindows = 3;
+  constexpr int kRanks = 2;
+
+  atm::OnlineTrainingConfig online;
+  online.every_steps = 1;
+  online.sample_cols = 4;
+  online.lr = 1e-3f;
+  ai::EngineConfig engine;
+  engine.micro_batch = 32;
+
+  auto install = [&](cpl::CoupledModel& model) {
+    model.install_ai_physics(make_test_suite(6), engine, online);
+  };
+
+  std::uint64_t hash_mid = 0, hash_end = 0;
+  run_ranks(kRanks, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    install(model);
+    model.run_windows(kWindows);
+    model.checkpoint(dir);
+    const std::uint64_t mid = model.state_hash();
+    model.run_windows(kWindows);
+    const std::uint64_t end = model.state_hash();
+    if (comm.rank() == 0) {
+      hash_mid = mid;
+      hash_end = end;
+    }
+  });
+
+  run_ranks(kRanks, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    install(model);  // fresh weights; restore must overwrite them
+    model.restore(dir);
+    const std::uint64_t mid = model.state_hash();
+    model.run_windows(kWindows);
+    const std::uint64_t end = model.state_hash();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(mid, hash_mid) << "AI restore is not bit-exact";
+      EXPECT_EQ(end, hash_end)
+          << "resumed online-training trajectory diverged";
+    }
+  });
+}
+
+// Restoring a training-enabled checkpoint into a model without online
+// training (or vice versa) must be rejected, not silently resumed.
+TEST(CoupledRestart, OnlineTrainingFlagMismatchRejected) {
+  const cpl::CoupledConfig config = restart_config();
+  TempDir tmp;
+  const std::string dir = tmp.file("cpl_snap_ai_flag");
+  atm::OnlineTrainingConfig online;
+  online.sample_cols = 4;
+  run_ranks(1, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.install_ai_physics(make_test_suite(6), {}, online);
+    model.run_windows(1);
+    model.checkpoint(dir);
+
+    cpl::CoupledModel plain(comm, config);
+    plain.install_ai_physics(make_test_suite(6));
+    EXPECT_THROW(plain.restore(dir), Error);
+  });
+}
+
 TEST(CoupledRestart, ConcurrentLayoutBitExact) {
   cpl::CoupledConfig config = restart_config();
   config.layout = cpl::Layout::kConcurrent;

@@ -6,6 +6,8 @@
 #include <cmath>
 
 #include "base/rng.hpp"
+#include "obs/obs.hpp"
+#include "tensor/dispatch.hpp"
 #include "tensor/layers.hpp"
 #include "tensor/optimizer.hpp"
 #include "tensor/tensor.hpp"
@@ -258,6 +260,154 @@ TEST(Optimizer, AdamReducesLossOnRegression) {
   }
   EXPECT_LT(last_loss, first_loss * 0.01f);
   EXPECT_LT(last_loss, 1e-3f);
+}
+
+TEST(Optimizer, StateRoundTripResumesBitExactly) {
+  Rng rng(21);
+  auto build = [&](Rng& r) {
+    tensor::Sequential m;
+    m.add(std::make_unique<tensor::Dense>(3, 4, r));
+    m.add(std::make_unique<tensor::ReLU>());
+    m.add(std::make_unique<tensor::Dense>(4, 2, r));
+    return m;
+  };
+  tensor::Sequential a = build(rng);
+  Rng rng2(21);
+  tensor::Sequential b = build(rng2);
+  tensor::Adam opt_a(a, {1e-2f, 0.9f, 0.999f, 1e-8f});
+  tensor::Adam opt_b(b, {1e-2f, 0.9f, 0.999f, 1e-8f});
+
+  Tensor x({8, 3}), y({8, 2});
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.1f * static_cast<float>(i % 7);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = 0.2f * static_cast<float>(i % 5);
+  auto step = [&](tensor::Sequential& m, tensor::Adam& o) {
+    m.zero_grads();
+    const Tensor pred = m.forward(x);
+    m.backward(tensor::mse_grad(pred, y));
+    o.step();
+  };
+  // a: 3 steps straight; b: 3 steps with a save/restore in the middle.
+  step(a, opt_a);
+  step(b, opt_b);
+  const tensor::Adam::State snap = opt_b.state();
+  b.load_weights(b.save_weights());
+  opt_b.restore_state(snap);
+  for (int i = 0; i < 2; ++i) {
+    step(a, opt_a);
+    step(b, opt_b);
+  }
+  const std::vector<float> wa = a.save_weights();
+  const std::vector<float> wb = b.save_weights();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]) << i;
+}
+
+// --- backend-equivalence properties ------------------------------------------
+// The portability contract (tensor/dispatch.hpp): every forward/backward
+// kernel is bit-identical on kSerial, kHostThreads, and the simulated
+// kSunwayCPE, because per-element work is chunked without changing any
+// accumulation order.
+
+constexpr pp::ExecSpace kSpaces[] = {pp::ExecSpace::kSerial,
+                                     pp::ExecSpace::kHostThreads,
+                                     pp::ExecSpace::kSunwayCPE};
+
+Tensor random_tensor(std::vector<size_t> shape, Rng& rng, float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal()) * scale;
+  return t;
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+TEST(Dispatch, MatmulNtBitIdenticalAcrossSpaces) {
+  Rng rng(31);
+  // 70x40 * 50x40^T: big enough that the CPE path tiles (several panels).
+  const Tensor a = random_tensor({70, 40}, rng);
+  const Tensor w = random_tensor({50, 40}, rng);
+  tensor::DispatchScope serial({pp::ExecSpace::kSerial, 0,
+                                tensor::Accum::kFloat32});
+  const Tensor ref = tensor::matmul_nt(a, w);
+  for (pp::ExecSpace space : kSpaces) {
+    tensor::DispatchScope scope({space, 0, tensor::Accum::kFloat32});
+    expect_bitwise(tensor::matmul_nt(a, w), ref, "matmul_nt");
+  }
+}
+
+TEST(Dispatch, Conv1dForwardAndBackwardBitIdenticalAcrossSpaces) {
+  Rng rng(32);
+  const Tensor x = random_tensor({3, 4, 17}, rng);
+  const Tensor k = random_tensor({5, 4, 3}, rng, 0.3f);
+  const Tensor b = random_tensor({5}, rng, 0.1f);
+  tensor::DispatchScope serial({pp::ExecSpace::kSerial, 0,
+                                tensor::Accum::kFloat32});
+  const Tensor y_ref = tensor::conv1d(x, k, b);
+  Tensor gk_ref({5, 4, 3}), gb_ref({5});
+  const Tensor gx_ref = tensor::conv1d_backward(x, k, y_ref, gk_ref, gb_ref);
+  for (pp::ExecSpace space : kSpaces) {
+    tensor::DispatchScope scope({space, 0, tensor::Accum::kFloat32});
+    const Tensor y = tensor::conv1d(x, k, b);
+    expect_bitwise(y, y_ref, "conv1d forward");
+    Tensor gk({5, 4, 3}), gb({5});
+    const Tensor gx = tensor::conv1d_backward(x, k, y, gk, gb);
+    expect_bitwise(gx, gx_ref, "conv1d grad_in");
+    expect_bitwise(gk, gk_ref, "conv1d grad_kernel");
+    expect_bitwise(gb, gb_ref, "conv1d grad_bias");
+  }
+}
+
+TEST(Dispatch, DenseForwardBackwardBitIdenticalAcrossSpaces) {
+  Rng rng(33);
+  tensor::Dense dense(24, 16, rng);
+  const Tensor x = random_tensor({40, 24}, rng);
+  tensor::DispatchScope serial({pp::ExecSpace::kSerial, 0,
+                                tensor::Accum::kFloat32});
+  const Tensor y_ref = dense.forward(x);
+  dense.zero_grads();
+  const Tensor gx_ref = dense.backward(y_ref);
+  const Tensor gw_ref = dense.grad_weight;
+  for (pp::ExecSpace space : kSpaces) {
+    tensor::DispatchScope scope({space, 0, tensor::Accum::kFloat32});
+    const Tensor y = dense.forward(x);
+    expect_bitwise(y, y_ref, "dense forward");
+    dense.zero_grads();
+    const Tensor gx = dense.backward(y);
+    expect_bitwise(gx, gx_ref, "dense grad_in");
+    expect_bitwise(dense.grad_weight, gw_ref, "dense grad_weight");
+  }
+}
+
+TEST(Dispatch, CpeMatmulStagesThroughLdm) {
+  obs::set_enabled(true);
+  const double dma_before = obs::total_counter("sunway:dma:bytes");
+  const double ldm_before = obs::total_counter("tensor:cpe:ldm_bytes");
+  Rng rng(34);
+  const Tensor a = random_tensor({64, 32}, rng);
+  const Tensor w = random_tensor({64, 32}, rng);
+  tensor::DispatchScope scope({pp::ExecSpace::kSunwayCPE, 0,
+                               tensor::Accum::kFloat32});
+  (void)tensor::matmul_nt(a, w);
+  EXPECT_GT(obs::total_counter("sunway:dma:bytes"), dma_before);
+  EXPECT_GT(obs::total_counter("tensor:cpe:ldm_bytes"), ldm_before);
+}
+
+TEST(Dispatch, Fp64AccumulationStaysCloseToFp32) {
+  Rng rng(35);
+  const Tensor a = random_tensor({16, 64}, rng);
+  const Tensor w = random_tensor({16, 64}, rng);
+  tensor::DispatchScope f32({pp::ExecSpace::kSerial, 0,
+                             tensor::Accum::kFloat32});
+  const Tensor y32 = tensor::matmul_nt(a, w);
+  tensor::DispatchScope f64({pp::ExecSpace::kSerial, 0,
+                             tensor::Accum::kFloat64});
+  const Tensor y64 = tensor::matmul_nt(a, w);
+  for (size_t i = 0; i < y32.size(); ++i)
+    EXPECT_NEAR(y32[i], y64[i], 1e-3f) << i;
 }
 
 }  // namespace
