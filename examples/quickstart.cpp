@@ -1,7 +1,8 @@
 // Quickstart: build the fully coupled AP3ESM at toy resolution, run coupling
 // windows, and print global diagnostics.
 //
-//   ./quickstart [nranks] [--windows N] [--overlap] [--trace out.json]
+//   ./quickstart [nranks] [--windows N] [--overlap] [--rebalance-every N]
+//               [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
 //               [--ai-backend=serial|threads|cpe] [--ai-precision=fp64|fp32|gs]
 //
@@ -36,6 +37,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: quickstart [nranks] [--windows N] [--overlap]\n"
+    "                  [--rebalance-every N]\n"
     "                  [--trace out.json]\n"
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
     "                  [--restore DIR]\n"
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
   using namespace ap3;
   int nranks = 2;
   int windows = 0;  // 0: one simulated day
+  int rebalance_every = 0;
   int checkpoint_every = 0;
   std::string checkpoint_dir = "ap3_checkpoint";
   std::string restore_dir;
@@ -117,6 +120,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --windows must be positive\n%s", kUsage);
         return 2;
       }
+    } else if (std::strcmp(argv[a], "--rebalance-every") == 0) {
+      rebalance_every = std::atoi(option_value("--rebalance-every"));
+      if (rebalance_every <= 0) {
+        std::fprintf(stderr, "error: --rebalance-every must be positive\n%s",
+                     kUsage);
+        return 2;
+      }
     } else if (std::strcmp(argv[a], "--checkpoint-every") == 0) {
       checkpoint_every = std::atoi(option_value("--checkpoint-every"));
       if (checkpoint_every <= 0) {
@@ -144,6 +154,10 @@ int main(int argc, char** argv) {
   config.ocn.grid = grid::TripolarConfig{48, 36, 10};   // toy tripolar grid
   config.layout = cpl::Layout::kSequential;
   config.overlap = overlap;  // bit-exact either way; see CoupledConfig::overlap
+  // Bit-exact either way too: migration moves columns, never values. The
+  // stock hysteresis policy applies, so a balanced toy run simply never
+  // migrates.
+  config.rebalance_every = rebalance_every;
 
   std::printf("AP3ESM quickstart: %d ranks, atm %zu cells x %d levels, "
               "ocn %dx%dx%d\n",
@@ -236,6 +250,9 @@ int main(int argc, char** argv) {
                   model.has_atm() ? model.atm_model()->model_steps() : 0,
                   model.has_ocn() ? model.ocn_model()->baroclinic_steps() : 0,
                   static_cast<unsigned long long>(hash));
+    if (config.rebalance_every > 0 && comm.rank() == 0)
+      std::printf("load rebalancing: %lld migration(s)\n",
+                  model.rebalance_migrations());
 
     const cpl::TimingSummary timing = model.timing_summary();
     if (comm.rank() == 0) std::printf("\n%s", timing.to_string().c_str());

@@ -5,6 +5,7 @@
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ap3::atm {
 
@@ -202,12 +203,24 @@ void AtmModel::import_state(const mct::AttrVect& x2a) {
   AP3_REQUIRE(x2a.num_points() == local.num_owned());
   const auto sst = x2a.field("sst");
   const auto ifrac = x2a.field("ifrac");
+  // Coldest physical SST: seawater freezing point at 35 psu, in Kelvin.
+  const double sst_floor = constants::kSeawaterFreeze + constants::kT0;
+  double rejected = 0.0;
   for (std::size_t c = 0; c < local.num_owned(); ++c) {
-    // Regridded SST can be slightly out of range near coasts; clamp to
-    // physical bounds. Land cells ignore the import entirely.
-    if (!land_mask_[c] && sst[c] > 200.0) sst_[c] = std::min(sst[c], 320.0);
+    // Values at or below 200 K are fill-value sentinels from unmapped source
+    // cells, not temperatures: keep the previous cached SST and count the
+    // rejection. Accepted values clamp to physical bounds (regridding can
+    // overshoot slightly near coasts). Land cells ignore the import entirely.
+    if (!land_mask_[c]) {
+      if (sst[c] <= 200.0) {
+        rejected += 1.0;
+      } else {
+        sst_[c] = std::clamp(sst[c], sst_floor, 320.0);
+      }
+    }
     ifrac_[c] = std::clamp(ifrac[c], 0.0, 1.0);
   }
+  if (rejected > 0.0) obs::counter_add("atm:import:sst_rejected", rejected);
 }
 
 std::vector<std::string> AtmModel::checkpoint_section_names() {

@@ -48,6 +48,7 @@ class AtmModel {
 
   bool is_land(std::size_t owned) const { return land_mask_[owned]; }
   double tskin(std::size_t owned) const { return tskin_[owned]; }
+  double sst(std::size_t owned) const { return sst_[owned]; }
   /// Area-weighted global mean precipitation [kg/m²/s] (collective).
   double global_mean_precip() const;
   /// Steps taken so far.

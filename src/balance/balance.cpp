@@ -1,0 +1,197 @@
+#include "balance/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+#include "mct/router.hpp"
+#include "obs/obs.hpp"
+
+namespace ap3::balance {
+
+double MeasuredCost::max_seconds() const {
+  double m = 0.0;
+  for (const double s : per_rank_seconds) m = std::max(m, s);
+  return m;
+}
+
+double MeasuredCost::mean_seconds() const {
+  if (per_rank_seconds.empty()) return 0.0;
+  double total = 0.0;
+  for (const double s : per_rank_seconds) total += s;
+  return total / static_cast<double>(per_rank_seconds.size());
+}
+
+double MeasuredCost::imbalance() const {
+  const double mean = mean_seconds();
+  return mean > 0.0 ? max_seconds() / mean : 1.0;
+}
+
+MeasuredCost measured_phase_cost(const par::Comm& comm,
+                                 std::string_view span_name,
+                                 std::size_t first_event,
+                                 double extra_local_seconds) {
+  double local = extra_local_seconds;
+  for (const obs::SpanStats& s : obs::local().aggregate_spans(first_event)) {
+    if (s.name == span_name) {
+      local += s.total_seconds;
+      break;
+    }
+  }
+  MeasuredCost cost;
+  cost.per_rank_seconds =
+      comm.allgather(std::span<const double>(&local, 1));
+  return cost;
+}
+
+CutPlan plan_rebalance(std::span<const double> cell_weight, int nx, int ny,
+                       const grid::BlockPartition2D& old_partition,
+                       const MeasuredCost& cost) {
+  const int nranks = old_partition.nranks();
+  AP3_REQUIRE(cell_weight.size() ==
+              static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  AP3_REQUIRE(cost.per_rank_seconds.size() == static_cast<std::size_t>(nranks));
+
+  // Seconds per weight unit of each old owner. A rank whose block carries no
+  // weight contributes no attributable cost (its time is fixed overhead).
+  std::vector<double> block_weight(static_cast<std::size_t>(nranks), 0.0);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      block_weight[static_cast<std::size_t>(old_partition.owner(i, j))] +=
+          cell_weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(i)];
+  std::vector<double> rate(static_cast<std::size_t>(nranks), 0.0);
+  for (int r = 0; r < nranks; ++r)
+    if (block_weight[static_cast<std::size_t>(r)] > 0.0)
+      rate[static_cast<std::size_t>(r)] =
+          cost.per_rank_seconds[static_cast<std::size_t>(r)] /
+          block_weight[static_cast<std::size_t>(r)];
+
+  // Attributed per-cell cost and its marginals: a tensor-product cut cannot
+  // follow arbitrary 2-D structure, but balancing both marginals captures
+  // band-shaped skew (the common case: latitude bands of sea ice, longitude
+  // bands of straggling nodes).
+  std::vector<double> attributed(cell_weight.size(), 0.0);
+  std::vector<double> wx(static_cast<std::size_t>(nx), 0.0);
+  std::vector<double> wy(static_cast<std::size_t>(ny), 0.0);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const std::size_t cell =
+          static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+          static_cast<std::size_t>(i);
+      const double c = cell_weight[cell] *
+                       rate[static_cast<std::size_t>(old_partition.owner(i, j))];
+      attributed[cell] = c;
+      wx[static_cast<std::size_t>(i)] += c;
+      wy[static_cast<std::size_t>(j)] += c;
+    }
+  }
+
+  CutPlan plan;
+  plan.cuts.x = grid::weighted_cuts(wx, old_partition.px(), /*nonempty=*/true);
+  plan.cuts.y = grid::weighted_cuts(wy, old_partition.py(), /*nonempty=*/true);
+  plan.current_max_seconds = cost.max_seconds();
+
+  const grid::BlockPartition2D next(nx, ny, plan.cuts);
+  std::vector<double> new_load(static_cast<std::size_t>(nranks), 0.0);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const std::size_t cell =
+          static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+          static_cast<std::size_t>(i);
+      new_load[static_cast<std::size_t>(next.owner(i, j))] += attributed[cell];
+      const auto w = static_cast<std::int64_t>(cell_weight[cell]);
+      plan.total_weight += w;
+      if (next.owner(i, j) != old_partition.owner(i, j)) plan.moved_weight += w;
+    }
+  }
+  for (const double load : new_load)
+    plan.predicted_max_seconds = std::max(plan.predicted_max_seconds, load);
+  return plan;
+}
+
+LoadBalancer::LoadBalancer(std::string name, RebalancePolicy policy,
+                           perf::MachineKind machine)
+    : name_(std::move(name)), policy_(policy), net_(machine) {}
+
+Decision LoadBalancer::consider(std::span<const double> cell_weight, int nx,
+                                int ny,
+                                const grid::BlockPartition2D& old_partition,
+                                const MeasuredCost& cost,
+                                double bytes_per_weight_unit) {
+  const std::string prefix = "balance:" + name_ + ":";
+  obs::counter_add(prefix + "considered", 1.0);
+
+  Decision d;
+  d.imbalance = cost.imbalance();
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    d.reason = "cooldown";
+    obs::counter_add(prefix + "skipped_cooldown", 1.0);
+    return d;
+  }
+  if (cost.mean_seconds() < policy_.min_phase_seconds) {
+    d.reason = "negligible";
+    obs::counter_add(prefix + "skipped_negligible", 1.0);
+    return d;
+  }
+  if (d.imbalance < policy_.imbalance_enter) {
+    d.reason = "balanced";
+    obs::counter_add(prefix + "skipped_balanced", 1.0);
+    return d;
+  }
+
+  d.plan = plan_rebalance(cell_weight, nx, ny, old_partition, cost);
+  if (d.plan.cuts == old_partition.cuts()) {
+    d.reason = "no_change";
+    obs::counter_add(prefix + "skipped_no_change", 1.0);
+    return d;
+  }
+  const double savings_per_window =
+      d.plan.current_max_seconds - d.plan.predicted_max_seconds;
+  if (savings_per_window <=
+      d.plan.current_max_seconds * policy_.min_improvement) {
+    d.reason = "no_gain";
+    obs::counter_add(prefix + "skipped_gain", 1.0);
+    return d;
+  }
+  d.predicted_savings_seconds = savings_per_window * policy_.amortize_windows;
+
+  // Migration cost: every moved weight unit crosses the network once (charge
+  // the oversubscribed inter-supernode path — migrations are long-range),
+  // spread across the ranks, plus one small collective to agree on the plan.
+  const int nranks = old_partition.nranks();
+  const double moved_bytes =
+      static_cast<double>(d.plan.moved_weight) * bytes_per_weight_unit;
+  d.migration_cost_seconds =
+      2.0 * net_.p2p_seconds(moved_bytes / std::max(1, nranks), false) +
+      net_.allreduce_seconds(8.0, nranks);
+  if (!policy_.ignore_migration_cost &&
+      d.predicted_savings_seconds <= d.migration_cost_seconds) {
+    d.reason = "migration_cost";
+    obs::counter_add(prefix + "skipped_cost", 1.0);
+    return d;
+  }
+
+  d.migrate = true;
+  d.reason = "migrate";
+  cooldown_remaining_ = policy_.cooldown;
+  obs::counter_add(prefix + "migrations", 1.0);
+  return d;
+}
+
+ColumnMigrator::ColumnMigrator(const par::Comm& comm,
+                               const std::vector<std::int64_t>& old_gids,
+                               const std::vector<std::int64_t>& new_gids)
+    : rearranger_(comm, mct::Router::build(
+                            comm.rank(), mct::GlobalSegMap::build(comm, old_gids),
+                            mct::GlobalSegMap::build(comm, new_gids))) {
+  for (const auto& [peer, indices] : rearranger_.router().send_plan())
+    if (peer != comm.rank())
+      columns_moved_offrank_ += static_cast<std::int64_t>(indices.size());
+}
+
+void ColumnMigrator::migrate(const mct::AttrVect& src, mct::AttrVect& dst) const {
+  rearranger_.rearrange(src, dst, mct::Strategy::kSplitPhase);
+}
+
+}  // namespace ap3::balance

@@ -1,0 +1,139 @@
+// Runtime load rebalancing (src/balance).
+//
+// Closes the loop the static §5.2.2 compaction leaves open: per-rank phase
+// costs measured by the obs layer feed a weighted repartitioner (the same
+// greedy cut rule, driven by measured seconds instead of kmt counts), a
+// hysteresis-guarded decision compares the predicted steady-state savings
+// against a NetworkModel-style migration cost, and accepted plans move
+// column state between ranks through an MCT Router/Rearranger built from
+// the old→new ownership maps. Migration reuses the checkpoint-grade column
+// records, so a rebalanced run is bit-identical to a static one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grid/partition.hpp"
+#include "mct/attrvect.hpp"
+#include "mct/gsmap.hpp"
+#include "mct/rearranger.hpp"
+#include "par/comm.hpp"
+#include "perf/network.hpp"
+
+namespace ap3::balance {
+
+/// Per-rank measured cost of one phase, allgathered so every rank holds the
+/// identical vector (rebalancing decisions must be collectively consistent).
+struct MeasuredCost {
+  std::vector<double> per_rank_seconds;
+  double max_seconds() const;
+  double mean_seconds() const;
+  /// max/mean; 1.0 when the phase recorded no time at all.
+  double imbalance() const;
+};
+
+/// Collective: reads this rank's obs span total for `span_name` since event
+/// `first_event` and allgathers it over `comm`. `extra_local_seconds` is added
+/// to the local term before the allgather; use it to fold in busy-time
+/// counters (e.g. straggler stall seconds) that wall-clock spans under-report
+/// when halo waits synchronize fast ranks to slow ones.
+MeasuredCost measured_phase_cost(const par::Comm& comm,
+                                 std::string_view span_name,
+                                 std::size_t first_event,
+                                 double extra_local_seconds = 0.0);
+
+/// Hysteresis knobs. Defaults are deliberately conservative: rebalancing
+/// only engages on a sustained >15 % imbalance and re-engages at most every
+/// `cooldown` further considerations, so measurement noise cannot thrash the
+/// decomposition.
+struct RebalancePolicy {
+  double imbalance_enter = 1.15;  ///< consider only above this max/mean
+  double min_improvement = 0.02;  ///< predicted relative gain floor
+  /// Absolute floor on the mean per-rank phase cost: phases cheaper than this
+  /// over a measurement window are pure scheduler noise (a few ms of
+  /// preemption reads as a huge *relative* imbalance on a ms-scale phase) and
+  /// are never worth a migration.
+  double min_phase_seconds = 0.05;
+  int cooldown = 1;               ///< considerations skipped after a migration
+  int amortize_windows = 10;      ///< windows the savings must pay back over
+  bool ignore_migration_cost = false;  ///< tests: force pure-imbalance rule
+};
+
+/// A candidate repartition with its predicted effect.
+struct CutPlan {
+  grid::BlockCuts cuts;
+  double current_max_seconds = 0.0;
+  double predicted_max_seconds = 0.0;
+  std::int64_t moved_weight = 0;  ///< weight units changing owner
+  std::int64_t total_weight = 0;
+};
+
+/// Weighted tensor repartition. `cell_weight` is the nx×ny row-major static
+/// weight of every cell (e.g. kmt; 0 for land). Each cell's cost is the old
+/// owner's measured seconds-per-weight-unit times its weight; the marginal
+/// sums along x and y feed weighted_cuts, and the predicted new max load is
+/// evaluated on the resulting 2-D plan.
+CutPlan plan_rebalance(std::span<const double> cell_weight, int nx, int ny,
+                       const grid::BlockPartition2D& old_partition,
+                       const MeasuredCost& cost);
+
+struct Decision {
+  bool migrate = false;
+  const char* reason = "";
+  double imbalance = 1.0;
+  double predicted_savings_seconds = 0.0;  ///< over policy.amortize_windows
+  double migration_cost_seconds = 0.0;
+  CutPlan plan;
+};
+
+/// Stateful decision maker for one component. All inputs are replicated
+/// (MeasuredCost is allgathered, weights and partition are deterministic),
+/// so every rank of the component's communicator reaches the same Decision
+/// in lockstep — the cooldown counter needs no extra communication.
+class LoadBalancer {
+ public:
+  LoadBalancer(std::string name, RebalancePolicy policy,
+               perf::MachineKind machine = perf::MachineKind::kSunwayOceanLight);
+
+  /// Evaluate one rebalancing opportunity. `bytes_per_weight_unit` converts
+  /// moved weight into migration traffic for the cost model.
+  Decision consider(std::span<const double> cell_weight, int nx, int ny,
+                    const grid::BlockPartition2D& old_partition,
+                    const MeasuredCost& cost, double bytes_per_weight_unit);
+
+  const RebalancePolicy& policy() const { return policy_; }
+
+ private:
+  std::string name_;  ///< obs counter prefix: balance:<name>:*
+  RebalancePolicy policy_;
+  perf::NetworkModel net_;
+  int cooldown_remaining_ = 0;
+};
+
+/// Moves gid-keyed column records between two decompositions of the same
+/// global id space. The Router is built from the old→new GlobalSegMaps, so
+/// every column lands exactly once; field payloads are forwarded untouched
+/// (bit-exact by construction).
+class ColumnMigrator {
+ public:
+  /// Collective over `comm`; both gid lists must be sorted ascending and
+  /// partition the same global set.
+  ColumnMigrator(const par::Comm& comm,
+                 const std::vector<std::int64_t>& old_gids,
+                 const std::vector<std::int64_t>& new_gids);
+
+  /// src: one point per old-ownership column; dst: per new-ownership column.
+  void migrate(const mct::AttrVect& src, mct::AttrVect& dst) const;
+
+  /// Columns this rank ships to a different rank (self-delivery excluded).
+  std::int64_t columns_moved_offrank() const { return columns_moved_offrank_; }
+
+ private:
+  mct::Rearranger rearranger_;
+  std::int64_t columns_moved_offrank_ = 0;
+};
+
+}  // namespace ap3::balance

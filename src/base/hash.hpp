@@ -1,0 +1,36 @@
+// FNV-1a hashing shared by checkpoint/state-hash witnesses.
+//
+// The coupled state hash splits into a rank-static part (combined in rank
+// order) and an ownership-covariant part: per-column digests keyed by global
+// id and merged with wrapping uint64 addition, so the result is invariant
+// under runtime load rebalancing (ownership moves between ranks, bits do
+// not). Both parts build on these primitives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ap3 {
+
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t b = 0; b < n; ++b) {
+    h ^= bytes[b];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_value(std::uint64_t h, double v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+inline std::uint64_t fnv1a_value(std::uint64_t h, std::int64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace ap3

@@ -7,6 +7,7 @@
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
+#include "base/hash.hpp"
 #include "obs/obs.hpp"
 
 namespace ap3::cpl {
@@ -49,16 +50,16 @@ CoupledModel::CoupledModel(const par::Comm& global, const CoupledConfig& config)
   mesh_ = std::make_unique<grid::IcosahedralGrid>(config_.atm.mesh_n);
   if (atm_comm_) {
     atm_ = std::make_unique<atm::AtmModel>(*atm_comm_, config_.atm, *mesh_);
-    ice::IceConfig ice_config;
-    ice_config.grid = config_.ocn.grid;
-    ice_config.dt_seconds = config_.ice_dt_seconds > 0.0
-                                ? config_.ice_dt_seconds
-                                : window_seconds_;
-    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, ice_config);
+    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config());
   }
   if (ocn_comm_) ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn);
 
   build_coupling_infrastructure();
+
+  if (config_.rebalance_every > 0) {
+    if (ocn_) ocn_balancer_.emplace("ocn", config_.rebalance);
+    if (ice_) ice_balancer_.emplace("ice", config_.rebalance);
+  }
 
   const std::size_t natm = atm_ ? atm_->dycore().mesh().num_owned() : 0;
   a2x_accum_ = mct::AttrVect(atm::AtmModel::export_fields(), natm);
@@ -73,6 +74,17 @@ CoupledModel::CoupledModel(const par::Comm& global, const CoupledConfig& config)
   // Timing excludes initialization (§6.2): only spans recorded from here on
   // feed this model's getTiming pipeline.
   obs_first_event_ = obs::local().event_count();
+  balance_ocn_mark_ = obs_first_event_;
+  balance_ice_mark_ = obs_first_event_;
+  balance_ocn_stall_seen_ = obs::local().counter("ocn:stall_seconds");
+}
+
+ice::IceConfig CoupledModel::make_ice_config() const {
+  ice::IceConfig ice_config;
+  ice_config.grid = config_.ocn.grid;
+  ice_config.dt_seconds =
+      config_.ice_dt_seconds > 0.0 ? config_.ice_dt_seconds : window_seconds_;
+  return ice_config;
 }
 
 void CoupledModel::build_coupling_infrastructure() {
@@ -155,6 +167,15 @@ void CoupledModel::run_windows(int atm_windows) {
   AP3_SPAN("run");
   for (int w = 0; w < atm_windows; ++w) {
     if (clock_.ringing(0)) {
+      if (config_.rebalance_every > 0) {
+        // Decide at ocean coupling-window boundaries, after at least one full
+        // window of measured phase costs has accumulated.
+        const long long done = clock_.steps_taken() / config_.ocn_couple_ratio;
+        if (done > 0 && done % config_.rebalance_every == 0) {
+          AP3_SPAN("run:rebalance");
+          maybe_rebalance();
+        }
+      }
       AP3_SPAN("run:ocn_phase");
       ocn_phase();
     }
@@ -354,7 +375,10 @@ void CoupledModel::atm_ice_phase() {
     std::copy(us_on_ice_.begin(), us_on_ice_.end(), x2i.field("us").begin());
     std::copy(vs_on_ice_.begin(), vs_on_ice_.end(), x2i.field("vs").begin());
     ice_->import_state(x2i);
-    ice_->run(clock_.now(), window_seconds_);
+    {
+      AP3_SPAN("run:atm_ice_phase:ice_run");
+      ice_->run(clock_.now(), window_seconds_);
+    }
     ice_->export_state(i2x);
   }
 
@@ -379,6 +403,161 @@ void CoupledModel::atm_ice_phase() {
     std::copy(ifrac_atm.begin(), ifrac_atm.end(), x2a.field("ifrac").begin());
     atm_->import_state(x2a);
   }
+}
+
+// ---- runtime load rebalancing (src/balance) ---------------------------------
+
+void CoupledModel::maybe_rebalance() {
+  bool ocn_go = false, ice_go = false;
+  grid::BlockCuts ocn_cuts, ice_cuts;
+
+  if (ocn_ && ocn_balancer_) {
+    // Wall-clock spans converge across ranks when halo waits couple a fast
+    // rank to a straggler; the busy-time counter restores the per-rank signal.
+    const double stall_total = obs::local().counter("ocn:stall_seconds");
+    const balance::MeasuredCost cost = balance::measured_phase_cost(
+        *ocn_comm_, "run:ocn_phase:ocn_run", balance_ocn_mark_,
+        stall_total - balance_ocn_stall_seen_);
+    balance_ocn_stall_seen_ = stall_total;
+    const grid::TripolarGrid& g = ocn_->ocean_grid();
+    std::vector<double> weight(static_cast<std::size_t>(g.nx()) *
+                               static_cast<std::size_t>(g.ny()));
+    for (int j = 0; j < g.ny(); ++j)
+      for (int i = 0; i < g.nx(); ++i)
+        weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(g.nx()) +
+               static_cast<std::size_t>(i)] = static_cast<double>(g.kmt(i, j));
+    // One weight unit is one wet level: four level fields plus the seven
+    // per-column fields amortized over the column depth.
+    const double bytes_per_unit =
+        8.0 * (4.0 + 7.0 / std::max(1, config_.ocn.grid.nz));
+    const balance::Decision d = ocn_balancer_->consider(
+        weight, g.nx(), g.ny(), ocn_->partition(), cost, bytes_per_unit);
+    if (d.migrate) {
+      ocn_go = true;
+      ocn_cuts = d.plan.cuts;
+    }
+  }
+  if (ice_ && ice_balancer_) {
+    const balance::MeasuredCost cost = balance::measured_phase_cost(
+        *atm_comm_, "run:atm_ice_phase:ice_run", balance_ice_mark_);
+    const grid::TripolarGrid g(config_.ocn.grid);
+    std::vector<double> weight(static_cast<std::size_t>(g.nx()) *
+                               static_cast<std::size_t>(g.ny()));
+    for (int j = 0; j < g.ny(); ++j)
+      for (int i = 0; i < g.nx(); ++i)
+        weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(g.nx()) +
+               static_cast<std::size_t>(i)] = g.kmt(i, j) > 0 ? 1.0 : 0.0;
+    const balance::Decision d = ice_balancer_->consider(
+        weight, g.nx(), g.ny(), ice_->partition(), cost,
+        /*bytes_per_weight_unit=*/8.0 * 6.0);
+    if (d.migrate) {
+      ice_go = true;
+      ice_cuts = d.plan.cuts;
+    }
+  }
+  // Start the next measurement window from here either way.
+  balance_ocn_mark_ = obs::local().event_count();
+  balance_ice_mark_ = balance_ocn_mark_;
+
+  // The per-domain decisions are deterministic functions of allgathered costs
+  // and lockstep balancer state, so they agree within each domain; these
+  // reductions only spread them to the other domain's ranks.
+  const bool any_ocn =
+      global_.allreduce_value(ocn_go ? 1.0 : 0.0, par::ReduceOp::kMax) > 0.5;
+  const bool any_ice =
+      global_.allreduce_value(ice_go ? 1.0 : 0.0, par::ReduceOp::kMax) > 0.5;
+  if (!any_ocn && !any_ice) return;
+
+  // Snapshot the coupler's ice-side caches before ownership changes.
+  const mct::GlobalSegMap old_ice_map = ice_map_;
+  const std::size_t old_nice = ice_ ? ice_->ocean_gids().size() : 0;
+  mct::AttrVect old_caches({"sst", "us", "vs"}, old_nice);
+  if (ice_) {
+    std::copy(sst_on_ice_.begin(), sst_on_ice_.end(),
+              old_caches.field("sst").begin());
+    std::copy(us_on_ice_.begin(), us_on_ice_.end(),
+              old_caches.field("us").begin());
+    std::copy(vs_on_ice_.begin(), vs_on_ice_.end(),
+              old_caches.field("vs").begin());
+  }
+
+  if (any_ocn && ocn_) migrate_ocn(ocn_cuts);
+  if (any_ice && ice_) migrate_ice(ice_cuts);
+  build_coupling_infrastructure();
+
+  if (any_ice) {
+    // Re-home the cached ice-side fields (collective on the global
+    // communicator; ocean-domain ranks own no ice columns on either side).
+    mct::Rearranger cache_move(
+        global_, mct::Router::build(global_.rank(), old_ice_map, ice_map_));
+    const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
+    mct::AttrVect new_caches({"sst", "us", "vs"}, nice);
+    cache_move.rearrange(old_caches, new_caches);
+    sst_on_ice_.assign(new_caches.field("sst").begin(),
+                       new_caches.field("sst").end());
+    us_on_ice_.assign(new_caches.field("us").begin(),
+                      new_caches.field("us").end());
+    vs_on_ice_.assign(new_caches.field("vs").begin(),
+                      new_caches.field("vs").end());
+  }
+
+  ++rebalance_migrations_;
+  obs::counter_add("balance:rebalances", 1.0);
+}
+
+void CoupledModel::migrate_ocn(const grid::BlockCuts& cuts) {
+  AP3_SPAN("run:rebalance:migrate_ocn");
+  const std::vector<std::string> fields =
+      ocn::OcnModel::migration_fields(config_.ocn.grid.nz);
+  mct::AttrVect src(fields, ocn_->ocean_gids().size());
+  ocn_->export_migration_columns(src);
+  const std::vector<std::int64_t> old_gids = ocn_->ocean_gids();
+  const long long steps = ocn_->baroclinic_steps();
+
+  auto next = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, cuts);
+  balance::ColumnMigrator mover(*ocn_comm_, old_gids, next->ocean_gids());
+  mct::AttrVect dst(fields, next->ocean_gids().size());
+  mover.migrate(src, dst);
+  next->import_migration_columns(dst);
+  next->set_baroclinic_steps(steps);
+  ocn_ = std::move(next);
+  obs::counter_add("balance:ocn:columns_moved",
+                   static_cast<double>(mover.columns_moved_offrank()));
+}
+
+void CoupledModel::migrate_ice(const grid::BlockCuts& cuts) {
+  AP3_SPAN("run:rebalance:migrate_ice");
+  const std::vector<std::string> fields = ice::IceModel::migration_fields();
+  mct::AttrVect src(fields, ice_->ocean_gids().size());
+  ice_->export_migration_columns(src);
+  const std::vector<std::int64_t> old_gids = ice_->ocean_gids();
+  const long long steps = ice_->steps();
+
+  auto next =
+      std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(), cuts);
+  balance::ColumnMigrator mover(*atm_comm_, old_gids, next->ocean_gids());
+  mct::AttrVect dst(fields, next->ocean_gids().size());
+  mover.migrate(src, dst);
+  next->import_migration_columns(dst);
+  next->set_steps(steps);
+  ice_ = std::move(next);
+  obs::counter_add("balance:ice:columns_moved",
+                   static_cast<double>(mover.columns_moved_offrank()));
+}
+
+std::uint64_t CoupledModel::ice_cache_column_hash() const {
+  if (!ice_) return 0;
+  const std::vector<std::int64_t>& gids = ice_->ocean_gids();
+  std::uint64_t sum = 0;
+  for (std::size_t c = 0; c < gids.size(); ++c) {
+    std::uint64_t h = kFnvBasis;
+    h = fnv1a_value(h, gids[c]);
+    h = fnv1a_value(h, sst_on_ice_[c]);
+    h = fnv1a_value(h, us_on_ice_[c]);
+    h = fnv1a_value(h, vs_on_ice_[c]);
+    sum += h;  // wrapping sum: column order and ownership do not matter
+  }
+  return sum;
 }
 
 // ---- checkpoint/restart -----------------------------------------------------
@@ -456,9 +635,19 @@ std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < n; ++i) {
     h ^= p[i];
-    h *= 1099511628211ULL;
+    h *= kFnvPrime;
   }
   return h;
+}
+
+/// Sections whose per-rank bytes legitimately change when column ownership
+/// moves between ranks. state_hash() folds them in per global column instead
+/// (column_state_hash), so the result is invariant under rebalancing.
+bool ownership_covariant_section(const std::string& name) {
+  if (name == "ocn.steps" || name == "ice.steps") return false;
+  if (name.rfind("ocn.", 0) == 0 || name.rfind("ice.", 0) == 0) return true;
+  return name == "cpl.sst_on_ice" || name == "cpl.us_on_ice" ||
+         name == "cpl.vs_on_ice";
 }
 
 }  // namespace
@@ -614,6 +803,7 @@ void CoupledModel::checkpoint(const std::string& dir) {
                     config_.layout == Layout::kSequential ? 0.0 : 1.0);
   writer.set_scalar("cfg.ocn_couple_ratio",
                     static_cast<double>(config_.ocn_couple_ratio));
+  write_layout_scalars(writer);
   writer.finalize();
   obs::counter_add("ckpt:writes", 1.0);
   obs::counter_add("ckpt:bytes", static_cast<double>(writer.bytes_written()));
@@ -640,6 +830,11 @@ void CoupledModel::restore(const std::string& dir) {
   AP3_REQUIRE_MSG(ai_on == ai_physics_active(),
                   "checkpoint config mismatch: AI physics was "
                       << (ai_on ? "on" : "off") << " when written");
+
+  // Adopt the checkpointed decomposition before any section reads: the
+  // templates below carry per-rank id lists, which must match the layout the
+  // snapshot was written on (it may have been rebalanced mid-run).
+  restore_layout(reader);
 
   // The template sections carry this rank's layout (names + ids); the reads
   // are collective in canonical inventory order on every rank.
@@ -673,25 +868,111 @@ void CoupledModel::restore(const std::string& dir) {
   obs::counter_add("ckpt:restores", 1.0);
 }
 
+void CoupledModel::write_layout_scalars(io::CheckpointWriter& writer) {
+  // set_scalar treats rank 0's value as authoritative, so replicate the cuts
+  // from a rank that owns the component before storing them. Roots are chosen
+  // to lie inside the owning domain in both layouts: the last rank is always
+  // in the ocean domain, rank 0 always in the atm domain.
+  auto store = [&](const std::string& prefix, const grid::BlockCuts& cuts,
+                   int root) {
+    double header[2] = {static_cast<double>(cuts.x.size()),
+                        static_cast<double>(cuts.y.size())};
+    global_.bcast(std::span<double>(header, 2), root);
+    std::vector<double> payload(static_cast<std::size_t>(header[0]) +
+                                static_cast<std::size_t>(header[1]));
+    if (global_.rank() == root) {
+      std::size_t at = 0;
+      for (const std::int64_t v : cuts.x)
+        payload[at++] = static_cast<double>(v);
+      for (const std::int64_t v : cuts.y)
+        payload[at++] = static_cast<double>(v);
+    }
+    if (!payload.empty()) global_.bcast(std::span<double>(payload), root);
+    writer.set_scalar(prefix + ".x_cuts", header[0]);
+    writer.set_scalar(prefix + ".y_cuts", header[1]);
+    const auto nx = static_cast<std::size_t>(header[0]);
+    for (std::size_t k = 0; k < payload.size(); ++k) {
+      const bool in_x = k < nx;
+      writer.set_scalar(
+          prefix + (in_x ? ".x" : ".y") + std::to_string(in_x ? k : k - nx),
+          payload[k]);
+    }
+  };
+  store("bal.ocn", ocn_ ? ocn_->cuts() : grid::BlockCuts{},
+        global_.size() - 1);
+  store("bal.ice", ice_ ? ice_->cuts() : grid::BlockCuts{}, 0);
+}
+
+void CoupledModel::restore_layout(io::CheckpointReader& reader) {
+  auto read_cuts =
+      [&](const std::string& prefix) -> std::optional<grid::BlockCuts> {
+    // Absent scalars mean a snapshot from before cut persistence existed:
+    // fall back to the constructor's balanced default (no rebuild).
+    if (!reader.has_scalar(prefix + ".x_cuts")) return std::nullopt;
+    const auto nx = static_cast<std::size_t>(reader.scalar(prefix + ".x_cuts"));
+    const auto ny = static_cast<std::size_t>(reader.scalar(prefix + ".y_cuts"));
+    if (nx == 0 || ny == 0) return std::nullopt;
+    grid::BlockCuts cuts;
+    for (std::size_t k = 0; k < nx; ++k)
+      cuts.x.push_back(static_cast<std::int64_t>(
+          reader.scalar(prefix + ".x" + std::to_string(k))));
+    for (std::size_t k = 0; k < ny; ++k)
+      cuts.y.push_back(static_cast<std::int64_t>(
+          reader.scalar(prefix + ".y" + std::to_string(k))));
+    return cuts;
+  };
+  const std::optional<grid::BlockCuts> ocn_cuts = read_cuts("bal.ocn");
+  const std::optional<grid::BlockCuts> ice_cuts = read_cuts("bal.ice");
+  const bool ocn_mismatch = ocn_ && ocn_cuts && !(*ocn_cuts == ocn_->cuts());
+  const bool ice_mismatch = ice_ && ice_cuts && !(*ice_cuts == ice_->cuts());
+  const double any = global_.allreduce_value(
+      ocn_mismatch || ice_mismatch ? 1.0 : 0.0, par::ReduceOp::kMax);
+  if (any < 0.5) return;
+  // The snapshot was written on a rebalanced decomposition: rebuild the
+  // mismatched components on the stored cuts. Their fresh state is about to
+  // be overwritten wholesale by the section reads, which address columns by
+  // global id and therefore need the stored layout.
+  if (ocn_mismatch)
+    ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, *ocn_cuts);
+  if (ice_mismatch)
+    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
+                                           *ice_cuts);
+  build_coupling_infrastructure();
+  const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
+  sst_on_ice_.assign(nice, 0.0);  // overwritten by the cpl.* section reads
+  us_on_ice_.assign(nice, 0.0);
+  vs_on_ice_.assign(nice, 0.0);
+  obs::counter_add("balance:restore_relayout", 1.0);
+}
+
 std::uint64_t CoupledModel::state_hash() {
   const bool ai_on = ai_physics_active();
   std::map<std::string, io::FieldData> local = local_sections(ai_on);
-  std::uint64_t h = 1469598103934665603ULL;
+  std::uint64_t h = kFnvBasis;
   for (const std::string& name : section_inventory(ai_on)) {
+    if (ownership_covariant_section(name)) continue;
     auto it = local.find(name);
     if (it == local.end()) continue;
     h = fnv_bytes(h, name.data(), name.size());
     h = fnv_bytes(h, it->second.values.data(),
                   it->second.values.size() * sizeof(double));
   }
-  // Combine per-rank digests in rank order so the result is decomposition-
-  // deterministic and identical on every rank.
+  // Decomposition-static sections combine per rank in rank order; ownership-
+  // covariant state combines as an order-insensitive wrapping sum of
+  // per-global-column digests, so runs that rebalanced mid-flight hash
+  // identically to runs that never moved a column.
   const std::vector<std::uint64_t> all =
       global_.allgather(std::span<const std::uint64_t>(&h, 1));
-  std::uint64_t combined = 1469598103934665603ULL;
+  std::uint64_t combined = kFnvBasis;
   for (std::uint64_t r : all)
     combined = fnv_bytes(combined, &r, sizeof(r));
-  return combined;
+  std::uint64_t columns = 0;
+  if (ocn_) columns += ocn_->column_state_hash();
+  if (ice_) columns += ice_->column_state_hash();
+  columns += ice_cache_column_hash();
+  const std::uint64_t total =
+      global_.allreduce_value(columns, par::ReduceOp::kSum);
+  return fnv_bytes(combined, &total, sizeof(total));
 }
 
 double CoupledModel::global_mean_sst_k() {

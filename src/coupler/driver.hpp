@@ -24,6 +24,7 @@
 
 #include "atm/model.hpp"
 #include "atm/vortex.hpp"
+#include "balance/balance.hpp"
 #include "base/rng.hpp"
 #include "base/timer.hpp"
 #include "coupler/clock.hpp"
@@ -53,6 +54,13 @@ struct CoupledConfig {
   /// the wire window, then complete the exchange. Bit-exact with overlap off
   /// (state_hash() identical), including under fault-plan retransmission.
   bool overlap = false;
+  /// Consider runtime load rebalancing every N ocean coupling windows
+  /// (0: off). Measured per-rank phase costs drive a weighted re-cut of the
+  /// ocean and ice block decompositions; accepted plans migrate column state
+  /// through a Rearranger, bit-exact with rebalancing off (state_hash()
+  /// identical), including under fault-plan retransmission.
+  int rebalance_every = 0;
+  balance::RebalancePolicy rebalance;  ///< hysteresis / cost-model knobs
 };
 
 class CoupledModel {
@@ -69,6 +77,8 @@ class CoupledModel {
   }
   long long windows_run() const { return clock_.steps_taken(); }
   const Clock& clock() const { return clock_; }
+  /// Accepted rebalance migrations so far (identical on every rank).
+  long long rebalance_migrations() const { return rebalance_migrations_; }
 
   /// Install a trained AI suite as the atmosphere's physics (no-op on ranks
   /// without an atmosphere). The engine config picks the execution space and
@@ -130,6 +140,27 @@ class CoupledModel {
   void atm_ice_phase();  ///< one master window: atm.run, ice.run, exchanges
   void ocn_phase();      ///< at ocean boundaries: fluxes, ocn.run, exports
 
+  // --- runtime load rebalancing (src/balance) --------------------------------
+  /// Collective on the global communicator. Feeds measured phase costs into
+  /// the per-component balancers; when a plan is accepted, migrates column
+  /// state to the new decomposition and rebuilds coupling infrastructure.
+  void maybe_rebalance();
+  /// Rebuild the ocean on `cuts`, migrating all prognostic/forcing columns
+  /// bit-exactly (collective on the ocean domain communicator).
+  void migrate_ocn(const grid::BlockCuts& cuts);
+  /// Same for the ice (collective on the atm domain communicator). Does NOT
+  /// touch the coupler's ice-side caches — the caller rearranges those.
+  void migrate_ice(const grid::BlockCuts& cuts);
+  ice::IceConfig make_ice_config() const;
+  /// Per-column FNV digest sum of the coupler's ice-side caches, keyed by
+  /// global id so the value is decomposition-invariant.
+  std::uint64_t ice_cache_column_hash() const;
+  /// Replicate a component's cuts from `root` and store them as scalars.
+  void write_layout_scalars(io::CheckpointWriter& writer);
+  /// Rebuild components whose checkpointed cuts differ from the current
+  /// decomposition (must run before any section reads).
+  void restore_layout(io::CheckpointReader& reader);
+
   /// True when the atmosphere runs the AI suite anywhere in the job
   /// (collective — concurrent-layout ocean ranks have no atmosphere).
   bool ai_physics_active();
@@ -164,6 +195,13 @@ class CoupledModel {
   // Latest fields cached on each side between coupling events.
   std::vector<double> sst_on_atm_;     // atm decomposition
   std::vector<double> sst_on_ice_, us_on_ice_, vs_on_ice_;  // ice decomposition
+
+  // Runtime load rebalancing (absent unless rebalance_every > 0).
+  std::optional<balance::LoadBalancer> ocn_balancer_, ice_balancer_;
+  long long rebalance_migrations_ = 0;
+  std::size_t balance_ocn_mark_ = 0;  ///< span-buffer mark for ocn cost window
+  std::size_t balance_ice_mark_ = 0;  ///< span-buffer mark for ice cost window
+  double balance_ocn_stall_seen_ = 0.0;  ///< ocn:stall_seconds at last mark
 
   Clock clock_;
   pp::Stream stream_;     ///< async launch queue for the --overlap pipeline

@@ -16,31 +16,55 @@ constexpr int kTagFold = 9105;
 constexpr int kTagGraph = 9106;
 }  // namespace
 
+namespace {
+BlockCuts uniform_cuts(int nx_global, int ny_global, int px, int py) {
+  BlockCuts cuts;
+  cuts.x.push_back(0);
+  for (int b = 0; b < px; ++b)
+    cuts.x.push_back(partition_1d(nx_global, px, b).end);
+  cuts.y.push_back(0);
+  for (int b = 0; b < py; ++b)
+    cuts.y.push_back(partition_1d(ny_global, py, b).end);
+  return cuts;
+}
+}  // namespace
+
 BlockHalo::BlockHalo(const par::Comm& comm, int nx_global, int ny_global,
                      int px, int py, bool north_fold)
+    : BlockHalo(comm, nx_global, ny_global,
+                uniform_cuts(nx_global, ny_global, px, py), north_fold) {}
+
+BlockHalo::BlockHalo(const par::Comm& comm, int nx_global, int ny_global,
+                     const BlockCuts& cuts, bool north_fold)
     : comm_(comm),
       nx_global_(nx_global),
       ny_global_(ny_global),
-      px_(px),
-      py_(py),
-      north_fold_(north_fold) {
-  AP3_REQUIRE_MSG(comm.size() == px * py,
-                  "BlockHalo: comm size " << comm.size() << " != " << px << "x"
-                                          << py);
+      px_(cuts.px()),
+      py_(cuts.py()),
+      north_fold_(north_fold),
+      x_cuts_(cuts.x) {
+  AP3_REQUIRE_MSG(comm.size() == px_ * py_,
+                  "BlockHalo: comm size " << comm.size() << " != " << px_ << "x"
+                                          << py_);
+  AP3_REQUIRE_MSG(cuts.x.front() == 0 && cuts.x.back() == nx_global &&
+                      cuts.y.front() == 0 && cuts.y.back() == ny_global,
+                  "BlockHalo: cut lines do not span the global grid");
   const int rank = comm.rank();
-  bx_ = rank % px;
-  by_ = rank / px;
-  const Range1D xr = partition_1d(nx_global, px, bx_);
-  const Range1D yr = partition_1d(ny_global, py, by_);
-  x0_ = static_cast<int>(xr.begin);
-  y0_ = static_cast<int>(yr.begin);
-  nx_local_ = static_cast<int>(xr.size());
-  ny_local_ = static_cast<int>(yr.size());
+  bx_ = rank % px_;
+  by_ = rank / px_;
+  x0_ = static_cast<int>(cuts.x[static_cast<std::size_t>(bx_)]);
+  y0_ = static_cast<int>(cuts.y[static_cast<std::size_t>(by_)]);
+  nx_local_ =
+      static_cast<int>(cuts.x[static_cast<std::size_t>(bx_) + 1]) - x0_;
+  ny_local_ =
+      static_cast<int>(cuts.y[static_cast<std::size_t>(by_) + 1]) - y0_;
+  AP3_REQUIRE_MSG(nx_local_ > 0 && ny_local_ > 0,
+                  "BlockHalo: empty block for rank " << rank);
 
-  west_rank_ = by_ * px + (bx_ - 1 + px) % px;
-  east_rank_ = by_ * px + (bx_ + 1) % px;
-  south_rank_ = by_ > 0 ? (by_ - 1) * px + bx_ : -1;
-  north_rank_ = by_ < py - 1 ? (by_ + 1) * px + bx_ : -1;
+  west_rank_ = by_ * px_ + (bx_ - 1 + px_) % px_;
+  east_rank_ = by_ * px_ + (bx_ + 1) % px_;
+  south_rank_ = by_ > 0 ? (by_ - 1) * px_ + bx_ : -1;
+  north_rank_ = by_ < py_ - 1 ? (by_ + 1) * px_ + bx_ : -1;
 }
 
 void BlockHalo::exchange(std::vector<double>& field) const {
@@ -105,7 +129,8 @@ void BlockHalo::exchange(std::vector<double>& field) const {
     // Send phase: peer p needs mirror of its range; what I own of that is
     // my x-range intersected with mirror(p-range).
     for (int pbx = 0; pbx < px_; ++pbx) {
-      const Range1D pr = partition_1d(nx_global_, px_, pbx);
+      const Range1D pr = {x_cuts_[static_cast<std::size_t>(pbx)],
+                          x_cuts_[static_cast<std::size_t>(pbx) + 1]};
       // Mirror of [pr.begin, pr.end) is [nx-pr.end, nx-pr.begin).
       const int mbegin = nx_global_ - static_cast<int>(pr.end);
       const int mend = nx_global_ - static_cast<int>(pr.begin);
@@ -123,7 +148,8 @@ void BlockHalo::exchange(std::vector<double>& field) const {
     const int need_begin = nx_global_ - (x0_ + nx_local_);
     const int need_end = nx_global_ - x0_;
     for (int pbx = 0; pbx < px_; ++pbx) {
-      const Range1D pr = partition_1d(nx_global_, px_, pbx);
+      const Range1D pr = {x_cuts_[static_cast<std::size_t>(pbx)],
+                          x_cuts_[static_cast<std::size_t>(pbx) + 1]};
       const int lo = std::max(static_cast<int>(pr.begin), need_begin);
       const int hi = std::min(static_cast<int>(pr.end), need_end);
       if (lo >= hi) continue;

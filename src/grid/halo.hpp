@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "grid/partition.hpp"
 #include "par/comm.hpp"
 
 namespace ap3::grid {
@@ -25,9 +26,15 @@ class BlockHalo {
  public:
   /// `x_range`/`y_range`: this rank's owned index ranges. `px`/`py`: process
   /// grid shape; rank layout is by = rank / px. `north_fold`: apply the
-  /// tripolar fold at the global top row.
+  /// tripolar fold at the global top row. Blocks follow partition_1d cuts.
   BlockHalo(const par::Comm& comm, int nx_global, int ny_global, int px, int py,
             bool north_fold);
+
+  /// Explicit-cuts variant for rebalanced decompositions: every rank passes
+  /// the same `cuts` so the north-fold peer ranges (which depend on *other*
+  /// blocks' x-extents) stay consistent across the process row.
+  BlockHalo(const par::Comm& comm, int nx_global, int ny_global,
+            const BlockCuts& cuts, bool north_fold);
 
   int nx_local() const { return nx_local_; }
   int ny_local() const { return ny_local_; }
@@ -53,6 +60,9 @@ class BlockHalo {
   int bx_, by_;
   int x0_, y0_, nx_local_, ny_local_;
   int west_rank_, east_rank_, south_rank_, north_rank_;
+  // Column boundaries of the whole process row (px_+1 entries). The north
+  // fold needs peer blocks' x-ranges, not just ours.
+  std::vector<std::int64_t> x_cuts_;
 };
 
 /// Generic unstructured halo: each rank owns a set of global ids and needs

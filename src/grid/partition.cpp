@@ -26,11 +26,68 @@ int owner_1d(std::int64_t n, int parts, std::int64_t index) {
   return static_cast<int>(extra + (index - cutoff) / base);
 }
 
+std::vector<std::int64_t> weighted_cuts(std::span<const double> weights,
+                                        int parts, bool nonempty) {
+  AP3_REQUIRE(parts >= 1);
+  const auto n = static_cast<std::int64_t>(weights.size());
+  AP3_REQUIRE_MSG(!nonempty || n >= parts,
+                  "cannot cut " << n << " elements into " << parts
+                                << " non-empty pieces");
+  double total = 0.0;
+  for (const double w : weights) {
+    AP3_REQUIRE_MSG(w >= 0.0, "negative partition weight " << w);
+    total += w;
+  }
+  std::vector<std::int64_t> cuts(static_cast<std::size_t>(parts) + 1, n);
+  cuts[0] = 0;
+  const double target = total / parts;
+  int part = 0;
+  double load = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (part < parts - 1 && load + weights[static_cast<std::size_t>(i)] * 0.5 >=
+                                target * (part + 1)) {
+      ++part;
+      cuts[static_cast<std::size_t>(part)] = i;
+    }
+    load += weights[static_cast<std::size_t>(i)];
+  }
+  if (nonempty) {
+    // Degenerate pieces arise when a run of zero weights spans a target
+    // boundary; push such cuts apart while preserving order.
+    for (int p = 1; p < parts; ++p)
+      if (cuts[static_cast<std::size_t>(p)] <= cuts[static_cast<std::size_t>(p - 1)])
+        cuts[static_cast<std::size_t>(p)] = cuts[static_cast<std::size_t>(p - 1)] + 1;
+    for (int p = parts - 1; p >= 1; --p)
+      if (cuts[static_cast<std::size_t>(p)] >= cuts[static_cast<std::size_t>(p + 1)])
+        cuts[static_cast<std::size_t>(p)] = cuts[static_cast<std::size_t>(p + 1)] - 1;
+  }
+  return cuts;
+}
+
+namespace {
+void validate_cuts(const std::vector<std::int64_t>& cuts, std::int64_t n,
+                   const char* axis) {
+  AP3_REQUIRE_MSG(cuts.size() >= 2 && cuts.front() == 0 && cuts.back() == n,
+                  "cut lines along " << axis << " must span [0, " << n << ")");
+  for (std::size_t k = 1; k < cuts.size(); ++k)
+    AP3_REQUIRE_MSG(cuts[k] > cuts[k - 1],
+                    "cut lines along " << axis << " must be strictly ascending"
+                                       << " (empty blocks are not halo-able)");
+}
+}  // namespace
+
 BlockPartition2D::BlockPartition2D(int nx, int ny, int px, int py)
     : nx_(nx), ny_(ny), px_(px), py_(py) {
   AP3_REQUIRE_MSG(px >= 1 && py >= 1 && px <= nx && py <= ny,
                   "block partition " << px << "x" << py
                                      << " invalid for grid " << nx << "x" << ny);
+}
+
+BlockPartition2D::BlockPartition2D(int nx, int ny, BlockCuts cuts)
+    : nx_(nx), ny_(ny), px_(cuts.px()), py_(cuts.py()),
+      x_cuts_(std::move(cuts.x)), y_cuts_(std::move(cuts.y)) {
+  validate_cuts(x_cuts_, nx_, "x");
+  validate_cuts(y_cuts_, ny_, "y");
 }
 
 BlockPartition2D BlockPartition2D::balanced(int nx, int ny, int nranks) {
@@ -56,17 +113,52 @@ BlockPartition2D BlockPartition2D::balanced(int nx, int ny, int nranks) {
 }
 
 Range1D BlockPartition2D::x_range(int rank) const {
-  return partition_1d(nx_, px_, block_x(rank));
+  AP3_REQUIRE_MSG(rank >= 0 && rank < nranks(),
+                  "rank " << rank << " out of range for " << nranks()
+                          << "-rank block partition");
+  const int bx = block_x(rank);
+  if (x_cuts_.empty()) return partition_1d(nx_, px_, bx);
+  return {x_cuts_[static_cast<std::size_t>(bx)],
+          x_cuts_[static_cast<std::size_t>(bx) + 1]};
 }
 
 Range1D BlockPartition2D::y_range(int rank) const {
-  return partition_1d(ny_, py_, block_y(rank));
+  AP3_REQUIRE_MSG(rank >= 0 && rank < nranks(),
+                  "rank " << rank << " out of range for " << nranks()
+                          << "-rank block partition");
+  const int by = block_y(rank);
+  if (y_cuts_.empty()) return partition_1d(ny_, py_, by);
+  return {y_cuts_[static_cast<std::size_t>(by)],
+          y_cuts_[static_cast<std::size_t>(by) + 1]};
 }
 
+namespace {
+int cut_owner(const std::vector<std::int64_t>& cuts, std::int64_t index) {
+  // upper_bound over ascending boundaries: cuts[b] <= index < cuts[b+1].
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), index);
+  return static_cast<int>(it - cuts.begin()) - 1;
+}
+}  // namespace
+
 int BlockPartition2D::owner(int i, int j) const {
-  const int bx = owner_1d(nx_, px_, i);
-  const int by = owner_1d(ny_, py_, j);
+  AP3_REQUIRE_MSG(i >= 0 && i < nx_ && j >= 0 && j < ny_,
+                  "column (" << i << "," << j << ") outside grid " << nx_
+                             << "x" << ny_);
+  const int bx = x_cuts_.empty() ? owner_1d(nx_, px_, i) : cut_owner(x_cuts_, i);
+  const int by = y_cuts_.empty() ? owner_1d(ny_, py_, j) : cut_owner(y_cuts_, j);
   return rank_of_block(bx, by);
+}
+
+BlockCuts BlockPartition2D::cuts() const {
+  if (!x_cuts_.empty()) return {x_cuts_, y_cuts_};
+  BlockCuts c;
+  c.x.reserve(static_cast<std::size_t>(px_) + 1);
+  c.y.reserve(static_cast<std::size_t>(py_) + 1);
+  c.x.push_back(0);
+  for (int b = 0; b < px_; ++b) c.x.push_back(partition_1d(nx_, px_, b).end);
+  c.y.push_back(0);
+  for (int b = 0; b < py_; ++b) c.y.push_back(partition_1d(ny_, py_, b).end);
+  return c;
 }
 
 ActiveCompaction::ActiveCompaction(const TripolarGrid& grid, int nranks)
@@ -87,16 +179,49 @@ ActiveCompaction::ActiveCompaction(const TripolarGrid& grid, int nranks)
   // Greedy prefix split balancing 3-D points: walk the compact column list
   // and cut whenever the running load reaches the per-rank target. Columns
   // stay contiguous in row-major order, preserving halo locality.
-  const double target = static_cast<double>(total_points_) / nranks;
-  int rank = 0;
-  double load = 0.0;
-  for (const CompactColumn& col : active) {
-    if (rank < nranks - 1 && load + col.kmt * 0.5 >= target * (rank + 1)) {
-      ++rank;
+  std::vector<double> weights(active.size());
+  for (std::size_t c = 0; c < active.size(); ++c)
+    weights[c] = static_cast<double>(active[c].kmt);
+  split(active, weights);
+}
+
+ActiveCompaction::ActiveCompaction(const TripolarGrid& grid, int nranks,
+                                   std::span<const double> column_cost)
+    : nranks_(nranks), per_rank_(static_cast<size_t>(nranks)) {
+  AP3_REQUIRE(nranks >= 1);
+  std::vector<CompactColumn> active;
+  for (int j = 0; j < grid.ny(); ++j) {
+    for (int i = 0; i < grid.nx(); ++i) {
+      const int kmt = grid.kmt(i, j);
+      if (kmt > 0) active.push_back({i, j, kmt});
     }
-    per_rank_[static_cast<size_t>(rank)].push_back(col);
-    load += col.kmt;
   }
+  AP3_REQUIRE_MSG(column_cost.size() == active.size(),
+                  "measured-cost vector has " << column_cost.size()
+                      << " entries for " << active.size() << " active columns");
+  total_columns_ = static_cast<std::int64_t>(active.size());
+  for (const CompactColumn& col : active) total_points_ += col.kmt;
+  removed_fraction_ = 1.0 - static_cast<double>(total_points_) /
+                                static_cast<double>(grid.total_points());
+  split(active, column_cost);
+}
+
+void ActiveCompaction::split(const std::vector<CompactColumn>& active,
+                             std::span<const double> weights) {
+  const std::vector<std::int64_t> cuts = weighted_cuts(weights, nranks_);
+  for (int rank = 0; rank < nranks_; ++rank) {
+    const auto begin = static_cast<std::size_t>(cuts[static_cast<std::size_t>(rank)]);
+    const auto end = static_cast<std::size_t>(cuts[static_cast<std::size_t>(rank) + 1]);
+    per_rank_[static_cast<std::size_t>(rank)].assign(active.begin() + begin,
+                                                     active.begin() + end);
+  }
+}
+
+const std::vector<CompactColumn>& ActiveCompaction::columns(int rank) const {
+  AP3_REQUIRE_MSG(rank >= 0 && rank < nranks_,
+                  "rank " << rank << " out of range for " << nranks_
+                          << "-rank compaction");
+  return per_rank_[static_cast<size_t>(rank)];
 }
 
 double ActiveCompaction::load_imbalance() const {

@@ -1,9 +1,15 @@
 // Domain decomposition: 1-D balanced partitions (icosahedral cell ranges),
 // 2-D block partitions (tripolar grid), and the §5.2.2 active-column
 // compaction that removes 3-D non-ocean points and remaps MPI ranks.
+//
+// Both the block partition and the compaction are expressed through one
+// primitive — `weighted_cuts`, a greedy prefix split of a weight vector —
+// so the runtime load balancer (src/balance) can re-cut either with measured
+// per-rank costs instead of static kmt weights.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "grid/tripolar.hpp"
@@ -20,10 +26,35 @@ struct Range1D {
 Range1D partition_1d(std::int64_t n, int parts, int rank);
 int owner_1d(std::int64_t n, int parts, std::int64_t index);
 
-/// 2-D block decomposition of an nx × ny grid over px × py ranks.
+/// Cut [0, weights.size()) into `parts` contiguous pieces whose weight sums
+/// track total/parts, using the same greedy prefix rule as the §5.2.2
+/// compaction (cut when the running load plus half the next weight crosses
+/// the cumulative target). Returns parts+1 ascending boundaries with
+/// cuts.front() == 0 and cuts.back() == weights.size(). With `nonempty`,
+/// every piece is guaranteed at least one element (required by halo'd block
+/// decompositions, where an empty row/column block has no interior).
+std::vector<std::int64_t> weighted_cuts(std::span<const double> weights,
+                                        int parts, bool nonempty = false);
+
+/// Explicit tensor-product cut lines for a 2-D block decomposition: `x` holds
+/// px+1 ascending column boundaries (x.front() == 0, x.back() == nx), `y`
+/// the same for rows. Produced by the weighted repartitioner, consumed by
+/// BlockPartition2D and BlockHalo.
+struct BlockCuts {
+  std::vector<std::int64_t> x;
+  std::vector<std::int64_t> y;
+  int px() const { return static_cast<int>(x.size()) - 1; }
+  int py() const { return static_cast<int>(y.size()) - 1; }
+  bool operator==(const BlockCuts&) const = default;
+};
+
+/// 2-D block decomposition of an nx × ny grid over px × py ranks. Blocks are
+/// either uniform (partition_1d along each axis) or follow explicit weighted
+/// cut lines.
 class BlockPartition2D {
  public:
   BlockPartition2D(int nx, int ny, int px, int py);
+  BlockPartition2D(int nx, int ny, BlockCuts cuts);
 
   /// Choose a near-square (px, py) factorization of `nranks`.
   static BlockPartition2D balanced(int nx, int ny, int nranks);
@@ -41,8 +72,14 @@ class BlockPartition2D {
   /// Rank owning global column (i, j).
   int owner(int i, int j) const;
 
+  /// The cut lines of this decomposition (derived from partition_1d when the
+  /// partition was built without explicit cuts).
+  BlockCuts cuts() const;
+
  private:
   int nx_, ny_, px_, py_;
+  // Empty when the partition is uniform; otherwise px_+1 / py_+1 boundaries.
+  std::vector<std::int64_t> x_cuts_, y_cuts_;
 };
 
 /// §5.2.2 — exclusion of 3-D non-ocean points.
@@ -61,12 +98,16 @@ struct CompactColumn {
 class ActiveCompaction {
  public:
   ActiveCompaction(const TripolarGrid& grid, int nranks);
+  /// Measured-cost variant: `column_cost` gives one weight per active column
+  /// (row-major active order, i.e. the order the kmt constructor walks); the
+  /// split balances that cost instead of the 3-D point count. This is how the
+  /// runtime balancer re-cuts the compaction from obs-span timings.
+  ActiveCompaction(const TripolarGrid& grid, int nranks,
+                   std::span<const double> column_cost);
 
   int nranks() const { return nranks_; }
   /// Columns owned by `rank` after compaction (workload-balanced).
-  const std::vector<CompactColumn>& columns(int rank) const {
-    return per_rank_[static_cast<size_t>(rank)];
-  }
+  const std::vector<CompactColumn>& columns(int rank) const;
   /// Total active columns across all ranks.
   std::int64_t total_columns() const { return total_columns_; }
   /// Total active 3-D points.
@@ -77,6 +118,9 @@ class ActiveCompaction {
   double load_imbalance() const;
 
  private:
+  void split(const std::vector<CompactColumn>& active,
+             std::span<const double> weights);
+
   int nranks_;
   std::vector<std::vector<CompactColumn>> per_rank_;
   std::int64_t total_columns_ = 0;

@@ -5,6 +5,7 @@
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
+#include "base/hash.hpp"
 
 namespace ap3::ice {
 
@@ -15,14 +16,20 @@ using constants::kSeawaterFreeze;
 using constants::kT0;
 
 IceModel::IceModel(const par::Comm& comm, const IceConfig& config)
+    : IceModel(comm, config,
+               grid::BlockPartition2D::balanced(config.grid.nx, config.grid.ny,
+                                                comm.size())
+                   .cuts()) {}
+
+IceModel::IceModel(const par::Comm& comm, const IceConfig& config,
+                   const grid::BlockCuts& cuts)
     : comm_(comm),
       config_(config),
       grid_(std::make_unique<grid::TripolarGrid>(config.grid)),
-      partition_(grid::BlockPartition2D::balanced(config.grid.nx,
-                                                  config.grid.ny, comm.size())) {
+      partition_(config.grid.nx, config.grid.ny, cuts) {
   halo_ = std::make_unique<grid::BlockHalo>(comm, config_.grid.nx,
-                                            config_.grid.ny, partition_.px(),
-                                            partition_.py(), /*north_fold=*/true);
+                                            config_.grid.ny, cuts,
+                                            /*north_fold=*/true);
   const int nxl = halo_->nx_local();
   const int nyl = halo_->ny_local();
 
@@ -68,6 +75,48 @@ IceModel::IceModel(const par::Comm& comm, const IceConfig& config)
     }
     ++col;
   }
+}
+
+std::vector<std::string> IceModel::migration_fields() {
+  return {"aice", "hice", "sst", "tbot", "us", "vs"};
+}
+
+void IceModel::export_migration_columns(mct::AttrVect& av) const {
+  AP3_REQUIRE(av.num_points() == ocean_gids_.size());
+  const std::vector<const std::vector<double>*> state = {&aice_, &hice_, &sst_,
+                                                         &tbot_, &us_,   &vs_};
+  const std::vector<std::string> names = migration_fields();
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    auto out = av.field(names[f]);
+    std::copy(state[f]->begin(), state[f]->end(), out.begin());
+  }
+}
+
+void IceModel::import_migration_columns(const mct::AttrVect& av) {
+  AP3_REQUIRE(av.num_points() == ocean_gids_.size());
+  const std::vector<std::vector<double>*> state = {&aice_, &hice_, &sst_,
+                                                   &tbot_, &us_,   &vs_};
+  const std::vector<std::string> names = migration_fields();
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    const auto in = av.field(names[f]);
+    std::copy(in.begin(), in.end(), state[f]->begin());
+  }
+}
+
+std::uint64_t IceModel::column_state_hash() const {
+  std::uint64_t sum = 0;
+  for (std::size_t col = 0; col < ocean_gids_.size(); ++col) {
+    std::uint64_t h = kFnvBasis;
+    h = fnv1a_value(h, ocean_gids_[col]);
+    h = fnv1a_value(h, aice_[col]);
+    h = fnv1a_value(h, hice_[col]);
+    h = fnv1a_value(h, sst_[col]);
+    h = fnv1a_value(h, tbot_[col]);
+    h = fnv1a_value(h, us_[col]);
+    h = fnv1a_value(h, vs_[col]);
+    sum += h;  // wrapping: rank- and order-independent combine
+  }
+  return sum;
 }
 
 std::vector<std::string> IceModel::export_fields() { return {"ifrac", "hice"}; }

@@ -35,6 +35,9 @@ struct IceConfig {
 class IceModel {
  public:
   IceModel(const par::Comm& comm, const IceConfig& config);
+  /// Explicit-cuts construction for rebalanced decompositions (src/balance).
+  IceModel(const par::Comm& comm, const IceConfig& config,
+           const grid::BlockCuts& cuts);
 
   /// Advance over a coupling window (integer number of dt steps, rounded up).
   void run(double start_seconds, double duration_seconds);
@@ -53,6 +56,21 @@ class IceModel {
   double aice(std::size_t col) const { return aice_[col]; }
   double hice(std::size_t col) const { return hice_[col]; }
   long long steps() const { return steps_; }
+  const grid::BlockPartition2D& partition() const { return partition_; }
+  grid::BlockCuts cuts() const { return partition_.cuts(); }
+
+  // --- state migration (src/balance) ----------------------------------------
+  /// One column's migratable record: prognostic ice state plus imports.
+  static std::vector<std::string> migration_fields();
+  /// Pack owned columns (ocean_gids() order) into `av`, one point per column.
+  void export_migration_columns(mct::AttrVect& av) const;
+  /// Inverse of export (same ordering contract).
+  void import_migration_columns(const mct::AttrVect& av);
+  /// Wrapping sum of per-column FNV digests keyed by global id — invariant
+  /// under any redistribution of columns across ranks (combine with kSum).
+  std::uint64_t column_state_hash() const;
+  /// Carry the step counter across a migration (the counter is global).
+  void set_steps(long long steps) { steps_ = steps; }
 
   // --- checkpoint/restart ---------------------------------------------------
   /// This rank's full prognostic snapshot: per-column ice state, the

@@ -24,6 +24,16 @@ struct OcnConfig {
   pp::ExecSpace exec_space = pp::ExecSpace::kSerial;
   std::uint64_t seed = 20230725;
 
+  // Synthetic straggler stall for the load-rebalancing bench and tests: every
+  // baroclinic step sleeps stall_seconds_per_point × (owned active 3-D points
+  // whose global column satisfies i >= stall_i_begin or j >= stall_j_begin).
+  // Models waiting-dominated imbalance (I/O stalls, fault retransmissions)
+  // rather than compute skew; never touches model state, so runs with and
+  // without rebalancing stay bit-identical.
+  double stall_seconds_per_point = 0.0;
+  int stall_i_begin = -1;  ///< -1: no column-band stall
+  int stall_j_begin = -1;  ///< -1: no row-band stall
+
   /// External gravity-wave speed for a 5500 m column.
   double wave_speed() const;
   double barotropic_dt_seconds() const;

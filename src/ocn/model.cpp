@@ -1,10 +1,14 @@
 #include "ocn/model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
+#include "base/hash.hpp"
+#include "obs/obs.hpp"
 #include "precision/group_scaled.hpp"
 
 namespace ap3::ocn {
@@ -32,14 +36,20 @@ double OcnConfig::barotropic_dt_seconds() const {
 }
 
 OcnModel::OcnModel(const par::Comm& comm, const OcnConfig& config)
+    : OcnModel(comm, config,
+               grid::BlockPartition2D::balanced(config.grid.nx, config.grid.ny,
+                                                comm.size())
+                   .cuts()) {}
+
+OcnModel::OcnModel(const par::Comm& comm, const OcnConfig& config,
+                   const grid::BlockCuts& cuts)
     : comm_(comm),
       config_(config),
       grid_(std::make_unique<grid::TripolarGrid>(config.grid)),
-      partition_(grid::BlockPartition2D::balanced(config.grid.nx,
-                                                  config.grid.ny, comm.size())) {
+      partition_(config.grid.nx, config.grid.ny, cuts) {
   halo_ = std::make_unique<grid::BlockHalo>(comm, config_.grid.nx,
-                                            config_.grid.ny, partition_.px(),
-                                            partition_.py(), /*north_fold=*/true);
+                                            config_.grid.ny, cuts,
+                                            /*north_fold=*/true);
   const int nxl = halo_->nx_local();
   const int nyl = halo_->ny_local();
   const std::size_t slots =
@@ -126,6 +136,18 @@ OcnModel::OcnModel(const par::Comm& comm, const OcnConfig& config)
   tauy_.assign(ocean_gids_.size(), 0.0);
   qnet_.assign(ocean_gids_.size(), 0.0);
   fresh_.assign(ocean_gids_.size(), 0.0);
+
+  if (config_.stall_seconds_per_point > 0.0) {
+    for (const auto& [i, j] : active_columns_) {
+      const int gi = halo_->x0() + i;
+      const int gj = halo_->y0() + j;
+      const bool in_band =
+          (config_.stall_i_begin >= 0 && gi >= config_.stall_i_begin) ||
+          (config_.stall_j_begin >= 0 && gj >= config_.stall_j_begin);
+      if (in_band)
+        stall_points_ += kmt_local_[static_cast<std::size_t>(j * nxl + i)];
+    }
+  }
 }
 
 std::vector<std::string> OcnModel::export_fields() {
@@ -485,8 +507,136 @@ void OcnModel::run(double start_seconds, double duration_seconds) {
     vertical_mixing(dt_clinic);
     apply_surface_forcing(dt_clinic);
     apply_mixed_precision();
+    if (stall_points_ > 0) {
+      const double stall_seconds =
+          config_.stall_seconds_per_point * static_cast<double>(stall_points_);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(stall_seconds));
+      // Halo waits synchronize fast ranks to the straggler, so wall-clock
+      // spans alone under-report the imbalance; export the busy time so the
+      // load balancer sees who actually pays for it.
+      obs::counter_add("ocn:stall_seconds", stall_seconds);
+    }
     ++steps_;
   }
+}
+
+std::vector<std::string> OcnModel::migration_fields(int nz) {
+  std::vector<std::string> fields = {"eta", "ubar", "vbar"};
+  for (const char* base : {"u", "v", "temp", "salt"})
+    for (int k = 0; k < nz; ++k)
+      fields.push_back(std::string(base) + std::to_string(k));
+  for (const char* f : {"taux", "tauy", "qnet", "fresh"})
+    fields.emplace_back(f);
+  return fields;
+}
+
+void OcnModel::export_migration_columns(mct::AttrVect& av) const {
+  AP3_REQUIRE(av.num_points() == ocean_gids_.size());
+  const int nz = config_.grid.nz;
+  auto eta = av.field("eta");
+  auto ubar = av.field("ubar");
+  auto vbar = av.field("vbar");
+  auto taux = av.field("taux");
+  auto tauy = av.field("tauy");
+  auto qnet = av.field("qnet");
+  auto fresh = av.field("fresh");
+  std::size_t col = 0;
+  for (const auto& [i, j] : active_columns_) {
+    const std::size_t c = field_index(i, j);
+    eta[col] = eta_[c];
+    ubar[col] = ubar_[c];
+    vbar[col] = vbar_[c];
+    taux[col] = taux_[col];
+    tauy[col] = tauy_[col];
+    qnet[col] = qnet_[col];
+    fresh[col] = fresh_[col];
+    ++col;
+  }
+  for (int k = 0; k < nz; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    auto uk = av.field("u" + std::to_string(k));
+    auto vk = av.field("v" + std::to_string(k));
+    auto tk = av.field("temp" + std::to_string(k));
+    auto sk = av.field("salt" + std::to_string(k));
+    col = 0;
+    for (const auto& [i, j] : active_columns_) {
+      const std::size_t c = field_index(i, j);
+      uk[col] = u_[ks][c];
+      vk[col] = v_[ks][c];
+      tk[col] = temp_[ks][c];
+      sk[col] = salt_[ks][c];
+      ++col;
+    }
+  }
+}
+
+void OcnModel::import_migration_columns(const mct::AttrVect& av) {
+  AP3_REQUIRE(av.num_points() == ocean_gids_.size());
+  const int nz = config_.grid.nz;
+  const auto eta = av.field("eta");
+  const auto ubar = av.field("ubar");
+  const auto vbar = av.field("vbar");
+  const auto taux = av.field("taux");
+  const auto tauy = av.field("tauy");
+  const auto qnet = av.field("qnet");
+  const auto fresh = av.field("fresh");
+  std::size_t col = 0;
+  for (const auto& [i, j] : active_columns_) {
+    const std::size_t c = field_index(i, j);
+    eta_[c] = eta[col];
+    ubar_[c] = ubar[col];
+    vbar_[c] = vbar[col];
+    taux_[col] = taux[col];
+    tauy_[col] = tauy[col];
+    qnet_[col] = qnet[col];
+    fresh_[col] = fresh[col];
+    ++col;
+  }
+  for (int k = 0; k < nz; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const auto uk = av.field("u" + std::to_string(k));
+    const auto vk = av.field("v" + std::to_string(k));
+    const auto tk = av.field("temp" + std::to_string(k));
+    const auto sk = av.field("salt" + std::to_string(k));
+    col = 0;
+    for (const auto& [i, j] : active_columns_) {
+      const std::size_t c = field_index(i, j);
+      u_[ks][c] = uk[col];
+      v_[ks][c] = vk[col];
+      temp_[ks][c] = tk[col];
+      salt_[ks][c] = sk[col];
+      ++col;
+    }
+  }
+}
+
+std::uint64_t OcnModel::column_state_hash() const {
+  const int nz = config_.grid.nz;
+  std::uint64_t sum = 0;
+  std::size_t col = 0;
+  for (const auto& [i, j] : active_columns_) {
+    const std::size_t c = field_index(i, j);
+    std::uint64_t h = kFnvBasis;
+    h = fnv1a_value(h, ocean_gids_[col]);
+    h = fnv1a_value(h, eta_[c]);
+    h = fnv1a_value(h, ubar_[c]);
+    h = fnv1a_value(h, vbar_[c]);
+    for (int k = 0; k < nz; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      h = fnv1a_value(h, u_[ks][c]);
+      h = fnv1a_value(h, v_[ks][c]);
+      h = fnv1a_value(h, temp_[ks][c]);
+      h = fnv1a_value(h, salt_[ks][c]);
+    }
+    h = fnv1a_value(h, taux_[col]);
+    h = fnv1a_value(h, tauy_[col]);
+    h = fnv1a_value(h, qnet_[col]);
+    h = fnv1a_value(h, fresh_[col]);
+    sum += h;  // wrapping: rank- and order-independent combine
+    ++col;
+  }
+  return sum;
 }
 
 void OcnModel::export_state(mct::AttrVect& o2x) const {

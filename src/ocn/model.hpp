@@ -28,8 +28,12 @@ namespace ap3::ocn {
 
 class OcnModel {
  public:
-  /// Collective construction = MCT `init`.
+  /// Collective construction = MCT `init` (balanced block decomposition).
   OcnModel(const par::Comm& comm, const OcnConfig& config);
+  /// Explicit-cuts construction for rebalanced decompositions (src/balance):
+  /// every rank passes the same cut lines.
+  OcnModel(const par::Comm& comm, const OcnConfig& config,
+           const grid::BlockCuts& cuts);
 
   /// Advance over a coupling window (integer number of baroclinic steps).
   void run(double start_seconds, double duration_seconds);
@@ -53,6 +57,24 @@ class OcnModel {
   int kmt_local(int i, int j) const;
   /// Owned ocean-surface global ids in export order.
   const std::vector<std::int64_t>& ocean_gids() const { return ocean_gids_; }
+  const grid::BlockPartition2D& partition() const { return partition_; }
+  grid::BlockCuts cuts() const { return partition_.cuts(); }
+
+  // --- state migration (src/balance) -----------------------------------------
+  /// Field names of one column's migratable record: the prognostic 2-D
+  /// slices, every level of the 3-D stacks, and the imported forcing —
+  /// exactly the checkpoint payload, column-factored.
+  static std::vector<std::string> migration_fields(int nz);
+  /// Pack owned columns (ocean_gids() order) into `av`, one point per column.
+  void export_migration_columns(mct::AttrVect& av) const;
+  /// Inverse of export: writes owned interior columns and forcing. Ghosts are
+  /// left to the next halo exchange (every stencil read is preceded by one).
+  void import_migration_columns(const mct::AttrVect& av);
+  /// Wrapping sum of per-column FNV digests keyed by global id — invariant
+  /// under any redistribution of columns across ranks (combine with kSum).
+  std::uint64_t column_state_hash() const;
+  /// Carry the step counter across a migration (the counter is global).
+  void set_baroclinic_steps(long long steps) { steps_ = steps; }
 
   // --- state accessors ---------------------------------------------------------
   double eta(int i, int j) const { return eta_[field_index(i, j)]; }
@@ -155,6 +177,7 @@ class OcnModel {
 
   long long steps_ = 0;
   long long column_iterations_ = 0;
+  long long stall_points_ = 0;  ///< owned active points in the stall band
   double depth_m_ = 5500.0;
 };
 

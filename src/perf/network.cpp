@@ -45,7 +45,10 @@ double NetworkModel::halo_seconds(double bytes, int neighbors,
 double NetworkModel::allreduce_seconds(double bytes, long long nodes) const {
   if (nodes <= 1) return 0.0;
   const double rounds = std::ceil(std::log2(static_cast<double>(nodes)));
-  return 2.0 * rounds * p2p_seconds(bytes, false);
+  // A job that fits inside one supernode never pays the oversubscribed
+  // inter-supernode links; only larger jobs cross them every round.
+  const bool same_supernode = nodes <= sunway::kNodesPerSupernode;
+  return 2.0 * rounds * p2p_seconds(bytes, same_supernode);
 }
 
 }  // namespace ap3::perf

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Sanitizer matrix for the concurrency-heavy tests.
 #
-# Builds the repository once per sanitizer (-DAP3_SANITIZE=thread / address,
-# see the top-level CMakeLists) into build-tsan/ and build-asan/ next to the
-# source tree, then runs the race-prone test set under ctest. The transport
+# Builds the repository once per sanitizer (-DAP3_SANITIZE=thread / address /
+# undefined, see the top-level CMakeLists) into build-tsan/, build-asan/ and
+# build-ubsan/ next to the source tree, then runs the race-prone test set
+# under ctest. The transport
 # (ranks are threads sharing mailboxes) and the fault-injection layer are the
 # reason this exists: TSan must stay clean on test_par/test_fault or the
 # "transparent recovery" story is a data race wearing a trench coat.
@@ -16,18 +17,20 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-SANITIZERS="${SANITIZERS:-thread address}"
+SANITIZERS="${SANITIZERS:-thread address undefined}"
 # Default set: everything that exercises the threaded transport, the fault
 # machinery, checkpoint collectives, the obs layer's cross-thread buffers, the
-# stream/event async engine (pool tasks adopting rank buffers), and the AI
-# inference engine (overlapped micro-batches on pool workers).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai}"
+# stream/event async engine (pool tasks adopting rank buffers), the AI
+# inference engine (overlapped micro-batches on pool workers), and the load
+# balancer's column migration (index arithmetic over rearrange plans).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do
   case "${sanitizer}" in
-    thread)  build_dir="${ROOT}/build-tsan" ;;
-    address) build_dir="${ROOT}/build-asan" ;;
+    thread)    build_dir="${ROOT}/build-tsan" ;;
+    address)   build_dir="${ROOT}/build-asan" ;;
+    undefined) build_dir="${ROOT}/build-ubsan" ;;
     *) echo "error: unknown sanitizer '${sanitizer}'" >&2; exit 2 ;;
   esac
 
@@ -44,6 +47,7 @@ for sanitizer in ${SANITIZERS}; do
   # nothing. TSan slows the transport ~10x, so give timeouts headroom.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ctest --test-dir "${build_dir}" -R "${FILTER}" \
         --output-on-failure --timeout 900
   echo "==> [${sanitizer}] clean"

@@ -13,6 +13,7 @@
 #include "atm/physics.hpp"
 #include "atm/vortex.hpp"
 #include "base/constants.hpp"
+#include "obs/obs.hpp"
 #include "par/comm.hpp"
 
 namespace {
@@ -315,6 +316,49 @@ TEST(Model, ExportImportContract) {
       }
     }
     (void)any_ocean;
+  });
+}
+
+TEST(Model, SstImportRejectsSentinelsAndClampsToPhysicalRange) {
+  par::run(1, [](par::Comm& comm) {
+    const AtmConfig config = small_config();
+    grid::IcosahedralGrid mesh(config.mesh_n);
+    AtmModel model(comm, config, mesh);
+    const std::size_t n = model.dycore().mesh().num_owned();
+    std::size_t ocean = n;
+    for (std::size_t c = 0; c < n; ++c)
+      if (!model.is_land(c)) {
+        ocean = c;
+        break;
+      }
+    ASSERT_LT(ocean, n);
+
+    mct::AttrVect x2a(AtmModel::import_fields(), n);
+    for (auto& s : x2a.field("sst")) s = 300.0;
+    model.import_state(x2a);
+    EXPECT_DOUBLE_EQ(model.sst(ocean), 300.0);
+
+    const double rejected_before =
+        obs::local().counter("atm:import:sst_rejected");
+
+    // A fill-value sentinel (unmapped source cell) must not overwrite the
+    // cached SST — the old code left sst_ stale silently; now it is counted.
+    x2a.field("sst")[ocean] = 150.0;
+    model.import_state(x2a);
+    EXPECT_DOUBLE_EQ(model.sst(ocean), 300.0);
+    EXPECT_GT(obs::local().counter("atm:import:sst_rejected"),
+              rejected_before);
+
+    // Cold-but-real values clamp to the seawater freezing point...
+    x2a.field("sst")[ocean] = 250.0;
+    model.import_state(x2a);
+    EXPECT_DOUBLE_EQ(model.sst(ocean),
+                     constants::kSeawaterFreeze + constants::kT0);
+
+    // ...and hot outliers clamp to the upper physical bound.
+    x2a.field("sst")[ocean] = 400.0;
+    model.import_state(x2a);
+    EXPECT_DOUBLE_EQ(model.sst(ocean), 320.0);
   });
 }
 

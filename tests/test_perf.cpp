@@ -43,6 +43,41 @@ TEST(Network, HaloLeavesSupernodeAtScale) {
   EXPECT_GT(net.halo_seconds(1e5, 4, 100000), net.halo_seconds(1e5, 4, 100));
 }
 
+TEST(Network, AllreduceSingleNodeIsFree) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  EXPECT_DOUBLE_EQ(net.allreduce_seconds(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.allreduce_seconds(1e6, 0), 0.0);
+}
+
+TEST(Network, AllreduceZeroBytesIsLatencyOnly) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  // 64 nodes: 6 rounds, up-and-down tree, no payload time.
+  EXPECT_DOUBLE_EQ(net.allreduce_seconds(0.0, 64),
+                   12.0 * net.latency_seconds());
+}
+
+TEST(Network, AllreduceUsesIntraBandwidthInsideSupernode) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  // A job that fits inside one 256-node supernode pays the full leaf-switch
+  // bandwidth; one node more and every round crosses the oversubscribed
+  // fat-tree level. Compare per-round cost to isolate the bandwidth term
+  // from the extra round.
+  const double bytes = 1e7;
+  const double per_round_256 = net.allreduce_seconds(bytes, 256) / (2.0 * 8.0);
+  const double per_round_257 = net.allreduce_seconds(bytes, 257) / (2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(per_round_256, net.p2p_seconds(bytes, true));
+  EXPECT_DOUBLE_EQ(per_round_257, net.p2p_seconds(bytes, false));
+  EXPECT_LT(per_round_256, per_round_257);
+}
+
+TEST(Network, AllreduceOriseFabricIsFlat) {
+  NetworkModel net(MachineKind::kOrise);
+  // ORISE has no supernode boundary: per-round cost is scale-invariant.
+  const double bytes = 1e7;
+  EXPECT_DOUBLE_EQ(net.allreduce_seconds(bytes, 256) / (2.0 * 8.0),
+                   net.allreduce_seconds(bytes, 4096) / (2.0 * 12.0));
+}
+
 TEST(Workload, Table1Counts) {
   const AtmWorkload atm1 = AtmWorkload::paper(1.0);
   EXPECT_NEAR(static_cast<double>(atm1.cells), 3.4e8, 0.4e8);
