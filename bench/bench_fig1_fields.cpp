@@ -58,7 +58,7 @@ int main() {
     // (a) precipitation over atmosphere cells + surface KE over ocean.
     std::vector<double> local_precip, local_cloudq, local_ke;
     if (model.has_atm()) {
-      auto* atm_model = model.atm_model();
+      auto* atm_model = &model.atm();
       const auto& state = atm_model->dycore().state();
       for (std::size_t c = 0; c < atm_model->dycore().mesh().num_owned();
            ++c) {
@@ -76,7 +76,7 @@ int main() {
       const auto precip_field = a2x.field("precip");
       local_precip.assign(precip_field.begin(), precip_field.end());
     }
-    if (model.has_ocn()) local_ke = model.ocn_model()->surface_kinetic_energy();
+    if (model.has_ocn()) local_ke = model.ocn().surface_kinetic_energy();
 
     // Gather to rank 0 (small toy fields).
     const auto all_precip = comm.allgatherv(

@@ -48,7 +48,7 @@ StructureMetrics run_case(int mesh_n, int ocn_nx, int ocn_ny) {
     double local_best_wind = 0.0, local_rmw = 0.0;
     int local_core_cells = 0;
     if (model.has_atm()) {
-      auto& dycore = model.atm_model()->dycore();
+      auto& dycore = model.atm().dycore();
       for (std::size_t c = 0; c < dycore.mesh().num_owned(); ++c) {
         const double lon = dycore.mesh().lon_rad(c) * constants::kRadToDeg;
         const double lat = dycore.mesh().lat_rad(c) * constants::kRadToDeg;
@@ -76,11 +76,11 @@ StructureMetrics run_case(int mesh_n, int ocn_nx, int ocn_ny) {
     // Ocean response near the storm: |Ro| distribution tail.
     double local_p99 = 0.0;
     if (model.has_ocn()) {
-      const auto ro = model.ocn_model()->surface_rossby_number();
+      const auto ro = model.ocn().surface_rossby_number();
       std::vector<double> magnitudes;
       std::size_t col = 0;
-      const auto& g = model.ocn_model()->ocean_grid();
-      for (auto gid : model.ocn_model()->ocean_gids()) {
+      const auto& g = model.ocn().ocean_grid();
+      for (auto gid : model.ocn().ocean_gids()) {
         const int gi = static_cast<int>(gid % g.nx());
         const int gj = static_cast<int>(gid / g.nx());
         if (atm::track_distance_km(fix.lon_deg, fix.lat_deg, g.lon_deg(gi),

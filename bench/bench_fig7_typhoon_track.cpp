@@ -56,7 +56,7 @@ int main() {
     spec.depression_m = 130.0;
     model.seed_typhoon(spec);
     if (model.has_atm()) {
-      auto& dycore = model.atm_model()->dycore();
+      auto& dycore = model.atm().dycore();
       for (std::size_t c = 0; c < dycore.mesh().num_owned(); ++c) {
         double u = 0.0, v = 0.0;
         dycore.wind_at(c, u, v);

@@ -2,6 +2,7 @@
 // windows, and print global diagnostics.
 //
 //   ./quickstart [nranks] [--windows N] [--overlap] [--rebalance-every N]
+//               [--ensemble N]
 //               [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
 //               [--ai-backend=serial|threads|cpe] [--ai-precision=fp64|fp32|gs]
@@ -20,7 +21,16 @@
 // Chrome-trace export (one timeline row per simulated rank; open in
 // chrome://tracing or Perfetto) is written after the run, along with the
 // getTiming-style SYPD report derived from the same spans.
+//
+// With --ensemble N (N > 1) the run becomes an in-process ensemble: one
+// immutable SharedInputs context (mesh, ocean grid, regrid matrices, and —
+// with AI flags — frozen trained weights) is built once on the main thread,
+// then every rank serves N perturbed CoupledModel members from it through an
+// EnsembleFleet. Member 0 is the unperturbed control; members k > 0 start
+// from a decomposition-invariant temperature perturbation. The fleet prints
+// per-member diagnostics and state hashes plus the aggregate members x SYPD.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +39,7 @@
 #include "ai/engine.hpp"
 #include "atm/physics.hpp"
 #include "coupler/driver.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
@@ -37,7 +48,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: quickstart [nranks] [--windows N] [--overlap]\n"
-    "                  [--rebalance-every N]\n"
+    "                  [--rebalance-every N] [--ensemble N]\n"
     "                  [--trace out.json]\n"
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
     "                  [--restore DIR]\n"
@@ -82,6 +93,7 @@ int main(int argc, char** argv) {
   int nranks = 2;
   int windows = 0;  // 0: one simulated day
   int rebalance_every = 0;
+  int ensemble = 1;
   int checkpoint_every = 0;
   std::string checkpoint_dir = "ap3_checkpoint";
   std::string restore_dir;
@@ -127,6 +139,12 @@ int main(int argc, char** argv) {
                      kUsage);
         return 2;
       }
+    } else if (std::strcmp(argv[a], "--ensemble") == 0) {
+      ensemble = std::atoi(option_value("--ensemble"));
+      if (ensemble <= 0) {
+        std::fprintf(stderr, "error: --ensemble must be positive\n%s", kUsage);
+        return 2;
+      }
     } else if (std::strcmp(argv[a], "--checkpoint-every") == 0) {
       checkpoint_every = std::atoi(option_value("--checkpoint-every"));
       if (checkpoint_every <= 0) {
@@ -146,6 +164,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+
+  if (ensemble > 1 && (!restore_dir.empty() || checkpoint_every > 0 ||
+                       rebalance_every > 0)) {
+    std::fprintf(stderr,
+                 "error: --ensemble is incompatible with --restore, "
+                 "--checkpoint-every, and --rebalance-every\n%s",
+                 kUsage);
+    return 2;
   }
 
   cpl::CoupledConfig config;
@@ -171,6 +198,75 @@ int main(int argc, char** argv) {
                 pp::to_string(ai_engine.space), ai::to_string(ai_engine.precision),
                 ai_engine.micro_batch);
 
+  if (ensemble > 1) {
+    // Ensemble fleet path: build the immutable shared context ONCE on the
+    // main thread (mesh, ocean grid, regrid matrices, and — with AI — the
+    // frozen trained weights); every rank thread serves all N members from
+    // it. Member construction, perturbation, and the round-robin scheduler
+    // live in ap3::fleet::EnsembleFleet.
+    std::shared_ptr<const cpl::SharedInputs> shared;
+    if (use_ai) {
+      atm::ConventionalPhysics conventional;
+      const atm::TrainingData data = atm::generate_training_data(
+          conventional, 16, 4, static_cast<std::size_t>(config.atm.nlev), 11,
+          config.atm.model_dt_seconds());
+      ai::SuiteConfig suite_config;
+      suite_config.levels = config.atm.nlev;
+      suite_config.cnn_hidden = 8;
+      suite_config.mlp_hidden = 16;
+      const atm::TrainedSuite trained =
+          atm::train_ai_physics(data, suite_config, 6, 3e-3f);
+      std::printf("  trained toy suite: tendency R2 %.3f, flux R2 %.3f "
+                  "(weights frozen into the shared context)\n",
+                  trained.tendency_r2, trained.flux_r2);
+      shared = cpl::build_shared_inputs(config, *trained.suite);
+    } else {
+      shared = cpl::build_shared_inputs(config);
+    }
+    std::printf("ensemble fleet: %d members per rank over one shared "
+                "context (%zu resident bytes, vs %zu replicated)\n",
+                ensemble, shared->resident_bytes(),
+                static_cast<std::size_t>(ensemble) * shared->resident_bytes());
+
+    par::run(nranks, [&](par::Comm& comm) {
+      fleet::EnsembleFleet fl(
+          comm, fleet::EnsembleFleet::perturbed_specs(config, ensemble,
+                                                      shared, 9000));
+      if (use_ai) {
+        cpl::AiInstallOptions opts;
+        opts.engine = ai_engine;  // suite thawed from the frozen weights
+        fl.install_ai_physics(opts);
+      }
+      const double window = fl.member(0).atm_window_seconds();
+      const int total_windows =
+          windows > 0 ? windows : static_cast<int>(86400.0 / window) + 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      fl.run_windows(total_windows);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const auto hashes = fl.state_hashes();  // collective
+      const auto diags = fl.diagnostics();    // collective
+      if (comm.rank() == 0) {
+        std::printf("\n  member     seed   mean SST [K]   ice frac   "
+                    "state hash\n");
+        for (std::size_t k = 0; k < fl.size(); ++k)
+          std::printf("  %-9s  %5llu   %12.3f   %8.4f   %016llx\n",
+                      fl.spec(k).name.c_str(),
+                      static_cast<unsigned long long>(
+                          fl.spec(k).perturbation_seed),
+                      diags[k].mean_sst_k, diags[k].ice_fraction,
+                      static_cast<unsigned long long>(hashes[k]));
+        const double sim_seconds = total_windows * window;
+        const double sypd = sim_seconds / (365.0 * wall);
+        std::printf("\nensemble finished: %d members x %d windows in %.2f s"
+                    "\naggregate throughput: %.4f members x SYPD\n",
+                    ensemble, total_windows, wall, ensemble * sypd);
+      }
+    });
+    return 0;
+  }
+
   std::atomic<int> exit_code{0};
   par::run(nranks, [&](par::Comm& comm) {
     cpl::CoupledModel model(comm, config);
@@ -188,7 +284,8 @@ int main(int argc, char** argv) {
       suite_config.mlp_hidden = 16;
       const atm::TrainedSuite trained =
           atm::train_ai_physics(data, suite_config, 6, 3e-3f);
-      model.install_ai_physics(trained.suite, ai_engine);
+      model.install_ai_physics(cpl::AiInstallOptions{trained.suite, ai_engine,
+                                                     std::nullopt});
       if (comm.rank() == 0)
         std::printf("  trained toy suite: tendency R2 %.3f, flux R2 %.3f\n",
                     trained.tendency_r2, trained.flux_r2);
@@ -232,13 +329,11 @@ int main(int argc, char** argv) {
                       checkpoint_dir.c_str());
       }
       if (w % report_every == 0 || w == total_windows) {
-        const double sst = model.global_mean_sst_k();
-        const double current = model.global_max_surface_current();
-        const double ice = model.global_ice_fraction();
-        const double precip = model.global_mean_precip();
+        const cpl::CoupledDiagnostics diag = model.diagnostics();
         if (comm.rank() == 0)
-          std::printf("  %6lld   %10.3f   %17.4f   %8.4f   %.3e\n", w, sst,
-                      current, ice, precip);
+          std::printf("  %6lld   %10.3f   %17.4f   %8.4f   %.3e\n", w,
+                      diag.mean_sst_k, diag.max_surface_current,
+                      diag.ice_fraction, diag.mean_precip);
       }
     }
     const std::uint64_t hash = model.state_hash();  // collective
@@ -247,8 +342,8 @@ int main(int argc, char** argv) {
                   "atmosphere steps, %lld ocean baroclinic steps\n"
                   "final state hash: %016llx\n",
                   model.windows_run(),
-                  model.has_atm() ? model.atm_model()->model_steps() : 0,
-                  model.has_ocn() ? model.ocn_model()->baroclinic_steps() : 0,
+                  model.has_atm() ? model.atm().model_steps() : 0,
+                  model.has_ocn() ? model.ocn().baroclinic_steps() : 0,
                   static_cast<unsigned long long>(hash));
     if (config.rebalance_every > 0 && comm.rank() == 0)
       std::printf("load rebalancing: %lld migration(s)\n",

@@ -73,7 +73,7 @@ CaseResult run_case(int nranks, int mesh_n, int ocn_nx, int ocn_ny,
     // Background steering flow (the paper's storm is steered by the
     // subtropical ridge): uniform easterly with a poleward component.
     if (model.has_atm()) {
-      auto& dycore = model.atm_model()->dycore();
+      auto& dycore = model.atm().dycore();
       for (std::size_t c = 0; c < dycore.mesh().num_owned(); ++c) {
         double u = 0.0, v = 0.0;
         dycore.wind_at(c, u, v);
@@ -101,7 +101,7 @@ CaseResult run_case(int nranks, int mesh_n, int ocn_nx, int ocn_ny,
 
     // Ocean response: surface Rossby number extremes (Fig. 6c/d quantity).
     if (model.has_ocn()) {
-      const auto ro = model.ocn_model()->surface_rossby_number();
+      const auto ro = model.ocn().surface_rossby_number();
       double lo = 0.0, hi = 0.0;
       for (double r : ro) {
         lo = std::min(lo, r);

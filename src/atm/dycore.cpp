@@ -7,6 +7,7 @@
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
+#include "base/hash.hpp"
 #include "pp/swgomp.hpp"
 #include "precision/group_scaled.hpp"
 
@@ -179,6 +180,33 @@ void Dycore::exchange_dynamic_fields() {
   local_.exchange(state_.vx);
   local_.exchange(state_.vy);
   local_.exchange(state_.vz);
+}
+
+void Dycore::perturb_temperature(std::uint64_t seed, double amplitude_k) {
+  // Each (cell, level) offset hashes (seed, global id, level) so the same
+  // scenario produces the same field on any rank count — an ensemble member's
+  // trajectory depends only on its spec, never on the decomposition.
+  for (std::size_t c = 0; c < local_.num_owned(); ++c) {
+    const std::int64_t gid = local_.global_id(c);
+    for (std::size_t k = 0; k < state_.nlev; ++k) {
+      std::uint64_t h = kFnvBasis;
+      h = fnv1a(h, &seed, sizeof(seed));
+      h = fnv1a_value(h, gid);
+      h = fnv1a_value(h, static_cast<std::int64_t>(k));
+      // Top 53 bits -> uniform double in [0, 1).
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      state_.temp[state_.tq(c, k)] += amplitude_k * (2.0 * u - 1.0);
+    }
+  }
+  // Refresh tracer ghosts level by level (same idiom as step_tracers).
+  std::vector<double> level(local_.num_slots());
+  for (std::size_t k = 0; k < state_.nlev; ++k) {
+    for (std::size_t s = 0; s < local_.num_slots(); ++s)
+      level[s] = state_.temp[state_.tq(s, k)];
+    local_.exchange(level);
+    for (std::size_t s = 0; s < local_.num_slots(); ++s)
+      state_.temp[state_.tq(s, k)] = level[s];
+  }
 }
 
 void Dycore::apply_mixed_precision() {

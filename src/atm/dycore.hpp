@@ -105,6 +105,12 @@ class Dycore {
   /// One tracer substep (upwind advection of temp and q on every level).
   void step_tracers(double dt);
 
+  /// Ensemble perturbation: add a deterministic pseudo-random temperature
+  /// offset in (-amplitude_k, amplitude_k) to every owned (cell, level),
+  /// keyed on (seed, global cell id, level) so the field is invariant to the
+  /// rank decomposition. Ghosts are refreshed afterwards.
+  void perturb_temperature(std::uint64_t seed, double amplitude_k);
+
   /// Global invariants (collective).
   double total_mass() const;              ///< Σ h·A
   double total_tracer(int which) const;   ///< Σ tracer·h·A (0=temp, 1=q)

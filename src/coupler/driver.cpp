@@ -23,12 +23,59 @@ const std::vector<std::string> kOcnForcingFields = {
 
 }  // namespace
 
+void validate_coupled_config(const CoupledConfig& config, int world_size) {
+  if (config.ocn_couple_ratio < 1)
+    throw ConfigError("CoupledConfig: ocn_couple_ratio must be >= 1 (the "
+                      "ocean couples every N atm windows), got " +
+                      std::to_string(config.ocn_couple_ratio));
+  if (config.regrid_neighbors < 1)
+    throw ConfigError("CoupledConfig: regrid_neighbors must be >= 1, got " +
+                      std::to_string(config.regrid_neighbors));
+  if (config.rebalance_every < 0)
+    throw ConfigError("CoupledConfig: rebalance_every must be >= 0 (0 turns "
+                      "rebalancing off), got " +
+                      std::to_string(config.rebalance_every));
+  if (config.ice_dt_seconds < 0.0)
+    throw ConfigError("CoupledConfig: ice_dt_seconds must be >= 0 (0 means "
+                      "one ice step per window), got " +
+                      std::to_string(config.ice_dt_seconds));
+  if (config.atm_ranks < 0)
+    throw ConfigError("CoupledConfig: atm_ranks must be >= 0 (0 picks half "
+                      "the world), got " + std::to_string(config.atm_ranks));
+  if (config.layout == Layout::kConcurrent) {
+    if (world_size < 2)
+      throw ConfigError("CoupledConfig: the concurrent layout needs at least "
+                        "2 ranks (atm and ocn domains must both be "
+                        "non-empty), got " + std::to_string(world_size));
+    if (config.atm_ranks >= world_size)
+      throw ConfigError("CoupledConfig: atm_ranks (" +
+                        std::to_string(config.atm_ranks) +
+                        ") must leave at least one rank for the ocean domain "
+                        "(world size " + std::to_string(world_size) + ")");
+  }
+}
+
 CoupledModel::CoupledModel(const par::Comm& global, const CoupledConfig& config)
+    : CoupledModel(global, [&config] {
+        ScenarioSpec s;
+        s.config = config;
+        return s;
+      }()) {}
+
+CoupledModel::CoupledModel(const par::Comm& global, ScenarioSpec spec)
     : global_(global),
-      config_(config),
-      clock_(0.0, config.atm.model_dt_seconds()),
-      window_seconds_(config.atm.model_dt_seconds()) {
-  AP3_REQUIRE_MSG(config_.ocn_couple_ratio >= 1, "bad ocean coupling ratio");
+      spec_(std::move(spec)),
+      clock_(0.0, spec_.config.atm.model_dt_seconds()),
+      window_seconds_(spec_.config.atm.model_dt_seconds()) {
+  validate_coupled_config(config_, global.size());
+  if (spec_.shared) {
+    const SharedInputsSpec want{config_.atm.mesh_n, config_.ocn.grid,
+                                config_.regrid_neighbors};
+    if (!(spec_.shared->spec() == want))
+      throw ConfigError(
+          "ScenarioSpec: the shared context was built for a different "
+          "mesh_n/ocean grid/regrid_neighbors than this member's config");
+  }
 
   // --- task domains (§5.1.2) -------------------------------------------------
   if (config_.layout == Layout::kSequential) {
@@ -47,14 +94,33 @@ CoupledModel::CoupledModel(const par::Comm& global, const CoupledConfig& config)
   }
 
   // --- components --------------------------------------------------------------
-  mesh_ = std::make_unique<grid::IcosahedralGrid>(config_.atm.mesh_n);
+  shared_ = spec_.shared;
+  if (shared_) {
+    mesh_ = shared_->mesh();
+    ocn_grid_ = shared_->ocean_grid();
+  } else {
+    mesh_ = std::make_shared<const grid::IcosahedralGrid>(config_.atm.mesh_n);
+    ocn_grid_ = std::make_shared<const grid::TripolarGrid>(config_.ocn.grid);
+  }
   if (atm_comm_) {
     atm_ = std::make_unique<atm::AtmModel>(*atm_comm_, config_.atm, *mesh_);
-    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config());
+    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
+                                           ocn_grid_);
   }
-  if (ocn_comm_) ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn);
+  if (ocn_comm_)
+    ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, ocn_grid_);
 
-  build_coupling_infrastructure();
+  if (spec_.adopt_plans) {
+    plans_ = spec_.adopt_plans;
+  } else {
+    build_coupling_infrastructure();
+  }
+
+  // The scenario's initial-condition perturbation (after construction, before
+  // anything runs; keyed on global ids so it is decomposition-invariant).
+  if (spec_.perturbation_seed != 0 && atm_)
+    atm_->dycore().perturb_temperature(spec_.perturbation_seed,
+                                       spec_.perturbation_kelvin);
 
   if (config_.rebalance_every > 0) {
     if (ocn_) ocn_balancer_.emplace("ocn", config_.rebalance);
@@ -88,6 +154,11 @@ ice::IceConfig CoupledModel::make_ice_config() const {
 }
 
 void CoupledModel::build_coupling_infrastructure() {
+  // Always a fresh plans object: members adopted the previous one by pointer,
+  // so a rebuild here (rebalance, restore_layout) detaches this member from
+  // the fleet's common plans instead of mutating them under its peers.
+  auto plans = std::make_shared<CouplingPlans>();
+
   // Global decomposition descriptors: ranks outside a domain own nothing.
   std::vector<std::int64_t> atm_ids, ocn_ids, ice_ids;
   if (atm_) {
@@ -98,69 +169,62 @@ void CoupledModel::build_coupling_infrastructure() {
   }
   if (ocn_) ocn_ids = ocn_->ocean_gids();
   if (ice_) ice_ids = ice_->ocean_gids();
-  atm_map_ = mct::GlobalSegMap::build(global_, atm_ids);
-  ocn_map_ = mct::GlobalSegMap::build(global_, ocn_ids);
-  ice_map_ = mct::GlobalSegMap::build(global_, ice_ids);
+  plans->atm_map = mct::GlobalSegMap::build(global_, atm_ids);
+  plans->ocn_map = mct::GlobalSegMap::build(global_, ocn_ids);
+  plans->ice_map = mct::GlobalSegMap::build(global_, ice_ids);
 
-  // Interpolation weights between the two grids (every rank computes the
-  // same global matrices; production AP3ESM precomputes these offline, the
-  // same way §5.2.4 precomputes GSMaps and routers).
-  std::vector<mct::GeoPoint> atm_points(mesh_->num_cells());
-  for (std::size_t c = 0; c < mesh_->num_cells(); ++c) {
-    atm_points[c] = {mesh_->cell_center(c).lon(), mesh_->cell_center(c).lat()};
+  // Interpolation weights between the two grids: taken from the shared
+  // context when present (they depend only on the grids, not on the
+  // decomposition), otherwise computed here — every rank computes the same
+  // global matrices; production AP3ESM precomputes these offline, the same
+  // way §5.2.4 precomputes GSMaps and routers.
+  mct::SparseMatrix a2o_private, o2a_private;
+  if (!shared_) {
+    build_regrid_matrices(*mesh_, *ocn_grid_, config_.regrid_neighbors,
+                          a2o_private, o2a_private);
   }
-  grid::TripolarGrid ogrid(config_.ocn.grid);
-  std::vector<mct::GeoPoint> ocn_points;
-  std::vector<std::int64_t> ocn_gids;
-  for (int j = 0; j < ogrid.ny(); ++j) {
-    for (int i = 0; i < ogrid.nx(); ++i) {
-      if (ogrid.kmt(i, j) == 0) continue;
-      ocn_points.push_back(
-          {ogrid.lon_deg(i) * kDegToRad, ogrid.lat_deg(j) * kDegToRad});
-      ocn_gids.push_back(static_cast<std::int64_t>(j) * ogrid.nx() + i);
-    }
-  }
+  const mct::SparseMatrix& a2o_matrix =
+      shared_ ? shared_->a2o_matrix() : a2o_private;
+  const mct::SparseMatrix& o2a_matrix =
+      shared_ ? shared_->o2a_matrix() : o2a_private;
 
-  const int k = config_.regrid_neighbors;
-  // atm -> ocn: rows are ocean gids, columns atm cell ids.
-  mct::SparseMatrix a2o_compact =
-      mct::SparseMatrix::inverse_distance(ocn_points, atm_points, k);
-  std::vector<mct::MatrixEntry> a2o_entries = a2o_compact.entries();
-  for (mct::MatrixEntry& e : a2o_entries)
-    e.dst = ocn_gids[static_cast<std::size_t>(e.dst)];
-  const mct::SparseMatrix a2o_matrix(std::move(a2o_entries));
-
-  // ocn -> atm: rows are atm cell ids, columns ocean gids.
-  mct::SparseMatrix o2a_compact =
-      mct::SparseMatrix::inverse_distance(atm_points, ocn_points, k);
-  std::vector<mct::MatrixEntry> o2a_entries = o2a_compact.entries();
-  for (mct::MatrixEntry& e : o2a_entries)
-    e.src = ocn_gids[static_cast<std::size_t>(e.src)];
-  const mct::SparseMatrix o2a_matrix(std::move(o2a_entries));
-
-  a2o_ = std::make_unique<mct::RegridOp>(global_, a2o_matrix, atm_map_, ocn_map_);
-  a2i_ = std::make_unique<mct::RegridOp>(global_, a2o_matrix, atm_map_, ice_map_);
-  o2a_ = std::make_unique<mct::RegridOp>(global_, o2a_matrix, ocn_map_, atm_map_);
-  i2a_ = std::make_unique<mct::RegridOp>(global_, o2a_matrix, ice_map_, atm_map_);
+  plans->a2o = std::make_unique<mct::RegridOp>(global_, a2o_matrix,
+                                               plans->atm_map, plans->ocn_map);
+  plans->a2i = std::make_unique<mct::RegridOp>(global_, a2o_matrix,
+                                               plans->atm_map, plans->ice_map);
+  plans->o2a = std::make_unique<mct::RegridOp>(global_, o2a_matrix,
+                                               plans->ocn_map, plans->atm_map);
+  plans->i2a = std::make_unique<mct::RegridOp>(global_, o2a_matrix,
+                                               plans->ice_map, plans->atm_map);
 
   // Same-grid routers between the ocean's and the ice's decompositions.
-  o2i_ = std::make_unique<mct::Rearranger>(
-      global_, mct::Router::build(global_.rank(), ocn_map_, ice_map_));
-  i2o_ = std::make_unique<mct::Rearranger>(
-      global_, mct::Router::build(global_.rank(), ice_map_, ocn_map_));
+  plans->o2i = std::make_unique<mct::Rearranger>(
+      global_,
+      mct::Router::build(global_.rank(), plans->ocn_map, plans->ice_map));
+  plans->i2o = std::make_unique<mct::Rearranger>(
+      global_,
+      mct::Router::build(global_.rank(), plans->ice_map, plans->ocn_map));
+
+  plans_ = std::move(plans);
+}
+
+void CoupledModel::install_ai_physics(const AiInstallOptions& options) {
+  if (!atm_) return;
+  AP3_REQUIRE_MSG(options.suite != nullptr,
+                  "install_ai_physics: options.suite must not be null");
+  // The driver's overlap mode extends into the engine: micro-batch forwards
+  // run on the engine's streams while the rank thread packs the next slot.
+  ai::EngineConfig engine = options.engine;
+  if (config_.overlap) engine.overlap = true;
+  auto physics = std::make_unique<atm::AiPhysics>(options.suite, engine);
+  if (options.online) physics->enable_online_training(*options.online);
+  atm_->set_physics(std::move(physics));
 }
 
 void CoupledModel::install_ai_physics(
     std::shared_ptr<ai::AiPhysicsSuite> suite, ai::EngineConfig engine,
     const std::optional<atm::OnlineTrainingConfig>& online) {
-  if (!atm_) return;
-  AP3_REQUIRE(suite != nullptr);
-  // The driver's overlap mode extends into the engine: micro-batch forwards
-  // run on the engine's streams while the rank thread packs the next slot.
-  if (config_.overlap) engine.overlap = true;
-  auto physics = std::make_unique<atm::AiPhysics>(std::move(suite), engine);
-  if (online) physics->enable_online_training(*online);
-  atm_->set_physics(std::move(physics));
+  install_ai_physics(AiInstallOptions{std::move(suite), engine, online});
 }
 
 void CoupledModel::run_windows(int atm_windows) {
@@ -238,7 +302,7 @@ void CoupledModel::ocn_phase() {
   mct::AttrVect forcing_on_ocn(kOcnForcingFields, nocn);
   auto regrid_forcing = [&] {
     for (const std::string& field : kOcnForcingFields) {
-      const std::vector<double> mapped = a2o_->apply(a2x_accum_.field(field));
+      const std::vector<double> mapped = plans_->a2o->apply(a2x_accum_.field(field));
       AP3_REQUIRE(mapped.size() == nocn);
       std::copy(mapped.begin(), mapped.end(),
                 forcing_on_ocn.field(field).begin());
@@ -256,17 +320,17 @@ void CoupledModel::ocn_phase() {
     // sequence stream keeps its internal order and fault decisions replay.
     obs::counter_add("overlap:ocn_phase", 1.0);
     mct::Rearranger::Pending ifrac_exchange =
-        i2o_->rearrange_begin(ifrac_ice, ifrac_ocn);
+        plans_->i2o->rearrange_begin(ifrac_ice, ifrac_ocn);
     pp::Event export_done;
     if (ocn_)
       export_done = stream_.enqueue("overlap:ocn_export",
                                     [&] { ocn_->export_state(o2x_pre); });
     regrid_forcing();
-    i2o_->rearrange_end(ifrac_exchange);
+    plans_->i2o->rearrange_end(ifrac_exchange);
     export_done.wait();
   } else {
     regrid_forcing();
-    i2o_->rearrange(ifrac_ice, ifrac_ocn);
+    plans_->i2o->rearrange(ifrac_ice, ifrac_ocn);
     if (ocn_) ocn_->export_state(o2x_pre);
   }
 
@@ -307,12 +371,12 @@ void CoupledModel::ocn_phase() {
   if (config_.overlap) {
     // The sst regrid to the atmosphere runs inside the o2i wire window.
     mct::Rearranger::Pending ice_exchange =
-        o2i_->rearrange_begin(o2x, o2x_for_ice);
-    sst_atm = o2a_->apply(o2x.field("sst"));
-    o2i_->rearrange_end(ice_exchange);
+        plans_->o2i->rearrange_begin(o2x, o2x_for_ice);
+    sst_atm = plans_->o2a->apply(o2x.field("sst"));
+    plans_->o2i->rearrange_end(ice_exchange);
   } else {
-    sst_atm = o2a_->apply(o2x.field("sst"));
-    o2i_->rearrange(o2x, o2x_for_ice);
+    sst_atm = plans_->o2a->apply(o2x.field("sst"));
+    plans_->o2i->rearrange(o2x, o2x_for_ice);
   }
   if (atm_) {
     AP3_REQUIRE(sst_atm.size() == sst_on_atm_.size());
@@ -363,7 +427,7 @@ void CoupledModel::atm_ice_phase() {
   // Ice: air temperature regridded from the fresh atmosphere export (the
   // async accumulation, when overlapping, runs inside this regrid's wire
   // time; it only touches a2x_accum_, which the regrid does not read).
-  const std::vector<double> tbot_ice = a2i_->apply(a2x.field("tbot"));
+  const std::vector<double> tbot_ice = plans_->a2i->apply(a2x.field("tbot"));
   accum_done.wait();
   const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
   mct::AttrVect i2x(ice::IceModel::export_fields(), nice);
@@ -392,7 +456,7 @@ void CoupledModel::atm_ice_phase() {
         stream_, pp::RangePolicy(0, natm).named("overlap:x2a_sst"),
         [this, sst_dst](std::size_t p) { sst_dst[p] = sst_on_atm_[p]; });
   }
-  const std::vector<double> ifrac_atm = i2a_->apply(i2x.field("ifrac"));
+  const std::vector<double> ifrac_atm = plans_->i2a->apply(i2x.field("ifrac"));
   if (atm_) {
     if (config_.overlap) {
       sst_copy_done.wait();
@@ -440,7 +504,7 @@ void CoupledModel::maybe_rebalance() {
   if (ice_ && ice_balancer_) {
     const balance::MeasuredCost cost = balance::measured_phase_cost(
         *atm_comm_, "run:atm_ice_phase:ice_run", balance_ice_mark_);
-    const grid::TripolarGrid g(config_.ocn.grid);
+    const grid::TripolarGrid& g = *ocn_grid_;
     std::vector<double> weight(static_cast<std::size_t>(g.nx()) *
                                static_cast<std::size_t>(g.ny()));
     for (int j = 0; j < g.ny(); ++j)
@@ -469,7 +533,7 @@ void CoupledModel::maybe_rebalance() {
   if (!any_ocn && !any_ice) return;
 
   // Snapshot the coupler's ice-side caches before ownership changes.
-  const mct::GlobalSegMap old_ice_map = ice_map_;
+  const mct::GlobalSegMap old_ice_map = plans_->ice_map;
   const std::size_t old_nice = ice_ ? ice_->ocean_gids().size() : 0;
   mct::AttrVect old_caches({"sst", "us", "vs"}, old_nice);
   if (ice_) {
@@ -489,7 +553,7 @@ void CoupledModel::maybe_rebalance() {
     // Re-home the cached ice-side fields (collective on the global
     // communicator; ocean-domain ranks own no ice columns on either side).
     mct::Rearranger cache_move(
-        global_, mct::Router::build(global_.rank(), old_ice_map, ice_map_));
+        global_, mct::Router::build(global_.rank(), old_ice_map, plans_->ice_map));
     const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
     mct::AttrVect new_caches({"sst", "us", "vs"}, nice);
     cache_move.rearrange(old_caches, new_caches);
@@ -514,7 +578,8 @@ void CoupledModel::migrate_ocn(const grid::BlockCuts& cuts) {
   const std::vector<std::int64_t> old_gids = ocn_->ocean_gids();
   const long long steps = ocn_->baroclinic_steps();
 
-  auto next = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, cuts);
+  auto next =
+      std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, cuts, ocn_grid_);
   balance::ColumnMigrator mover(*ocn_comm_, old_gids, next->ocean_gids());
   mct::AttrVect dst(fields, next->ocean_gids().size());
   mover.migrate(src, dst);
@@ -533,8 +598,8 @@ void CoupledModel::migrate_ice(const grid::BlockCuts& cuts) {
   const std::vector<std::int64_t> old_gids = ice_->ocean_gids();
   const long long steps = ice_->steps();
 
-  auto next =
-      std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(), cuts);
+  auto next = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
+                                              cuts, ocn_grid_);
   balance::ColumnMigrator mover(*atm_comm_, old_gids, next->ocean_gids());
   mct::AttrVect dst(fields, next->ocean_gids().size());
   mover.migrate(src, dst);
@@ -933,10 +998,11 @@ void CoupledModel::restore_layout(io::CheckpointReader& reader) {
   // be overwritten wholesale by the section reads, which address columns by
   // global id and therefore need the stored layout.
   if (ocn_mismatch)
-    ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, *ocn_cuts);
+    ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, *ocn_cuts,
+                                           ocn_grid_);
   if (ice_mismatch)
     ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
-                                           *ice_cuts);
+                                           *ice_cuts, ocn_grid_);
   build_coupling_infrastructure();
   const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
   sst_on_ice_.assign(nice, 0.0);  // overwritten by the cpl.* section reads
@@ -975,7 +1041,7 @@ std::uint64_t CoupledModel::state_hash() {
   return fnv_bytes(combined, &total, sizeof(total));
 }
 
-double CoupledModel::global_mean_sst_k() {
+double CoupledModel::mean_sst_impl() {
   double sum = 0.0, area = 0.0;
   if (ocn_) {
     const auto& g = ocn_->ocean_grid();
@@ -993,20 +1059,92 @@ double CoupledModel::global_mean_sst_k() {
          global_.allreduce_value(area, par::ReduceOp::kSum);
 }
 
-double CoupledModel::global_mean_precip() {
+double CoupledModel::mean_precip_impl() {
   const double local = atm_ ? atm_->global_mean_precip() : 0.0;
   // atm ranks all hold the same value after their collective; take the max.
   return global_.allreduce_value(local, par::ReduceOp::kMax);
 }
 
-double CoupledModel::global_ice_fraction() {
+double CoupledModel::ice_fraction_impl() {
   const double local = ice_ ? ice_->ice_area_fraction() : 0.0;
   return global_.allreduce_value(local, par::ReduceOp::kMax);
 }
 
-double CoupledModel::global_max_surface_current() {
+double CoupledModel::max_current_impl() {
   const double local = ocn_ ? ocn_->max_current() : 0.0;
   return global_.allreduce_value(local, par::ReduceOp::kMax);
+}
+
+CoupledDiagnostics CoupledModel::diagnostics() {
+  CoupledDiagnostics d;
+  d.mean_sst_k = mean_sst_impl();
+  d.mean_precip = mean_precip_impl();
+  d.ice_fraction = ice_fraction_impl();
+  d.max_surface_current = max_current_impl();
+  d.windows = clock_.steps_taken();
+  // Step counters live only on the owning domain's ranks (identical there);
+  // a max spreads them to the whole world in the concurrent layout.
+  auto spread = [this](long long v) {
+    return static_cast<long long>(global_.allreduce_value(
+        static_cast<double>(v), par::ReduceOp::kMax));
+  };
+  d.atm_steps = spread(atm_ ? atm_->model_steps() : 0);
+  d.ocn_baroclinic_steps = spread(ocn_ ? ocn_->baroclinic_steps() : 0);
+  d.ice_steps = spread(ice_ ? ice_->steps() : 0);
+  d.rebalance_migrations = rebalance_migrations_;
+  return d;
+}
+
+atm::AtmModel& CoupledModel::atm() {
+  AP3_REQUIRE_MSG(atm_ != nullptr,
+                  "CoupledModel::atm(): no atmosphere on this rank "
+                  "(concurrent layout) — check has_atm() first");
+  return *atm_;
+}
+const atm::AtmModel& CoupledModel::atm() const {
+  return const_cast<CoupledModel*>(this)->atm();
+}
+ocn::OcnModel& CoupledModel::ocn() {
+  AP3_REQUIRE_MSG(ocn_ != nullptr,
+                  "CoupledModel::ocn(): no ocean on this rank "
+                  "(concurrent layout) — check has_ocn() first");
+  return *ocn_;
+}
+const ocn::OcnModel& CoupledModel::ocn() const {
+  return const_cast<CoupledModel*>(this)->ocn();
+}
+ice::IceModel& CoupledModel::ice() {
+  AP3_REQUIRE_MSG(ice_ != nullptr,
+                  "CoupledModel::ice(): no ice on this rank "
+                  "(concurrent layout) — check has_ice() first");
+  return *ice_;
+}
+const ice::IceModel& CoupledModel::ice() const {
+  return const_cast<CoupledModel*>(this)->ice();
+}
+
+double CoupledModel::global_mean_sst_k() { return mean_sst_impl(); }
+
+double CoupledModel::global_mean_precip() { return mean_precip_impl(); }
+
+double CoupledModel::global_ice_fraction() { return ice_fraction_impl(); }
+
+double CoupledModel::global_max_surface_current() {
+  return max_current_impl();
+}
+
+std::shared_ptr<const SharedInputs> build_shared_inputs(
+    const CoupledConfig& config) {
+  return SharedInputs::build(SharedInputsSpec{
+      config.atm.mesh_n, config.ocn.grid, config.regrid_neighbors});
+}
+
+std::shared_ptr<const SharedInputs> build_shared_inputs(
+    const CoupledConfig& config, ai::AiPhysicsSuite& suite) {
+  return SharedInputs::build(
+      SharedInputsSpec{config.atm.mesh_n, config.ocn.grid,
+                       config.regrid_neighbors},
+      suite);
 }
 
 void CoupledModel::seed_typhoon(const atm::VortexSpec& spec) {

@@ -29,6 +29,7 @@
 #include "base/timer.hpp"
 #include "coupler/clock.hpp"
 #include "coupler/fluxes.hpp"
+#include "coupler/scenario.hpp"
 #include "coupler/timing.hpp"
 #include "ice/ice.hpp"
 #include "io/checkpoint.hpp"
@@ -63,9 +64,54 @@ struct CoupledConfig {
   balance::RebalancePolicy rebalance;  ///< hysteresis / cost-model knobs
 };
 
+/// Validate a CoupledConfig against the communicator it will run on. Throws
+/// ConfigError with a specific message on the silent-misbehavior cases:
+/// non-positive coupling ratio, negative rebalance interval or ice step,
+/// nonsensical regrid stencil, and concurrent-layout rank splits that cannot
+/// leave both domains non-empty.
+void validate_coupled_config(const CoupledConfig& config, int world_size);
+
+/// Everything that defines one ensemble member: the configuration, an initial
+/// perturbation, and (optionally) the shared immutable context it serves from.
+/// `ScenarioSpec{config}` is exactly the legacy constructor.
+struct ScenarioSpec {
+  CoupledConfig config;
+  /// 0 = unperturbed control member. Nonzero seeds key a deterministic,
+  /// decomposition-invariant temperature perturbation applied once after
+  /// construction (Dycore::perturb_temperature).
+  std::uint64_t perturbation_seed = 0;
+  double perturbation_kelvin = 0.01;
+  std::string name;  ///< label for diagnostics output (optional)
+  /// Shared immutable inputs (mesh, ocean grid, regrid matrices, frozen AI
+  /// weights). Null: the model builds a private context (legacy behavior).
+  std::shared_ptr<const SharedInputs> shared;
+  /// Fleet-internal: adopt an already built coupling-plan set instead of
+  /// rebuilding (must match this member's communicator and decomposition).
+  std::shared_ptr<const CouplingPlans> adopt_plans;
+};
+
+/// One consistent snapshot of the coupled model's scalar diagnostics
+/// (collective on the global communicator, valid on every rank).
+struct CoupledDiagnostics {
+  double mean_sst_k = 0.0;          ///< area-weighted global mean SST [K]
+  double mean_precip = 0.0;         ///< atmosphere global mean precip
+  double ice_fraction = 0.0;        ///< global ice-covered ocean fraction
+  double max_surface_current = 0.0; ///< max ocean surface speed [m/s]
+  long long windows = 0;            ///< master coupling windows run
+  long long atm_steps = 0;          ///< atmosphere model steps
+  long long ocn_baroclinic_steps = 0;
+  long long ice_steps = 0;
+  long long rebalance_migrations = 0;
+};
+
 class CoupledModel {
  public:
-  /// Collective on the global communicator.
+  /// Scenario-centric construction (collective on the global communicator):
+  /// validates the config, builds or adopts the shared context, constructs
+  /// the components, and applies the scenario's perturbation.
+  CoupledModel(const par::Comm& global, ScenarioSpec spec);
+  /// Legacy construction — a thin shim over ScenarioSpec{config} that builds
+  /// a private context.
   CoupledModel(const par::Comm& global, const CoupledConfig& config);
 
   /// Advance `atm_windows` master coupling windows (collective).
@@ -81,21 +127,48 @@ class CoupledModel {
   long long rebalance_migrations() const { return rebalance_migrations_; }
 
   /// Install a trained AI suite as the atmosphere's physics (no-op on ranks
-  /// without an atmosphere). The engine config picks the execution space and
+  /// without an atmosphere). `options.engine` picks the execution space and
   /// precision policy; when the driver runs with `CoupledConfig::overlap` the
-  /// engine's micro-batch overlap is switched on too. Pass an
-  /// OnlineTrainingConfig to keep fine-tuning against the conventional suite
-  /// during the run (the weights and optimizer state then become checkpoint
-  /// sections, so restart stays bit-exact).
+  /// engine's micro-batch overlap is switched on too. `options.online` keeps
+  /// fine-tuning against the conventional suite during the run (the weights
+  /// and optimizer state then become checkpoint sections, so restart stays
+  /// bit-exact). Fleet members pass the same `options.suite` pointer so one
+  /// InferenceEngine micro-batches across all of them.
+  void install_ai_physics(const AiInstallOptions& options);
+  [[deprecated("pass an AiInstallOptions struct instead")]]
   void install_ai_physics(
       std::shared_ptr<ai::AiPhysicsSuite> suite, ai::EngineConfig engine = {},
       const std::optional<atm::OnlineTrainingConfig>& online = std::nullopt);
 
   bool has_atm() const { return atm_ != nullptr; }
   bool has_ocn() const { return ocn_ != nullptr; }
+  bool has_ice() const { return ice_ != nullptr; }
+  /// Checked component references: throw ap3::Error when the component does
+  /// not live on this rank (concurrent layout) — check has_*() first.
+  atm::AtmModel& atm();
+  const atm::AtmModel& atm() const;
+  ocn::OcnModel& ocn();
+  const ocn::OcnModel& ocn() const;
+  ice::IceModel& ice();
+  const ice::IceModel& ice() const;
+  [[deprecated("use has_atm()/atm() instead")]]
   atm::AtmModel* atm_model() { return atm_.get(); }
+  [[deprecated("use has_ocn()/ocn() instead")]]
   ocn::OcnModel* ocn_model() { return ocn_.get(); }
+  [[deprecated("use has_ice()/ice() instead")]]
   ice::IceModel* ice_model() { return ice_.get(); }
+
+  /// The scenario this model was constructed from.
+  const ScenarioSpec& scenario() const { return spec_; }
+  /// Shared immutable context (null when privately built).
+  const std::shared_ptr<const SharedInputs>& shared_inputs() const {
+    return shared_;
+  }
+  /// The communicator-bound coupling plans currently in use. A fleet donates
+  /// member 0's plans to the other members via ScenarioSpec::adopt_plans.
+  const std::shared_ptr<const CouplingPlans>& coupling_plans() const {
+    return plans_;
+  }
 
   // --- checkpoint/restart (collective on the global communicator) ------------
   /// Write a versioned snapshot of the full coupled state (every component's
@@ -122,9 +195,16 @@ class CoupledModel {
   /// The span-fed shim registry, refreshed on access (not collective).
   TimerRegistry& timers();
 
+  /// One consistent snapshot of the scalar diagnostics (collective).
+  CoupledDiagnostics diagnostics();
+
+  [[deprecated("use diagnostics().mean_sst_k instead")]]
   double global_mean_sst_k();
+  [[deprecated("use diagnostics().mean_precip instead")]]
   double global_mean_precip();
+  [[deprecated("use diagnostics().ice_fraction instead")]]
   double global_ice_fraction();
+  [[deprecated("use diagnostics().max_surface_current instead")]]
   double global_max_surface_current();
 
   // --- typhoon experiment hooks (collective) ----------------------------------
@@ -136,6 +216,12 @@ class CoupledModel {
 
  private:
   void build_coupling_infrastructure();
+  /// Deprecated-shim-free implementations of the scalar diagnostics (the
+  /// deprecated getters and diagnostics() both delegate here).
+  double mean_sst_impl();
+  double mean_precip_impl();
+  double ice_fraction_impl();
+  double max_current_impl();
   void refresh_timers();  ///< rebuild the shim registry from span aggregates
   void atm_ice_phase();  ///< one master window: atm.run, ice.run, exchanges
   void ocn_phase();      ///< at ocean boundaries: fluxes, ocn.run, exports
@@ -175,19 +261,26 @@ class CoupledModel {
   std::map<std::string, io::FieldData> local_sections(bool ai_on);
 
   const par::Comm& global_;
-  CoupledConfig config_;
+  ScenarioSpec spec_;
+  CoupledConfig& config_ = spec_.config;  ///< alias into spec_
   // Domain communicators must outlive the components referencing them.
   std::optional<par::Comm> atm_comm_;
   std::optional<par::Comm> ocn_comm_;
 
-  std::unique_ptr<grid::IcosahedralGrid> mesh_;
+  // Immutable shared context (null when privately built) and the grids the
+  // components reference — pointers into shared_ when present, otherwise
+  // privately built with identical values.
+  std::shared_ptr<const SharedInputs> shared_;
+  std::shared_ptr<const grid::IcosahedralGrid> mesh_;
+  std::shared_ptr<const grid::TripolarGrid> ocn_grid_;
   std::unique_ptr<atm::AtmModel> atm_;
   std::unique_ptr<ocn::OcnModel> ocn_;
   std::unique_ptr<ice::IceModel> ice_;
 
-  mct::GlobalSegMap atm_map_, ocn_map_, ice_map_;
-  std::unique_ptr<mct::RegridOp> a2o_, o2a_, a2i_, i2a_;
-  std::unique_ptr<mct::Rearranger> o2i_, i2o_;
+  // Communicator-bound coupling machinery; shared across fleet members on
+  // one rank thread. Rebuilds (rebalance, restore_layout) allocate a fresh
+  // object so donated plans detach rather than mutate.
+  std::shared_ptr<const CouplingPlans> plans_;
 
   // Accumulated atmosphere exports (atm decomposition) for the ocean window.
   mct::AttrVect a2x_accum_;
@@ -211,5 +304,14 @@ class CoupledModel {
   double window_seconds_ = 0.0;
   BulkFluxConfig flux_config_;
 };
+
+/// Build the shared immutable context for `config` (mesh, ocean grid, regrid
+/// matrices). Communicator-free; call once per process, outside par::run.
+std::shared_ptr<const SharedInputs> build_shared_inputs(
+    const CoupledConfig& config);
+/// Same, additionally freezing `suite`'s trained weights into the context so
+/// fleet ranks can thaw identical per-rank suites.
+std::shared_ptr<const SharedInputs> build_shared_inputs(
+    const CoupledConfig& config, ai::AiPhysicsSuite& suite);
 
 }  // namespace ap3::cpl

@@ -1,0 +1,108 @@
+#include "coupler/scenario.hpp"
+
+#include <utility>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace ap3::cpl {
+
+using constants::kDegToRad;
+
+void build_regrid_matrices(const grid::IcosahedralGrid& mesh,
+                           const grid::TripolarGrid& ogrid, int neighbors,
+                           mct::SparseMatrix& a2o, mct::SparseMatrix& o2a) {
+  std::vector<mct::GeoPoint> atm_points(mesh.num_cells());
+  for (std::size_t c = 0; c < mesh.num_cells(); ++c) {
+    atm_points[c] = {mesh.cell_center(c).lon(), mesh.cell_center(c).lat()};
+  }
+  std::vector<mct::GeoPoint> ocn_points;
+  std::vector<std::int64_t> ocn_gids;
+  for (int j = 0; j < ogrid.ny(); ++j) {
+    for (int i = 0; i < ogrid.nx(); ++i) {
+      if (ogrid.kmt(i, j) == 0) continue;
+      ocn_points.push_back(
+          {ogrid.lon_deg(i) * kDegToRad, ogrid.lat_deg(j) * kDegToRad});
+      ocn_gids.push_back(static_cast<std::int64_t>(j) * ogrid.nx() + i);
+    }
+  }
+
+  // atm -> ocn: rows are ocean gids, columns atm cell ids.
+  mct::SparseMatrix a2o_compact =
+      mct::SparseMatrix::inverse_distance(ocn_points, atm_points, neighbors);
+  std::vector<mct::MatrixEntry> a2o_entries = a2o_compact.entries();
+  for (mct::MatrixEntry& e : a2o_entries)
+    e.dst = ocn_gids[static_cast<std::size_t>(e.dst)];
+  a2o = mct::SparseMatrix(std::move(a2o_entries));
+
+  // ocn -> atm: rows are atm cell ids, columns ocean gids.
+  mct::SparseMatrix o2a_compact =
+      mct::SparseMatrix::inverse_distance(atm_points, ocn_points, neighbors);
+  std::vector<mct::MatrixEntry> o2a_entries = o2a_compact.entries();
+  for (mct::MatrixEntry& e : o2a_entries)
+    e.src = ocn_gids[static_cast<std::size_t>(e.src)];
+  o2a = mct::SparseMatrix(std::move(o2a_entries));
+}
+
+std::shared_ptr<SharedInputs> SharedInputs::build_impl(
+    const SharedInputsSpec& spec) {
+  AP3_REQUIRE_MSG(spec.regrid_neighbors >= 1,
+                  "SharedInputs: regrid_neighbors must be >= 1, got "
+                      << spec.regrid_neighbors);
+  auto out = std::shared_ptr<SharedInputs>(new SharedInputs());
+  out->spec_ = spec;
+  out->mesh_ = std::make_shared<const grid::IcosahedralGrid>(spec.mesh_n);
+  out->ocean_grid_ = std::make_shared<const grid::TripolarGrid>(spec.ocn_grid);
+  build_regrid_matrices(*out->mesh_, *out->ocean_grid_, spec.regrid_neighbors,
+                        out->a2o_, out->o2a_);
+  return out;
+}
+
+std::shared_ptr<const SharedInputs> SharedInputs::build(
+    const SharedInputsSpec& spec) {
+  return build_impl(spec);
+}
+
+std::shared_ptr<const SharedInputs> SharedInputs::build(
+    const SharedInputsSpec& spec, ai::AiPhysicsSuite& suite) {
+  std::shared_ptr<SharedInputs> out = build_impl(spec);
+  auto frozen = std::make_shared<FrozenSuite>();
+  frozen->config = suite.config();
+  frozen->input = suite.input_norm();
+  frozen->tendency = suite.tendency_norm();
+  frozen->rad_input = suite.rad_input_norm();
+  frozen->flux = suite.flux_norm();
+  frozen->cnn_weights = suite.cnn().model().save_weights();
+  frozen->mlp_weights = suite.mlp().model().save_weights();
+  frozen->fitted = suite.normalized();
+  out->frozen_ = std::move(frozen);
+  return out;
+}
+
+const FrozenSuite& SharedInputs::frozen_suite() const {
+  AP3_REQUIRE_MSG(frozen_ != nullptr,
+                  "SharedInputs holds no frozen AI suite; build it with "
+                  "build(spec, suite)");
+  return *frozen_;
+}
+
+std::shared_ptr<ai::AiPhysicsSuite> SharedInputs::materialize_suite() const {
+  const FrozenSuite& f = frozen_suite();
+  auto suite = std::make_shared<ai::AiPhysicsSuite>(f.config);
+  if (f.fitted) suite->set_normalizers(f.input, f.tendency, f.rad_input, f.flux);
+  suite->cnn().model().load_weights(f.cnn_weights);
+  suite->mlp().model().load_weights(f.mlp_weights);
+  return suite;
+}
+
+std::size_t SharedInputs::resident_bytes() const {
+  std::size_t bytes = mesh_->resident_bytes() + ocean_grid_->resident_bytes() +
+                      a2o_.resident_bytes() + o2a_.resident_bytes();
+  if (frozen_) {
+    bytes += (frozen_->cnn_weights.size() + frozen_->mlp_weights.size()) *
+             sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace ap3::cpl

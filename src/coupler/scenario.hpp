@@ -1,0 +1,135 @@
+// Shared immutable inputs for ensemble serving (src/fleet).
+//
+// A production ensemble runs N perturbed members of the same configuration in
+// one process. Everything a member reads but never writes — the icosahedral
+// atmosphere mesh, the tripolar ocean grid, the two regrid sparse matrices,
+// and (optionally) frozen trained AI weights — is identical across members,
+// so rebuilding it per instance costs O(members) memory and init time for no
+// reason. SharedInputs is that read-only context, built once and handed out
+// as shared_ptr<const>:
+//
+//   - SharedInputs is communicator-free and deeply immutable after build(),
+//     so one instance may be shared across rank threads and across members.
+//   - CouplingPlans is the communicator-bound half (GlobalSegMaps, RegridOps,
+//     Rearranger routes). It is per-rank but member-invariant, so a fleet
+//     builds it once (member 0) and donates it to members 1..N-1 on the same
+//     rank thread. Every rebuild path (rebalance, restore_layout) allocates a
+//     fresh plans object, so a member that diverges from the fleet's common
+//     decomposition detaches automatically instead of corrupting its peers.
+//   - FrozenSuite is trained-weight *data* (weights + normalizers), not a
+//     live suite: a live AiPhysicsSuite owns a stats-mutating InferenceEngine
+//     and must stay rank-local. Each rank thaws the frozen record once with
+//     materialize_suite() and shares the resulting suite across its members.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ai/suite.hpp"
+#include "atm/physics.hpp"
+#include "grid/icosahedral.hpp"
+#include "grid/tripolar.hpp"
+#include "mct/gsmap.hpp"
+#include "mct/rearranger.hpp"
+#include "mct/sparsematrix.hpp"
+
+namespace ap3::cpl {
+
+/// The configuration slice SharedInputs depends on. CoupledModel checks its
+/// own config against this at construction, so a context built for one
+/// resolution cannot silently serve another.
+struct SharedInputsSpec {
+  int mesh_n = 8;
+  grid::TripolarConfig ocn_grid;
+  int regrid_neighbors = 3;
+
+  friend bool operator==(const SharedInputsSpec&,
+                         const SharedInputsSpec&) = default;
+};
+
+/// Immutable record of a trained AI physics suite: both networks' weights and
+/// all four normalizers. Pure data — safe to share across rank threads.
+struct FrozenSuite {
+  ai::SuiteConfig config;
+  ai::ChannelNormalizer input, tendency, rad_input, flux;
+  std::vector<float> cnn_weights, mlp_weights;
+  bool fitted = false;
+};
+
+/// Compute the atm->ocn and ocn->atm inverse-distance regrid matrices for a
+/// mesh/grid pair (row/column ids in global id space, land excluded). The
+/// dominant construction cost of a coupled member; shared by
+/// SharedInputs::build and the driver's private-context path.
+void build_regrid_matrices(const grid::IcosahedralGrid& mesh,
+                           const grid::TripolarGrid& ogrid, int neighbors,
+                           mct::SparseMatrix& a2o, mct::SparseMatrix& o2a);
+
+class SharedInputs {
+ public:
+  /// Build the full shared context (mesh, ocean grid, regrid matrices).
+  /// Communicator-free: call once per process, before or outside par::run.
+  static std::shared_ptr<const SharedInputs> build(const SharedInputsSpec& spec);
+  /// Same, additionally freezing `suite`'s trained weights into the context
+  /// (the suite itself is only read).
+  static std::shared_ptr<const SharedInputs> build(const SharedInputsSpec& spec,
+                                                   ai::AiPhysicsSuite& suite);
+
+  const SharedInputsSpec& spec() const { return spec_; }
+  const std::shared_ptr<const grid::IcosahedralGrid>& mesh() const {
+    return mesh_;
+  }
+  const std::shared_ptr<const grid::TripolarGrid>& ocean_grid() const {
+    return ocean_grid_;
+  }
+  const mct::SparseMatrix& a2o_matrix() const { return a2o_; }
+  const mct::SparseMatrix& o2a_matrix() const { return o2a_; }
+
+  bool has_frozen_suite() const { return frozen_ != nullptr; }
+  const FrozenSuite& frozen_suite() const;
+  /// Thaw the frozen record into a live suite (fresh engine, bit-identical
+  /// weights/normalizers). Call once per rank thread; the result may be
+  /// shared across that rank's members but never across rank threads.
+  std::shared_ptr<ai::AiPhysicsSuite> materialize_suite() const;
+
+  /// Bytes of read-only state a private (non-shared) member would replicate:
+  /// mesh geometry + ocean grid + both regrid matrices + frozen weights.
+  std::size_t resident_bytes() const;
+
+ private:
+  SharedInputs() = default;
+  static std::shared_ptr<SharedInputs> build_impl(const SharedInputsSpec& spec);
+  SharedInputsSpec spec_;
+  std::shared_ptr<const grid::IcosahedralGrid> mesh_;
+  std::shared_ptr<const grid::TripolarGrid> ocean_grid_;
+  mct::SparseMatrix a2o_, o2a_;
+  std::shared_ptr<const FrozenSuite> frozen_;
+};
+
+/// Communicator-bound coupling machinery for one decomposition: the three
+/// GlobalSegMaps plus the regrid/rearrange operators built on them. Shareable
+/// across members of one rank thread (all operations on it are const); owned
+/// via shared_ptr<const> so rebuilding detaches rather than mutates.
+struct CouplingPlans {
+  mct::GlobalSegMap atm_map, ocn_map, ice_map;
+  std::unique_ptr<const mct::RegridOp> a2o, a2i, o2a, i2a;
+  std::unique_ptr<const mct::Rearranger> o2i, i2o;
+};
+
+/// Options for installing an AI physics suite on a coupled model — the former
+/// three loose install_ai_physics parameters as one struct, so fleet members
+/// can share a suite while carrying per-member engine/training options.
+struct AiInstallOptions {
+  /// The trained suite. In a fleet this pointer is shared across members (one
+  /// InferenceEngine serves them all); leave null in
+  /// EnsembleFleet::install_ai_physics to thaw the SharedInputs frozen suite.
+  std::shared_ptr<ai::AiPhysicsSuite> suite;
+  /// Execution space / precision policy / micro-batching for the engine.
+  ai::EngineConfig engine;
+  /// Keep fine-tuning against the conventional suite during the run.
+  /// Mutates the suite's weights — forbidden on a fleet-shared suite.
+  std::optional<atm::OnlineTrainingConfig> online;
+};
+
+}  // namespace ap3::cpl

@@ -1,0 +1,133 @@
+#include "fleet/fleet.hpp"
+
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace ap3::fleet {
+
+namespace {
+
+/// The configuration fields every member of a fleet must agree on: anything
+/// that shapes the communicator split, the decompositions, or the shared
+/// context. Members may only diverge where the scenario says (perturbation).
+void require_fleet_compatible(const cpl::CoupledConfig& a,
+                              const cpl::CoupledConfig& b, std::size_t k) {
+  auto fail = [k](const char* what) {
+    throw ConfigError(std::string("EnsembleFleet: member ") +
+                      std::to_string(k) + " differs from member 0 in " + what +
+                      "; fleet members must share layout, grids, and "
+                      "coupling frequencies");
+  };
+  if (a.atm.mesh_n != b.atm.mesh_n) fail("atm.mesh_n");
+  if (a.atm.nlev != b.atm.nlev) fail("atm.nlev");
+  if (!(a.ocn.grid == b.ocn.grid)) fail("ocn.grid");
+  if (a.layout != b.layout) fail("layout");
+  if (a.atm_ranks != b.atm_ranks) fail("atm_ranks");
+  if (a.ocn_couple_ratio != b.ocn_couple_ratio) fail("ocn_couple_ratio");
+  if (a.regrid_neighbors != b.regrid_neighbors) fail("regrid_neighbors");
+  if (a.ice_dt_seconds != b.ice_dt_seconds) fail("ice_dt_seconds");
+}
+
+}  // namespace
+
+EnsembleFleet::EnsembleFleet(const par::Comm& comm,
+                             std::vector<cpl::ScenarioSpec> specs)
+    : comm_(comm) {
+  if (specs.empty())
+    throw ConfigError("EnsembleFleet: at least one ScenarioSpec is required");
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    if (specs[k].config.rebalance_every != 0)
+      throw ConfigError(
+          "EnsembleFleet: member " + std::to_string(k) +
+          " requests runtime rebalancing; fleet members share coupling plans "
+          "and must keep a static decomposition (rebalance_every = 0)");
+    if (specs[k].adopt_plans)
+      throw ConfigError("EnsembleFleet: ScenarioSpec::adopt_plans is "
+                        "fleet-internal; leave it null");
+    if (k > 0) {
+      require_fleet_compatible(specs[0].config, specs[k].config, k);
+      if (specs[k].shared != specs[0].shared)
+        throw ConfigError(
+            "EnsembleFleet: member " + std::to_string(k) +
+            " carries a different shared context than member 0; all members "
+            "must reference the same SharedInputs (or all none)");
+    }
+  }
+  shared_ = specs[0].shared;
+
+  members_.reserve(specs.size());
+  members_.push_back(
+      std::make_unique<cpl::CoupledModel>(comm_, std::move(specs[0])));
+  const std::shared_ptr<const cpl::CouplingPlans>& plans =
+      members_[0]->coupling_plans();
+  for (std::size_t k = 1; k < specs.size(); ++k) {
+    specs[k].adopt_plans = plans;
+    members_.push_back(
+        std::make_unique<cpl::CoupledModel>(comm_, std::move(specs[k])));
+  }
+}
+
+std::vector<cpl::ScenarioSpec> EnsembleFleet::perturbed_specs(
+    const cpl::CoupledConfig& config, int members,
+    std::shared_ptr<const cpl::SharedInputs> shared, std::uint64_t seed_base,
+    double amplitude_k) {
+  AP3_REQUIRE_MSG(members >= 1, "perturbed_specs: members must be >= 1");
+  std::vector<cpl::ScenarioSpec> specs(static_cast<std::size_t>(members));
+  for (int k = 0; k < members; ++k) {
+    auto& s = specs[static_cast<std::size_t>(k)];
+    s.config = config;
+    s.shared = shared;
+    s.perturbation_seed =
+        k == 0 ? 0 : seed_base + static_cast<std::uint64_t>(k);
+    s.perturbation_kelvin = amplitude_k;
+    s.name = k == 0 ? "control" : "member-" + std::to_string(k);
+  }
+  return specs;
+}
+
+void EnsembleFleet::run_windows(int windows) {
+  // Round-robin scheduler: one master window per member per sweep, so the
+  // members' communication phases interleave on the rank threads instead of
+  // one member monopolizing the process for its whole run.
+  for (int w = 0; w < windows; ++w) {
+    for (auto& member : members_) member->run_windows(1);
+    ++windows_run_;
+  }
+}
+
+void EnsembleFleet::install_ai_physics(cpl::AiInstallOptions options) {
+  if (!options.suite) {
+    if (!shared_ || !shared_->has_frozen_suite())
+      throw ConfigError(
+          "EnsembleFleet::install_ai_physics: no suite given and the shared "
+          "context holds no frozen AI weights; pass options.suite or build "
+          "the SharedInputs with a trained suite");
+    options.suite = shared_->materialize_suite();
+  }
+  if (options.online && members_.size() > 1)
+    throw ConfigError(
+        "EnsembleFleet::install_ai_physics: online training would mutate the "
+        "weights every member shares; fleet suites are frozen (run a "
+        "single-member fleet to fine-tune)");
+  suite_ = options.suite;
+  // The same suite pointer goes to every member: one InferenceEngine
+  // micro-batches columns across the whole fleet.
+  for (auto& member : members_) member->install_ai_physics(options);
+}
+
+std::vector<std::uint64_t> EnsembleFleet::state_hashes() {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(members_.size());
+  for (auto& member : members_) hashes.push_back(member->state_hash());
+  return hashes;
+}
+
+std::vector<cpl::CoupledDiagnostics> EnsembleFleet::diagnostics() {
+  std::vector<cpl::CoupledDiagnostics> out;
+  out.reserve(members_.size());
+  for (auto& member : members_) out.push_back(member->diagnostics());
+  return out;
+}
+
+}  // namespace ap3::fleet

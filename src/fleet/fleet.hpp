@@ -1,0 +1,89 @@
+// EnsembleFleet — N coupled members per process over shared immutable inputs.
+//
+// The production story for a km-scale ESM is many concurrent forecasts
+// (perturbed analogs of one scenario), not one run. A fleet constructs N
+// CoupledModel members on ONE communicator inside one process:
+//
+//   - all members serve from one SharedInputs context (mesh, ocean grid,
+//     regrid matrices, frozen AI weights — shared_ptr<const>, built once),
+//   - member 0 builds the communicator-bound CouplingPlans; members 1..N-1
+//     adopt them (same config ⇒ same decomposition ⇒ same GSMaps/routers),
+//   - a round-robin scheduler advances the members window by window, so
+//     their comm phases interleave instead of queueing N full runs,
+//   - install_ai_physics() hands every member the SAME suite pointer, so one
+//     InferenceEngine micro-batches columns across all members.
+//
+// Determinism contract: each member's trajectory depends only on its
+// ScenarioSpec. A member's state_hash() equals the same spec run solo, for
+// any fleet size and any member ordering — the bit-exactness witness
+// bench_ensemble and test_fleet check.
+//
+// Threading rules: a fleet object (and the suites/engines it materializes)
+// lives on ONE rank thread — build one fleet per rank inside par::run. Only
+// the SharedInputs context may be shared across rank threads (immutable).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coupler/driver.hpp"
+
+namespace ap3::fleet {
+
+class EnsembleFleet {
+ public:
+  /// Collective on `comm`. Validates that the specs form a coherent fleet
+  /// (identical configs apart from the perturbation, no rebalancing, one
+  /// shared context) and constructs the members, donating member 0's
+  /// coupling plans to the rest.
+  EnsembleFleet(const par::Comm& comm, std::vector<cpl::ScenarioSpec> specs);
+
+  /// Convenience: N perturbed analogs of one config over one shared context.
+  /// Member 0 is the unperturbed control; member k>0 gets perturbation seed
+  /// `seed_base + k`.
+  static std::vector<cpl::ScenarioSpec> perturbed_specs(
+      const cpl::CoupledConfig& config, int members,
+      std::shared_ptr<const cpl::SharedInputs> shared,
+      std::uint64_t seed_base = 1000, double amplitude_k = 0.01);
+
+  /// Advance every member by `windows` master coupling windows, round-robin
+  /// (member 0 window w, member 1 window w, ..., then window w+1).
+  void run_windows(int windows);
+
+  /// Install AI physics on every member through ONE shared suite (one
+  /// engine micro-batches across the fleet). With `options.suite` null the
+  /// SharedInputs frozen weights are thawed once for this rank. Online
+  /// training is forbidden for fleets of more than one member — it would
+  /// mutate weights all members share.
+  void install_ai_physics(cpl::AiInstallOptions options = {});
+
+  std::size_t size() const { return members_.size(); }
+  cpl::CoupledModel& member(std::size_t k) { return *members_[k]; }
+  const cpl::ScenarioSpec& spec(std::size_t k) const {
+    return members_[k]->scenario();
+  }
+  long long windows_run() const { return windows_run_; }
+
+  /// Per-member bit-exactness witnesses (collective; solo-run equal).
+  std::vector<std::uint64_t> state_hashes();
+  /// Per-member diagnostic snapshots (collective).
+  std::vector<cpl::CoupledDiagnostics> diagnostics();
+
+  const std::shared_ptr<const cpl::SharedInputs>& shared_inputs() const {
+    return shared_;
+  }
+  /// The rank-local suite serving every member (null until AI is installed).
+  const std::shared_ptr<ai::AiPhysicsSuite>& shared_suite() const {
+    return suite_;
+  }
+
+ private:
+  par::Comm comm_;  ///< by value: must outlive the members referencing it
+  std::shared_ptr<const cpl::SharedInputs> shared_;
+  std::vector<std::unique_ptr<cpl::CoupledModel>> members_;
+  std::shared_ptr<ai::AiPhysicsSuite> suite_;
+  long long windows_run_ = 0;
+};
+
+}  // namespace ap3::fleet

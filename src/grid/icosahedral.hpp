@@ -84,6 +84,17 @@ class IcosahedralGrid {
   /// Mean cell spacing in km (sqrt of mean cell area on the Earth sphere).
   double mean_spacing_km() const;
 
+  /// Bytes held by the realized geometry and adjacency tables.
+  std::size_t resident_bytes() const {
+    return vertices_.size() * sizeof(SpherePoint) +
+           centers_.size() * sizeof(SpherePoint) +
+           areas_.size() * sizeof(double) +
+           cell_vertices_.size() * sizeof(std::array<std::uint32_t, 3>) +
+           edge_vertices_.size() * sizeof(std::array<std::uint32_t, 2>) +
+           edge_cells_.size() * sizeof(std::array<std::uint32_t, 2>) +
+           cell_edges_.size() * sizeof(std::array<std::uint32_t, 3>);
+  }
+
  private:
   void build(int n);
   int n_;

@@ -27,6 +27,8 @@ struct TripolarConfig {
 
   /// The paper's resolutions (Table 1): 1/2/3/5/10 km map to these shapes.
   static TripolarConfig for_resolution_km(double km);
+
+  friend bool operator==(const TripolarConfig&, const TripolarConfig&) = default;
 };
 
 /// Deterministic synthetic continent field: positive values are land-ish.
@@ -73,6 +75,12 @@ class TripolarGrid {
   }
 
   const TripolarConfig& config() const { return config_; }
+
+  /// Bytes held by the bathymetry and level-depth tables (the state an
+  /// ensemble member replicates when it builds a private grid).
+  std::size_t resident_bytes() const {
+    return kmt_.size() * sizeof(int) + depths_.size() * sizeof(double);
+  }
 
  private:
   void build_bathymetry();

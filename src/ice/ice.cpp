@@ -15,18 +15,25 @@ using constants::kPi;
 using constants::kSeawaterFreeze;
 using constants::kT0;
 
-IceModel::IceModel(const par::Comm& comm, const IceConfig& config)
+IceModel::IceModel(const par::Comm& comm, const IceConfig& config,
+                   std::shared_ptr<const grid::TripolarGrid> grid)
     : IceModel(comm, config,
                grid::BlockPartition2D::balanced(config.grid.nx, config.grid.ny,
                                                 comm.size())
-                   .cuts()) {}
+                   .cuts(),
+               std::move(grid)) {}
 
 IceModel::IceModel(const par::Comm& comm, const IceConfig& config,
-                   const grid::BlockCuts& cuts)
+                   const grid::BlockCuts& cuts,
+                   std::shared_ptr<const grid::TripolarGrid> grid)
     : comm_(comm),
       config_(config),
-      grid_(std::make_unique<grid::TripolarGrid>(config.grid)),
+      grid_(grid ? std::move(grid)
+                 : std::make_shared<const grid::TripolarGrid>(config.grid)),
       partition_(config.grid.nx, config.grid.ny, cuts) {
+  AP3_REQUIRE_MSG(grid_->config() == config_.grid,
+                  "IceModel: shared grid was built for a different "
+                  "TripolarConfig than this model's config.grid");
   halo_ = std::make_unique<grid::BlockHalo>(comm, config_.grid.nx,
                                             config_.grid.ny, cuts,
                                             /*north_fold=*/true);

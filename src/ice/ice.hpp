@@ -34,10 +34,14 @@ struct IceConfig {
 
 class IceModel {
  public:
-  IceModel(const par::Comm& comm, const IceConfig& config);
+  /// `grid`, when non-null, is an externally built immutable grid matching
+  /// `config.grid` (ensemble members share one instead of rebuilding).
+  IceModel(const par::Comm& comm, const IceConfig& config,
+           std::shared_ptr<const grid::TripolarGrid> grid = nullptr);
   /// Explicit-cuts construction for rebalanced decompositions (src/balance).
   IceModel(const par::Comm& comm, const IceConfig& config,
-           const grid::BlockCuts& cuts);
+           const grid::BlockCuts& cuts,
+           std::shared_ptr<const grid::TripolarGrid> grid = nullptr);
 
   /// Advance over a coupling window (integer number of dt steps, rounded up).
   void run(double start_seconds, double duration_seconds);
@@ -89,7 +93,7 @@ class IceModel {
 
   const par::Comm& comm_;
   IceConfig config_;
-  std::unique_ptr<grid::TripolarGrid> grid_;
+  std::shared_ptr<const grid::TripolarGrid> grid_;
   grid::BlockPartition2D partition_;
   std::unique_ptr<grid::BlockHalo> halo_;
   mct::GlobalSegMap gsmap_;

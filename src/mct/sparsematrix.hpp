@@ -39,6 +39,11 @@ class SparseMatrix {
   const std::vector<MatrixEntry>& entries() const { return entries_; }
   std::size_t num_entries() const { return entries_.size(); }
 
+  /// Bytes held by the weight table.
+  std::size_t resident_bytes() const {
+    return entries_.size() * sizeof(MatrixEntry);
+  }
+
   /// Row sums (per dst id); an interpolation matrix should have sums ~ 1.
   double max_row_sum_deviation() const;
 

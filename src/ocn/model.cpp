@@ -35,18 +35,25 @@ double OcnConfig::barotropic_dt_seconds() const {
   return cfl_fraction * min_dx / wave_speed();
 }
 
-OcnModel::OcnModel(const par::Comm& comm, const OcnConfig& config)
+OcnModel::OcnModel(const par::Comm& comm, const OcnConfig& config,
+                   std::shared_ptr<const grid::TripolarGrid> grid)
     : OcnModel(comm, config,
                grid::BlockPartition2D::balanced(config.grid.nx, config.grid.ny,
                                                 comm.size())
-                   .cuts()) {}
+                   .cuts(),
+               std::move(grid)) {}
 
 OcnModel::OcnModel(const par::Comm& comm, const OcnConfig& config,
-                   const grid::BlockCuts& cuts)
+                   const grid::BlockCuts& cuts,
+                   std::shared_ptr<const grid::TripolarGrid> grid)
     : comm_(comm),
       config_(config),
-      grid_(std::make_unique<grid::TripolarGrid>(config.grid)),
+      grid_(grid ? std::move(grid)
+                 : std::make_shared<const grid::TripolarGrid>(config.grid)),
       partition_(config.grid.nx, config.grid.ny, cuts) {
+  AP3_REQUIRE_MSG(grid_->config() == config_.grid,
+                  "OcnModel: shared grid was built for a different "
+                  "TripolarConfig than this model's config.grid");
   halo_ = std::make_unique<grid::BlockHalo>(comm, config_.grid.nx,
                                             config_.grid.ny, cuts,
                                             /*north_fold=*/true);

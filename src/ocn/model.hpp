@@ -29,11 +29,15 @@ namespace ap3::ocn {
 class OcnModel {
  public:
   /// Collective construction = MCT `init` (balanced block decomposition).
-  OcnModel(const par::Comm& comm, const OcnConfig& config);
+  /// `grid`, when non-null, is an externally built immutable grid matching
+  /// `config.grid` (ensemble members share one instead of rebuilding).
+  OcnModel(const par::Comm& comm, const OcnConfig& config,
+           std::shared_ptr<const grid::TripolarGrid> grid = nullptr);
   /// Explicit-cuts construction for rebalanced decompositions (src/balance):
   /// every rank passes the same cut lines.
   OcnModel(const par::Comm& comm, const OcnConfig& config,
-           const grid::BlockCuts& cuts);
+           const grid::BlockCuts& cuts,
+           std::shared_ptr<const grid::TripolarGrid> grid = nullptr);
 
   /// Advance over a coupling window (integer number of baroclinic steps).
   void run(double start_seconds, double duration_seconds);
@@ -150,7 +154,7 @@ class OcnModel {
 
   const par::Comm& comm_;
   OcnConfig config_;
-  std::unique_ptr<grid::TripolarGrid> grid_;
+  std::shared_ptr<const grid::TripolarGrid> grid_;
   grid::BlockPartition2D partition_;
   std::unique_ptr<grid::BlockHalo> halo_;
   CanutoMixing canuto_;

@@ -22,8 +22,9 @@ SANITIZERS="${SANITIZERS:-thread address undefined}"
 # machinery, checkpoint collectives, the obs layer's cross-thread buffers, the
 # stream/event async engine (pool tasks adopting rank buffers), the AI
 # inference engine (overlapped micro-batches on pool workers), and the load
-# balancer's column migration (index arithmetic over rearrange plans).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance}"
+# balancer's column migration (index arithmetic over rearrange plans), and
+# the ensemble fleet (N members sharing one immutable context per process).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do

@@ -130,13 +130,13 @@ TEST(Coupled, SequentialLayoutRunsAndStaysPhysical) {
     EXPECT_TRUE(model.has_ocn());
     model.run_windows(2 * config.ocn_couple_ratio);
     EXPECT_EQ(model.windows_run(), 10);
-    const double sst = model.global_mean_sst_k();
-    EXPECT_GT(sst, 270.0);
-    EXPECT_LT(sst, 310.0);
-    EXPECT_TRUE(std::isfinite(model.global_max_surface_current()));
-    const double ice = model.global_ice_fraction();
-    EXPECT_GE(ice, 0.0);
-    EXPECT_LT(ice, 0.5);
+    const CoupledDiagnostics diag = model.diagnostics();
+    EXPECT_GT(diag.mean_sst_k, 270.0);
+    EXPECT_LT(diag.mean_sst_k, 310.0);
+    EXPECT_TRUE(std::isfinite(diag.max_surface_current));
+    EXPECT_GE(diag.ice_fraction, 0.0);
+    EXPECT_LT(diag.ice_fraction, 0.5);
+    EXPECT_EQ(diag.windows, 10);
   });
 }
 
@@ -149,14 +149,15 @@ TEST(Coupled, ConcurrentLayoutPartitionsComponents) {
     if (comm.rank() < 2) {
       EXPECT_TRUE(model.has_atm());
       EXPECT_FALSE(model.has_ocn());
-      EXPECT_NE(model.ice_model(), nullptr);
+      EXPECT_TRUE(model.has_ice());
     } else {
       EXPECT_FALSE(model.has_atm());
       EXPECT_TRUE(model.has_ocn());
-      EXPECT_EQ(model.ice_model(), nullptr);
+      EXPECT_FALSE(model.has_ice());
+      EXPECT_THROW(model.ice(), ap3::Error);
     }
     model.run_windows(config.ocn_couple_ratio);
-    const double sst = model.global_mean_sst_k();
+    const double sst = model.diagnostics().mean_sst_k;
     EXPECT_GT(sst, 270.0);
     EXPECT_LT(sst, 310.0);
   });
@@ -171,7 +172,8 @@ TEST(Coupled, SequentialAndConcurrentAgreeClosely) {
   par::run(2, [&](par::Comm& comm) {
     CoupledModel model(comm, config);
     model.run_windows(config.ocn_couple_ratio);
-    sst_seq = model.global_mean_sst_k();
+    const double sst = model.diagnostics().mean_sst_k;  // collective
+    if (comm.rank() == 0) sst_seq = sst;
   });
   par::run(2, [&](par::Comm& comm) {
     CoupledConfig concurrent = config;
@@ -179,7 +181,8 @@ TEST(Coupled, SequentialAndConcurrentAgreeClosely) {
     concurrent.atm_ranks = 1;
     CoupledModel model(comm, concurrent);
     model.run_windows(config.ocn_couple_ratio);
-    sst_con = model.global_mean_sst_k();
+    const double sst = model.diagnostics().mean_sst_k;  // collective
+    if (comm.rank() == 0) sst_con = sst;
   });
   EXPECT_NEAR(sst_seq, sst_con, 0.05);
 }
@@ -191,9 +194,12 @@ TEST(Coupled, OceanCouplesAtConfiguredRatio) {
     model.run_windows(10);
     // The ocean advanced 2 windows of 5 atm windows each.
     ASSERT_TRUE(model.has_ocn());
-    EXPECT_GT(model.ocn_model()->baroclinic_steps(), 0);
+    EXPECT_GT(model.ocn().baroclinic_steps(), 0);
     // Atmosphere ran every window.
-    EXPECT_EQ(model.atm_model()->model_steps(), 10);
+    EXPECT_EQ(model.atm().model_steps(), 10);
+    const CoupledDiagnostics diag = model.diagnostics();
+    EXPECT_EQ(diag.atm_steps, 10);
+    EXPECT_EQ(diag.ocn_baroclinic_steps, model.ocn().baroclinic_steps());
   });
 }
 
@@ -261,6 +267,60 @@ TEST(Coupled, WindowSecondsConsistent) {
                      config.atm.model_dt_seconds());
     EXPECT_DOUBLE_EQ(model.ocn_window_seconds(),
                      5.0 * config.atm.model_dt_seconds());
+  });
+}
+
+// --- config validation (regression: bad configs used to crash or hang deep
+// inside construction instead of failing fast with a clear message) ----------
+
+TEST(CoupledValidation, RejectsNonPositiveCoupleRatio) {
+  CoupledConfig config = small_coupled_config();
+  config.ocn_couple_ratio = 0;
+  EXPECT_THROW(validate_coupled_config(config, 1), ap3::Error);
+  config.ocn_couple_ratio = -3;
+  EXPECT_THROW(validate_coupled_config(config, 1), ap3::Error);
+}
+
+TEST(CoupledValidation, RejectsNonPositiveRegridNeighbors) {
+  CoupledConfig config = small_coupled_config();
+  config.regrid_neighbors = 0;
+  EXPECT_THROW(validate_coupled_config(config, 1), ap3::Error);
+}
+
+TEST(CoupledValidation, RejectsNegativeRebalanceEvery) {
+  CoupledConfig config = small_coupled_config();
+  config.rebalance_every = -1;
+  EXPECT_THROW(validate_coupled_config(config, 1), ap3::Error);
+}
+
+TEST(CoupledValidation, RejectsNegativeIceDt) {
+  CoupledConfig config = small_coupled_config();
+  config.ice_dt_seconds = -1.0;
+  EXPECT_THROW(validate_coupled_config(config, 1), ap3::Error);
+}
+
+TEST(CoupledValidation, RejectsBadConcurrentPartition) {
+  CoupledConfig config = small_coupled_config();
+  config.layout = Layout::kConcurrent;
+  config.atm_ranks = -1;
+  EXPECT_THROW(validate_coupled_config(config, 4), ap3::Error);
+  // atm_ranks must leave at least one rank for the ocean.
+  config.atm_ranks = 4;
+  EXPECT_THROW(validate_coupled_config(config, 4), ap3::Error);
+  config.atm_ranks = 5;
+  EXPECT_THROW(validate_coupled_config(config, 4), ap3::Error);
+  // A concurrent layout needs at least two ranks to partition.
+  config.atm_ranks = 1;
+  EXPECT_THROW(validate_coupled_config(config, 1), ap3::Error);
+  // And the boundary case that IS legal.
+  EXPECT_NO_THROW(validate_coupled_config(config, 2));
+}
+
+TEST(CoupledValidation, ConstructionFailsFastOnBadConfig) {
+  par::run(1, [](par::Comm& comm) {
+    CoupledConfig config = small_coupled_config();
+    config.ocn_couple_ratio = 0;
+    EXPECT_THROW(CoupledModel model(comm, config), ap3::Error);
   });
 }
 

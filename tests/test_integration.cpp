@@ -32,14 +32,14 @@ TEST(Integration, AtmToOcnRegridPreservesPhysicalRange) {
     // After one full ocean coupling cycle the ocean forcing derived from
     // regridded atmosphere fields must be physical.
     ASSERT_TRUE(model.has_ocn());
-    auto* ocn = model.ocn_model();
+    const ocn::OcnModel& ocn = model.ocn();
     // Run another cycle and check SST stays in a physical band everywhere.
     model.run_windows(5);
-    for (auto gid : ocn->ocean_gids()) {
-      const int i = static_cast<int>(gid % ocn->config().grid.nx) - ocn->x0();
-      const int j = static_cast<int>(gid / ocn->config().grid.nx) - ocn->y0();
-      EXPECT_GT(ocn->temp(i, j, 0), -5.0);
-      EXPECT_LT(ocn->temp(i, j, 0), 40.0);
+    for (auto gid : ocn.ocean_gids()) {
+      const int i = static_cast<int>(gid % ocn.config().grid.nx) - ocn.x0();
+      const int j = static_cast<int>(gid / ocn.config().grid.nx) - ocn.y0();
+      EXPECT_GT(ocn.temp(i, j, 0), -5.0);
+      EXPECT_LT(ocn.temp(i, j, 0), 40.0);
     }
   });
 }
@@ -47,9 +47,9 @@ TEST(Integration, AtmToOcnRegridPreservesPhysicalRange) {
 TEST(Integration, IceRespondsToOceanThroughCoupler) {
   par::run(2, [](par::Comm& comm) {
     cpl::CoupledModel model(comm, tiny_config());
-    const double ice0 = model.global_ice_fraction();
+    const double ice0 = model.diagnostics().ice_fraction;
     model.run_windows(10);
-    const double ice1 = model.global_ice_fraction();
+    const double ice1 = model.diagnostics().ice_fraction;
     // Ice evolves (the initial caps adjust to the coupled SST field) and
     // stays a valid fraction.
     EXPECT_GE(ice1, 0.0);
@@ -63,8 +63,8 @@ TEST(Integration, LandCellsUseLandModelOceanCellsUseSst) {
     cpl::CoupledConfig config = tiny_config();
     cpl::CoupledModel model(comm, config);
     model.run_windows(6);
-    auto* atm = model.atm_model();
-    ASSERT_NE(atm, nullptr);
+    ASSERT_TRUE(model.has_atm());
+    atm::AtmModel* atm = &model.atm();
     int land_checked = 0, ocean_checked = 0;
     for (std::size_t c = 0; c < atm->dycore().mesh().num_owned(); ++c) {
       if (atm->is_land(c)) {

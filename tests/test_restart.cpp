@@ -483,7 +483,8 @@ TEST(CoupledRestart, OnlineTrainingBitExact) {
   engine.micro_batch = 32;
 
   auto install = [&](cpl::CoupledModel& model) {
-    model.install_ai_physics(make_test_suite(6), engine, online);
+    model.install_ai_physics(
+        cpl::AiInstallOptions{make_test_suite(6), engine, online});
   };
 
   std::uint64_t hash_mid = 0, hash_end = 0;
@@ -526,12 +527,15 @@ TEST(CoupledRestart, OnlineTrainingFlagMismatchRejected) {
   online.sample_cols = 4;
   run_ranks(1, [&](par::Comm& comm) {
     cpl::CoupledModel model(comm, config);
-    model.install_ai_physics(make_test_suite(6), {}, online);
+    model.install_ai_physics(
+        cpl::AiInstallOptions{make_test_suite(6), {}, online});
     model.run_windows(1);
     model.checkpoint(dir);
 
     cpl::CoupledModel plain(comm, config);
-    plain.install_ai_physics(make_test_suite(6));
+    cpl::AiInstallOptions plain_opts;
+    plain_opts.suite = make_test_suite(6);
+    plain.install_ai_physics(plain_opts);
     EXPECT_THROW(plain.restore(dir), Error);
   });
 }
