@@ -103,6 +103,7 @@ struct Fixture {
 struct Condition {
   pp::ExecSpace space;
   PrecisionPolicy precision;
+  std::size_t pack = pp::kDefaultPackWidth;  ///< 0 = scalar reference path
   double best_seconds = 1e300;
   std::uint64_t output_hash = 0;
   double dma_bytes = 0.0;      ///< staged per run (kSunwayCPE only)
@@ -115,6 +116,7 @@ double run_once(const Fixture& fx, Condition& cond) {
   ec.space = cond.space;
   ec.precision = cond.precision;
   ec.micro_batch = 64;
+  ec.pack_width = cond.pack;
   fx.suite->set_engine_config(ec);
 
   const double dma_b0 = obs::total_counter("sunway:dma:bytes");
@@ -159,8 +161,33 @@ int main() {
     for (Condition& c : conds)
       c.best_seconds = std::min(c.best_seconds, run_once(fx, c));
 
+  // --- pack-width sweep ------------------------------------------------------
+  // Same engine on kSerial/fp32 with the SIMD pack width swept over the
+  // scalar reference (0) and every legal width, interleaved best-of-kReps
+  // like the main grid. Pack width is a pure performance knob, so the hash
+  // witness extends across the whole sweep.
+  const std::size_t pack_widths[] = {0, 1, 2, 4, 8, 16};
+  std::vector<Condition> packs;
+  for (std::size_t w : pack_widths)
+    packs.push_back({pp::ExecSpace::kSerial, PrecisionPolicy::kFp32, w});
+  for (Condition& c : packs) (void)run_once(fx, c);
+  for (int rep = 0; rep < kReps; ++rep)
+    for (Condition& c : packs)
+      c.best_seconds = std::min(c.best_seconds, run_once(fx, c));
+
   // --- hash witness ----------------------------------------------------------
   bool witness_ok = true;
+  for (const Condition& c : packs) {
+    if (c.output_hash != packs[0].output_hash) {
+      std::fprintf(stderr,
+                   "error: pack width %zu changed the fp32 output bits "
+                   "(%016llx vs %016llx)\n",
+                   c.pack,
+                   static_cast<unsigned long long>(c.output_hash),
+                   static_cast<unsigned long long>(packs[0].output_hash));
+      witness_ok = false;
+    }
+  }
   for (PrecisionPolicy p : precisions) {
     std::uint64_t ref = 0;
     bool have_ref = false;
@@ -256,6 +283,24 @@ int main() {
       "\nhost-threads over serial (fp32): measured %.2fx, modeled %.2fx "
       "(launch plan over %zu cores)\n",
       measured_speedup, modeled_speedup, pool_cores);
+
+  std::printf("\npack-width sweep (kSerial, fp32; 0 = scalar reference):\n");
+  std::printf("  %-6s %14s %10s  %s\n", "width", "measured col/s", "speedup",
+              "output hash");
+  const Condition* pack_scalar = &packs[0];
+  const Condition* pack_default = nullptr;
+  for (const Condition& c : packs) {
+    if (c.pack == pp::kDefaultPackWidth) pack_default = &c;
+    std::printf("  %-6zu %14.0f %9.2fx  %016llx\n", c.pack, measured_cps(c),
+                pack_scalar->best_seconds / c.best_seconds,
+                static_cast<unsigned long long>(c.output_hash));
+  }
+  const double pack_speedup =
+      pack_scalar->best_seconds / pack_default->best_seconds;
+  std::printf(
+      "pack over scalar (width %zu, fp32, serial): measured %.2fx, "
+      "identical bits\n",
+      pp::kDefaultPackWidth, pack_speedup);
   std::printf("hash witness: %s\n", witness_ok ? "pass" : "FAIL");
 
   FILE* f = std::fopen("BENCH_ai.json", "w");
@@ -285,16 +330,34 @@ int main() {
           static_cast<unsigned long long>(c.output_hash),
           i + 1 < conds.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n  \"pack_sweep\": [\n");
+    for (std::size_t i = 0; i < packs.size(); ++i) {
+      const Condition& c = packs[i];
+      std::fprintf(
+          f,
+          "    {\"space\": \"serial\", \"precision\": \"fp32\", "
+          "\"pack_width\": %zu, \"measured_columns_per_s\": %.1f, "
+          "\"basis\": \"measured\", \"output_hash\": \"%016llx\"}%s\n",
+          c.pack, measured_cps(c),
+          static_cast<unsigned long long>(c.output_hash),
+          i + 1 < packs.size() ? "," : "");
+    }
     std::fprintf(f,
                  "  ],\n"
+                 "  \"default_pack_width\": %zu,\n"
+                 "  \"pack_speedup_measured\": %.4f,\n"
+                 "  \"pack_speedup_basis\": \"wall-clock best-of-%d at the "
+                 "default pack width over the pack_width=0 scalar reference, "
+                 "same host, interleaved; output bits identical across the "
+                 "whole sweep\",\n"
                  "  \"host_threads_speedup_measured\": %.4f,\n"
                  "  \"host_threads_speedup_modeled\": %.4f,\n"
                  "  \"speedup_basis\": \"modeled = perfect scaling of the "
                  "kHostThreads launch plan over pool+1 cores; this container "
                  "exposes 1 core, so the measured number cannot exceed 1x\",\n"
                  "  \"hash_witness\": %s\n}\n",
-                 measured_speedup, modeled_speedup,
-                 witness_ok ? "true" : "false");
+                 pp::kDefaultPackWidth, pack_speedup, kReps, measured_speedup,
+                 modeled_speedup, witness_ok ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_ai.json\n");
   }

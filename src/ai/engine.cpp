@@ -112,7 +112,8 @@ void InferenceEngine::forward_slot(Slot& slot, const Tensor& /*columns*/,
                                    SuiteOutput& out) {
   const bool gs = config_.precision == PrecisionPolicy::kGroupScaled;
   const std::size_t levels = slot.norm_cols.dim(2);
-  const tensor::Dispatch d{config_.space, 0, accum_of(config_.precision)};
+  const tensor::Dispatch d{config_.space, 0, accum_of(config_.precision),
+                           config_.pack_width};
 
   auto cnn_body = [this, &slot, &out, d, gs, levels] {
     AP3_SPAN("ai:engine:cnn");

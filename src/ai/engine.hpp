@@ -74,6 +74,10 @@ struct EngineConfig {
   /// policies (measured maxima for these network depths are O(100)).
   std::uint64_t ulp_bound = 1u << 16;
   std::size_t group_size = 64;   ///< GroupScaledArray group length
+  /// SIMD pack width for the forward tensor kernels (tensor::Dispatch.pack):
+  /// one of {1,2,4,8,16}, or 0 for the scalar reference kernels. Outputs are
+  /// bitwise invariant to this knob (pp/pack.hpp); it only moves columns/s.
+  std::size_t pack_width = pp::kDefaultPackWidth;
 };
 
 struct EngineStats {

@@ -113,21 +113,50 @@ void ConventionalPhysics::boundary_layer(ColumnBatch& batch,
   // Surface drag on the lowest-level winds.
   batch.du[surf] -= exchange * batch.u[surf];
   batch.dv[surf] -= exchange * batch.v[surf];
-  // Interior vertical diffusion of T, Q, and momentum.
+  // Interior vertical diffusion of T, Q, and momentum. Levels are
+  // independent outputs here (the stencil reads the input state, never the
+  // tendencies), so the pack path sweeps them in lane-parallel tiles; each
+  // lane evaluates the exact scalar expression, so bits do not move.
   const double diffusion = stable_rate(config_.diffusion, batch.dt);
-  for (std::size_t k = 1; k + 1 < batch.nlev; ++k) {
-    const std::size_t i = batch.at(col, k);
-    const std::size_t up = batch.at(col, k - 1);
-    const std::size_t dn = batch.at(col, k + 1);
-    batch.dtemp[i] += diffusion *
-                      (batch.temp[up] + batch.temp[dn] - 2.0 * batch.temp[i]);
-    batch.dq[i] +=
-        diffusion * (batch.q[up] + batch.q[dn] - 2.0 * batch.q[i]);
-    batch.du[i] +=
-        diffusion * (batch.u[up] + batch.u[dn] - 2.0 * batch.u[i]);
-    batch.dv[i] +=
-        diffusion * (batch.v[up] + batch.v[dn] - 2.0 * batch.v[i]);
+  if (config_.pack_width == 0) {
+    for (std::size_t k = 1; k + 1 < batch.nlev; ++k) {
+      const std::size_t i = batch.at(col, k);
+      const std::size_t up = batch.at(col, k - 1);
+      const std::size_t dn = batch.at(col, k + 1);
+      batch.dtemp[i] += diffusion *
+                        (batch.temp[up] + batch.temp[dn] - 2.0 * batch.temp[i]);
+      batch.dq[i] +=
+          diffusion * (batch.q[up] + batch.q[dn] - 2.0 * batch.q[i]);
+      batch.du[i] +=
+          diffusion * (batch.u[up] + batch.u[dn] - 2.0 * batch.u[i]);
+      batch.dv[i] +=
+          diffusion * (batch.v[up] + batch.v[dn] - 2.0 * batch.v[i]);
+    }
+    return;
   }
+  pp::with_pack_width(config_.pack_width, [&]<int N>() {
+    using P = pp::Pack<double, N>;
+    const std::size_t base = batch.at(col, 0);
+    auto diffuse = [&](const std::vector<double>& state,
+                       std::vector<double>& tend) {
+      const double* s = state.data() + base;
+      double* d = tend.data() + base;
+      pp::packed_sweep(
+          1, batch.nlev >= 1 ? batch.nlev - 1 : 0,
+          static_cast<std::size_t>(N), [&](const pp::PackTile& t) {
+            const P up = pp::pack_load<double, N>(s + t.offset - 1, t.lanes);
+            const P dn = pp::pack_load<double, N>(s + t.offset + 1, t.lanes);
+            const P mid = pp::pack_load<double, N>(s + t.offset, t.lanes);
+            const P acc = pp::pack_load<double, N>(d + t.offset, t.lanes);
+            pp::pack_store(d + t.offset,
+                           acc + diffusion * (up + dn - 2.0 * mid), t.lanes);
+          });
+    };
+    diffuse(batch.temp, batch.dtemp);
+    diffuse(batch.q, batch.dq);
+    diffuse(batch.u, batch.du);
+    diffuse(batch.v, batch.dv);
+  });
 }
 
 void ConventionalPhysics::radiation(ColumnBatch& batch, std::size_t col) const {
@@ -148,16 +177,42 @@ void ConventionalPhysics::radiation(ColumnBatch& batch, std::size_t col) const {
                    t_low * (1.0 + 0.2 * cloud);
 
   // Heating of the column: solar absorption decays upward from the surface;
-  // Newtonian cooling toward a reference profile.
+  // Newtonian cooling toward a reference profile. The column-q prologue
+  // above is a reduction and stays scalar under every pack width; the
+  // heating levels are independent outputs and take the pack path. The
+  // solar prefactor is hoisted left-associatively, so `s * depth` performs
+  // the identical final multiply of the scalar expression.
   const double cooling = stable_rate(config_.lw_cooling, batch.dt);
-  for (std::size_t k = 0; k < batch.nlev; ++k) {
-    const std::size_t i = batch.at(col, k);
-    const double depth =
-        static_cast<double>(k + 1) / static_cast<double>(batch.nlev);
-    const double solar_heat = 1.2e-5 * coszr * (1.0 - cloud) * depth;
-    const double t_eq = 210.0 + 80.0 * depth;  // reference profile
-    batch.dtemp[i] += solar_heat - cooling * (batch.temp[i] - t_eq);
+  if (config_.pack_width == 0) {
+    for (std::size_t k = 0; k < batch.nlev; ++k) {
+      const std::size_t i = batch.at(col, k);
+      const double depth =
+          static_cast<double>(k + 1) / static_cast<double>(batch.nlev);
+      const double solar_heat = 1.2e-5 * coszr * (1.0 - cloud) * depth;
+      const double t_eq = 210.0 + 80.0 * depth;  // reference profile
+      batch.dtemp[i] += solar_heat - cooling * (batch.temp[i] - t_eq);
+    }
+    return;
   }
+  pp::with_pack_width(config_.pack_width, [&]<int N>() {
+    using P = pp::Pack<double, N>;
+    const double s = 1.2e-5 * coszr * (1.0 - cloud);
+    const double nlevd = static_cast<double>(batch.nlev);
+    const std::size_t base = batch.at(col, 0);
+    const double* temp = batch.temp.data() + base;
+    double* dtemp = batch.dtemp.data() + base;
+    pp::packed_sweep(
+        0, batch.nlev, static_cast<std::size_t>(N),
+        [&](const pp::PackTile& t) {
+          const P depth = P::iota(t.offset + 1) / nlevd;
+          const P solar_heat = s * depth;
+          const P t_eq = 210.0 + 80.0 * depth;  // reference profile
+          const P tv = pp::pack_load<double, N>(temp + t.offset, t.lanes);
+          const P acc = pp::pack_load<double, N>(dtemp + t.offset, t.lanes);
+          pp::pack_store(dtemp + t.offset,
+                         acc + (solar_heat - cooling * (tv - t_eq)), t.lanes);
+        });
+  });
 }
 
 void ConventionalPhysics::compute(ColumnBatch& batch) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ai/suite.hpp"
+#include "pp/pack.hpp"
 #include "tensor/optimizer.hpp"
 
 namespace ap3::atm {
@@ -69,6 +70,12 @@ struct ConventionalConfig {
   double diffusion = 1e-5;          ///< vertical mixing [1/s]
   double lw_cooling = 2.0e-6;       ///< Newtonian cooling rate [1/s]
   double cloud_albedo_per_q = 8.0;  ///< cloud shortwave blocking per humidity
+  /// SIMD pack width for the level-parallel column kernels (radiation
+  /// heating, boundary-layer interior diffusion): one of {1,2,4,8,16}, or 0
+  /// for the scalar reference sweeps. Bitwise-neutral — lanes are
+  /// independent levels; the level-coupled schemes (convective adjustment,
+  /// condensation) stay scalarized by construction (DESIGN.md §13).
+  std::size_t pack_width = pp::kDefaultPackWidth;
 };
 
 class ConventionalPhysics : public PhysicsSuite {

@@ -22,6 +22,10 @@ struct OcnConfig {
   bool exclude_non_ocean = false;  ///< §5.2.2 active-point compaction
   bool mixed_precision = false;    ///< §5.2.3 group-scaled state
   pp::ExecSpace exec_space = pp::ExecSpace::kSerial;
+  /// SIMD pack width for the tracer advection/diffusion kernel: one of
+  /// {1,2,4,8,16}, or 0 for the scalar reference sweep. Bitwise-neutral
+  /// (pp/pack.hpp): lanes are independent grid columns of one row.
+  std::size_t pack_width = pp::kDefaultPackWidth;
   std::uint64_t seed = 20230725;
 
   // Synthetic straggler stall for the load-rebalancing bench and tests: every

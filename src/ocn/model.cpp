@@ -427,42 +427,121 @@ void OcnModel::tracer_step(double dt) {
     exchange_scalar(salt_[ks]);
     exchange_vector(u_[ks], v_[ks]);
 
+    // Shared scalar update for one cell — the reference bits. The packed
+    // launch below uses it for boundary/land tiles and reproduces it
+    // lane-for-lane on interior tiles.
+    auto update_cell = [&](const std::vector<double>& field,
+                           std::vector<double>& next, int i, int j, double dx,
+                           double dy, bool south_open) {
+      const std::size_t c = field_index(i, j);
+      const double phi = field[c];
+      auto neighbor = [&](int di, int dj) {
+        if (dj < 0 && !south_open) return phi;
+        const int kmt_nb = kmt_local(i + di, j + dj);
+        return kmt_nb > k ? field[field_index(i + di, j + dj)] : phi;
+      };
+      const double phi_e = neighbor(1, 0), phi_w = neighbor(-1, 0);
+      const double phi_n = neighbor(0, 1), phi_s = neighbor(0, -1);
+      const double uc = u_[ks][c], vc = v_[ks][c];
+      // First-order upwind advection (advective form).
+      const double adv_x =
+          uc >= 0.0 ? uc * (phi - phi_w) / dx : uc * (phi_e - phi) / dx;
+      const double adv_y =
+          vc >= 0.0 ? vc * (phi - phi_s) / dy : vc * (phi_n - phi) / dy;
+      const double lap =
+          (phi_e + phi_w - 2.0 * phi) / (dx * dx) +
+          (phi_n + phi_s - 2.0 * phi) / (dy * dy);
+      next[static_cast<std::size_t>(j * nxl + i)] =
+          phi + dt * (-adv_x - adv_y + config_.horizontal_diffusion * lap);
+    };
+
     auto advect_diffuse = [&](std::vector<double>& field) {
       std::vector<double> next(static_cast<std::size_t>(nxl * nyl));
-      pp::parallel_for(
-          pp::RangePolicy(0, static_cast<std::size_t>(nyl))
-              .on(config_.exec_space)
-              .named("ocn:advect_diffuse"),
-          [&](std::size_t uj) {
-            const int j = static_cast<int>(uj);
-            const double dx = dx_m_[uj];
-            const double dy = dy_m_[uj];
-            const bool south_open = halo_->y0() + j > 0;
-            for (int i = 0; i < nxl; ++i) {
-              if (!is_ocean_local(i, j, k)) continue;
-              const std::size_t c = field_index(i, j);
-              const double phi = field[c];
-              auto neighbor = [&](int di, int dj) {
-                if (dj < 0 && !south_open) return phi;
-                const int kmt_nb = kmt_local(i + di, j + dj);
-                return kmt_nb > k ? field[field_index(i + di, j + dj)] : phi;
-              };
-              const double phi_e = neighbor(1, 0), phi_w = neighbor(-1, 0);
-              const double phi_n = neighbor(0, 1), phi_s = neighbor(0, -1);
-              const double uc = u_[ks][c], vc = v_[ks][c];
-              // First-order upwind advection (advective form).
-              const double adv_x =
-                  uc >= 0.0 ? uc * (phi - phi_w) / dx : uc * (phi_e - phi) / dx;
-              const double adv_y =
-                  vc >= 0.0 ? vc * (phi - phi_s) / dy : vc * (phi_n - phi) / dy;
-              const double lap =
-                  (phi_e + phi_w - 2.0 * phi) / (dx * dx) +
-                  (phi_n + phi_s - 2.0 * phi) / (dy * dy);
-              next[static_cast<std::size_t>(j * nxl + i)] =
-                  phi + dt * (-adv_x - adv_y +
-                              config_.horizontal_diffusion * lap);
-            }
-          });
+      if (config_.pack_width == 0) {
+        pp::parallel_for(
+            pp::RangePolicy(0, static_cast<std::size_t>(nyl))
+                .on(config_.exec_space)
+                .named("ocn:advect_diffuse"),
+            [&](std::size_t uj) {
+              const int j = static_cast<int>(uj);
+              const double dx = dx_m_[uj];
+              const double dy = dy_m_[uj];
+              const bool south_open = halo_->y0() + j > 0;
+              for (int i = 0; i < nxl; ++i) {
+                if (!is_ocean_local(i, j, k)) continue;
+                update_cell(field, next, i, j, dx, dy, south_open);
+              }
+            });
+      } else {
+        // Packed sweep: lanes are consecutive i of one row. A tile whose
+        // lanes are all interior ocean (self + 4 neighbors wet at this
+        // level, southern boundary open) takes the vector path — five
+        // contiguous stencil loads off the halo layout — with every lane
+        // evaluating the exact scalar expression tree; any other tile
+        // peels to update_cell per lane. Either way the bits match the
+        // scalar sweep for every pack width.
+        pp::with_pack_width(config_.pack_width, [&]<int N>() {
+          const std::size_t stride = static_cast<std::size_t>(nxl + 2);
+          const double hd = config_.horizontal_diffusion;
+          const double* fld = field.data();
+          const double* uu = u_[ks].data();
+          const double* vv = v_[ks].data();
+          double* nxt = next.data();
+          pp::parallel_for(
+              pp::PackedRangePolicy(0, static_cast<std::size_t>(nxl * nyl))
+                  .widthed(static_cast<std::size_t>(N))
+                  .per_row(static_cast<std::size_t>(nxl))
+                  .on(config_.exec_space)
+                  .named("ocn:advect_diffuse:packed"),
+              [&](const pp::PackTile& t) {
+                const int j = static_cast<int>(t.offset /
+                                               static_cast<std::size_t>(nxl));
+                const int i0 = static_cast<int>(t.offset %
+                                                static_cast<std::size_t>(nxl));
+                const double dx = dx_m_[static_cast<std::size_t>(j)];
+                const double dy = dy_m_[static_cast<std::size_t>(j)];
+                const bool south_open = halo_->y0() + j > 0;
+                bool vec = south_open;
+                for (std::size_t l = 0; vec && l < t.lanes; ++l) {
+                  const int i = i0 + static_cast<int>(l);
+                  vec = kmt_local(i, j) > k && kmt_local(i - 1, j) > k &&
+                        kmt_local(i + 1, j) > k && kmt_local(i, j - 1) > k &&
+                        kmt_local(i, j + 1) > k;
+                }
+                if (vec) {
+                  using P = pp::Pack<double, N>;
+                  const std::size_t c0 = field_index(i0, j);
+                  const P phi = pp::pack_load<double, N>(fld + c0, t.lanes);
+                  const P phi_e =
+                      pp::pack_load<double, N>(fld + c0 + 1, t.lanes);
+                  const P phi_w =
+                      pp::pack_load<double, N>(fld + c0 - 1, t.lanes);
+                  const P phi_n =
+                      pp::pack_load<double, N>(fld + c0 + stride, t.lanes);
+                  const P phi_s =
+                      pp::pack_load<double, N>(fld + c0 - stride, t.lanes);
+                  const P uc = pp::pack_load<double, N>(uu + c0, t.lanes);
+                  const P vc = pp::pack_load<double, N>(vv + c0, t.lanes);
+                  const P adv_x =
+                      pp::select(pp::ge_zero(uc), uc * (phi - phi_w) / dx,
+                                 uc * (phi_e - phi) / dx);
+                  const P adv_y =
+                      pp::select(pp::ge_zero(vc), vc * (phi - phi_s) / dy,
+                                 vc * (phi_n - phi) / dy);
+                  const P lap = (phi_e + phi_w - 2.0 * phi) / (dx * dx) +
+                                (phi_n + phi_s - 2.0 * phi) / (dy * dy);
+                  const P out = phi + dt * (-adv_x - adv_y + hd * lap);
+                  pp::pack_store(nxt + t.offset, out, t.lanes);
+                } else {
+                  for (std::size_t l = 0; l < t.lanes; ++l) {
+                    const int i = i0 + static_cast<int>(l);
+                    if (!is_ocean_local(i, j, k)) continue;
+                    update_cell(field, next, i, j, dx, dy, south_open);
+                  }
+                }
+              });
+        });
+      }
       for (int j = 0; j < nyl; ++j)
         for (int i = 0; i < nxl; ++i)
           if (is_ocean_local(i, j, k))

@@ -30,6 +30,7 @@
 
 #include "base/error.hpp"
 #include "obs/obs.hpp"
+#include "pp/pack.hpp"
 #include "pp/pool.hpp"
 #include "sunway/arch.hpp"
 
@@ -90,6 +91,60 @@ struct MDRangePolicy2 {
   }
   MDRangePolicy2& named(std::string_view label_) {
     label = label_;
+    return *this;
+  }
+};
+
+/// 1-D iteration range [begin, end) cut into pack tiles: whole tiles of
+/// `width` consecutive elements plus a masked remainder (PackTile.lanes <
+/// width) per row. The parallel unit handed to the functor is the tile —
+/// lanes within a tile are independent output elements, which is what keeps
+/// results bitwise invariant to the width (see pp/pack.hpp).
+///
+///   parallel_for(PackedRangePolicy(0, m * n).widthed(8).per_row(n)
+///                    .on(space).named("tensor:matmul_nt:packed"),
+///                [&](const PackTile& t) { ... });
+///
+/// .per_row(r): tiles never straddle multiples of r — kernels that decode
+/// (row, column) from the flat offset see a single row per tile and can
+/// amortize the div/mod to one per tile. The extent must be whole rows.
+/// .chunked(c) counts tiles (not elements); chunk geometry, like the
+/// ExecSpace, never changes the bits.
+struct PackedRangePolicy {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t width = kDefaultPackWidth;
+  std::size_t row = 0;       ///< 0: the whole range is one row
+  ExecSpace space = ExecSpace::kSerial;
+  std::size_t chunk = 0;     ///< tiles per chunk; 0: pick automatically
+  std::string_view label{};  ///< span name for this launch (optional)
+
+  PackedRangePolicy(std::size_t begin_, std::size_t end_)
+      : begin(begin_), end(end_) {
+    AP3_REQUIRE(end_ >= begin_);
+  }
+
+  PackedRangePolicy& on(ExecSpace space_) {
+    space = space_;
+    return *this;
+  }
+  PackedRangePolicy& chunked(std::size_t chunk_) {
+    chunk = chunk_;
+    return *this;
+  }
+  PackedRangePolicy& named(std::string_view label_) {
+    label = label_;
+    return *this;
+  }
+  PackedRangePolicy& widthed(std::size_t width_) {
+    AP3_REQUIRE_MSG(is_pack_width(width_),
+                    "pack width " << width_ << " not in {1,2,4,8,16}");
+    width = width_;
+    return *this;
+  }
+  PackedRangePolicy& per_row(std::size_t row_) {
+    AP3_REQUIRE(row_ >= 1);
+    row = row_;
     return *this;
   }
 };
@@ -288,6 +343,54 @@ Scalar parallel_scan(const RangePolicy& policy, const ValueFn& value_of,
     result = total;
   });
   return result;
+}
+
+/// parallel_for over a pack-tiled 1-D range; fn(const PackTile&). Tiles are
+/// enumerated row-major (row by row, ascending offset within a row) and the
+/// sequence is identical on every ExecSpace and for every chunking — only
+/// which worker executes a tile varies. Charges "pp:pack:launches" /
+/// "pp:pack:tiles" on top of the usual launch/items counters, so tests can
+/// assert that packed entry points never silently fall back to scalar.
+template <typename Functor>
+void parallel_for(const PackedRangePolicy& policy, const Functor& fn) {
+  const std::size_t n = policy.end - policy.begin;
+  detail::dispatch("pp:parallel_for_packed", policy.label, policy.space, n,
+                   [&] {
+    if (n == 0) return;
+    const std::size_t width = policy.width;
+    AP3_REQUIRE_MSG(is_pack_width(width),
+                    "pack width " << width << " not in {1,2,4,8,16}");
+    const std::size_t row = policy.row ? policy.row : n;
+    AP3_REQUIRE_MSG(n % row == 0,
+                    "packed range extent " << n << " is not whole rows of "
+                                           << row);
+    const std::size_t tiles_per_row = (row + width - 1) / width;
+    const std::size_t ntiles = (n / row) * tiles_per_row;
+    if (obs::enabled()) {
+      obs::counter_add("pp:pack:launches", 1.0);
+      obs::counter_add("pp:pack:tiles", static_cast<double>(ntiles));
+    }
+    auto run_tile = [&](std::size_t t) {
+      const std::size_t ri = t / tiles_per_row;
+      const std::size_t tj = t % tiles_per_row;
+      const std::size_t off = tj * width;
+      fn(PackTile{policy.begin + ri * row + off,
+                  std::min(width, row - off)});
+    };
+    if (policy.space == ExecSpace::kSerial) {
+      for (std::size_t t = 0; t < ntiles; ++t) run_tile(t);
+      return;
+    }
+    const std::size_t chunk =
+        policy.chunk ? policy.chunk
+                     : detail::auto_chunk(ntiles, ThreadPool::global().size() + 1);
+    const std::size_t nchunks = (ntiles + chunk - 1) / chunk;
+    detail::run_gang(nchunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(ntiles, lo + chunk);
+      for (std::size_t t = lo; t < hi; ++t) run_tile(t);
+    });
+  });
 }
 
 /// parallel_for over a 2-D tiled range; fn(i0, i1).

@@ -1,0 +1,354 @@
+// SIMD pack layer (the SCREAM Pack<T,N> idiom, §5.3).
+//
+// A Pack<T,N> is N scalars in aligned storage that the compiler can keep in
+// one vector register; kernels written over packs expose N independent
+// arithmetic chains to the backend's vector unit instead of one serial
+// chain per element. The repo-wide determinism contract extends to packs:
+//
+//   same accumulation width  =>  same bits for EVERY pack width,
+//   on every ExecSpace (kSerial / kHostThreads / kSunwayCPE).
+//
+// The contract holds because packed kernels vectorize across INDEPENDENT
+// OUTPUT ELEMENTS (lanes are distinct outputs), never across a reduction
+// dimension: each lane performs the exact fixed-order inner accumulation of
+// the scalar reference kernel, so its bits cannot depend on how many
+// neighbors ride in the same register. Anything that would need to split a
+// single accumulation across lanes (reductions, prefix sums, data-dependent
+// level sweeps) must be scalarized instead — see DESIGN.md §13.
+//
+// Tail discipline: all masked load/store helpers take an explicit lane
+// count and touch exactly that many scalars. A tail pack at the end of an
+// allocation never reads past it (ASan-verified in tests/test_pack.cpp);
+// unused lanes are zero-filled on load and simply not stored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "base/error.hpp"
+
+namespace ap3::pp {
+
+/// Pack widths the runtime dispatcher (with_pack_width) accepts. Width 0 is
+/// reserved by callers to mean "scalar reference kernel" and never reaches
+/// the pack layer.
+inline constexpr bool is_pack_width(std::size_t w) {
+  return w == 1 || w == 2 || w == 4 || w == 8 || w == 16;
+}
+
+#ifndef AP3_DEFAULT_PACK_WIDTH
+#define AP3_DEFAULT_PACK_WIDTH 8
+#endif
+
+/// Default width for packed kernels: 8 floats = one AVX-512 register / two
+/// SSE registers; for doubles it is two cache-line halves. Override at
+/// configure time with -DAP3_DEFAULT_PACK_WIDTH=<1|2|4|8|16>.
+inline constexpr std::size_t kDefaultPackWidth = AP3_DEFAULT_PACK_WIDTH;
+static_assert(is_pack_width(kDefaultPackWidth),
+              "AP3_DEFAULT_PACK_WIDTH must be one of 1,2,4,8,16");
+
+/// Lane mask for tail handling and data-dependent branches (select).
+template <int N>
+struct Mask {
+  static_assert(N >= 1 && (N & (N - 1)) == 0, "pack width must be 2^k");
+  bool m[N] = {};
+
+  /// Mask with the first `lanes` lanes set (the tail-pack shape).
+  static Mask first(std::size_t lanes) {
+    Mask r;
+    for (int l = 0; l < N; ++l) r.m[l] = static_cast<std::size_t>(l) < lanes;
+    return r;
+  }
+  bool operator[](int l) const { return m[l]; }
+  bool any() const {
+    for (int l = 0; l < N; ++l)
+      if (m[l]) return true;
+    return false;
+  }
+  bool all() const {
+    for (int l = 0; l < N; ++l)
+      if (!m[l]) return false;
+    return true;
+  }
+};
+
+/// N scalars of type T in register-alignable storage. Arithmetic is
+/// lane-wise and written in the same expression shape as the scalar kernels
+/// (a binary op per lane), so a packed expression contracts/rounds exactly
+/// like its scalar counterpart lane by lane.
+template <typename T, int N>
+struct alignas(alignof(T) * static_cast<std::size_t>(N) <= 64
+                   ? alignof(T) * static_cast<std::size_t>(N)
+                   : std::size_t{64}) Pack {
+  static_assert(N >= 1 && (N & (N - 1)) == 0, "pack width must be 2^k");
+  static constexpr int n = N;
+  using value_type = T;
+
+  T d[N] = {};
+
+  Pack() = default;
+  /// Broadcast.
+  explicit Pack(T v) {
+    for (int l = 0; l < N; ++l) d[l] = v;
+  }
+  /// Lane l = start + l, exactly converted (level/depth indices).
+  static Pack iota(std::size_t start) {
+    Pack r;
+    for (int l = 0; l < N; ++l)
+      r.d[l] = static_cast<T>(start + static_cast<std::size_t>(l));
+    return r;
+  }
+
+  T& operator[](int l) { return d[l]; }
+  const T& operator[](int l) const { return d[l]; }
+
+  Pack& operator+=(const Pack& o) {
+    for (int l = 0; l < N; ++l) d[l] += o.d[l];
+    return *this;
+  }
+  Pack& operator-=(const Pack& o) {
+    for (int l = 0; l < N; ++l) d[l] -= o.d[l];
+    return *this;
+  }
+  Pack& operator*=(const Pack& o) {
+    for (int l = 0; l < N; ++l) d[l] *= o.d[l];
+    return *this;
+  }
+  Pack& operator/=(const Pack& o) {
+    for (int l = 0; l < N; ++l) d[l] /= o.d[l];
+    return *this;
+  }
+
+  /// acc.fma(a, b): lane-wise d[l] += a * b[l] — the exact expression shape
+  /// of the scalar kernels' `acc += a * b`, so bits match per lane whatever
+  /// the surrounding pack width. (The scalar operand is the common case in
+  /// fixed-order dots: one A element broadcast against a strip of W rows.)
+  Pack& fma(T a, const Pack& b) {
+    for (int l = 0; l < N; ++l) d[l] += a * b.d[l];
+    return *this;
+  }
+  Pack& fma(const Pack& a, const Pack& b) {
+    for (int l = 0; l < N; ++l) d[l] += a.d[l] * b.d[l];
+    return *this;
+  }
+};
+
+template <typename T, int N>
+inline Pack<T, N> operator+(Pack<T, N> a, const Pack<T, N>& b) {
+  a += b;
+  return a;
+}
+template <typename T, int N>
+inline Pack<T, N> operator-(Pack<T, N> a, const Pack<T, N>& b) {
+  a -= b;
+  return a;
+}
+template <typename T, int N>
+inline Pack<T, N> operator*(Pack<T, N> a, const Pack<T, N>& b) {
+  a *= b;
+  return a;
+}
+template <typename T, int N>
+inline Pack<T, N> operator/(Pack<T, N> a, const Pack<T, N>& b) {
+  a /= b;
+  return a;
+}
+template <typename T, int N>
+inline Pack<T, N> operator-(const Pack<T, N>& a) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = -a.d[l];
+  return r;
+}
+// Scalar-operand forms keep the scalar on its original side of the
+// expression, mirroring the reference kernels term for term.
+template <typename T, int N>
+inline Pack<T, N> operator*(T a, const Pack<T, N>& b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a * b.d[l];
+  return r;
+}
+template <typename T, int N>
+inline Pack<T, N> operator*(const Pack<T, N>& a, T b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a.d[l] * b;
+  return r;
+}
+template <typename T, int N>
+inline Pack<T, N> operator+(T a, const Pack<T, N>& b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a + b.d[l];
+  return r;
+}
+template <typename T, int N>
+inline Pack<T, N> operator+(const Pack<T, N>& a, T b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a.d[l] + b;
+  return r;
+}
+template <typename T, int N>
+inline Pack<T, N> operator-(const Pack<T, N>& a, T b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a.d[l] - b;
+  return r;
+}
+template <typename T, int N>
+inline Pack<T, N> operator-(T a, const Pack<T, N>& b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a - b.d[l];
+  return r;
+}
+template <typename T, int N>
+inline Pack<T, N> operator/(const Pack<T, N>& a, T b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = a.d[l] / b;
+  return r;
+}
+
+template <typename T, int N>
+inline Mask<N> ge_zero(const Pack<T, N>& a) {
+  Mask<N> r;
+  for (int l = 0; l < N; ++l) r.m[l] = a.d[l] >= T{};
+  return r;
+}
+
+/// Lane-wise m ? a : b.
+template <typename T, int N>
+inline Pack<T, N> select(const Mask<N>& m, const Pack<T, N>& a,
+                         const Pack<T, N>& b) {
+  Pack<T, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = m.m[l] ? a.d[l] : b.d[l];
+  return r;
+}
+
+// ---- loads / stores -------------------------------------------------------
+// No alignment is assumed (loads are element-wise; misaligned sources are
+// exercised in test_pack). `To` selects an on-the-fly element conversion —
+// packed dot kernels load fp32 operands straight into their fp64
+// accumulation width, matching the scalar kernels' static_casts.
+
+/// Full-width contiguous load.
+template <typename To, int N, typename From>
+inline Pack<To, N> pack_load(const From* p) {
+  Pack<To, N> r;
+  for (int l = 0; l < N; ++l) r.d[l] = static_cast<To>(p[l]);
+  return r;
+}
+
+/// Masked contiguous load: reads exactly `lanes` scalars (never past them);
+/// remaining lanes are zero.
+template <typename To, int N, typename From>
+inline Pack<To, N> pack_load(const From* p, std::size_t lanes) {
+  Pack<To, N> r;
+  for (std::size_t l = 0; l < lanes; ++l)
+    r.d[l] = static_cast<To>(p[l]);
+  return r;
+}
+
+/// Full-width strided (gather-like) load: lane l reads p[l * stride].
+template <typename To, int N, typename From>
+inline Pack<To, N> pack_load_strided(const From* p, std::size_t stride) {
+  Pack<To, N> r;
+  for (int l = 0; l < N; ++l)
+    r.d[l] = static_cast<To>(p[static_cast<std::size_t>(l) * stride]);
+  return r;
+}
+
+/// Masked strided load: lane l < lanes reads p[l * stride]; rest zero.
+template <typename To, int N, typename From>
+inline Pack<To, N> pack_load_strided(const From* p, std::size_t stride,
+                                     std::size_t lanes) {
+  Pack<To, N> r;
+  for (std::size_t l = 0; l < lanes; ++l) r.d[l] = static_cast<To>(p[l * stride]);
+  return r;
+}
+
+/// Masked contiguous store with conversion: writes exactly `lanes` scalars.
+template <typename To, typename T, int N>
+inline void pack_store(To* p, const Pack<T, N>& a, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) p[l] = static_cast<To>(a.d[l]);
+}
+
+template <typename To, typename T, int N>
+inline void pack_store(To* p, const Pack<T, N>& a) {
+  for (int l = 0; l < N; ++l) p[l] = static_cast<To>(a.d[l]);
+}
+
+// ---- scalarize / repack ---------------------------------------------------
+// Views over pack arrays, SCREAM-style. A Pack<T,N> is standard-layout
+// storage of N T's, so a contiguous run of packs is a contiguous run of
+// scalars; scalarize exposes it as such and repack re-tiles it at another
+// width. Both are views (no copies); repack requires the total scalar count
+// to divide by the target width and the base pointer to satisfy the target
+// alignment.
+
+template <typename T, int N>
+inline std::span<T> scalarize(std::span<Pack<T, N>> packs) {
+  return {reinterpret_cast<T*>(packs.data()),
+          packs.size() * static_cast<std::size_t>(N)};
+}
+
+template <typename T, int N>
+inline std::span<const T> scalarize(std::span<const Pack<T, N>> packs) {
+  return {reinterpret_cast<const T*>(packs.data()),
+          packs.size() * static_cast<std::size_t>(N)};
+}
+
+template <int M, typename T, int N>
+inline std::span<Pack<T, M>> repack(std::span<Pack<T, N>> packs) {
+  const std::size_t scalars = packs.size() * static_cast<std::size_t>(N);
+  AP3_REQUIRE_MSG(scalars % static_cast<std::size_t>(M) == 0,
+                  "repack: " << scalars << " scalars do not tile by " << M);
+  AP3_REQUIRE_MSG(reinterpret_cast<std::uintptr_t>(packs.data()) %
+                          alignof(Pack<T, M>) ==
+                      0,
+                  "repack: base pointer misaligned for target width " << M);
+  return {reinterpret_cast<Pack<T, M>*>(packs.data()),
+          scalars / static_cast<std::size_t>(M)};
+}
+
+// ---- tiling ---------------------------------------------------------------
+
+/// One unit of packed work: a run of `lanes` consecutive elements starting
+/// at `offset`. Full tiles have lanes == width; the final tile of a
+/// non-divisible extent is the masked remainder (lanes < width).
+struct PackTile {
+  std::size_t offset = 0;
+  std::size_t lanes = 0;
+};
+
+/// Serial pack-tiled sweep over [begin, end): whole tiles of `width`
+/// elements plus one masked remainder. The building block for packed column
+/// kernels that run inside an outer pp launch (atm physics levels, LDM
+/// panel rows); PackedRangePolicy in pp/exec.hpp is the launch-level
+/// counterpart and produces the identical tile sequence.
+template <typename Body>
+inline void packed_sweep(std::size_t begin, std::size_t end, std::size_t width,
+                         const Body& body) {
+  AP3_REQUIRE(width >= 1);
+  std::size_t off = begin;
+  for (; off + width <= end; off += width) body(PackTile{off, width});
+  if (off < end) body(PackTile{off, end - off});
+}
+
+/// Runtime width -> compile-time width dispatch:
+///   with_pack_width(w, [&]<int N>() { kernel<N>(...); });
+/// Throws ap3::Error for widths outside {1,2,4,8,16} — packed entry points
+/// must never silently fall back to scalar (the pp:pack:launches obs counter
+/// plus this check make a silent fallback a test failure).
+template <typename F>
+decltype(auto) with_pack_width(std::size_t width, F&& f) {
+  switch (width) {
+    case 1: return f.template operator()<1>();
+    case 2: return f.template operator()<2>();
+    case 4: return f.template operator()<4>();
+    case 8: return f.template operator()<8>();
+    case 16: return f.template operator()<16>();
+    default: break;
+  }
+  AP3_REQUIRE_MSG(false, "unsupported pack width " << width
+                             << " (expected one of 1,2,4,8,16)");
+  return f.template operator()<1>();  // unreachable
+}
+
+}  // namespace ap3::pp

@@ -14,6 +14,13 @@
 // the LDM-tiled GEMM path, which stages identical values through simulated
 // scratchpads). The defaults (kSerial, kFloat32) reproduce the pre-refactor
 // serial kernels bit for bit.
+//
+// `pack` extends the contract to the SIMD pack layer (pp/pack.hpp): packed
+// matmul_nt/conv1d vectorize across independent output elements while each
+// lane keeps the exact fixed-order accumulation of the scalar reference, so
+// for a given Accum the bits are ALSO invariant to the pack width — width is
+// a pure performance knob, orthogonal to the accumulation-width knob.
+// pack == 0 selects the scalar reference kernels (the seed path).
 #pragma once
 
 #include <cstddef>
@@ -32,6 +39,11 @@ struct Dispatch {
   pp::ExecSpace space = pp::ExecSpace::kSerial;
   std::size_t chunk = 0;  ///< 0: let the pp layer pick
   Accum accum = Accum::kFloat32;
+  /// SIMD pack width for matmul_nt / conv1d: one of {1,2,4,8,16}, or 0 for
+  /// the scalar reference kernels. Never changes bits (see contract above).
+  /// Appended last so existing {space, chunk, accum} braced initializers
+  /// keep compiling and default to the packed path.
+  std::size_t pack = pp::kDefaultPackWidth;
 };
 
 /// The calling thread's active dispatch configuration.

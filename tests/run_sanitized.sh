@@ -22,9 +22,11 @@ SANITIZERS="${SANITIZERS:-thread address undefined}"
 # machinery, checkpoint collectives, the obs layer's cross-thread buffers, the
 # stream/event async engine (pool tasks adopting rank buffers), the AI
 # inference engine (overlapped micro-batches on pool workers), and the load
-# balancer's column migration (index arithmetic over rearrange plans), and
-# the ensemble fleet (N members sharing one immutable context per process).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet}"
+# balancer's column migration (index arithmetic over rearrange plans), the
+# ensemble fleet (N members sharing one immutable context per process), and
+# the SIMD pack layer (masked tails over exactly-sized allocations — ASan is
+# the overread witness; packed launches run on the threaded backends too).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do

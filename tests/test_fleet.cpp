@@ -365,4 +365,36 @@ TEST(Fleet, SharedSuiteServesAllMembersBitExactly) {
   });
 }
 
+// The engine's SIMD pack width (pp/pack.hpp) is a pure performance knob:
+// thawing the shared frozen suite with any pack width — including the scalar
+// reference path — must leave every member's state_hash unchanged.
+TEST(Fleet, MemberHashInvariantToEnginePackWidth) {
+  constexpr int kRanks = 1;
+  constexpr int kWindows = 3;
+  const cpl::CoupledConfig config = fleet_config();
+  const auto suite = make_test_suite(6);
+  const auto shared = cpl::build_shared_inputs(config, *suite);
+  ASSERT_TRUE(shared->has_frozen_suite());
+
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (std::size_t width : {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    run_ranks(kRanks, [&](par::Comm& comm) {
+      std::vector<cpl::ScenarioSpec> specs;
+      specs.push_back(make_spec(config, 9001, shared));
+      specs.push_back(make_spec(config, 9002, shared));
+      fleet::EnsembleFleet fl(comm, std::move(specs));
+      cpl::AiInstallOptions options;  // suite left null: thaw the frozen one
+      options.engine.pack_width = width;
+      fl.install_ai_physics(options);
+      fl.run_windows(kWindows);
+      const auto hashes = fl.state_hashes();
+      if (comm.rank() == 0) runs.push_back(hashes);
+    });
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  for (std::size_t r = 1; r < runs.size(); ++r)
+    EXPECT_EQ(runs[r], runs[0])
+        << "member hashes changed with engine pack width (run " << r << ")";
+}
+
 }  // namespace

@@ -1,0 +1,533 @@
+// The pack-width bitwise-determinism suite (DESIGN.md §13).
+//
+// The contract under test: for a fixed accumulation width, every packed
+// kernel produces the SAME BITS for every pack width N ∈ {1,2,4,8,16} on
+// every ExecSpace — pack width is a pure performance knob. The suite also
+// pins the tail discipline (masked loads/stores touch exactly the requested
+// lanes; ASan turns an overread of an exactly-sized allocation into a hard
+// failure), the scalarize/repack views, the PackedRangePolicy tile
+// enumeration for every non-divisible extent, and the obs counters that make
+// a silent scalar fallback a test failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "atm/physics.hpp"
+#include "base/hash.hpp"
+#include "base/rng.hpp"
+#include "obs/obs.hpp"
+#include "ocn/model.hpp"
+#include "par/comm.hpp"
+#include "pp/exec.hpp"
+#include "pp/pack.hpp"
+#include "pp/view.hpp"
+#include "tensor/dispatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace ap3;
+
+constexpr pp::ExecSpace kSpaces[] = {pp::ExecSpace::kSerial,
+                                     pp::ExecSpace::kHostThreads,
+                                     pp::ExecSpace::kSunwayCPE};
+constexpr std::size_t kWidths[] = {1, 2, 4, 8, 16};
+
+tensor::Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed,
+                             float lo = -2.0f, float hi = 2.0f) {
+  tensor::Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::uint64_t hash_tensor(const tensor::Tensor& t) {
+  return fnv1a(kFnvBasis, t.data(), t.size() * sizeof(float));
+}
+
+// ---- Pack arithmetic ------------------------------------------------------
+
+TEST(Pack, BroadcastIotaAndLaneAccess) {
+  pp::Pack<double, 4> b(3.5);
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(b[l], 3.5);
+  const auto io = pp::Pack<double, 8>::iota(5);
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(io[l], static_cast<double>(5 + l));
+  pp::Pack<float, 2> p;
+  p[0] = 1.0f;
+  p[1] = -1.0f;
+  EXPECT_EQ(p[0], 1.0f);
+  EXPECT_EQ(p[1], -1.0f);
+}
+
+TEST(Pack, ArithmeticMatchesScalarLaneForLane) {
+  Rng rng(11);
+  pp::Pack<double, 8> a, b;
+  for (int l = 0; l < 8; ++l) {
+    a[l] = rng.uniform(-10.0, 10.0);
+    b[l] = rng.uniform(0.5, 10.0);
+  }
+  const auto sum = a + b, dif = a - b, prd = a * b, quo = a / b;
+  const auto neg = -a;
+  const auto smul = 2.5 * a, sdiv = a / 2.5, sadd = 2.5 + a, ssub = a - 2.5;
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_EQ(sum[l], a[l] + b[l]);
+    EXPECT_EQ(dif[l], a[l] - b[l]);
+    EXPECT_EQ(prd[l], a[l] * b[l]);
+    EXPECT_EQ(quo[l], a[l] / b[l]);
+    EXPECT_EQ(neg[l], -a[l]);
+    EXPECT_EQ(smul[l], 2.5 * a[l]);
+    EXPECT_EQ(sdiv[l], a[l] / 2.5);
+    EXPECT_EQ(sadd[l], 2.5 + a[l]);
+    EXPECT_EQ(ssub[l], a[l] - 2.5);
+  }
+}
+
+TEST(Pack, FmaIsTheScalarAccumulationExpression) {
+  // acc.fma(a, b) must be lane-wise `acc += a * b` — the exact expression of
+  // dot_k — so a packed dot's lane bits equal the scalar dot's bits.
+  Rng rng(13);
+  for (int rep = 0; rep < 50; ++rep) {
+    pp::Pack<float, 4> acc, b;
+    float sacc[4];
+    const float a = static_cast<float>(rng.uniform(-3.0, 3.0));
+    for (int l = 0; l < 4; ++l) {
+      acc[l] = static_cast<float>(rng.uniform(-3.0, 3.0));
+      b[l] = static_cast<float>(rng.uniform(-3.0, 3.0));
+      sacc[l] = acc[l];
+    }
+    acc.fma(a, b);
+    for (int l = 0; l < 4; ++l) {
+      sacc[l] += a * b[l];
+      EXPECT_EQ(acc[l], sacc[l]);
+    }
+  }
+}
+
+TEST(Pack, SelectAndMask) {
+  pp::Pack<double, 4> a(1.0), b(2.0), u;
+  u[0] = 0.0;
+  u[1] = -0.5;
+  u[2] = 3.0;
+  u[3] = -0.0;
+  const auto m = pp::ge_zero(u);
+  EXPECT_TRUE(m[0]);   // 0.0 >= 0
+  EXPECT_FALSE(m[1]);
+  EXPECT_TRUE(m[2]);
+  EXPECT_TRUE(m[3]);   // -0.0 >= 0
+  const auto s = pp::select(m, a, b);
+  EXPECT_EQ(s[0], 1.0);
+  EXPECT_EQ(s[1], 2.0);
+  EXPECT_EQ(s[2], 1.0);
+  EXPECT_EQ(s[3], 1.0);  // -0.0 >= 0, selected like the scalar branch would
+  EXPECT_TRUE(m.any());
+  EXPECT_FALSE(m.all());
+  const auto f2 = pp::Mask<4>::first(2);
+  EXPECT_TRUE(f2[0] && f2[1]);
+  EXPECT_FALSE(f2[2] || f2[3]);
+  EXPECT_TRUE(pp::Mask<4>::first(4).all());
+  EXPECT_FALSE(pp::Mask<4>::first(0).any());
+}
+
+// ---- masked loads / stores ------------------------------------------------
+
+TEST(Pack, MaskedLoadsTouchOnlyRequestedLanes) {
+  // Exactly-sized heap allocations: one element past the end is invalid
+  // memory, so ASan converts any overread into a hard failure.
+  for (std::size_t lanes = 0; lanes <= 8; ++lanes) {
+    std::unique_ptr<float[]> buf(new float[lanes == 0 ? 1 : lanes]);
+    for (std::size_t i = 0; i < lanes; ++i)
+      buf[i] = static_cast<float>(i + 1);
+    const auto p = pp::pack_load<double, 8>(buf.get(), lanes);
+    for (std::size_t l = 0; l < 8; ++l)
+      EXPECT_EQ(p[static_cast<int>(l)],
+                l < lanes ? static_cast<double>(l + 1) : 0.0);
+  }
+  // Strided masked load: allocation covers exactly (lanes-1)*stride + 1.
+  const std::size_t stride = 5, lanes = 3;
+  std::unique_ptr<double[]> sbuf(new double[(lanes - 1) * stride + 1]);
+  for (std::size_t l = 0; l < lanes; ++l) sbuf[l * stride] = 10.0 + l;
+  const auto sp = pp::pack_load_strided<double, 4>(sbuf.get(), stride, lanes);
+  EXPECT_EQ(sp[0], 10.0);
+  EXPECT_EQ(sp[1], 11.0);
+  EXPECT_EQ(sp[2], 12.0);
+  EXPECT_EQ(sp[3], 0.0);
+}
+
+TEST(Pack, MaskedStoreWritesOnlyRequestedLanes) {
+  for (std::size_t lanes = 0; lanes <= 4; ++lanes) {
+    std::unique_ptr<float[]> buf(new float[lanes == 0 ? 1 : lanes]);
+    pp::Pack<double, 4> p;
+    for (int l = 0; l < 4; ++l) p[l] = 100.0 + l;
+    pp::pack_store(buf.get(), p, lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+      EXPECT_EQ(buf[i], static_cast<float>(100.0 + i));
+  }
+}
+
+TEST(Pack, MisalignedSourcesLoadCorrectly) {
+  // Loads assume no alignment: start from every offset of an aligned block.
+  alignas(64) double block[24];
+  for (int i = 0; i < 24; ++i) block[i] = i * 1.25;
+  for (std::size_t off = 0; off < 8; ++off) {
+    const auto p = pp::pack_load<double, 8>(block + off);
+    for (int l = 0; l < 8; ++l)
+      EXPECT_EQ(p[l], block[off + static_cast<std::size_t>(l)]);
+    const auto masked = pp::pack_load<double, 8>(block + off, 3);
+    EXPECT_EQ(masked[2], block[off + 2]);
+    EXPECT_EQ(masked[3], 0.0);
+  }
+}
+
+// ---- scalarize / repack ---------------------------------------------------
+
+TEST(Pack, ScalarizeExposesPackStorageAsScalars) {
+  std::vector<pp::Pack<float, 8>> packs(3);
+  for (int p = 0; p < 3; ++p)
+    for (int l = 0; l < 8; ++l) packs[static_cast<std::size_t>(p)][l] =
+        static_cast<float>(p * 8 + l);
+  auto scalars = pp::scalarize(std::span<pp::Pack<float, 8>>(packs));
+  ASSERT_EQ(scalars.size(), 24u);
+  for (std::size_t i = 0; i < 24; ++i)
+    EXPECT_EQ(scalars[i], static_cast<float>(i));
+  scalars[17] = -1.0f;  // a view, not a copy
+  EXPECT_EQ(packs[2][1], -1.0f);
+}
+
+TEST(Pack, RepackRoundTripsBitwise) {
+  std::vector<pp::Pack<double, 8>> packs(4);
+  Rng rng(29);
+  for (auto& p : packs)
+    for (int l = 0; l < 8; ++l) p[l] = rng.uniform(-5.0, 5.0);
+  const std::vector<pp::Pack<double, 8>> orig = packs;
+
+  auto span8 = std::span<pp::Pack<double, 8>>(packs);
+  auto span4 = pp::repack<4>(span8);
+  ASSERT_EQ(span4.size(), 8u);
+  auto span2 = pp::repack<2>(span4);
+  ASSERT_EQ(span2.size(), 16u);
+  auto span16 = pp::repack<16>(span2);
+  ASSERT_EQ(span16.size(), 2u);
+  auto back = pp::repack<8>(span16);
+  ASSERT_EQ(back.size(), 4u);
+  for (std::size_t p = 0; p < 4; ++p)
+    for (int l = 0; l < 8; ++l)
+      EXPECT_EQ(std::memcmp(&back[p][l], &orig[p][l], sizeof(double)), 0);
+
+  // Mutation through a repacked view lands in the original storage.
+  span2[5][1] = 42.0;  // scalar index 11 -> pack 1, lane 3
+  EXPECT_EQ(packs[1][3], 42.0);
+}
+
+TEST(Pack, RepackRejectsNonDividingExtent) {
+  std::vector<pp::Pack<float, 4>> packs(3);  // 12 scalars
+  auto span4 = std::span<pp::Pack<float, 4>>(packs);
+  EXPECT_NO_THROW(pp::repack<2>(span4));
+  EXPECT_THROW(pp::repack<8>(span4), Error);  // 12 % 8 != 0
+}
+
+// ---- PackedRangePolicy tiling --------------------------------------------
+
+struct TileLog {
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;  // (offset, lanes)
+  void add(const pp::PackTile& t) {
+    std::lock_guard<std::mutex> lock(mu);
+    tiles.emplace_back(t.offset, t.lanes);
+  }
+};
+
+TEST(PackedRange, TilesCoverEveryExtentExactlyOnce) {
+  // Every non-divisible extent up to several widths: whole tiles plus one
+  // masked remainder, each element covered exactly once.
+  for (std::size_t width : kWidths) {
+    for (std::size_t extent = 0; extent <= 3 * width + 2; ++extent) {
+      std::vector<int> hits(extent, 0);
+      pp::parallel_for(
+          pp::PackedRangePolicy(0, extent).widthed(width),
+          [&](const pp::PackTile& t) {
+            EXPECT_GE(t.lanes, 1u);
+            EXPECT_LE(t.lanes, width);
+            if (t.offset + width <= extent) {
+              EXPECT_EQ(t.lanes, width);
+            }
+            for (std::size_t l = 0; l < t.lanes; ++l) ++hits[t.offset + l];
+          });
+      for (std::size_t i = 0; i < extent; ++i) EXPECT_EQ(hits[i], 1);
+    }
+  }
+}
+
+TEST(PackedRange, PerRowTilesNeverStraddleRows) {
+  const std::size_t rows = 5, row = 13, width = 8;
+  std::vector<int> hits(rows * row, 0);
+  pp::parallel_for(
+      pp::PackedRangePolicy(0, rows * row).widthed(width).per_row(row),
+      [&](const pp::PackTile& t) {
+        EXPECT_EQ(t.offset / row, (t.offset + t.lanes - 1) / row);
+        for (std::size_t l = 0; l < t.lanes; ++l) ++hits[t.offset + l];
+      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(PackedRange, BackendsEnumerateIdenticalTiles) {
+  const std::size_t extent = 7 * 11;
+  auto collect = [&](pp::ExecSpace space) {
+    TileLog log;
+    pp::parallel_for(pp::PackedRangePolicy(0, extent)
+                         .widthed(4)
+                         .per_row(11)
+                         .on(space)
+                         .named("test:tiles"),
+                     [&](const pp::PackTile& t) { log.add(t); });
+    std::sort(log.tiles.begin(), log.tiles.end());
+    return log.tiles;
+  };
+  const auto serial = collect(pp::ExecSpace::kSerial);
+  EXPECT_EQ(serial, collect(pp::ExecSpace::kHostThreads));
+  EXPECT_EQ(serial, collect(pp::ExecSpace::kSunwayCPE));
+}
+
+TEST(PackedRange, ExtentZeroLaunchesNothing) {
+  int calls = 0;
+  pp::parallel_for(pp::PackedRangePolicy(0, 0).widthed(8),
+                   [&](const pp::PackTile&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PackedRange, RejectsPartialRowsAndBadWidths) {
+  EXPECT_THROW(pp::PackedRangePolicy(0, 10).widthed(3), Error);
+  EXPECT_THROW(pp::PackedRangePolicy(0, 10).widthed(0), Error);
+  EXPECT_THROW(
+      pp::parallel_for(pp::PackedRangePolicy(0, 10).widthed(4).per_row(3),
+                       [](const pp::PackTile&) {}),
+      Error);
+  EXPECT_THROW(pp::with_pack_width(5, []<int N>() { (void)N; }), Error);
+  std::size_t seen = 0;
+  pp::with_pack_width(16, [&]<int N>() { seen = N; });
+  EXPECT_EQ(seen, 16u);
+}
+
+TEST(PackedRange, TailNeverReadsPastExactAllocation) {
+  // Extent < width and extent % width != 0 over exactly-sized heap buffers:
+  // the masked tile must not touch element [extent] (ASan-visible).
+  for (std::size_t extent : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                             std::size_t{13}}) {
+    std::unique_ptr<double[]> in(new double[extent]);
+    std::unique_ptr<double[]> out(new double[extent]);
+    for (std::size_t i = 0; i < extent; ++i) in[i] = static_cast<double>(i);
+    const double* ind = in.get();
+    double* outd = out.get();
+    pp::parallel_for(pp::PackedRangePolicy(0, extent).widthed(8),
+                     [=](const pp::PackTile& t) {
+                       const auto v =
+                           pp::pack_load<double, 8>(ind + t.offset, t.lanes);
+                       pp::pack_store(outd + t.offset, 2.0 * v, t.lanes);
+                     });
+    for (std::size_t i = 0; i < extent; ++i)
+      EXPECT_EQ(out[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(PackedRange, LastPackStraddlesViewAllocationBoundary) {
+  // A View allocates exactly extent elements (new T[size]), so a 2-D view
+  // whose row length is not a multiple of the width puts the final tile of
+  // the final row flush against the allocation boundary. The masked tail
+  // must stop exactly there.
+  const std::size_t rows = 3, cols = 13, width = 8;
+  pp::View<float, 2> v("straddle", rows, cols);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v.linear(i) = static_cast<float>(i) * 0.5f;
+  pp::View<float, 2> out("out", rows, cols);
+  const float* vd = v.data();
+  float* od = out.data();
+  pp::parallel_for(
+      pp::PackedRangePolicy(0, rows * cols).widthed(width).per_row(cols),
+      [=](const pp::PackTile& t) {
+        const auto x = pp::pack_load<float, 8>(vd + t.offset, t.lanes);
+        pp::pack_store(od + t.offset, x + 1.0f, t.lanes);
+      });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out.linear(i), static_cast<float>(i) * 0.5f + 1.0f);
+}
+
+// ---- tensor kernels: pack-width sweep ------------------------------------
+
+TEST(PackDeterminism, MatmulHashInvariantToWidthAndSpace) {
+  // Shapes with masked tails in every dimension. kSunwayCPE stages LDM
+  // panels (k fits the scratchpad), so the packed panel path is covered too.
+  const std::size_t m = 5, k = 17, n = 13;
+  const tensor::Tensor a = random_tensor({m, k}, 101);
+  const tensor::Tensor w = random_tensor({n, k}, 202);
+  for (tensor::Accum accum : {tensor::Accum::kFloat32, tensor::Accum::kFloat64}) {
+    std::uint64_t ref = 0;
+    {
+      tensor::DispatchScope scope({pp::ExecSpace::kSerial, 0, accum, 0});
+      ref = hash_tensor(tensor::matmul_nt(a, w));
+    }
+    for (pp::ExecSpace space : kSpaces) {
+      for (std::size_t width : kWidths) {
+        tensor::DispatchScope scope({space, 0, accum, width});
+        EXPECT_EQ(hash_tensor(tensor::matmul_nt(a, w)), ref)
+            << "space=" << pp::to_string(space) << " width=" << width
+            << " accum=" << (accum == tensor::Accum::kFloat64 ? 64 : 32);
+      }
+    }
+  }
+}
+
+TEST(PackDeterminism, ConvHashInvariantToWidthAndSpace) {
+  const std::size_t batch = 3, cin = 2, len = 19, cout = 4, kk = 5;
+  const tensor::Tensor x = random_tensor({batch, cin, len}, 303);
+  const tensor::Tensor kern = random_tensor({cout, cin, kk}, 404, -1.0f, 1.0f);
+  const tensor::Tensor bias = random_tensor({cout}, 505, -0.5f, 0.5f);
+  for (tensor::Accum accum : {tensor::Accum::kFloat32, tensor::Accum::kFloat64}) {
+    std::uint64_t ref = 0;
+    {
+      tensor::DispatchScope scope({pp::ExecSpace::kSerial, 0, accum, 0});
+      ref = hash_tensor(tensor::conv1d(x, kern, bias));
+    }
+    for (pp::ExecSpace space : kSpaces) {
+      for (std::size_t width : kWidths) {
+        tensor::DispatchScope scope({space, 0, accum, width});
+        EXPECT_EQ(hash_tensor(tensor::conv1d(x, kern, bias)), ref)
+            << "space=" << pp::to_string(space) << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(PackDeterminism, ConvTailShorterThanEveryWidth) {
+  // len < every pack width: the whole row is one masked tile, and same-pad
+  // taps run off both ends of the row.
+  const tensor::Tensor x = random_tensor({2, 3, 3}, 606);
+  const tensor::Tensor kern = random_tensor({2, 3, 5}, 707, -1.0f, 1.0f);
+  const tensor::Tensor bias = random_tensor({2}, 808);
+  std::uint64_t ref = 0;
+  {
+    tensor::DispatchScope scope(
+        {pp::ExecSpace::kSerial, 0, tensor::Accum::kFloat32, 0});
+    ref = hash_tensor(tensor::conv1d(x, kern, bias));
+  }
+  for (std::size_t width : kWidths) {
+    tensor::DispatchScope scope(
+        {pp::ExecSpace::kSerial, 0, tensor::Accum::kFloat32, width});
+    EXPECT_EQ(hash_tensor(tensor::conv1d(x, kern, bias)), ref)
+        << "width=" << width;
+  }
+}
+
+TEST(PackDeterminism, InvalidDispatchWidthIsRejectedNotIgnored) {
+  const tensor::Tensor a = random_tensor({2, 4}, 1);
+  const tensor::Tensor w = random_tensor({3, 4}, 2);
+  tensor::DispatchScope scope(
+      {pp::ExecSpace::kSerial, 0, tensor::Accum::kFloat32, 3});
+  EXPECT_THROW(tensor::matmul_nt(a, w), Error);
+  EXPECT_THROW(tensor::conv1d(random_tensor({1, 1, 4}, 3),
+                              random_tensor({1, 1, 3}, 4),
+                              random_tensor({1}, 5)),
+               Error);
+}
+
+// ---- ocean / atm column kernels ------------------------------------------
+
+TEST(PackDeterminism, OceanTracerHashInvariantToPackWidth) {
+  std::vector<std::uint64_t> hashes;
+  for (std::size_t width : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                            std::size_t{4}, std::size_t{8}}) {
+    par::run(1, [&](par::Comm& comm) {
+      ocn::OcnConfig config;
+      config.grid = grid::TripolarConfig{48, 36, 6};
+      config.pack_width = width;
+      ocn::OcnModel model(comm, config);
+      mct::AttrVect x2o(ocn::OcnModel::import_fields(),
+                        model.ocean_gids().size());
+      for (auto& t : x2o.field("taux")) t = 0.15;
+      for (auto& t : x2o.field("tauy")) t = -0.05;
+      for (auto& q : x2o.field("qnet")) q = 120.0;
+      model.import_state(x2o);
+      model.run(0.0, config.baroclinic_dt_seconds() * 12);
+      if (comm.rank() == 0) hashes.push_back(model.column_state_hash());
+    });
+  }
+  ASSERT_EQ(hashes.size(), 5u);
+  for (std::size_t i = 1; i < hashes.size(); ++i)
+    EXPECT_EQ(hashes[i], hashes[0]) << "width index " << i;
+}
+
+TEST(PackDeterminism, AtmPhysicsBitwiseInvariantToPackWidth) {
+  auto make_batch = [] {
+    atm::ColumnBatch batch(9, 20);
+    Rng rng(4242);
+    for (std::size_t c = 0; c < batch.ncols; ++c) {
+      batch.tskin[c] = 270.0 + rng.uniform(0.0, 40.0);
+      batch.coszr[c] = rng.uniform(-0.2, 1.0);
+      for (std::size_t k = 0; k < batch.nlev; ++k) {
+        const std::size_t i = batch.at(c, k);
+        batch.temp[i] = 200.0 + rng.uniform(0.0, 100.0);
+        batch.q[i] = rng.uniform(0.0, 0.02);
+        batch.u[i] = rng.uniform(-30.0, 30.0);
+        batch.v[i] = rng.uniform(-30.0, 30.0);
+        batch.pressure[i] = rng.uniform(1e4, 1e5);
+      }
+    }
+    return batch;
+  };
+  atm::ConventionalConfig ref_config;
+  ref_config.pack_width = 0;
+  atm::ConventionalPhysics ref(ref_config);
+  atm::ColumnBatch ref_batch = make_batch();
+  ref.compute(ref_batch);
+  for (std::size_t width : kWidths) {
+    atm::ConventionalConfig config;
+    config.pack_width = width;
+    atm::ConventionalPhysics physics(config);
+    atm::ColumnBatch batch = make_batch();
+    physics.compute(batch);
+    EXPECT_EQ(batch.dtemp, ref_batch.dtemp) << "width=" << width;
+    EXPECT_EQ(batch.dq, ref_batch.dq) << "width=" << width;
+    EXPECT_EQ(batch.du, ref_batch.du) << "width=" << width;
+    EXPECT_EQ(batch.dv, ref_batch.dv) << "width=" << width;
+    EXPECT_EQ(batch.gsw, ref_batch.gsw) << "width=" << width;
+    EXPECT_EQ(batch.glw, ref_batch.glw) << "width=" << width;
+    EXPECT_EQ(batch.precip, ref_batch.precip) << "width=" << width;
+  }
+}
+
+// ---- obs counters: no silent scalar fallback ------------------------------
+
+TEST(PackObs, PackedKernelsChargeThePackCounters) {
+  obs::set_enabled(true);
+  obs::reset_all();
+  const tensor::Tensor aa = random_tensor({6, 17}, 21);
+  const tensor::Tensor w = random_tensor({9, 17}, 22);
+  const tensor::Tensor x = random_tensor({2, 2, 11}, 23);
+  const tensor::Tensor kern = random_tensor({3, 2, 3}, 24);
+  const tensor::Tensor bias = random_tensor({3}, 25);
+  double expected = 0.0;
+  for (pp::ExecSpace space : kSpaces) {
+    tensor::DispatchScope scope({space, 0, tensor::Accum::kFloat32, 8});
+    (void)tensor::matmul_nt(aa, w);   // CPE space takes the LDM panel path
+    (void)tensor::conv1d(x, kern, bias);
+    expected += 2.0;
+  }
+  EXPECT_DOUBLE_EQ(obs::total_counter("pp:pack:launches"), expected);
+  EXPECT_GT(obs::total_counter("pp:pack:tiles"), 0.0);
+  // The scalar reference path must NOT charge pack counters — the counter is
+  // the witness that packed entry points never silently fall back.
+  obs::reset_all();
+  {
+    tensor::DispatchScope scope(
+        {pp::ExecSpace::kSerial, 0, tensor::Accum::kFloat32, 0});
+    (void)tensor::matmul_nt(aa, w);
+    (void)tensor::conv1d(x, kern, bias);
+  }
+  EXPECT_DOUBLE_EQ(obs::total_counter("pp:pack:launches"), 0.0);
+  obs::reset_all();
+}
+
+}  // namespace

@@ -19,11 +19,15 @@
 #include "harness.hpp"
 #include "grid/icosahedral.hpp"
 #include "grid/partition.hpp"
+#include "base/hash.hpp"
 #include "mct/rearranger.hpp"
 #include "mct/router.hpp"
 #include "ocn/model.hpp"
 #include "par/comm.hpp"
+#include "pp/pack.hpp"
 #include "precision/group_scaled.hpp"
+#include "tensor/dispatch.hpp"
+#include "tensor/tensor.hpp"
 
 namespace {
 
@@ -433,5 +437,71 @@ TEST_P(CoupledFaultProperty, TrajectoryIdenticalUnderRandomFaultPlan) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Plans, CoupledFaultProperty, ::testing::Range(0, 5));
+
+// --- property: pack width never changes kernel bits ------------------------
+//
+// Random (M, N, K, pack width, accumulation width, space) tuples: the packed
+// matmul_nt / conv1d paths must reproduce the pack=0 scalar reference
+// bit-for-bit. This is the fuzz companion to tests/test_pack.cpp — shapes are
+// drawn so most draws have masked tails in every dimension.
+
+class PackFuzzProperty : public ::testing::TestWithParam<int> {};
+
+namespace {
+tensor::Tensor fuzz_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  tensor::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return t;
+}
+
+std::uint64_t bits_of(const tensor::Tensor& t) {
+  return fnv1a(kFnvBasis, t.data(), t.size() * sizeof(float));
+}
+}  // namespace
+
+TEST_P(PackFuzzProperty, PackedMatmulAndConvMatchScalarReferenceBitwise) {
+  Rng rng(0x9acdULL + static_cast<std::uint64_t>(GetParam()) * 7919u);
+  constexpr std::size_t widths[] = {1, 2, 4, 8, 16};
+  constexpr pp::ExecSpace spaces[] = {pp::ExecSpace::kSerial,
+                                      pp::ExecSpace::kHostThreads,
+                                      pp::ExecSpace::kSunwayCPE};
+
+  const std::size_t m = 1 + rng.uniform_int(24);
+  const std::size_t n = 1 + rng.uniform_int(33);
+  const std::size_t k = 1 + rng.uniform_int(40);
+  const tensor::Tensor a = fuzz_tensor({m, k}, rng);
+  const tensor::Tensor w = fuzz_tensor({n, k}, rng);
+
+  const std::size_t batch = 1 + rng.uniform_int(3);
+  const std::size_t cin = 1 + rng.uniform_int(3);
+  const std::size_t len = 1 + rng.uniform_int(21);
+  const std::size_t cout = 1 + rng.uniform_int(4);
+  const std::size_t kk = 1 + 2 * rng.uniform_int(3);  // odd: 1, 3, 5
+  const tensor::Tensor x = fuzz_tensor({batch, cin, len}, rng);
+  const tensor::Tensor kern = fuzz_tensor({cout, cin, kk}, rng);
+  const tensor::Tensor bias = fuzz_tensor({cout}, rng);
+
+  const auto accum = rng.uniform_int(2) == 0 ? tensor::Accum::kFloat32
+                                             : tensor::Accum::kFloat64;
+  std::uint64_t ref_mm = 0, ref_cv = 0;
+  {
+    tensor::DispatchScope scope({pp::ExecSpace::kSerial, 0, accum, 0});
+    ref_mm = bits_of(tensor::matmul_nt(a, w));
+    ref_cv = bits_of(tensor::conv1d(x, kern, bias));
+  }
+  const std::size_t width = widths[rng.uniform_int(5)];
+  const pp::ExecSpace space = spaces[rng.uniform_int(3)];
+  tensor::DispatchScope scope({space, 0, accum, width});
+  EXPECT_EQ(bits_of(tensor::matmul_nt(a, w)), ref_mm)
+      << "matmul m=" << m << " n=" << n << " k=" << k << " width=" << width
+      << " space=" << pp::to_string(space);
+  EXPECT_EQ(bits_of(tensor::conv1d(x, kern, bias)), ref_cv)
+      << "conv batch=" << batch << " cin=" << cin << " len=" << len
+      << " cout=" << cout << " kk=" << kk << " width=" << width
+      << " space=" << pp::to_string(space);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tuples, PackFuzzProperty, ::testing::Range(0, 40));
 
 }  // namespace
