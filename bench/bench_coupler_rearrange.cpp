@@ -6,15 +6,27 @@
 //  (b) Offline precompute: building the GSMap/Router tables online at init
 //      vs serializing them offline and loading — the paper's fix for the
 //      memory/time blowup on Sunway core groups.
+//  (c) Topology-staged rearrangement: the flat alltoallv vs the hierarchical
+//      (leader-staged) collective at an oversubscribed modeled rank count,
+//      interleaved best-of-3, with per-level byte/message counts from the
+//      par:coll obs counters, NetworkModel-priced modeled seconds, and an
+//      FNV state-hash witness that hard-fails on any payload mismatch.
+//      Results land in BENCH_rearrange.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
 
+#include "base/hash.hpp"
 #include "mct/gsmap.hpp"
 #include "mct/rearranger.hpp"
 #include "mct/router.hpp"
+#include "obs/obs.hpp"
 #include "par/comm.hpp"
+#include "par/topology.hpp"
+#include "perf/network.hpp"
 
 namespace {
 
@@ -59,6 +71,100 @@ double time_rearrange(int nranks, std::int64_t npoints, int nfields,
                 repeats;
   });
   return seconds;
+}
+
+// One timed + instrumented pass of the block->roundrobin transpose on a
+// topology-attached communicator. Returns wall seconds per rearrange, the
+// rank-order FNV hash of the destination AttrVect, and the per-level traffic
+// the par:coll counters recorded for the chosen wire algorithm.
+struct HierRun {
+  double seconds = 0.0;
+  std::uint64_t hash = kFnvBasis;
+  perf::LevelTraffic traffic;
+};
+
+HierRun run_hier_case(int nranks, int supernode_size, std::int64_t npoints,
+                      int nfields, Strategy method, int repeats) {
+  static HierRun result;
+  result = HierRun{};
+  obs::reset_all();
+  const char* algo = method == Strategy::kLeaderStaged ? "hier" : "flat";
+  par::run(nranks, [&](par::Comm& base) {
+    auto topo = std::make_shared<par::Topology>(
+        par::Topology::clustered(nranks, supernode_size));
+    par::Comm comm = base.with_topology(topo);
+
+    // Banded transpose: each source rank scatters to the five ranks within
+    // ±2 of itself (the coupler's regrid rearrangement is sparse like this —
+    // each rank overlaps a handful of peers). Under the flat collective the
+    // dense counts exchange still involves every rank pair; the hierarchical
+    // algorithm carries counts inside its combined per-supernode-pair
+    // headers, so its inter-supernode bytes AND messages both drop.
+    std::vector<std::vector<std::int64_t>> src_ids(
+        static_cast<size_t>(nranks)),
+        dst_ids(static_cast<size_t>(nranks));
+    for (std::int64_t g = 0; g < npoints; ++g) {
+      const std::int64_t s = g * nranks / npoints;
+      src_ids[static_cast<size_t>(s)].push_back(g);
+      dst_ids[static_cast<size_t>((s + g % 5 + nranks - 2) % nranks)]
+          .push_back(g);
+    }
+    const GlobalSegMap src_map = GlobalSegMap::from_all(src_ids);
+    const GlobalSegMap dst_map = GlobalSegMap::from_all(dst_ids);
+    Rearranger rearranger(comm, Router::build(comm.rank(), src_map, dst_map));
+
+    std::vector<std::string> fields;
+    for (int f = 0; f < nfields; ++f) fields.push_back("f" + std::to_string(f));
+    AttrVect src(fields, src_ids[static_cast<size_t>(comm.rank())].size());
+    AttrVect dst(fields, dst_ids[static_cast<size_t>(comm.rank())].size());
+    for (std::size_t f = 0; f < src.num_fields(); ++f)
+      for (std::size_t p = 0; p < src.num_points(); ++p)
+        src.at(f, p) = static_cast<double>(f * 1000 + p) * 1.000001;
+
+    comm.barrier();
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) rearranger.rearrange(src, dst, method);
+    comm.barrier();
+    if (comm.rank() == 0)
+      result.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count() /
+                       repeats;
+
+    // State-hash witness: fold every rank's destination payload in rank
+    // order into one FNV digest (the payloads are identical across repeats).
+    std::uint64_t local = kFnvBasis;
+    for (std::size_t f = 0; f < dst.num_fields(); ++f)
+      for (std::size_t p = 0; p < dst.num_points(); ++p)
+        local = fnv1a_value(local, dst.at(f, p));
+    const std::vector<std::uint64_t> digests =
+        comm.allgather(std::span<const std::uint64_t>(&local, 1));
+    if (comm.rank() == 0) {
+      std::uint64_t h = kFnvBasis;
+      for (const std::uint64_t d : digests) h = fnv1a_value(h, static_cast<std::int64_t>(d));
+      result.hash = h;
+    }
+  });
+  // Per-level traffic of the wire algorithm actually used (summed over the
+  // alltoallv scope and its inner counts alltoall), per single rearrange.
+  auto level = [&](const char* op, const char* op_algo, const char* lvl,
+                   double& bytes, long long& msgs) {
+    const std::string key =
+        std::string(op) + '/' + op_algo + '/' + lvl;
+    bytes += obs::total_counter("par:coll:bytes[" + key + ']') / repeats;
+    msgs += static_cast<long long>(
+        obs::total_counter("par:coll:messages[" + key + ']') / repeats);
+  };
+  level("alltoallv", algo, "intra", result.traffic.intra_bytes,
+        result.traffic.intra_messages);
+  level("alltoallv", algo, "inter", result.traffic.inter_bytes,
+        result.traffic.inter_messages);
+  // The flat wire path exchanges its counts via an inner flat alltoall.
+  level("alltoall", "flat", "intra", result.traffic.intra_bytes,
+        result.traffic.intra_messages);
+  level("alltoall", "flat", "inter", result.traffic.inter_bytes,
+        result.traffic.inter_messages);
+  return result;
 }
 
 }  // namespace
@@ -117,5 +223,104 @@ int main() {
   std::printf("\n    at init time every rank loads its precomputed table "
               "instead of\n    building it — the §5.2.4 memory/time fix for "
               "Sunway core groups.\n");
+
+  std::printf("\n(c) topology-staged rearrangement: flat vs leader-staged "
+              "alltoallv\n");
+  const int kHierRanks = 64;       // oversubscribed modeled rank count
+  const int kSupernodeSize = 8;    // 8 modeled supernodes
+  const std::int64_t kHierPoints = 20000;
+  const int kHierFields = 8;
+  const int kHierReps = 4;
+  std::printf("    (%d ranks, supernode_size %d, %lld points, %d fields, "
+              "banded +/-2 scatter,\n     interleaved best-of-3)\n",
+              kHierRanks, kSupernodeSize,
+              static_cast<long long>(kHierPoints), kHierFields);
+
+  HierRun flat, hier;
+  flat.seconds = hier.seconds = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    // Interleave so ambient machine drift hits both algorithms equally.
+    const HierRun f = run_hier_case(kHierRanks, kSupernodeSize, kHierPoints,
+                                    kHierFields, Strategy::kAlltoallv,
+                                    kHierReps);
+    const HierRun h = run_hier_case(kHierRanks, kSupernodeSize, kHierPoints,
+                                    kHierFields, Strategy::kLeaderStaged,
+                                    kHierReps);
+    if (f.seconds < flat.seconds) {
+      const double best = f.seconds;
+      flat = f;
+      flat.seconds = best;
+    }
+    if (h.seconds < hier.seconds) {
+      const double best = h.seconds;
+      hier = h;
+      hier.seconds = best;
+    }
+  }
+
+  if (flat.hash != hier.hash) {
+    std::fprintf(stderr,
+                 "error: leader-staged rearrangement changed the payload "
+                 "(%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(flat.hash),
+                 static_cast<unsigned long long>(hier.hash));
+    return 1;
+  }
+
+  const perf::NetworkModel net(perf::MachineKind::kSunwayOceanLight);
+  const double modeled_flat = net.exchange_seconds(flat.traffic);
+  const double modeled_hier = net.exchange_seconds(hier.traffic);
+  const double speedup = flat.seconds / hier.seconds;
+
+  std::printf("    algo   measured [us]   modeled [us]   inter bytes   "
+              "inter msgs   intra msgs\n");
+  std::printf("    flat   %13.1f   %12.1f   %11.0f   %10lld   %10lld\n",
+              flat.seconds * 1e6, modeled_flat * 1e6,
+              flat.traffic.inter_bytes, flat.traffic.inter_messages,
+              flat.traffic.intra_messages);
+  std::printf("    hier   %13.1f   %12.1f   %11.0f   %10lld   %10lld\n",
+              hier.seconds * 1e6, modeled_hier * 1e6,
+              hier.traffic.inter_bytes, hier.traffic.inter_messages,
+              hier.traffic.intra_messages);
+  std::printf("    measured speedup %.3fx, modeled %.3fx, inter-supernode "
+              "messages %.1fx fewer\n",
+              speedup, modeled_flat / modeled_hier,
+              static_cast<double>(flat.traffic.inter_messages) /
+                  static_cast<double>(std::max<long long>(
+                      1, hier.traffic.inter_messages)));
+  std::printf("    state hash %016llx (identical for both algorithms)\n",
+              static_cast<unsigned long long>(flat.hash));
+
+  FILE* json = std::fopen("BENCH_rearrange.json", "w");
+  if (json != nullptr) {
+    auto emit = [&](const char* name, const HierRun& r, double modeled,
+                    const char* tail) {
+      std::fprintf(json,
+                   "    {\"algo\": \"%s\", \"measured_seconds\": %.6e, "
+                   "\"modeled_seconds\": %.6e, "
+                   "\"intra_bytes\": %.0f, \"inter_bytes\": %.0f, "
+                   "\"intra_messages\": %lld, \"inter_messages\": %lld, "
+                   "\"state_hash\": \"%016llx\"}%s\n",
+                   name, r.seconds, modeled, r.traffic.intra_bytes,
+                   r.traffic.inter_bytes, r.traffic.intra_messages,
+                   r.traffic.inter_messages,
+                   static_cast<unsigned long long>(r.hash), tail);
+    };
+    std::fprintf(json,
+                 "{\n  \"ranks\": %d,\n  \"supernode_size\": %d,\n"
+                 "  \"points\": %lld,\n  \"fields\": %d,\n  \"cases\": [\n",
+                 kHierRanks, kSupernodeSize,
+                 static_cast<long long>(kHierPoints), kHierFields);
+    emit("flat", flat, modeled_flat, ",");
+    emit("hier", hier, modeled_hier, "");
+    std::fprintf(json,
+                 "  ],\n  \"measured_speedup\": %.4f,\n"
+                 "  \"modeled_speedup\": %.4f,\n"
+                 "  \"hashes_equal\": %s\n}\n",
+                 speedup, modeled_flat / modeled_hier,
+                 flat.hash == hier.hash ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_rearrange.json\n");
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 //               [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
 //               [--ai-backend=serial|threads|cpe] [--ai-precision=fp64|fp32|gs]
+//               [--supernode-size N] [--coll-algo flat|hier]
 //
 // Demonstrates the public API end to end: configuration, the coupled driver
 // with its CPL7-style clock, collective diagnostics, and checkpoint/restart.
@@ -34,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "ai/engine.hpp"
@@ -43,6 +45,7 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
+#include "par/topology.hpp"
 
 namespace {
 
@@ -53,7 +56,8 @@ constexpr const char* kUsage =
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
     "                  [--restore DIR]\n"
     "                  [--ai-backend=serial|threads|cpe]\n"
-    "                  [--ai-precision=fp64|fp32|gs]\n";
+    "                  [--ai-precision=fp64|fp32|gs]\n"
+    "                  [--supernode-size N] [--coll-algo flat|hier]\n";
 
 /// Accepts both `--flag value` and `--flag=value`; returns nullptr when argv[a]
 /// is not `flag` at all, otherwise the value (advancing `a` for the two-token
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool overlap = false;
   bool use_ai = false;
+  int supernode_size = 0;  // 0: no explicit topology (flat collectives)
+  std::string coll_algo;   // "", "flat", "hier"
   ai::EngineConfig ai_engine;  // kSerial / fp32 unless flags say otherwise
   for (int a = 1; a < argc; ++a) {
     auto option_value = [&](const char* flag) -> const char* {
@@ -152,6 +158,20 @@ int main(int argc, char** argv) {
                      kUsage);
         return 2;
       }
+    } else if (std::strcmp(argv[a], "--supernode-size") == 0) {
+      supernode_size = std::atoi(option_value("--supernode-size"));
+      if (supernode_size <= 0) {
+        std::fprintf(stderr, "error: --supernode-size must be positive\n%s",
+                     kUsage);
+        return 2;
+      }
+    } else if (std::strcmp(argv[a], "--coll-algo") == 0) {
+      coll_algo = option_value("--coll-algo");
+      if (coll_algo != "flat" && coll_algo != "hier") {
+        std::fprintf(stderr, "error: unknown --coll-algo '%s'\n%s",
+                     coll_algo.c_str(), kUsage);
+        return 2;
+      }
     } else if (std::strcmp(argv[a], "--checkpoint-dir") == 0) {
       checkpoint_dir = option_value("--checkpoint-dir");
     } else if (std::strcmp(argv[a], "--restore") == 0) {
@@ -192,6 +212,24 @@ int main(int argc, char** argv) {
               config.atm.nlev, config.ocn.grid.nx, config.ocn.grid.ny,
               config.ocn.grid.nz);
 
+  // Collective topology: --supernode-size attaches a par::Topology (ranks
+  // clustered into supernodes) so collectives can stage through supernode
+  // leaders; --coll-algo picks the default wire algorithm. The coupled state
+  // hash is identical either way — only the message pattern changes.
+  const bool want_topology = supernode_size > 0 || !coll_algo.empty();
+  auto topo_comm = [&](par::Comm& base) -> par::Comm {
+    if (!want_topology) return base;
+    auto topo = std::make_shared<par::Topology>(
+        par::Topology::clustered(base.size(), supernode_size));
+    return base.with_topology(topo, coll_algo == "flat"
+                                        ? par::CollectiveAlgo::kFlat
+                                        : par::CollectiveAlgo::kHierarchical);
+  };
+  if (want_topology)
+    std::printf("collective topology: supernode size %d, algorithm %s\n",
+                supernode_size > 0 ? supernode_size : 256,
+                coll_algo == "flat" ? "flat" : "hierarchical");
+
   if (use_ai)
     std::printf("AI physics: backend=%s precision=%s (batched inference "
                 "engine, micro-batch %zu)\n",
@@ -228,7 +266,8 @@ int main(int argc, char** argv) {
                 ensemble, shared->resident_bytes(),
                 static_cast<std::size_t>(ensemble) * shared->resident_bytes());
 
-    par::run(nranks, [&](par::Comm& comm) {
+    par::run(nranks, [&](par::Comm& base) {
+      par::Comm comm = topo_comm(base);
       fleet::EnsembleFleet fl(
           comm, fleet::EnsembleFleet::perturbed_specs(config, ensemble,
                                                       shared, 9000));
@@ -268,7 +307,8 @@ int main(int argc, char** argv) {
   }
 
   std::atomic<int> exit_code{0};
-  par::run(nranks, [&](par::Comm& comm) {
+  par::run(nranks, [&](par::Comm& base) {
+    par::Comm comm = topo_comm(base);
     cpl::CoupledModel model(comm, config);
     if (use_ai) {
       // Each rank trains the same tiny suite deterministically (no RNG state

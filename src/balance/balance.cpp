@@ -156,15 +156,23 @@ Decision LoadBalancer::consider(std::span<const double> cell_weight, int nx,
   }
   d.predicted_savings_seconds = savings_per_window * policy_.amortize_windows;
 
-  // Migration cost: every moved weight unit crosses the network once (charge
-  // the oversubscribed inter-supernode path — migrations are long-range),
-  // spread across the ranks, plus one small collective to agree on the plan.
+  // Migration cost: every moved weight unit crosses the network once, spread
+  // across the ranks, plus one small collective to agree on the plan. With a
+  // supernode-aware rank mapping a fraction of the moves stays on the fast
+  // intra-supernode path (see set_block_topology); without one everything is
+  // charged at the oversubscribed inter-supernode rate.
   const int nranks = old_partition.nranks();
   const double moved_bytes =
       static_cast<double>(d.plan.moved_weight) * bytes_per_weight_unit;
+  const double per_rank_bytes = moved_bytes / std::max(1, nranks);
+  const double f = intra_migration_fraction_;
+  double wire_seconds = 2.0 * net_.p2p_seconds((1.0 - f) * per_rank_bytes,
+                                               /*same_supernode=*/false);
+  if (f > 0.0)
+    wire_seconds +=
+        2.0 * net_.p2p_seconds(f * per_rank_bytes, /*same_supernode=*/true);
   d.migration_cost_seconds =
-      2.0 * net_.p2p_seconds(moved_bytes / std::max(1, nranks), false) +
-      net_.allreduce_seconds(8.0, nranks);
+      wire_seconds + net_.allreduce_seconds(8.0, nranks);
   if (!policy_.ignore_migration_cost &&
       d.predicted_savings_seconds <= d.migration_cost_seconds) {
     d.reason = "migration_cost";
@@ -177,6 +185,13 @@ Decision LoadBalancer::consider(std::span<const double> cell_weight, int nx,
   cooldown_remaining_ = policy_.cooldown;
   obs::counter_add(prefix + "migrations", 1.0);
   return d;
+}
+
+void LoadBalancer::set_intra_migration_fraction(double fraction) {
+  AP3_REQUIRE_MSG(fraction >= 0.0 && fraction <= 1.0,
+                  "intra-migration fraction " << fraction
+                                              << " outside [0, 1]");
+  intra_migration_fraction_ = fraction;
 }
 
 ColumnMigrator::ColumnMigrator(const par::Comm& comm,

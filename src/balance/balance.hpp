@@ -104,12 +104,25 @@ class LoadBalancer {
                     const grid::BlockPartition2D& old_partition,
                     const MeasuredCost& cost, double bytes_per_weight_unit);
 
+  /// Tell the cost model what share of migration traffic stays on the fast
+  /// intra-supernode path (cut-shift migrations move cells between adjacent
+  /// blocks, so a supernode-aware rank mapping keeps most of them local).
+  /// Default 0.0 charges everything at the oversubscribed inter-supernode
+  /// rate, the conservative pre-topology behaviour.
+  void set_intra_migration_fraction(double fraction);
+  /// Convenience: derive the fraction from a supernode-aware block mapping.
+  void set_block_topology(const grid::SupernodeBlockMap& map) {
+    set_intra_migration_fraction(map.intra_neighbor_fraction());
+  }
+  double intra_migration_fraction() const { return intra_migration_fraction_; }
+
   const RebalancePolicy& policy() const { return policy_; }
 
  private:
   std::string name_;  ///< obs counter prefix: balance:<name>:*
   RebalancePolicy policy_;
   perf::NetworkModel net_;
+  double intra_migration_fraction_ = 0.0;
   int cooldown_remaining_ = 0;
 };
 

@@ -221,12 +221,6 @@ void CoupledModel::install_ai_physics(const AiInstallOptions& options) {
   atm_->set_physics(std::move(physics));
 }
 
-void CoupledModel::install_ai_physics(
-    std::shared_ptr<ai::AiPhysicsSuite> suite, ai::EngineConfig engine,
-    const std::optional<atm::OnlineTrainingConfig>& online) {
-  install_ai_physics(AiInstallOptions{std::move(suite), engine, online});
-}
-
 void CoupledModel::run_windows(int atm_windows) {
   AP3_SPAN("run");
   for (int w = 0; w < atm_windows; ++w) {
@@ -1121,16 +1115,6 @@ ice::IceModel& CoupledModel::ice() {
 }
 const ice::IceModel& CoupledModel::ice() const {
   return const_cast<CoupledModel*>(this)->ice();
-}
-
-double CoupledModel::global_mean_sst_k() { return mean_sst_impl(); }
-
-double CoupledModel::global_mean_precip() { return mean_precip_impl(); }
-
-double CoupledModel::global_ice_fraction() { return ice_fraction_impl(); }
-
-double CoupledModel::global_max_surface_current() {
-  return max_current_impl();
 }
 
 std::shared_ptr<const SharedInputs> build_shared_inputs(

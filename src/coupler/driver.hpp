@@ -135,10 +135,6 @@ class CoupledModel {
   /// bit-exact). Fleet members pass the same `options.suite` pointer so one
   /// InferenceEngine micro-batches across all of them.
   void install_ai_physics(const AiInstallOptions& options);
-  [[deprecated("pass an AiInstallOptions struct instead")]]
-  void install_ai_physics(
-      std::shared_ptr<ai::AiPhysicsSuite> suite, ai::EngineConfig engine = {},
-      const std::optional<atm::OnlineTrainingConfig>& online = std::nullopt);
 
   bool has_atm() const { return atm_ != nullptr; }
   bool has_ocn() const { return ocn_ != nullptr; }
@@ -151,12 +147,6 @@ class CoupledModel {
   const ocn::OcnModel& ocn() const;
   ice::IceModel& ice();
   const ice::IceModel& ice() const;
-  [[deprecated("use has_atm()/atm() instead")]]
-  atm::AtmModel* atm_model() { return atm_.get(); }
-  [[deprecated("use has_ocn()/ocn() instead")]]
-  ocn::OcnModel* ocn_model() { return ocn_.get(); }
-  [[deprecated("use has_ice()/ice() instead")]]
-  ice::IceModel* ice_model() { return ice_.get(); }
 
   /// The scenario this model was constructed from.
   const ScenarioSpec& scenario() const { return spec_; }
@@ -198,15 +188,6 @@ class CoupledModel {
   /// One consistent snapshot of the scalar diagnostics (collective).
   CoupledDiagnostics diagnostics();
 
-  [[deprecated("use diagnostics().mean_sst_k instead")]]
-  double global_mean_sst_k();
-  [[deprecated("use diagnostics().mean_precip instead")]]
-  double global_mean_precip();
-  [[deprecated("use diagnostics().ice_fraction instead")]]
-  double global_ice_fraction();
-  [[deprecated("use diagnostics().max_surface_current instead")]]
-  double global_max_surface_current();
-
   // --- typhoon experiment hooks (collective) ----------------------------------
   void seed_typhoon(const atm::VortexSpec& spec);
   atm::VortexFix track_typhoon(double prev_lon_deg, double prev_lat_deg,
@@ -216,8 +197,7 @@ class CoupledModel {
 
  private:
   void build_coupling_infrastructure();
-  /// Deprecated-shim-free implementations of the scalar diagnostics (the
-  /// deprecated getters and diagnostics() both delegate here).
+  /// Implementations of the scalar diagnostics behind diagnostics().
   double mean_sst_impl();
   double mean_precip_impl();
   double ice_fraction_impl();

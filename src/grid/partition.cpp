@@ -161,6 +161,62 @@ BlockCuts BlockPartition2D::cuts() const {
   return c;
 }
 
+SupernodeBlockMap::SupernodeBlockMap(int px, int py, int supernode_size)
+    : px_(px), py_(py) {
+  AP3_REQUIRE_MSG(px >= 1 && py >= 1 && supernode_size >= 1,
+                  "supernode block map needs px, py, supernode_size >= 1 (got "
+                      << px << "x" << py << ", " << supernode_size << ")");
+  // Near-square tile: start from floor(sqrt(size)), clamp to the block grid,
+  // then let each axis reclaim the other's clamped slack so a skinny grid
+  // still fills its supernodes (px=2, size=8 -> 2x4 tiles; py=1 -> Nx1).
+  tile_w_ = std::max(1, static_cast<int>(std::sqrt(
+                            static_cast<double>(supernode_size))));
+  tile_w_ = std::min(tile_w_, px_);
+  tile_h_ = std::min(std::max(1, supernode_size / tile_w_), py_);
+  tile_w_ = std::min(std::max(1, supernode_size / tile_h_), px_);
+  tiles_x_ = (px_ + tile_w_ - 1) / tile_w_;
+  tiles_y_ = (py_ + tile_h_ - 1) / tile_h_;
+}
+
+int SupernodeBlockMap::supernode_of_block(int bx, int by) const {
+  AP3_REQUIRE_MSG(bx >= 0 && bx < px_ && by >= 0 && by < py_,
+                  "block (" << bx << "," << by << ") outside " << px_ << "x"
+                            << py_ << " block grid");
+  return (by / tile_h_) * tiles_x_ + bx / tile_w_;
+}
+
+int SupernodeBlockMap::supernode_of_rank(int rank) const {
+  AP3_REQUIRE_MSG(rank >= 0 && rank < px_ * py_,
+                  "rank " << rank << " outside " << px_ * py_ << "-rank map");
+  return supernode_of_block(rank % px_, rank / px_);
+}
+
+std::vector<int> SupernodeBlockMap::topology_map() const {
+  std::vector<int> map(static_cast<std::size_t>(px_) * py_);
+  for (int rank = 0; rank < px_ * py_; ++rank)
+    map[static_cast<std::size_t>(rank)] = supernode_of_rank(rank);
+  return map;
+}
+
+double SupernodeBlockMap::intra_neighbor_fraction() const {
+  std::int64_t total = 0, intra = 0;
+  for (int by = 0; by < py_; ++by) {
+    for (int bx = 0; bx < px_; ++bx) {
+      const int here = supernode_of_block(bx, by);
+      if (bx + 1 < px_) {
+        ++total;
+        if (supernode_of_block(bx + 1, by) == here) ++intra;
+      }
+      if (by + 1 < py_) {
+        ++total;
+        if (supernode_of_block(bx, by + 1) == here) ++intra;
+      }
+    }
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(intra) / static_cast<double>(total);
+}
+
 ActiveCompaction::ActiveCompaction(const TripolarGrid& grid, int nranks)
     : nranks_(nranks), per_rank_(static_cast<size_t>(nranks)) {
   AP3_REQUIRE(nranks >= 1);

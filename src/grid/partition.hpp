@@ -82,6 +82,46 @@ class BlockPartition2D {
   std::vector<std::int64_t> x_cuts_, y_cuts_;
 };
 
+/// Supernode-aware rank mapping for a 2-D block decomposition.
+///
+/// Tiles the px × py block grid into near-square rectangular tiles of at most
+/// `supernode_size` blocks, so grid-adjacent blocks land in the same
+/// supernode whenever possible. `topology_map()` is ready to feed
+/// par::Topology's constructor (rank → supernode id, row-major rank order),
+/// and `intra_neighbor_fraction()` tells the load balancer what share of
+/// halo/migration traffic the mapping keeps on the fast intra-supernode
+/// network.
+class SupernodeBlockMap {
+ public:
+  SupernodeBlockMap(int px, int py, int supernode_size);
+
+  int px() const { return px_; }
+  int py() const { return py_; }
+  /// Tile dimensions actually used (tile_w() * tile_h() <= supernode_size).
+  int tile_w() const { return tile_w_; }
+  int tile_h() const { return tile_h_; }
+  int num_supernodes() const { return tiles_x_ * tiles_y_; }
+
+  int supernode_of_block(int bx, int by) const;
+  /// Row-major rank (by * px + bx), matching BlockPartition2D::rank_of_block.
+  int supernode_of_rank(int rank) const;
+
+  /// rank → supernode id for every rank, in rank order: the exact vector
+  /// par::Topology's constructor expects.
+  std::vector<int> topology_map() const;
+
+  /// Fraction of 4-neighbour block adjacencies that stay inside one
+  /// supernode. Cut-shift migrations and halo exchanges move data between
+  /// adjacent blocks, so this is the share of that traffic on the fast
+  /// intra-supernode path (1.0 for a single-block grid).
+  double intra_neighbor_fraction() const;
+
+ private:
+  int px_, py_;
+  int tile_w_, tile_h_;
+  int tiles_x_, tiles_y_;
+};
+
 /// §5.2.2 — exclusion of 3-D non-ocean points.
 ///
 /// Active (ocean) columns are extracted in row-major order, then partitioned

@@ -43,7 +43,11 @@ void Rearranger::unpack_from_peer(AttrVect& dst,
 void Rearranger::rearrange(const AttrVect& src, AttrVect& dst,
                            Strategy strategy) const {
   if (strategy == Strategy::kAlltoallv) {
-    do_alltoallv(src, dst);
+    do_alltoallv(src, dst, {par::CollectiveAlgo::kFlat});
+    return;
+  }
+  if (strategy == Strategy::kLeaderStaged) {
+    do_alltoallv(src, dst, {par::CollectiveAlgo::kHierarchical});
     return;
   }
   Pending pending = rearrange_begin(src, dst);
@@ -97,11 +101,15 @@ void Rearranger::rearrange_end(Pending& pending) const {
   pending = Pending{};
 }
 
-void Rearranger::do_alltoallv(const AttrVect& src, AttrVect& dst) const {
+void Rearranger::do_alltoallv(const AttrVect& src, AttrVect& dst,
+                              par::CollectivePolicy policy) const {
   AP3_SPAN("mct:rearrange:alltoallv");
   check_fields(src, dst);
   // The original strategy: every rank participates in one big collective
-  // even if it exchanges data with only a handful of peers.
+  // even if it exchanges data with only a handful of peers. With the
+  // hierarchical policy (kLeaderStaged) the collective itself stages the
+  // inter-supernode payloads through leaders; the unpacked result is
+  // bitwise identical either way.
   std::vector<double> send_data;
   std::vector<std::size_t> send_counts(static_cast<std::size_t>(comm_.size()),
                                        0);
@@ -115,7 +123,8 @@ void Rearranger::do_alltoallv(const AttrVect& src, AttrVect& dst) const {
   std::vector<std::size_t> recv_counts;
   const std::vector<double> recv_data =
       comm_.alltoallv(std::span<const double>(send_data),
-                      std::span<const std::size_t>(send_counts), recv_counts);
+                      std::span<const std::size_t>(send_counts), recv_counts,
+                      policy);
   std::size_t offset = 0;
   for (int peer = 0; peer < comm_.size(); ++peer) {
     const std::size_t n = recv_counts[static_cast<std::size_t>(peer)];

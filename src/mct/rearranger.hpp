@@ -12,7 +12,12 @@
 //  - Strategy::kSplitPhase (default): begin + end back to back — the
 //    optimized point-to-point exchange of the paper,
 //  - Strategy::kAlltoallv: one collective carrying all peers' payloads (the
-//    original, kept for comparison benchmarks).
+//    original, kept for comparison benchmarks),
+//  - Strategy::kLeaderStaged: the alltoallv collective with the hierarchical
+//    algorithm — inter-supernode payloads aggregate at supernode leaders so
+//    each supernode pair exchanges one combined message. Requires a
+//    par::Topology attached to the communicator (falls back to the flat
+//    collective without one).
 // Results are bitwise identical across strategies, and — because the
 // transport's sequenced take/timeout/retransmission recovers faults
 // independent of arrival order — identical under fault injection too.
@@ -25,8 +30,10 @@
 namespace ap3::mct {
 
 /// How rearrange() moves the payloads. The split-phase pair is the primitive;
-/// kAlltoallv exists for benchmarks reproducing the paper's comparison.
-enum class Strategy { kAlltoallv, kSplitPhase };
+/// kAlltoallv exists for benchmarks reproducing the paper's comparison;
+/// kLeaderStaged routes the collective through the topology-aware
+/// hierarchical algorithm (supernode-leader aggregation).
+enum class Strategy { kAlltoallv, kSplitPhase, kLeaderStaged };
 
 class Rearranger {
  public:
@@ -74,7 +81,8 @@ class Rearranger {
   const Router& router() const { return router_; }
 
  private:
-  void do_alltoallv(const AttrVect& src, AttrVect& dst) const;
+  void do_alltoallv(const AttrVect& src, AttrVect& dst,
+                    par::CollectivePolicy policy) const;
   std::vector<double> pack_for_peer(const AttrVect& src,
                                     const std::vector<std::int64_t>& plan) const;
   void unpack_from_peer(AttrVect& dst, const std::vector<std::int64_t>& plan,

@@ -10,31 +10,20 @@ namespace ap3::par {
 
 namespace {
 
-/// Collectives reserve tags <= -1000 (see comm.hpp); map them to a name so
-/// traffic shows up as obs counter families per collective, not a bare tag.
-const char* collective_of(int tag) {
-  switch (tag) {
-    case -1000: return "bcast";
-    case -1001: return "gather";
-    case -1002: return "allgatherv";
-    case -1003: return "reduce";
-    case -1004: return "alltoall";
-    case -1005: return "alltoallv";
-  }
-  return nullptr;
-}
-
-/// One obs counter family per message: collectives aggregate under
-/// "par:coll:<name>:bytes", user point-to-point traffic keeps a per-tag
-/// breakdown ("par:p2p:bytes:tag[<tag>]"), and "par:bytes:total" is the
-/// grand total that must match World::traffic().bytes.
-void account_obs(int tag, std::size_t bytes) {
+/// Per-message obs accounting: inside a collective (a CollScope is active on
+/// this thread) bytes land in the tagged family
+/// "par:coll:{bytes,messages}[<op>/<algo>/<level>]" where level says whether
+/// the message crossed a supernode boundary; user point-to-point traffic
+/// keeps a per-tag breakdown ("par:p2p:bytes:tag[<tag>]"); "par:bytes:total"
+/// is the grand total that must match World::traffic().bytes.
+void account_obs(int tag, std::size_t bytes, bool inter_supernode) {
   if (!obs::enabled()) return;
   const auto delta = static_cast<double>(bytes);
-  if (const char* coll = collective_of(tag)) {
-    obs::counter_add(std::string("par:coll:") + coll + ":bytes", delta);
-    obs::counter_add(std::string("par:coll:") + coll + ":messages", 1.0);
-  } else {
+  const detail::CollScope* scope = detail::CollScope::current();
+  if (scope != nullptr && scope->armed()) {
+    obs::counter_add(scope->bytes_name(inter_supernode), delta);
+    obs::counter_add(scope->messages_name(inter_supernode), 1.0);
+  } else if (scope == nullptr) {
     obs::counter_add_keyed("par:p2p:bytes:tag", tag, delta);
     obs::counter_add("par:p2p:messages", 1.0);
   }
@@ -45,6 +34,27 @@ void account_obs(int tag, std::size_t bytes) {
 }  // namespace
 
 namespace detail {
+
+namespace {
+thread_local const CollScope* tls_coll_scope = nullptr;
+}  // namespace
+
+CollScope::CollScope(const char* op, const char* algo)
+    : prev_(tls_coll_scope) {
+  tls_coll_scope = this;
+  if (!obs::enabled()) return;
+  armed_ = true;
+  const std::string key = std::string(op) + '/' + algo;
+  obs::counter_add("par:coll:calls[" + key + ']', 1.0);
+  bytes_intra_ = "par:coll:bytes[" + key + "/intra]";
+  bytes_inter_ = "par:coll:bytes[" + key + "/inter]";
+  messages_intra_ = "par:coll:messages[" + key + "/intra]";
+  messages_inter_ = "par:coll:messages[" + key + "/inter]";
+}
+
+CollScope::~CollScope() { tls_coll_scope = prev_; }
+
+const CollScope* CollScope::current() { return tls_coll_scope; }
 
 std::uint64_t FaultState::next_seq(int comm_id, int src, int dst_world,
                                    int tag) {
@@ -309,7 +319,10 @@ void Comm::post(int dest, int tag, std::size_t type_hash,
   m.type_hash = type_hash;
   m.data.assign(bytes.begin(), bytes.end());
   world_->account(bytes.size());
-  account_obs(tag, bytes.size());
+  const bool inter_supernode =
+      topology_ != nullptr &&
+      topology_->supernode_of(rank_) != topology_->supernode_of(dest);
+  account_obs(tag, bytes.size(), inter_supernode);
   const int dst_world = world_rank_of(dest);
   detail::Mailbox& box = world_->mailbox(dst_world);
 
@@ -374,6 +387,21 @@ void Comm::barrier() const {
   world_->barrier_for(comm_id_, size()).arrive_and_wait();
 }
 
+Comm Comm::with_topology(std::shared_ptr<const Topology> topology,
+                         CollectiveAlgo default_algo) const {
+  AP3_REQUIRE_MSG(topology == nullptr || topology->nranks() == size(),
+                  "with_topology: topology spans "
+                      << (topology ? topology->nranks() : 0)
+                      << " ranks but the communicator has " << size());
+  AP3_REQUIRE_MSG(default_algo != CollectiveAlgo::kDefault,
+                  "with_topology: default algorithm must be concrete");
+  Comm out = *this;
+  out.topology_ = std::move(topology);
+  out.default_algo_ =
+      out.topology_ != nullptr ? default_algo : CollectiveAlgo::kFlat;
+  return out;
+}
+
 Comm Comm::split(int color, int key) const {
   AP3_REQUIRE_MSG(color >= 0, "split color must be non-negative");
   detail::SplitTable& table = world_->split_table();
@@ -424,7 +452,18 @@ Comm Comm::split(int color, int key) const {
   const int new_id =
       comm_id_ * 4096 + static_cast<int>(epoch % 64) * 64 + color_index + 1;
 
-  return Comm(world_, std::move(new_group), new_rank, new_id, 0);
+  Comm out(world_, std::move(new_group), new_rank, new_id, 0);
+  if (topology_ != nullptr) {
+    // Project the machine shape onto the subgroup: new rank i descends from
+    // parent comm rank mine[i].second, whose supernode it keeps.
+    std::vector<int> parent_ranks;
+    parent_ranks.reserve(mine.size());
+    for (const auto& [sort_key, old_rank] : mine) parent_ranks.push_back(old_rank);
+    out.topology_ =
+        std::make_shared<Topology>(topology_->induced(parent_ranks));
+    out.default_algo_ = default_algo_;
+  }
+  return out;
 }
 
 void run(int nranks, const std::function<void(Comm&)>& fn) {

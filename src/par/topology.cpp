@@ -1,0 +1,53 @@
+#include "par/topology.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "base/error.hpp"
+#include "sunway/arch.hpp"  // header-only constants; no link dependency
+
+namespace ap3::par {
+
+Topology::Topology(std::vector<int> supernode_of)
+    : supernode_of_(std::move(supernode_of)) {
+  AP3_REQUIRE_MSG(!supernode_of_.empty(), "Topology needs at least one rank");
+  // Compact the (arbitrary) ids to indices 0..S-1 in ascending id order; the
+  // index order is the canonical supernode order for blocked reductions.
+  std::map<int, int> index_of;
+  for (int id : supernode_of_) index_of.emplace(id, 0);
+  int next = 0;
+  for (auto& [id, index] : index_of) index = next++;
+  members_.resize(index_of.size());
+  for (std::size_t r = 0; r < supernode_of_.size(); ++r) {
+    const int s = index_of.at(supernode_of_[r]);
+    supernode_of_[r] = s;
+    members_[static_cast<std::size_t>(s)].push_back(static_cast<int>(r));
+  }
+  // Ranks were appended in ascending order, so members_ lists are sorted and
+  // leaders (front()) are the lowest rank of each supernode by construction.
+}
+
+Topology Topology::clustered(int nranks, int supernode_size) {
+  AP3_REQUIRE_MSG(nranks > 0, "Topology::clustered needs nranks > 0");
+  if (supernode_size <= 0) supernode_size = sunway::kNodesPerSupernode;
+  std::vector<int> map(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    map[static_cast<std::size_t>(r)] = r / supernode_size;
+  return Topology(std::move(map));
+}
+
+Topology Topology::induced(const std::vector<int>& parent_ranks) const {
+  AP3_REQUIRE_MSG(!parent_ranks.empty(),
+                  "Topology::induced needs a non-empty subgroup");
+  std::vector<int> map;
+  map.reserve(parent_ranks.size());
+  for (int parent : parent_ranks) {
+    AP3_REQUIRE_MSG(parent >= 0 && parent < nranks(),
+                    "Topology::induced: parent rank "
+                        << parent << " outside [0, " << nranks() << ")");
+    map.push_back(supernode_of(parent));
+  }
+  return Topology(std::move(map));  // ctor re-compacts the surviving ids
+}
+
+}  // namespace ap3::par

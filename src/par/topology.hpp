@@ -1,0 +1,69 @@
+// Machine topology descriptor for topology-aware collectives.
+//
+// The paper's machine (§6.3) is a fat tree of 256-node supernodes whose
+// uplinks are 16:3 oversubscribed: a byte crossing supernodes costs ~5.3x a
+// byte that stays inside one. A Topology records which supernode each rank of
+// a communicator lives in, so the collectives in par::Comm can stage traffic
+// hierarchically (members -> supernode leader -> peer leaders -> members) and
+// the obs counters can split bytes into intra- vs inter-supernode levels.
+//
+// The descriptor is deliberately tiny and immutable: a rank -> supernode map,
+// compacted to supernode indices 0..S-1 in ascending id order, plus the
+// derived member lists and leaders (lowest rank of each supernode). It is
+// seeded from sunway::kNodesPerSupernode for paper-shaped runs and injectable
+// with any mapping for tests; Comm::split() projects it onto subgroups so a
+// task-domain communicator inherits the machine shape automatically.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace ap3::par {
+
+class Topology {
+ public:
+  /// Injectable mapping: `supernode_of[rank]` is the supernode id of `rank`.
+  /// Ids need not be contiguous; they are compacted (ascending id order) to
+  /// supernode indices 0..S-1, which define the canonical supernode order
+  /// used by the blocked reduction (see comm.hpp).
+  explicit Topology(std::vector<int> supernode_of);
+
+  /// The paper-shaped mapping: ranks packed into supernodes of
+  /// `supernode_size` consecutive ranks (the last one may be smaller).
+  /// Defaults to sunway::kNodesPerSupernode when size <= 0.
+  static Topology clustered(int nranks, int supernode_size = 0);
+
+  int nranks() const { return static_cast<int>(supernode_of_.size()); }
+  int num_supernodes() const { return static_cast<int>(members_.size()); }
+
+  /// Compact supernode index (0..S-1) of a communicator rank.
+  int supernode_of(int rank) const {
+    return supernode_of_[static_cast<std::size_t>(rank)];
+  }
+  /// Ranks of supernode `s`, ascending. Never empty.
+  const std::vector<int>& members(int s) const {
+    return members_[static_cast<std::size_t>(s)];
+  }
+  /// Leader (lowest rank) of supernode `s`.
+  int leader(int s) const { return members_[static_cast<std::size_t>(s)][0]; }
+  /// Leader of the supernode containing `rank`.
+  int leader_of(int rank) const { return leader(supernode_of(rank)); }
+  bool is_leader(int rank) const { return leader_of(rank) == rank; }
+
+  /// True when the hierarchy is degenerate (<= 1 supernode, or every rank its
+  /// own supernode): hierarchical staging cannot reduce any traffic.
+  bool trivial() const {
+    return num_supernodes() <= 1 || num_supernodes() == nranks();
+  }
+
+  /// Topology induced on a subgroup. `parent_ranks[i]` is the parent-comm
+  /// rank that becomes rank i of the subgroup; the result maps subgroup ranks
+  /// to (re-compacted) supernode indices. Used by Comm::split().
+  Topology induced(const std::vector<int>& parent_ranks) const;
+
+ private:
+  std::vector<int> supernode_of_;           ///< rank -> compact supernode index
+  std::vector<std::vector<int>> members_;   ///< supernode index -> ranks
+};
+
+}  // namespace ap3::par

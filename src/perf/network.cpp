@@ -16,6 +16,7 @@ NetworkModel::NetworkModel(MachineKind kind) : kind_(kind) {
     intra_gbs_ = sunway::kOriseNetworkBandwidthGBs;
     inter_gbs_ = sunway::kOriseNetworkBandwidthGBs;  // flat fabric
   }
+  supernode_nodes_ = sunway::kNodesPerSupernode;
 }
 
 double NetworkModel::p2p_seconds(double bytes, bool same_supernode) const {
@@ -42,13 +43,45 @@ double NetworkModel::halo_seconds(double bytes, int neighbors,
          (inside_fraction * inside + (1.0 - inside_fraction) * outside);
 }
 
+double NetworkModel::intra_fraction(long long nodes) const {
+  if (nodes <= supernode_nodes_) return 1.0;
+  // Of a rank's nodes-1 potential tree partners, supernode_nodes_-1 share
+  // its supernode; under a random round pairing that is the share of rounds
+  // staying on the leaf switch.
+  return static_cast<double>(supernode_nodes_ - 1) /
+         static_cast<double>(nodes - 1);
+}
+
 double NetworkModel::allreduce_seconds(double bytes, long long nodes) const {
   if (nodes <= 1) return 0.0;
   const double rounds = std::ceil(std::log2(static_cast<double>(nodes)));
-  // A job that fits inside one supernode never pays the oversubscribed
-  // inter-supernode links; only larger jobs cross them every round.
-  const bool same_supernode = nodes <= sunway::kNodesPerSupernode;
-  return 2.0 * rounds * p2p_seconds(bytes, same_supernode);
+  const double f = intra_fraction(nodes);
+  const double per_round =
+      f * p2p_seconds(bytes, true) + (1.0 - f) * p2p_seconds(bytes, false);
+  return 2.0 * rounds * per_round;
+}
+
+double NetworkModel::hierarchical_allreduce_seconds(double bytes,
+                                                    long long nodes) const {
+  if (nodes <= 1) return 0.0;
+  const long long k = supernode_nodes_;
+  const long long intra_nodes = std::min(nodes, k);
+  const long long supernodes = (nodes + k - 1) / k;
+  const double intra_rounds =
+      intra_nodes > 1 ? std::ceil(std::log2(static_cast<double>(intra_nodes)))
+                      : 0.0;
+  const double inter_rounds =
+      supernodes > 1 ? std::ceil(std::log2(static_cast<double>(supernodes)))
+                     : 0.0;
+  return 2.0 * intra_rounds * p2p_seconds(bytes, true) +
+         2.0 * inter_rounds * p2p_seconds(bytes, false);
+}
+
+double NetworkModel::exchange_seconds(const LevelTraffic& traffic) const {
+  return static_cast<double>(traffic.intra_messages) * latency_ +
+         traffic.intra_bytes / (intra_gbs_ * 1e9) +
+         static_cast<double>(traffic.inter_messages) * latency_ +
+         traffic.inter_bytes / (inter_gbs_ * 1e9);
 }
 
 }  // namespace ap3::perf

@@ -14,6 +14,17 @@ namespace ap3::perf {
 
 enum class MachineKind { kSunwayOceanLight, kOrise };
 
+/// Per-level traffic tally: bytes and messages on the fast intra-supernode
+/// leaf level versus the oversubscribed inter-supernode level. Produced by
+/// collectives/benchmarks (the par:coll:* counter families tally exactly
+/// this split) and priced by NetworkModel::exchange_seconds.
+struct LevelTraffic {
+  double intra_bytes = 0.0;
+  double inter_bytes = 0.0;
+  long long intra_messages = 0;
+  long long inter_messages = 0;
+};
+
 class NetworkModel {
  public:
   explicit NetworkModel(MachineKind kind);
@@ -27,8 +38,28 @@ class NetworkModel {
   /// from one node. With many nodes most neighbors leave the supernode.
   double halo_seconds(double bytes, int neighbors, long long nodes) const;
 
-  /// Allreduce of `bytes` across `nodes` (binary-tree model).
+  /// Flat binary-tree allreduce of `bytes` across `nodes`. Each round's cost
+  /// blends the two levels by intra_fraction(nodes) — the share of a rank's
+  /// potential partners inside its supernode — instead of an all-or-nothing
+  /// supernode-boundary cliff.
   double allreduce_seconds(double bytes, long long nodes) const;
+
+  /// Two-level allreduce (reduce inside each supernode, exchange among
+  /// leaders, broadcast back): 2·ceil(log2 min(n,k)) intra rounds plus
+  /// 2·ceil(log2 ceil(n/k)) inter rounds for k-node supernodes.
+  double hierarchical_allreduce_seconds(double bytes, long long nodes) const;
+
+  /// Wire time of an arbitrary per-level traffic tally: one latency per
+  /// message plus bytes over the level's bandwidth, both levels summed.
+  double exchange_seconds(const LevelTraffic& traffic) const;
+
+  /// Smooth share of a rank's tree partners inside its supernode:
+  /// 1.0 when the job fits in one supernode, (k-1)/(n-1) beyond. On a flat
+  /// fabric (ORISE) the split is timing-neutral (equal bandwidths).
+  double intra_fraction(long long nodes) const;
+
+  /// Nodes per supernode used by the level split.
+  long long supernode_nodes() const { return supernode_nodes_; }
 
   double latency_seconds() const { return latency_; }
   double intra_bandwidth_gbs() const { return intra_gbs_; }
@@ -39,6 +70,7 @@ class NetworkModel {
   double latency_;
   double intra_gbs_;
   double inter_gbs_;
+  long long supernode_nodes_;
 };
 
 }  // namespace ap3::perf

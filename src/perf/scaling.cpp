@@ -191,16 +191,22 @@ DayCost ScalingModel::coupled_day(const AtmWorkload& aw, const OcnWorkload& ow,
   DayCost day = atm.total() >= ocn.total() ? atm : ocn;
 
   // Coupler rearrangement: 8 fields × surface points × 8 B per coupling
-  // event, 180 atm + 36 ocn + 180 ice events/day, moved across the bisection
-  // at the oversubscribed bandwidth (§5.2.4's p2p path overlaps ~half).
+  // event, 180 atm + 36 ocn + 180 ice events/day, moved across ~nodes/8
+  // bisection ports (§5.2.4's p2p path overlaps ~half). The per-event bytes
+  // split per network level by intra_fraction — a job inside one supernode
+  // never pays the oversubscribed links, a large job pays them for almost
+  // everything — instead of charging the inter rate unconditionally.
   const double surface_points =
       std::min(static_cast<double>(aw.cells), ow.horizontal_points() * 0.71);
   const double bytes_per_event = 8.0 * surface_points * 8.0;
-  const double bisection_gbs =
-      sunway_net_.inter_bandwidth_gbs() * 1e9 *
-      std::max(1.0, static_cast<double>(nodes) / 8.0);
+  const double ports = std::max(1.0, static_cast<double>(nodes) / 8.0);
+  const double f = sunway_net_.intra_fraction(nodes);
+  LevelTraffic per_event;
+  per_event.intra_bytes = f * bytes_per_event / ports;
+  per_event.inter_bytes = (1.0 - f) * bytes_per_event / ports;
   const double events = 180.0 + 36.0 + 180.0;
-  day.comm += 0.5 * events * (bytes_per_event / bisection_gbs + 200e-6);
+  day.comm +=
+      0.5 * events * (sunway_net_.exchange_seconds(per_event) + 200e-6);
   return day;
 }
 

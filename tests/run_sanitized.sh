@@ -25,8 +25,9 @@ SANITIZERS="${SANITIZERS:-thread address undefined}"
 # balancer's column migration (index arithmetic over rearrange plans), the
 # ensemble fleet (N members sharing one immutable context per process), and
 # the SIMD pack layer (masked tails over exactly-sized allocations — ASan is
-# the overread witness; packed launches run on the threaded backends too).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack}"
+# the overread witness; packed launches run on the threaded backends too), and
+# the hierarchical collectives (leader staging buffers under fault injection).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack|test_hier}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do

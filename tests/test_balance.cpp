@@ -295,6 +295,39 @@ TEST(LoadBalancer, NoiseFloorSkipsCheapPhases) {
   EXPECT_STREQ(d.reason, "negligible");
 }
 
+TEST(LoadBalancer, SupernodeTopologyLowersMigrationCost) {
+  const int nx = 8, ny = 4;
+  std::vector<double> weight(static_cast<std::size_t>(nx * ny), 1.0);
+  const grid::BlockPartition2D part(nx, ny, 2, 1);
+  balance::MeasuredCost skew;
+  skew.per_rank_seconds = {3.0, 1.0};
+
+  balance::RebalancePolicy policy;
+  policy.min_improvement = 0.0;
+  policy.amortize_windows = 1;
+
+  // Same plan, three cost models: default (all-inter), supernode-aware (both
+  // owners share a supernode, so the moves stay on the fast level), and the
+  // fraction set directly. The decision inputs are identical; only the
+  // modeled migration cost may differ — and only downward.
+  balance::LoadBalancer allinter("allinter", policy);
+  const balance::Decision base =
+      allinter.consider(weight, nx, ny, part, skew, 1e6);
+
+  balance::LoadBalancer local("local", policy);
+  local.set_block_topology(grid::SupernodeBlockMap(2, 1, 2));
+  EXPECT_DOUBLE_EQ(local.intra_migration_fraction(), 1.0);
+  const balance::Decision cheap =
+      local.consider(weight, nx, ny, part, skew, 1e6);
+  EXPECT_LT(cheap.migration_cost_seconds, base.migration_cost_seconds);
+
+  balance::LoadBalancer half("half", policy);
+  half.set_intra_migration_fraction(0.5);
+  const balance::Decision mid = half.consider(weight, nx, ny, part, skew, 1e6);
+  EXPECT_LT(mid.migration_cost_seconds, base.migration_cost_seconds);
+  EXPECT_GT(mid.migration_cost_seconds, cheap.migration_cost_seconds);
+}
+
 // --- bit-exact column migration ---------------------------------------------
 
 TEST(Migration, OceanRoundTripIsBitExact) {

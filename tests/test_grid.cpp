@@ -372,6 +372,55 @@ TEST(GraphHalo, ExchangesNeighborValuesOnIcosahedron) {
   });
 }
 
+TEST(SupernodeBlockMap, TilesBlockGridIntoNearSquareSupernodes) {
+  // 8x8 blocks, supernodes of 4 -> 2x2 tiles, 16 supernodes.
+  const SupernodeBlockMap map(8, 8, 4);
+  EXPECT_EQ(map.tile_w(), 2);
+  EXPECT_EQ(map.tile_h(), 2);
+  EXPECT_EQ(map.num_supernodes(), 16);
+  EXPECT_EQ(map.supernode_of_block(0, 0), map.supernode_of_block(1, 1));
+  EXPECT_NE(map.supernode_of_block(1, 1), map.supernode_of_block(2, 1));
+  // Rank mapping matches BlockPartition2D's row-major rank_of_block.
+  const BlockPartition2D part(64, 64, 8, 8);
+  for (int by = 0; by < 8; ++by)
+    for (int bx = 0; bx < 8; ++bx)
+      EXPECT_EQ(map.supernode_of_rank(part.rank_of_block(bx, by)),
+                map.supernode_of_block(bx, by));
+  // Every supernode holds at most supernode_size blocks.
+  std::vector<int> population(static_cast<std::size_t>(map.num_supernodes()));
+  for (int rank = 0; rank < 64; ++rank)
+    ++population[static_cast<std::size_t>(map.supernode_of_rank(rank))];
+  for (const int p : population) EXPECT_LE(p, 4);
+}
+
+TEST(SupernodeBlockMap, SkinnyGridsReclaimTileSlack) {
+  // px=2 clamps the near-square tile width; the height reclaims the slack so
+  // each supernode still holds 8 blocks.
+  const SupernodeBlockMap map(2, 16, 8);
+  EXPECT_EQ(map.tile_w(), 2);
+  EXPECT_EQ(map.tile_h(), 4);
+  EXPECT_EQ(map.num_supernodes(), 4);
+  const SupernodeBlockMap column(1, 16, 8);
+  EXPECT_EQ(column.tile_w(), 1);
+  EXPECT_EQ(column.tile_h(), 8);
+}
+
+TEST(SupernodeBlockMap, TopologyMapAndNeighborFraction) {
+  const SupernodeBlockMap map(4, 4, 4);
+  const std::vector<int> ids = map.topology_map();
+  ASSERT_EQ(ids.size(), 16u);
+  for (int rank = 0; rank < 16; ++rank)
+    EXPECT_EQ(ids[static_cast<std::size_t>(rank)], map.supernode_of_rank(rank));
+  // 2x2 tiles on a 4x4 block grid: 24 adjacencies, 16 intra (2 per tile per
+  // axis times 4 tiles times 2 axes).
+  EXPECT_NEAR(map.intra_neighbor_fraction(), 16.0 / 24.0, 1e-12);
+  // A supernode covering the whole grid keeps everything local; singleton
+  // supernodes keep nothing local.
+  EXPECT_DOUBLE_EQ(SupernodeBlockMap(4, 4, 16).intra_neighbor_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(SupernodeBlockMap(4, 4, 1).intra_neighbor_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(SupernodeBlockMap(1, 1, 4).intra_neighbor_fraction(), 1.0);
+}
+
 TEST(GraphHalo, EmptyGhostListIsFine) {
   par::run(2, [](par::Comm& comm) {
     std::vector<std::int64_t> owned = comm.rank() == 0

@@ -309,12 +309,16 @@ TEST(ObsPar, CollectiveTrafficAccountedPerFamily) {
     comm.barrier();
 
     const obs::MergedReport report = obs::merge(comm);
-    // bcast: root sent 100 doubles to each of 2 peers.
-    EXPECT_DOUBLE_EQ(report.counter("par:coll:bcast:bytes"), 2 * 100 * 8.0);
-    EXPECT_DOUBLE_EQ(report.counter("par:coll:bcast:calls"), 3.0);
+    // bcast: root sent 100 doubles to each of 2 peers. Without a topology the
+    // algorithm tag is "flat" and every message counts as intra-supernode.
+    EXPECT_DOUBLE_EQ(report.counter("par:coll:bytes[bcast/flat/intra]"),
+                     2 * 100 * 8.0);
+    EXPECT_DOUBLE_EQ(report.counter("par:coll:calls[bcast/flat]"), 3.0);
     // reduce: 2 non-root ranks each sent 10 doubles to root.
-    EXPECT_DOUBLE_EQ(report.counter("par:coll:reduce:bytes"), 2 * 10 * 8.0);
-    EXPECT_DOUBLE_EQ(report.counter("par:coll:reduce:calls"), 3.0);
+    EXPECT_DOUBLE_EQ(report.counter("par:coll:bytes[reduce/flat/intra]"),
+                     2 * 10 * 8.0);
+    EXPECT_DOUBLE_EQ(report.counter("par:coll:calls[reduce/flat]"), 3.0);
+    EXPECT_DOUBLE_EQ(report.counter("par:coll:bytes[bcast/flat/inter]"), 0.0);
     // The obs grand total matches the World's own accounting exactly.
     EXPECT_DOUBLE_EQ(report.counter("par:bytes:total"),
                      static_cast<double>(traffic.bytes));
@@ -335,10 +339,11 @@ TEST(ObsPar, AllreduceAccountsBytesAndPerTagBreakdown) {
     }
     comm.barrier();
     const obs::MergedReport report = obs::merge(comm);
-    EXPECT_DOUBLE_EQ(report.counter("par:coll:allreduce:calls"), 2.0);
-    // allreduce = reduce + bcast on this transport; both moved bytes.
-    EXPECT_GT(report.counter("par:coll:reduce:bytes"), 0.0);
-    EXPECT_GT(report.counter("par:coll:bcast:bytes"), 0.0);
+    EXPECT_DOUBLE_EQ(report.counter("par:coll:calls[allreduce/flat]"), 2.0);
+    // allreduce = reduce + bcast on this transport; the inner collective's
+    // scope owns the bytes, so they land in the reduce/bcast families.
+    EXPECT_GT(report.counter("par:coll:bytes[reduce/flat/intra]"), 0.0);
+    EXPECT_GT(report.counter("par:coll:bytes[bcast/flat/intra]"), 0.0);
     EXPECT_DOUBLE_EQ(report.counter("par:p2p:bytes:tag[7]"),
                      static_cast<double>(sizeof(int)));
   });

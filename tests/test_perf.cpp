@@ -56,18 +56,59 @@ TEST(Network, AllreduceZeroBytesIsLatencyOnly) {
                    12.0 * net.latency_seconds());
 }
 
-TEST(Network, AllreduceUsesIntraBandwidthInsideSupernode) {
+TEST(Network, AllreduceLevelSplitIsSmooth) {
   NetworkModel net(MachineKind::kSunwayOceanLight);
-  // A job that fits inside one 256-node supernode pays the full leaf-switch
-  // bandwidth; one node more and every round crosses the oversubscribed
-  // fat-tree level. Compare per-round cost to isolate the bandwidth term
-  // from the extra round.
+  // A job that fits inside one 256-node supernode pays only the leaf-switch
+  // bandwidth. Beyond it the per-round cost blends the two levels by
+  // intra_fraction — no all-or-nothing cliff at 257 nodes: one extra node
+  // still keeps 255/256 of the partners on the fast level, and only at
+  // large scale does the cost approach the oversubscribed rate.
   const double bytes = 1e7;
   const double per_round_256 = net.allreduce_seconds(bytes, 256) / (2.0 * 8.0);
   const double per_round_257 = net.allreduce_seconds(bytes, 257) / (2.0 * 9.0);
+  const double per_round_64k =
+      net.allreduce_seconds(bytes, 65536) / (2.0 * 16.0);
   EXPECT_DOUBLE_EQ(per_round_256, net.p2p_seconds(bytes, true));
-  EXPECT_DOUBLE_EQ(per_round_257, net.p2p_seconds(bytes, false));
-  EXPECT_LT(per_round_256, per_round_257);
+  EXPECT_LT(per_round_257, 1.02 * per_round_256);  // no cliff
+  EXPECT_GT(per_round_257, per_round_256);         // but strictly worse
+  EXPECT_GT(per_round_64k, 0.9 * net.p2p_seconds(bytes, false));
+  EXPECT_DOUBLE_EQ(net.intra_fraction(256), 1.0);
+  EXPECT_NEAR(net.intra_fraction(65536), 255.0 / 65535.0, 1e-12);
+}
+
+TEST(Network, HierarchicalAllreduceBeatsFlatAtScale) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  const double bytes = 1e6;
+  // Inside one supernode the two algorithms coincide (no inter rounds).
+  EXPECT_DOUBLE_EQ(net.hierarchical_allreduce_seconds(bytes, 256),
+                   net.allreduce_seconds(bytes, 256));
+  // At scale the two-level tree pays the slow links only ceil(log2 S) times
+  // instead of a blended share of every round.
+  const long long nodes = 65536;  // 256 supernodes
+  const double flat = net.allreduce_seconds(bytes, nodes);
+  const double hier = net.hierarchical_allreduce_seconds(bytes, nodes);
+  EXPECT_LT(hier, flat);
+  const double expect_hier = 2.0 * 8.0 * net.p2p_seconds(bytes, true) +
+                             2.0 * 8.0 * net.p2p_seconds(bytes, false);
+  EXPECT_DOUBLE_EQ(hier, expect_hier);
+}
+
+TEST(Network, ExchangeSecondsPricesLevelsSeparately) {
+  NetworkModel net(MachineKind::kSunwayOceanLight);
+  LevelTraffic t;
+  t.intra_bytes = 1e9;
+  t.inter_bytes = 2e9;
+  t.intra_messages = 3;
+  t.inter_messages = 5;
+  const double expected = 8.0 * net.latency_seconds() +
+                          1e9 / (net.intra_bandwidth_gbs() * 1e9) +
+                          2e9 / (net.inter_bandwidth_gbs() * 1e9);
+  EXPECT_DOUBLE_EQ(net.exchange_seconds(t), expected);
+  // Moving bytes from the inter to the intra level can only get cheaper.
+  LevelTraffic local = t;
+  local.intra_bytes += local.inter_bytes;
+  local.inter_bytes = 0.0;
+  EXPECT_LT(net.exchange_seconds(local), net.exchange_seconds(t));
 }
 
 TEST(Network, AllreduceOriseFabricIsFlat) {

@@ -4,6 +4,8 @@
 // validation discipline.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <mutex>
 #include <numeric>
@@ -24,6 +26,7 @@
 #include "mct/router.hpp"
 #include "ocn/model.hpp"
 #include "par/comm.hpp"
+#include "par/topology.hpp"
 #include "pp/pack.hpp"
 #include "precision/group_scaled.hpp"
 #include "tensor/dispatch.hpp"
@@ -503,5 +506,90 @@ TEST_P(PackFuzzProperty, PackedMatmulAndConvMatchScalarReferenceBitwise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Tuples, PackFuzzProperty, ::testing::Range(0, 40));
+
+// --- property: hierarchical collectives are bitwise-equal to flat ----------------
+
+// Random (ranks, supernode_size, payload, op, algo-routing) tuples: the
+// topology-staged allreduce and alltoallv must return bytes identical to the
+// flat wire algorithms — including non-dividing supernode sizes, empty
+// payload rows, and sums whose result depends on fold order unless the
+// canonical supernode-blocked order is honored on both paths.
+class HierFuzzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierFuzzProperty, CollectivesMatchFlatBitwise) {
+  Rng rng(0x9e3779b9u ^ static_cast<std::uint64_t>(GetParam()));
+  const int nranks = 2 + static_cast<int>(rng.uniform_int(7));     // 2..8
+  const int supernode_size = 1 + static_cast<int>(rng.uniform_int(5));
+  const std::size_t payload = rng.uniform_int(65);                 // 0..64
+  const par::ReduceOp op = std::array{par::ReduceOp::kSum, par::ReduceOp::kMin,
+                                      par::ReduceOp::kMax}[rng.uniform_int(3)];
+  // Route either through the communicator's default algorithm or through a
+  // per-call policy override — both entry points must agree. Both sides use
+  // the SAME topology-attached communicator (the canonical supernode-blocked
+  // fold order is a property of the topology, shared by both algorithms);
+  // only the wire algorithm differs.
+  const bool per_call = rng.uniform_int(2) == 1;
+  const std::uint64_t value_seed = rng.uniform_int(1u << 30);
+
+  ap3::testing::run_ranks(nranks, [&](par::Comm& base_comm) {
+    auto topo = std::make_shared<par::Topology>(
+        par::Topology::clustered(nranks, supernode_size));
+    par::Comm flat_comm =
+        base_comm.with_topology(topo, par::CollectiveAlgo::kFlat);
+    par::Comm hier_comm = base_comm.with_topology(
+        topo, per_call ? par::CollectiveAlgo::kFlat
+                       : par::CollectiveAlgo::kHierarchical);
+    const par::CollectivePolicy policy =
+        per_call ? par::CollectivePolicy{par::CollectiveAlgo::kHierarchical}
+                 : par::CollectivePolicy{};
+
+    // Allreduce with exponent-spread values (fold-order witness).
+    std::vector<double> in(payload), flat_out(payload), hier_out(payload);
+    for (std::size_t i = 0; i < payload; ++i)
+      in[i] = std::ldexp(std::sin(static_cast<double>(
+                             value_seed % 997 + i * 13 +
+                             static_cast<std::size_t>(flat_comm.rank()) * 71)),
+                         static_cast<int>(i % 31) - 15);
+    flat_comm.allreduce(std::span<const double>(in), std::span<double>(flat_out),
+                        op);
+    hier_comm.allreduce(std::span<const double>(in), std::span<double>(hier_out),
+                        op, policy);
+    for (std::size_t i = 0; i < payload; ++i)
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(flat_out[i]),
+                std::bit_cast<std::uint64_t>(hier_out[i]))
+          << "allreduce i=" << i << " ranks=" << nranks
+          << " ss=" << supernode_size;
+
+    // Alltoallv with ragged per-peer counts (zeros included).
+    std::vector<double> send;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(nranks));
+    for (int peer = 0; peer < nranks; ++peer) {
+      const std::size_t c =
+          (static_cast<std::size_t>(flat_comm.rank()) * 7 +
+           static_cast<std::size_t>(peer) * 3 + value_seed) %
+          5;
+      counts[static_cast<std::size_t>(peer)] = c;
+      for (std::size_t k = 0; k < c; ++k)
+        send.push_back(static_cast<double>(flat_comm.rank() * 10000 +
+                                           peer * 100 + static_cast<int>(k)));
+    }
+    std::vector<std::size_t> flat_rc, hier_rc;
+    const std::vector<double> flat_recv = flat_comm.alltoallv(
+        std::span<const double>(send), std::span<const std::size_t>(counts),
+        flat_rc);
+    const std::vector<double> hier_recv = hier_comm.alltoallv(
+        std::span<const double>(send), std::span<const std::size_t>(counts),
+        hier_rc, policy);
+    ASSERT_EQ(flat_rc, hier_rc);
+    ASSERT_EQ(flat_recv.size(), hier_recv.size());
+    for (std::size_t i = 0; i < flat_recv.size(); ++i)
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(flat_recv[i]),
+                std::bit_cast<std::uint64_t>(hier_recv[i]))
+          << "alltoallv i=" << i << " ranks=" << nranks
+          << " ss=" << supernode_size;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Tuples, HierFuzzProperty, ::testing::Range(0, 30));
 
 }  // namespace
