@@ -1,22 +1,25 @@
 // Benchmark: runtime load rebalancing of the coupled ocean decomposition.
 //
 // Runs the same toy coupled configuration with CoupledConfig::rebalance_every
-// off and on, under two load conditions, and reports wall time plus the
+// off and on, under four load conditions, and reports wall time plus the
 // collective state hash for each run. The hash is the bit-exactness witness:
 // migrating columns between ranks must not change a single bit of the coupled
 // state relative to never migrating at all.
 //
-// Where the win comes from on this transport: the "skewed" condition arms the
-// synthetic straggler stall (OcnConfig::stall_seconds_per_point) on the right
-// half of the ocean grid, so the rank owning that half sleeps off a fixed
-// busy-time per baroclinic step while its neighbor idles in halo waits. The
-// balancer reads the per-rank busy cost from the obs layer, shifts the block
-// cut toward the straggler, and migrates the columns; after that the stall
-// band is split across both ranks, whose sleeps overlap in wall time, so the
-// per-step critical path roughly halves. The "uniform" condition runs the
-// same grid with no stall: the balancer must recognize the balanced load and
-// never migrate (migrations == 0), and the measured speedup is the honest
-// no-win baseline.
+// Where the win comes from on this transport: each "-skewed" condition arms
+// one component's synthetic straggler stall (<comp>:busy_seconds channel) on
+// half of that component's domain, so the rank owning that half sleeps off a
+// fixed busy-time per step while its neighbor idles in waits. The balancer
+// reads the per-rank phase+busy cost from the obs layer and, for a migratable
+// component (ocn, ice), shifts the block cut toward the straggler and
+// migrates the columns; after that the stall band is split across the ranks,
+// whose sleeps overlap in wall time, so the per-step critical path roughly
+// halves. The atm-skewed condition is the negative control for migratability:
+// the atmosphere's contiguous 1-D mesh partition has no cut lines to shift,
+// so the balancer must assess the imbalance through the same decision channel
+// yet never migrate. The "uniform" condition runs with no stall anywhere: the
+// balancer must recognize the balanced load and never migrate
+// (migrations == 0), and the measured speedup is the honest no-win baseline.
 //
 // Prints a table and writes BENCH_rebalance.json.
 #include <algorithm>
@@ -42,21 +45,38 @@ double now_seconds() {
       .count();
 }
 
-cpl::CoupledConfig bench_config(bool rebalance, bool skewed) {
+enum class Skew { kNone, kOcn, kIce, kAtm };
+
+cpl::CoupledConfig bench_config(bool rebalance, Skew skew) {
   cpl::CoupledConfig config;
   config.atm.mesh_n = 5;  // 500 cells
   config.atm.nlev = 4;
   config.ocn.grid = grid::TripolarConfig{48, 32, 6};
   config.ocn_couple_ratio = 1;
-  if (skewed) {
-    // Straggler band on the right half of the grid: waiting-dominated
-    // imbalance (I/O stalls, fault retransmissions) that leaves state alone.
-    config.ocn.stall_seconds_per_point = 4.0e-6;
-    config.ocn.stall_i_begin = 24;
+  // Straggler band on half of one component's domain: waiting-dominated
+  // imbalance (I/O stalls, fault retransmissions) that leaves state alone.
+  switch (skew) {
+    case Skew::kNone:
+      break;
+    case Skew::kOcn:
+      config.ocn.stall_seconds_per_point = 4.0e-6;
+      config.ocn.stall_i_begin = 24;
+      break;
+    case Skew::kIce:
+      // Ice steps once per coupling window, so the per-point stall must be
+      // larger than the ocean's per-baroclinic-step one to dominate the
+      // window the same way.
+      config.ice.stall_seconds_per_point = 1.0e-3;
+      config.ice.stall_i_begin = 24;
+      break;
+    case Skew::kAtm:
+      config.atm.stall_seconds_per_point = 4.0e-4;
+      config.atm.stall_cell_begin = 250;  // the whole second half of the mesh
+      break;
   }
   if (rebalance) {
     config.rebalance_every = 1;
-    // Stock hysteresis policy: the skewed condition must clear the 1.15×
+    // Stock hysteresis policy: the skewed conditions must clear the 1.15×
     // imbalance gate on merit, and the uniform condition must not.
   }
   return config;
@@ -71,12 +91,12 @@ struct RunResult {
 /// One timed run: wall time over kWindows coupled windows plus the final
 /// collective state hash (identical across reps — the whole run is
 /// deterministic by construction).
-RunResult run_once(bool rebalance, bool skewed) {
+RunResult run_once(bool rebalance, Skew skew) {
   std::atomic<double> wall{0.0};
   std::atomic<std::uint64_t> hash{0};
   std::atomic<long long> migrations{0};
   par::run(kRanks, [&](par::Comm& comm) {
-    cpl::CoupledModel model(comm, bench_config(rebalance, skewed));
+    cpl::CoupledModel model(comm, bench_config(rebalance, skew));
     comm.barrier();
     const double t0 = now_seconds();
     model.run_windows(kWindows);
@@ -101,20 +121,25 @@ int main() {
 
   struct Cell {
     const char* condition;
-    bool skewed;
+    Skew skew;
+    bool expect_migrations;  // migratable straggler must move; others must not
     RunResult off, on;
   };
-  Cell cells[] = {{"skewed", true, {}, {}}, {"uniform", false, {}, {}}};
+  Cell cells[] = {{"ocn-skewed", Skew::kOcn, true, {}, {}},
+                  {"ice-skewed", Skew::kIce, true, {}, {}},
+                  {"atm-skewed", Skew::kAtm, false, {}, {}},
+                  {"uniform", Skew::kNone, false, {}, {}}};
+  constexpr std::size_t kCells = sizeof(cells) / sizeof(cells[0]);
 
-  std::printf("  %-9s %16s %15s %9s %11s %10s\n", "condition",
+  std::printf("  %-10s %16s %15s %9s %11s %10s\n", "condition",
               "rebalance off [s]", "rebalance on [s]", "speedup", "migrations",
               "bit-exact");
   for (Cell& cell : cells) {
     // Interleave the off/on runs rep by rep so ambient machine drift hits
     // both modes equally; best-of-kReps per mode on top of that.
     for (int rep = 0; rep < kReps; ++rep) {
-      const RunResult off = run_once(/*rebalance=*/false, cell.skewed);
-      const RunResult on = run_once(/*rebalance=*/true, cell.skewed);
+      const RunResult off = run_once(/*rebalance=*/false, cell.skew);
+      const RunResult on = run_once(/*rebalance=*/true, cell.skew);
       cell.off.best_seconds = std::min(cell.off.best_seconds, off.best_seconds);
       cell.on.best_seconds = std::min(cell.on.best_seconds, on.best_seconds);
       cell.off.state_hash = off.state_hash;
@@ -123,7 +148,7 @@ int main() {
     }
     const double speedup = cell.off.best_seconds / cell.on.best_seconds;
     const bool exact = cell.off.state_hash == cell.on.state_hash;
-    std::printf("  %-9s %16.4f %15.4f %8.3fx %11lld %10s\n", cell.condition,
+    std::printf("  %-10s %16.4f %15.4f %8.3fx %11lld %10s\n", cell.condition,
                 cell.off.best_seconds, cell.on.best_seconds, speedup,
                 cell.on.migrations, exact ? "yes" : "NO");
     if (!exact) {
@@ -135,31 +160,36 @@ int main() {
                    static_cast<unsigned long long>(cell.on.state_hash));
       return 1;
     }
-  }
-  if (cells[0].on.migrations <= 0) {
-    std::fprintf(stderr,
-                 "error: skewed condition never migrated — benchmark vacuous\n");
-    return 1;
-  }
-  if (cells[1].on.migrations != 0) {
-    std::fprintf(stderr,
-                 "error: uniform condition migrated %lld times — hysteresis "
-                 "gate failed\n",
-                 cells[1].on.migrations);
-    return 1;
+    if (cell.expect_migrations && cell.on.migrations <= 0) {
+      std::fprintf(stderr,
+                   "error: %s never migrated — benchmark vacuous\n",
+                   cell.condition);
+      return 1;
+    }
+    if (!cell.expect_migrations && cell.on.migrations != 0) {
+      std::fprintf(stderr,
+                   "error: %s migrated %lld times — %s\n", cell.condition,
+                   cell.on.migrations,
+                   cell.skew == Skew::kAtm
+                       ? "the atmosphere has no cut lines to shift"
+                       : "hysteresis gate failed");
+      return 1;
+    }
   }
 
   const double headline = cells[0].off.best_seconds / cells[0].on.best_seconds;
-  std::printf("\nheadline (skewed): %.3fx from migrating the straggler band "
-              "across ranks\n",
-              headline);
+  const double ice_speedup =
+      cells[1].off.best_seconds / cells[1].on.best_seconds;
+  std::printf("\nheadline (ocn-skewed): %.3fx, ice-skewed: %.3fx from "
+              "migrating the straggler band across ranks\n",
+              headline, ice_speedup);
 
   FILE* f = std::fopen("BENCH_rebalance.json", "w");
   if (f != nullptr) {
     std::fprintf(f,
                  "{\n  \"ranks\": %d,\n  \"windows\": %d,\n  \"cases\": [\n",
                  kRanks, kWindows);
-    for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t c = 0; c < kCells; ++c) {
       const Cell& cell = cells[c];
       std::fprintf(
           f,
@@ -172,13 +202,14 @@ int main() {
           static_cast<unsigned long long>(cell.off.state_hash),
           static_cast<unsigned long long>(cell.on.state_hash),
           cell.off.state_hash == cell.on.state_hash ? "true" : "false",
-          cell.on.migrations, c + 1 < 2 ? "," : "");
+          cell.on.migrations, c + 1 < kCells ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n"
-                 "  \"skewed_speedup\": %.4f\n"
+                 "  \"skewed_speedup\": %.4f,\n"
+                 "  \"ice_skewed_speedup\": %.4f\n"
                  "}\n",
-                 headline);
+                 headline, ice_speedup);
     std::fclose(f);
     std::printf("wrote BENCH_rebalance.json\n");
   }

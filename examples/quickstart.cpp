@@ -2,7 +2,7 @@
 // windows, and print global diagnostics.
 //
 //   ./quickstart [nranks] [--windows N] [--overlap] [--rebalance-every N]
-//               [--ensemble N]
+//               [--straggler <comp>:<seconds_per_point>] [--ensemble N]
 //               [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
 //               [--ai-backend=serial|threads|cpe] [--ai-precision=fp64|fp32|gs]
@@ -18,7 +18,12 @@
 // batched inference engine on the chosen execution space and precision policy
 // (any combination produces the same physics answer: backends are bit-exact
 // at a given policy, and group-scaled storage round-trips fp32 losslessly).
-// With --trace, the observability layer's
+// --straggler (repeatable) installs a synthetic busy band on the named
+// component — atm, ocn, or ice — sleeping seconds_per_point per affected
+// point per step and reporting the slept time on the component's
+// <comp>:busy_seconds channel; pair it with --rebalance-every to watch the
+// load balancer shed columns off the slow ranks (the final state hash is
+// unchanged either way). With --trace, the observability layer's
 // Chrome-trace export (one timeline row per simulated rank; open in
 // chrome://tracing or Perfetto) is written after the run, along with the
 // getTiming-style SYPD report derived from the same spans.
@@ -37,8 +42,10 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ai/engine.hpp"
+#include "base/error.hpp"
 #include "atm/physics.hpp"
 #include "coupler/driver.hpp"
 #include "fleet/fleet.hpp"
@@ -51,7 +58,9 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: quickstart [nranks] [--windows N] [--overlap]\n"
-    "                  [--rebalance-every N] [--ensemble N]\n"
+    "                  [--rebalance-every N]\n"
+    "                  [--straggler atm|ocn|ice:<seconds_per_point>]\n"
+    "                  [--ensemble N]\n"
     "                  [--trace out.json]\n"
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
     "                  [--restore DIR]\n"
@@ -82,6 +91,39 @@ bool parse_backend(const char* v, ap3::pp::ExecSpace& out) {
   return true;
 }
 
+/// Applies one `--straggler <comp>:<seconds_per_point>` spec: a synthetic busy
+/// band over the upper half of the named component's domain, reported on its
+/// <comp>:busy_seconds channel. Throws ap3::ConfigError on an unknown
+/// component or a malformed value — fail fast, before any rank spins up.
+void apply_straggler(ap3::cpl::CoupledConfig& config, const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos)
+    throw ap3::ConfigError("--straggler expects <component>:<seconds_per_point>"
+                           ", got '" + spec + "'");
+  const std::string comp = spec.substr(0, colon);
+  const char* num = spec.c_str() + colon + 1;
+  char* end = nullptr;
+  const double spp = std::strtod(num, &end);
+  if (end == num || *end != '\0' || !(spp >= 0.0))
+    throw ap3::ConfigError("--straggler " + comp +
+                           ": seconds_per_point must be a non-negative number"
+                           ", got '" + std::string(num) + "'");
+  if (comp == "atm") {
+    config.atm.stall_seconds_per_point = spp;
+    config.atm.stall_cell_begin =
+        10ll * config.atm.mesh_n * config.atm.mesh_n;  // upper half of 20n^2
+  } else if (comp == "ocn") {
+    config.ocn.stall_seconds_per_point = spp;
+    config.ocn.stall_i_begin = config.ocn.grid.nx / 2;
+  } else if (comp == "ice") {
+    config.ice.stall_seconds_per_point = spp;
+    config.ice.stall_i_begin = config.ocn.grid.nx / 2;
+  } else {
+    throw ap3::ConfigError("--straggler: unknown component '" + comp +
+                           "' (expected atm, ocn, or ice)");
+  }
+}
+
 bool parse_precision(const char* v, ap3::ai::PrecisionPolicy& out) {
   if (std::strcmp(v, "fp64") == 0) out = ap3::ai::PrecisionPolicy::kFp64;
   else if (std::strcmp(v, "fp32") == 0) out = ap3::ai::PrecisionPolicy::kFp32;
@@ -102,6 +144,7 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir = "ap3_checkpoint";
   std::string restore_dir;
   std::string trace_path;
+  std::vector<std::string> stragglers;
   bool overlap = false;
   bool use_ai = false;
   int supernode_size = 0;  // 0: no explicit topology (flat collectives)
@@ -128,6 +171,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       use_ai = true;
+    } else if (const char* v = flag_value(argc, argv, a, "--straggler")) {
+      stragglers.emplace_back(v);  // repeatable; one component each
     } else if (std::strcmp(argv[a], "--trace") == 0) {
       trace_path = option_value("--trace");
     } else if (std::strcmp(argv[a], "--overlap") == 0) {
@@ -205,6 +250,16 @@ int main(int argc, char** argv) {
   // stock hysteresis policy applies, so a balanced toy run simply never
   // migrates.
   config.rebalance_every = rebalance_every;
+
+  try {
+    for (const std::string& spec : stragglers) apply_straggler(config, spec);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+  for (const std::string& spec : stragglers)
+    std::printf("straggler: %s (synthetic busy band, upper half)\n",
+                spec.c_str());
 
   std::printf("AP3ESM quickstart: %d ranks, atm %zu cells x %d levels, "
               "ocn %dx%dx%d\n",

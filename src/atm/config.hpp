@@ -28,6 +28,15 @@ struct AtmConfig {
   bool use_swgomp = false;
   std::uint64_t seed = 2023;
 
+  // Synthetic straggler stall (same contract as OcnConfig's): every model
+  // step sleeps stall_seconds_per_point × (owned cells with global id
+  // >= stall_cell_begin) and reports the slept time on "atm:busy_seconds".
+  // The icosahedral mesh has no block decomposition to re-cut, so an atm
+  // straggler exercises the balancer's busy-channel assessment path without
+  // ever migrating; never touches model state.
+  double stall_seconds_per_point = 0.0;
+  std::int64_t stall_cell_begin = -1;  ///< -1: no stall band
+
   /// Gravity-wave speed of the layer.
   double wave_speed() const;
   /// Dycore timestep from CFL on the mean cell spacing.

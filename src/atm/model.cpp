@@ -1,7 +1,9 @@
 #include "atm/model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
@@ -44,6 +46,10 @@ AtmModel::AtmModel(const par::Comm& comm, const AtmConfig& config,
     sst_[c] = 271.5 + 28.0 * coslat * coslat;  // default climatological SST
     tskin_[c] = land_mask_[c] ? 285.0 : sst_[c];
   }
+
+  if (config_.stall_seconds_per_point > 0.0 && config_.stall_cell_begin >= 0)
+    for (std::size_t c = 0; c < local.num_owned(); ++c)
+      if (local.global_id(c) >= config_.stall_cell_begin) ++stall_points_;
 }
 
 std::vector<std::string> AtmModel::export_fields() {
@@ -88,8 +94,17 @@ void AtmModel::run(double start_seconds, double duration_seconds) {
                                      << " s is not a multiple of the model "
                                         "step "
                                      << dt_model << " s");
-  for (long long s = 0; s < nsteps; ++s)
+  for (long long s = 0; s < nsteps; ++s) {
     model_step(start_seconds + static_cast<double>(s) * dt_model);
+    if (stall_points_ > 0) {
+      const double stall_seconds =
+          config_.stall_seconds_per_point * static_cast<double>(stall_points_);
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_seconds));
+      // Export the busy time so the load balancer can tell this rank is the
+      // straggler even though phase barriers equalize wall-clock spans.
+      obs::counter_add(busy_counter_key(), stall_seconds);
+    }
+  }
 }
 
 void AtmModel::model_step(double t_seconds) {

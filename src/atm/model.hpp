@@ -13,6 +13,7 @@
 
 #include "atm/dycore.hpp"
 #include "atm/physics.hpp"
+#include "balance/rebalanceable.hpp"
 #include "io/checkpoint.hpp"
 #include "lnd/land.hpp"
 #include "mct/attrvect.hpp"
@@ -20,7 +21,11 @@
 
 namespace ap3::atm {
 
-class AtmModel {
+/// Busy-channel-only balance::Rebalanceable: the icosahedral mesh keeps its
+/// 1-D balanced partition (no block cuts), so block_partition() stays null
+/// and the atmosphere participates through "atm:busy_seconds" + phase-cost
+/// measurement alone.
+class AtmModel : public balance::Rebalanceable {
  public:
   /// Collective construction = the component's MCT `init`.
   AtmModel(const par::Comm& comm, const AtmConfig& config,
@@ -45,6 +50,9 @@ class AtmModel {
   void set_physics(std::unique_ptr<PhysicsSuite> suite);
   const AtmConfig& config() const { return config_; }
   const par::Comm& comm() const { return comm_; }
+
+  // --- balance::Rebalanceable -----------------------------------------------
+  std::string_view balance_name() const override { return "atm"; }
 
   bool is_land(std::size_t owned) const { return land_mask_[owned]; }
   double tskin(std::size_t owned) const { return tskin_[owned]; }
@@ -88,6 +96,7 @@ class AtmModel {
   std::vector<double> ifrac_;   ///< imported ice fraction
   std::vector<double> gsw_, glw_, precip_;  ///< last physics diagnostics
   long long steps_ = 0;
+  long long stall_points_ = 0;  ///< owned cells in the stall band
 };
 
 }  // namespace ap3::atm

@@ -44,68 +44,184 @@ MeasuredCost measured_phase_cost(const par::Comm& comm,
   return cost;
 }
 
-CutPlan plan_rebalance(std::span<const double> cell_weight, int nx, int ny,
-                       const grid::BlockPartition2D& old_partition,
-                       const MeasuredCost& cost) {
-  const int nranks = old_partition.nranks();
-  AP3_REQUIRE(cell_weight.size() ==
-              static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
-  AP3_REQUIRE(cost.per_rank_seconds.size() == static_cast<std::size_t>(nranks));
+namespace {
 
-  // Seconds per weight unit of each old owner. A rank whose block carries no
-  // weight contributes no attributable cost (its time is fixed overhead).
+// Attributed per-cell cost: each old owner's measured seconds spread over its
+// block's weight. A rank whose block carries no weight contributes no
+// attributable cost (its time is fixed overhead).
+std::vector<double> attributed_cell_cost(
+    std::span<const double> cell_weight, int nx, int ny,
+    const grid::BlockPartition2D& old_partition, const MeasuredCost& cost) {
+  const int nranks = old_partition.nranks();
   std::vector<double> block_weight(static_cast<std::size_t>(nranks), 0.0);
   for (int j = 0; j < ny; ++j)
     for (int i = 0; i < nx; ++i)
       block_weight[static_cast<std::size_t>(old_partition.owner(i, j))] +=
-          cell_weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(i)];
+          cell_weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+                      static_cast<std::size_t>(i)];
   std::vector<double> rate(static_cast<std::size_t>(nranks), 0.0);
   for (int r = 0; r < nranks; ++r)
     if (block_weight[static_cast<std::size_t>(r)] > 0.0)
       rate[static_cast<std::size_t>(r)] =
           cost.per_rank_seconds[static_cast<std::size_t>(r)] /
           block_weight[static_cast<std::size_t>(r)];
-
-  // Attributed per-cell cost and its marginals: a tensor-product cut cannot
-  // follow arbitrary 2-D structure, but balancing both marginals captures
-  // band-shaped skew (the common case: latitude bands of sea ice, longitude
-  // bands of straggling nodes).
   std::vector<double> attributed(cell_weight.size(), 0.0);
-  std::vector<double> wx(static_cast<std::size_t>(nx), 0.0);
-  std::vector<double> wy(static_cast<std::size_t>(ny), 0.0);
-  for (int j = 0; j < ny; ++j) {
+  for (int j = 0; j < ny; ++j)
     for (int i = 0; i < nx; ++i) {
       const std::size_t cell =
           static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
           static_cast<std::size_t>(i);
-      const double c = cell_weight[cell] *
-                       rate[static_cast<std::size_t>(old_partition.owner(i, j))];
-      attributed[cell] = c;
+      attributed[cell] =
+          cell_weight[cell] *
+          rate[static_cast<std::size_t>(old_partition.owner(i, j))];
+    }
+  return attributed;
+}
+
+// Per-rank seconds of running `cuts` under attributed per-cell costs, plus
+// the GhostModel surcharge for each block's ghost ring.
+std::vector<double> rank_seconds_for_cuts(const std::vector<double>& attributed,
+                                          std::span<const double> cell_weight,
+                                          int nx, int ny,
+                                          const grid::BlockCuts& cuts,
+                                          const GhostModel& ghosts) {
+  const grid::BlockPartition2D next(nx, ny, cuts);
+  std::vector<double> load(static_cast<std::size_t>(next.nranks()), 0.0);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      load[static_cast<std::size_t>(next.owner(i, j))] +=
+          attributed[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+                     static_cast<std::size_t>(i)];
+  if (ghosts.halo_width > 0) {
+    double active_cost = 0.0;
+    std::int64_t active_cells = 0;
+    for (std::size_t cell = 0; cell < attributed.size(); ++cell)
+      if (cell_weight[cell] > 0.0) {
+        active_cost += attributed[cell];
+        ++active_cells;
+      }
+    const double per_ghost_cell =
+        active_cells > 0
+            ? ghosts.cell_cost_factor * active_cost /
+                  static_cast<double>(active_cells)
+            : 0.0;
+    if (per_ghost_cell > 0.0)
+      for (int r = 0; r < next.nranks(); ++r) {
+        const grid::Range1D xr = next.x_range(r);
+        const grid::Range1D yr = next.y_range(r);
+        load[static_cast<std::size_t>(r)] +=
+            per_ghost_cell *
+            static_cast<double>(ghost_cell_count(xr.size(), yr.size(),
+                                                 ghosts.halo_width, yr.begin));
+      }
+  }
+  return load;
+}
+
+}  // namespace
+
+std::int64_t ghost_cell_count(std::int64_t block_w, std::int64_t block_h,
+                              int width, std::int64_t y0) {
+  if (width <= 0 || block_w <= 0 || block_h <= 0) return 0;
+  const auto w = static_cast<std::int64_t>(width);
+  // East + west periodic strips, the folded (always open) north edge, and a
+  // south edge clipped by the closed boundary at row 0. Corners are not
+  // exchanged (see grid::BlockHalo).
+  return 2 * w * block_h + w * block_w +
+         std::min<std::int64_t>(w, y0) * block_w;
+}
+
+std::vector<double> predicted_rank_seconds(
+    std::span<const double> cell_weight, int nx, int ny,
+    const grid::BlockPartition2D& old_partition, const MeasuredCost& cost,
+    const grid::BlockCuts& cuts, const GhostModel& ghosts) {
+  AP3_REQUIRE(cell_weight.size() ==
+              static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  AP3_REQUIRE(cost.per_rank_seconds.size() ==
+              static_cast<std::size_t>(old_partition.nranks()));
+  const std::vector<double> attributed =
+      attributed_cell_cost(cell_weight, nx, ny, old_partition, cost);
+  return rank_seconds_for_cuts(attributed, cell_weight, nx, ny, cuts, ghosts);
+}
+
+CutPlan plan_rebalance(std::span<const double> cell_weight, int nx, int ny,
+                       const grid::BlockPartition2D& old_partition,
+                       const MeasuredCost& cost, const GhostModel& ghosts) {
+  const int nranks = old_partition.nranks();
+  AP3_REQUIRE(cell_weight.size() ==
+              static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  AP3_REQUIRE(cost.per_rank_seconds.size() == static_cast<std::size_t>(nranks));
+
+  const std::vector<double> attributed =
+      attributed_cell_cost(cell_weight, nx, ny, old_partition, cost);
+
+  // Marginals of the attributed cost: a tensor-product cut cannot follow
+  // arbitrary 2-D structure, but balancing both marginals captures
+  // band-shaped skew (the common case: latitude bands of sea ice, longitude
+  // bands of straggling nodes).
+  std::vector<double> wx(static_cast<std::size_t>(nx), 0.0);
+  std::vector<double> wy(static_cast<std::size_t>(ny), 0.0);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      const double c =
+          attributed[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+                     static_cast<std::size_t>(i)];
       wx[static_cast<std::size_t>(i)] += c;
       wy[static_cast<std::size_t>(j)] += c;
+    }
+
+  grid::BlockCuts greedy;
+  greedy.x = grid::weighted_cuts(wx, old_partition.px(), /*nonempty=*/true);
+  greedy.y = grid::weighted_cuts(wy, old_partition.py(), /*nonempty=*/true);
+
+  // Candidate set. Ghost-blind (halo_width == 0) keeps the legacy behaviour:
+  // the greedy marginal re-cut, unconditionally. Ghost-aware scoring also
+  // considers keeping the old cuts (migration-free) and the per-axis mixes,
+  // because a marginal-optimal cut can buy its balance with thin tall blocks
+  // whose ghost rings cost more than the imbalance they cure. The greedy
+  // plan is always candidate 0 and ties keep the earliest candidate, so the
+  // chosen plan's ghost-aware cost is never worse than the ghost-blind
+  // planner's choice (monotonicity by construction).
+  std::vector<grid::BlockCuts> candidates;
+  candidates.push_back(greedy);
+  if (ghosts.halo_width > 0) {
+    const grid::BlockCuts& old_cuts = old_partition.cuts();
+    for (const grid::BlockCuts& c :
+         {old_cuts, grid::BlockCuts{greedy.x, old_cuts.y},
+          grid::BlockCuts{old_cuts.x, greedy.y}}) {
+      bool seen = false;
+      for (const grid::BlockCuts& have : candidates) seen = seen || have == c;
+      if (!seen) candidates.push_back(c);
     }
   }
 
   CutPlan plan;
-  plan.cuts.x = grid::weighted_cuts(wx, old_partition.px(), /*nonempty=*/true);
-  plan.cuts.y = grid::weighted_cuts(wy, old_partition.py(), /*nonempty=*/true);
   plan.current_max_seconds = cost.max_seconds();
+  double best_max = 0.0;
+  bool have_best = false;
+  for (const grid::BlockCuts& c : candidates) {
+    const std::vector<double> load =
+        rank_seconds_for_cuts(attributed, cell_weight, nx, ny, c, ghosts);
+    double cand_max = 0.0;
+    for (const double s : load) cand_max = std::max(cand_max, s);
+    if (!have_best || cand_max < best_max) {
+      have_best = true;
+      best_max = cand_max;
+      plan.cuts = c;
+      plan.predicted_max_seconds = cand_max;
+    }
+  }
 
   const grid::BlockPartition2D next(nx, ny, plan.cuts);
-  std::vector<double> new_load(static_cast<std::size_t>(nranks), 0.0);
-  for (int j = 0; j < ny; ++j) {
+  for (int j = 0; j < ny; ++j)
     for (int i = 0; i < nx; ++i) {
       const std::size_t cell =
           static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
           static_cast<std::size_t>(i);
-      new_load[static_cast<std::size_t>(next.owner(i, j))] += attributed[cell];
       const auto w = static_cast<std::int64_t>(cell_weight[cell]);
       plan.total_weight += w;
       if (next.owner(i, j) != old_partition.owner(i, j)) plan.moved_weight += w;
     }
-  }
-  for (const double load : new_load)
-    plan.predicted_max_seconds = std::max(plan.predicted_max_seconds, load);
   return plan;
 }
 
@@ -140,7 +256,7 @@ Decision LoadBalancer::consider(std::span<const double> cell_weight, int nx,
     return d;
   }
 
-  d.plan = plan_rebalance(cell_weight, nx, ny, old_partition, cost);
+  d.plan = plan_rebalance(cell_weight, nx, ny, old_partition, cost, ghosts_);
   if (d.plan.cuts == old_partition.cuts()) {
     d.reason = "no_change";
     obs::counter_add(prefix + "skipped_no_change", 1.0);
@@ -184,6 +300,36 @@ Decision LoadBalancer::consider(std::span<const double> cell_weight, int nx,
   d.reason = "migrate";
   cooldown_remaining_ = policy_.cooldown;
   obs::counter_add(prefix + "migrations", 1.0);
+  return d;
+}
+
+Decision LoadBalancer::assess(const MeasuredCost& cost) {
+  const std::string prefix = "balance:" + name_ + ":";
+  obs::counter_add(prefix + "considered", 1.0);
+
+  Decision d;
+  d.imbalance = cost.imbalance();
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    d.reason = "cooldown";
+    obs::counter_add(prefix + "skipped_cooldown", 1.0);
+    return d;
+  }
+  if (cost.mean_seconds() < policy_.min_phase_seconds) {
+    d.reason = "negligible";
+    obs::counter_add(prefix + "skipped_negligible", 1.0);
+    return d;
+  }
+  if (d.imbalance < policy_.imbalance_enter) {
+    d.reason = "balanced";
+    obs::counter_add(prefix + "skipped_balanced", 1.0);
+    return d;
+  }
+  // The imbalance is real but this participant has no block decomposition to
+  // re-cut: record it and move on. The obs counter is the observable a
+  // deployment would alarm on (the fix is resourcing, not migration).
+  d.reason = "immovable";
+  obs::counter_add(prefix + "skipped_immovable", 1.0);
   return d;
 }
 

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "balance/rebalanceable.hpp"
 #include "grid/partition.hpp"
 #include "mct/attrvect.hpp"
 #include "mct/gsmap.hpp"
@@ -71,14 +72,44 @@ struct CutPlan {
   std::int64_t total_weight = 0;
 };
 
-/// Weighted tensor repartition. `cell_weight` is the nx×ny row-major static
-/// weight of every cell (e.g. kmt; 0 for land). Each cell's cost is the old
-/// owner's measured seconds-per-weight-unit times its weight; the marginal
-/// sums along x and y feed weighted_cuts, and the predicted new max load is
-/// evaluated on the resulting 2-D plan.
+/// Halo-ghost charging for cut placement. A block's owner pays not only for
+/// its owned active columns but for the ghost ring it must receive, unpack,
+/// and read in stencils every exchange. width = the component's BlockHalo
+/// depth (0 disables ghost charging — the legacy ghost-blind planner);
+/// cell_cost_factor prices one ghost cell as that fraction of the mean
+/// attributed cost of an active interior cell.
+struct GhostModel {
+  int halo_width = 0;
+  double cell_cost_factor = 0.25;
+};
+
+/// Ghost cells a (block_w × block_h) block with bottom row `y0` receives at
+/// halo depth `width` under the tripolar exchange topology: periodic E/W
+/// strips, a folded (open) north edge, a closed south boundary clipped at
+/// the grid edge, and no corner exchange.
+std::int64_t ghost_cell_count(std::int64_t block_w, std::int64_t block_h,
+                              int width, std::int64_t y0);
+
+/// Per-rank predicted seconds of running `cuts`, under per-cell costs
+/// attributed from the old partition's measured rates, plus the GhostModel
+/// surcharge for each block's ghost ring. The ghost-blind planner is the
+/// special case ghosts.halo_width == 0.
+std::vector<double> predicted_rank_seconds(
+    std::span<const double> cell_weight, int nx, int ny,
+    const grid::BlockPartition2D& old_partition, const MeasuredCost& cost,
+    const grid::BlockCuts& cuts, const GhostModel& ghosts = {});
+
+/// Weighted tensor repartition. `cell_weight` is the nx×ny row-major
+/// measured weight of every cell (kmt, 1+aice, ...; 0 for inactive). Each
+/// cell's cost is the old owner's measured seconds-per-weight-unit times its
+/// weight; the marginal sums along x and y feed weighted_cuts, and candidate
+/// plans (greedy re-cut, the old cuts, and their per-axis combinations) are
+/// scored by ghost-aware per-rank cost — the deterministic min-max wins.
+/// With ghosts.halo_width == 0 the greedy re-cut is always chosen and the
+/// result matches the legacy ghost-blind planner exactly.
 CutPlan plan_rebalance(std::span<const double> cell_weight, int nx, int ny,
                        const grid::BlockPartition2D& old_partition,
-                       const MeasuredCost& cost);
+                       const MeasuredCost& cost, const GhostModel& ghosts = {});
 
 struct Decision {
   bool migrate = false;
@@ -104,6 +135,17 @@ class LoadBalancer {
                     const grid::BlockPartition2D& old_partition,
                     const MeasuredCost& cost, double bytes_per_weight_unit);
 
+  /// Assessment path for busy-channel-only participants (no block partition
+  /// to re-cut): runs the cooldown/negligible/balanced gates and emits the
+  /// same balance:<name>:* obs counters, but never proposes a migration.
+  /// Keeps a non-migratable straggler (atm) flowing through the identical
+  /// decision channel as a migratable one.
+  Decision assess(const MeasuredCost& cost);
+
+  /// Ghost model applied when planning cuts (see GhostModel).
+  void set_ghost_model(const GhostModel& ghosts) { ghosts_ = ghosts; }
+  const GhostModel& ghost_model() const { return ghosts_; }
+
   /// Tell the cost model what share of migration traffic stays on the fast
   /// intra-supernode path (cut-shift migrations move cells between adjacent
   /// blocks, so a supernode-aware rank mapping keeps most of them local).
@@ -122,6 +164,7 @@ class LoadBalancer {
   std::string name_;  ///< obs counter prefix: balance:<name>:*
   RebalancePolicy policy_;
   perf::NetworkModel net_;
+  GhostModel ghosts_;
   double intra_migration_fraction_ = 0.0;
   int cooldown_remaining_ = 0;
 };

@@ -1,0 +1,105 @@
+#pragma once
+// balance::Rebalanceable — the component-side contract of the load balancer.
+//
+// Any coupled component that wants to participate in runtime load balancing
+// implements this interface.  There are two tiers of participation:
+//
+//  * Busy-channel participants (every implementor).  The component emits the
+//    seconds it spent on synthetic or real straggler work to the obs counter
+//    named by busy_counter_key() ("<name>:busy_seconds"), and the driver
+//    folds the per-decision delta of that counter into
+//    balance::measured_phase_cost.  This is what lets a slow rank be told
+//    apart from a rank that merely *waited* on a slow rank: halo exchanges
+//    equalize wall-clock phase spans across ranks, but busy counters only
+//    grow where the work actually happened.
+//
+//  * Migratable participants (block_partition() != nullptr).  The component
+//    additionally exposes its 2-D block decomposition, measured per-column
+//    weights, and gid-keyed export/import of every prognostic field, so the
+//    driver can re-cut the decomposition and move columns between ranks
+//    bit-exactly.  Components on non-block meshes (the icosahedral atm)
+//    return nullptr and still feed decisions through the busy channel; the
+//    balancer assesses them (cooldown/negligible/balanced gates, obs
+//    counters) but never plans a migration.
+//
+// Determinism contract: column_state_hash() must be decomposition-invariant
+// (a gid-keyed commutative fold), and export/import must round-trip bits so
+// that a run with rebalancing enabled hashes identically to one without.
+//
+// The interface is header-only so components depend on it without linking
+// ap3_balance (the planner/balancer library links the other way, via the
+// coupler).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grid/partition.hpp"
+#include "mct/attrvect.hpp"
+
+namespace ap3::balance {
+
+class Rebalanceable {
+ public:
+  virtual ~Rebalanceable() = default;
+
+  /// Stable component name: prefixes the busy counter, the balancer's obs
+  /// counters ("balance:<name>:*"), and the checkpoint layout scalars
+  /// ("bal.<name>.*").
+  virtual std::string_view balance_name() const = 0;
+
+  /// The obs counter this component adds its straggler-busy seconds to.
+  std::string busy_counter_key() const {
+    return std::string(balance_name()) + ":busy_seconds";
+  }
+
+  /// The component's current 2-D block decomposition, or nullptr when the
+  /// component cannot be re-cut (non-block mesh).  A null partition makes
+  /// every migration-related method below unused.
+  virtual const grid::BlockPartition2D* block_partition() const {
+    return nullptr;
+  }
+
+  /// Accumulate this rank's measured per-column weights into a zeroed
+  /// global nx*ny row-major field (weight[gj * nx + gi] += w for every owned
+  /// active column).  The driver allreduce-sums the field over the domain
+  /// communicator; exactness holds because unowned entries contribute +0.0.
+  /// Weights must be decomposition-invariant functions of column state so
+  /// that rebalance on == off stays bitwise.
+  virtual void add_measured_cell_weights(std::span<double> weight) const {
+    (void)weight;
+  }
+
+  /// Migration payload bytes per unit of cell weight, for the balancer's
+  /// cost model.
+  virtual double migration_bytes_per_weight_unit() const { return 0.0; }
+
+  /// Field names of the migration payload, in export order.
+  virtual std::vector<std::string> migration_field_names() const { return {}; }
+
+  /// Global ids of this rank's owned active columns, in export row order.
+  virtual std::vector<std::int64_t> migration_gids() const { return {}; }
+
+  /// Pack every prognostic + forcing field for the owned columns into `av`
+  /// (one row per migration_gids() entry, attributes in
+  /// migration_field_names() order).
+  virtual void export_migration_fields(mct::AttrVect& av) const { (void)av; }
+
+  /// Unpack a freshly rearranged AttrVect into this (rebuilt) component.
+  virtual void import_migration_fields(const mct::AttrVect& av) { (void)av; }
+
+  /// Decomposition-invariant hash of the owned column state: a wrapping sum
+  /// of gid-keyed per-column digests, so the cross-rank kSum reduction is
+  /// independent of who owns what.
+  virtual std::uint64_t column_state_hash() const { return 0; }
+
+  /// Monotonic step counter carried across a migration rebuild (the rebuilt
+  /// component starts from step 0 otherwise, which would desync forcing
+  /// phase).
+  virtual long long steps_completed() const { return 0; }
+  virtual void set_steps_completed(long long steps) { (void)steps; }
+};
+
+}  // namespace ap3::balance

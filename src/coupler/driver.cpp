@@ -122,10 +122,7 @@ CoupledModel::CoupledModel(const par::Comm& global, ScenarioSpec spec)
     atm_->dycore().perturb_temperature(spec_.perturbation_seed,
                                        spec_.perturbation_kelvin);
 
-  if (config_.rebalance_every > 0) {
-    if (ocn_) ocn_balancer_.emplace("ocn", config_.rebalance);
-    if (ice_) ice_balancer_.emplace("ice", config_.rebalance);
-  }
+  register_balance_participants();
 
   const std::size_t natm = atm_ ? atm_->dycore().mesh().num_owned() : 0;
   a2x_accum_ = mct::AttrVect(atm::AtmModel::export_fields(), natm);
@@ -140,13 +137,76 @@ CoupledModel::CoupledModel(const par::Comm& global, ScenarioSpec spec)
   // Timing excludes initialization (§6.2): only spans recorded from here on
   // feed this model's getTiming pipeline.
   obs_first_event_ = obs::local().event_count();
-  balance_ocn_mark_ = obs_first_event_;
-  balance_ice_mark_ = obs_first_event_;
-  balance_ocn_stall_seen_ = obs::local().counter("ocn:stall_seconds");
+  for (BalanceParticipant& p : balance_) {
+    p.mark = obs_first_event_;
+    if (balance::Rebalanceable* m = p.model())
+      p.busy_seen = obs::local().counter(m->busy_counter_key());
+  }
+}
+
+void CoupledModel::register_balance_participants() {
+  // Fixed atm, ocn, ice order on every rank: the collective decision loop,
+  // the checkpointed busy-watermark ids, and the "bal.<name>" layout scalars
+  // all index into this registry. model() chases the owning unique_ptr so the
+  // entries stay valid through migrations and restore-time rebuilds.
+  balance_.clear();
+  {
+    BalanceParticipant p;
+    p.name = "atm";
+    p.phase_span = "run:atm_ice_phase:atm_run";
+    p.layout_root = 0;
+    p.migratable = false;  // 1-D icosahedral partition: no block cuts
+    p.model = [this]() -> balance::Rebalanceable* { return atm_.get(); };
+    p.comm = atm_comm_ ? &*atm_comm_ : nullptr;
+    balance_.push_back(std::move(p));
+  }
+  {
+    BalanceParticipant p;
+    p.name = "ocn";
+    p.phase_span = "run:ocn_phase:ocn_run";
+    // The last rank is always in the ocean domain in both layouts.
+    p.layout_root = global_.size() - 1;
+    p.migratable = true;
+    p.model = [this]() -> balance::Rebalanceable* { return ocn_.get(); };
+    p.comm = ocn_comm_ ? &*ocn_comm_ : nullptr;
+    p.rebuild = [this](const grid::BlockCuts& cuts) {
+      ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, cuts,
+                                             ocn_grid_);
+    };
+    balance_.push_back(std::move(p));
+  }
+  {
+    BalanceParticipant p;
+    p.name = "ice";
+    p.phase_span = "run:atm_ice_phase:ice_run";
+    p.layout_root = 0;  // rank 0 is always in the atm domain (ice lives there)
+    p.migratable = true;
+    p.model = [this]() -> balance::Rebalanceable* { return ice_.get(); };
+    p.comm = atm_comm_ ? &*atm_comm_ : nullptr;
+    p.rebuild = [this](const grid::BlockCuts& cuts) {
+      ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
+                                             cuts, ocn_grid_);
+    };
+    balance_.push_back(std::move(p));
+  }
+  if (config_.rebalance_every > 0) {
+    for (BalanceParticipant& p : balance_) {
+      if (!p.model()) continue;
+      p.balancer.emplace(p.name, config_.rebalance);
+      if (p.migratable) {
+        // Both block components exchange width-1 BlockHalo ghosts.
+        balance::GhostModel ghosts;
+        ghosts.halo_width = 1;
+        p.balancer->set_ghost_model(ghosts);
+      }
+    }
+  }
 }
 
 ice::IceConfig CoupledModel::make_ice_config() const {
-  ice::IceConfig ice_config;
+  // Start from the user's ice knobs (straggler stall, rates); the grid and
+  // timestep are always driver-derived.
+  ice::IceConfig ice_config = config_.ice;
   ice_config.grid = config_.ocn.grid;
   ice_config.dt_seconds =
       config_.ice_dt_seconds > 0.0 ? config_.ice_dt_seconds : window_seconds_;
@@ -466,65 +526,58 @@ void CoupledModel::atm_ice_phase() {
 // ---- runtime load rebalancing (src/balance) ---------------------------------
 
 void CoupledModel::maybe_rebalance() {
-  bool ocn_go = false, ice_go = false;
-  grid::BlockCuts ocn_cuts, ice_cuts;
+  std::vector<double> go(balance_.size(), 0.0);
+  std::vector<grid::BlockCuts> accepted(balance_.size());
 
-  if (ocn_ && ocn_balancer_) {
+  for (std::size_t idx = 0; idx < balance_.size(); ++idx) {
+    BalanceParticipant& p = balance_[idx];
+    balance::Rebalanceable* model = p.model();
+    if (!model || !p.balancer) continue;
     // Wall-clock spans converge across ranks when halo waits couple a fast
     // rank to a straggler; the busy-time counter restores the per-rank signal.
-    const double stall_total = obs::local().counter("ocn:stall_seconds");
+    const double busy_total = obs::local().counter(model->busy_counter_key());
     const balance::MeasuredCost cost = balance::measured_phase_cost(
-        *ocn_comm_, "run:ocn_phase:ocn_run", balance_ocn_mark_,
-        stall_total - balance_ocn_stall_seen_);
-    balance_ocn_stall_seen_ = stall_total;
-    const grid::TripolarGrid& g = ocn_->ocean_grid();
-    std::vector<double> weight(static_cast<std::size_t>(g.nx()) *
-                               static_cast<std::size_t>(g.ny()));
-    for (int j = 0; j < g.ny(); ++j)
-      for (int i = 0; i < g.nx(); ++i)
-        weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(g.nx()) +
-               static_cast<std::size_t>(i)] = static_cast<double>(g.kmt(i, j));
-    // One weight unit is one wet level: four level fields plus the seven
-    // per-column fields amortized over the column depth.
-    const double bytes_per_unit =
-        8.0 * (4.0 + 7.0 / std::max(1, config_.ocn.grid.nz));
-    const balance::Decision d = ocn_balancer_->consider(
-        weight, g.nx(), g.ny(), ocn_->partition(), cost, bytes_per_unit);
-    if (d.migrate) {
-      ocn_go = true;
-      ocn_cuts = d.plan.cuts;
-    }
-  }
-  if (ice_ && ice_balancer_) {
-    const balance::MeasuredCost cost = balance::measured_phase_cost(
-        *atm_comm_, "run:atm_ice_phase:ice_run", balance_ice_mark_);
-    const grid::TripolarGrid& g = *ocn_grid_;
-    std::vector<double> weight(static_cast<std::size_t>(g.nx()) *
-                               static_cast<std::size_t>(g.ny()));
-    for (int j = 0; j < g.ny(); ++j)
-      for (int i = 0; i < g.nx(); ++i)
-        weight[static_cast<std::size_t>(j) * static_cast<std::size_t>(g.nx()) +
-               static_cast<std::size_t>(i)] = g.kmt(i, j) > 0 ? 1.0 : 0.0;
-    const balance::Decision d = ice_balancer_->consider(
-        weight, g.nx(), g.ny(), ice_->partition(), cost,
-        /*bytes_per_weight_unit=*/8.0 * 6.0);
-    if (d.migrate) {
-      ice_go = true;
-      ice_cuts = d.plan.cuts;
+        *p.comm, p.phase_span, p.mark, busy_total - p.busy_seen);
+    p.busy_seen = busy_total;
+    if (const grid::BlockPartition2D* part = model->block_partition()) {
+      const grid::BlockCuts& old_cuts = part->cuts();
+      const auto nx = static_cast<int>(old_cuts.x.back());
+      const auto ny = static_cast<int>(old_cuts.y.back());
+      // Measured weights are per-owned-column contributions; the sum makes
+      // the full nx×ny field identical on every domain rank (unowned cells
+      // contribute exactly +0.0, so the reduction is bitwise deterministic).
+      std::vector<double> weight(static_cast<std::size_t>(nx) *
+                                     static_cast<std::size_t>(ny),
+                                 0.0);
+      model->add_measured_cell_weights(weight);
+      std::vector<double> summed(weight.size());
+      p.comm->allreduce(std::span<const double>(weight),
+                        std::span<double>(summed), par::ReduceOp::kSum);
+      const balance::Decision d =
+          p.balancer->consider(summed, nx, ny, *part, cost,
+                               model->migration_bytes_per_weight_unit());
+      if (d.migrate) {
+        go[idx] = 1.0;
+        accepted[idx] = d.plan.cuts;
+      }
+    } else {
+      // No block decomposition: run the gates and counters only.
+      p.balancer->assess(cost);
     }
   }
   // Start the next measurement window from here either way.
-  balance_ocn_mark_ = obs::local().event_count();
-  balance_ice_mark_ = balance_ocn_mark_;
+  const std::size_t mark = obs::local().event_count();
+  for (BalanceParticipant& p : balance_) p.mark = mark;
 
   // The per-domain decisions are deterministic functions of allgathered costs
-  // and lockstep balancer state, so they agree within each domain; these
-  // reductions only spread them to the other domain's ranks.
-  const bool any_ocn =
-      global_.allreduce_value(ocn_go ? 1.0 : 0.0, par::ReduceOp::kMax) > 0.5;
-  const bool any_ice =
-      global_.allreduce_value(ice_go ? 1.0 : 0.0, par::ReduceOp::kMax) > 0.5;
-  if (!any_ocn && !any_ice) return;
+  // and lockstep balancer state, so they agree within each domain; this
+  // reduction only spreads them to the other domain's ranks.
+  std::vector<double> any(balance_.size());
+  global_.allreduce(std::span<const double>(go), std::span<double>(any),
+                    par::ReduceOp::kMax);
+  bool migrate_any = false;
+  for (const double a : any) migrate_any = migrate_any || a > 0.5;
+  if (!migrate_any) return;
 
   // Snapshot the coupler's ice-side caches before ownership changes.
   const mct::GlobalSegMap old_ice_map = plans_->ice_map;
@@ -539,15 +592,19 @@ void CoupledModel::maybe_rebalance() {
               old_caches.field("vs").begin());
   }
 
-  if (any_ocn && ocn_) migrate_ocn(ocn_cuts);
-  if (any_ice && ice_) migrate_ice(ice_cuts);
+  for (std::size_t idx = 0; idx < balance_.size(); ++idx)
+    if (any[idx] > 0.5 && balance_[idx].model())
+      migrate_participant(balance_[idx], accepted[idx]);
   build_coupling_infrastructure();
 
-  if (any_ice) {
-    // Re-home the cached ice-side fields (collective on the global
-    // communicator; ocean-domain ranks own no ice columns on either side).
+  // Re-home the cached ice-side fields (collective on the global
+  // communicator; ocean-domain ranks own no ice columns on either side).
+  // When the ice layout did not change this is pure self-delivery — exact
+  // and cheap — so no per-component special case is needed.
+  {
     mct::Rearranger cache_move(
-        global_, mct::Router::build(global_.rank(), old_ice_map, plans_->ice_map));
+        global_,
+        mct::Router::build(global_.rank(), old_ice_map, plans_->ice_map));
     const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
     mct::AttrVect new_caches({"sst", "us", "vs"}, nice);
     cache_move.rearrange(old_caches, new_caches);
@@ -563,45 +620,48 @@ void CoupledModel::maybe_rebalance() {
   obs::counter_add("balance:rebalances", 1.0);
 }
 
-void CoupledModel::migrate_ocn(const grid::BlockCuts& cuts) {
-  AP3_SPAN("run:rebalance:migrate_ocn");
-  const std::vector<std::string> fields =
-      ocn::OcnModel::migration_fields(config_.ocn.grid.nz);
-  mct::AttrVect src(fields, ocn_->ocean_gids().size());
-  ocn_->export_migration_columns(src);
-  const std::vector<std::int64_t> old_gids = ocn_->ocean_gids();
-  const long long steps = ocn_->baroclinic_steps();
+void CoupledModel::migrate_participant(BalanceParticipant& p,
+                                       const grid::BlockCuts& cuts) {
+  AP3_SPAN("run:rebalance:migrate");
+  // Export through the old decomposition before rebuild() destroys it.
+  balance::Rebalanceable* old_model = p.model();
+  const std::vector<std::string> fields = old_model->migration_field_names();
+  const std::vector<std::int64_t> old_gids = old_model->migration_gids();
+  const long long steps = old_model->steps_completed();
+  mct::AttrVect src(fields, old_gids.size());
+  old_model->export_migration_fields(src);
 
-  auto next =
-      std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, cuts, ocn_grid_);
-  balance::ColumnMigrator mover(*ocn_comm_, old_gids, next->ocean_gids());
-  mct::AttrVect dst(fields, next->ocean_gids().size());
+  p.rebuild(cuts);
+  balance::Rebalanceable* next = p.model();
+  const std::vector<std::int64_t> new_gids = next->migration_gids();
+  balance::ColumnMigrator mover(*p.comm, old_gids, new_gids);
+  mct::AttrVect dst(fields, new_gids.size());
   mover.migrate(src, dst);
-  next->import_migration_columns(dst);
-  next->set_baroclinic_steps(steps);
-  ocn_ = std::move(next);
-  obs::counter_add("balance:ocn:columns_moved",
+  next->import_migration_fields(dst);
+  next->set_steps_completed(steps);
+  obs::counter_add("balance:" + p.name + ":columns_moved",
                    static_cast<double>(mover.columns_moved_offrank()));
 }
 
-void CoupledModel::migrate_ice(const grid::BlockCuts& cuts) {
-  AP3_SPAN("run:rebalance:migrate_ice");
-  const std::vector<std::string> fields = ice::IceModel::migration_fields();
-  mct::AttrVect src(fields, ice_->ocean_gids().size());
-  ice_->export_migration_columns(src);
-  const std::vector<std::int64_t> old_gids = ice_->ocean_gids();
-  const long long steps = ice_->steps();
-
-  auto next = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
-                                              cuts, ocn_grid_);
-  balance::ColumnMigrator mover(*atm_comm_, old_gids, next->ocean_gids());
-  mct::AttrVect dst(fields, next->ocean_gids().size());
-  mover.migrate(src, dst);
-  next->import_migration_columns(dst);
-  next->set_steps(steps);
-  ice_ = std::move(next);
-  obs::counter_add("balance:ice:columns_moved",
-                   static_cast<double>(mover.columns_moved_offrank()));
+io::FieldData CoupledModel::balance_busy_pending() const {
+  // One row per registry entry, keyed rank·nparts+idx so the section forms a
+  // proper distributed field with globally unique ids. Values are pending
+  // busy seconds (counter minus watermark) — measurement bookkeeping, not
+  // model state, so state_hash() must skip this section.
+  const std::size_t nparts = balance_.size();
+  io::FieldData out;
+  out.ids.resize(nparts);
+  out.values.assign(nparts, 0.0);
+  for (std::size_t idx = 0; idx < nparts; ++idx) {
+    out.ids[idx] = static_cast<std::int64_t>(global_.rank()) *
+                       static_cast<std::int64_t>(nparts) +
+                   static_cast<std::int64_t>(idx);
+    const BalanceParticipant& p = balance_[idx];
+    if (balance::Rebalanceable* m = p.model())
+      out.values[idx] =
+          obs::local().counter(m->busy_counter_key()) - p.busy_seen;
+  }
+  return out;
 }
 
 std::uint64_t CoupledModel::ice_cache_column_hash() const {
@@ -624,8 +684,8 @@ std::uint64_t CoupledModel::ice_cache_column_hash() const {
 namespace {
 
 const std::vector<std::string> kCouplerSectionNames = {
-    "cpl.a2x_accum", "cpl.sst_on_atm", "cpl.sst_on_ice",
-    "cpl.us_on_ice", "cpl.vs_on_ice",  "cpl.rng"};
+    "cpl.a2x_accum", "cpl.sst_on_atm", "cpl.sst_on_ice",   "cpl.us_on_ice",
+    "cpl.vs_on_ice", "cpl.rng",        "cpl.balance_busy"};
 const std::vector<std::string> kAiSectionNames = {
     "cpl.ai.input",  "cpl.ai.tendency", "cpl.ai.rad_input", "cpl.ai.flux",
     "cpl.ai.cnn_w",  "cpl.ai.mlp_w",    "cpl.ai.train"};
@@ -709,6 +769,14 @@ bool ownership_covariant_section(const std::string& name) {
          name == "cpl.vs_on_ice";
 }
 
+/// Measurement bookkeeping, not model state: the pending busy seconds depend
+/// on wall-clock timing and on how often the balancer ran, so they are
+/// checkpointed (decisions survive restarts) but must never feed the bitwise
+/// state hash — rebalance on/off runs hash identically by contract.
+bool timing_dependent_section(const std::string& name) {
+  return name == "cpl.balance_busy";
+}
+
 }  // namespace
 
 bool CoupledModel::ai_physics_active() {
@@ -737,6 +805,7 @@ std::vector<io::Section> CoupledModel::coupler_sections(bool ai_on) const {
   out.push_back({"cpl.us_on_ice", io::local_field(us_on_ice_)});
   out.push_back({"cpl.vs_on_ice", io::local_field(vs_on_ice_)});
   out.push_back({"cpl.rng", pack_rng(rng_.raw_state())});
+  out.push_back({"cpl.balance_busy", balance_busy_pending()});
   if (ai_on) {
     auto* ai = atm_ ? dynamic_cast<atm::AiPhysics*>(&atm_->physics()) : nullptr;
     if (ai) {
@@ -785,6 +854,17 @@ void CoupledModel::restore_coupler_sections(
   vs_on_ice_ = io::section_values(sections, "cpl.vs_on_ice", vs_on_ice_.size());
   rng_.set_raw_state(
       unpack_rng(io::section_values(sections, "cpl.rng", 6)));
+  // Re-anchor the busy watermarks so that counter-minus-watermark reproduces
+  // the snapshot's pending busy seconds: the first post-restore rebalance
+  // decision then folds in exactly the busy time an uninterrupted run would.
+  const std::vector<double>& pending =
+      io::section_values(sections, "cpl.balance_busy", balance_.size());
+  for (std::size_t idx = 0; idx < balance_.size(); ++idx) {
+    BalanceParticipant& p = balance_[idx];
+    if (balance::Rebalanceable* m = p.model())
+      p.busy_seen =
+          obs::local().counter(m->busy_counter_key()) - pending[idx];
+  }
   if (ai_on) {
     if (auto* ai = atm_ ? dynamic_cast<atm::AiPhysics*>(&atm_->physics())
                         : nullptr) {
@@ -957,9 +1037,13 @@ void CoupledModel::write_layout_scalars(io::CheckpointWriter& writer) {
           payload[k]);
     }
   };
-  store("bal.ocn", ocn_ ? ocn_->cuts() : grid::BlockCuts{},
-        global_.size() - 1);
-  store("bal.ice", ice_ ? ice_->cuts() : grid::BlockCuts{}, 0);
+  for (const BalanceParticipant& p : balance_) {
+    if (!p.migratable) continue;
+    const balance::Rebalanceable* m = p.model();
+    const grid::BlockPartition2D* part = m ? m->block_partition() : nullptr;
+    store("bal." + p.name, part ? part->cuts() : grid::BlockCuts{},
+          p.layout_root);
+  }
 }
 
 void CoupledModel::restore_layout(io::CheckpointReader& reader) {
@@ -980,23 +1064,28 @@ void CoupledModel::restore_layout(io::CheckpointReader& reader) {
           reader.scalar(prefix + ".y" + std::to_string(k))));
     return cuts;
   };
-  const std::optional<grid::BlockCuts> ocn_cuts = read_cuts("bal.ocn");
-  const std::optional<grid::BlockCuts> ice_cuts = read_cuts("bal.ice");
-  const bool ocn_mismatch = ocn_ && ocn_cuts && !(*ocn_cuts == ocn_->cuts());
-  const bool ice_mismatch = ice_ && ice_cuts && !(*ice_cuts == ice_->cuts());
-  const double any = global_.allreduce_value(
-      ocn_mismatch || ice_mismatch ? 1.0 : 0.0, par::ReduceOp::kMax);
+  std::vector<std::optional<grid::BlockCuts>> stored(balance_.size());
+  std::vector<char> mismatch(balance_.size(), 0);
+  bool local_mismatch = false;
+  for (std::size_t idx = 0; idx < balance_.size(); ++idx) {
+    const BalanceParticipant& p = balance_[idx];
+    if (!p.migratable) continue;
+    stored[idx] = read_cuts("bal." + p.name);
+    const balance::Rebalanceable* m = p.model();
+    const grid::BlockPartition2D* part = m ? m->block_partition() : nullptr;
+    mismatch[idx] =
+        part && stored[idx] && !(*stored[idx] == part->cuts()) ? 1 : 0;
+    local_mismatch = local_mismatch || mismatch[idx] != 0;
+  }
+  const double any = global_.allreduce_value(local_mismatch ? 1.0 : 0.0,
+                                             par::ReduceOp::kMax);
   if (any < 0.5) return;
   // The snapshot was written on a rebalanced decomposition: rebuild the
-  // mismatched components on the stored cuts. Their fresh state is about to
-  // be overwritten wholesale by the section reads, which address columns by
-  // global id and therefore need the stored layout.
-  if (ocn_mismatch)
-    ocn_ = std::make_unique<ocn::OcnModel>(*ocn_comm_, config_.ocn, *ocn_cuts,
-                                           ocn_grid_);
-  if (ice_mismatch)
-    ice_ = std::make_unique<ice::IceModel>(*atm_comm_, make_ice_config(),
-                                           *ice_cuts, ocn_grid_);
+  // mismatched participants on the stored cuts. Their fresh state is about
+  // to be overwritten wholesale by the section reads, which address columns
+  // by global id and therefore need the stored layout.
+  for (std::size_t idx = 0; idx < balance_.size(); ++idx)
+    if (mismatch[idx] != 0) balance_[idx].rebuild(*stored[idx]);
   build_coupling_infrastructure();
   const std::size_t nice = ice_ ? ice_->ocean_gids().size() : 0;
   sst_on_ice_.assign(nice, 0.0);  // overwritten by the cpl.* section reads
@@ -1010,7 +1099,8 @@ std::uint64_t CoupledModel::state_hash() {
   std::map<std::string, io::FieldData> local = local_sections(ai_on);
   std::uint64_t h = kFnvBasis;
   for (const std::string& name : section_inventory(ai_on)) {
-    if (ownership_covariant_section(name)) continue;
+    if (ownership_covariant_section(name) || timing_dependent_section(name))
+      continue;
     auto it = local.find(name);
     if (it == local.end()) continue;
     h = fnv_bytes(h, name.data(), name.size());
@@ -1027,8 +1117,8 @@ std::uint64_t CoupledModel::state_hash() {
   for (std::uint64_t r : all)
     combined = fnv_bytes(combined, &r, sizeof(r));
   std::uint64_t columns = 0;
-  if (ocn_) columns += ocn_->column_state_hash();
-  if (ice_) columns += ice_->column_state_hash();
+  for (const BalanceParticipant& p : balance_)
+    if (balance::Rebalanceable* m = p.model()) columns += m->column_state_hash();
   columns += ice_cache_column_hash();
   const std::uint64_t total =
       global_.allreduce_value(columns, par::ReduceOp::kSum);

@@ -19,8 +19,10 @@
 // (180 : 36 = 5 : 1), the ice every window (180/day).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "atm/model.hpp"
 #include "atm/vortex.hpp"
@@ -45,6 +47,10 @@ enum class Layout { kSequential, kConcurrent };
 struct CoupledConfig {
   atm::AtmConfig atm;
   ocn::OcnConfig ocn;
+  /// Ice knobs (straggler stall, thermodynamic rates). The grid and
+  /// dt_seconds fields are ignored: the driver derives them from the ocean
+  /// grid and `ice_dt_seconds` below (make_ice_config).
+  ice::IceConfig ice;
   Layout layout = Layout::kSequential;
   int atm_ranks = 0;         ///< concurrent: ranks in the atm domain (0 = half)
   int ocn_couple_ratio = 5;  ///< ocean couples every N atm windows (180:36)
@@ -207,25 +213,52 @@ class CoupledModel {
   void ocn_phase();      ///< at ocean boundaries: fluxes, ocn.run, exports
 
   // --- runtime load rebalancing (src/balance) --------------------------------
-  /// Collective on the global communicator. Feeds measured phase costs into
-  /// the per-component balancers; when a plan is accepted, migrates column
-  /// state to the new decomposition and rebuilds coupling infrastructure.
+  /// Driver-side state for one registered balance::Rebalanceable. An entry
+  /// exists on EVERY rank for every component (collective consistency);
+  /// `model()` returns null on ranks outside the component's task domain and
+  /// tracks the owning unique_ptr through migrations and restores.
+  struct BalanceParticipant {
+    std::string name;        ///< == model()->balance_name() where present
+    std::string phase_span;  ///< obs span measured as this component's cost
+    int layout_root = 0;     ///< global rank replicating cuts into checkpoints
+    bool migratable = false; ///< has a block decomposition (static property)
+    std::function<balance::Rebalanceable*()> model;
+    const par::Comm* comm = nullptr;  ///< domain comm (null where absent)
+    /// Collective on `comm`: construct the component anew on `cuts` and swap
+    /// it into the driver (state is then imported by migrate_participant or
+    /// overwritten by section reads on restore).
+    std::function<void(const grid::BlockCuts&)> rebuild;
+    std::optional<balance::LoadBalancer> balancer;  ///< where the model lives
+    std::size_t mark = 0;    ///< span-buffer mark opening the cost window
+    double busy_seen = 0.0;  ///< busy-counter watermark at the mark
+  };
+  /// Build the registry (fixed atm, ocn, ice order — the checkpointed busy
+  /// watermark ids and the collective decision loop rely on it).
+  void register_balance_participants();
+  /// Collective on the global communicator. Generic measure→decide→migrate
+  /// loop over the registry: folds each participant's busy delta into its
+  /// measured phase cost, lets its balancer decide (assessment only for
+  /// non-migratable participants), migrates accepted plans, and rebuilds
+  /// coupling infrastructure.
   void maybe_rebalance();
-  /// Rebuild the ocean on `cuts`, migrating all prognostic/forcing columns
-  /// bit-exactly (collective on the ocean domain communicator).
-  void migrate_ocn(const grid::BlockCuts& cuts);
-  /// Same for the ice (collective on the atm domain communicator). Does NOT
-  /// touch the coupler's ice-side caches — the caller rearranges those.
-  void migrate_ice(const grid::BlockCuts& cuts);
+  /// Export → rebuild on `cuts` → Rearranger-migrate → import, bit-exact
+  /// (collective on the participant's domain communicator).
+  void migrate_participant(BalanceParticipant& p, const grid::BlockCuts& cuts);
   ice::IceConfig make_ice_config() const;
   /// Per-column FNV digest sum of the coupler's ice-side caches, keyed by
   /// global id so the value is decomposition-invariant.
   std::uint64_t ice_cache_column_hash() const;
-  /// Replicate a component's cuts from `root` and store them as scalars.
+  /// Replicate every migratable participant's cuts from its layout root and
+  /// store them as "bal.<name>.*" scalars.
   void write_layout_scalars(io::CheckpointWriter& writer);
-  /// Rebuild components whose checkpointed cuts differ from the current
+  /// Rebuild participants whose checkpointed cuts differ from the current
   /// decomposition (must run before any section reads).
   void restore_layout(io::CheckpointReader& reader);
+  /// Per-rank pending busy seconds (counter minus watermark), one value per
+  /// registry entry — the "cpl.balance_busy" checkpoint payload. Restore
+  /// re-anchors the watermarks from it so the first post-restore rebalance
+  /// decision sees exactly the busy time an uninterrupted run would.
+  io::FieldData balance_busy_pending() const;
 
   /// True when the atmosphere runs the AI suite anywhere in the job
   /// (collective — concurrent-layout ocean ranks have no atmosphere).
@@ -269,12 +302,10 @@ class CoupledModel {
   std::vector<double> sst_on_atm_;     // atm decomposition
   std::vector<double> sst_on_ice_, us_on_ice_, vs_on_ice_;  // ice decomposition
 
-  // Runtime load rebalancing (absent unless rebalance_every > 0).
-  std::optional<balance::LoadBalancer> ocn_balancer_, ice_balancer_;
+  // Runtime load rebalancing: the participant registry (always built; the
+  // per-entry balancers are only emplaced when rebalance_every > 0).
+  std::vector<BalanceParticipant> balance_;
   long long rebalance_migrations_ = 0;
-  std::size_t balance_ocn_mark_ = 0;  ///< span-buffer mark for ocn cost window
-  std::size_t balance_ice_mark_ = 0;  ///< span-buffer mark for ice cost window
-  double balance_ocn_stall_seen_ = 0.0;  ///< ocn:stall_seconds at last mark
 
   Clock clock_;
   pp::Stream stream_;     ///< async launch queue for the --overlap pipeline

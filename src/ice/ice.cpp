@@ -1,11 +1,14 @@
 #include "ice/ice.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
 #include "base/hash.hpp"
+#include "obs/obs.hpp"
 
 namespace ap3::ice {
 
@@ -82,13 +85,35 @@ IceModel::IceModel(const par::Comm& comm, const IceConfig& config,
     }
     ++col;
   }
+
+  if (config_.stall_seconds_per_point > 0.0) {
+    for (const auto& [i, j] : active_columns_) {
+      const int gi = halo_->x0() + i;
+      const int gj = halo_->y0() + j;
+      const bool in_band =
+          (config_.stall_i_begin >= 0 && gi >= config_.stall_i_begin) ||
+          (config_.stall_j_begin >= 0 && gj >= config_.stall_j_begin);
+      if (in_band) ++stall_points_;
+    }
+  }
 }
 
 std::vector<std::string> IceModel::migration_fields() {
   return {"aice", "hice", "sst", "tbot", "us", "vs"};
 }
 
-void IceModel::export_migration_columns(mct::AttrVect& av) const {
+void IceModel::add_measured_cell_weights(std::span<double> weight) const {
+  for (std::size_t col = 0; col < ocean_gids_.size(); ++col)
+    weight[static_cast<std::size_t>(ocean_gids_[col])] += 1.0 + aice_[col];
+}
+
+double IceModel::migration_bytes_per_weight_unit() const {
+  // 6 per-column doubles; a column weighs between 1 (open water) and 2
+  // (full cover), so charge the open-water rate (conservative per unit).
+  return 8.0 * 6.0;
+}
+
+void IceModel::export_migration_fields(mct::AttrVect& av) const {
   AP3_REQUIRE(av.num_points() == ocean_gids_.size());
   const std::vector<const std::vector<double>*> state = {&aice_, &hice_, &sst_,
                                                          &tbot_, &us_,   &vs_};
@@ -99,7 +124,7 @@ void IceModel::export_migration_columns(mct::AttrVect& av) const {
   }
 }
 
-void IceModel::import_migration_columns(const mct::AttrVect& av) {
+void IceModel::import_migration_fields(const mct::AttrVect& av) {
   AP3_REQUIRE(av.num_points() == ocean_gids_.size());
   const std::vector<std::vector<double>*> state = {&aice_, &hice_, &sst_,
                                                    &tbot_, &us_,   &vs_};
@@ -140,6 +165,14 @@ void IceModel::run(double start_seconds, double duration_seconds) {
   for (long long s = 0; s < nsteps; ++s) {
     thermodynamics(dt);
     dynamics(dt);
+    if (stall_points_ > 0) {
+      const double stall_seconds =
+          config_.stall_seconds_per_point * static_cast<double>(stall_points_);
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_seconds));
+      // Halo waits synchronize fast ranks to the straggler; export the busy
+      // time so the load balancer sees who actually pays for it.
+      obs::counter_add(busy_counter_key(), stall_seconds);
+    }
     ++steps_;
   }
 }

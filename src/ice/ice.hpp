@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "balance/rebalanceable.hpp"
 #include "grid/halo.hpp"
 #include "grid/partition.hpp"
 #include "grid/tripolar.hpp"
@@ -30,9 +31,18 @@ struct IceConfig {
   double melt_rate = 4.0e-7;     ///< [m/s per K] above freezing
   double max_thickness = 5.0;    ///< [m]
   double full_cover_thickness = 1.0;  ///< hice giving aice = 1
+
+  // Synthetic straggler stall (same contract as OcnConfig's): every ice step
+  // sleeps stall_seconds_per_point × (owned active columns whose global
+  // position satisfies i >= stall_i_begin or j >= stall_j_begin) and reports
+  // the slept time on "ice:busy_seconds". Never touches model state, so runs
+  // with and without rebalancing stay bit-identical.
+  double stall_seconds_per_point = 0.0;
+  int stall_i_begin = -1;  ///< -1: no column-band stall
+  int stall_j_begin = -1;  ///< -1: no row-band stall
 };
 
-class IceModel {
+class IceModel : public balance::Rebalanceable {
  public:
   /// `grid`, when non-null, is an externally built immutable grid matching
   /// `config.grid` (ensemble members share one instead of rebuilding).
@@ -63,18 +73,36 @@ class IceModel {
   const grid::BlockPartition2D& partition() const { return partition_; }
   grid::BlockCuts cuts() const { return partition_.cuts(); }
 
-  // --- state migration (src/balance) ----------------------------------------
+  // --- balance::Rebalanceable (src/balance) ----------------------------------
   /// One column's migratable record: prognostic ice state plus imports.
   static std::vector<std::string> migration_fields();
+
+  std::string_view balance_name() const override { return "ice"; }
+  const grid::BlockPartition2D* block_partition() const override {
+    return &partition_;
+  }
+  /// Measured per-column weight = 1 + aice: ice-covered columns pay for
+  /// thermodynamic growth/melt plus drift, open water only for the scan.
+  /// State-dependent but decomposition-invariant, so rebalance on == off
+  /// stays bitwise.
+  void add_measured_cell_weights(std::span<double> weight) const override;
+  double migration_bytes_per_weight_unit() const override;
+  std::vector<std::string> migration_field_names() const override {
+    return migration_fields();
+  }
+  std::vector<std::int64_t> migration_gids() const override {
+    return ocean_gids_;
+  }
   /// Pack owned columns (ocean_gids() order) into `av`, one point per column.
-  void export_migration_columns(mct::AttrVect& av) const;
+  void export_migration_fields(mct::AttrVect& av) const override;
   /// Inverse of export (same ordering contract).
-  void import_migration_columns(const mct::AttrVect& av);
+  void import_migration_fields(const mct::AttrVect& av) override;
   /// Wrapping sum of per-column FNV digests keyed by global id — invariant
   /// under any redistribution of columns across ranks (combine with kSum).
-  std::uint64_t column_state_hash() const;
-  /// Carry the step counter across a migration (the counter is global).
-  void set_steps(long long steps) { steps_ = steps; }
+  std::uint64_t column_state_hash() const override;
+  /// Carry the (global) step counter across a migration.
+  long long steps_completed() const override { return steps_; }
+  void set_steps_completed(long long steps) override { steps_ = steps; }
 
   // --- checkpoint/restart ---------------------------------------------------
   /// This rank's full prognostic snapshot: per-column ice state, the
@@ -107,6 +135,7 @@ class IceModel {
   // Imports.
   std::vector<double> sst_, tbot_, us_, vs_;
   long long steps_ = 0;
+  long long stall_points_ = 0;  ///< owned active columns in the stall band
 };
 
 }  // namespace ap3::ice

@@ -30,10 +30,12 @@ struct OcnConfig {
 
   // Synthetic straggler stall for the load-rebalancing bench and tests: every
   // baroclinic step sleeps stall_seconds_per_point × (owned active 3-D points
-  // whose global column satisfies i >= stall_i_begin or j >= stall_j_begin).
-  // Models waiting-dominated imbalance (I/O stalls, fault retransmissions)
-  // rather than compute skew; never touches model state, so runs with and
-  // without rebalancing stay bit-identical.
+  // whose global column satisfies i >= stall_i_begin or j >= stall_j_begin),
+  // and reports the slept time on the "ocn:busy_seconds" obs counter (the
+  // balance::Rebalanceable busy channel). Models waiting-dominated imbalance
+  // (I/O stalls, fault retransmissions) rather than compute skew; never
+  // touches model state, so runs with and without rebalancing stay
+  // bit-identical.
   double stall_seconds_per_point = 0.0;
   int stall_i_begin = -1;  ///< -1: no column-band stall
   int stall_j_begin = -1;  ///< -1: no row-band stall

@@ -601,7 +601,7 @@ void OcnModel::run(double start_seconds, double duration_seconds) {
       // Halo waits synchronize fast ranks to the straggler, so wall-clock
       // spans alone under-report the imbalance; export the busy time so the
       // load balancer sees who actually pays for it.
-      obs::counter_add("ocn:stall_seconds", stall_seconds);
+      obs::counter_add(busy_counter_key(), stall_seconds);
     }
     ++steps_;
   }
@@ -617,7 +617,22 @@ std::vector<std::string> OcnModel::migration_fields(int nz) {
   return fields;
 }
 
-void OcnModel::export_migration_columns(mct::AttrVect& av) const {
+void OcnModel::add_measured_cell_weights(std::span<double> weight) const {
+  std::size_t col = 0;
+  for (const auto& [i, j] : active_columns_) {
+    weight[static_cast<std::size_t>(ocean_gids_[col])] +=
+        static_cast<double>(kmt_local(i, j));
+    ++col;
+  }
+}
+
+double OcnModel::migration_bytes_per_weight_unit() const {
+  // One weight unit is one wet level: 4 level fields plus the 7 per-column
+  // 2-D fields amortized over the column's levels.
+  return 8.0 * (4.0 + 7.0 / static_cast<double>(std::max(1, config_.grid.nz)));
+}
+
+void OcnModel::export_migration_fields(mct::AttrVect& av) const {
   AP3_REQUIRE(av.num_points() == ocean_gids_.size());
   const int nz = config_.grid.nz;
   auto eta = av.field("eta");
@@ -657,7 +672,7 @@ void OcnModel::export_migration_columns(mct::AttrVect& av) const {
   }
 }
 
-void OcnModel::import_migration_columns(const mct::AttrVect& av) {
+void OcnModel::import_migration_fields(const mct::AttrVect& av) {
   AP3_REQUIRE(av.num_points() == ocean_gids_.size());
   const int nz = config_.grid.nz;
   const auto eta = av.field("eta");

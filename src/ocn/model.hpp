@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "balance/rebalanceable.hpp"
 #include "grid/halo.hpp"
 #include "grid/partition.hpp"
 #include "grid/tripolar.hpp"
@@ -26,7 +27,7 @@
 
 namespace ap3::ocn {
 
-class OcnModel {
+class OcnModel : public balance::Rebalanceable {
  public:
   /// Collective construction = MCT `init` (balanced block decomposition).
   /// `grid`, when non-null, is an externally built immutable grid matching
@@ -64,21 +65,37 @@ class OcnModel {
   const grid::BlockPartition2D& partition() const { return partition_; }
   grid::BlockCuts cuts() const { return partition_.cuts(); }
 
-  // --- state migration (src/balance) -----------------------------------------
+  // --- balance::Rebalanceable (src/balance) ----------------------------------
   /// Field names of one column's migratable record: the prognostic 2-D
   /// slices, every level of the 3-D stacks, and the imported forcing —
   /// exactly the checkpoint payload, column-factored.
   static std::vector<std::string> migration_fields(int nz);
+
+  std::string_view balance_name() const override { return "ocn"; }
+  const grid::BlockPartition2D* block_partition() const override {
+    return &partition_;
+  }
+  /// Per-column weight = kmt (active levels): the §5.2.2 exclusion makes a
+  /// column's cost proportional to its wet depth.
+  void add_measured_cell_weights(std::span<double> weight) const override;
+  double migration_bytes_per_weight_unit() const override;
+  std::vector<std::string> migration_field_names() const override {
+    return migration_fields(config_.grid.nz);
+  }
+  std::vector<std::int64_t> migration_gids() const override {
+    return ocean_gids_;
+  }
   /// Pack owned columns (ocean_gids() order) into `av`, one point per column.
-  void export_migration_columns(mct::AttrVect& av) const;
+  void export_migration_fields(mct::AttrVect& av) const override;
   /// Inverse of export: writes owned interior columns and forcing. Ghosts are
   /// left to the next halo exchange (every stencil read is preceded by one).
-  void import_migration_columns(const mct::AttrVect& av);
+  void import_migration_fields(const mct::AttrVect& av) override;
   /// Wrapping sum of per-column FNV digests keyed by global id — invariant
   /// under any redistribution of columns across ranks (combine with kSum).
-  std::uint64_t column_state_hash() const;
-  /// Carry the step counter across a migration (the counter is global).
-  void set_baroclinic_steps(long long steps) { steps_ = steps; }
+  std::uint64_t column_state_hash() const override;
+  /// Carry the (global) baroclinic step counter across a migration.
+  long long steps_completed() const override { return steps_; }
+  void set_steps_completed(long long steps) override { steps_ = steps; }
 
   // --- state accessors ---------------------------------------------------------
   double eta(int i, int j) const { return eta_[field_index(i, j)]; }

@@ -26,8 +26,10 @@ SANITIZERS="${SANITIZERS:-thread address undefined}"
 # ensemble fleet (N members sharing one immutable context per process), and
 # the SIMD pack layer (masked tails over exactly-sized allocations — ASan is
 # the overread witness; packed launches run on the threaded backends too), and
-# the hierarchical collectives (leader staging buffers under fault injection).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack|test_hier}"
+# the hierarchical collectives (leader staging buffers under fault injection),
+# and the property sweeps (coupled fault fuzz plus the ghost-aware cut
+# planner's fuzz tuples alongside test_balance's migration paths).
+FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack|test_hier|test_properties}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do
