@@ -1,18 +1,50 @@
-// §5.2.5 benchmark: parallel I/O with subfile partitioning.
+// §5.2.5 benchmark: parallel I/O — subfile partitioning, the group-scaled
+// checkpoint codec, and streaming (async) checkpoints.
 //
-// Writes/reads a field decomposed over 8 ranks through (a) the single-file
-// baseline (everything funnels through rank 0) and (b) 2/4/8 subfiles with
-// rank-group aggregators, verifying round trips and reporting throughput.
+// Three sections, each with a hard witness (the benchmark exits 1 if a
+// witness fails, so the numbers it prints cannot be quietly wrong):
+//
+//   1. subfile sweep — single-file baseline vs 2/4/8 subfiles, round-trip
+//      verified.
+//   2. codec — fp64 vs group-scaled record bytes (expected ≈ 2x saved),
+//      restored values within the ULP bound, and a probe proving an
+//      unmeetable bound hard-fails instead of writing a bad snapshot.
+//   3. streaming — a coupled model checkpoints under a synthetic slow-disk
+//      knob, sync vs async. The async path must hide > 50% of the sync
+//      wall time behind the following simulation windows, AND stay
+//      bit-exact: the async run's 2N state hash equals the sync run's, and
+//      restoring the async snapshot + N more windows reproduces it.
+//
+// Results land in BENCH_io.json.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 
+#include "coupler/driver.hpp"
+#include "io/checkpoint.hpp"
 #include "io/subfile.hpp"
 #include "par/comm.hpp"
+#include "precision/group_scaled.hpp"
 
 namespace {
 
 using namespace ap3;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t dir_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    total += static_cast<std::uint64_t>(entry.file_size());
+  return total;
+}
+
+// ---- 1. subfile sweep ------------------------------------------------------
 
 struct IoTiming {
   double write_seconds = 0.0;
@@ -33,14 +65,14 @@ IoTiming run_case(int num_subfiles, std::int64_t points_per_rank) {
     }
 
     comm.barrier();
-    const auto w0 = std::chrono::steady_clock::now();
+    const auto w0 = Clock::now();
     if (num_subfiles == 0) {
       io::write_single(comm, base + ".bin", mine);
     } else {
       io::write_subfiles(comm, {base, num_subfiles}, mine);
     }
     comm.barrier();
-    const auto w1 = std::chrono::steady_clock::now();
+    const auto w1 = Clock::now();
 
     io::FieldData back;
     if (num_subfiles == 0) {
@@ -49,7 +81,7 @@ IoTiming run_case(int num_subfiles, std::int64_t points_per_rank) {
       back = io::read_subfiles(comm, {base, num_subfiles}, mine.ids);
     }
     comm.barrier();
-    const auto r1 = std::chrono::steady_clock::now();
+    const auto r1 = Clock::now();
 
     const bool ok = back.values == mine.values;
     if (comm.rank() == 0) {
@@ -64,31 +96,348 @@ IoTiming run_case(int num_subfiles, std::int64_t points_per_rank) {
   return timing;
 }
 
+// ---- 2. codec --------------------------------------------------------------
+
+struct CodecResult {
+  std::uint64_t bytes_fp64 = 0;
+  std::uint64_t bytes_gs = 0;
+  std::uint64_t max_ulp = 0;
+  std::uint64_t ulp_bound = 0;
+  bool within_bound = false;
+  bool hard_fail_caught = false;
+};
+
+CodecResult run_codec_section() {
+  static CodecResult result;
+  result = CodecResult{};
+  const std::string base = "/tmp/ap3_bench_io_codec";
+  par::run(4, [&](par::Comm& comm) {
+    io::FieldData mine;
+    for (std::int64_t k = 0; k < 100000; ++k) {
+      mine.ids.push_back(comm.rank() * 100000 + k);
+      // Full fp64 mantissas so the fp32 payload is genuinely lossy.
+      mine.values.push_back((comm.rank() + 1) * 3.14159265358979311600 *
+                            (k + 1) / (k % 97 + 3));
+    }
+
+    io::SubfileConfig fp64{base + "_64", 2};
+    io::SubfileConfig gs{base + "_gs", 2};
+    gs.codec.codec = io::Codec::kGroupScaled;
+    const auto bytes_fp64 = io::write_subfiles(comm, fp64, mine);
+    const auto bytes_gs = io::write_subfiles(comm, gs, mine);
+    const io::FieldData back = io::read_subfiles(comm, gs, mine.ids);
+    std::uint64_t max_ulp = 0;
+    for (std::size_t i = 0; i < mine.values.size(); ++i)
+      max_ulp = std::max(
+          max_ulp, precision::ulp_distance(back.values[i], mine.values[i]));
+
+    // Probe: a bound of zero demands losslessness fp32 cannot deliver; the
+    // WRITE must refuse (on every rank — the failure fold is collective).
+    io::SubfileConfig impossible{base + "_p", 2};
+    impossible.codec.codec = io::Codec::kGroupScaled;
+    impossible.codec.ulp_bound = 0;
+    bool caught = false;
+    try {
+      io::write_subfiles(comm, impossible, mine);
+    } catch (const ap3::Error&) {
+      caught = true;
+    }
+
+    const auto total_fp64 = static_cast<std::uint64_t>(comm.allreduce_value(
+        static_cast<double>(bytes_fp64), par::ReduceOp::kSum));
+    const auto total_gs = static_cast<std::uint64_t>(comm.allreduce_value(
+        static_cast<double>(bytes_gs), par::ReduceOp::kSum));
+    max_ulp = static_cast<std::uint64_t>(comm.allreduce_value(
+        static_cast<double>(max_ulp), par::ReduceOp::kMax));
+    if (comm.rank() == 0) {
+      result.bytes_fp64 = total_fp64;
+      result.bytes_gs = total_gs;
+      result.max_ulp = max_ulp;
+      result.ulp_bound = gs.codec.ulp_bound;
+      result.within_bound = max_ulp <= gs.codec.ulp_bound;
+      result.hard_fail_caught = caught;
+    }
+  });
+  for (const char* suffix : {"_64", "_gs", "_p"})
+    for (int k = 0; k < 2; ++k)
+      std::remove(
+          (base + suffix + "." + std::to_string(k) + ".bin").c_str());
+  return result;
+}
+
+// ---- 3. streaming checkpoints ----------------------------------------------
+
+cpl::CoupledConfig bench_config() {
+  cpl::CoupledConfig config;
+  config.atm.mesh_n = 5;
+  config.atm.nlev = 6;
+  config.ocn.grid = grid::TripolarConfig{40, 30, 6};
+  config.ocn_couple_ratio = 2;
+  config.checkpoint.num_subfiles = 2;
+  // Synthetic slow disk: every MB written sleeps this long, standing in for
+  // a parallel file system under load. The async path must hide it.
+  config.checkpoint.slow_disk_seconds_per_mb = 0.15;
+  return config;
+}
+
+struct AsyncResult {
+  double sync_ckpt_seconds = 0.0;   // full blocking checkpoint
+  double async_begin_seconds = 0.0; // checkpoint_async() call (gather only)
+  double async_wait_seconds = 0.0;  // fence after N overlapped windows
+  double hidden_fraction = 0.0;
+  bool hashes_match = false;        // sync 2N == async 2N == restore+N
+};
+
+AsyncResult run_async_section() {
+  static AsyncResult result;
+  result = AsyncResult{};
+  const cpl::CoupledConfig config = bench_config();
+  const std::string sync_dir = "/tmp/ap3_bench_io_sync";
+  const std::string async_dir = "/tmp/ap3_bench_io_async";
+  constexpr int kWindows = 4;
+
+  static std::uint64_t sync_end_hash;
+  par::run(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(kWindows);
+    comm.barrier();
+    const auto t0 = Clock::now();
+    model.checkpoint(sync_dir);
+    comm.barrier();
+    const double t_sync = seconds_since(t0);
+    model.run_windows(kWindows);
+    const std::uint64_t end = model.state_hash();
+    if (comm.rank() == 0) {
+      result.sync_ckpt_seconds = t_sync;
+      sync_end_hash = end;
+    }
+  });
+
+  static std::uint64_t async_end_hash;
+  par::run(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(kWindows);
+    comm.barrier();
+    const auto t0 = Clock::now();
+    model.checkpoint_async(async_dir);
+    comm.barrier();
+    const double t_begin = seconds_since(t0);
+    model.run_windows(kWindows);  // the write drains behind these windows
+    const auto t1 = Clock::now();
+    model.checkpoint_wait();
+    comm.barrier();
+    const double t_wait = seconds_since(t1);
+    const std::uint64_t end = model.state_hash();
+    if (comm.rank() == 0) {
+      result.async_begin_seconds = t_begin;
+      result.async_wait_seconds = t_wait;
+      async_end_hash = end;
+    }
+  });
+
+  static std::uint64_t restored_end_hash;
+  par::run(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.restore(async_dir);
+    model.run_windows(kWindows);
+    const std::uint64_t end = model.state_hash();
+    if (comm.rank() == 0) restored_end_hash = end;
+  });
+
+  result.hidden_fraction =
+      1.0 - (result.async_begin_seconds + result.async_wait_seconds) /
+                result.sync_ckpt_seconds;
+  result.hashes_match =
+      sync_end_hash == async_end_hash && async_end_hash == restored_end_hash;
+
+  std::filesystem::remove_all(sync_dir);
+  std::filesystem::remove_all(async_dir);
+  return result;
+}
+
+struct GsRestartResult {
+  std::uint64_t bytes_fp64 = 0;
+  std::uint64_t bytes_gs = 0;
+  bool restored_within_bound = false;
+};
+
+// Group-scaled snapshots of the full coupled model: bytes saved on disk and
+// a restore that must land within the codec's ULP bound on every field
+// (the driver forces RNG/counter sections to fp64, so restore stays valid).
+GsRestartResult run_gs_restart_section() {
+  static GsRestartResult result;
+  result = GsRestartResult{};
+  const std::string dir64 = "/tmp/ap3_bench_io_ck64";
+  const std::string dirgs = "/tmp/ap3_bench_io_ckgs";
+
+  cpl::CoupledConfig config = bench_config();
+  config.checkpoint.slow_disk_seconds_per_mb = 0.0;
+  par::run(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(2);
+    model.checkpoint(dir64);
+    const auto original = model.local_checkpoint_sections();
+
+    cpl::CoupledConfig gs_config = config;
+    gs_config.checkpoint.codec.codec = io::Codec::kGroupScaled;
+    cpl::CoupledModel twin(comm, gs_config);
+    twin.run_windows(2);
+    twin.checkpoint(dirgs);
+
+    cpl::CoupledModel fresh(comm, gs_config);
+    fresh.restore(dirgs);
+    const auto restored = fresh.local_checkpoint_sections();
+    bool ok = restored.size() == original.size();
+    const std::uint64_t bound = gs_config.checkpoint.codec.ulp_bound;
+    for (const auto& [name, data] : original) {
+      const auto it = restored.find(name);
+      if (it == restored.end() ||
+          it->second.values.size() != data.values.size()) {
+        ok = false;
+        break;
+      }
+      for (std::size_t i = 0; i < data.values.size() && ok; ++i)
+        ok = precision::ulp_distance(it->second.values[i], data.values[i]) <=
+             bound;
+      if (!ok) break;
+    }
+    const double all_ok = comm.allreduce_value(ok ? 1.0 : 0.0,
+                                               par::ReduceOp::kMin);
+    if (comm.rank() == 0) {
+      result.bytes_fp64 = dir_bytes(dir64);
+      result.bytes_gs = dir_bytes(dirgs);
+      result.restored_within_bound = all_ok != 0.0;
+    }
+  });
+  std::filesystem::remove_all(dir64);
+  std::filesystem::remove_all(dirgs);
+  return result;
+}
+
 }  // namespace
 
 int main() {
-  std::printf("§5.2.5 — parallel I/O: single file vs subfile partitioning\n");
-  std::printf("===========================================================\n\n");
+  std::printf("§5.2.5 — parallel I/O: subfiles, codecs, streaming\n");
+  std::printf("===================================================\n\n");
+  bool failed = false;
 
   const std::int64_t points_per_rank = 200000;
   const double mb = 8.0 * points_per_rank * 2 * 8.0 / 1e6;  // ids + values
   std::printf("8 ranks x %lld points (%.0f MB total)\n\n",
               static_cast<long long>(points_per_rank), mb);
   std::printf("  layout        write [ms]   read [ms]   write MB/s   ok\n");
-  for (int subfiles : {0, 2, 4, 8}) {
-    const IoTiming t = run_case(subfiles, points_per_rank);
+  IoTiming sweep[4];
+  const int sweep_subfiles[4] = {0, 2, 4, 8};
+  for (int c = 0; c < 4; ++c) {
+    const IoTiming t = run_case(sweep_subfiles[c], points_per_rank);
+    sweep[c] = t;
     char label[32];
-    if (subfiles == 0)
+    if (sweep_subfiles[c] == 0)
       std::snprintf(label, sizeof label, "single file");
     else
-      std::snprintf(label, sizeof label, "%d subfiles", subfiles);
+      std::snprintf(label, sizeof label, "%d subfiles", sweep_subfiles[c]);
     std::printf("  %-12s  %10.1f  %10.1f  %11.0f   %s\n", label,
                 t.write_seconds * 1e3, t.read_seconds * 1e3,
                 mb / t.write_seconds, t.verified ? "yes" : "NO");
-    if (!t.verified) return 1;
+    if (!t.verified) failed = true;
   }
-  std::printf("\nsubfiles split both the aggregation fan-in and the file-system\n"
-              "stream, which is what removes the paper's I/O bottleneck at\n"
-              "tens of thousands of nodes.\n");
+
+  std::printf("\ngroup-scaled codec (fp32 payload + per-group fp64 scales)\n");
+  const CodecResult codec = run_codec_section();
+  const double ratio = static_cast<double>(codec.bytes_fp64) /
+                       static_cast<double>(codec.bytes_gs);
+  std::printf("  fp64 record bytes:  %llu\n",
+              static_cast<unsigned long long>(codec.bytes_fp64));
+  std::printf("  gs record bytes:    %llu  (%.2fx saved)\n",
+              static_cast<unsigned long long>(codec.bytes_gs), ratio);
+  std::printf("  max restore error:  %llu ULP (bound %llu) — %s\n",
+              static_cast<unsigned long long>(codec.max_ulp),
+              static_cast<unsigned long long>(codec.ulp_bound),
+              codec.within_bound ? "within bound" : "VIOLATED");
+  std::printf("  impossible-bound probe: %s\n",
+              codec.hard_fail_caught ? "write refused (hard fail)"
+                                     : "WRITE ACCEPTED — BUG");
+  if (!codec.within_bound || !codec.hard_fail_caught) failed = true;
+  if (ratio < 1.7 || ratio > 2.3) {
+    std::printf("  bytes-saved ratio %.2f outside [1.7, 2.3]\n", ratio);
+    failed = true;
+  }
+
+  std::printf("\nstreaming checkpoints (coupled model, synthetic slow disk)\n");
+  const AsyncResult async = run_async_section();
+  std::printf("  sync checkpoint:    %7.1f ms (blocks the step loop)\n",
+              async.sync_ckpt_seconds * 1e3);
+  std::printf("  async begin:        %7.1f ms (snapshot gather only)\n",
+              async.async_begin_seconds * 1e3);
+  std::printf("  async fence:        %7.1f ms (after overlapped windows)\n",
+              async.async_wait_seconds * 1e3);
+  std::printf("  hidden-write fraction: %.2f (acceptance: > 0.5)\n",
+              async.hidden_fraction);
+  std::printf("  state-hash witness: %s\n",
+              async.hashes_match
+                  ? "sync 2N == async 2N == restore(async)+N"
+                  : "HASH MISMATCH — async checkpoint is not bit-exact");
+  if (async.hidden_fraction <= 0.5 || !async.hashes_match) failed = true;
+
+  std::printf("\ngroup-scaled coupled snapshot\n");
+  const GsRestartResult gs = run_gs_restart_section();
+  const double ck_ratio = static_cast<double>(gs.bytes_fp64) /
+                          static_cast<double>(gs.bytes_gs);
+  std::printf("  fp64 snapshot: %llu bytes, gs snapshot: %llu bytes "
+              "(%.2fx saved)\n",
+              static_cast<unsigned long long>(gs.bytes_fp64),
+              static_cast<unsigned long long>(gs.bytes_gs), ck_ratio);
+  std::printf("  restore within ULP bound on every rank: %s\n",
+              gs.restored_within_bound ? "yes" : "NO");
+  if (!gs.restored_within_bound) failed = true;
+
+  FILE* f = std::fopen("BENCH_io.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"sweep\": [\n");
+    for (int c = 0; c < 4; ++c)
+      std::fprintf(f,
+                   "    {\"subfiles\": %d, \"write_ms\": %.3f, "
+                   "\"read_ms\": %.3f, \"verified\": %s}%s\n",
+                   sweep_subfiles[c], sweep[c].write_seconds * 1e3,
+                   sweep[c].read_seconds * 1e3,
+                   sweep[c].verified ? "true" : "false", c < 3 ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"codec\": {\"bytes_fp64\": %llu, \"bytes_gs\": %llu, "
+                 "\"saved_ratio\": %.3f, \"max_ulp\": %llu, "
+                 "\"ulp_bound\": %llu, \"hard_fail_caught\": %s},\n",
+                 static_cast<unsigned long long>(codec.bytes_fp64),
+                 static_cast<unsigned long long>(codec.bytes_gs), ratio,
+                 static_cast<unsigned long long>(codec.max_ulp),
+                 static_cast<unsigned long long>(codec.ulp_bound),
+                 codec.hard_fail_caught ? "true" : "false");
+    std::fprintf(f,
+                 "  \"streaming\": {\"sync_ckpt_ms\": %.3f, "
+                 "\"async_begin_ms\": %.3f, \"async_wait_ms\": %.3f, "
+                 "\"hidden_fraction\": %.3f, \"bit_exact\": %s},\n",
+                 async.sync_ckpt_seconds * 1e3,
+                 async.async_begin_seconds * 1e3,
+                 async.async_wait_seconds * 1e3, async.hidden_fraction,
+                 async.hashes_match ? "true" : "false");
+    std::fprintf(f,
+                 "  \"gs_snapshot\": {\"bytes_fp64\": %llu, "
+                 "\"bytes_gs\": %llu, \"saved_ratio\": %.3f, "
+                 "\"restore_within_bound\": %s}\n}\n",
+                 static_cast<unsigned long long>(gs.bytes_fp64),
+                 static_cast<unsigned long long>(gs.bytes_gs), ck_ratio,
+                 gs.restored_within_bound ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_io.json\n");
+  }
+
+  if (failed) {
+    std::printf("\nBENCHMARK WITNESS FAILED\n");
+    return 1;
+  }
+  std::printf("\nsubfiles split the aggregation fan-in, the group-scaled\n"
+              "codec halves snapshot bytes within a proven ULP bound, and\n"
+              "the async writer hides the remaining cost behind the next\n"
+              "simulation windows — the paper's recipe for checkpointing\n"
+              "kilometer-scale state without stalling the step loop.\n");
   return 0;
 }

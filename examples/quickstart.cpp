@@ -5,6 +5,7 @@
 //               [--straggler <comp>:<seconds_per_point>] [--ensemble N]
 //               [--trace out.json]
 //               [--checkpoint-every N] [--checkpoint-dir DIR] [--restore DIR]
+//               [--checkpoint-async] [--checkpoint-codec fp64|gs]
 //               [--ai-backend=serial|threads|cpe] [--ai-precision=fp64|fp32|gs]
 //               [--supernode-size N] [--coll-algo flat|hier]
 //
@@ -13,7 +14,12 @@
 // With --checkpoint-every N a versioned snapshot is written to DIR (default
 // ./ap3_checkpoint) every N windows; --restore DIR resumes from a snapshot,
 // bit-identical to the uninterrupted run (the final state hash printed at
-// the end is the witness). Passing --ai-backend and/or --ai-precision swaps
+// the end is the witness). --checkpoint-async streams each snapshot: the
+// state is gathered at the boundary but encoded and written on a background
+// task lane while the model keeps stepping, with a completion fence at the
+// next checkpoint boundary. --checkpoint-codec gs stores section payloads
+// as fp32 + per-group power-of-two fp64 scales (~2x smaller, ULP-bound
+// verified at encode time; RNG/step-counter sections stay fp64). Passing --ai-backend and/or --ai-precision swaps
 // the conventional physics for a freshly trained AI suite routed through the
 // batched inference engine on the chosen execution space and precision policy
 // (any combination produces the same physics answer: backends are bit-exact
@@ -64,6 +70,7 @@ constexpr const char* kUsage =
     "                  [--trace out.json]\n"
     "                  [--checkpoint-every N] [--checkpoint-dir DIR]\n"
     "                  [--restore DIR]\n"
+    "                  [--checkpoint-async] [--checkpoint-codec fp64|gs]\n"
     "                  [--ai-backend=serial|threads|cpe]\n"
     "                  [--ai-precision=fp64|fp32|gs]\n"
     "                  [--supernode-size N] [--coll-algo flat|hier]\n";
@@ -141,6 +148,8 @@ int main(int argc, char** argv) {
   int rebalance_every = 0;
   int ensemble = 1;
   int checkpoint_every = 0;
+  bool checkpoint_async = false;
+  std::string checkpoint_codec;  // "", "fp64", "gs"
   std::string checkpoint_dir = "ap3_checkpoint";
   std::string restore_dir;
   std::string trace_path;
@@ -217,6 +226,15 @@ int main(int argc, char** argv) {
                      coll_algo.c_str(), kUsage);
         return 2;
       }
+    } else if (std::strcmp(argv[a], "--checkpoint-async") == 0) {
+      checkpoint_async = true;
+    } else if (const char* v = flag_value(argc, argv, a, "--checkpoint-codec")) {
+      checkpoint_codec = v;
+      if (checkpoint_codec != "fp64" && checkpoint_codec != "gs") {
+        std::fprintf(stderr, "error: unknown --checkpoint-codec '%s'\n%s", v,
+                     kUsage);
+        return 2;
+      }
     } else if (std::strcmp(argv[a], "--checkpoint-dir") == 0) {
       checkpoint_dir = option_value("--checkpoint-dir");
     } else if (std::strcmp(argv[a], "--restore") == 0) {
@@ -250,6 +268,22 @@ int main(int argc, char** argv) {
   // stock hysteresis policy applies, so a balanced toy run simply never
   // migrates.
   config.rebalance_every = rebalance_every;
+  if (checkpoint_codec == "gs")
+    config.checkpoint.codec.codec = io::Codec::kGroupScaled;
+  if (checkpoint_every > 0 && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --checkpoint-dir must not be empty\n%s",
+                 kUsage);
+    return 2;
+  }
+  if ((checkpoint_async || !checkpoint_codec.empty()) && checkpoint_every == 0)
+    std::printf("note: --checkpoint-async/--checkpoint-codec take effect "
+                "with --checkpoint-every\n");
+  else if (checkpoint_every > 0)
+    std::printf("checkpointing every %d windows to %s (%s, codec %s)\n",
+                checkpoint_every, checkpoint_dir.c_str(),
+                checkpoint_async ? "streaming async" : "sync",
+                checkpoint_codec == "gs" ? "group-scaled fp32+scales"
+                                         : "fp64");
 
   try {
     for (const std::string& spec : stragglers) apply_straggler(config, spec);
@@ -418,10 +452,17 @@ int main(int argc, char** argv) {
       const auto w = model.windows_run();
       if (checkpoint_every > 0 && w % checkpoint_every == 0 &&
           w < total_windows) {
-        model.checkpoint(checkpoint_dir);
+        // Async: the snapshot is gathered here but encoded/written on the
+        // background lane; reusing one directory makes the next boundary
+        // the completion fence (the writer never races itself).
+        if (checkpoint_async)
+          model.checkpoint_async(checkpoint_dir);
+        else
+          model.checkpoint(checkpoint_dir);
         if (comm.rank() == 0)
-          std::printf("  checkpoint at window %lld -> %s\n", w,
-                      checkpoint_dir.c_str());
+          std::printf("  checkpoint at window %lld -> %s%s\n", w,
+                      checkpoint_dir.c_str(),
+                      checkpoint_async ? " (streaming)" : "");
       }
       if (w % report_every == 0 || w == total_windows) {
         const cpl::CoupledDiagnostics diag = model.diagnostics();
@@ -431,6 +472,7 @@ int main(int argc, char** argv) {
                       diag.ice_fraction, diag.mean_precip);
       }
     }
+    model.checkpoint_wait();  // fence any in-flight streaming snapshot
     const std::uint64_t hash = model.state_hash();  // collective
     if (comm.rank() == 0)
       std::printf("\nquickstart finished: %lld atmosphere windows, %lld "

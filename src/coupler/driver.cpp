@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <string_view>
 
 #include "base/constants.hpp"
 #include "base/error.hpp"
@@ -919,37 +920,112 @@ std::map<std::string, io::FieldData> CoupledModel::local_sections(bool ai_on) {
   return out;
 }
 
-void CoupledModel::checkpoint(const std::string& dir) {
-  AP3_SPAN("checkpoint");
+namespace {
+/// Sections whose payloads are integers or bit-cast words in disguise —
+/// xoshiro RNG words, step counters, training bookkeeping. Lossy storage
+/// would corrupt them, so the group-scaled policy silently upgrades them to
+/// fp64 (the codec actually used is recorded per section in the manifest).
+bool lossless_required_section(const std::string& name) {
+  if (name == "cpl.rng" || name == "cpl.balance_busy" ||
+      name == "cpl.ai.train")
+    return true;
+  constexpr std::string_view kSteps = ".steps";
+  return name.size() >= kSteps.size() &&
+         name.compare(name.size() - kSteps.size(), kSteps.size(), kSteps) == 0;
+}
+}  // namespace
+
+std::unique_ptr<io::CheckpointWriter> CoupledModel::begin_checkpoint(
+    const std::string& dir, bool async) {
   const bool ai_on = ai_physics_active();
   std::map<std::string, io::FieldData> local = local_sections(ai_on);
-  io::CheckpointWriter writer(global_, dir);
+  io::CheckpointOptions options = config_.checkpoint;
+  options.async = async;
+  auto writer = std::make_unique<io::CheckpointWriter>(global_, dir, options);
   for (const std::string& name : section_inventory(ai_on)) {
+    io::CodecSpec spec = options.codec;
+    if (spec.codec != io::Codec::kFp64 && lossless_required_section(name))
+      spec = io::CodecSpec{};
     auto it = local.find(name);
-    writer.add_section(name,
-                       it != local.end() ? it->second : io::FieldData{});
+    writer->add_section(name,
+                        it != local.end() ? it->second : io::FieldData{},
+                        spec);
   }
-  writer.set_scalar("clock.steps",
-                    static_cast<double>(clock_.steps_taken()));
-  writer.set_scalar("accum_count", static_cast<double>(accum_count_));
-  writer.set_scalar("ai_physics", ai_on ? 1.0 : 0.0);
-  writer.set_scalar("cfg.mesh_n", static_cast<double>(config_.atm.mesh_n));
-  writer.set_scalar("cfg.nlev", static_cast<double>(config_.atm.nlev));
-  writer.set_scalar("cfg.ocn_nx", static_cast<double>(config_.ocn.grid.nx));
-  writer.set_scalar("cfg.ocn_ny", static_cast<double>(config_.ocn.grid.ny));
-  writer.set_scalar("cfg.ocn_nz", static_cast<double>(config_.ocn.grid.nz));
-  writer.set_scalar("cfg.layout",
-                    config_.layout == Layout::kSequential ? 0.0 : 1.0);
-  writer.set_scalar("cfg.ocn_couple_ratio",
-                    static_cast<double>(config_.ocn_couple_ratio));
-  write_layout_scalars(writer);
-  writer.finalize();
+  writer->set_scalar("clock.steps",
+                     static_cast<double>(clock_.steps_taken()));
+  writer->set_scalar("accum_count", static_cast<double>(accum_count_));
+  writer->set_scalar("ai_physics", ai_on ? 1.0 : 0.0);
+  writer->set_scalar("cfg.mesh_n", static_cast<double>(config_.atm.mesh_n));
+  writer->set_scalar("cfg.nlev", static_cast<double>(config_.atm.nlev));
+  writer->set_scalar("cfg.ocn_nx", static_cast<double>(config_.ocn.grid.nx));
+  writer->set_scalar("cfg.ocn_ny", static_cast<double>(config_.ocn.grid.ny));
+  writer->set_scalar("cfg.ocn_nz", static_cast<double>(config_.ocn.grid.nz));
+  writer->set_scalar("cfg.layout",
+                     config_.layout == Layout::kSequential ? 0.0 : 1.0);
+  writer->set_scalar("cfg.ocn_couple_ratio",
+                     static_cast<double>(config_.ocn_couple_ratio));
+  write_layout_scalars(*writer);
+  return writer;
+}
+
+void CoupledModel::checkpoint(const std::string& dir) {
+  AP3_SPAN("checkpoint");
+  finish_pending_checkpoints_for(dir);
+  auto writer = begin_checkpoint(dir, /*async=*/false);
+  writer->finalize();
   obs::counter_add("ckpt:writes", 1.0);
-  obs::counter_add("ckpt:bytes", static_cast<double>(writer.bytes_written()));
+  obs::counter_add("ckpt:bytes", static_cast<double>(writer->bytes_written()));
+}
+
+void CoupledModel::checkpoint_async(const std::string& dir) {
+  AP3_SPAN("checkpoint_async");
+  finish_pending_checkpoints_for(dir);
+  // Back-pressure: at most two snapshots in flight. The oldest one's
+  // finalize becomes the completion fence instead of memory growing without
+  // bound (each in-flight snapshot holds a gathered copy of the state).
+  while (pending_checkpoints_.size() >= 2) finish_oldest_checkpoint();
+  pending_checkpoints_.push_back(begin_checkpoint(dir, /*async=*/true));
+  obs::counter_add("ckpt:async_begins", 1.0);
+}
+
+void CoupledModel::finish_oldest_checkpoint() {
+  const std::unique_ptr<io::CheckpointWriter> writer =
+      std::move(pending_checkpoints_.front());
+  pending_checkpoints_.pop_front();
+  writer->finalize();
+  obs::counter_add("ckpt:writes", 1.0);
+  obs::counter_add("ckpt:bytes", static_cast<double>(writer->bytes_written()));
+}
+
+void CoupledModel::finish_pending_checkpoints_for(const std::string& dir) {
+  const bool pending = std::any_of(
+      pending_checkpoints_.begin(), pending_checkpoints_.end(),
+      [&](const auto& writer) { return writer->dir() == dir; });
+  if (!pending) return;
+  // FIFO up through the matching writer: commit order stays deterministic
+  // and identical on every rank.
+  while (!pending_checkpoints_.empty()) {
+    const bool done = pending_checkpoints_.front()->dir() == dir;
+    finish_oldest_checkpoint();
+    if (done) break;
+  }
+}
+
+void CoupledModel::checkpoint_wait() {
+  AP3_SPAN("checkpoint_wait");
+  while (!pending_checkpoints_.empty()) finish_oldest_checkpoint();
+}
+
+std::map<std::string, io::FieldData> CoupledModel::local_checkpoint_sections() {
+  return local_sections(ai_physics_active());
 }
 
 void CoupledModel::restore(const std::string& dir) {
   AP3_SPAN("restore");
+  // Drain in-flight async snapshots first: restoring from a directory mid-
+  // write would read a torn snapshot, and the fence also surfaces deferred
+  // write errors before we tear down live state.
+  checkpoint_wait();
   io::CheckpointReader reader(global_, dir);
   auto check = [&reader](const char* name, double want) {
     const double got = reader.scalar(name);

@@ -19,6 +19,7 @@
 // (180 : 36 = 5 : 1), the ice every window (180/day).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -68,6 +69,13 @@ struct CoupledConfig {
   /// identical), including under fault-plan retransmission.
   int rebalance_every = 0;
   balance::RebalancePolicy rebalance;  ///< hysteresis / cost-model knobs
+  /// Checkpoint I/O policy: subfile fan-out, payload codec (fp64 bit-exact
+  /// or group-scaled fp32+scales with a verified ULP bound), and the
+  /// slow-disk bench knob. The `async` flag is ignored here — the driver
+  /// picks sync/async per call (checkpoint vs checkpoint_async). Sections
+  /// holding integers or bit-cast words (RNG state, step counters, training
+  /// bookkeeping) are always written fp64 regardless of the codec policy.
+  io::CheckpointOptions checkpoint;
 };
 
 /// Validate a CoupledConfig against the communicator it will run on. Throws
@@ -176,9 +184,30 @@ class CoupledModel {
   /// count; resumed runs are bit-identical to uninterrupted ones. Throws
   /// ap3::Error on a corrupt, truncated, or mismatched snapshot.
   void restore(const std::string& dir);
+  /// Streaming checkpoint: snapshots the state NOW (the collective gather
+  /// runs inline, double-buffering each section's data), but hands subfile
+  /// encode+write to a background pp::Stream lane and returns, overlapping
+  /// checkpoint I/O with continued stepping. The snapshot commits (manifest
+  /// rename) at its completion fence: the next checkpoint boundary touching
+  /// the same dir, the third in-flight checkpoint_async (two snapshots max,
+  /// back-pressure instead of unbounded memory), restore(), or
+  /// checkpoint_wait(). Snapshots never fenced before destruction are
+  /// abandoned — no manifest, so they read as "no snapshot", not corruption.
+  void checkpoint_async(const std::string& dir);
+  /// Collective fence: finalize every in-flight async checkpoint (FIFO).
+  /// Deferred write failures from any rank rethrow here on all ranks.
+  void checkpoint_wait();
+  /// Async snapshots begun but not yet fenced (0, 1, or 2).
+  std::size_t checkpoints_in_flight() const {
+    return pending_checkpoints_.size();
+  }
   /// Combined FNV-1a hash of every checkpointed section across all ranks
   /// (collective): equal hashes ⇔ bit-identical coupled state.
   std::uint64_t state_hash();
+  /// This rank's checkpoint section payloads keyed by name (collective, for
+  /// verification harnesses comparing restored state against a reference —
+  /// e.g. the group-scaled codec's ULP-bound witness).
+  std::map<std::string, io::FieldData> local_checkpoint_sections();
   /// Driver-owned deterministic stream (stochastic perturbation hook);
   /// checkpointed so resumed runs draw the same tail of the sequence.
   Rng& rng() { return rng_; }
@@ -272,6 +301,16 @@ class CoupledModel {
   static std::vector<std::string> section_inventory(bool ai_on);
   /// This rank's sections keyed by name (absent components contribute none).
   std::map<std::string, io::FieldData> local_sections(bool ai_on);
+  /// Shared by checkpoint/checkpoint_async: snapshot every section + scalar
+  /// into a writer (gathers run inline; writes run inline or on the
+  /// writer's stream lane depending on `async`), without finalizing.
+  std::unique_ptr<io::CheckpointWriter> begin_checkpoint(
+      const std::string& dir, bool async);
+  /// Finalize the oldest in-flight async snapshot (collective).
+  void finish_oldest_checkpoint();
+  /// If `dir` has an in-flight snapshot, finalize FIFO up through it —
+  /// never race two writers on one directory.
+  void finish_pending_checkpoints_for(const std::string& dir);
 
   const par::Comm& global_;
   ScenarioSpec spec_;
@@ -309,6 +348,8 @@ class CoupledModel {
 
   Clock clock_;
   pp::Stream stream_;     ///< async launch queue for the --overlap pipeline
+  /// In-flight async checkpoint writers, oldest first (≤ 2: back-pressure).
+  std::deque<std::unique_ptr<io::CheckpointWriter>> pending_checkpoints_;
   Rng rng_{0xA93E5Cull};  ///< driver stream; part of the checkpoint
   TimerRegistry timers_;  ///< compatibility shim, fed from obs spans
   std::size_t obs_first_event_ = 0;  ///< span-buffer mark at end of init

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ap3::io {
 
@@ -63,6 +64,10 @@ std::string manifest_path(const std::string& dir) {
   return dir + "/MANIFEST.bin";
 }
 
+std::string manifest_tmp_path(const std::string& dir) {
+  return manifest_path(dir) + ".tmp";
+}
+
 }  // namespace
 
 FieldData local_field(const std::vector<double>& values) {
@@ -94,24 +99,90 @@ const std::vector<double>& section_values(const std::vector<Section>& sections,
 }
 
 CheckpointWriter::CheckpointWriter(const par::Comm& comm, std::string dir,
-                                   int num_subfiles)
-    : comm_(comm), dir_(std::move(dir)), num_subfiles_(num_subfiles) {
-  AP3_REQUIRE(num_subfiles_ >= 1);
-  if (comm_.rank() == 0) std::filesystem::create_directories(dir_);
+                                   CheckpointOptions options)
+    : comm_(comm), dir_(std::move(dir)), options_(options) {
+  AP3_REQUIRE(options_.num_subfiles >= 1);
+  if (comm_.rank() == 0) {
+    std::filesystem::create_directories(dir_);
+    // Invalidate before mutate: once any section of a reused directory is
+    // rewritten, the old manifest's completeness claim is a lie — a crash
+    // would leave a torn old/new section mix that passes every per-file
+    // checksum. Remove the manifest (and a stale tmp) first, so the stale
+    // snapshot reads as "no snapshot" instead of "corrupt snapshot".
+    std::filesystem::remove(manifest_path(dir_));
+    std::filesystem::remove(manifest_tmp_path(dir_));
+  }
   comm_.barrier();  // no rank writes a section before the directory exists
+                    // and the old manifest is gone
+  if (options_.async) stream_ = std::make_unique<pp::Stream>();
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  // Local drain only (no collectives — the peer ranks may be unwinding an
+  // exception). Write errors are swallowed: an unfinalized snapshot has no
+  // manifest, so nothing vouches for the half-written sections.
+  for (const PendingWrite& pending : pending_) {
+    try {
+      pending.event.wait();
+    } catch (...) {
+    }
+  }
 }
 
 void CheckpointWriter::add_section(const std::string& name,
                                    const FieldData& local) {
+  add_section(name, local, options_.codec);
+}
+
+void CheckpointWriter::add_section(const std::string& name,
+                                   const FieldData& local,
+                                   const CodecSpec& spec) {
   AP3_REQUIRE_MSG(!finalized_, "add_section after finalize");
   AP3_REQUIRE_MSG(!name.empty() && name.find('/') == std::string::npos,
                   "bad section name '" << name << "'");
-  AP3_REQUIRE_MSG(std::find(section_names_.begin(), section_names_.end(),
-                            name) == section_names_.end(),
-                  "duplicate checkpoint section '" << name << "'");
-  bytes_written_ +=
-      write_subfiles(comm_, {dir_ + "/" + name, num_subfiles_}, local);
-  section_names_.push_back(name);
+  AP3_REQUIRE_MSG(
+      std::find_if(sections_.begin(), sections_.end(),
+                   [&](const auto& s) { return s.first == name; }) ==
+          sections_.end(),
+      "duplicate checkpoint section '" << name << "'");
+  record_section_write(name, local, spec);
+  sections_.emplace_back(name, spec.codec);
+}
+
+void CheckpointWriter::record_section_write(const std::string& name,
+                                            const FieldData& local,
+                                            const CodecSpec& spec) {
+  SubfileConfig config{dir_ + "/" + name, options_.num_subfiles, spec,
+                       options_.slow_disk_seconds_per_mb};
+  // The gather is collective and must run here, on the rank thread; only
+  // the pure-local encode+write may move to the pool.
+  auto gathered = gather_subfiles(comm_, config, local);
+  if (!options_.async) {
+    if (gathered && deferred_error_.empty()) {
+      try {
+        const std::size_t bytes = write_gathered(
+            *gathered, spec, options_.slow_disk_seconds_per_mb);
+        bytes_written_ += bytes;
+        obs::counter_add("io:subfile:bytes_written",
+                         static_cast<double>(bytes));
+      } catch (const std::exception& e) {
+        deferred_error_ = e.what();
+      }
+    }
+    return;
+  }
+  if (!gathered) return;
+  auto record = std::make_shared<GatheredSubfile>(std::move(*gathered));
+  auto bytes = std::make_shared<std::size_t>(0);
+  pp::Event event = stream_->enqueue(
+      "io:ckpt:write:" + name,
+      [record, bytes, spec, slow = options_.slow_disk_seconds_per_mb] {
+        AP3_SPAN("io:subfile:write_async");
+        *bytes = write_gathered(*record, spec, slow);
+        obs::counter_add("io:subfile:bytes_written",
+                         static_cast<double>(*bytes));
+      });
+  pending_.push_back({std::move(event), std::move(bytes)});
 }
 
 void CheckpointWriter::set_scalar(const std::string& name, double value) {
@@ -119,8 +190,42 @@ void CheckpointWriter::set_scalar(const std::string& name, double value) {
   scalars_[name] = value;
 }
 
+bool CheckpointWriter::writes_complete() const {
+  for (const PendingWrite& pending : pending_)
+    if (!pending.event.ready()) return false;
+  return true;
+}
+
+void CheckpointWriter::wait() {
+  AP3_SPAN("io:ckpt:wait");
+  for (PendingWrite& pending : pending_) {
+    try {
+      pending.event.wait();
+      bytes_written_ += *pending.bytes;
+    } catch (const std::exception& e) {
+      if (deferred_error_.empty()) deferred_error_ = e.what();
+    }
+  }
+  pending_.clear();
+  // Fold the per-rank failure flags so a disk error (or ULP-bound breach)
+  // on one aggregator throws on EVERY rank — the healthy ranks must not
+  // march on into collectives their peer will never join.
+  const double any_failed = comm_.allreduce_value(
+      deferred_error_.empty() ? 0.0 : 1.0, par::ReduceOp::kMax);
+  if (any_failed != 0.0) {
+    const std::string what =
+        deferred_error_.empty()
+            ? "checkpoint section write failed on another rank (dir " + dir_ +
+                  ")"
+            : deferred_error_;
+    deferred_error_.clear();
+    throw Error(what);
+  }
+}
+
 void CheckpointWriter::finalize() {
   AP3_REQUIRE_MSG(!finalized_, "finalize called twice");
+  wait();
   finalized_ = true;
   comm_.barrier();  // every section fully on disk before the manifest appears
   if (comm_.rank() == 0) {
@@ -128,9 +233,12 @@ void CheckpointWriter::finalize() {
     blob.insert(blob.end(), kMagic, kMagic + sizeof(kMagic));
     put(blob, kCheckpointVersion);
     put(blob, static_cast<std::int32_t>(comm_.size()));
-    put(blob, static_cast<std::int32_t>(num_subfiles_));
-    put(blob, static_cast<std::uint32_t>(section_names_.size()));
-    for (const std::string& name : section_names_) put_string(blob, name);
+    put(blob, static_cast<std::int32_t>(options_.num_subfiles));
+    put(blob, static_cast<std::uint32_t>(sections_.size()));
+    for (const auto& [name, codec] : sections_) {
+      put_string(blob, name);
+      put(blob, static_cast<std::uint8_t>(codec));
+    }
     put(blob, static_cast<std::uint32_t>(scalars_.size()));
     for (const auto& [name, value] : scalars_) {
       put_string(blob, name);
@@ -138,13 +246,14 @@ void CheckpointWriter::finalize() {
     }
     put(blob, fnv1a(blob, blob.size()));
 
-    std::ofstream out(manifest_path(dir_), std::ios::binary | std::ios::trunc);
-    AP3_REQUIRE_MSG(out, "cannot write " << manifest_path(dir_));
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    AP3_REQUIRE_MSG(out.good(), "short write to " << manifest_path(dir_));
+    // Commit point: stage the manifest beside its final name, then publish
+    // with an atomic rename. A crash mid-write leaves only *.tmp, which
+    // readers never look at — "manifest visible ⇒ snapshot complete".
+    write_file_checked(manifest_tmp_path(dir_), {blob.data(), blob.size()});
+    std::filesystem::rename(manifest_tmp_path(dir_), manifest_path(dir_));
     bytes_written_ += blob.size();
   }
-  comm_.barrier();  // the manifest is the commit point: visible ⇒ complete
+  comm_.barrier();
 }
 
 CheckpointReader::CheckpointReader(const par::Comm& comm,
@@ -167,8 +276,10 @@ CheckpointReader::CheckpointReader(const par::Comm& comm,
 
   const auto version = cursor.get<std::uint32_t>();
   AP3_REQUIRE_MSG(version == kCheckpointVersion,
-                  "checkpoint version " << version << " unsupported (want "
-                                        << kCheckpointVersion << ")");
+                  "checkpoint version "
+                      << version << " unsupported (want " << kCheckpointVersion
+                      << ") — pre-v2 snapshots lack per-section codecs and "
+                         "whole-record subfile checksums; regenerate them");
   const auto nranks = cursor.get<std::int32_t>();
   AP3_REQUIRE_MSG(nranks == comm_.size(),
                   "checkpoint written by " << nranks << " ranks, restoring on "
@@ -177,8 +288,13 @@ CheckpointReader::CheckpointReader(const par::Comm& comm,
   AP3_REQUIRE(num_subfiles_ >= 1);
 
   const auto nsections = cursor.get<std::uint32_t>();
-  for (std::uint32_t i = 0; i < nsections; ++i)
-    section_names_.push_back(cursor.get_string());
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    std::string name = cursor.get_string();
+    const auto codec = cursor.get<std::uint8_t>();
+    AP3_REQUIRE_MSG(codec <= static_cast<std::uint8_t>(Codec::kGroupScaled),
+                    "unknown section codec in checkpoint manifest");
+    sections_.emplace_back(std::move(name), static_cast<Codec>(codec));
+  }
   const auto nscalars = cursor.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < nscalars; ++i) {
     std::string name = cursor.get_string();
@@ -193,8 +309,9 @@ CheckpointReader::CheckpointReader(const par::Comm& comm,
 }
 
 bool CheckpointReader::has_section(const std::string& name) const {
-  return std::find(section_names_.begin(), section_names_.end(), name) !=
-         section_names_.end();
+  return std::find_if(sections_.begin(), sections_.end(), [&](const auto& s) {
+           return s.first == name;
+         }) != sections_.end();
 }
 
 bool CheckpointReader::has_scalar(const std::string& name) const {
@@ -208,13 +325,27 @@ double CheckpointReader::scalar(const std::string& name) const {
   return it->second;
 }
 
+Codec CheckpointReader::section_codec(const std::string& name) const {
+  for (const auto& [section, codec] : sections_)
+    if (section == name) return codec;
+  throw Error("checkpoint has no section '" + name + "'");
+}
+
+std::vector<std::string> CheckpointReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, codec] : sections_) names.push_back(name);
+  return names;
+}
+
 FieldData CheckpointReader::read_section(
     const std::string& name,
     const std::vector<std::int64_t>& expected_ids) const {
   AP3_REQUIRE_MSG(has_section(name),
                   "checkpoint has no section '" << name << "'");
-  return read_subfiles(comm_, {dir_ + "/" + name, num_subfiles_},
-                       expected_ids);
+  SubfileConfig config{dir_ + "/" + name, num_subfiles_};
+  config.expected_codec = section_codec(name);
+  return read_subfiles(comm_, config, expected_ids);
 }
 
 }  // namespace ap3::io

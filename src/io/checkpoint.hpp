@@ -1,33 +1,51 @@
 // Versioned checkpoint container over the §5.2.5 subfile I/O layer.
 //
 // A checkpoint is a directory holding one subfile set per named state
-// section (written through io::write_subfiles, so the same aggregation
-// groups and checksum footers apply) plus a MANIFEST.bin written by global
-// rank 0:
+// section (written through the subfile v2 record format, so the same
+// aggregation groups and whole-record checksums apply) plus a MANIFEST.bin
+// committed by global rank 0:
 //
-//   magic "AP3CKPT\0" | version u32 | nranks i32 | num_subfiles i32 |
-//   sections [name...] | scalars [(name, f64)...] | FNV-1a checksum u64
+//   magic "AP3CKPT\0" | version u32 = 2 | nranks i32 | num_subfiles i32 |
+//   sections [(name, codec u8)...] | scalars [(name, f64)...] |
+//   FNV-1a checksum u64
 //
 // The manifest pins the format version, the rank count (restarts must use
 // the decomposition they were written with — the same contract production
-// restart files carry), the section inventory, and scalar state such as the
-// coupler clock. Readers validate magic/version/checksum before touching
-// any section, so a corrupted or truncated snapshot fails with a clear
-// ap3::Error instead of undefined behavior; per-section payloads are
-// additionally covered by the subfile checksum footers.
+// restart files carry), the section inventory with each section's codec
+// (fp64 bit-exact or group-scaled fp32+scales), and scalar state such as
+// the coupler clock.
+//
+// Commit protocol (DESIGN.md §16): the manifest IS the commit point —
+// "manifest visible ⇒ snapshot complete". The writer's constructor removes
+// any previous manifest before the first section write (invalidate before
+// mutate, so re-checkpointing into a reused directory can never leave an
+// old manifest vouching for a torn old/new section mix), and finalize()
+// publishes via MANIFEST.bin.tmp + std::filesystem::rename, so a crash at
+// any point leaves either the old complete snapshot, no snapshot, or the
+// new complete snapshot — never a half manifest.
+//
+// Async mode: add_section gathers on the calling rank threads (collectives
+// must never run on pool workers) and hands the pure-local encode+write of
+// each gathered subfile to a pp::Stream task lane, overlapping checkpoint
+// I/O with continued stepping. wait() is the collective completion fence:
+// it drains the lane and rethrows any deferred write failure on EVERY rank
+// (an allreduce folds the per-rank failure flags), so errors surface
+// symmetrically instead of deadlocking the healthy ranks.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "io/subfile.hpp"
 #include "par/comm.hpp"
+#include "pp/stream.hpp"
 
 namespace ap3::io {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// One named piece of model state on this rank. `data.ids` are
 /// rank-relative labels (local indices, or `rank` for replicated values) —
@@ -36,6 +54,19 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 struct Section {
   std::string name;
   FieldData data;
+};
+
+/// Checkpoint I/O policy, carried by the driver config; the codec actually
+/// used for each section is recorded in the manifest.
+struct CheckpointOptions {
+  int num_subfiles = 1;
+  /// Default payload codec for sections; callers may override per section
+  /// (the driver forces kFp64 for bit-sensitive sections like RNG state).
+  CodecSpec codec{};
+  /// Double-buffer section writes onto a pp::Stream task lane.
+  bool async = false;
+  /// Synthetic slow-disk bench knob, forwarded to the subfile writer.
+  double slow_disk_seconds_per_mb = 0.0;
 };
 
 /// FieldData labelling `values` with local indices 0..n-1.
@@ -51,36 +82,78 @@ const std::vector<double>& section_values(const std::vector<Section>& sections,
 
 /// Collective writer: construct, add sections (same order on every rank),
 /// set scalars (rank 0's values are authoritative), then finalize().
+/// Encode/write failures — disk full, a group-scaled section exceeding its
+/// ULP bound — are deferred to wait()/finalize(), which throw them on every
+/// rank; add_section only throws for symmetric misuse (bad/duplicate name).
 class CheckpointWriter {
  public:
   CheckpointWriter(const par::Comm& comm, std::string dir,
-                   int num_subfiles = 1);
+                   CheckpointOptions options);
+  /// Sync fp64 writer (the historical default).
+  CheckpointWriter(const par::Comm& comm, std::string dir,
+                   int num_subfiles = 1)
+      : CheckpointWriter(comm, std::move(dir),
+                         CheckpointOptions{num_subfiles}) {}
+  /// Drains any still-pending async writes (without collectives — safe on
+  /// one rank during exception unwind); an unfinalized dir has no manifest
+  /// and therefore no claim to completeness.
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
-  /// Collective: writes the section's subfile set immediately.
+  /// Collective: gathers the section and writes its subfile set — inline
+  /// when sync, on the stream lane when async. Uses the options codec
+  /// unless the `spec` overload overrides it.
   void add_section(const std::string& name, const FieldData& local);
+  void add_section(const std::string& name, const FieldData& local,
+                   const CodecSpec& spec);
   void add_section(const Section& section) {
     add_section(section.name, section.data);
   }
   /// Scalar state recorded in the manifest (clock steps, config echo, ...).
   void set_scalar(const std::string& name, double value);
-  /// Collective: writes the manifest on rank 0. Must be called exactly once.
+
+  /// Collective completion fence: blocks until every enqueued write
+  /// finished, then rethrows the first deferred failure on ALL ranks.
+  void wait();
+  /// Non-collective poll: true once every enqueued write has finished.
+  bool writes_complete() const;
+  /// Enqueued-but-not-yet-fenced async writes on this rank.
+  std::size_t pending_writes() const { return pending_.size(); }
+
+  /// Collective: wait(), then commit the manifest on rank 0 via tmp+rename.
+  /// Must be called exactly once; without it the snapshot does not exist.
   void finalize();
 
+  const std::string& dir() const { return dir_; }
+  /// Bytes this rank wrote: subfile records on aggregator ranks, plus the
+  /// manifest — counted exactly once, on global rank 0 only.
   std::size_t bytes_written() const { return bytes_written_; }
 
  private:
+  struct PendingWrite {
+    pp::Event event;
+    std::shared_ptr<std::size_t> bytes;
+  };
+
+  void record_section_write(const std::string& name, const FieldData& local,
+                            const CodecSpec& spec);
+
   const par::Comm& comm_;
   std::string dir_;
-  int num_subfiles_;
+  CheckpointOptions options_;
   bool finalized_ = false;
-  std::vector<std::string> section_names_;
+  std::vector<std::pair<std::string, Codec>> sections_;
   std::map<std::string, double> scalars_;
   std::size_t bytes_written_ = 0;
+  std::string deferred_error_;  ///< first local encode/write failure
+  std::unique_ptr<pp::Stream> stream_;  ///< async write lane (async only)
+  std::vector<PendingWrite> pending_;
 };
 
 /// Collective reader: construction validates the manifest (magic, version,
-/// checksum, rank count) and broadcasts it, so every rank can query scalars
-/// locally and read sections collectively.
+/// checksum, rank count) on every rank symmetrically, so every rank can
+/// query scalars locally and read sections collectively.
 class CheckpointReader {
  public:
   CheckpointReader(const par::Comm& comm, const std::string& dir);
@@ -88,22 +161,23 @@ class CheckpointReader {
   bool has_section(const std::string& name) const;
   bool has_scalar(const std::string& name) const;
   double scalar(const std::string& name) const;  ///< throws if missing
+  /// The codec a section was written with (from the manifest; the subfile
+  /// records must agree, which read_section verifies).
+  Codec section_codec(const std::string& name) const;
 
   /// Collective: reads one section; `expected_ids` is this rank's label
   /// vector from the matching Section layout (empty on non-owning ranks).
   FieldData read_section(const std::string& name,
                          const std::vector<std::int64_t>& expected_ids) const;
 
-  const std::vector<std::string>& section_names() const {
-    return section_names_;
-  }
+  std::vector<std::string> section_names() const;
   int num_subfiles() const { return num_subfiles_; }
 
  private:
   const par::Comm& comm_;
   std::string dir_;
   int num_subfiles_ = 1;
-  std::vector<std::string> section_names_;
+  std::vector<std::pair<std::string, Codec>> sections_;
   std::map<std::string, double> scalars_;
 };
 

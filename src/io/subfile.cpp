@@ -1,143 +1,356 @@
 #include "io/subfile.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "base/error.hpp"
 #include "obs/obs.hpp"
+#include "precision/group_scaled.hpp"
 
 namespace ap3::io {
 
-std::uint64_t checksum(std::span<const double> values) {
+const char* codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kFp64: return "fp64";
+    case Codec::kGroupScaled: return "group_scaled";
+  }
+  return "unknown";
+}
+
+std::uint64_t checksum(std::span<const char> bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
-  for (std::size_t i = 0; i < values.size() * sizeof(double); ++i)
-    h = (h ^ bytes[i]) * 0x100000001b3ULL;
+  for (const char c : bytes)
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
   return h;
+}
+
+int subfile_group(int rank, int comm_size, int num_subfiles) {
+  return static_cast<int>(static_cast<long long>(rank) * num_subfiles /
+                          comm_size);
+}
+
+int subfile_aggregator(int group, int comm_size, int num_subfiles) {
+  // Lowest rank r with floor(r * num_subfiles / comm_size) == group, i.e.
+  // ceil(group * comm_size / num_subfiles). Agrees with the floor map for
+  // every num_subfiles in [1, comm_size] (tested across uneven splits).
+  return static_cast<int>(
+      (static_cast<long long>(group) * comm_size + num_subfiles - 1) /
+      num_subfiles);
 }
 
 namespace {
 
-struct GroupLayout {
-  int group = 0;       ///< which subfile this rank belongs to
-  bool aggregator = false;
+constexpr char kSubfileMagic[8] = {'A', 'P', '3', 'S', 'U', 'B', 'F', '\0'};
+
+template <typename T>
+void put(std::vector<char>& out, const T& value) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+void put_span(std::vector<char>& out, std::span<const T> data) {
+  const std::size_t at = out.size();
+  out.resize(at + data.size_bytes());
+  std::memcpy(out.data() + at, data.data(), data.size_bytes());
+}
+
+/// Bounds-checked cursor over a record blob; short reads (a truncated file)
+/// surface as ap3::Error, never as out-of-bounds access.
+struct Cursor {
+  std::span<const char> bytes;
+  const std::string& context;
+  std::size_t at = 0;
+
+  template <typename T>
+  T get() {
+    AP3_REQUIRE_MSG(at + sizeof(T) <= bytes.size(),
+                    "truncated subfile record " << context);
+    T value;
+    std::memcpy(&value, bytes.data() + at, sizeof(T));
+    at += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> get_array(std::size_t n) {
+    AP3_REQUIRE_MSG(n <= (bytes.size() - at) / sizeof(T),
+                    "truncated subfile record " << context);
+    std::vector<T> out(n);
+    std::memcpy(out.data(), bytes.data() + at, n * sizeof(T));
+    at += n * sizeof(T);
+    return out;
+  }
 };
 
-GroupLayout layout_for(const par::Comm& comm, int num_subfiles) {
-  AP3_REQUIRE_MSG(num_subfiles >= 1 && num_subfiles <= comm.size(),
-                  "num_subfiles must be in [1, comm size]");
-  GroupLayout out;
-  out.group = static_cast<int>(
-      static_cast<long long>(comm.rank()) * num_subfiles / comm.size());
-  // Aggregator: the lowest rank mapped to this group.
-  const int first_of_group = static_cast<int>(
-      (static_cast<long long>(out.group) * comm.size() + num_subfiles - 1) /
-      num_subfiles);
-  out.aggregator = comm.rank() == first_of_group;
-  return out;
+struct IdRun {
+  std::int64_t start = 0;
+  std::int64_t len = 0;
+};
+
+/// Checkpoint sections label values 0..n-1 per rank, so the concatenated id
+/// vector collapses to one (start, len) run per rank.
+std::vector<IdRun> run_length_encode(const std::vector<std::int64_t>& ids) {
+  std::vector<IdRun> runs;
+  for (const std::int64_t id : ids) {
+    if (!runs.empty() && id == runs.back().start + runs.back().len)
+      ++runs.back().len;
+    else
+      runs.push_back({id, 1});
+  }
+  return runs;
 }
 
 std::string subfile_path(const SubfileConfig& config, int group) {
   return config.basename + "." + std::to_string(group) + ".bin";
 }
 
-/// Writes one blob: [nranks][counts...][ids...][values...][checksum].
-std::size_t write_blob(const std::string& path,
-                       const std::vector<std::size_t>& counts,
-                       const std::vector<std::int64_t>& ids,
-                       const std::vector<double>& values) {
-  std::ofstream out(path, std::ios::binary);
-  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
-  auto write_raw = [&](const void* p, std::size_t n) {
-    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-  };
-  const std::int64_t nranks = static_cast<std::int64_t>(counts.size());
-  write_raw(&nranks, sizeof(nranks));
-  for (std::size_t c : counts) {
-    const std::int64_t v = static_cast<std::int64_t>(c);
-    write_raw(&v, sizeof(v));
+}  // namespace
+
+std::vector<char> encode_record(const std::vector<std::size_t>& counts,
+                                const std::vector<std::int64_t>& ids,
+                                const std::vector<double>& values,
+                                const CodecSpec& spec,
+                                const std::string& context) {
+  AP3_REQUIRE(ids.size() == values.size());
+  std::vector<char> blob;
+  put_span(blob, std::span<const char>(kSubfileMagic, sizeof(kSubfileMagic)));
+  put(blob, kSubfileVersion);
+  put(blob, static_cast<std::uint32_t>(spec.codec));
+  put(blob, static_cast<std::int64_t>(counts.size()));
+  for (const std::size_t c : counts) put(blob, static_cast<std::int64_t>(c));
+  const std::vector<IdRun> runs = run_length_encode(ids);
+  put(blob, static_cast<std::uint64_t>(runs.size()));
+  for (const IdRun& run : runs) {
+    put(blob, run.start);
+    put(blob, run.len);
   }
-  write_raw(ids.data(), ids.size() * sizeof(std::int64_t));
-  write_raw(values.data(), values.size() * sizeof(double));
-  const std::uint64_t sum = checksum(values);
-  write_raw(&sum, sizeof(sum));
-  return sizeof(nranks) + counts.size() * sizeof(std::int64_t) +
-         ids.size() * sizeof(std::int64_t) + values.size() * sizeof(double) +
-         sizeof(sum);
+  switch (spec.codec) {
+    case Codec::kFp64:
+      put_span(blob, std::span<const double>(values));
+      break;
+    case Codec::kGroupScaled: {
+      const auto packed = precision::GroupScaledArray::compress(
+          std::span<const double>(values), spec.group_size);
+      // Encode-time verification: this is the only place the fp64 reference
+      // still exists, so a value the codec cannot represent within the bound
+      // hard-fails the write instead of silently corrupting the restore.
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const std::uint64_t ulp = precision::ulp_distance(packed.at(i),
+                                                          values[i]);
+        AP3_REQUIRE_MSG(ulp <= spec.ulp_bound,
+                        "group-scaled codec exceeds the ULP bound in "
+                            << context << ": element " << i << " is " << ulp
+                            << " ULPs from its fp64 source (bound "
+                            << spec.ulp_bound
+                            << ") — use Codec::kFp64 for this section");
+      }
+      put(blob, static_cast<std::uint64_t>(packed.group_size()));
+      put(blob, static_cast<std::uint64_t>(packed.scales().size()));
+      put_span(blob, std::span<const double>(packed.scales()));
+      put_span(blob, std::span<const float>(packed.payload()));
+      break;
+    }
+  }
+  put(blob, checksum({blob.data(), blob.size()}));
+  return blob;
 }
 
-void read_blob(const std::string& path, std::vector<std::size_t>& counts,
-               std::vector<std::int64_t>& ids, std::vector<double>& values) {
-  std::ifstream in(path, std::ios::binary);
-  AP3_REQUIRE_MSG(in, "cannot open " << path);
-  auto read_raw = [&](void* p, std::size_t n) {
-    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-    AP3_REQUIRE_MSG(in.good(), "truncated I/O file " << path);
-  };
-  std::int64_t nranks = 0;
-  read_raw(&nranks, sizeof(nranks));
-  counts.resize(static_cast<std::size_t>(nranks));
-  std::size_t total = 0;
-  for (std::size_t r = 0; r < counts.size(); ++r) {
-    std::int64_t v = 0;
-    read_raw(&v, sizeof(v));
-    counts[r] = static_cast<std::size_t>(v);
-    total += counts[r];
-  }
-  ids.resize(total);
-  values.resize(total);
-  read_raw(ids.data(), total * sizeof(std::int64_t));
-  read_raw(values.data(), total * sizeof(double));
+Codec decode_record(std::span<const char> bytes,
+                    std::vector<std::size_t>& counts,
+                    std::vector<std::int64_t>& ids,
+                    std::vector<double>& values, const std::string& context) {
+  constexpr std::size_t kMinBytes = sizeof(kSubfileMagic) +
+                                    2 * sizeof(std::uint32_t) +
+                                    sizeof(std::int64_t) +
+                                    sizeof(std::uint64_t) +
+                                    sizeof(std::uint64_t);
+  AP3_REQUIRE_MSG(bytes.size() >= kMinBytes,
+                  "truncated subfile record " << context);
+  AP3_REQUIRE_MSG(
+      std::memcmp(bytes.data(), kSubfileMagic, sizeof(kSubfileMagic)) == 0,
+      "not an AP3 subfile record (bad magic) in "
+          << context << " — written by a pre-v" << kSubfileVersion
+          << " build or corrupt; regenerate the snapshot");
+  Cursor cursor{bytes, context, sizeof(kSubfileMagic)};
+  const auto version = cursor.get<std::uint32_t>();
+  AP3_REQUIRE_MSG(version == kSubfileVersion,
+                  "subfile format version "
+                      << version << " unsupported (want " << kSubfileVersion
+                      << ") in " << context
+                      << " — old snapshots predate the whole-record checksum "
+                         "and must be regenerated");
+  // Verify the footer checksum over EVERY preceding byte before trusting any
+  // of them (v1 covered only the value payload, so corrupted counts or ids
+  // passed validation).
   std::uint64_t stored = 0;
-  read_raw(&stored, sizeof(stored));
-  AP3_REQUIRE_MSG(stored == checksum(values),
-                  "checksum mismatch in " << path);
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+              sizeof(stored));
+  AP3_REQUIRE_MSG(
+      stored == checksum(bytes.first(bytes.size() - sizeof(stored))),
+      "subfile checksum mismatch (corrupt record) in " << context);
+  const std::span<const char> body = bytes.first(bytes.size() - sizeof(stored));
+  cursor.bytes = body;
+
+  const auto codec_raw = cursor.get<std::uint32_t>();
+  AP3_REQUIRE_MSG(codec_raw <= static_cast<std::uint32_t>(Codec::kGroupScaled),
+                  "unknown subfile codec " << codec_raw << " in " << context);
+  const Codec codec = static_cast<Codec>(codec_raw);
+
+  const auto nranks = cursor.get<std::int64_t>();
+  AP3_REQUIRE_MSG(nranks >= 0 && static_cast<std::uint64_t>(nranks) <=
+                                     body.size() / sizeof(std::int64_t),
+                  "implausible rank count in " << context);
+  counts.assign(static_cast<std::size_t>(nranks), 0);
+  std::size_t total = 0;
+  for (auto& c : counts) {
+    const auto v = cursor.get<std::int64_t>();
+    AP3_REQUIRE_MSG(v >= 0, "negative element count in " << context);
+    c = static_cast<std::size_t>(v);
+    total += c;
+  }
+  AP3_REQUIRE_MSG(total <= body.size(),
+                  "implausible element total in " << context);
+
+  const auto nruns = cursor.get<std::uint64_t>();
+  AP3_REQUIRE_MSG(nruns <= total, "implausible id run count in " << context);
+  ids.clear();
+  ids.reserve(total);
+  for (std::uint64_t r = 0; r < nruns; ++r) {
+    const auto start = cursor.get<std::int64_t>();
+    const auto len = cursor.get<std::int64_t>();
+    AP3_REQUIRE_MSG(len > 0 && static_cast<std::size_t>(len) <= total - ids.size(),
+                    "bad id run in " << context);
+    for (std::int64_t k = 0; k < len; ++k) ids.push_back(start + k);
+  }
+  AP3_REQUIRE_MSG(ids.size() == total,
+                  "id runs cover " << ids.size() << " of " << total
+                                   << " elements in " << context);
+
+  switch (codec) {
+    case Codec::kFp64:
+      values = cursor.get_array<double>(total);
+      break;
+    case Codec::kGroupScaled: {
+      const auto group_size = cursor.get<std::uint64_t>();
+      AP3_REQUIRE_MSG(group_size >= 1,
+                      "bad group-scaled group size in " << context);
+      const auto nscales = cursor.get<std::uint64_t>();
+      const std::size_t want_scales =
+          total == 0 ? 0 : (total + group_size - 1) / group_size;
+      AP3_REQUIRE_MSG(nscales == want_scales,
+                      "group-scaled scale count mismatch in " << context);
+      auto scales = cursor.get_array<double>(nscales);
+      auto payload = cursor.get_array<float>(total);
+      const auto packed = precision::GroupScaledArray::from_raw(
+          total, group_size, std::move(payload), std::move(scales));
+      values.resize(total);
+      packed.decompress(values);
+      break;
+    }
+  }
+  AP3_REQUIRE_MSG(cursor.at == body.size(),
+                  "trailing bytes after subfile record " << context);
+  return codec;
 }
+
+std::size_t write_file_checked(const std::string& path,
+                               std::span<const char> bytes,
+                               double slow_disk_seconds_per_mb) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AP3_REQUIRE_MSG(out, "cannot open " << path << " for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  AP3_REQUIRE_MSG(out.good(),
+                  "short write to " << path << " (disk full?)");
+  out.close();
+  AP3_REQUIRE_MSG(!out.fail(), "close failed for " << path
+                                                   << " (buffered data lost)");
+  if (slow_disk_seconds_per_mb > 0.0) {
+    const double mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(mb * slow_disk_seconds_per_mb));
+  }
+  return bytes.size();
+}
+
+namespace {
 
 constexpr int kTagIoIds = 9401;
 constexpr int kTagIoVals = 9402;
 
-/// Gather members' data on the group comm's rank 0, write, return bytes.
-std::size_t gather_and_write(const par::Comm& group_comm,
-                             const std::string& path, const FieldData& local) {
-  std::vector<std::size_t> id_counts;
-  const std::vector<std::int64_t> all_ids =
-      group_comm.allgatherv(std::span<const std::int64_t>(local.ids), &id_counts);
-  const std::vector<double> all_values =
+/// Gather members' data onto the group comm's rank 0.
+std::optional<GatheredSubfile> gather_group(const par::Comm& group_comm,
+                                            std::string path,
+                                            const FieldData& local) {
+  GatheredSubfile out;
+  out.ids = group_comm.allgatherv(std::span<const std::int64_t>(local.ids),
+                                  &out.counts);
+  out.values =
       group_comm.allgatherv(std::span<const double>(local.values), nullptr);
-  if (group_comm.rank() != 0) return 0;
-  return write_blob(path, id_counts, all_ids, all_values);
+  if (group_comm.rank() != 0) return std::nullopt;
+  out.path = std::move(path);
+  return out;
 }
 
 /// Read on group rank 0, scatter back per stored counts, return this rank's
-/// slice.
+/// slice. Aggregator failures are broadcast so every group member throws
+/// instead of deadlocking in recv.
 FieldData read_and_scatter(const par::Comm& group_comm,
                            const std::string& path,
-                           const std::vector<std::int64_t>& expected_ids) {
+                           const std::vector<std::int64_t>& expected_ids,
+                           const std::optional<Codec>& expected_codec) {
   FieldData mine;
   if (group_comm.rank() == 0) {
+    std::string error;
     std::vector<std::size_t> counts;
     std::vector<std::int64_t> ids;
     std::vector<double> values;
-    read_blob(path, counts, ids, values);
-    AP3_REQUIRE_MSG(static_cast<int>(counts.size()) == group_comm.size(),
-                    "subfile written with a different group size");
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw Error("cannot open " + path);
+      const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+      const Codec codec =
+          decode_record({bytes.data(), bytes.size()}, counts, ids, values,
+                        path);
+      if (expected_codec && codec != *expected_codec)
+        throw Error("subfile " + path + " is encoded as " +
+                    codec_name(codec) + " but the manifest says " +
+                    codec_name(*expected_codec));
+      if (static_cast<int>(counts.size()) != group_comm.size())
+        throw Error("subfile " + path +
+                    " was written with a different group size");
+    } catch (const std::exception& e) {
+      error = e.what();
+      if (error.empty()) error = "subfile read failed for " + path;
+    }
+    double failed = error.empty() ? 0.0 : 1.0;
+    group_comm.bcast(std::span<double>(&failed, 1), 0);
+    if (!error.empty()) throw Error(error);
     std::size_t offset = 0;
     for (int r = 0; r < group_comm.size(); ++r) {
       const std::size_t n = counts[static_cast<std::size_t>(r)];
       if (r == 0) {
-        mine.ids.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(n));
+        mine.ids.assign(ids.begin(),
+                        ids.begin() + static_cast<std::ptrdiff_t>(n));
         mine.values.assign(values.begin(),
                            values.begin() + static_cast<std::ptrdiff_t>(n));
       } else {
-        group_comm.send(std::span<const std::int64_t>(ids.data() + offset, n), r,
-                        kTagIoIds);
+        group_comm.send(std::span<const std::int64_t>(ids.data() + offset, n),
+                        r, kTagIoIds);
         group_comm.send(std::span<const double>(values.data() + offset, n), r,
                         kTagIoVals);
       }
       offset += n;
     }
   } else {
+    double failed = 0.0;
+    group_comm.bcast(std::span<double>(&failed, 1), 0);
+    if (failed != 0.0)
+      throw Error("subfile read failed on the aggregator for " + path);
     // Size is the sender's; receive into max-size buffer then trim.
     mine.ids.resize(expected_ids.size());
     mine.values.resize(expected_ids.size());
@@ -153,16 +366,41 @@ FieldData read_and_scatter(const par::Comm& group_comm,
   return mine;
 }
 
+int checked_group(const par::Comm& comm, int num_subfiles) {
+  AP3_REQUIRE_MSG(num_subfiles >= 1 && num_subfiles <= comm.size(),
+                  "num_subfiles must be in [1, comm size]");
+  return subfile_group(comm.rank(), comm.size(), num_subfiles);
+}
+
 }  // namespace
+
+std::optional<GatheredSubfile> gather_subfiles(const par::Comm& comm,
+                                               const SubfileConfig& config,
+                                               const FieldData& local) {
+  AP3_SPAN("io:subfile:gather");
+  AP3_REQUIRE(local.ids.size() == local.values.size());
+  const int group = checked_group(comm, config.num_subfiles);
+  par::Comm group_comm = comm.split(group, comm.rank());
+  return gather_group(group_comm, subfile_path(config, group), local);
+}
+
+std::size_t write_gathered(const GatheredSubfile& gathered,
+                           const CodecSpec& spec,
+                           double slow_disk_seconds_per_mb) {
+  const std::vector<char> blob = encode_record(
+      gathered.counts, gathered.ids, gathered.values, spec, gathered.path);
+  return write_file_checked(gathered.path, {blob.data(), blob.size()},
+                            slow_disk_seconds_per_mb);
+}
 
 std::size_t write_subfiles(const par::Comm& comm, const SubfileConfig& config,
                            const FieldData& local) {
   AP3_SPAN("io:subfile:write");
-  AP3_REQUIRE(local.ids.size() == local.values.size());
-  const GroupLayout layout = layout_for(comm, config.num_subfiles);
-  par::Comm group = comm.split(layout.group, comm.rank());
-  const std::size_t bytes =
-      gather_and_write(group, subfile_path(config, layout.group), local);
+  const auto gathered = gather_subfiles(comm, config, local);
+  std::size_t bytes = 0;
+  if (gathered)
+    bytes = write_gathered(*gathered, config.codec,
+                           config.slow_disk_seconds_per_mb);
   obs::counter_add("io:subfile:bytes_written", static_cast<double>(bytes));
   return bytes;
 }
@@ -170,10 +408,28 @@ std::size_t write_subfiles(const par::Comm& comm, const SubfileConfig& config,
 FieldData read_subfiles(const par::Comm& comm, const SubfileConfig& config,
                         const std::vector<std::int64_t>& expected_ids) {
   AP3_SPAN("io:subfile:read");
-  const GroupLayout layout = layout_for(comm, config.num_subfiles);
-  par::Comm group = comm.split(layout.group, comm.rank());
-  return read_and_scatter(group, subfile_path(config, layout.group),
-                          expected_ids);
+  const int group = checked_group(comm, config.num_subfiles);
+  par::Comm group_comm = comm.split(group, comm.rank());
+  // A bad file is symmetric within its group (status broadcast in
+  // read_and_scatter) but invisible to the OTHER groups, whose next
+  // collective would deadlock against the throwing ranks. Fold the
+  // per-group outcome over the world comm so a corrupt, truncated, or
+  // missing subfile throws the same ap3::Error on every rank.
+  FieldData mine;
+  std::string error;
+  try {
+    mine = read_and_scatter(group_comm, subfile_path(config, group),
+                            expected_ids, config.expected_codec);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  const double any_failed =
+      comm.allreduce_value(error.empty() ? 0.0 : 1.0, par::ReduceOp::kMax);
+  if (any_failed != 0.0)
+    throw Error(error.empty() ? "subfile read failed on another rank for " +
+                                    config.basename
+                              : error);
+  return mine;
 }
 
 std::size_t write_single(const par::Comm& comm, const std::string& path,
@@ -181,7 +437,8 @@ std::size_t write_single(const par::Comm& comm, const std::string& path,
   AP3_SPAN("io:single:write");
   AP3_REQUIRE(local.ids.size() == local.values.size());
   par::Comm whole = comm.split(0, comm.rank());
-  const std::size_t bytes = gather_and_write(whole, path, local);
+  const auto gathered = gather_group(whole, path, local);
+  const std::size_t bytes = gathered ? write_gathered(*gathered, {}) : 0;
   obs::counter_add("io:single:bytes_written", static_cast<double>(bytes));
   return bytes;
 }
@@ -190,7 +447,7 @@ FieldData read_single(const par::Comm& comm, const std::string& path,
                       const std::vector<std::int64_t>& expected_ids) {
   AP3_SPAN("io:single:read");
   par::Comm whole = comm.split(0, comm.rank());
-  return read_and_scatter(whole, path, expected_ids);
+  return read_and_scatter(whole, path, expected_ids, std::nullopt);
 }
 
 }  // namespace ap3::io

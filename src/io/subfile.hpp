@@ -4,12 +4,32 @@
 // implemented. We assign groups of MPI ranks to the I/O for a set of
 // subfiles, and leverage a binary format." Ranks are split into
 // `num_subfiles` groups; each group's aggregator gathers members' (id,
-// value) pairs and writes one binary subfile with a checksum footer. The
-// single-file baseline funnels everything through rank 0 — the original
-// bottleneck the optimization removes.
+// value) pairs and writes one binary subfile. The single-file baseline
+// funnels everything through rank 0 — the original bottleneck the
+// optimization removes.
+//
+// Record format v2 (DESIGN.md §16). One self-describing blob per subfile:
+//
+//   magic "AP3SUBF\0" | version u32 = 2 | codec u32 | nranks i64 |
+//   counts i64[nranks] | nruns u64 | id runs (start i64, len i64)[nruns] |
+//   payload | checksum u64
+//
+// where payload is f64[total] for Codec::kFp64, and for Codec::kGroupScaled
+// (§5.2.3 precision format as a bounded-error checkpoint codec):
+//
+//   group_size u64 | nscales u64 | scales f64[nscales] | payload f32[total]
+//
+// Ids are run-length encoded as (start, len) strides of consecutive
+// integers — checkpoint sections label values 0..n-1 per rank, so the id
+// vector collapses to one run per rank and the group-scaled payload's ~2x
+// size win survives at whole-file granularity. The trailing FNV-1a checksum
+// covers EVERY preceding byte (v1 covered only `values`, so corrupted
+// counts/ids passed validation — the bug that forced the version bump).
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,29 +37,113 @@
 
 namespace ap3::io {
 
+inline constexpr std::uint32_t kSubfileVersion = 2;
+
 struct FieldData {
   std::vector<std::int64_t> ids;
   std::vector<double> values;
 };
 
-/// FNV-1a over the raw value bytes; stored in each file footer and verified
-/// on read.
-std::uint64_t checksum(std::span<const double> values);
+/// Per-section payload encoding. kFp64 is bit-exact; kGroupScaled stores an
+/// fp32 mantissa per value plus one power-of-two fp64 scale per group
+/// (precision::GroupScaledArray), verified at encode time to stay within
+/// `ulp_bound` of the fp64 source.
+enum class Codec : std::uint32_t {
+  kFp64 = 0,
+  kGroupScaled = 1,
+};
+
+const char* codec_name(Codec codec);
+
+struct CodecSpec {
+  Codec codec = Codec::kFp64;
+  /// Elements per scale group (kGroupScaled only).
+  std::size_t group_size = 32;
+  /// Encode-time verification bound, in double-ULPs, between each decoded
+  /// value and its fp64 source. fp32 storage keeps ≤ 2^28 ULPs for normal
+  /// values; the default leaves headroom for subnormal group tails.
+  std::uint64_t ulp_bound = std::uint64_t{1} << 29;
+};
+
+/// FNV-1a over raw bytes; stored in each record footer, verified on read.
+std::uint64_t checksum(std::span<const char> bytes);
 
 struct SubfileConfig {
-  std::string basename;   ///< files are <basename>.<k>.bin
+  std::string basename;  ///< files are <basename>.<k>.bin
   int num_subfiles = 1;
+  CodecSpec codec{};
+  /// Synthetic slow-disk knob: extra seconds charged per MiB inside the
+  /// file write (bench-only; models a parallel filesystem under load).
+  double slow_disk_seconds_per_mb = 0.0;
+  /// Read side: when set, the record's stored codec must match (the
+  /// checkpoint reader pins it from the manifest).
+  std::optional<Codec> expected_codec{};
 };
+
+/// Floor-based subfile group map: rank -> floor(rank * num_subfiles / size).
+int subfile_group(int rank, int comm_size, int num_subfiles);
+/// Lowest rank mapped to `group`, i.e. the rank that becomes rank 0 of the
+/// group communicator and writes the subfile.
+int subfile_aggregator(int group, int comm_size, int num_subfiles);
+
+/// Encode one subfile record (v2 layout above). `context` names the record
+/// in error messages. For kGroupScaled this verifies every value decodes
+/// within `spec.ulp_bound` of its source and throws ap3::Error otherwise.
+std::vector<char> encode_record(const std::vector<std::size_t>& counts,
+                                const std::vector<std::int64_t>& ids,
+                                const std::vector<double>& values,
+                                const CodecSpec& spec,
+                                const std::string& context);
+
+/// Decode + validate one record: checksum first, then bounds-checked parse.
+/// Returns the codec the record was written with.
+Codec decode_record(std::span<const char> bytes,
+                    std::vector<std::size_t>& counts,
+                    std::vector<std::int64_t>& ids,
+                    std::vector<double>& values, const std::string& context);
+
+/// Write `bytes` to `path`, failing on open, short write, or close errors
+/// (a disk-full short write must not "succeed"). Returns bytes written.
+std::size_t write_file_checked(const std::string& path,
+                               std::span<const char> bytes,
+                               double slow_disk_seconds_per_mb = 0.0);
+
+/// One subfile's worth of gathered data: everything the aggregator needs to
+/// encode and write with no further communication. This is the async
+/// checkpoint writer's unit of work — the gather (collective, rank threads
+/// only) is split from the encode+write (pure local, safe on a pool thread).
+struct GatheredSubfile {
+  std::string path;
+  std::vector<std::size_t> counts;  ///< per group-rank element counts
+  std::vector<std::int64_t> ids;
+  std::vector<double> values;
+};
+
+/// Collective over `comm`: gather each group's (ids, values) onto its
+/// aggregator. Aggregators get the gathered record; other ranks nullopt.
+std::optional<GatheredSubfile> gather_subfiles(const par::Comm& comm,
+                                               const SubfileConfig& config,
+                                               const FieldData& local);
+
+/// Encode + write one gathered record. No communication — callable from a
+/// pp::Stream task. Returns bytes written.
+std::size_t write_gathered(const GatheredSubfile& gathered,
+                           const CodecSpec& spec,
+                           double slow_disk_seconds_per_mb = 0.0);
 
 /// Collective write: every rank contributes its (ids, values); group
 /// aggregators write `num_subfiles` files. Returns bytes written (on the
-/// aggregators; 0 elsewhere).
+/// aggregators; 0 elsewhere). Encode/write failures throw on the
+/// aggregator; the checkpoint layer defers them to its collective wait()
+/// so they surface symmetrically.
 std::size_t write_subfiles(const par::Comm& comm, const SubfileConfig& config,
                            const FieldData& local);
 
 /// Collective read: aggregators read their subfile and re-scatter each
 /// rank's original (ids, values). `expected_ids` tells the reader which ids
-/// this rank wants back.
+/// this rank wants back. Aggregator-side failures (missing file, checksum
+/// or codec mismatch, truncation) are broadcast to the group so every rank
+/// throws ap3::Error instead of deadlocking in a receive.
 FieldData read_subfiles(const par::Comm& comm, const SubfileConfig& config,
                         const std::vector<std::int64_t>& expected_ids);
 

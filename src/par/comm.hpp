@@ -329,7 +329,8 @@ class Comm {
     AP3_REQUIRE_MSG(count <= data.size(),
                     "recv buffer too small: need " << count << " elements, have "
                                                    << data.size());
-    std::memcpy(data.data(), m.data.data(), m.data.size());
+    if (!m.data.empty())  // empty recv leaves data.data() null — no memcpy
+      std::memcpy(data.data(), m.data.data(), m.data.size());
     return count;
   }
 

@@ -1,10 +1,28 @@
 #include "precision/group_scaled.hpp"
 
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "base/error.hpp"
 
 namespace ap3::precision {
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;  // also +0 vs -0
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::uint64_t>::max();
+  // Map the sign-magnitude bit pattern onto a monotone integer line so that
+  // adjacent doubles differ by exactly 1.
+  auto ordered = [](double x) {
+    const auto bits = std::bit_cast<std::uint64_t>(x);
+    return (bits & 0x8000000000000000ULL) ? ~bits
+                                          : bits | 0x8000000000000000ULL;
+  };
+  const std::uint64_t ua = ordered(a);
+  const std::uint64_t ub = ordered(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
 
 GroupScaledArray GroupScaledArray::compress(std::span<const double> values,
                                             std::size_t group_size) {
@@ -54,6 +72,27 @@ GroupScaledArray GroupScaledArray::compress_floats(
     for (std::size_t i = lo; i < hi; ++i)
       out.payload_[i] = static_cast<float>(static_cast<double>(values[i]) / scale);
   }
+  return out;
+}
+
+GroupScaledArray GroupScaledArray::from_raw(std::size_t size,
+                                            std::size_t group_size,
+                                            std::vector<float> payload,
+                                            std::vector<double> scales) {
+  AP3_REQUIRE_MSG(group_size >= 1, "group size must be positive");
+  AP3_REQUIRE_MSG(payload.size() == size,
+                  "group-scaled payload has " << payload.size()
+                                              << " floats, expected " << size);
+  const std::size_t ngroups = (size + group_size - 1) / group_size;
+  AP3_REQUIRE_MSG(scales.size() == ngroups,
+                  "group-scaled scales hold " << scales.size()
+                                              << " groups, expected "
+                                              << ngroups);
+  GroupScaledArray out;
+  out.size_ = size;
+  out.group_size_ = group_size;
+  out.payload_ = std::move(payload);
+  out.scales_ = std::move(scales);
   return out;
 }
 

@@ -18,6 +18,14 @@
 
 namespace ap3::precision {
 
+/// Units-in-the-last-place distance between two doubles, mapping each to a
+/// monotone integer line. 0 iff bit-identical (treating +0 and -0 as equal);
+/// max() when either argument is NaN. Storing an fp64 value through an fp32
+/// mantissa with an exact power-of-two scale loses at most 2^-24 relative
+/// precision, i.e. ≤ 2^28 double-ULPs for normal values — the basis for the
+/// checkpoint codec's default `ulp_bound`.
+std::uint64_t ulp_distance(double a, double b);
+
 class GroupScaledArray {
  public:
   GroupScaledArray() = default;
@@ -30,6 +38,12 @@ class GroupScaledArray {
   /// lossless: decompress_floats returns the input bit for bit.
   static GroupScaledArray compress_floats(std::span<const float> values,
                                           std::size_t group_size);
+  /// Reassemble from serialized parts (the checkpoint codec's restore path).
+  /// `payload` must hold one float per element and `scales` one double per
+  /// group of `group_size` consecutive elements.
+  static GroupScaledArray from_raw(std::size_t size, std::size_t group_size,
+                                   std::vector<float> payload,
+                                   std::vector<double> scales);
 
   void decompress(std::span<double> out) const;
   void decompress_floats(std::span<float> out) const;
@@ -46,6 +60,10 @@ class GroupScaledArray {
   double compression_ratio() const {
     return static_cast<double>(fp64_bytes()) / static_cast<double>(bytes());
   }
+
+  /// Serialized parts, for codecs that persist the representation.
+  const std::vector<float>& payload() const { return payload_; }
+  const std::vector<double>& scales() const { return scales_; }
 
  private:
   std::size_t size_ = 0;

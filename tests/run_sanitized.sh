@@ -29,7 +29,7 @@ SANITIZERS="${SANITIZERS:-thread address undefined}"
 # the hierarchical collectives (leader staging buffers under fault injection),
 # and the property sweeps (coupled fault fuzz plus the ghost-aware cut
 # planner's fuzz tuples alongside test_balance's migration paths).
-FILTER="${1:-test_par|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack|test_hier|test_properties}"
+FILTER="${1:-test_par|test_io|test_fault|test_mct|test_restart|test_obs|test_async|test_ai|test_balance|test_fleet|test_pack|test_hier|test_properties}"
 JOBS="${JOBS:-$(nproc)}"
 
 for sanitizer in ${SANITIZERS}; do

@@ -186,8 +186,9 @@ TEST(CheckpointContainer, CorruptedSectionPayloadRejected) {
     writer.add_section("f", io::local_field(std::vector<double>(16, 1.5)));
     writer.finalize();
   });
-  // Zap the value-checksum footer of the section's subfile (<dir>/f.0.bin);
-  // the reader must reject the payload even though the manifest is intact.
+  // Zap the whole-record checksum footer of the section's subfile
+  // (<dir>/f.0.bin); the reader must reject the payload even though the
+  // manifest is intact.
   {
     std::fstream f(dir + "/f.0.bin",
                    std::ios::in | std::ios::out | std::ios::binary);
@@ -202,10 +203,11 @@ TEST(CheckpointContainer, CorruptedSectionPayloadRejected) {
   });
 }
 
-TEST(CheckpointContainer, TamperedIdsRejectedOnOwningRank) {
-  // A flipped byte in the id table is caught by the per-rank decomposition
-  // check after the (structurally intact) scatter completes, so asserting
-  // across ranks is safe: at least one rank must refuse the section.
+TEST(CheckpointContainer, TamperedIdTableRejectedOnEveryRank) {
+  // v1 only checksummed the value payload, so a flipped id byte slipped
+  // through structural validation and was caught (at best) on the one rank
+  // whose decomposition check noticed. The v2 whole-record checksum catches
+  // it before parsing, and the world-level fold makes EVERY rank throw.
   TempDir tmp;
   const std::string dir = tmp.file("snap");
   run_ranks(2, [&](par::Comm& comm) {
@@ -214,13 +216,14 @@ TEST(CheckpointContainer, TamperedIdsRejectedOnOwningRank) {
     writer.add_section("f", io::local_field(field));
     writer.finalize();
   });
-  // Blob layout: nranks i64 | counts i64[2] | ids i64[32] | values f64[32] |
-  // checksum u64. Corrupt an id in the middle of the table.
+  // v2 layout: magic 8 | version 4 | codec 4 | nranks 8 | counts i64[2] |
+  // nruns u64 | runs (start,len)[...] | payload | checksum. Corrupt a byte
+  // inside the id-run table.
   {
     std::fstream f(dir + "/f.0.bin",
                    std::ios::in | std::ios::out | std::ios::binary);
     ASSERT_TRUE(f.good());
-    f.seekp(8 + 2 * 8 + 20 * 8);  // 21st id (owned by rank 1)
+    f.seekp(8 + 4 + 4 + 8 + 2 * 8 + 8 + 4);  // mid-run
     const std::int64_t garbage = 9999;
     f.write(reinterpret_cast<const char*>(&garbage), 8);
   }
@@ -235,7 +238,7 @@ TEST(CheckpointContainer, TamperedIdsRejectedOnOwningRank) {
       threw = 1;
     }
     const int total = comm.allreduce_value(threw, par::ReduceOp::kSum);
-    EXPECT_GE(total, 1);
+    EXPECT_EQ(total, comm.size());
   });
 }
 
@@ -419,6 +422,166 @@ void expect_bit_exact_restart(int nranks, const cpl::CoupledConfig& config) {
 
 TEST(CoupledRestart, SequentialLayoutBitExact) {
   expect_bit_exact_restart(2, restart_config());
+}
+
+// ---- streaming (async) checkpoints ------------------------------------------
+
+// The async writer snapshots state at checkpoint_async() time while the
+// gather+encode+write overlaps the next windows. The snapshot must still be
+// bit-exact: N + ckpt_async + restore + N ≡ 2N, with the model advancing
+// WHILE the checkpoint drains.
+TEST(CoupledRestart, AsyncCheckpointBitExact) {
+  const cpl::CoupledConfig config = restart_config();
+  TempDir tmp;
+  const std::string dir = tmp.file("cpl_async");
+  constexpr int kWindows = 4;
+
+  std::uint64_t hash_mid = 0, hash_end = 0;
+  run_ranks(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(kWindows);
+    model.checkpoint_async(dir);
+    const std::uint64_t mid = model.state_hash();
+    model.run_windows(kWindows);  // overlaps the in-flight write
+    const std::uint64_t end = model.state_hash();
+    model.checkpoint_wait();
+    EXPECT_EQ(model.checkpoints_in_flight(), 0u);
+    if (comm.rank() == 0) {
+      hash_mid = mid;
+      hash_end = end;
+    }
+  });
+
+  run_ranks(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.restore(dir);
+    EXPECT_EQ(model.windows_run(), kWindows);
+    const std::uint64_t mid = model.state_hash();
+    model.run_windows(kWindows);
+    const std::uint64_t end = model.state_hash();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(mid, hash_mid) << "async snapshot is not bit-exact";
+      EXPECT_EQ(end, hash_end)
+          << "trajectory diverged after restoring an async snapshot";
+    }
+  });
+}
+
+// At most two snapshots may be in flight; a third checkpoint_async must
+// fence the oldest first (back-pressure, not unbounded memory), and every
+// fenced snapshot must be restorable.
+TEST(CoupledRestart, AsyncCheckpointBackPressure) {
+  const cpl::CoupledConfig config = restart_config();
+  TempDir tmp;
+  const std::string d1 = tmp.file("s1"), d2 = tmp.file("s2"),
+                    d3 = tmp.file("s3");
+  run_ranks(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(1);
+    model.checkpoint_async(d1);
+    model.run_windows(1);
+    model.checkpoint_async(d2);
+    EXPECT_LE(model.checkpoints_in_flight(), 2u);
+    model.run_windows(1);
+    model.checkpoint_async(d3);
+    EXPECT_LE(model.checkpoints_in_flight(), 2u);
+    model.checkpoint_wait();
+    EXPECT_EQ(model.checkpoints_in_flight(), 0u);
+
+    for (const auto& [dir, windows] :
+         {std::pair<std::string, int>{d1, 1}, {d2, 2}, {d3, 3}}) {
+      cpl::CoupledModel fresh(comm, config);
+      fresh.restore(dir);
+      EXPECT_EQ(fresh.windows_run(), windows) << dir;
+    }
+  });
+}
+
+// Re-issuing checkpoint_async to the SAME directory must finalize the
+// pending snapshot for that dir first (never two writers racing one path).
+TEST(CoupledRestart, AsyncCheckpointSameDirSerializes) {
+  const cpl::CoupledConfig config = restart_config();
+  TempDir tmp;
+  const std::string dir = tmp.file("snap");
+  run_ranks(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(1);
+    model.checkpoint_async(dir);
+    model.run_windows(1);
+    model.checkpoint_async(dir);  // finalizes the first, starts a second
+    model.checkpoint_wait();
+
+    cpl::CoupledModel fresh(comm, config);
+    fresh.restore(dir);  // latest snapshot wins
+    EXPECT_EQ(fresh.windows_run(), 2);
+  });
+}
+
+// ---- precision-aware (group-scaled) checkpoints -----------------------------
+
+bool lossless_required(const std::string& name) {
+  // Mirrors the driver's policy: control/RNG/counter state must round-trip
+  // bit-exactly even under a lossy field codec.
+  if (name == "cpl.rng" || name == "cpl.balance_busy" ||
+      name == "cpl.ai.train")
+    return true;
+  const std::string suffix = ".steps";
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Group-scaled snapshots trade bit-exactness of field data for ~2x smaller
+// checkpoints. The restore must land within the codec's ULP bound on every
+// field value, and control state (RNG words, counters) must still be exact.
+TEST(CoupledRestart, GroupScaledRestoreWithinUlpBound) {
+  cpl::CoupledConfig config = restart_config();
+  config.checkpoint.codec.codec = io::Codec::kGroupScaled;
+  TempDir tmp;
+  const std::string dir = tmp.file("cpl_gs");
+
+  run_ranks(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(2);
+    model.checkpoint(dir);
+    const auto original = model.local_checkpoint_sections();
+
+    cpl::CoupledModel fresh(comm, config);
+    fresh.restore(dir);
+    EXPECT_EQ(fresh.windows_run(), 2);
+    const auto restored = fresh.local_checkpoint_sections();
+
+    ASSERT_EQ(restored.size(), original.size());
+    for (const auto& [name, data] : original) {
+      const auto it = restored.find(name);
+      ASSERT_NE(it, restored.end()) << name;
+      ASSERT_EQ(it->second.values.size(), data.values.size()) << name;
+      const std::uint64_t bound =
+          lossless_required(name) ? 0 : config.checkpoint.codec.ulp_bound;
+      expect_fields_equal(it->second.values, data.values, bound, name);
+    }
+  });
+}
+
+// An unmeetable ULP bound must hard-fail the checkpoint on EVERY rank at
+// the finalize fence — never write a snapshot that silently violates it.
+TEST(CoupledRestart, GroupScaledImpossibleBoundFailsOnEveryRank) {
+  cpl::CoupledConfig config = restart_config();
+  config.checkpoint.codec.codec = io::Codec::kGroupScaled;
+  config.checkpoint.codec.ulp_bound = 0;  // demands losslessness from fp32
+  TempDir tmp;
+  const std::string dir = tmp.file("cpl_gs0");
+  run_ranks(2, [&](par::Comm& comm) {
+    cpl::CoupledModel model(comm, config);
+    model.run_windows(1);
+    int threw = 0;
+    try {
+      model.checkpoint(dir);
+    } catch (const Error&) {
+      threw = 1;
+    }
+    const int total = comm.allreduce_value(threw, par::ReduceOp::kSum);
+    EXPECT_EQ(total, comm.size());
+  });
 }
 
 // ---- AI physics with online training ---------------------------------------
